@@ -1,0 +1,91 @@
+//! Ablation A1/A2 — steady-state optimum vs classical baselines (direct
+//! scatter, flat-tree reduce, binomial reduce) on toy, grid and Tiers
+//! platforms: who wins and by what factor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use steady_baselines::{
+    binomial_reduce, direct_scatter, flat_tree_reduce, measure_pipelined_throughput,
+};
+use steady_bench::{figure2_problem, figure6_problem, grid_scatter, print_header, tiers_scatter};
+
+fn reproduce() {
+    let ops = 25;
+    print_header("Ablation A1 — scatter: steady-state optimum vs direct shortest-path scatter");
+    println!("{:<28} {:>12} {:>12} {:>8}", "platform", "steady TP", "direct", "ratio");
+    let scatters = vec![
+        ("figure-2 toy".to_string(), figure2_problem()),
+        ("grid 3x3".to_string(), grid_scatter(3, 3)),
+        ("tiers (seed 5)".to_string(), tiers_scatter(5)),
+    ];
+    for (name, problem) in scatters {
+        let optimal = problem.solve().expect("solves");
+        let base = measure_pipelined_throughput(
+            problem.platform(),
+            &direct_scatter(&problem, ops),
+            ops,
+        )
+        .expect("baseline");
+        let s = optimal.throughput().to_f64();
+        let b = base.throughput.to_f64();
+        println!("{:<28} {:>12.4} {:>12.4} {:>7.2}x", name, s, b, s / b.max(1e-12));
+    }
+
+    print_header("Ablation A2 — reduce: steady-state optimum vs tree baselines");
+    println!(
+        "{:<28} {:>12} {:>12} {:>12} {:>8} {:>8}",
+        "platform", "steady TP", "flat tree", "binomial", "vs flat", "vs bino"
+    );
+    let reduces = vec![
+        ("figure-6 toy".to_string(), figure6_problem()),
+        ("figure-9 tiers (6 part.)".to_string(), {
+            // The full 8-participant LP is too slow for a default bench run;
+            // see EXPERIMENTS.md.
+            let mut inst = steady_platform::generators::figure9();
+            inst.participants.truncate(6);
+            steady_core::reduce::ReduceProblem::from_instance(inst).expect("valid")
+        }),
+    ];
+    for (name, problem) in reduces {
+        let optimal = problem.solve().expect("solves");
+        let flat = measure_pipelined_throughput(
+            problem.platform(),
+            &flat_tree_reduce(&problem, ops),
+            ops,
+        )
+        .expect("flat baseline");
+        let bino = measure_pipelined_throughput(
+            problem.platform(),
+            &binomial_reduce(&problem, ops),
+            ops,
+        )
+        .expect("binomial baseline");
+        let s = optimal.throughput().to_f64();
+        let f = flat.throughput.to_f64();
+        let b = bino.throughput.to_f64();
+        println!(
+            "{:<28} {:>12.4} {:>12.4} {:>12.4} {:>7.2}x {:>7.2}x",
+            name, s, f, b, s / f.max(1e-12), s / b.max(1e-12)
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let problem = figure6_problem();
+    let mut group = c.benchmark_group("ablation_baselines");
+    group.sample_size(10);
+    group.bench_function("simulate_flat_tree_reduce_25ops", |b| {
+        b.iter(|| {
+            measure_pipelined_throughput(
+                problem.platform(),
+                &flat_tree_reduce(&problem, 25),
+                25,
+            )
+            .expect("baseline")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Experiment F2 — Figure 2: the toy Series-of-Scatters instance.
+//!
+//! Prints the reproduced throughput and per-edge occupations (the paper's
+//! Figure 2(b)/(c), scaled to a period of 12) and benchmarks the exact LP
+//! solve for that instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use steady_bench::{figure2_problem, fmt_ratio, print_header};
+use steady_rational::{rat, Ratio};
+
+fn reproduce() {
+    let problem = figure2_problem();
+    let solution = problem.solve().expect("figure2 LP solves");
+    print_header("Figure 2 — Series of Scatters on the toy platform");
+    println!("paper:    TP = 1/2 (6 messages every 12 time-units), period 12");
+    println!("measured: TP = {}", fmt_ratio(solution.throughput()));
+    println!("minimal period = {}", solution.period());
+
+    println!("\nper-edge occupation s(Pi -> Pj), scaled to a period of 12 (paper Figure 2(c)):");
+    let platform = problem.platform();
+    for e in platform.edge_ids() {
+        let edge = platform.edge(e);
+        let occupation = solution.edge_occupation(&problem, e) * rat(12, 1);
+        if occupation.is_positive() {
+            println!(
+                "  {} -> {} : {}",
+                platform.node(edge.from).name,
+                platform.node(edge.to).name,
+                fmt_ratio(&occupation)
+            );
+        }
+    }
+    let total_source: Ratio = platform
+        .out_edges(problem.source())
+        .iter()
+        .map(|&e| solution.edge_occupation(&problem, e))
+        .sum();
+    println!("source outgoing-port occupation: {} (saturated at the optimum)", fmt_ratio(&total_source));
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let problem = figure2_problem();
+    let mut group = c.benchmark_group("fig2_toy_scatter");
+    group.sample_size(20);
+    group.bench_function("solve_scatter_lp_exact", |b| {
+        b.iter(|| problem.solve().expect("solves"))
+    });
+    group.bench_function("build_lp_only", |b| b.iter(|| problem.build_lp()));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Experiments F3/F4 — Figures 3 and 4: decomposition of the Figure-2 load
+//! into matchings and the resulting periodic schedule.
+//!
+//! Prints the matchings (count, durations) and the schedule slots, and
+//! benchmarks the weighted edge-coloring and the schedule construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use steady_bench::{figure2_problem, fmt_ratio, print_header};
+use steady_core::coloring::{decompose, verify_decomposition, BipartiteLoad};
+use steady_rational::{rat, Ratio};
+
+fn figure3_load() -> BipartiteLoad {
+    // The aggregated per-link busy times of Figure 3 (period 12):
+    // Ps->Pa: 3, Ps->Pb: 9, Pa->P0: 2, Pb->P0: 4, Pb->P1: 8.
+    let mut load = BipartiteLoad::new();
+    load.add(0, 1, rat(3, 1));
+    load.add(0, 2, rat(9, 1));
+    load.add(1, 3, rat(2, 1));
+    load.add(2, 3, rat(4, 1));
+    load.add(2, 4, rat(8, 1));
+    load
+}
+
+fn reproduce() {
+    print_header("Figure 3 — matching decomposition of the Figure-2 bipartite load");
+    let load = figure3_load();
+    let steps = decompose(&load).expect("decomposition succeeds");
+    verify_decomposition(&load, &steps).expect("decomposition is valid");
+    println!("paper:    4 matchings, total duration 12");
+    let total: Ratio = steps.iter().map(|s| s.duration.clone()).sum();
+    println!("measured: {} matchings, total duration {}", steps.len(), fmt_ratio(&total));
+    for (i, s) in steps.iter().enumerate() {
+        let edges: Vec<String> = s
+            .edges
+            .iter()
+            .map(|&e| format!("{}->{}", load.edges[e].sender, load.edges[e].receiver))
+            .collect();
+        println!("  matching {i}: duration {}, transfers {}", fmt_ratio(&s.duration), edges.join(", "));
+    }
+
+    print_header("Figure 4 — periodic schedule built from the LP solution");
+    let problem = figure2_problem();
+    let solution = problem.solve().expect("solves");
+    let schedule = solution.build_schedule(&problem).expect("schedule");
+    schedule.validate(problem.platform()).expect("one-port feasible");
+    println!("paper:    period 12 with split messages (48 without splitting), throughput 1/2");
+    println!(
+        "measured: period {}, {} slots, throughput {}",
+        fmt_ratio(&schedule.period),
+        schedule.slots.len(),
+        fmt_ratio(&schedule.throughput())
+    );
+    print!("{}", schedule.render(problem.platform()));
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let load = figure3_load();
+    let problem = figure2_problem();
+    let solution = problem.solve().expect("solves");
+    let mut group = c.benchmark_group("fig3_fig4");
+    group.sample_size(20);
+    group.bench_function("edge_coloring_decompose", |b| {
+        b.iter(|| decompose(&load).expect("decomposes"))
+    });
+    group.bench_function("build_schedule", |b| {
+        b.iter(|| solution.build_schedule(&problem).expect("schedule"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

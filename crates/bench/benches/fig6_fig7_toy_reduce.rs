@@ -1,0 +1,76 @@
+//! Experiments F5/F6/F7 — Figures 5–7: the toy Series-of-Reduces instance,
+//! its LP solution and its decomposition into reduction trees.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use steady_bench::{figure6_problem, fmt_ratio, print_header};
+use steady_core::trees::verify_tree_set;
+use steady_rational::{rat, Ratio};
+
+fn reproduce() {
+    let problem = figure6_problem();
+    let solution = problem.solve().expect("figure6 LP solves");
+    print_header("Figure 6 — Series of Reduces on the 3-processor platform");
+    println!("paper:    TP = 1 (three reductions every three time-units, period 3)");
+    println!("measured: TP = {}", fmt_ratio(solution.throughput()));
+    println!("minimal period = {}", solution.period());
+
+    println!("\nLP solution scaled to a period of 3 (paper Figure 6(b)):");
+    for ((edge, interval), rate) in solution.sends() {
+        let e = problem.platform().edge(*edge);
+        println!(
+            "  send({} -> {}, v[{},{}]) = {}",
+            problem.platform().node(e.from).name,
+            problem.platform().node(e.to).name,
+            interval.0,
+            interval.1,
+            fmt_ratio(&(rate * &rat(3, 1)))
+        );
+    }
+    for ((node, task), rate) in solution.tasks() {
+        println!(
+            "  cons({}, T[{},{},{}]) = {}",
+            problem.platform().node(*node).name,
+            task.0,
+            task.1,
+            task.2,
+            fmt_ratio(&(rate * &rat(3, 1)))
+        );
+    }
+
+    print_header("Figure 7 — reduction trees of the Figure-6 solution");
+    let trees = solution.extract_trees(&problem).expect("trees extract");
+    verify_tree_set(&problem, &solution, &trees).expect("tree set is valid");
+    println!("paper:    2 trees with throughputs 1/3 and 2/3");
+    println!("measured: {} tree(s)", trees.len());
+    for (i, wt) in trees.iter().enumerate() {
+        println!(
+            "  tree {i}: weight {}, {} transfers, {} tasks",
+            fmt_ratio(&wt.weight),
+            wt.tree.num_transfers(),
+            wt.tree.num_tasks()
+        );
+    }
+    let total: Ratio = trees.iter().map(|t| t.weight.clone()).sum();
+    println!("  total weight = {} (equals TP)", fmt_ratio(&total));
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let problem = figure6_problem();
+    let solution = problem.solve().expect("solves");
+    let mut group = c.benchmark_group("fig6_fig7");
+    group.sample_size(20);
+    group.bench_function("solve_reduce_lp_exact", |b| {
+        b.iter(|| problem.solve().expect("solves"))
+    });
+    group.bench_function("extract_reduction_trees", |b| {
+        b.iter(|| solution.extract_trees(&problem).expect("trees"))
+    });
+    group.bench_function("build_reduce_schedule", |b| {
+        b.iter(|| solution.build_schedule(&problem).expect("schedule"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Experiments F9–F12 — Figures 9–12: Series of Reduces on the Tiers
+//! hierarchical platform (8 participants, message size 10, task cost 10).
+//!
+//! The exact link costs of the published Figure 9 are not recoverable, so the
+//! instance uses the published hierarchy and node speeds with representative
+//! link costs (documented substitution); the measured throughput and the
+//! extracted reduction trees are the counterparts of the paper's TP = 2/9 and
+//! of Figures 11–12.  Criterion timing is done on reduced-size Tiers
+//! instances so that each sample stays affordable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use steady_bench::{figure9_problem, fmt_ratio, print_header, small_tiers_reduce};
+use steady_core::trees::verify_tree_set;
+use steady_rational::Ratio;
+
+fn reproduce() {
+    // The full 8-participant LP is large and heavily degenerate; solving it
+    // exactly takes many minutes.  By default the reproduction uses the first
+    // 6 participants (the target, logical index 4, is kept); set
+    // STEADY_FULL_FIG9=1 to run the full 8-participant instance.
+    let full = std::env::var("STEADY_FULL_FIG9").is_ok();
+    let problem = if full {
+        figure9_problem()
+    } else {
+        let mut inst = steady_platform::generators::figure9();
+        inst.participants.truncate(6);
+        steady_core::reduce::ReduceProblem::from_instance(inst)
+            .expect("truncated figure9 instance is valid")
+    };
+    print_header("Figures 9/10 — Tiers platform reduce, LP solution");
+    if !full {
+        println!(
+            "(default reproduction uses {} of the 8 participants for tractability; \
+             set STEADY_FULL_FIG9=1 for the full instance)",
+            problem.participants().len()
+        );
+    }
+    println!(
+        "platform: {} nodes, {} directed links, {} participants, target {}",
+        problem.platform().num_nodes(),
+        problem.platform().num_edges(),
+        problem.participants().len(),
+        problem.platform().node(problem.target()).name
+    );
+    let start = std::time::Instant::now();
+    let solution = problem.solve().expect("figure9 LP solves");
+    println!("LP solved in {:.2?}", start.elapsed());
+    solution.verify(&problem).expect("solution verifies exactly");
+    println!("paper:    TP = 2/9 on the original Figure-9 link costs");
+    println!("measured: TP = {}", fmt_ratio(solution.throughput()));
+
+    println!("\nper-participant occupations (fraction of a time-unit):");
+    for &node in problem.participants() {
+        println!(
+            "  {:>7}: send {:>7.3}  recv {:>7.3}  compute {:>7.3}",
+            problem.platform().node(node).name,
+            solution.send_occupation(&problem, node).to_f64(),
+            solution.recv_occupation(&problem, node).to_f64(),
+            solution.compute_occupation(&problem, node).to_f64(),
+        );
+    }
+
+    print_header("Figures 11/12 — extracted reduction trees");
+    let start = std::time::Instant::now();
+    let trees = solution.extract_trees(&problem).expect("trees extract");
+    println!("extracted in {:.2?}", start.elapsed());
+    verify_tree_set(&problem, &solution, &trees).expect("tree set is valid");
+    println!("paper:    2 trees of throughput 1/9 each");
+    println!("measured: {} tree(s)", trees.len());
+    for (i, wt) in trees.iter().enumerate() {
+        println!(
+            "  tree {i}: weight {}, {} transfers, {} tasks",
+            fmt_ratio(&wt.weight),
+            wt.tree.num_transfers(),
+            wt.tree.num_tasks()
+        );
+    }
+    let total: Ratio = trees.iter().map(|t| t.weight.clone()).sum();
+    println!("  total weight = {} (equals TP)", fmt_ratio(&total));
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let mut group = c.benchmark_group("fig9_tiers_reduce_scaling");
+    group.sample_size(10);
+    for participants in [3usize, 4, 5] {
+        let problem = small_tiers_reduce(participants, 11);
+        group.bench_with_input(
+            BenchmarkId::new("solve_reduce_lp", participants),
+            &problem,
+            |b, p| b.iter(|| p.solve().expect("solves")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

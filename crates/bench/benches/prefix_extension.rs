@@ -1,0 +1,80 @@
+//! Experiment E2 (extension) — Series of parallel prefixes (§6 future work):
+//! achieved throughput of the shared-capacity prefix LP, bracketed by the
+//! single-rank reduce upper bound, on representative small platforms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use steady_bench::{fmt_ratio, print_header};
+use steady_core::prefix::PrefixProblem;
+use steady_platform::generators;
+use steady_platform::topologies::hypercube_prefix_instance;
+use steady_rational::rat;
+
+fn instances() -> Vec<(String, PrefixProblem)> {
+    let mut out = Vec::new();
+
+    let (chain, nodes) = generators::chain(3, rat(1, 1));
+    out.push((
+        "chain-3 (unit links)".to_string(),
+        PrefixProblem::new(chain, nodes, rat(1, 1), rat(1, 1)).expect("valid"),
+    ));
+
+    let (clique, cnodes) = generators::clique(3, rat(1, 1));
+    out.push((
+        "clique-3 (unit links)".to_string(),
+        PrefixProblem::new(clique, cnodes, rat(1, 1), rat(1, 1)).expect("valid"),
+    ));
+
+    let f6 = generators::figure6();
+    out.push((
+        "figure-6 platform".to_string(),
+        PrefixProblem::new(f6.platform, f6.participants, f6.message_size, f6.task_cost)
+            .expect("valid"),
+    ));
+
+    out.push((
+        "hypercube d=2".to_string(),
+        PrefixProblem::from_instance(hypercube_prefix_instance(2, rat(1, 1))).expect("valid"),
+    ));
+
+    out
+}
+
+fn reproduce() {
+    print_header("Extension E2 — Series of parallel prefixes");
+    println!(
+        "{:<28} {:>18} {:>18} {:>8}",
+        "platform", "achieved TP", "upper bound", "gap"
+    );
+    for (name, problem) in instances() {
+        let sol = problem.solve().expect("prefix LP solves");
+        sol.verify(&problem).expect("solution verifies");
+        let upper = problem.upper_bound().expect("upper bound");
+        assert!(*sol.throughput() <= upper);
+        let schedule = sol.build_schedule(&problem).expect("schedule");
+        schedule.validate(problem.platform()).expect("one-port feasible");
+        let gap = if upper.is_positive() {
+            format!("{:.3}", (sol.throughput() / &upper).to_f64())
+        } else {
+            "-".to_string()
+        };
+        println!(
+            "{:<28} {:>18} {:>18} {:>8}",
+            name,
+            fmt_ratio(sol.throughput()),
+            fmt_ratio(&upper),
+            gap
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let (_, problem) = instances().into_iter().nth(1).expect("clique instance");
+    let mut group = c.benchmark_group("prefix");
+    group.sample_size(10);
+    group.bench_function("solve_prefix_clique3", |b| b.iter(|| problem.solve().expect("solves")));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Experiment P1 — Proposition 1: asymptotic optimality of the steady-state
+//! schedule.  Prints the series steady(G,K)/opt(G,K) for growing horizons K
+//! (scatter on Figure 2, reduce on Figure 6) and benchmarks the executor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use steady_bench::{figure2_problem, figure6_problem, print_header};
+use steady_core::bounds::SteadyStateBounds;
+use steady_rational::rat;
+use steady_sim::{execute_reduce_schedule, execute_scatter_schedule};
+
+fn reproduce() {
+    print_header("Proposition 1 — steady(G,K) / opt(G,K) for growing K (scatter, Figure 2)");
+    let problem = figure2_problem();
+    let solution = problem.solve().expect("solves");
+    let schedule = solution.build_schedule(&problem).expect("schedule");
+    let bounds = SteadyStateBounds::new(
+        solution.throughput().clone(),
+        schedule.period.clone(),
+        problem.platform().max_hop_diameter(),
+    );
+    println!("{:>10} {:>14} {:>14} {:>12} {:>12}", "K", "simulated", "upper bound", "sim eff", "analytic lb");
+    for k in [48i64, 120, 480, 1200, 4800, 12000] {
+        let report =
+            execute_scatter_schedule(&problem, &schedule, solution.throughput(), &rat(k, 1));
+        println!(
+            "{:>10} {:>14} {:>14} {:>12.4} {:>12.4}",
+            k,
+            report.completed_operations.to_f64(),
+            report.upper_bound.to_f64(),
+            report.efficiency().to_f64(),
+            bounds.efficiency(&rat(k, 1)).to_f64(),
+        );
+    }
+
+    print_header("Proposition 1 — steady(G,K) / opt(G,K) for growing K (reduce, Figure 6)");
+    let problem = figure6_problem();
+    let solution = problem.solve().expect("solves");
+    let schedule = solution.build_schedule(&problem).expect("schedule");
+    println!("{:>10} {:>14} {:>14} {:>12}", "K", "simulated", "upper bound", "sim eff");
+    for k in [12i64, 60, 300, 1500, 6000] {
+        let report =
+            execute_reduce_schedule(&problem, &schedule, solution.throughput(), &rat(k, 1));
+        println!(
+            "{:>10} {:>14} {:>14} {:>12.4}",
+            k,
+            report.completed_operations.to_f64(),
+            report.upper_bound.to_f64(),
+            report.efficiency().to_f64(),
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let problem = figure2_problem();
+    let solution = problem.solve().expect("solves");
+    let schedule = solution.build_schedule(&problem).expect("schedule");
+    let mut group = c.benchmark_group("prop1_executor");
+    group.sample_size(10);
+    group.bench_function("execute_scatter_1200_units", |b| {
+        b.iter(|| {
+            execute_scatter_schedule(&problem, &schedule, solution.throughput(), &rat(1200, 1))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

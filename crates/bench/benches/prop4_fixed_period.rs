@@ -1,0 +1,43 @@
+//! Experiment P4 — Proposition 4: throughput of the fixed-period
+//! approximation as a function of T_fixed, with the card(Trees)/T_fixed bound.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use steady_bench::{figure6_problem, fmt_ratio, print_header};
+use steady_core::approx::approximate_for_period;
+use steady_rational::rat;
+
+fn reproduce() {
+    let problem = figure6_problem();
+    let solution = problem.solve().expect("solves");
+    let trees = solution.extract_trees(&problem).expect("trees");
+    print_header("Proposition 4 — fixed-period approximation (Figure 6 instance)");
+    println!("optimal TP = {}, {} reduction tree(s)", fmt_ratio(solution.throughput()), trees.len());
+    println!("{:>10} {:>16} {:>16} {:>16}", "T_fixed", "throughput", "loss", "bound #trees/T");
+    for t in [1i64, 2, 3, 5, 10, 30, 100, 300, 1000] {
+        let plan = approximate_for_period(&trees, &rat(t, 1)).expect("plan");
+        let loss = solution.throughput() - &plan.throughput;
+        println!(
+            "{:>10} {:>16} {:>16} {:>16}",
+            t,
+            fmt_ratio(&plan.throughput),
+            fmt_ratio(&loss),
+            fmt_ratio(&plan.loss_bound)
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let problem = figure6_problem();
+    let solution = problem.solve().expect("solves");
+    let trees = solution.extract_trees(&problem).expect("trees");
+    let mut group = c.benchmark_group("prop4_fixed_period");
+    group.sample_size(20);
+    group.bench_function("approximate_for_period_1000", |b| {
+        b.iter(|| approximate_for_period(&trees, &rat(1000, 1)).expect("plan"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Experiment E3 (validation) — threaded message-passing execution of the
+//! optimal schedules.
+//!
+//! The analytical executor of `steady-sim` replays schedules against the
+//! resource model; this bench goes one level lower and runs them with one
+//! thread per node, real messages and the non-commutative concatenation
+//! operator (`steady-runtime`), reporting how many operations complete and
+//! whether every delivered payload is correct.  It is the closest analogue of
+//! the MPI validation runs the paper's framework targets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use steady_bench::{figure2_problem, figure6_problem, print_header};
+use steady_runtime::{run_reduce, run_scatter, RunConfig};
+
+fn reproduce() {
+    print_header("Validation E3 — threaded execution of the optimal schedules");
+    println!(
+        "{:<30} {:>10} {:>12} {:>12} {:>10}",
+        "run", "periods", "injected", "completed", "errors"
+    );
+
+    let scatter = figure2_problem();
+    let ssol = scatter.solve().expect("scatter LP solves");
+    let sschedule = ssol.build_schedule(&scatter).expect("schedule");
+    let config = RunConfig { production_periods: 30, drain_periods: 10 };
+    let report = run_scatter(&scatter, &sschedule, config).expect("threaded scatter run");
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    println!(
+        "{:<30} {:>10} {:>12} {:>12} {:>10}",
+        "figure-2 scatter",
+        report.periods,
+        config.production_periods * report.operations_per_period,
+        report.completed_operations,
+        report.errors.len()
+    );
+
+    let reduce = figure6_problem();
+    let rsol = reduce.solve().expect("reduce LP solves");
+    let trees = rsol.extract_trees(&reduce).expect("trees");
+    let config = RunConfig { production_periods: 25, drain_periods: 12 };
+    let report = run_reduce(&reduce, &trees, config).expect("threaded reduce run");
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    assert_eq!(report.correct_results, report.completed_operations);
+    println!(
+        "{:<30} {:>10} {:>12} {:>12} {:>10}",
+        "figure-6 reduce",
+        report.periods,
+        config.production_periods * report.operations_per_period,
+        report.completed_operations,
+        report.errors.len()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let reduce = figure6_problem();
+    let rsol = reduce.solve().expect("solves");
+    let trees = rsol.extract_trees(&reduce).expect("trees");
+    let mut group = c.benchmark_group("runtime");
+    group.sample_size(10);
+    group.bench_function("threaded_reduce_figure6_10_periods", |b| {
+        b.iter(|| {
+            run_reduce(
+                &reduce,
+                &trees,
+                RunConfig { production_periods: 10, drain_periods: 5 },
+            )
+            .expect("run")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

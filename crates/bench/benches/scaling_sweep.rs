@@ -1,0 +1,81 @@
+//! Ablation A4 — scaling of the LP-based machinery with platform size.
+//!
+//! The paper argues the whole pipeline (LP, tree extraction, matching
+//! decomposition) is polynomial; this bench sweeps growing platforms and
+//! prints, for each size, the number of LP variables/constraints, the optimal
+//! throughput and the wall-clock time of the exact solve, so the polynomial
+//! growth (and the practical limits of the exact rational simplex) are visible
+//! in one table.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use steady_bench::{fmt_ratio, grid_scatter, print_header, small_tiers_reduce, star_scatter};
+
+fn reproduce() {
+    print_header("Ablation A4 — scaling with platform size (scatter)");
+    println!(
+        "{:<26} {:>8} {:>12} {:>14} {:>12}",
+        "platform", "vars", "constraints", "TP", "solve (ms)"
+    );
+    let mut scatter_cases = Vec::new();
+    for leaves in [2usize, 4, 8, 12, 16] {
+        scatter_cases.push((format!("star-{leaves}"), star_scatter(leaves)));
+    }
+    for (rows, cols) in [(2usize, 2usize), (2, 3), (3, 3)] {
+        scatter_cases.push((format!("grid-{rows}x{cols}"), grid_scatter(rows, cols)));
+    }
+    for (name, problem) in &scatter_cases {
+        let (lp, _) = problem.build_lp();
+        let start = Instant::now();
+        let sol = problem.solve().expect("scatter LP solves");
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "{:<26} {:>8} {:>12} {:>14} {:>12.1}",
+            name,
+            lp.num_vars(),
+            lp.num_constraints(),
+            fmt_ratio(sol.throughput()),
+            elapsed
+        );
+    }
+
+    print_header("Ablation A4 — scaling with participant count (reduce, Tiers platform)");
+    println!(
+        "{:<26} {:>8} {:>12} {:>14} {:>12}",
+        "instance", "vars", "constraints", "TP", "solve (ms)"
+    );
+    for participants in [2usize, 3, 4, 5] {
+        let problem = small_tiers_reduce(participants, 11);
+        let (lp, _) = problem.build_lp();
+        let start = Instant::now();
+        let sol = problem.solve().expect("reduce LP solves");
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "{:<26} {:>8} {:>12} {:>14} {:>12.1}",
+            format!("tiers reduce, N={participants}"),
+            lp.num_vars(),
+            lp.num_constraints(),
+            fmt_ratio(sol.throughput()),
+            elapsed
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    for leaves in [4usize, 8, 16] {
+        let problem = star_scatter(leaves);
+        group.bench_function(format!("scatter_star_{leaves}"), |b| {
+            b.iter(|| problem.solve().expect("solves"))
+        });
+    }
+    let reduce = small_tiers_reduce(4, 11);
+    group.bench_function("reduce_tiers_4", |b| b.iter(|| reduce.solve().expect("solves")));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

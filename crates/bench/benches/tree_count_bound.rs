@@ -1,0 +1,56 @@
+//! Ablation A5 — Theorem 1: the number of extracted reduction trees is
+//! polynomial (at most one per non-zero LP operation, and far below the crude
+//! `2 n^4` bound of the proof).
+//!
+//! The bench sweeps random Tiers-like reduce instances and reports, for each,
+//! the number of non-zero operations in the LP solution, the number of trees
+//! the greedy extraction produces, and the theoretical bound.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use steady_bench::{fmt_ratio, print_header, small_tiers_reduce};
+use steady_core::trees::verify_tree_set;
+use steady_rational::Ratio;
+
+fn reproduce() {
+    print_header("Ablation A5 — reduction-tree count vs Theorem 1 bound");
+    println!(
+        "{:<26} {:>14} {:>12} {:>10} {:>12}",
+        "instance", "TP", "non-zero ops", "trees", "2n^4 bound"
+    );
+    for (participants, seed) in [(3usize, 1u64), (3, 2), (4, 3), (4, 4), (5, 5)] {
+        let problem = small_tiers_reduce(participants, seed);
+        let n = problem.platform().num_nodes();
+        let sol = problem.solve().expect("reduce LP solves");
+        let nonzero = sol.sends().len() + sol.tasks().len();
+        let trees = sol.extract_trees(&problem).expect("tree extraction");
+        verify_tree_set(&problem, &sol, &trees).expect("tree set verifies");
+        let total: Ratio = trees.iter().map(|t| t.weight.clone()).sum();
+        assert_eq!(&total, sol.throughput(), "tree weights must sum to TP");
+        let bound = 2 * n.pow(4);
+        assert!(trees.len() <= nonzero.max(1), "more trees than non-zero operations");
+        assert!(trees.len() <= bound);
+        println!(
+            "{:<26} {:>14} {:>12} {:>10} {:>12}",
+            format!("tiers N={participants}, seed {seed}"),
+            fmt_ratio(sol.throughput()),
+            nonzero,
+            trees.len(),
+            bound
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let problem = small_tiers_reduce(4, 3);
+    let sol = problem.solve().expect("solves");
+    let mut group = c.benchmark_group("trees");
+    group.sample_size(10);
+    group.bench_function("extract_trees_tiers_4", |b| {
+        b.iter(|| sol.extract_trees(&problem).expect("extraction"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,225 @@
+//! Minimal command-line option parser.
+//!
+//! Only the crates on the allowed dependency list may be used, so argument
+//! parsing is hand-rolled: a command line is a sequence of positional words
+//! interleaved with `--key value` pairs and boolean `--flag`s.  The parser is
+//! deliberately small but strict — unknown options are reported instead of
+//! silently ignored, and every accessor records which options were consumed so
+//! that leftovers can be flagged.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use steady_platform::NodeId;
+use steady_rational::Ratio;
+
+/// Parsed command line: positional words plus `--key value` / `--flag` options.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedArgs {
+    positional: Vec<String>,
+    options: BTreeMap<String, String>,
+    flags: BTreeSet<String>,
+    consumed: BTreeSet<String>,
+}
+
+/// Errors produced while parsing or interpreting arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Options that take a value versus boolean flags, per command.
+#[derive(Debug, Clone, Default)]
+pub struct OptionSpec {
+    /// Option names (without the leading `--`) that expect a value.
+    pub valued: &'static [&'static str],
+    /// Option names that are boolean flags.
+    pub flags: &'static [&'static str],
+}
+
+impl ParsedArgs {
+    /// Parses raw arguments according to `spec`.
+    pub fn parse(args: &[String], spec: &OptionSpec) -> Result<Self, ArgError> {
+        let mut out = ParsedArgs::default();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            if let Some(name) = arg.strip_prefix("--") {
+                if spec.flags.contains(&name) {
+                    out.flags.insert(name.to_string());
+                } else if spec.valued.contains(&name) {
+                    let value = args
+                        .get(i + 1)
+                        .ok_or_else(|| ArgError(format!("option --{name} expects a value")))?;
+                    out.options.insert(name.to_string(), value.clone());
+                    i += 1;
+                } else {
+                    return Err(ArgError(format!("unknown option --{name}")));
+                }
+            } else {
+                out.positional.push(arg.clone());
+            }
+            i += 1;
+        }
+        Ok(out)
+    }
+
+    /// Positional arguments, in order.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// `true` if the boolean flag was given.
+    pub fn flag(&mut self, name: &str) -> bool {
+        self.consumed.insert(name.to_string());
+        self.flags.contains(name)
+    }
+
+    /// The raw value of `--name`, if given.
+    pub fn value(&mut self, name: &str) -> Option<&str> {
+        self.consumed.insert(name.to_string());
+        self.options.get(name).map(|s| s.as_str())
+    }
+
+    /// A required `--name value` option.
+    pub fn required(&mut self, name: &str) -> Result<&str, ArgError> {
+        self.consumed.insert(name.to_string());
+        self.options
+            .get(name)
+            .map(|s| s.as_str())
+            .ok_or_else(|| ArgError(format!("missing required option --{name}")))
+    }
+
+    /// An optional `usize` value.
+    pub fn usize_value(&mut self, name: &str, default: usize) -> Result<usize, ArgError> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{name} expects an integer, got '{v}'"))),
+        }
+    }
+
+    /// An optional `u64` value.
+    pub fn u64_value(&mut self, name: &str, default: u64) -> Result<u64, ArgError> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{name} expects an integer, got '{v}'"))),
+        }
+    }
+
+    /// An optional rational value (`3`, `1/2`, ...).
+    pub fn ratio_value(&mut self, name: &str, default: Ratio) -> Result<Ratio, ArgError> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{name} expects a rational number, got '{v}'"))),
+        }
+    }
+
+    /// A required node index (`--name 4`).
+    pub fn node_value(&mut self, name: &str) -> Result<NodeId, ArgError> {
+        let raw = self.required(name)?;
+        let idx: usize = raw
+            .parse()
+            .map_err(|_| ArgError(format!("--{name} expects a node index, got '{raw}'")))?;
+        Ok(NodeId(idx))
+    }
+
+    /// A required comma-separated node list (`--name 1,2,3`).
+    pub fn node_list(&mut self, name: &str) -> Result<Vec<NodeId>, ArgError> {
+        let raw = self.required(name)?.to_string();
+        parse_node_list(&raw).map_err(|e| ArgError(format!("--{name}: {e}")))
+    }
+}
+
+/// Parses `1,2,3` into node ids.
+pub fn parse_node_list(raw: &str) -> Result<Vec<NodeId>, String> {
+    raw.split(',')
+        .filter(|part| !part.trim().is_empty())
+        .map(|part| {
+            part.trim()
+                .parse::<usize>()
+                .map(NodeId)
+                .map_err(|_| format!("'{part}' is not a node index"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steady_rational::rat;
+
+    fn spec() -> OptionSpec {
+        OptionSpec {
+            valued: &["platform", "source", "targets", "size", "seed"],
+            flags: &["schedule", "dot"],
+        }
+    }
+
+    fn parse(words: &[&str]) -> Result<ParsedArgs, ArgError> {
+        let args: Vec<String> = words.iter().map(|s| s.to_string()).collect();
+        ParsedArgs::parse(&args, &spec())
+    }
+
+    #[test]
+    fn positional_options_and_flags() {
+        let mut p = parse(&["scatter", "--platform", "net.txt", "--schedule", "extra"]).unwrap();
+        assert_eq!(p.positional(), &["scatter".to_string(), "extra".to_string()]);
+        assert_eq!(p.value("platform"), Some("net.txt"));
+        assert!(p.flag("schedule"));
+        assert!(!p.flag("dot"));
+    }
+
+    #[test]
+    fn unknown_option_is_rejected() {
+        let err = parse(&["--bogus", "1"]).unwrap_err();
+        assert!(err.0.contains("unknown option"));
+    }
+
+    #[test]
+    fn missing_value_is_rejected() {
+        let err = parse(&["--platform"]).unwrap_err();
+        assert!(err.0.contains("expects a value"));
+    }
+
+    #[test]
+    fn required_and_typed_accessors() {
+        let mut p = parse(&["--source", "3", "--targets", "1, 2,4", "--size", "2/3", "--seed", "7"])
+            .unwrap();
+        assert_eq!(p.node_value("source").unwrap(), NodeId(3));
+        assert_eq!(
+            p.node_list("targets").unwrap(),
+            vec![NodeId(1), NodeId(2), NodeId(4)]
+        );
+        assert_eq!(p.ratio_value("size", rat(1, 1)).unwrap(), rat(2, 3));
+        assert_eq!(p.u64_value("seed", 0).unwrap(), 7);
+        // Absent optional values fall back to their defaults.
+        assert_eq!(p.usize_value("rows", 9).unwrap(), 9);
+    }
+
+    #[test]
+    fn required_missing_reports_error() {
+        let mut p = parse(&[]).unwrap();
+        assert!(p.required("platform").is_err());
+        assert!(p.node_value("source").is_err());
+    }
+
+    #[test]
+    fn bad_typed_values_report_errors() {
+        let mut p = parse(&["--source", "abc", "--size", "x", "--seed", "-1"]).unwrap();
+        assert!(p.node_value("source").is_err());
+        assert!(p.ratio_value("size", rat(1, 1)).is_err());
+        assert!(p.u64_value("seed", 0).is_err());
+        assert!(parse_node_list("1,foo").is_err());
+    }
+}

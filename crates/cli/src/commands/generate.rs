@@ -1,0 +1,204 @@
+//! `steady generate <topology>` — emit platform files for the supported topologies.
+
+use std::io::Write;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use steady_platform::generators::{self, RandomConfig, TiersConfig};
+use steady_platform::topologies::{self, FatTreeConfig, GeometricConfig};
+use steady_platform::Platform;
+use steady_rational::rat;
+
+use crate::args::{OptionSpec, ParsedArgs};
+use crate::CliError;
+
+const SPEC: OptionSpec = OptionSpec {
+    valued: &[
+        "out", "nodes", "leaves", "rows", "cols", "dimensions", "cost", "seed", "hosts",
+        "hosts-per-side", "spines",
+    ],
+    flags: &[],
+};
+
+/// Runs `steady generate ...`.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let mut parsed = ParsedArgs::parse(args, &SPEC)?;
+    let Some(topology) = parsed.positional().first().cloned() else {
+        return Err(CliError::Usage("generate needs a topology name".into()));
+    };
+    let cost = parsed.ratio_value("cost", rat(1, 1))?;
+    let seed = parsed.u64_value("seed", 42)?;
+
+    let (platform, comment) = match topology.as_str() {
+        "star" => {
+            let leaves = parsed.usize_value("leaves", 4)?;
+            let (p, center, leaf_ids) = generators::star(leaves, cost);
+            (p, format!("star: center {center}, leaves {}", describe(&leaf_ids)))
+        }
+        "chain" => {
+            let nodes = parsed.usize_value("nodes", 4)?;
+            let (p, ids) = generators::chain(nodes, cost);
+            (p, format!("chain: nodes {}", describe(&ids)))
+        }
+        "clique" => {
+            let nodes = parsed.usize_value("nodes", 4)?;
+            let (p, ids) = generators::clique(nodes, cost);
+            (p, format!("clique: nodes {}", describe(&ids)))
+        }
+        "grid" => {
+            let rows = parsed.usize_value("rows", 3)?;
+            let cols = parsed.usize_value("cols", 3)?;
+            let (p, _) = generators::grid(rows, cols, cost);
+            (p, format!("grid: {rows} x {cols}"))
+        }
+        "ring" => {
+            let nodes = parsed.usize_value("nodes", 5)?;
+            let (p, ids) = topologies::ring(nodes, cost);
+            (p, format!("ring: nodes {}", describe(&ids)))
+        }
+        "torus" => {
+            let rows = parsed.usize_value("rows", 3)?;
+            let cols = parsed.usize_value("cols", 3)?;
+            let (p, _) = topologies::torus(rows, cols, cost);
+            (p, format!("torus: {rows} x {cols}"))
+        }
+        "hypercube" => {
+            let dims = parsed.usize_value("dimensions", 3)?;
+            let (p, ids) = topologies::hypercube(dims, cost);
+            (p, format!("hypercube: dimension {dims}, nodes {}", describe(&ids)))
+        }
+        "fat-tree" => {
+            let config = FatTreeConfig {
+                leaf_switches: parsed.usize_value("leaves", 3)?,
+                spine_switches: parsed.usize_value("spines", 2)?,
+                hosts_per_leaf: parsed.usize_value("hosts", 2)?,
+                ..FatTreeConfig::default()
+            };
+            let ft = topologies::fat_tree(&config);
+            (ft.platform, format!("fat-tree: hosts {}", describe(&ft.hosts)))
+        }
+        "dumbbell" => {
+            let hosts = parsed.usize_value("hosts-per-side", 3)?;
+            let (p, left, right) = topologies::dumbbell(hosts, cost, rat(1, 1));
+            (
+                p,
+                format!(
+                    "dumbbell: left {}, right {}",
+                    describe(&left),
+                    describe(&right)
+                ),
+            )
+        }
+        "random" => {
+            let config = RandomConfig {
+                nodes: parsed.usize_value("nodes", 8)?,
+                ..RandomConfig::default()
+            };
+            let mut rng = StdRng::seed_from_u64(seed);
+            let p = generators::random_connected(&config, &mut rng);
+            (p, format!("random connected platform, seed {seed}"))
+        }
+        "geometric" => {
+            let config = GeometricConfig {
+                nodes: parsed.usize_value("nodes", 10)?,
+                ..GeometricConfig::default()
+            };
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (p, ids) = topologies::random_geometric(&config, &mut rng);
+            (p, format!("random geometric platform, seed {seed}, nodes {}", describe(&ids)))
+        }
+        "tiers" => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let t = generators::tiers(&TiersConfig::default(), &mut rng);
+            (
+                t.platform,
+                format!("tiers platform, seed {seed}, compute hosts {}", describe(&t.hosts)),
+            )
+        }
+        other => return Err(CliError::Usage(format!("unknown topology '{other}'"))),
+    };
+
+    let text = render(&platform, &comment);
+    match parsed.value("out") {
+        Some(path) => {
+            std::fs::write(path, &text)
+                .map_err(|e| CliError::Failed(format!("cannot write '{path}': {e}")))?;
+            writeln!(
+                out,
+                "wrote {} nodes / {} edges to {path}",
+                platform.num_nodes(),
+                platform.num_edges()
+            )?;
+        }
+        None => {
+            write!(out, "{text}")?;
+        }
+    }
+    Ok(())
+}
+
+fn describe(nodes: &[steady_platform::NodeId]) -> String {
+    nodes.iter().map(|n| n.index().to_string()).collect::<Vec<_>>().join(",")
+}
+
+fn render(platform: &Platform, comment: &str) -> String {
+    format!("# {comment}\n{}", platform.to_text())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generate(words: &[&str]) -> String {
+        let args: Vec<String> = words.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&args, &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn every_topology_round_trips_through_the_text_format() {
+        for words in [
+            vec!["star", "--leaves", "3"],
+            vec!["chain", "--nodes", "4"],
+            vec!["clique", "--nodes", "4"],
+            vec!["grid", "--rows", "2", "--cols", "3"],
+            vec!["ring", "--nodes", "5"],
+            vec!["torus", "--rows", "2", "--cols", "3"],
+            vec!["hypercube", "--dimensions", "3"],
+            vec!["fat-tree", "--leaves", "2", "--spines", "2", "--hosts", "2"],
+            vec!["dumbbell", "--hosts-per-side", "2"],
+            vec!["random", "--nodes", "6", "--seed", "1"],
+            vec!["geometric", "--nodes", "6", "--seed", "1"],
+            vec!["tiers", "--seed", "1"],
+        ] {
+            let text = generate(&words);
+            let parsed = Platform::from_text(&text)
+                .unwrap_or_else(|e| panic!("{words:?} produced an unparsable platform: {e}"));
+            assert!(parsed.num_nodes() > 0, "{words:?} produced an empty platform");
+        }
+    }
+
+    #[test]
+    fn unknown_topology_is_rejected() {
+        let args = vec!["moebius".to_string()];
+        let mut out = Vec::new();
+        assert!(matches!(run(&args, &mut out), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn writes_to_a_file_when_requested() {
+        let path = std::env::temp_dir().join("steady_cli_generate_test.txt");
+        let path_str = path.to_str().unwrap().to_string();
+        let args: Vec<String> =
+            ["star", "--leaves", "2", "--out", &path_str].iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&args, &mut out).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(Platform::from_text(&text).is_ok());
+        std::fs::remove_file(&path).ok();
+        let summary = String::from_utf8(out).unwrap();
+        assert!(summary.contains("wrote"));
+    }
+}

@@ -1,0 +1,62 @@
+//! `steady info` — summarize a platform file.
+
+use std::io::Write;
+
+use crate::args::{OptionSpec, ParsedArgs};
+use crate::CliError;
+
+use super::load_platform;
+
+const SPEC: OptionSpec = OptionSpec { valued: &["platform"], flags: &["dot"] };
+
+/// Runs `steady info ...`.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let mut parsed = ParsedArgs::parse(args, &SPEC)?;
+    let platform = load_platform(parsed.required("platform")?)?;
+    let want_dot = parsed.flag("dot");
+
+    writeln!(out, "nodes              : {}", platform.num_nodes())?;
+    writeln!(out, "directed edges     : {}", platform.num_edges())?;
+    writeln!(out, "compute nodes      : {}", platform.compute_nodes().len())?;
+    writeln!(out, "strongly connected : {}", platform.is_strongly_connected())?;
+    writeln!(out, "hop diameter       : {}", platform.max_hop_diameter())?;
+    for n in platform.node_ids() {
+        let node = platform.node(n);
+        let kind = if node.can_compute() { format!("speed {}", node.speed) } else { "router".into() };
+        writeln!(out, "  {n}: {} ({kind}, degree {})", node.name, platform.degree(n))?;
+    }
+    if want_dot {
+        writeln!(out, "--- graphviz ---")?;
+        write!(out, "{}", platform.to_dot())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steady_platform::generators::figure2;
+
+    #[test]
+    fn info_reports_structure_and_dot() {
+        let path = std::env::temp_dir().join("steady_cli_info_test.txt");
+        std::fs::write(&path, figure2().platform.to_text()).unwrap();
+        let args: Vec<String> =
+            ["--platform", path.to_str().unwrap(), "--dot"].iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&args, &mut out).unwrap();
+        std::fs::remove_file(&path).ok();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("nodes              : 5"));
+        assert!(text.contains("digraph"));
+        assert!(text.contains("Ps"));
+    }
+
+    #[test]
+    fn missing_platform_file_is_reported() {
+        let args: Vec<String> =
+            ["--platform", "/nonexistent/steady.txt"].iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        assert!(matches!(run(&args, &mut out), Err(CliError::Failed(_))));
+    }
+}

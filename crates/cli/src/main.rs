@@ -1,0 +1,15 @@
+//! The `steady` binary: thin wrapper around [`steady_cli::run`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    match steady_cli::run(&args, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("steady: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

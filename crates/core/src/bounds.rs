@@ -1,0 +1,150 @@
+//! Asymptotic optimality bounds (§3.4, Lemma 1, Propositions 1–3).
+//!
+//! For a time horizon `K`:
+//!
+//! * **upper bound** (Lemma 1): no schedule of any kind — periodic or not —
+//!   can complete more than `opt(G, K) ≤ TP(G) × K` operations, because the
+//!   time-averaged rates of any schedule satisfy the steady-state LP.
+//! * **lower bound** (the concrete algorithm of §3.4): play the periodic
+//!   schedule with an initialization phase that fills the forwarding buffers
+//!   (at most `I = diameter × T` time-units), `r = ⌊(K − 2I − T)/T⌋` full
+//!   steady-state periods, and a clean-up phase; this completes
+//!   `steady(G, K) = r × T × TP(G)` operations.
+//!
+//! The ratio `steady(G, K) / opt(G, K)` therefore tends to 1 as `K → ∞`
+//! (Proposition 1), which the simulator crate checks empirically.
+
+use steady_rational::{BigInt, Ratio};
+
+/// Number of operations per period and period length of a periodic schedule,
+/// together with the platform's hop diameter; everything needed to evaluate
+/// the §3.4 bounds.
+#[derive(Debug, Clone)]
+pub struct SteadyStateBounds {
+    /// Optimal steady-state throughput `TP(G)`.
+    pub throughput: Ratio,
+    /// Period `T` of the concrete schedule.
+    pub period: Ratio,
+    /// Hop diameter of the platform graph (longest shortest path, in hops).
+    pub diameter: usize,
+}
+
+impl SteadyStateBounds {
+    /// Creates the bound evaluator.
+    pub fn new(throughput: Ratio, period: Ratio, diameter: usize) -> Self {
+        SteadyStateBounds { throughput, period, diameter }
+    }
+
+    /// Lemma 1: an upper bound on the number of operations any schedule can
+    /// complete within `horizon` time-units.
+    pub fn optimal_upper_bound(&self, horizon: &Ratio) -> Ratio {
+        &self.throughput * horizon
+    }
+
+    /// Duration of the initialization (and clean-up) phase: the buffers are
+    /// full after at most `diameter` periods.
+    pub fn startup_time(&self) -> Ratio {
+        &Ratio::from(self.diameter) * &self.period
+    }
+
+    /// Number of full steady-state periods fitting in `horizon`:
+    /// `r = ⌊(K − 2I − T) / T⌋`, clamped at zero.
+    pub fn steady_periods(&self, horizon: &Ratio) -> BigInt {
+        let two_i = &Ratio::from(2) * &self.startup_time();
+        let available = horizon - &two_i - &self.period;
+        if !available.is_positive() {
+            return BigInt::zero();
+        }
+        (&available / &self.period).floor()
+    }
+
+    /// Number of operations completed by the concrete steady-state algorithm
+    /// within `horizon` time-units: `steady(G, K) = r × T × TP`.
+    pub fn steady_lower_bound(&self, horizon: &Ratio) -> Ratio {
+        let r = Ratio::from(self.steady_periods(horizon));
+        &(&r * &self.period) * &self.throughput
+    }
+
+    /// The ratio `steady(G, K) / opt(G, K)`; tends to 1 as the horizon grows
+    /// (Proposition 1).
+    pub fn efficiency(&self, horizon: &Ratio) -> Ratio {
+        let opt = self.optimal_upper_bound(horizon);
+        if !opt.is_positive() {
+            return Ratio::zero();
+        }
+        &self.steady_lower_bound(horizon) / &opt
+    }
+
+    /// Smallest horizon guaranteeing an efficiency of at least `1 - epsilon`
+    /// (derived from `r T ≥ (1-ε) K` and `r ≥ (K − 2I − T)/T − 1`):
+    /// `K ≥ (2I + 2T) / ε`.
+    pub fn horizon_for_efficiency(&self, epsilon: &Ratio) -> Ratio {
+        assert!(epsilon.is_positive(), "epsilon must be positive");
+        let two_i = &Ratio::from(2) * &self.startup_time();
+        let numerator = &two_i + &(&Ratio::from(2) * &self.period);
+        &numerator / epsilon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steady_rational::rat;
+
+    fn toy_bounds() -> SteadyStateBounds {
+        // Figure 2: TP = 1/2, period 12, diameter 2.
+        SteadyStateBounds::new(rat(1, 2), rat(12, 1), 2)
+    }
+
+    #[test]
+    fn upper_bound_is_linear() {
+        let b = toy_bounds();
+        assert_eq!(b.optimal_upper_bound(&rat(100, 1)), rat(50, 1));
+        assert_eq!(b.optimal_upper_bound(&rat(0, 1)), rat(0, 1));
+    }
+
+    #[test]
+    fn steady_counts_match_formula() {
+        let b = toy_bounds();
+        // I = 24, so for K = 100: r = floor((100 - 48 - 12)/12) = 3,
+        // steady = 3 * 12 * 1/2 = 18.
+        assert_eq!(b.startup_time(), rat(24, 1));
+        assert_eq!(b.steady_periods(&rat(100, 1)), steady_rational::BigInt::from(3i64));
+        assert_eq!(b.steady_lower_bound(&rat(100, 1)), rat(18, 1));
+        // Short horizons complete nothing.
+        assert_eq!(b.steady_lower_bound(&rat(30, 1)), rat(0, 1));
+    }
+
+    #[test]
+    fn efficiency_tends_to_one() {
+        let b = toy_bounds();
+        let mut last = Ratio::zero();
+        for k in [100i64, 1_000, 10_000, 100_000] {
+            let eff = b.efficiency(&rat(k, 1));
+            assert!(eff <= rat(1, 1));
+            assert!(eff >= last, "efficiency must be non-decreasing on this grid");
+            last = eff;
+        }
+        assert!(last > rat(999, 1000), "efficiency at K = 100000 is {last}");
+    }
+
+    #[test]
+    fn horizon_for_efficiency_is_sufficient() {
+        let b = toy_bounds();
+        for (num, den) in [(1i64, 10i64), (1, 100), (1, 1000)] {
+            let eps = rat(num, den);
+            let k = b.horizon_for_efficiency(&eps);
+            let eff = b.efficiency(&k);
+            assert!(
+                eff >= &rat(1, 1) - &eps,
+                "efficiency {eff} at horizon {k} is below 1 - {eps}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_throughput_edge_case() {
+        let b = SteadyStateBounds::new(Ratio::zero(), rat(1, 1), 1);
+        assert_eq!(b.efficiency(&rat(100, 1)), Ratio::zero());
+    }
+}

@@ -1,0 +1,571 @@
+//! Weighted edge-coloring of bipartite communication loads.
+//!
+//! Once the steady-state LP has been solved and scaled to a period `T`, every
+//! platform edge carries an aggregate communication time per period.  To turn
+//! those aggregate loads into an explicit schedule respecting the one-port
+//! model, the paper (§3.3, following Schrijver vol. A ch. 20 and the companion
+//! report [4]) builds a bipartite graph with one *sender* and one *receiver*
+//! vertex per processor and decomposes it into weighted **matchings**: a
+//! matching is a set of transfers that can run simultaneously because no two
+//! of them share a sender or a receiver.
+//!
+//! [`decompose`] implements the constructive decomposition: repeatedly find a
+//! matching saturating every vertex of maximum weighted degree, peel off the
+//! largest weight that keeps the invariant, and continue.  The total duration
+//! of the produced matchings equals the initial maximum weighted degree (which
+//! the one-port constraints bound by `T`), and the number of matchings is at
+//! most `|E| + |V|`.
+
+use std::collections::BTreeMap;
+
+use steady_rational::Ratio;
+
+/// One aggregated transfer in the bipartite load: `sender` is busy emitting
+/// and `receiver` busy receiving for `weight` time-units per period.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadEdge {
+    /// Index of the sending processor (caller-defined numbering).
+    pub sender: usize,
+    /// Index of the receiving processor.
+    pub receiver: usize,
+    /// Total busy time of this transfer within one period.
+    pub weight: Ratio,
+}
+
+/// A bipartite communication load to be decomposed into matchings.
+#[derive(Debug, Clone, Default)]
+pub struct BipartiteLoad {
+    /// The aggregated transfers.
+    pub edges: Vec<LoadEdge>,
+}
+
+impl BipartiteLoad {
+    /// Creates an empty load.
+    pub fn new() -> Self {
+        BipartiteLoad { edges: Vec::new() }
+    }
+
+    /// Adds a transfer, merging it with an existing transfer between the same
+    /// endpoints (two transfers with the same sender and receiver can always
+    /// be serialized inside the same matching slot).
+    pub fn add(&mut self, sender: usize, receiver: usize, weight: Ratio) {
+        if !weight.is_positive() {
+            return;
+        }
+        if let Some(e) =
+            self.edges.iter_mut().find(|e| e.sender == sender && e.receiver == receiver)
+        {
+            e.weight = &e.weight + &weight;
+        } else {
+            self.edges.push(LoadEdge { sender, receiver, weight });
+        }
+    }
+
+    /// Maximum weighted degree over all senders and receivers: the minimum
+    /// feasible duration of any one-port schedule of this load.
+    pub fn max_weighted_degree(&self) -> Ratio {
+        let mut send: BTreeMap<usize, Ratio> = BTreeMap::new();
+        let mut recv: BTreeMap<usize, Ratio> = BTreeMap::new();
+        for e in &self.edges {
+            *send.entry(e.sender).or_insert_with(Ratio::zero) += &e.weight;
+            *recv.entry(e.receiver).or_insert_with(Ratio::zero) += &e.weight;
+        }
+        send.values()
+            .chain(recv.values())
+            .cloned()
+            .max()
+            .unwrap_or_else(Ratio::zero)
+    }
+}
+
+/// One step of the decomposition: the transfers in `edges` (indices into the
+/// input load) run simultaneously for `duration` time-units.
+#[derive(Debug, Clone)]
+pub struct MatchingStep {
+    /// How long this set of simultaneous transfers runs.
+    pub duration: Ratio,
+    /// Indices of the input edges active during this step.
+    pub edges: Vec<usize>,
+}
+
+/// Errors from the decomposition (all indicate an internal invariant
+/// violation; a well-formed load never triggers them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColoringError {
+    /// The constructive saturating-matching step failed, which contradicts the
+    /// König/Hall argument and indicates a bug or a malformed load.
+    SaturationFailed,
+    /// Too many iterations (defensive backstop).
+    IterationLimit,
+}
+
+impl std::fmt::Display for ColoringError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ColoringError::SaturationFailed => {
+                write!(f, "failed to find a matching saturating all critical vertices")
+            }
+            ColoringError::IterationLimit => write!(f, "edge-coloring iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for ColoringError {}
+
+/// Vertex key in the bipartite graph: senders and receivers live in disjoint
+/// name spaces even when they refer to the same processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Vertex {
+    Send(usize),
+    Recv(usize),
+}
+
+/// Decomposes a bipartite load into weighted matchings.
+///
+/// Guarantees (checked by the tests and property tests):
+/// * every input edge's weight is exactly covered by the steps it appears in;
+/// * within a step, no two edges share a sender or a receiver;
+/// * the total duration of all steps equals the maximum weighted degree of
+///   the input load.
+pub fn decompose(load: &BipartiteLoad) -> Result<Vec<MatchingStep>, ColoringError> {
+    let mut remaining: Vec<Ratio> = load.edges.iter().map(|e| e.weight.clone()).collect();
+    let mut steps = Vec::new();
+    // Each iteration either zeroes an edge or promotes a vertex to critical;
+    // 4 * (|E| + |V|) is a generous cap.
+    let cap = 4 * (load.edges.len() + 2 * load.edges.len() + 4) + 64;
+
+    for _round in 0..cap {
+        // Active edges.
+        let active: Vec<usize> =
+            (0..load.edges.len()).filter(|&i| remaining[i].is_positive()).collect();
+        if active.is_empty() {
+            return Ok(steps);
+        }
+
+        // Weighted degrees.
+        let mut degree: BTreeMap<Vertex, Ratio> = BTreeMap::new();
+        for &i in &active {
+            let e = &load.edges[i];
+            *degree.entry(Vertex::Send(e.sender)).or_insert_with(Ratio::zero) += &remaining[i];
+            *degree.entry(Vertex::Recv(e.receiver)).or_insert_with(Ratio::zero) += &remaining[i];
+        }
+        let delta = degree.values().cloned().max().expect("non-empty degree map");
+        let critical: Vec<Vertex> =
+            degree.iter().filter(|(_, d)| **d == delta).map(|(v, _)| *v).collect();
+
+        // Matching saturating all critical senders, and one saturating all
+        // critical receivers, then combine them.
+        let critical_senders: Vec<usize> = critical
+            .iter()
+            .filter_map(|v| if let Vertex::Send(s) = v { Some(*s) } else { None })
+            .collect();
+        let critical_receivers: Vec<usize> = critical
+            .iter()
+            .filter_map(|v| if let Vertex::Recv(r) = v { Some(*r) } else { None })
+            .collect();
+
+        let m_a = saturating_matching(load, &active, &critical_senders, true);
+        let m_b = saturating_matching(load, &active, &critical_receivers, false);
+        let matching = combine_matchings(load, &active, &m_a, &m_b, &critical)?;
+
+        // Saturation check (König/Hall guarantees success on valid input).
+        {
+            let mut covered: Vec<Vertex> = Vec::new();
+            for &i in &matching {
+                covered.push(Vertex::Send(load.edges[i].sender));
+                covered.push(Vertex::Recv(load.edges[i].receiver));
+            }
+            if critical.iter().any(|v| !covered.contains(v)) {
+                return Err(ColoringError::SaturationFailed);
+            }
+        }
+
+        // Step weight: cannot exceed any matched edge's remaining weight, and
+        // must not let an unsaturated vertex's degree exceed the new maximum.
+        let mut w = matching
+            .iter()
+            .map(|&i| remaining[i].clone())
+            .min()
+            .expect("matching is non-empty");
+        let mut saturated: Vec<Vertex> = Vec::new();
+        for &i in &matching {
+            saturated.push(Vertex::Send(load.edges[i].sender));
+            saturated.push(Vertex::Recv(load.edges[i].receiver));
+        }
+        let max_unsaturated = degree
+            .iter()
+            .filter(|(v, _)| !saturated.contains(v))
+            .map(|(_, d)| d.clone())
+            .max();
+        if let Some(md) = max_unsaturated {
+            let slack = &delta - &md;
+            debug_assert!(slack.is_positive(), "critical vertex left unsaturated");
+            w = w.min(slack);
+        }
+
+        for &i in &matching {
+            remaining[i] = &remaining[i] - &w;
+        }
+        steps.push(MatchingStep { duration: w, edges: matching });
+    }
+    Err(ColoringError::IterationLimit)
+}
+
+/// Kuhn's augmenting-path matching that saturates the given critical vertices
+/// (senders when `from_senders`, receivers otherwise).  Returns, for each
+/// active edge index, whether it is part of the matching.
+fn saturating_matching(
+    load: &BipartiteLoad,
+    active: &[usize],
+    critical: &[usize],
+    from_senders: bool,
+) -> Vec<usize> {
+    // Adjacency: for each critical vertex, the active edges incident to it
+    // from its own side.
+    let mut match_of_other: BTreeMap<usize, usize> = BTreeMap::new(); // other-side vertex -> edge idx
+    let mut match_of_own: BTreeMap<usize, usize> = BTreeMap::new(); // own-side vertex -> edge idx
+
+    fn try_augment(
+        own: usize,
+        load: &BipartiteLoad,
+        active: &[usize],
+        from_senders: bool,
+        visited: &mut Vec<usize>,
+        match_of_other: &mut BTreeMap<usize, usize>,
+        match_of_own: &mut BTreeMap<usize, usize>,
+    ) -> bool {
+        for &i in active {
+            let e = &load.edges[i];
+            let (this, other) =
+                if from_senders { (e.sender, e.receiver) } else { (e.receiver, e.sender) };
+            if this != own || visited.contains(&other) {
+                continue;
+            }
+            visited.push(other);
+            let free = !match_of_other.contains_key(&other);
+            if free || {
+                let owner_edge = match_of_other[&other];
+                let owner = if from_senders {
+                    load.edges[owner_edge].sender
+                } else {
+                    load.edges[owner_edge].receiver
+                };
+                try_augment(
+                    owner,
+                    load,
+                    active,
+                    from_senders,
+                    visited,
+                    match_of_other,
+                    match_of_own,
+                )
+            } {
+                match_of_other.insert(other, i);
+                match_of_own.insert(own, i);
+                return true;
+            }
+        }
+        false
+    }
+
+    for &c in critical {
+        if match_of_own.contains_key(&c) {
+            continue;
+        }
+        let mut visited = Vec::new();
+        try_augment(
+            c,
+            load,
+            active,
+            from_senders,
+            &mut visited,
+            &mut match_of_other,
+            &mut match_of_own,
+        );
+    }
+    match_of_own.values().copied().collect()
+}
+
+/// Combines a matching saturating the critical senders with one saturating the
+/// critical receivers into a single matching saturating both (standard
+/// alternating path/cycle argument).
+fn combine_matchings(
+    load: &BipartiteLoad,
+    active: &[usize],
+    m_a: &[usize],
+    m_b: &[usize],
+    critical: &[Vertex],
+) -> Result<Vec<usize>, ColoringError> {
+    let _ = active;
+    // Union graph: vertex -> incident edges from M_A and M_B.
+    let mut incident: BTreeMap<Vertex, Vec<(usize, bool)>> = BTreeMap::new(); // (edge, is_a)
+    for &i in m_a {
+        let e = &load.edges[i];
+        incident.entry(Vertex::Send(e.sender)).or_default().push((i, true));
+        incident.entry(Vertex::Recv(e.receiver)).or_default().push((i, true));
+    }
+    for &i in m_b {
+        if m_a.contains(&i) {
+            continue; // shared edge, already recorded as A
+        }
+        let e = &load.edges[i];
+        incident.entry(Vertex::Send(e.sender)).or_default().push((i, false));
+        incident.entry(Vertex::Recv(e.receiver)).or_default().push((i, false));
+    }
+
+    // Explore connected components of the union; within each component pick
+    // either the A-edges or the B-edges, whichever covers the component's
+    // critical vertices.
+    let mut result: Vec<usize> = Vec::new();
+    let mut visited_edges: Vec<usize> = Vec::new();
+    let all_edges: Vec<usize> = incident.values().flatten().map(|(i, _)| *i).collect();
+
+    for &start in &all_edges {
+        if visited_edges.contains(&start) {
+            continue;
+        }
+        // BFS over the component.
+        let mut comp_edges: Vec<(usize, bool)> = Vec::new();
+        let mut comp_vertices: Vec<Vertex> = Vec::new();
+        let mut stack = vec![start];
+        while let Some(ei) = stack.pop() {
+            if visited_edges.contains(&ei) {
+                continue;
+            }
+            visited_edges.push(ei);
+            let is_a = m_a.contains(&ei);
+            comp_edges.push((ei, is_a));
+            let e = &load.edges[ei];
+            for v in [Vertex::Send(e.sender), Vertex::Recv(e.receiver)] {
+                if !comp_vertices.contains(&v) {
+                    comp_vertices.push(v);
+                }
+                if let Some(neighbors) = incident.get(&v) {
+                    for &(ni, _) in neighbors {
+                        if !visited_edges.contains(&ni) {
+                            stack.push(ni);
+                        }
+                    }
+                }
+            }
+        }
+
+        let comp_critical: Vec<Vertex> =
+            comp_vertices.iter().copied().filter(|v| critical.contains(v)).collect();
+        let a_edges: Vec<usize> =
+            comp_edges.iter().filter(|(_, is_a)| *is_a).map(|(i, _)| *i).collect();
+        let b_edges: Vec<usize> =
+            comp_edges.iter().filter(|(_, is_a)| !*is_a).map(|(i, _)| *i).collect();
+
+        let covers = |edges: &[usize]| {
+            comp_critical.iter().all(|v| {
+                edges.iter().any(|&i| {
+                    let e = &load.edges[i];
+                    *v == Vertex::Send(e.sender) || *v == Vertex::Recv(e.receiver)
+                })
+            })
+        };
+
+        if covers(&a_edges) {
+            result.extend(a_edges);
+        } else if covers(&b_edges) {
+            result.extend(b_edges);
+        } else {
+            return Err(ColoringError::SaturationFailed);
+        }
+    }
+
+    // Defensive: assert result is a matching.
+    let mut seen: Vec<Vertex> = Vec::new();
+    for &i in &result {
+        let e = &load.edges[i];
+        for v in [Vertex::Send(e.sender), Vertex::Recv(e.receiver)] {
+            if seen.contains(&v) {
+                return Err(ColoringError::SaturationFailed);
+            }
+            seen.push(v);
+        }
+    }
+    Ok(result)
+}
+
+/// Checks that a decomposition is a valid schedule of the load: exact
+/// coverage, matching property in each step, and total duration equal to the
+/// maximum weighted degree.
+pub fn verify_decomposition(
+    load: &BipartiteLoad,
+    steps: &[MatchingStep],
+) -> Result<(), String> {
+    let mut covered = vec![Ratio::zero(); load.edges.len()];
+    for (si, step) in steps.iter().enumerate() {
+        if !step.duration.is_positive() {
+            return Err(format!("step {si} has non-positive duration"));
+        }
+        let mut senders = Vec::new();
+        let mut receivers = Vec::new();
+        for &i in &step.edges {
+            let e = &load.edges[i];
+            if senders.contains(&e.sender) {
+                return Err(format!("step {si}: sender {} used twice", e.sender));
+            }
+            if receivers.contains(&e.receiver) {
+                return Err(format!("step {si}: receiver {} used twice", e.receiver));
+            }
+            senders.push(e.sender);
+            receivers.push(e.receiver);
+            covered[i] += &step.duration;
+        }
+    }
+    for (i, e) in load.edges.iter().enumerate() {
+        if covered[i] != e.weight {
+            return Err(format!(
+                "edge {i} ({} -> {}) covered {} but has weight {}",
+                e.sender, e.receiver, covered[i], e.weight
+            ));
+        }
+    }
+    let total: Ratio = steps.iter().map(|s| s.duration.clone()).sum();
+    let delta = load.max_weighted_degree();
+    if total != delta {
+        return Err(format!("total duration {total} differs from max weighted degree {delta}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steady_rational::rat;
+
+    #[test]
+    fn empty_load() {
+        let load = BipartiteLoad::new();
+        let steps = decompose(&load).unwrap();
+        assert!(steps.is_empty());
+        assert_eq!(load.max_weighted_degree(), Ratio::zero());
+        assert!(verify_decomposition(&load, &steps).is_ok());
+    }
+
+    #[test]
+    fn single_edge() {
+        let mut load = BipartiteLoad::new();
+        load.add(0, 1, rat(3, 2));
+        let steps = decompose(&load).unwrap();
+        assert_eq!(steps.len(), 1);
+        assert_eq!(steps[0].duration, rat(3, 2));
+        assert!(verify_decomposition(&load, &steps).is_ok());
+    }
+
+    #[test]
+    fn merging_parallel_edges() {
+        let mut load = BipartiteLoad::new();
+        load.add(0, 1, rat(1, 2));
+        load.add(0, 1, rat(1, 3));
+        assert_eq!(load.edges.len(), 1);
+        assert_eq!(load.edges[0].weight, rat(5, 6));
+        load.add(0, 1, rat(0, 1)); // ignored
+        assert_eq!(load.edges.len(), 1);
+    }
+
+    #[test]
+    fn two_disjoint_edges_run_together() {
+        let mut load = BipartiteLoad::new();
+        load.add(0, 2, rat(1, 1));
+        load.add(1, 3, rat(1, 1));
+        let steps = decompose(&load).unwrap();
+        assert!(verify_decomposition(&load, &steps).is_ok());
+        // They do not conflict: a single step of duration 1 suffices.
+        assert_eq!(steps.len(), 1);
+        assert_eq!(steps[0].edges.len(), 2);
+    }
+
+    #[test]
+    fn conflicting_edges_serialize() {
+        // Same sender twice: must be sequential.
+        let mut load = BipartiteLoad::new();
+        load.add(0, 1, rat(1, 1));
+        load.add(0, 2, rat(2, 1));
+        let steps = decompose(&load).unwrap();
+        assert!(verify_decomposition(&load, &steps).is_ok());
+        let total: Ratio = steps.iter().map(|s| s.duration.clone()).sum();
+        assert_eq!(total, rat(3, 1));
+    }
+
+    #[test]
+    fn figure3_toy_scatter_load() {
+        // The Figure 2/3 example: period 12.
+        // Ps -> Pa : 3 time-units, Ps -> Pb : 9, Pa -> P0 : 2, Pb -> P0 : 4, Pb -> P1 : 8.
+        // Senders: Ps=0, Pa=1, Pb=2; receivers: Pa=1, Pb=2, P0=3, P1=4.
+        let mut load = BipartiteLoad::new();
+        load.add(0, 1, rat(3, 1));
+        load.add(0, 2, rat(9, 1));
+        load.add(1, 3, rat(2, 1));
+        load.add(2, 3, rat(4, 1));
+        load.add(2, 4, rat(8, 1));
+        assert_eq!(load.max_weighted_degree(), rat(12, 1));
+        let steps = decompose(&load).unwrap();
+        verify_decomposition(&load, &steps).unwrap();
+        // Fits exactly within the period of 12, as in Figure 4(a).
+        let total: Ratio = steps.iter().map(|s| s.duration.clone()).sum();
+        assert_eq!(total, rat(12, 1));
+        // The paper's construction needs 4 matchings; ours must stay polynomial
+        // and small (the bound is |E| + |V|).
+        assert!(steps.len() <= 5 + 5, "too many matchings: {}", steps.len());
+    }
+
+    #[test]
+    fn rational_weights() {
+        let mut load = BipartiteLoad::new();
+        load.add(0, 1, rat(1, 3));
+        load.add(0, 2, rat(1, 6));
+        load.add(3, 1, rat(1, 2));
+        load.add(3, 2, rat(2, 3));
+        let steps = decompose(&load).unwrap();
+        verify_decomposition(&load, &steps).unwrap();
+    }
+
+    #[test]
+    fn complete_bipartite_uniform() {
+        // K_{3,3} with unit weights: max degree 3, needs exactly 3 matchings of 3 edges.
+        let mut load = BipartiteLoad::new();
+        for s in 0..3 {
+            for r in 10..13 {
+                load.add(s, r, rat(1, 1));
+            }
+        }
+        let steps = decompose(&load).unwrap();
+        verify_decomposition(&load, &steps).unwrap();
+        let total: Ratio = steps.iter().map(|s| s.duration.clone()).sum();
+        assert_eq!(total, rat(3, 1));
+        for s in &steps {
+            assert_eq!(s.edges.len(), 3, "each step of a regular load is a perfect matching");
+        }
+    }
+
+    #[test]
+    fn skewed_degrees() {
+        // One heavy sender plus light background traffic.
+        let mut load = BipartiteLoad::new();
+        load.add(0, 10, rat(5, 1));
+        load.add(0, 11, rat(5, 1));
+        load.add(1, 10, rat(1, 7));
+        load.add(2, 12, rat(9, 1));
+        load.add(3, 11, rat(1, 3));
+        let steps = decompose(&load).unwrap();
+        verify_decomposition(&load, &steps).unwrap();
+    }
+
+    #[test]
+    fn sender_also_receiver() {
+        // The same processor appears on both sides (forwards traffic); the
+        // one-port model allows simultaneous send + receive.
+        let mut load = BipartiteLoad::new();
+        load.add(0, 1, rat(2, 1));
+        load.add(1, 2, rat(2, 1));
+        let steps = decompose(&load).unwrap();
+        verify_decomposition(&load, &steps).unwrap();
+        // Both can run simultaneously: total time 2, one matching.
+        let total: Ratio = steps.iter().map(|s| s.duration.clone()).sum();
+        assert_eq!(total, rat(2, 1));
+    }
+}

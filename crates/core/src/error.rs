@@ -1,0 +1,99 @@
+//! Error type shared by the steady-state schedulers.
+
+use steady_lp::{CertifyError, SimplexError};
+use steady_platform::{NodeId, PlatformError};
+
+use crate::coloring::ColoringError;
+
+/// Errors raised while building problems, solving the steady-state LPs or
+/// constructing periodic schedules.
+#[derive(Debug)]
+pub enum CoreError {
+    /// The platform failed validation.
+    Platform(PlatformError),
+    /// The LP solver failed (infeasible, unbounded, iteration limit).
+    Solver(CertifyError),
+    /// The scatter/gossip source coincides with one of the targets.
+    SourceIsTarget {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// A target cannot be reached from the source (scatter/gossip) or cannot
+    /// reach the target (reduce).
+    Unreachable {
+        /// The disconnected node.
+        node: NodeId,
+    },
+    /// The problem has no targets / participants.
+    EmptyProblem,
+    /// A participant or target is a router (cannot hold values or compute).
+    NotAComputeNode {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// A node appears twice in the participant list.
+    DuplicateParticipant {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// The matching decomposition failed (internal invariant violation).
+    Coloring(ColoringError),
+    /// Reduction-tree extraction failed on a malformed or cyclic solution.
+    TreeExtraction {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// The requested fixed period is not positive.
+    InvalidPeriod,
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Platform(e) => write!(f, "invalid platform: {e}"),
+            CoreError::Solver(e) => write!(f, "LP solver failed: {e}"),
+            CoreError::SourceIsTarget { node } => {
+                write!(f, "node {node} is both the source and a target")
+            }
+            CoreError::Unreachable { node } => write!(f, "node {node} is not connected to the operation"),
+            CoreError::EmptyProblem => write!(f, "the problem has no targets or participants"),
+            CoreError::NotAComputeNode { node } => {
+                write!(f, "node {node} is a router and cannot take part in the operation")
+            }
+            CoreError::DuplicateParticipant { node } => {
+                write!(f, "node {node} appears twice in the participant list")
+            }
+            CoreError::Coloring(e) => write!(f, "matching decomposition failed: {e}"),
+            CoreError::TreeExtraction { reason } => {
+                write!(f, "reduction-tree extraction failed: {reason}")
+            }
+            CoreError::InvalidPeriod => write!(f, "the requested period must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<PlatformError> for CoreError {
+    fn from(e: PlatformError) -> Self {
+        CoreError::Platform(e)
+    }
+}
+
+impl From<CertifyError> for CoreError {
+    fn from(e: CertifyError) -> Self {
+        CoreError::Solver(e)
+    }
+}
+
+impl From<SimplexError> for CoreError {
+    fn from(e: SimplexError) -> Self {
+        CoreError::Solver(CertifyError::Simplex(e))
+    }
+}
+
+impl From<ColoringError> for CoreError {
+    fn from(e: ColoringError) -> Self {
+        CoreError::Coloring(e)
+    }
+}

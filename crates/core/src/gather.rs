@@ -1,0 +1,544 @@
+//! Series of Gathers: the dual of the Series of Scatters problem.
+//!
+//! In a gather operation every source processor `P_{s_i}` owns a distinct
+//! message that must reach a single sink processor `P_sink`; in the *series*
+//! version each source keeps emitting fresh messages and the goal is to
+//! maximize the common steady-state throughput `TP` — the number of gather
+//! operations completed per time-unit.
+//!
+//! The paper treats the gather/reduce family in §4; when no combining is
+//! possible (the "reduction" operator is plain concatenation of full-size
+//! messages) the problem degenerates to a multi-commodity flow that is exactly
+//! the **transpose dual** of the scatter LP `SSSP(G)`: reversing every edge of
+//! the platform swaps the one-port roles of emission and reception, so
+//!
+//! ```text
+//! TP_gather(G, sources -> sink)  =  TP_scatter(Gᵀ, sink -> sources).
+//! ```
+//!
+//! This module provides both a direct LP formulation (`SSG(G)`, mirroring
+//! `SSSP(G)` with the commodity orientation reversed) and the explicit
+//! transpose-duality bridge [`GatherProblem::dual_scatter`], which tests use to
+//! cross-check the two routes; schedules are built with the same
+//! weighted-matching decomposition as for the scatter.
+
+use std::collections::BTreeMap;
+
+use steady_lp::{LinearExpr, LpProblem, Sense, VarId};
+use steady_platform::{EdgeId, GatherInstance, NodeId, Platform};
+use steady_rational::{lcm_of_denominators, BigInt, Ratio};
+
+use crate::coloring::{decompose, BipartiteLoad};
+use crate::error::CoreError;
+use crate::scatter::ScatterProblem;
+use crate::schedule::{CommSlot, Payload, PeriodicSchedule, Transfer};
+
+/// A pipelined gather problem: platform, sources and sink.
+#[derive(Debug, Clone)]
+pub struct GatherProblem {
+    platform: Platform,
+    sources: Vec<NodeId>,
+    sink: NodeId,
+}
+
+/// Mapping from LP variables back to gather quantities.
+#[derive(Debug, Clone)]
+pub struct GatherVars {
+    /// `send[(edge, source_index)]` variables.
+    pub send: BTreeMap<(EdgeId, usize), VarId>,
+    /// The throughput variable `TP`.
+    pub throughput: VarId,
+}
+
+/// Exact steady-state solution of a gather problem.
+#[derive(Debug, Clone)]
+pub struct GatherSolution {
+    throughput: Ratio,
+    /// `flows[(edge, source_index)]` = messages originating at
+    /// `sources[source_index]` crossing `edge` per time-unit.
+    flows: BTreeMap<(EdgeId, usize), Ratio>,
+}
+
+impl GatherProblem {
+    /// Builds and validates a gather problem.
+    pub fn new(platform: Platform, sources: Vec<NodeId>, sink: NodeId) -> Result<Self, CoreError> {
+        platform.validate()?;
+        if sources.is_empty() {
+            return Err(CoreError::EmptyProblem);
+        }
+        if sources.contains(&sink) {
+            return Err(CoreError::SourceIsTarget { node: sink });
+        }
+        let mut seen = Vec::new();
+        for &s in &sources {
+            if seen.contains(&s) {
+                return Err(CoreError::DuplicateParticipant { node: s });
+            }
+            seen.push(s);
+            if !platform.is_reachable(s, sink) {
+                return Err(CoreError::Unreachable { node: s });
+            }
+        }
+        Ok(GatherProblem { platform, sources, sink })
+    }
+
+    /// Builds a problem from a generated [`GatherInstance`].
+    pub fn from_instance(instance: GatherInstance) -> Result<Self, CoreError> {
+        GatherProblem::new(instance.platform, instance.sources, instance.sink)
+    }
+
+    /// The platform graph.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The source processors, in commodity order.
+    pub fn sources(&self) -> &[NodeId] {
+        &self.sources
+    }
+
+    /// The sink processor.
+    pub fn sink(&self) -> NodeId {
+        self.sink
+    }
+
+    /// The transpose-dual scatter problem: same node ids, every edge reversed,
+    /// the sink becomes the scatter source and the gather sources become the
+    /// scatter targets.  Its optimal throughput equals this problem's.
+    pub fn dual_scatter(&self) -> Result<ScatterProblem, CoreError> {
+        ScatterProblem::new(self.platform.transpose(), self.sink, self.sources.clone())
+    }
+
+    /// Builds the `SSG(G)` linear program (the scatter LP with the commodity
+    /// orientation reversed).
+    pub fn build_lp(&self) -> (LpProblem, GatherVars) {
+        let mut lp = LpProblem::maximize();
+        let platform = &self.platform;
+
+        let mut send = BTreeMap::new();
+        for e in platform.edge_ids() {
+            let edge = platform.edge(e);
+            for (si, s) in self.sources.iter().enumerate() {
+                let v = lp.add_var(format!("send[{}->{},g{}]", edge.from, edge.to, s));
+                send.insert((e, si), v);
+            }
+        }
+        let throughput = lp.add_var("TP");
+        lp.set_objective(throughput, Ratio::one());
+
+        // One-port constraints: per-node outgoing and incoming occupation.
+        for n in platform.node_ids() {
+            let mut out_expr = LinearExpr::new();
+            for &e in platform.out_edges(n) {
+                let cost = platform.edge(e).cost.clone();
+                for si in 0..self.sources.len() {
+                    out_expr.add_term(send[&(e, si)], cost.clone());
+                }
+            }
+            if !out_expr.is_empty() {
+                lp.add_constraint(format!("one-port-out[{n}]"), out_expr, Sense::Le, Ratio::one());
+            }
+            let mut in_expr = LinearExpr::new();
+            for &e in platform.in_edges(n) {
+                let cost = platform.edge(e).cost.clone();
+                for si in 0..self.sources.len() {
+                    in_expr.add_term(send[&(e, si)], cost.clone());
+                }
+            }
+            if !in_expr.is_empty() {
+                lp.add_constraint(format!("one-port-in[{n}]"), in_expr, Sense::Le, Ratio::one());
+            }
+        }
+
+        // Conservation: every message of commodity `si` entering a node that is
+        // neither its origin nor the sink leaves it.
+        for n in platform.node_ids() {
+            if n == self.sink {
+                continue;
+            }
+            for (si, &s) in self.sources.iter().enumerate() {
+                if n == s {
+                    continue;
+                }
+                let mut expr = LinearExpr::new();
+                for &e in platform.in_edges(n) {
+                    expr.add_term(send[&(e, si)], Ratio::one());
+                }
+                for &e in platform.out_edges(n) {
+                    expr.add_term(send[&(e, si)], -Ratio::one());
+                }
+                if !expr.is_empty() {
+                    lp.add_constraint(
+                        format!("conservation[{n},g{s}]"),
+                        expr,
+                        Sense::Eq,
+                        Ratio::zero(),
+                    );
+                }
+            }
+        }
+
+        // The sink never re-emits delivered messages (same WLOG restriction as
+        // the scatter's no-reemit constraints: conservation is not stated at
+        // the destination of a commodity, so without this the LP could bounce
+        // delivered messages off a neighbour and count them twice).
+        for si in 0..self.sources.len() {
+            for &e in platform.out_edges(self.sink) {
+                lp.add_constraint(
+                    format!("no-reemit[{}]", self.sink),
+                    LinearExpr::var(send[&(e, si)]),
+                    Sense::Eq,
+                    Ratio::zero(),
+                );
+            }
+        }
+
+        // Throughput: the sink receives TP messages of every commodity per
+        // time-unit.
+        for (si, &s) in self.sources.iter().enumerate() {
+            let mut expr = LinearExpr::new();
+            for &e in platform.in_edges(self.sink) {
+                expr.add_term(send[&(e, si)], Ratio::one());
+            }
+            expr.add_term(throughput, -Ratio::one());
+            lp.add_constraint(format!("throughput[g{s}]"), expr, Sense::Eq, Ratio::zero());
+        }
+
+        (lp, GatherVars { send, throughput })
+    }
+
+    /// Solves `SSG(G)` exactly and returns the steady-state solution.
+    pub fn solve(&self) -> Result<GatherSolution, CoreError> {
+        let (lp, vars) = self.build_lp();
+        let sol = steady_lp::solve_exact_auto(&lp)?;
+        let mut flows = BTreeMap::new();
+        for (&key, &var) in &vars.send {
+            let v = sol.values[var.index()].clone();
+            if v.is_positive() {
+                flows.insert(key, v);
+            }
+        }
+        let throughput = sol.values[vars.throughput.index()].clone();
+        Ok(GatherSolution { throughput, flows })
+    }
+}
+
+impl GatherSolution {
+    /// Optimal steady-state throughput (gather operations per time-unit).
+    pub fn throughput(&self) -> &Ratio {
+        &self.throughput
+    }
+
+    /// Messages originating at `sources[source_index]` crossing `edge` per time-unit.
+    pub fn flow(&self, edge: EdgeId, source_index: usize) -> Ratio {
+        self.flows.get(&(edge, source_index)).cloned().unwrap_or_else(Ratio::zero)
+    }
+
+    /// All non-zero flows.
+    pub fn flows(&self) -> &BTreeMap<(EdgeId, usize), Ratio> {
+        &self.flows
+    }
+
+    /// Occupation `s(P_i -> P_j)` of an edge: total transfer time per time-unit.
+    pub fn edge_occupation(&self, problem: &GatherProblem, edge: EdgeId) -> Ratio {
+        let cost = &problem.platform().edge(edge).cost;
+        let total: Ratio =
+            (0..problem.sources().len()).map(|si| self.flow(edge, si)).sum();
+        &total * cost
+    }
+
+    /// The minimal integer period: the LCM of the denominators of all rates.
+    pub fn period(&self) -> BigInt {
+        let mut values: Vec<Ratio> = self.flows.values().cloned().collect();
+        values.push(self.throughput.clone());
+        lcm_of_denominators(&values)
+    }
+
+    /// Exhaustively re-checks every constraint of `SSG(G)` on this solution.
+    pub fn verify(&self, problem: &GatherProblem) -> Result<(), String> {
+        let platform = problem.platform();
+        for ((e, si), v) in &self.flows {
+            if v.is_negative() {
+                return Err(format!("negative flow on edge {:?} commodity {si}", e));
+            }
+            if *si >= problem.sources().len() {
+                return Err(format!("unknown commodity index {si}"));
+            }
+            if e.index() >= platform.num_edges() {
+                return Err(format!("unknown edge index {}", e.index()));
+            }
+        }
+        // One-port.
+        for n in platform.node_ids() {
+            let mut out = Ratio::zero();
+            for &e in platform.out_edges(n) {
+                out += self.edge_occupation(problem, e);
+            }
+            if out > Ratio::one() {
+                return Err(format!("{n} emits for {out} > 1 per time-unit"));
+            }
+            let mut inc = Ratio::zero();
+            for &e in platform.in_edges(n) {
+                inc += self.edge_occupation(problem, e);
+            }
+            if inc > Ratio::one() {
+                return Err(format!("{n} receives for {inc} > 1 per time-unit"));
+            }
+        }
+        // Conservation.
+        for n in platform.node_ids() {
+            if n == problem.sink() {
+                continue;
+            }
+            for (si, &s) in problem.sources().iter().enumerate() {
+                if n == s {
+                    continue;
+                }
+                let inflow: Ratio = platform.in_edges(n).iter().map(|&e| self.flow(e, si)).sum();
+                let outflow: Ratio = platform.out_edges(n).iter().map(|&e| self.flow(e, si)).sum();
+                if inflow != outflow {
+                    return Err(format!(
+                        "conservation violated at {n} for g{s}: in {inflow}, out {outflow}"
+                    ));
+                }
+            }
+        }
+        // Throughput and no re-emission at the sink.
+        for (si, &s) in problem.sources().iter().enumerate() {
+            for &e in platform.out_edges(problem.sink()) {
+                if self.flow(e, si).is_positive() {
+                    return Err(format!("sink re-emits messages of source {s}"));
+                }
+            }
+            let received: Ratio =
+                platform.in_edges(problem.sink()).iter().map(|&e| self.flow(e, si)).sum();
+            if received != self.throughput {
+                return Err(format!(
+                    "sink receives {received} messages of source {s} instead of TP = {}",
+                    self.throughput
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the explicit periodic schedule achieving this solution's
+    /// throughput, using the same weighted-matching decomposition as the
+    /// scatter (§3.3).
+    pub fn build_schedule(&self, problem: &GatherProblem) -> Result<PeriodicSchedule, CoreError> {
+        let platform = problem.platform();
+        let period_int = self.period();
+        let period = Ratio::from(period_int);
+
+        let mut load = BipartiteLoad::new();
+        let mut queues: BTreeMap<(usize, usize), Vec<(Payload, Ratio, Ratio)>> = BTreeMap::new();
+        for ((e, si), flow) in &self.flows {
+            let edge = platform.edge(*e);
+            let count = flow * &period;
+            let duration = &count * &edge.cost;
+            if !duration.is_positive() {
+                continue;
+            }
+            let key = (edge.from.index(), edge.to.index());
+            load.add(key.0, key.1, duration.clone());
+            queues.entry(key).or_default().push((
+                Payload::Gather { origin: problem.sources()[*si] },
+                count,
+                duration,
+            ));
+        }
+
+        let steps = decompose(&load)?;
+        let mut slots = Vec::with_capacity(steps.len());
+        for step in &steps {
+            let mut transfers = Vec::new();
+            for &edge_idx in &step.edges {
+                let le = &load.edges[edge_idx];
+                let key = (le.sender, le.receiver);
+                let queue = queues.get_mut(&key).expect("load edge without queue");
+                let mut remaining = step.duration.clone();
+                while remaining.is_positive() {
+                    let Some((payload, count, duration)) = queue.first_mut() else {
+                        break;
+                    };
+                    let from = NodeId(key.0);
+                    let to = NodeId(key.1);
+                    if *duration <= remaining {
+                        transfers.push(Transfer {
+                            from,
+                            to,
+                            payload: payload.clone(),
+                            count: count.clone(),
+                            duration: duration.clone(),
+                        });
+                        remaining = &remaining - &*duration;
+                        queue.remove(0);
+                    } else {
+                        let fraction = &remaining / &*duration;
+                        let part_count = count.clone() * fraction;
+                        transfers.push(Transfer {
+                            from,
+                            to,
+                            payload: payload.clone(),
+                            count: part_count.clone(),
+                            duration: remaining.clone(),
+                        });
+                        *count = &*count - &part_count;
+                        *duration = &*duration - &remaining;
+                        remaining = Ratio::zero();
+                    }
+                }
+            }
+            slots.push(CommSlot { duration: step.duration.clone(), transfers });
+        }
+
+        Ok(PeriodicSchedule {
+            period: period.clone(),
+            operations_per_period: &self.throughput * &period,
+            slots,
+            computations: Vec::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steady_platform::generators::{self, figure2};
+    use steady_platform::topologies::dumbbell_gather_instance;
+    use steady_rational::rat;
+
+    /// Figure 2 reversed: P0 and P1 gather towards Ps on the transposed platform.
+    fn figure2_gather() -> GatherProblem {
+        let inst = figure2();
+        let transposed = inst.platform.transpose();
+        GatherProblem::new(transposed, inst.targets, inst.source).unwrap()
+    }
+
+    #[test]
+    fn figure2_reversed_gather_matches_scatter_optimum() {
+        // Gather on the reversed Figure 2 platform is exactly the scatter dual,
+        // so its throughput equals the scatter optimum 1/2.
+        let problem = figure2_gather();
+        let sol = problem.solve().unwrap();
+        assert_eq!(*sol.throughput(), rat(1, 2));
+        sol.verify(&problem).unwrap();
+    }
+
+    #[test]
+    fn transpose_duality_holds_on_figure2() {
+        let problem = figure2_gather();
+        let sol = problem.solve().unwrap();
+        let dual = problem.dual_scatter().unwrap();
+        let dual_sol = dual.solve().unwrap();
+        assert_eq!(sol.throughput(), dual_sol.throughput());
+    }
+
+    #[test]
+    fn star_gather_throughput() {
+        // k leaves gathering to the center: the center's incoming port
+        // serializes all k messages, TP = 1 / (k * c).
+        for k in 1..5usize {
+            let (p, center, leaves) = generators::star(k, rat(1, 2));
+            let problem = GatherProblem::new(p, leaves, center).unwrap();
+            let sol = problem.solve().unwrap();
+            assert_eq!(*sol.throughput(), rat(2, k as i64));
+            sol.verify(&problem).unwrap();
+            let schedule = sol.build_schedule(&problem).unwrap();
+            schedule.validate(problem.platform()).unwrap();
+            assert_eq!(schedule.throughput(), rat(2, k as i64));
+        }
+    }
+
+    #[test]
+    fn dumbbell_gather_is_bridge_limited() {
+        // 2 local + 2 remote sources, local cost 1/2, bridge cost 1: the three
+        // remote/right messages plus intra-cluster traffic make the sink's
+        // in-port and the bridge the contended resources.  The LP optimum must
+        // never exceed the sink's in-port bound 1 / (#sources * local_cost).
+        let inst = dumbbell_gather_instance(2, rat(1, 2), rat(1, 1));
+        let n_sources = inst.sources.len() as i64;
+        let problem = GatherProblem::from_instance(inst).unwrap();
+        let sol = problem.solve().unwrap();
+        sol.verify(&problem).unwrap();
+        assert!(sol.throughput().is_positive());
+        assert!(*sol.throughput() <= rat(2, n_sources));
+        let schedule = sol.build_schedule(&problem).unwrap();
+        schedule.validate(problem.platform()).unwrap();
+        assert_eq!(schedule.throughput(), *sol.throughput());
+    }
+
+    #[test]
+    fn gather_schedule_delivers_every_commodity() {
+        let (p, center, leaves) = generators::star(3, rat(1, 1));
+        let problem = GatherProblem::new(p, leaves.clone(), center).unwrap();
+        let sol = problem.solve().unwrap();
+        let schedule = sol.build_schedule(&problem).unwrap();
+        let expected = &Ratio::from(sol.period()) * sol.throughput();
+        let totals = schedule.transfer_totals();
+        for &leaf in &leaves {
+            let delivered: Ratio = totals
+                .iter()
+                .filter(|((_, to, payload), _)| {
+                    *to == center && *payload == Payload::Gather { origin: leaf }
+                })
+                .map(|(_, count)| count.clone())
+                .sum();
+            assert_eq!(delivered, expected, "leaf {leaf} under-delivered");
+        }
+    }
+
+    #[test]
+    fn invalid_problems_are_rejected() {
+        let (p, center, leaves) = generators::star(2, rat(1, 1));
+        assert!(matches!(
+            GatherProblem::new(p.clone(), vec![center, leaves[0]], center),
+            Err(CoreError::SourceIsTarget { .. })
+        ));
+        assert!(matches!(
+            GatherProblem::new(p.clone(), vec![], center),
+            Err(CoreError::EmptyProblem)
+        ));
+        assert!(matches!(
+            GatherProblem::new(p.clone(), vec![leaves[0], leaves[0]], center),
+            Err(CoreError::DuplicateParticipant { .. })
+        ));
+        // Unreachable source: a star with a one-way edge away from the center only.
+        let mut q = Platform::new();
+        let a = q.add_node("a", rat(1, 1));
+        let b = q.add_node("b", rat(1, 1));
+        let c = q.add_node("c", rat(1, 1));
+        q.add_edge(a, b, rat(1, 1));
+        q.add_edge(b, c, rat(1, 1));
+        assert!(matches!(
+            GatherProblem::new(q, vec![c], a),
+            Err(CoreError::Unreachable { .. })
+        ));
+    }
+
+    #[test]
+    fn lp_structure_is_reasonable() {
+        let problem = figure2_gather();
+        let (lp, vars) = problem.build_lp();
+        // 5 edges x 2 commodities + TP.
+        assert_eq!(lp.num_vars(), 11);
+        assert_eq!(vars.send.len(), 10);
+        let dump = lp.dump();
+        assert!(dump.contains("one-port-in"));
+        assert!(dump.contains("conservation"));
+        // The Figure-2 sink has no outgoing edge after transposition, so the
+        // no-reemit pinning only appears on platforms with symmetric links.
+        let (p, center, leaves) = generators::star(2, rat(1, 1));
+        let star_problem = GatherProblem::new(p, leaves, center).unwrap();
+        assert!(star_problem.build_lp().0.dump().contains("no-reemit"));
+    }
+
+    #[test]
+    fn solution_accessors() {
+        let problem = figure2_gather();
+        let sol = problem.solve().unwrap();
+        assert!(!sol.flows().is_empty());
+        assert_eq!(sol.flow(EdgeId(0), 99), Ratio::zero());
+        assert!(sol.period() > steady_rational::BigInt::from(0i64));
+    }
+}

@@ -1,0 +1,489 @@
+//! Series of Gossips — personalized all-to-all (§3.5): LP `SSPA2A(G)`.
+//!
+//! A gossip (personalized all-to-all) involves a set of source processors
+//! `{P_s, s ∈ S}` and a set of target processors `{P_t, t ∈ T}`: every source
+//! holds a distinct message for every target.  Messages are typed by the pair
+//! `(source, destination)`, the constraints are the one-port inequalities and
+//! the per-commodity conservation law, and the common throughput `TP` must be
+//! achieved for every `(source, destination)` pair.
+//!
+//! The machinery is the same as for the scatter (which is the special case
+//! `|S| = 1`): solve the LP exactly, scale by the LCM of the denominators,
+//! decompose the per-link load into matchings.
+
+use std::collections::BTreeMap;
+
+use steady_lp::{LinearExpr, LpProblem, Sense, VarId};
+use steady_platform::{EdgeId, GossipInstance, NodeId, Platform};
+use steady_rational::{lcm_of_denominators, BigInt, Ratio};
+
+use crate::coloring::{decompose, BipartiteLoad};
+use crate::error::CoreError;
+use crate::schedule::{CommSlot, Payload, PeriodicSchedule, Transfer};
+
+/// A pipelined personalized all-to-all problem.
+#[derive(Debug, Clone)]
+pub struct GossipProblem {
+    platform: Platform,
+    sources: Vec<NodeId>,
+    targets: Vec<NodeId>,
+    /// Commodities: (source index, target index) pairs with distinct endpoints.
+    commodities: Vec<(usize, usize)>,
+}
+
+/// Mapping from LP variables back to gossip quantities.
+#[derive(Debug, Clone)]
+pub struct GossipVars {
+    /// `send[(edge, commodity_index)]` variables.
+    pub send: BTreeMap<(EdgeId, usize), VarId>,
+    /// The throughput variable.
+    pub throughput: VarId,
+}
+
+/// Exact steady-state solution of a gossip problem.
+#[derive(Debug, Clone)]
+pub struct GossipSolution {
+    throughput: Ratio,
+    flows: BTreeMap<(EdgeId, usize), Ratio>,
+}
+
+impl GossipProblem {
+    /// Builds and validates a gossip problem.
+    pub fn new(
+        platform: Platform,
+        sources: Vec<NodeId>,
+        targets: Vec<NodeId>,
+    ) -> Result<Self, CoreError> {
+        platform.validate()?;
+        if sources.is_empty() || targets.is_empty() {
+            return Err(CoreError::EmptyProblem);
+        }
+        let mut seen = Vec::new();
+        for &s in &sources {
+            if seen.contains(&s) {
+                return Err(CoreError::DuplicateParticipant { node: s });
+            }
+            seen.push(s);
+        }
+        let mut seen = Vec::new();
+        for &t in &targets {
+            if seen.contains(&t) {
+                return Err(CoreError::DuplicateParticipant { node: t });
+            }
+            seen.push(t);
+        }
+        let mut commodities = Vec::new();
+        for (si, &s) in sources.iter().enumerate() {
+            for (ti, &t) in targets.iter().enumerate() {
+                if s == t {
+                    continue;
+                }
+                if !platform.is_reachable(s, t) {
+                    return Err(CoreError::Unreachable { node: t });
+                }
+                commodities.push((si, ti));
+            }
+        }
+        if commodities.is_empty() {
+            return Err(CoreError::EmptyProblem);
+        }
+        Ok(GossipProblem { platform, sources, targets, commodities })
+    }
+
+    /// Builds a problem from a generated [`GossipInstance`].
+    pub fn from_instance(instance: GossipInstance) -> Result<Self, CoreError> {
+        GossipProblem::new(instance.platform, instance.sources, instance.targets)
+    }
+
+    /// The platform graph.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Source processors.
+    pub fn sources(&self) -> &[NodeId] {
+        &self.sources
+    }
+
+    /// Target processors.
+    pub fn targets(&self) -> &[NodeId] {
+        &self.targets
+    }
+
+    /// Commodities as `(source node, target node)` pairs.
+    pub fn commodities(&self) -> Vec<(NodeId, NodeId)> {
+        self.commodities
+            .iter()
+            .map(|&(si, ti)| (self.sources[si], self.targets[ti]))
+            .collect()
+    }
+
+    fn commodity_endpoints(&self, c: usize) -> (NodeId, NodeId) {
+        let (si, ti) = self.commodities[c];
+        (self.sources[si], self.targets[ti])
+    }
+
+    /// Builds the `SSPA2A(G)` linear program.
+    pub fn build_lp(&self) -> (LpProblem, GossipVars) {
+        let mut lp = LpProblem::maximize();
+        let platform = &self.platform;
+
+        let mut send = BTreeMap::new();
+        for e in platform.edge_ids() {
+            let edge = platform.edge(e);
+            for c in 0..self.commodities.len() {
+                let (s, t) = self.commodity_endpoints(c);
+                let v = lp.add_var(format!("send[{}->{},m({s},{t})]", edge.from, edge.to));
+                send.insert((e, c), v);
+            }
+        }
+        let throughput = lp.add_var("TP");
+        lp.set_objective(throughput, Ratio::one());
+
+        // One-port constraints.
+        for n in platform.node_ids() {
+            let mut out_expr = LinearExpr::new();
+            for &e in platform.out_edges(n) {
+                let cost = platform.edge(e).cost.clone();
+                for c in 0..self.commodities.len() {
+                    out_expr.add_term(send[&(e, c)], cost.clone());
+                }
+            }
+            if !out_expr.is_empty() {
+                lp.add_constraint(format!("one-port-out[{n}]"), out_expr, Sense::Le, Ratio::one());
+            }
+            let mut in_expr = LinearExpr::new();
+            for &e in platform.in_edges(n) {
+                let cost = platform.edge(e).cost.clone();
+                for c in 0..self.commodities.len() {
+                    in_expr.add_term(send[&(e, c)], cost.clone());
+                }
+            }
+            if !in_expr.is_empty() {
+                lp.add_constraint(format!("one-port-in[{n}]"), in_expr, Sense::Le, Ratio::one());
+            }
+        }
+
+        // Conservation at every node that is neither the emitter nor the
+        // destination of the commodity.
+        for n in platform.node_ids() {
+            for c in 0..self.commodities.len() {
+                let (s, t) = self.commodity_endpoints(c);
+                if n == s || n == t {
+                    continue;
+                }
+                let mut expr = LinearExpr::new();
+                for &e in platform.in_edges(n) {
+                    expr.add_term(send[&(e, c)], Ratio::one());
+                }
+                for &e in platform.out_edges(n) {
+                    expr.add_term(send[&(e, c)], -Ratio::one());
+                }
+                if !expr.is_empty() {
+                    lp.add_constraint(
+                        format!("conservation[{n},m({s},{t})]"),
+                        expr,
+                        Sense::Eq,
+                        Ratio::zero(),
+                    );
+                }
+            }
+        }
+
+        // Destinations never re-emit their own messages (see the scatter module
+        // for why this WLOG restriction is needed).
+        for c in 0..self.commodities.len() {
+            let (_, t) = self.commodity_endpoints(c);
+            for &e in platform.out_edges(t) {
+                lp.add_constraint(
+                    format!("no-reemit[{t}]"),
+                    LinearExpr::var(send[&(e, c)]),
+                    Sense::Eq,
+                    Ratio::zero(),
+                );
+            }
+        }
+
+        // Throughput: every commodity is delivered at rate TP.
+        for c in 0..self.commodities.len() {
+            let (s, t) = self.commodity_endpoints(c);
+            let mut expr = LinearExpr::new();
+            for &e in platform.in_edges(t) {
+                expr.add_term(send[&(e, c)], Ratio::one());
+            }
+            expr.add_term(throughput, -Ratio::one());
+            lp.add_constraint(format!("throughput[m({s},{t})]"), expr, Sense::Eq, Ratio::zero());
+        }
+
+        (lp, GossipVars { send, throughput })
+    }
+
+    /// Solves `SSPA2A(G)` exactly.
+    pub fn solve(&self) -> Result<GossipSolution, CoreError> {
+        let (lp, vars) = self.build_lp();
+        let sol = steady_lp::solve_exact_auto(&lp)?;
+        let mut flows = BTreeMap::new();
+        for (&key, &var) in &vars.send {
+            let v = sol.values[var.index()].clone();
+            if v.is_positive() {
+                flows.insert(key, v);
+            }
+        }
+        let throughput = sol.values[vars.throughput.index()].clone();
+        Ok(GossipSolution { throughput, flows })
+    }
+}
+
+impl GossipSolution {
+    /// Optimal steady-state throughput (gossip operations per time-unit).
+    pub fn throughput(&self) -> &Ratio {
+        &self.throughput
+    }
+
+    /// Messages of commodity `c` crossing `edge` per time-unit.
+    pub fn flow(&self, edge: EdgeId, commodity: usize) -> Ratio {
+        self.flows.get(&(edge, commodity)).cloned().unwrap_or_else(Ratio::zero)
+    }
+
+    /// All non-zero flows.
+    pub fn flows(&self) -> &BTreeMap<(EdgeId, usize), Ratio> {
+        &self.flows
+    }
+
+    /// The minimal integer period.
+    pub fn period(&self) -> BigInt {
+        let mut values: Vec<Ratio> = self.flows.values().cloned().collect();
+        values.push(self.throughput.clone());
+        lcm_of_denominators(&values)
+    }
+
+    /// Exhaustively re-checks every constraint of `SSPA2A(G)`.
+    pub fn verify(&self, problem: &GossipProblem) -> Result<(), String> {
+        let platform = problem.platform();
+        let commodities = problem.commodities();
+        // One-port.
+        for n in platform.node_ids() {
+            let mut out = Ratio::zero();
+            for &e in platform.out_edges(n) {
+                let cost = &platform.edge(e).cost;
+                for c in 0..commodities.len() {
+                    out += self.flow(e, c) * cost;
+                }
+            }
+            if out > Ratio::one() {
+                return Err(format!("{n} emits for {out} > 1 per time-unit"));
+            }
+            let mut inc = Ratio::zero();
+            for &e in platform.in_edges(n) {
+                let cost = &platform.edge(e).cost;
+                for c in 0..commodities.len() {
+                    inc += self.flow(e, c) * cost;
+                }
+            }
+            if inc > Ratio::one() {
+                return Err(format!("{n} receives for {inc} > 1 per time-unit"));
+            }
+        }
+        // Conservation and throughput.
+        for (c, &(s, t)) in commodities.iter().enumerate() {
+            for n in platform.node_ids() {
+                if n == s || n == t {
+                    continue;
+                }
+                let inflow: Ratio = platform.in_edges(n).iter().map(|&e| self.flow(e, c)).sum();
+                let outflow: Ratio =
+                    platform.out_edges(n).iter().map(|&e| self.flow(e, c)).sum();
+                if inflow != outflow {
+                    return Err(format!(
+                        "conservation violated at {n} for commodity ({s},{t})"
+                    ));
+                }
+            }
+            let received: Ratio = platform.in_edges(t).iter().map(|&e| self.flow(e, c)).sum();
+            if received != self.throughput {
+                return Err(format!(
+                    "commodity ({s},{t}) delivered at {received} instead of TP = {}",
+                    self.throughput
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the explicit periodic schedule achieving this solution's throughput.
+    pub fn build_schedule(&self, problem: &GossipProblem) -> Result<PeriodicSchedule, CoreError> {
+        let platform = problem.platform();
+        let commodities = problem.commodities();
+        let period = Ratio::from(self.period());
+
+        let mut load = BipartiteLoad::new();
+        let mut queues: BTreeMap<(usize, usize), Vec<(Payload, Ratio, Ratio)>> = BTreeMap::new();
+        for ((e, c), flow) in &self.flows {
+            let edge = platform.edge(*e);
+            let count = flow * &period;
+            let duration = &count * &edge.cost;
+            if !duration.is_positive() {
+                continue;
+            }
+            let (s, t) = commodities[*c];
+            let key = (edge.from.index(), edge.to.index());
+            load.add(key.0, key.1, duration.clone());
+            queues.entry(key).or_default().push((
+                Payload::Gossip { source: s, destination: t },
+                count,
+                duration,
+            ));
+        }
+
+        let steps = decompose(&load)?;
+        let mut slots = Vec::with_capacity(steps.len());
+        for step in &steps {
+            let mut transfers = Vec::new();
+            for &edge_idx in &step.edges {
+                let le = &load.edges[edge_idx];
+                let key = (le.sender, le.receiver);
+                let queue = queues.get_mut(&key).expect("load edge without queue");
+                let mut remaining = step.duration.clone();
+                while remaining.is_positive() {
+                    let Some((payload, count, duration)) = queue.first_mut() else {
+                        break;
+                    };
+                    let from = NodeId(key.0);
+                    let to = NodeId(key.1);
+                    if *duration <= remaining {
+                        transfers.push(Transfer {
+                            from,
+                            to,
+                            payload: payload.clone(),
+                            count: count.clone(),
+                            duration: duration.clone(),
+                        });
+                        remaining = &remaining - &*duration;
+                        queue.remove(0);
+                    } else {
+                        let fraction = &remaining / &*duration;
+                        let part_count = count.clone() * fraction;
+                        transfers.push(Transfer {
+                            from,
+                            to,
+                            payload: payload.clone(),
+                            count: part_count.clone(),
+                            duration: remaining.clone(),
+                        });
+                        *count = &*count - &part_count;
+                        *duration = &*duration - &remaining;
+                        remaining = Ratio::zero();
+                    }
+                }
+            }
+            slots.push(CommSlot { duration: step.duration.clone(), transfers });
+        }
+
+        Ok(PeriodicSchedule {
+            period: period.clone(),
+            operations_per_period: &self.throughput * &period,
+            slots,
+            computations: Vec::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steady_platform::generators;
+    use steady_rational::rat;
+
+    #[test]
+    fn two_node_exchange() {
+        // Two nodes exchanging messages over symmetric unit links: each sends
+        // one message per operation, TP = 1.
+        let (p, nodes) = generators::chain(2, rat(1, 1));
+        let problem =
+            GossipProblem::new(p, vec![nodes[0], nodes[1]], vec![nodes[0], nodes[1]]).unwrap();
+        let sol = problem.solve().unwrap();
+        assert_eq!(*sol.throughput(), rat(1, 1));
+        sol.verify(&problem).unwrap();
+        let schedule = sol.build_schedule(&problem).unwrap();
+        schedule.validate(problem.platform()).unwrap();
+        assert_eq!(schedule.throughput(), rat(1, 1));
+    }
+
+    #[test]
+    fn clique_all_to_all() {
+        // Complete graph on 3 nodes, all-to-all with unit costs: each node must
+        // emit 2 messages per operation over its single outgoing port, TP = 1/2.
+        let (p, nodes) = generators::clique(3, rat(1, 1));
+        let problem = GossipProblem::new(p, nodes.clone(), nodes.clone()).unwrap();
+        let sol = problem.solve().unwrap();
+        assert_eq!(*sol.throughput(), rat(1, 2));
+        sol.verify(&problem).unwrap();
+        let schedule = sol.build_schedule(&problem).unwrap();
+        schedule.validate(problem.platform()).unwrap();
+    }
+
+    #[test]
+    fn scatter_is_a_special_case_of_gossip() {
+        // With a single source the gossip LP reduces to the scatter LP.
+        let inst = generators::figure2();
+        let gossip = GossipProblem::new(
+            inst.platform.clone(),
+            vec![inst.source],
+            inst.targets.clone(),
+        )
+        .unwrap();
+        let gsol = gossip.solve().unwrap();
+        let scatter = crate::scatter::ScatterProblem::from_instance(inst).unwrap();
+        let ssol = scatter.solve().unwrap();
+        assert_eq!(gsol.throughput(), ssol.throughput());
+    }
+
+    #[test]
+    fn star_gossip_bounded_by_center_ports() {
+        // All leaves talk to all leaves through the center: the center's
+        // incoming and outgoing ports each carry k*(k-1) messages per
+        // operation (cost c), so TP = 1 / (k (k-1) c).
+        let k = 3i64;
+        let (p, _center, leaves) = generators::star(k as usize, rat(1, 2));
+        let problem = GossipProblem::new(p, leaves.clone(), leaves.clone()).unwrap();
+        let sol = problem.solve().unwrap();
+        assert_eq!(*sol.throughput(), rat(2, k * (k - 1)));
+        sol.verify(&problem).unwrap();
+    }
+
+    #[test]
+    fn invalid_problems_rejected() {
+        let (p, nodes) = generators::chain(2, rat(1, 1));
+        assert!(matches!(
+            GossipProblem::new(p.clone(), vec![], vec![nodes[0]]),
+            Err(CoreError::EmptyProblem)
+        ));
+        assert!(matches!(
+            GossipProblem::new(p.clone(), vec![nodes[0], nodes[0]], vec![nodes[1]]),
+            Err(CoreError::DuplicateParticipant { .. })
+        ));
+        // Single node as both unique source and unique target -> no commodity.
+        assert!(matches!(
+            GossipProblem::new(p.clone(), vec![nodes[0]], vec![nodes[0]]),
+            Err(CoreError::EmptyProblem)
+        ));
+        // Unreachable pair.
+        let mut disconnected = Platform::new();
+        let a = disconnected.add_node("a", rat(1, 1));
+        let b = disconnected.add_node("b", rat(1, 1));
+        assert!(matches!(
+            GossipProblem::new(disconnected, vec![a], vec![b]),
+            Err(CoreError::Unreachable { .. })
+        ));
+    }
+
+    #[test]
+    fn commodity_enumeration_skips_self_pairs() {
+        let (p, nodes) = generators::clique(3, rat(1, 1));
+        let problem = GossipProblem::new(p, nodes.clone(), nodes.clone()).unwrap();
+        assert_eq!(problem.commodities().len(), 6);
+        assert!(problem.commodities().iter().all(|(s, t)| s != t));
+        assert_eq!(problem.sources().len(), 3);
+        assert_eq!(problem.targets().len(), 3);
+    }
+}

@@ -1,0 +1,616 @@
+//! Series of Scatters (§3): LP formulation `SSSP(G)`, exact solution and
+//! periodic schedule construction.
+//!
+//! A scatter involves a source processor `P_source` and a set of targets
+//! `{P_t}`: the source holds a distinct message for every target.  In the
+//! *series* (pipelined) version the source keeps emitting fresh messages for
+//! every target and the goal is to maximize the common throughput `TP` —
+//! the number of scatter operations initiated per time-unit in steady state.
+//!
+//! The optimal throughput is given by the linear program `SSSP(G)` built from
+//! the one-port constraints (2)–(3), the edge-occupation definition (4), the
+//! conservation law (5) and the throughput equalities (6).  Solving it in
+//! rational arithmetic and scaling by the least common multiple of the
+//! denominators yields an integer number of messages per period, which the
+//! weighted-matching decomposition of [`crate::coloring`] turns into an
+//! explicit one-port-feasible periodic schedule (§3.3).
+
+use std::collections::BTreeMap;
+
+use steady_lp::{LinearExpr, LpProblem, Sense, VarId};
+use steady_platform::{EdgeId, NodeId, Platform, ScatterInstance};
+use steady_rational::{lcm_of_denominators, BigInt, Ratio};
+
+use crate::coloring::{decompose, BipartiteLoad};
+use crate::error::CoreError;
+use crate::schedule::{CommSlot, Payload, PeriodicSchedule, Transfer};
+
+/// A pipelined scatter problem: platform, source and targets.
+#[derive(Debug, Clone)]
+pub struct ScatterProblem {
+    platform: Platform,
+    source: NodeId,
+    targets: Vec<NodeId>,
+}
+
+/// Mapping from LP variables back to scatter quantities, exposed so tests and
+/// benchmarks can inspect the raw linear program.
+#[derive(Debug, Clone)]
+pub struct ScatterVars {
+    /// `send[(edge, target_index)]` variables.
+    pub send: BTreeMap<(EdgeId, usize), VarId>,
+    /// The throughput variable `TP`.
+    pub throughput: VarId,
+}
+
+/// Exact steady-state solution of a scatter problem.
+#[derive(Debug, Clone)]
+pub struct ScatterSolution {
+    throughput: Ratio,
+    /// `flows[(edge, target_index)]` = messages of type `m_target` crossing
+    /// `edge` per time-unit.
+    flows: BTreeMap<(EdgeId, usize), Ratio>,
+}
+
+impl ScatterProblem {
+    /// Builds and validates a scatter problem.
+    pub fn new(
+        platform: Platform,
+        source: NodeId,
+        targets: Vec<NodeId>,
+    ) -> Result<Self, CoreError> {
+        platform.validate()?;
+        if targets.is_empty() {
+            return Err(CoreError::EmptyProblem);
+        }
+        if targets.contains(&source) {
+            return Err(CoreError::SourceIsTarget { node: source });
+        }
+        let mut seen = Vec::new();
+        for &t in &targets {
+            if seen.contains(&t) {
+                return Err(CoreError::DuplicateParticipant { node: t });
+            }
+            seen.push(t);
+            if !platform.is_reachable(source, t) {
+                return Err(CoreError::Unreachable { node: t });
+            }
+        }
+        Ok(ScatterProblem { platform, source, targets })
+    }
+
+    /// Builds a problem from a generated [`ScatterInstance`].
+    pub fn from_instance(instance: ScatterInstance) -> Result<Self, CoreError> {
+        ScatterProblem::new(instance.platform, instance.source, instance.targets)
+    }
+
+    /// The platform graph.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The source processor.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// The target processors.
+    pub fn targets(&self) -> &[NodeId] {
+        &self.targets
+    }
+
+    /// Builds the `SSSP(G)` linear program.
+    pub fn build_lp(&self) -> (LpProblem, ScatterVars) {
+        let mut lp = LpProblem::maximize();
+        let platform = &self.platform;
+
+        let mut send = BTreeMap::new();
+        for e in platform.edge_ids() {
+            let edge = platform.edge(e);
+            for (ti, t) in self.targets.iter().enumerate() {
+                let v = lp.add_var(format!(
+                    "send[{}->{},m{}]",
+                    edge.from, edge.to, t
+                ));
+                send.insert((e, ti), v);
+            }
+        }
+        let throughput = lp.add_var("TP");
+        lp.set_objective(throughput, Ratio::one());
+
+        // One-port constraints (2) and (3): occupation of each node's
+        // outgoing and incoming port within one time-unit.
+        for n in platform.node_ids() {
+            let mut out_expr = LinearExpr::new();
+            for &e in platform.out_edges(n) {
+                let cost = platform.edge(e).cost.clone();
+                for ti in 0..self.targets.len() {
+                    out_expr.add_term(send[&(e, ti)], cost.clone());
+                }
+            }
+            if !out_expr.is_empty() {
+                lp.add_constraint(format!("one-port-out[{n}]"), out_expr, Sense::Le, Ratio::one());
+            }
+            let mut in_expr = LinearExpr::new();
+            for &e in platform.in_edges(n) {
+                let cost = platform.edge(e).cost.clone();
+                for ti in 0..self.targets.len() {
+                    in_expr.add_term(send[&(e, ti)], cost.clone());
+                }
+            }
+            if !in_expr.is_empty() {
+                lp.add_constraint(format!("one-port-in[{n}]"), in_expr, Sense::Le, Ratio::one());
+            }
+        }
+
+        // Conservation law (5): every message of type m_k entering a node
+        // that is neither the source nor P_k leaves it.
+        for n in platform.node_ids() {
+            if n == self.source {
+                continue;
+            }
+            for (ti, &t) in self.targets.iter().enumerate() {
+                if n == t {
+                    continue;
+                }
+                let mut expr = LinearExpr::new();
+                for &e in platform.in_edges(n) {
+                    expr.add_term(send[&(e, ti)], Ratio::one());
+                }
+                for &e in platform.out_edges(n) {
+                    expr.add_term(send[&(e, ti)], -Ratio::one());
+                }
+                if !expr.is_empty() {
+                    lp.add_constraint(
+                        format!("conservation[{n},m{t}]"),
+                        expr,
+                        Sense::Eq,
+                        Ratio::zero(),
+                    );
+                }
+            }
+        }
+
+        // A target has no reason to re-emit messages of its own type; without
+        // this restriction the LP could let a target bounce its own messages
+        // through a neighbour and count them again on arrival (conservation is
+        // not stated at the destination of a commodity).  Pinning these
+        // variables to zero is WLOG and keeps constraint (6) physical.
+        for (ti, &t) in self.targets.iter().enumerate() {
+            for &e in platform.out_edges(t) {
+                lp.add_constraint(
+                    format!("no-reemit[{t}]"),
+                    LinearExpr::var(send[&(e, ti)]),
+                    Sense::Eq,
+                    Ratio::zero(),
+                );
+            }
+        }
+
+        // Throughput equalities (6): each target receives TP messages of its
+        // own type per time-unit.
+        for (ti, &t) in self.targets.iter().enumerate() {
+            let mut expr = LinearExpr::new();
+            for &e in platform.in_edges(t) {
+                expr.add_term(send[&(e, ti)], Ratio::one());
+            }
+            expr.add_term(throughput, -Ratio::one());
+            lp.add_constraint(format!("throughput[m{t}]"), expr, Sense::Eq, Ratio::zero());
+        }
+
+        (lp, ScatterVars { send, throughput })
+    }
+
+    /// Solves `SSSP(G)` exactly and returns the steady-state solution.
+    pub fn solve(&self) -> Result<ScatterSolution, CoreError> {
+        let (lp, vars) = self.build_lp();
+        let sol = steady_lp::solve_exact_auto(&lp)?;
+        let mut flows = BTreeMap::new();
+        for (&key, &var) in &vars.send {
+            let v = sol.values[var.index()].clone();
+            if v.is_positive() {
+                flows.insert(key, v);
+            }
+        }
+        let throughput = sol.values[vars.throughput.index()].clone();
+        Ok(ScatterSolution { throughput, flows })
+    }
+}
+
+impl ScatterSolution {
+    /// Builds a solution directly from raw flows (used by the paper-solution
+    /// tests and by the fixed-period approximation, which rounds the flows of
+    /// an optimal solution down to a smaller period).
+    pub fn from_flows(throughput: Ratio, flows: BTreeMap<(EdgeId, usize), Ratio>) -> Self {
+        ScatterSolution { throughput, flows }
+    }
+
+    /// Optimal steady-state throughput `TP(G)` (scatter operations per time-unit).
+    pub fn throughput(&self) -> &Ratio {
+        &self.throughput
+    }
+
+    /// Messages of type `m_{targets[target_index]}` crossing `edge` per time-unit.
+    pub fn flow(&self, edge: EdgeId, target_index: usize) -> Ratio {
+        self.flows.get(&(edge, target_index)).cloned().unwrap_or_else(Ratio::zero)
+    }
+
+    /// All non-zero flows.
+    pub fn flows(&self) -> &BTreeMap<(EdgeId, usize), Ratio> {
+        &self.flows
+    }
+
+    /// Occupation `s(P_i -> P_j)` of an edge: total transfer time per time-unit.
+    pub fn edge_occupation(&self, problem: &ScatterProblem, edge: EdgeId) -> Ratio {
+        let cost = &problem.platform().edge(edge).cost;
+        let total: Ratio = (0..problem.targets().len())
+            .map(|ti| self.flow(edge, ti))
+            .sum();
+        &total * cost
+    }
+
+    /// The minimal integer period: the least common multiple of the
+    /// denominators of all flows and of the throughput.
+    pub fn period(&self) -> BigInt {
+        let mut values: Vec<Ratio> = self.flows.values().cloned().collect();
+        values.push(self.throughput.clone());
+        lcm_of_denominators(&values)
+    }
+
+    /// Exhaustively re-checks every constraint of `SSSP(G)` on this solution.
+    pub fn verify(&self, problem: &ScatterProblem) -> Result<(), String> {
+        let platform = problem.platform();
+        for ((e, ti), v) in &self.flows {
+            if v.is_negative() {
+                return Err(format!("negative flow on edge {:?} commodity {ti}", e));
+            }
+            if *ti >= problem.targets().len() {
+                return Err(format!("unknown commodity index {ti}"));
+            }
+            if e.index() >= platform.num_edges() {
+                return Err(format!("unknown edge index {}", e.index()));
+            }
+        }
+        // One-port.
+        for n in platform.node_ids() {
+            let mut out = Ratio::zero();
+            for &e in platform.out_edges(n) {
+                out += self.edge_occupation(problem, e);
+            }
+            if out > Ratio::one() {
+                return Err(format!("{n} emits for {out} > 1 per time-unit"));
+            }
+            let mut inc = Ratio::zero();
+            for &e in platform.in_edges(n) {
+                inc += self.edge_occupation(problem, e);
+            }
+            if inc > Ratio::one() {
+                return Err(format!("{n} receives for {inc} > 1 per time-unit"));
+            }
+        }
+        // Conservation.
+        for n in platform.node_ids() {
+            if n == problem.source() {
+                continue;
+            }
+            for (ti, &t) in problem.targets().iter().enumerate() {
+                if n == t {
+                    continue;
+                }
+                let inflow: Ratio =
+                    platform.in_edges(n).iter().map(|&e| self.flow(e, ti)).sum();
+                let outflow: Ratio =
+                    platform.out_edges(n).iter().map(|&e| self.flow(e, ti)).sum();
+                if inflow != outflow {
+                    return Err(format!(
+                        "conservation violated at {n} for m{t}: in {inflow}, out {outflow}"
+                    ));
+                }
+            }
+        }
+        // Throughput.
+        for (ti, &t) in problem.targets().iter().enumerate() {
+            // A target never re-emits its own messages (see build_lp).
+            for &e in platform.out_edges(t) {
+                if self.flow(e, ti).is_positive() {
+                    return Err(format!("target {t} re-emits messages of its own type"));
+                }
+            }
+            let received: Ratio =
+                platform.in_edges(t).iter().map(|&e| self.flow(e, ti)).sum();
+            if received != self.throughput {
+                return Err(format!(
+                    "target {t} receives {received} instead of TP = {}",
+                    self.throughput
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the explicit periodic schedule achieving this solution's
+    /// throughput (§3.3): scale to the integer period, decompose the per-link
+    /// load into matchings, and split the per-link message mix across the
+    /// matchings that involve the link.
+    pub fn build_schedule(&self, problem: &ScatterProblem) -> Result<PeriodicSchedule, CoreError> {
+        let platform = problem.platform();
+        let period_int = self.period();
+        let period = Ratio::from(period_int);
+
+        // Per (sender, receiver) pair: the total duration and the FIFO of
+        // (payload, count, duration) items to distribute over the matchings.
+        let mut load = BipartiteLoad::new();
+        let mut queues: BTreeMap<(usize, usize), Vec<(Payload, Ratio, Ratio)>> = BTreeMap::new();
+        for ((e, ti), flow) in &self.flows {
+            let edge = platform.edge(*e);
+            let count = flow * &period;
+            let duration = &count * &edge.cost;
+            if !duration.is_positive() {
+                continue;
+            }
+            let key = (edge.from.index(), edge.to.index());
+            load.add(key.0, key.1, duration.clone());
+            queues.entry(key).or_default().push((
+                Payload::Scatter { destination: problem.targets()[*ti] },
+                count,
+                duration,
+            ));
+        }
+
+        let steps = decompose(&load)?;
+        let mut slots = Vec::with_capacity(steps.len());
+        for step in &steps {
+            let mut transfers = Vec::new();
+            for &edge_idx in &step.edges {
+                let le = &load.edges[edge_idx];
+                let key = (le.sender, le.receiver);
+                let queue = queues.get_mut(&key).expect("load edge without queue");
+                // Fill `step.duration` time with items from the queue,
+                // splitting the last one if needed (Figure 4(a) allows split
+                // messages; callers can re-scale the period to avoid splits).
+                let mut remaining = step.duration.clone();
+                while remaining.is_positive() {
+                    let Some((payload, count, duration)) = queue.first_mut() else {
+                        break;
+                    };
+                    let from = NodeId(key.0);
+                    let to = NodeId(key.1);
+                    if *duration <= remaining {
+                        transfers.push(Transfer {
+                            from,
+                            to,
+                            payload: payload.clone(),
+                            count: count.clone(),
+                            duration: duration.clone(),
+                        });
+                        remaining = &remaining - &*duration;
+                        queue.remove(0);
+                    } else {
+                        // Split: send the fraction that fits.
+                        let fraction = &remaining / &*duration;
+                        let part_count = count.clone() * fraction.clone();
+                        transfers.push(Transfer {
+                            from,
+                            to,
+                            payload: payload.clone(),
+                            count: part_count.clone(),
+                            duration: remaining.clone(),
+                        });
+                        *count = &*count - &part_count;
+                        *duration = &*duration - &remaining;
+                        remaining = Ratio::zero();
+                    }
+                }
+            }
+            slots.push(CommSlot { duration: step.duration.clone(), transfers });
+        }
+
+        let schedule = PeriodicSchedule {
+            period: period.clone(),
+            operations_per_period: &self.throughput * &period,
+            slots,
+            computations: Vec::new(),
+        };
+        Ok(schedule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steady_platform::generators::{self, figure2};
+    use steady_rational::rat;
+
+    fn figure2_problem() -> ScatterProblem {
+        ScatterProblem::from_instance(figure2()).unwrap()
+    }
+
+    #[test]
+    fn figure2_throughput_is_one_half() {
+        let problem = figure2_problem();
+        let sol = problem.solve().unwrap();
+        assert_eq!(*sol.throughput(), rat(1, 2));
+        sol.verify(&problem).unwrap();
+    }
+
+    #[test]
+    fn figure2_period_divides_twelve() {
+        // The paper uses period 12; the minimal period must divide it.
+        let problem = figure2_problem();
+        let sol = problem.solve().unwrap();
+        let period = sol.period();
+        let twelve = steady_rational::BigInt::from(12i64);
+        let (_, rem) = twelve.div_rem(&period);
+        assert!(rem.is_zero(), "period {period} does not divide 12");
+    }
+
+    #[test]
+    fn figure2_source_port_is_saturated() {
+        // The optimum is limited by the source's outgoing port: occupation 1.
+        let problem = figure2_problem();
+        let sol = problem.solve().unwrap();
+        let platform = problem.platform();
+        let source = problem.source();
+        let total: Ratio = platform
+            .out_edges(source)
+            .iter()
+            .map(|&e| sol.edge_occupation(&problem, e))
+            .sum();
+        assert_eq!(total, rat(1, 1));
+    }
+
+    #[test]
+    fn figure2_schedule_is_valid_and_achieves_throughput() {
+        let problem = figure2_problem();
+        let sol = problem.solve().unwrap();
+        let schedule = sol.build_schedule(&problem).unwrap();
+        schedule.validate(problem.platform()).unwrap();
+        assert_eq!(schedule.throughput(), rat(1, 2));
+        // One scatter every two time-units: TP * T operations per period.
+        let expected_ops = &Ratio::from(sol.period()) * sol.throughput();
+        assert_eq!(schedule.operations_per_period, expected_ops);
+        // Every message type reaches its target with the right multiplicity.
+        let totals = schedule.transfer_totals();
+        let mut delivered_p0 = Ratio::zero();
+        let mut delivered_p1 = Ratio::zero();
+        for ((_, to, payload), count) in &totals {
+            if let Payload::Scatter { destination } = payload {
+                if to == destination {
+                    if destination.index() == 3 {
+                        delivered_p0 += count;
+                    } else if destination.index() == 4 {
+                        delivered_p1 += count;
+                    }
+                }
+            }
+        }
+        assert_eq!(delivered_p0, expected_ops);
+        assert_eq!(delivered_p1, expected_ops);
+    }
+
+    #[test]
+    fn figure2_paper_solution_is_feasible_with_same_throughput() {
+        // The per-edge rates printed on Figure 2(b) (for a period of 12):
+        // Ps->Pa: 3 m0, Ps->Pb: 3 m0 + 6 m1, Pa->P0: 3 m0, Pb->P0: 3 m0,
+        // Pb->P1: 6 m1.  They form a feasible steady-state solution with the
+        // same optimal throughput 1/2, using both routes towards P0.  The LP
+        // may return a different (equally optimal) vertex, so we verify the
+        // paper's solution explicitly rather than requiring the solver to
+        // reproduce that exact vertex.
+        let problem = figure2_problem();
+        let platform = problem.platform();
+        let edge = |a: usize, b: usize| platform.edge_between(NodeId(a), NodeId(b)).unwrap();
+        let mut flows = BTreeMap::new();
+        flows.insert((edge(0, 1), 0usize), rat(3, 12));
+        flows.insert((edge(0, 2), 0), rat(3, 12));
+        flows.insert((edge(0, 2), 1), rat(6, 12));
+        flows.insert((edge(1, 3), 0), rat(3, 12));
+        flows.insert((edge(2, 3), 0), rat(3, 12));
+        flows.insert((edge(2, 4), 1), rat(6, 12));
+        let paper = ScatterSolution { throughput: rat(1, 2), flows };
+        paper.verify(&problem).unwrap();
+        // And it is optimal: the LP optimum matches.
+        let sol = problem.solve().unwrap();
+        assert_eq!(sol.throughput(), paper.throughput());
+        // The paper's occupations (Figure 2(c), scaled to a period of 12).
+        assert_eq!(paper.edge_occupation(&problem, edge(0, 1)) * rat(12, 1), rat(3, 1));
+        assert_eq!(paper.edge_occupation(&problem, edge(0, 2)) * rat(12, 1), rat(9, 1));
+        assert_eq!(paper.edge_occupation(&problem, edge(1, 3)) * rat(12, 1), rat(2, 1));
+        assert_eq!(paper.edge_occupation(&problem, edge(2, 3)) * rat(12, 1), rat(4, 1));
+        assert_eq!(paper.edge_occupation(&problem, edge(2, 4)) * rat(12, 1), rat(8, 1));
+        // The paper's schedule (Figure 4) can be rebuilt from that solution.
+        let schedule = paper.build_schedule(&problem).unwrap();
+        schedule.validate(platform).unwrap();
+        assert_eq!(schedule.period, rat(4, 1));
+        assert_eq!(schedule.throughput(), rat(1, 2));
+    }
+
+    #[test]
+    fn star_scatter_throughput() {
+        // Star with k identical leaves and cost c: the source port serializes
+        // all k messages, so TP = 1 / (k * c).
+        for k in 1..5 {
+            let (p, center, leaves) = generators::star(k, rat(1, 2));
+            let problem = ScatterProblem::new(p, center, leaves).unwrap();
+            let sol = problem.solve().unwrap();
+            assert_eq!(*sol.throughput(), rat(2, k as i64));
+            sol.verify(&problem).unwrap();
+            let schedule = sol.build_schedule(&problem).unwrap();
+            schedule.validate(problem.platform()).unwrap();
+            assert_eq!(schedule.throughput(), rat(2, k as i64));
+        }
+    }
+
+    #[test]
+    fn heterogeneous_star_scatter() {
+        // Leaves with costs 1 and 1/2: TP = 1 / (1 + 1/2) = 2/3.
+        let (p, center, leaves) = generators::heterogeneous_star(&[rat(1, 1), rat(1, 2)]);
+        let problem = ScatterProblem::new(p, center, leaves).unwrap();
+        let sol = problem.solve().unwrap();
+        assert_eq!(*sol.throughput(), rat(2, 3));
+    }
+
+    #[test]
+    fn chain_scatter_bounded_by_first_hop() {
+        // On a chain source -> a -> b, messages for both targets cross the
+        // first link: TP = 1/2 with unit costs.
+        let (p, nodes) = generators::chain(3, rat(1, 1));
+        let problem = ScatterProblem::new(p, nodes[0], vec![nodes[1], nodes[2]]).unwrap();
+        let sol = problem.solve().unwrap();
+        assert_eq!(*sol.throughput(), rat(1, 2));
+        let schedule = sol.build_schedule(&problem).unwrap();
+        schedule.validate(problem.platform()).unwrap();
+    }
+
+    #[test]
+    fn invalid_problems_are_rejected() {
+        let inst = figure2();
+        // Source in targets.
+        assert!(matches!(
+            ScatterProblem::new(inst.platform.clone(), inst.source, vec![inst.source]),
+            Err(CoreError::SourceIsTarget { .. })
+        ));
+        // Empty targets.
+        assert!(matches!(
+            ScatterProblem::new(inst.platform.clone(), inst.source, vec![]),
+            Err(CoreError::EmptyProblem)
+        ));
+        // Duplicate target.
+        assert!(matches!(
+            ScatterProblem::new(
+                inst.platform.clone(),
+                inst.source,
+                vec![inst.targets[0], inst.targets[0]]
+            ),
+            Err(CoreError::DuplicateParticipant { .. })
+        ));
+        // Unreachable target: P1 cannot reach Ps (edges point away from Ps).
+        assert!(matches!(
+            ScatterProblem::new(inst.platform.clone(), inst.targets[1], vec![inst.source]),
+            Err(CoreError::Unreachable { .. })
+        ));
+    }
+
+    #[test]
+    fn lp_structure_is_reasonable() {
+        let problem = figure2_problem();
+        let (lp, vars) = problem.build_lp();
+        // 5 edges x 2 commodities + TP.
+        assert_eq!(lp.num_vars(), 11);
+        assert_eq!(vars.send.len(), 10);
+        assert!(lp.num_constraints() > 5);
+        let dump = lp.dump();
+        assert!(dump.contains("one-port-out"));
+        assert!(dump.contains("conservation"));
+        assert!(dump.contains("throughput"));
+    }
+
+    #[test]
+    fn solution_flow_accessors() {
+        let problem = figure2_problem();
+        let sol = problem.solve().unwrap();
+        assert!(!sol.flows().is_empty());
+        // Unknown edge/commodity combinations read as zero flow.
+        assert_eq!(sol.flow(EdgeId(0), 57), Ratio::zero());
+    }
+}

@@ -1,0 +1,637 @@
+//! Reduction-tree extraction (§4.3–§4.4, Lemma 2 and Theorem 1).
+//!
+//! A schedule for a single reduce operation is naturally described by a
+//! *reduction tree*: a set of transfers and computational tasks such that the
+//! input of every task is either produced by another task of the tree or is an
+//! initial value `v[i,i]` sitting on its owner, and whose final output is the
+//! complete result `v[0,N]` on the target processor.
+//!
+//! The steady-state LP solution mixes several reduction trees (different
+//! time-stamps may use different trees).  [`extract_trees`] reconstructs an
+//! explicit weighted set of trees `{(T, w(T))}` with
+//! `sum_T w(T) = TP` and `sum_T w(T) · χ_T <= A` (the LP solution), following
+//! the greedy `EXTRACT_TREES` / `FIND_TREE` algorithm of Figure 8:
+//!
+//! 1. pure transfer circulations are cancelled per interval first (they carry
+//!    no useful work and would trap the greedy walk in cycles);
+//! 2. starting from `v[0,N]` on the target, every pending input is resolved
+//!    either by a local task producing it or by a transfer from a neighbour,
+//!    preferring local computation as in the paper;
+//! 3. the tree's weight is the minimum remaining value among its operations;
+//!    that amount is subtracted and the process repeats until the accumulated
+//!    weight reaches `TP`.
+//!
+//! The number of extracted trees is polynomial (at most the number of non-zero
+//! operations, each extraction zeroing at least one of them).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use steady_platform::{EdgeId, NodeId};
+use steady_rational::Ratio;
+
+use crate::error::CoreError;
+use crate::reduce::{Interval, ReduceProblem, ReduceSolution, Task};
+
+/// One operation of a reduction tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeOp {
+    /// Transfer of the partial value `v[interval]` along `edge`.
+    Transfer {
+        /// Sending node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// Platform edge used.
+        edge: EdgeId,
+        /// The partial value moved.
+        interval: Interval,
+    },
+    /// Execution of the task `T_{k,l,m}` on `node`.
+    Compute {
+        /// Executing node.
+        node: NodeId,
+        /// The task `(k, l, m)`.
+        task: Task,
+    },
+}
+
+/// A reduction tree: a list of operations whose final product is `v[0,N]` on
+/// the target.
+#[derive(Debug, Clone, Default)]
+pub struct ReductionTree {
+    /// Operations of the tree (no particular order; dependencies are implied
+    /// by the intervals).
+    pub ops: Vec<TreeOp>,
+}
+
+impl ReductionTree {
+    /// Number of transfer operations.
+    pub fn num_transfers(&self) -> usize {
+        self.ops.iter().filter(|o| matches!(o, TreeOp::Transfer { .. })).count()
+    }
+
+    /// Number of computational tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.ops.iter().filter(|o| matches!(o, TreeOp::Compute { .. })).count()
+    }
+
+    /// Checks the structural validity of the tree for `problem`:
+    /// every operation's inputs are produced within the tree or are initial
+    /// values on their owners, every produced value is consumed exactly once
+    /// (except the final result on the target), and the tree computes `v[0,N]`
+    /// on the target.
+    pub fn verify(&self, problem: &ReduceProblem) -> Result<(), String> {
+        let n = problem.last_index();
+        // Multiset of available (interval, node) facts: initial values.
+        let mut produced: BTreeMap<(Interval, NodeId), i64> = BTreeMap::new();
+        let mut consumed: BTreeMap<(Interval, NodeId), i64> = BTreeMap::new();
+
+        for op in &self.ops {
+            match op {
+                TreeOp::Transfer { from, to, edge, interval } => {
+                    let e = problem.platform().edge(*edge);
+                    if e.from != *from || e.to != *to {
+                        return Err(format!(
+                            "transfer uses edge {:?} whose endpoints do not match {from} -> {to}",
+                            edge
+                        ));
+                    }
+                    *consumed.entry((*interval, *from)).or_insert(0) += 1;
+                    *produced.entry((*interval, *to)).or_insert(0) += 1;
+                }
+                TreeOp::Compute { node, task } => {
+                    if problem.task_time(*node).is_none() {
+                        return Err(format!("router {node} executes a task"));
+                    }
+                    let (k, l, m) = *task;
+                    if !(k <= l && l < m && m <= n) {
+                        return Err(format!("invalid task ({k},{l},{m})"));
+                    }
+                    *consumed.entry(((k, l), *node)).or_insert(0) += 1;
+                    *consumed.entry(((l + 1, m), *node)).or_insert(0) += 1;
+                    *produced.entry(((k, m), *node)).or_insert(0) += 1;
+                }
+            }
+        }
+
+        // Every consumption must be backed by a production or an initial value.
+        for (&(interval, node), &count) in &consumed {
+            let initial = problem.participant_index(node) == Some(interval.0)
+                && interval.0 == interval.1;
+            let have = produced.get(&(interval, node)).copied().unwrap_or(0);
+            if !initial && have < count {
+                return Err(format!(
+                    "value v[{},{}] consumed {count} times on {node} but produced only {have}",
+                    interval.0, interval.1
+                ));
+            }
+        }
+        // The final result must be produced on the target.
+        let final_ok = produced.get(&(((0, n)), problem.target())).copied().unwrap_or(0) >= 1
+            || (problem.participant_index(problem.target()) == Some(0) && n == 0);
+        if !final_ok {
+            return Err("the tree does not produce v[0,N] on the target".into());
+        }
+        Ok(())
+    }
+}
+
+/// A reduction tree together with its steady-state weight (operations per
+/// time-unit performed along this tree).
+#[derive(Debug, Clone)]
+pub struct WeightedTree {
+    /// The tree.
+    pub tree: ReductionTree,
+    /// Its throughput share `w(T)`.
+    pub weight: Ratio,
+}
+
+/// Key identifying one "task" of the solution in the paper's sense (either a
+/// transfer or a computation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum OpKey {
+    Send(EdgeId, Interval),
+    Compute(NodeId, Task),
+}
+
+/// Remaining (not yet attributed to a tree) amounts of every operation.
+#[derive(Debug, Clone)]
+struct Remaining {
+    values: BTreeMap<OpKey, Ratio>,
+}
+
+impl Remaining {
+    fn get(&self, key: &OpKey) -> Ratio {
+        self.values.get(key).cloned().unwrap_or_else(Ratio::zero)
+    }
+
+    fn subtract(&mut self, key: &OpKey, amount: &Ratio) {
+        if let Some(v) = self.values.get_mut(key) {
+            *v = &*v - amount;
+            if !v.is_positive() {
+                self.values.remove(key);
+            }
+        }
+    }
+}
+
+/// Extracts the weighted reduction trees realizing `solution` (Theorem 1).
+pub fn extract_trees(
+    problem: &ReduceProblem,
+    solution: &ReduceSolution,
+) -> Result<Vec<WeightedTree>, CoreError> {
+    let mut remaining = Remaining {
+        values: solution
+            .sends()
+            .iter()
+            .map(|(&(e, iv), v)| (OpKey::Send(e, iv), v.clone()))
+            .chain(solution.tasks().iter().map(|(&(n, t), v)| (OpKey::Compute(n, t), v.clone())))
+            .filter(|(_, v)| v.is_positive())
+            .collect(),
+    };
+
+    // Step 1: cancel pure transfer circulations per interval.  They satisfy
+    // the conservation law but carry no useful work, and they would trap the
+    // greedy backward walk of FIND_TREE in a cycle.
+    cancel_circulations(problem, &mut remaining);
+
+    let mut trees = Vec::new();
+    let mut total = Ratio::zero();
+    let throughput = solution.throughput().clone();
+    let max_trees = remaining.values.len() + 2;
+
+    while total < throughput {
+        if trees.len() >= max_trees {
+            return Err(CoreError::TreeExtraction {
+                reason: format!(
+                    "extracted {} trees covering only {total} of TP = {throughput}",
+                    trees.len()
+                ),
+            });
+        }
+        let tree = find_tree(problem, &remaining)?;
+        // Weight: minimum remaining value over the tree's operations, clamped
+        // by the still-uncovered throughput.
+        let mut weight = &throughput - &total;
+        for op in &tree.ops {
+            let key = op_key(op);
+            let avail = remaining.get(&key);
+            if avail < weight {
+                weight = avail;
+            }
+        }
+        if !weight.is_positive() {
+            return Err(CoreError::TreeExtraction {
+                reason: "found a tree with zero available weight".into(),
+            });
+        }
+        for op in &tree.ops {
+            remaining.subtract(&op_key(op), &weight);
+        }
+        total += &weight;
+        trees.push(WeightedTree { tree, weight });
+    }
+
+    Ok(trees)
+}
+
+fn op_key(op: &TreeOp) -> OpKey {
+    match op {
+        TreeOp::Transfer { edge, interval, .. } => OpKey::Send(*edge, *interval),
+        TreeOp::Compute { node, task } => OpKey::Compute(*node, *task),
+    }
+}
+
+/// Cancels directed cycles in the per-interval transfer flow.  Tasks strictly
+/// enlarge intervals, so any useless circulation in a conservative solution is
+/// made of transfers of a single interval only.
+fn cancel_circulations(problem: &ReduceProblem, remaining: &mut Remaining) {
+    let platform = problem.platform();
+    for interval in problem.intervals() {
+        loop {
+            // Positive-flow adjacency for this interval.
+            let mut adjacency: BTreeMap<NodeId, Vec<(EdgeId, NodeId)>> = BTreeMap::new();
+            for e in platform.edge_ids() {
+                if remaining.get(&OpKey::Send(e, interval)).is_positive() {
+                    let edge = platform.edge(e);
+                    adjacency.entry(edge.from).or_default().push((e, edge.to));
+                }
+            }
+            if adjacency.is_empty() {
+                break;
+            }
+            // DFS cycle detection.
+            let Some(cycle) = find_cycle(&adjacency) else { break };
+            let amount = cycle
+                .iter()
+                .map(|&(e, _)| remaining.get(&OpKey::Send(e, interval)))
+                .min()
+                .expect("cycle is non-empty");
+            for &(e, _) in &cycle {
+                remaining.subtract(&OpKey::Send(e, interval), &amount);
+            }
+        }
+    }
+}
+
+/// Finds a directed cycle in the adjacency structure, returned as a list of
+/// `(edge, destination)` hops.
+fn find_cycle(
+    adjacency: &BTreeMap<NodeId, Vec<(EdgeId, NodeId)>>,
+) -> Option<Vec<(EdgeId, NodeId)>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Unvisited,
+        InStack,
+        Done,
+    }
+    let mut state: BTreeMap<NodeId, State> = BTreeMap::new();
+    for &n in adjacency.keys() {
+        state.entry(n).or_insert(State::Unvisited);
+        for &(_, to) in &adjacency[&n] {
+            state.entry(to).or_insert(State::Unvisited);
+        }
+    }
+    let nodes: Vec<NodeId> = state.keys().copied().collect();
+
+    fn dfs(
+        node: NodeId,
+        adjacency: &BTreeMap<NodeId, Vec<(EdgeId, NodeId)>>,
+        state: &mut BTreeMap<NodeId, State>,
+        path: &mut Vec<(NodeId, EdgeId, NodeId)>,
+    ) -> Option<Vec<(EdgeId, NodeId)>> {
+        state.insert(node, State::InStack);
+        if let Some(next_hops) = adjacency.get(&node) {
+            for &(edge, to) in next_hops {
+                match state.get(&to).copied().unwrap_or(State::Unvisited) {
+                    State::InStack => {
+                        // Found a cycle: collect the portion of the path from `to`.
+                        let mut cycle = Vec::new();
+                        let start = path.iter().position(|&(from, _, _)| from == to);
+                        if let Some(start) = start {
+                            for &(_, e, t) in &path[start..] {
+                                cycle.push((e, t));
+                            }
+                        }
+                        cycle.push((edge, to));
+                        return Some(cycle);
+                    }
+                    State::Unvisited => {
+                        path.push((node, edge, to));
+                        if let Some(c) = dfs(to, adjacency, state, path) {
+                            return Some(c);
+                        }
+                        path.pop();
+                    }
+                    State::Done => {}
+                }
+            }
+        }
+        state.insert(node, State::Done);
+        None
+    }
+
+    for n in nodes {
+        if state[&n] == State::Unvisited {
+            let mut path = Vec::new();
+            if let Some(c) = dfs(n, adjacency, &mut state, &mut path) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+/// One pending input of `FIND_TREE`: the partial value `interval` must be made
+/// available on `node`; `forbidden` lists the nodes already traversed by this
+/// interval's transfer chain (cycle guard).
+#[derive(Debug, Clone)]
+struct PendingInput {
+    interval: Interval,
+    node: NodeId,
+    forbidden: BTreeSet<NodeId>,
+}
+
+/// `FIND_TREE` (Figure 8): walks backwards from `v[0,N]` on the target,
+/// resolving every pending input by a local task (preferred, as in the paper)
+/// or by a transfer from a neighbour with positive remaining flow.
+fn find_tree(problem: &ReduceProblem, remaining: &Remaining) -> Result<ReductionTree, CoreError> {
+    let platform = problem.platform();
+    let n = problem.last_index();
+    let mut ops = Vec::new();
+    let mut inputs = vec![PendingInput {
+        interval: (0, n),
+        node: problem.target(),
+        forbidden: BTreeSet::from([problem.target()]),
+    }];
+
+    let mut guard = 0usize;
+    let guard_cap = 4 * (remaining.values.len() + problem.intervals().len() + 4)
+        * (platform.num_nodes() + 1);
+
+    while let Some(pos) = inputs.iter().position(|inp| {
+        !(problem.participant_index(inp.node) == Some(inp.interval.0)
+            && inp.interval.0 == inp.interval.1)
+    }) {
+        guard += 1;
+        if guard > guard_cap {
+            return Err(CoreError::TreeExtraction {
+                reason: "FIND_TREE exceeded its iteration bound".into(),
+            });
+        }
+        let input = inputs.swap_remove(pos);
+        let (k, m) = input.interval;
+        let node = input.node;
+
+        // Preferred: the value is computed in place by some task T_{k,l,m}.
+        let mut best_task: Option<(Task, Ratio)> = None;
+        if problem.task_time(node).is_some() {
+            for l in k..m {
+                let avail = remaining.get(&OpKey::Compute(node, (k, l, m)));
+                if avail.is_positive() {
+                    match &best_task {
+                        Some((_, best)) if *best >= avail => {}
+                        _ => best_task = Some(((k, l, m), avail)),
+                    }
+                }
+            }
+        }
+        if let Some((task, _)) = best_task {
+            let (_, l, _) = task;
+            ops.push(TreeOp::Compute { node, task });
+            inputs.push(PendingInput {
+                interval: (k, l),
+                node,
+                forbidden: BTreeSet::from([node]),
+            });
+            inputs.push(PendingInput {
+                interval: (l + 1, m),
+                node,
+                forbidden: BTreeSet::from([node]),
+            });
+            continue;
+        }
+
+        // Otherwise: the value is received from a neighbour.
+        let mut best_edge: Option<(EdgeId, NodeId, Ratio)> = None;
+        for &e in platform.in_edges(node) {
+            let from = platform.edge(e).from;
+            if input.forbidden.contains(&from) {
+                continue;
+            }
+            let avail = remaining.get(&OpKey::Send(e, (k, m)));
+            if avail.is_positive() {
+                match &best_edge {
+                    Some((_, _, best)) if *best >= avail => {}
+                    _ => best_edge = Some((e, from, avail)),
+                }
+            }
+        }
+        let Some((edge, from, _)) = best_edge else {
+            return Err(CoreError::TreeExtraction {
+                reason: format!(
+                    "no remaining operation produces v[{k},{m}] on {node} (throughput not fully decomposable)"
+                ),
+            });
+        };
+        ops.push(TreeOp::Transfer { from, to: node, edge, interval: (k, m) });
+        let mut forbidden = input.forbidden.clone();
+        forbidden.insert(from);
+        inputs.push(PendingInput { interval: (k, m), node: from, forbidden });
+    }
+
+    Ok(ReductionTree { ops })
+}
+
+/// Verifies a weighted tree set against the original solution:
+/// `sum_T w(T) = TP`, `sum_T w(T) · χ_T <= A`, and each tree is structurally
+/// valid.
+pub fn verify_tree_set(
+    problem: &ReduceProblem,
+    solution: &ReduceSolution,
+    trees: &[WeightedTree],
+) -> Result<(), String> {
+    let mut usage: BTreeMap<OpKey, Ratio> = BTreeMap::new();
+    let mut total = Ratio::zero();
+    for wt in trees {
+        if !wt.weight.is_positive() {
+            return Err("a tree has non-positive weight".into());
+        }
+        wt.tree.verify(problem)?;
+        total += &wt.weight;
+        for op in &wt.tree.ops {
+            *usage.entry(op_key(op)).or_insert_with(Ratio::zero) += &wt.weight;
+        }
+    }
+    if total != *solution.throughput() {
+        return Err(format!(
+            "tree weights sum to {total} instead of TP = {}",
+            solution.throughput()
+        ));
+    }
+    for (key, used) in &usage {
+        let available = match key {
+            OpKey::Send(e, iv) => solution.send_rate(*e, *iv),
+            OpKey::Compute(n, t) => solution.task_rate(*n, *t),
+        };
+        if *used > available {
+            return Err(format!("operation {key:?} used {used} but only {available} available"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce::ReduceProblem;
+    use steady_platform::generators::{self, figure6};
+    use steady_rational::rat;
+
+    fn figure6_problem() -> ReduceProblem {
+        ReduceProblem::from_instance(figure6()).unwrap()
+    }
+
+    #[test]
+    fn figure6_decomposes_into_two_trees() {
+        // Figure 7: the solution of Figure 6 uses two reduction trees with
+        // throughputs 1/3 and 2/3.
+        let problem = figure6_problem();
+        let solution = problem.solve().unwrap();
+        let trees = extract_trees(&problem, &solution).unwrap();
+        verify_tree_set(&problem, &solution, &trees).unwrap();
+        let total: Ratio = trees.iter().map(|t| t.weight.clone()).sum();
+        assert_eq!(total, rat(1, 1));
+        // A reduce over three values always needs exactly two tasks per tree.
+        for t in &trees {
+            assert_eq!(t.tree.num_tasks(), 2);
+            assert!(t.tree.num_transfers() >= 2);
+        }
+        // The optimum genuinely needs more than one tree here (the paper uses
+        // weights 1/3 and 2/3); we only require a small polynomial number.
+        assert!(!trees.is_empty() && trees.len() <= 6, "got {} trees", trees.len());
+    }
+
+    #[test]
+    fn figure6_paper_trees_are_valid() {
+        // Hand-build the two trees of Figure 7 and check them.
+        let problem = figure6_problem();
+        let platform = problem.platform();
+        let e = |a: usize, b: usize| platform.edge_between(NodeId(a), NodeId(b)).unwrap();
+        // Tree T0 (throughput 1/3): P2 sends v[2,2] to P1, P1 computes T_{1,1,2},
+        // P1 sends v[1,2] to P0, P0 computes T_{0,0,2}.
+        let t0 = ReductionTree {
+            ops: vec![
+                TreeOp::Transfer { from: NodeId(2), to: NodeId(1), edge: e(2, 1), interval: (2, 2) },
+                TreeOp::Compute { node: NodeId(1), task: (1, 1, 2) },
+                TreeOp::Transfer { from: NodeId(1), to: NodeId(0), edge: e(1, 0), interval: (1, 2) },
+                TreeOp::Compute { node: NodeId(0), task: (0, 0, 2) },
+            ],
+        };
+        t0.verify(&problem).unwrap();
+        // Tree T1 (throughput 2/3): P1 sends v[1,1] to P2, P2 computes T_{1,1,2},
+        // P2 sends v[1,2] to P0, P0 computes T_{0,0,2}.
+        let t1 = ReductionTree {
+            ops: vec![
+                TreeOp::Transfer { from: NodeId(1), to: NodeId(2), edge: e(1, 2), interval: (1, 1) },
+                TreeOp::Compute { node: NodeId(2), task: (1, 1, 2) },
+                TreeOp::Transfer { from: NodeId(2), to: NodeId(0), edge: e(2, 0), interval: (1, 2) },
+                TreeOp::Compute { node: NodeId(0), task: (0, 0, 2) },
+            ],
+        };
+        t1.verify(&problem).unwrap();
+        assert_eq!(t0.num_transfers(), 2);
+        assert_eq!(t0.num_tasks(), 2);
+    }
+
+    #[test]
+    fn tree_verify_rejects_missing_production() {
+        let problem = figure6_problem();
+        let platform = problem.platform();
+        let e = |a: usize, b: usize| platform.edge_between(NodeId(a), NodeId(b)).unwrap();
+        // v[1,2] is sent without ever being computed.
+        let bad = ReductionTree {
+            ops: vec![
+                TreeOp::Transfer { from: NodeId(1), to: NodeId(0), edge: e(1, 0), interval: (1, 2) },
+                TreeOp::Compute { node: NodeId(0), task: (0, 0, 2) },
+            ],
+        };
+        let err = bad.verify(&problem).unwrap_err();
+        assert!(err.contains("consumed"), "{err}");
+    }
+
+    #[test]
+    fn tree_verify_rejects_wrong_final_result() {
+        let problem = figure6_problem();
+        let platform = problem.platform();
+        let e = |a: usize, b: usize| platform.edge_between(NodeId(a), NodeId(b)).unwrap();
+        // A tree that only builds v[1,2] on P0 and never the full result.
+        let bad = ReductionTree {
+            ops: vec![
+                TreeOp::Transfer { from: NodeId(2), to: NodeId(1), edge: e(2, 1), interval: (2, 2) },
+                TreeOp::Compute { node: NodeId(1), task: (1, 1, 2) },
+                TreeOp::Transfer { from: NodeId(1), to: NodeId(0), edge: e(1, 0), interval: (1, 2) },
+            ],
+        };
+        let err = bad.verify(&problem).unwrap_err();
+        assert!(err.contains("does not produce"), "{err}");
+    }
+
+    #[test]
+    fn extraction_survives_junk_circulations() {
+        // Start from half of the optimal solution (so that ports have slack)
+        // and add a useless v[1,1] circulation P1 -> P2 -> P1; the doctored
+        // solution is still feasible and extraction must not be confused by
+        // the junk flow.
+        let problem = figure6_problem();
+        let solution = problem.solve().unwrap();
+        let platform = problem.platform();
+        let half = rat(1, 2);
+        let mut sends: BTreeMap<_, _> = solution
+            .sends()
+            .iter()
+            .map(|(k, v)| (*k, v * &half))
+            .collect();
+        let tasks: BTreeMap<_, _> =
+            solution.tasks().iter().map(|(k, v)| (*k, v * &half)).collect();
+        let e12 = platform.edge_between(NodeId(1), NodeId(2)).unwrap();
+        let e21 = platform.edge_between(NodeId(2), NodeId(1)).unwrap();
+        *sends.entry((e12, (1, 1))).or_insert_with(Ratio::zero) += rat(1, 10);
+        *sends.entry((e21, (1, 1))).or_insert_with(Ratio::zero) += rat(1, 10);
+        let doctored =
+            ReduceSolution::from_rates(solution.throughput() * &half, sends, tasks);
+        // The doctored solution still satisfies every constraint (the cycle is
+        // conservative and the ports have slack) ...
+        doctored.verify(&problem).unwrap();
+        // ... and the extraction is not confused by the junk flow.
+        let trees = extract_trees(&problem, &doctored).unwrap();
+        let total: Ratio = trees.iter().map(|t| t.weight.clone()).sum();
+        assert_eq!(total, rat(1, 2));
+        for t in &trees {
+            t.tree.verify(&problem).unwrap();
+        }
+    }
+
+    #[test]
+    fn chain_reduce_tree_extraction() {
+        // Four participants on a chain, target at one end: the natural tree is
+        // a pipeline of partial combinations.
+        let (p, nodes) = generators::chain(4, rat(1, 1));
+        let problem = ReduceProblem::new(
+            p,
+            vec![nodes[0], nodes[1], nodes[2], nodes[3]],
+            nodes[0],
+            rat(1, 1),
+            rat(1, 1),
+        )
+        .unwrap();
+        let solution = problem.solve().unwrap();
+        solution.verify(&problem).unwrap();
+        let trees = extract_trees(&problem, &solution).unwrap();
+        verify_tree_set(&problem, &solution, &trees).unwrap();
+        // Every tree must contain exactly N = 3 computational tasks.
+        for t in &trees {
+            assert_eq!(t.tree.num_tasks(), 3);
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! Exact solutions and optimality certification.
+//!
+//! The paper's schedule-construction step needs the LP solution as *exact
+//! rationals*: the period of the schedule is the least common multiple of the
+//! denominators (§3.1, §4.2).  Two ways of obtaining such a solution are
+//! provided:
+//!
+//! * [`solve_exact`](crate::simplex::solve_exact) — run the simplex entirely
+//!   in rational arithmetic.  Robust but expensive for the larger instances
+//!   (the Figure-9 reduce LP has a few thousand variables).
+//! * [`solve_certified`] — run the simplex in `f64`, *rationalize* the primal
+//!   and dual solutions with continued fractions, and verify exactly that
+//!   (a) the primal is feasible, (b) the dual is feasible, and (c) the two
+//!   objective values coincide (strong duality).  When all three checks pass
+//!   the rational primal solution is a certified optimum, with the heavy
+//!   arithmetic done once instead of at every pivot.  When any check fails the
+//!   solver falls back to the exact simplex.
+//!
+//! The vertex solutions of the steady-state LPs have small denominators (they
+//! solve linear systems with small integer data), so the rationalization step
+//! recovers them exactly in practice — e.g. `2/9` for the Figure-9/10 reduce
+//! experiment.
+
+use crate::model::{LpProblem, Objective, Sense};
+use crate::simplex::{self, SimplexError, SimplexOptions, Solution};
+use steady_rational::Ratio;
+
+/// How the returned exact solution was validated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Certificate {
+    /// Primal feasibility, dual feasibility and zero duality gap were all
+    /// verified in exact arithmetic: the solution is provably optimal.
+    Optimal,
+    /// The solution was produced by the exact rational simplex (optimal by
+    /// construction).
+    ExactSimplex,
+}
+
+/// An exact, certified LP solution.
+#[derive(Debug, Clone)]
+pub struct CertifiedSolution {
+    /// Exact values of the structural variables.
+    pub values: Vec<Ratio>,
+    /// Exact objective value.
+    pub objective: Ratio,
+    /// Exact dual values (empty when produced by the exact-simplex fallback
+    /// path and duals were not needed).
+    pub duals: Vec<Ratio>,
+    /// How optimality was established.
+    pub certificate: Certificate,
+    /// Total simplex pivots performed (f64 + fallback).
+    pub iterations: usize,
+}
+
+/// Options controlling [`solve_certified`].
+#[derive(Debug, Clone)]
+pub struct CertifyOptions {
+    /// Maximum denominator used when rationalizing `f64` values.
+    pub max_denominator: u64,
+    /// Underlying simplex options.
+    pub simplex: SimplexOptions,
+    /// If `true`, never fall back to the exact simplex; return an error
+    /// instead.  Useful in benchmarks isolating the certification path.
+    pub forbid_fallback: bool,
+}
+
+impl Default for CertifyOptions {
+    fn default() -> Self {
+        CertifyOptions {
+            max_denominator: 1_000_000,
+            simplex: SimplexOptions::default(),
+            forbid_fallback: false,
+        }
+    }
+}
+
+/// Errors returned by the certified solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertifyError {
+    /// The underlying simplex failed (infeasible / unbounded / iteration limit).
+    Simplex(SimplexError),
+    /// Certification failed and fallback was forbidden.
+    CertificationFailed {
+        /// Reason the exact verification rejected the rationalized solution.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for CertifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CertifyError::Simplex(e) => write!(f, "{e}"),
+            CertifyError::CertificationFailed { reason } => {
+                write!(f, "exact certification failed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CertifyError {}
+
+impl From<SimplexError> for CertifyError {
+    fn from(e: SimplexError) -> Self {
+        CertifyError::Simplex(e)
+    }
+}
+
+/// Solves `problem` and returns an exact solution, preferring the fast
+/// `f64`-then-certify path and falling back to the exact rational simplex.
+pub fn solve_certified(problem: &LpProblem) -> Result<CertifiedSolution, CertifyError> {
+    solve_certified_with_options(problem, &CertifyOptions::default())
+}
+
+/// [`solve_certified`] with explicit options.
+pub fn solve_certified_with_options(
+    problem: &LpProblem,
+    options: &CertifyOptions,
+) -> Result<CertifiedSolution, CertifyError> {
+    let float = simplex::solve_with_options::<f64>(problem, &options.simplex)?;
+    match certify(problem, &float, options.max_denominator) {
+        Ok(sol) => Ok(sol),
+        Err(reason) => {
+            if options.forbid_fallback {
+                return Err(CertifyError::CertificationFailed { reason });
+            }
+            let exact = simplex::solve_with_options::<Ratio>(problem, &options.simplex)?;
+            Ok(CertifiedSolution {
+                values: exact.values,
+                objective: exact.objective,
+                duals: exact.duals,
+                certificate: Certificate::ExactSimplex,
+                iterations: float.iterations + exact.iterations,
+            })
+        }
+    }
+}
+
+/// Rationalizes a floating-point solution and verifies optimality exactly.
+///
+/// Returns `Err(reason)` when any of the exact checks fails.
+pub fn certify(
+    problem: &LpProblem,
+    float: &Solution<f64>,
+    max_denominator: u64,
+) -> Result<CertifiedSolution, String> {
+    // Rationalize the primal.
+    let mut values = Vec::with_capacity(float.values.len());
+    for (i, &v) in float.values.iter().enumerate() {
+        let r = Ratio::approximate_f64(v, max_denominator)
+            .ok_or_else(|| format!("variable {i} is not finite"))?;
+        // Clamp tiny negatives produced by round-off.
+        values.push(if r.is_negative() { Ratio::zero() } else { r });
+    }
+
+    // Exact primal feasibility.
+    problem.check_feasible(&values).map_err(|e| format!("primal infeasible: {e}"))?;
+    let primal_obj = problem.objective_value(&values);
+
+    // Rationalize the dual and check dual feasibility + strong duality.
+    let mut duals = Vec::with_capacity(float.duals.len());
+    for (i, &y) in float.duals.iter().enumerate() {
+        let r = Ratio::approximate_f64(y, max_denominator)
+            .ok_or_else(|| format!("dual {i} is not finite"))?;
+        duals.push(r);
+    }
+    check_dual_feasible(problem, &duals).map_err(|e| format!("dual infeasible: {e}"))?;
+
+    let dual_obj: Ratio = problem
+        .constraints()
+        .iter()
+        .zip(&duals)
+        .map(|(c, y)| &c.rhs * y)
+        .sum();
+
+    let gap = match problem.direction() {
+        Objective::Maximize => &dual_obj - &primal_obj,
+        Objective::Minimize => &primal_obj - &dual_obj,
+    };
+    if !gap.is_zero() {
+        return Err(format!(
+            "duality gap is {gap} (primal {primal_obj}, dual {dual_obj})"
+        ));
+    }
+
+    Ok(CertifiedSolution {
+        values,
+        objective: primal_obj,
+        duals,
+        certificate: Certificate::Optimal,
+        iterations: float.iterations,
+    })
+}
+
+/// Exact dual feasibility for `max { c x : A x (<=,=,>=) b, x >= 0 }`:
+/// sign conditions on `y` plus `A^T y >= c` componentwise (reversed for
+/// minimization problems).
+fn check_dual_feasible(problem: &LpProblem, duals: &[Ratio]) -> Result<(), String> {
+    if duals.len() != problem.num_constraints() {
+        return Err(format!(
+            "dual vector has {} entries for {} constraints",
+            duals.len(),
+            problem.num_constraints()
+        ));
+    }
+    let maximize = matches!(problem.direction(), Objective::Maximize);
+    for (c, y) in problem.constraints().iter().zip(duals) {
+        let ok = match (c.sense, maximize) {
+            (Sense::Le, true) | (Sense::Ge, false) => !y.is_negative(),
+            (Sense::Ge, true) | (Sense::Le, false) => !y.is_positive(),
+            (Sense::Eq, _) => true,
+        };
+        if !ok {
+            return Err(format!("dual of constraint '{}' has the wrong sign ({y})", c.name));
+        }
+    }
+    // Column constraints: for every structural variable j,
+    //   sum_i A_ij y_i >= c_j   (maximize)   /   <= c_j (minimize).
+    let mut column_sums = vec![Ratio::zero(); problem.num_vars()];
+    for (c, y) in problem.constraints().iter().zip(duals) {
+        if y.is_zero() {
+            continue;
+        }
+        for (v, coeff) in c.expr.terms() {
+            column_sums[v.index()] += coeff * y;
+        }
+    }
+    for (j, sum) in column_sums.iter().enumerate() {
+        let c_j = &problem.objective_vector()[j];
+        let ok = if maximize { sum >= c_j } else { sum <= c_j };
+        if !ok {
+            return Err(format!(
+                "dual constraint for variable {} violated ({sum} vs {c_j})",
+                problem.var_name(crate::model::VarId(j))
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LinearExpr, LpProblem, Sense};
+    use steady_rational::rat;
+
+    fn expr(terms: &[(crate::model::VarId, Ratio)]) -> LinearExpr {
+        let mut e = LinearExpr::new();
+        for (v, c) in terms {
+            e.add_term(*v, c.clone());
+        }
+        e
+    }
+
+    fn sample_lp() -> LpProblem {
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective(x, rat(3, 1));
+        lp.set_objective(y, rat(2, 1));
+        lp.add_constraint("c1", expr(&[(x, rat(1, 1)), (y, rat(1, 1))]), Sense::Le, rat(4, 1));
+        lp.add_constraint("c2", expr(&[(x, rat(1, 1)), (y, rat(3, 1))]), Sense::Le, rat(6, 1));
+        lp
+    }
+
+    #[test]
+    fn certified_simple() {
+        let sol = solve_certified(&sample_lp()).unwrap();
+        assert_eq!(sol.objective, rat(12, 1));
+        assert_eq!(sol.certificate, Certificate::Optimal);
+        assert_eq!(sol.values, vec![rat(4, 1), rat(0, 1)]);
+    }
+
+    #[test]
+    fn certified_fractional() {
+        // Optimum with denominators that the continued-fraction step must recover.
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective(x, rat(1, 1));
+        lp.set_objective(y, rat(1, 1));
+        lp.add_constraint("a", expr(&[(x, rat(2, 1)), (y, rat(1, 1))]), Sense::Le, rat(1, 1));
+        lp.add_constraint("b", expr(&[(x, rat(1, 1)), (y, rat(3, 1))]), Sense::Le, rat(1, 1));
+        let sol = solve_certified(&lp).unwrap();
+        assert_eq!(sol.values, vec![rat(2, 5), rat(1, 5)]);
+        assert_eq!(sol.objective, rat(3, 5));
+        assert_eq!(sol.certificate, Certificate::Optimal);
+    }
+
+    #[test]
+    fn certified_with_equalities() {
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        let z = lp.add_var("z");
+        lp.set_objective(z, rat(1, 1));
+        lp.add_constraint(
+            "flow",
+            expr(&[(x, rat(1, 1)), (y, rat(-1, 1))]),
+            Sense::Eq,
+            rat(0, 1),
+        );
+        lp.add_constraint("capx", expr(&[(x, rat(3, 1))]), Sense::Le, rat(1, 1));
+        lp.add_constraint(
+            "link",
+            expr(&[(z, rat(1, 1)), (y, rat(-1, 1))]),
+            Sense::Le,
+            rat(0, 1),
+        );
+        let sol = solve_certified(&lp).unwrap();
+        assert_eq!(sol.objective, rat(1, 3));
+    }
+
+    #[test]
+    fn infeasible_propagates() {
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var("x");
+        lp.set_objective(x, rat(1, 1));
+        lp.add_constraint("lo", expr(&[(x, rat(1, 1))]), Sense::Ge, rat(5, 1));
+        lp.add_constraint("hi", expr(&[(x, rat(1, 1))]), Sense::Le, rat(3, 1));
+        assert!(matches!(
+            solve_certified(&lp),
+            Err(CertifyError::Simplex(SimplexError::Infeasible))
+        ));
+    }
+
+    #[test]
+    fn certify_rejects_wrong_objective() {
+        // Hand a deliberately sub-optimal "solution" to certify(): the duality
+        // gap check must reject it.
+        let lp = sample_lp();
+        let float = Solution {
+            values: vec![1.0, 1.0],
+            objective: 5.0,
+            duals: vec![0.0, 0.0],
+            iterations: 0,
+        };
+        let err = certify(&lp, &float, 1_000_000).unwrap_err();
+        assert!(err.contains("dual") || err.contains("gap"), "unexpected reason: {err}");
+    }
+
+    #[test]
+    fn certify_rejects_infeasible_primal() {
+        let lp = sample_lp();
+        let float = Solution {
+            values: vec![10.0, 0.0],
+            objective: 30.0,
+            duals: vec![3.0, 0.0],
+            iterations: 0,
+        };
+        let err = certify(&lp, &float, 1_000_000).unwrap_err();
+        assert!(err.contains("primal infeasible"), "unexpected reason: {err}");
+    }
+
+    #[test]
+    fn fallback_to_exact_simplex() {
+        // Force the certification path to fail by using a max denominator of 1:
+        // fractional optima cannot be represented, so the solver must fall back.
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective(x, rat(1, 1));
+        lp.set_objective(y, rat(1, 1));
+        lp.add_constraint("a", expr(&[(x, rat(2, 1)), (y, rat(1, 1))]), Sense::Le, rat(1, 1));
+        lp.add_constraint("b", expr(&[(x, rat(1, 1)), (y, rat(3, 1))]), Sense::Le, rat(1, 1));
+        let opts = CertifyOptions { max_denominator: 1, ..Default::default() };
+        let sol = solve_certified_with_options(&lp, &opts).unwrap();
+        assert_eq!(sol.certificate, Certificate::ExactSimplex);
+        assert_eq!(sol.objective, rat(3, 5));
+
+        let strict = CertifyOptions { max_denominator: 1, forbid_fallback: true, ..Default::default() };
+        assert!(matches!(
+            solve_certified_with_options(&lp, &strict),
+            Err(CertifyError::CertificationFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn minimization_certified() {
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective(x, rat(1, 1));
+        lp.set_objective(y, rat(1, 1));
+        lp.add_constraint("a", expr(&[(x, rat(1, 1)), (y, rat(2, 1))]), Sense::Ge, rat(4, 1));
+        lp.add_constraint("b", expr(&[(x, rat(3, 1)), (y, rat(1, 1))]), Sense::Ge, rat(6, 1));
+        let sol = solve_certified(&lp).unwrap();
+        assert_eq!(sol.objective, rat(14, 5));
+    }
+}

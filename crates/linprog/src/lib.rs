@@ -1,0 +1,104 @@
+//! Linear-programming toolkit for the steady-state collective scheduler.
+//!
+//! The optimal steady-state throughput of a series of scatters, gossips or
+//! reduces is the value of a linear program (`SSSP(G)`, `SSPA2A(G)`, `SSR(G)`
+//! in the paper).  The original authors solved these programs with `lpsolve`
+//! or Maple; this crate is the from-scratch substitute:
+//!
+//! * [`model`] — a small modelling layer ([`LpProblem`], [`LinearExpr`]) over
+//!   named non-negative rational variables;
+//! * [`simplex`] — a dense two-phase primal simplex, generic over the scalar
+//!   type, instantiated both for `f64` and for exact [`Ratio`] arithmetic;
+//! * [`exact`] — the certified solving pipeline: solve fast in `f64`,
+//!   rationalize the primal/dual pair with continued fractions, verify
+//!   feasibility and strong duality exactly, and fall back to the exact
+//!   simplex when certification fails.
+//!
+//! # Example
+//!
+//! ```
+//! use steady_lp::{LpProblem, LinearExpr, Sense, solve_certified};
+//! use steady_rational::rat;
+//!
+//! // maximize x + y  subject to  2x + y <= 1,  x + 3y <= 1,  x, y >= 0
+//! let mut lp = LpProblem::maximize();
+//! let x = lp.add_var("x");
+//! let y = lp.add_var("y");
+//! lp.set_objective(x, rat(1, 1));
+//! lp.set_objective(y, rat(1, 1));
+//! let mut c1 = LinearExpr::new();
+//! c1.add_term(x, rat(2, 1)).add_term(y, rat(1, 1));
+//! lp.add_constraint("c1", c1, Sense::Le, rat(1, 1));
+//! let mut c2 = LinearExpr::new();
+//! c2.add_term(x, rat(1, 1)).add_term(y, rat(3, 1));
+//! lp.add_constraint("c2", c2, Sense::Le, rat(1, 1));
+//!
+//! let sol = solve_certified(&lp).unwrap();
+//! assert_eq!(sol.objective, rat(3, 5));          // exact optimum
+//! assert_eq!(sol.values, vec![rat(2, 5), rat(1, 5)]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod exact;
+pub mod model;
+pub mod scalar;
+pub mod simplex;
+
+pub use exact::{
+    certify, solve_certified, solve_certified_with_options, Certificate, CertifiedSolution,
+    CertifyError, CertifyOptions,
+};
+pub use model::{Constraint, LinearExpr, LpProblem, Objective, Sense, VarId};
+pub use scalar::Scalar;
+pub use simplex::{
+    solve_exact, solve_f64, solve_with_options, LpStatus, SimplexError, SimplexOptions, Solution,
+};
+
+use steady_rational::Ratio;
+
+/// Solves a problem exactly, choosing the strategy by problem size: small
+/// problems go straight to the exact simplex, larger ones use the certified
+/// `f64` path with exact-simplex fallback.
+///
+/// This is the entry point used by the steady-state schedulers.
+pub fn solve_exact_auto(problem: &LpProblem) -> Result<CertifiedSolution, CertifyError> {
+    const EXACT_SIMPLEX_LIMIT: usize = 2_000;
+    let size = problem.num_vars() * problem.num_constraints().max(1);
+    if size <= EXACT_SIMPLEX_LIMIT {
+        let sol = simplex::solve_exact(problem)?;
+        Ok(CertifiedSolution {
+            values: sol.values,
+            objective: sol.objective,
+            duals: sol.duals,
+            certificate: Certificate::ExactSimplex,
+            iterations: sol.iterations,
+        })
+    } else {
+        solve_certified(problem)
+    }
+}
+
+/// Convenience: exact objective value of the solved problem, for callers that
+/// only need the optimal throughput.
+pub fn optimal_value(problem: &LpProblem) -> Result<Ratio, CertifyError> {
+    Ok(solve_exact_auto(problem)?.objective)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steady_rational::rat;
+
+    #[test]
+    fn auto_strategy_small_and_large() {
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var("x");
+        lp.set_objective(x, rat(1, 1));
+        lp.add_constraint("cap", LinearExpr::var(x), Sense::Le, rat(7, 3));
+        let sol = solve_exact_auto(&lp).unwrap();
+        assert_eq!(sol.objective, rat(7, 3));
+        assert_eq!(optimal_value(&lp).unwrap(), rat(7, 3));
+    }
+}

@@ -1,0 +1,422 @@
+//! Linear-program model builder.
+//!
+//! The steady-state LPs of the paper (`SSSP(G)`, `SSPA2A(G)`, `SSR(G)`) are
+//! built programmatically: every variable is a named, non-negative rational
+//! quantity (a `send(Pi -> Pj, m_k)` rate, a `cons(Pi, T_klm)` rate, or the
+//! throughput `TP`), and every constraint is a linear relation between them.
+//!
+//! [`LpProblem`] collects variables and constraints and is consumed by the
+//! solvers in [`crate::simplex`] and [`crate::exact`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use steady_rational::Ratio;
+
+/// Identifier of a decision variable inside an [`LpProblem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Index of the variable in the problem's variable list.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Direction of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// `expr <= rhs`
+    Le,
+    /// `expr == rhs`
+    Eq,
+    /// `expr >= rhs`
+    Ge,
+}
+
+impl fmt::Display for Sense {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sense::Le => write!(f, "<="),
+            Sense::Eq => write!(f, "=="),
+            Sense::Ge => write!(f, ">="),
+        }
+    }
+}
+
+/// Sparse linear expression `sum coeff_i * x_i`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LinearExpr {
+    /// Map variable -> coefficient; zero coefficients are pruned lazily.
+    terms: BTreeMap<VarId, Ratio>,
+}
+
+impl LinearExpr {
+    /// The empty expression (value 0).
+    pub fn new() -> Self {
+        LinearExpr { terms: BTreeMap::new() }
+    }
+
+    /// Expression consisting of a single variable with coefficient 1.
+    pub fn var(v: VarId) -> Self {
+        let mut e = LinearExpr::new();
+        e.add_term(v, Ratio::one());
+        e
+    }
+
+    /// Adds `coeff * v` to the expression (accumulating with any existing term).
+    pub fn add_term(&mut self, v: VarId, coeff: Ratio) -> &mut Self {
+        if coeff.is_zero() {
+            return self;
+        }
+        let entry = self.terms.entry(v).or_insert_with(Ratio::zero);
+        *entry = &*entry + &coeff;
+        if entry.is_zero() {
+            self.terms.remove(&v);
+        }
+        self
+    }
+
+    /// Adds `other` to this expression.
+    pub fn add_expr(&mut self, other: &LinearExpr) -> &mut Self {
+        for (v, c) in &other.terms {
+            self.add_term(*v, c.clone());
+        }
+        self
+    }
+
+    /// Subtracts `other` from this expression.
+    pub fn sub_expr(&mut self, other: &LinearExpr) -> &mut Self {
+        for (v, c) in &other.terms {
+            self.add_term(*v, -c);
+        }
+        self
+    }
+
+    /// Iterates over `(variable, coefficient)` pairs with non-zero coefficients.
+    pub fn terms(&self) -> impl Iterator<Item = (VarId, &Ratio)> {
+        self.terms.iter().map(|(v, c)| (*v, c))
+    }
+
+    /// Number of non-zero terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `true` if the expression has no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Evaluates the expression against an assignment of all variables.
+    pub fn eval(&self, values: &[Ratio]) -> Ratio {
+        let mut acc = Ratio::zero();
+        for (v, c) in &self.terms {
+            acc += c * &values[v.0];
+        }
+        acc
+    }
+
+    /// Evaluates the expression against an `f64` assignment.
+    pub fn eval_f64(&self, values: &[f64]) -> f64 {
+        self.terms.iter().map(|(v, c)| c.to_f64() * values[v.0]).sum()
+    }
+}
+
+/// A single linear constraint `expr (<=|==|>=) rhs`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Optional human-readable label (used in error reporting and dumps).
+    pub name: String,
+    /// Left-hand side.
+    pub expr: LinearExpr,
+    /// Relation.
+    pub sense: Sense,
+    /// Right-hand side constant.
+    pub rhs: Ratio,
+}
+
+impl Constraint {
+    /// Checks whether the constraint holds exactly for `values`.
+    pub fn is_satisfied(&self, values: &[Ratio]) -> bool {
+        let lhs = self.expr.eval(values);
+        match self.sense {
+            Sense::Le => lhs <= self.rhs,
+            Sense::Eq => lhs == self.rhs,
+            Sense::Ge => lhs >= self.rhs,
+        }
+    }
+
+    /// Signed violation amount (zero when satisfied).
+    pub fn violation(&self, values: &[Ratio]) -> Ratio {
+        let lhs = self.expr.eval(values);
+        match self.sense {
+            Sense::Le => (&lhs - &self.rhs).max(Ratio::zero()),
+            Sense::Ge => (&self.rhs - &lhs).max(Ratio::zero()),
+            Sense::Eq => (&lhs - &self.rhs).abs(),
+        }
+    }
+}
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// Maximize the objective expression (the default; the paper maximizes TP).
+    #[default]
+    Maximize,
+    /// Minimize the objective expression.
+    Minimize,
+}
+
+/// A linear program: named non-negative variables, linear constraints and a
+/// linear objective.
+///
+/// All variables are implicitly constrained to be `>= 0`, matching the
+/// steady-state formulations where every quantity is a non-negative rate.
+#[derive(Debug, Clone, Default)]
+pub struct LpProblem {
+    names: Vec<String>,
+    /// Objective coefficients, indexed by variable.
+    objective: Vec<Ratio>,
+    direction: Objective,
+    constraints: Vec<Constraint>,
+}
+
+impl LpProblem {
+    /// Creates an empty problem with the given optimization direction.
+    pub fn new(direction: Objective) -> Self {
+        LpProblem { names: Vec::new(), objective: Vec::new(), direction, constraints: Vec::new() }
+    }
+
+    /// Creates an empty maximization problem.
+    pub fn maximize() -> Self {
+        LpProblem::new(Objective::Maximize)
+    }
+
+    /// Creates an empty minimization problem.
+    pub fn minimize() -> Self {
+        LpProblem::new(Objective::Minimize)
+    }
+
+    /// Adds a non-negative variable and returns its id.
+    pub fn add_var(&mut self, name: impl Into<String>) -> VarId {
+        self.names.push(name.into());
+        self.objective.push(Ratio::zero());
+        VarId(self.names.len() - 1)
+    }
+
+    /// Sets the objective coefficient of `v`.
+    pub fn set_objective(&mut self, v: VarId, coeff: Ratio) {
+        self.objective[v.0] = coeff;
+    }
+
+    /// Returns the objective coefficient of `v`.
+    pub fn objective_coeff(&self, v: VarId) -> &Ratio {
+        &self.objective[v.0]
+    }
+
+    /// Optimization direction.
+    pub fn direction(&self) -> Objective {
+        self.direction
+    }
+
+    /// Adds the constraint `expr sense rhs`.
+    pub fn add_constraint(
+        &mut self,
+        name: impl Into<String>,
+        expr: LinearExpr,
+        sense: Sense,
+        rhs: Ratio,
+    ) {
+        self.constraints.push(Constraint { name: name.into(), expr, sense, rhs });
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Name of variable `v`.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.names[v.0]
+    }
+
+    /// All constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Objective coefficient vector (dense, indexed by variable).
+    pub fn objective_vector(&self) -> &[Ratio] {
+        &self.objective
+    }
+
+    /// Evaluates the objective for an exact assignment.
+    pub fn objective_value(&self, values: &[Ratio]) -> Ratio {
+        let mut acc = Ratio::zero();
+        for (c, v) in self.objective.iter().zip(values) {
+            if !c.is_zero() {
+                acc += c * v;
+            }
+        }
+        acc
+    }
+
+    /// Exact feasibility check of a full assignment (including `x >= 0`).
+    ///
+    /// Returns the name of the first violated constraint, if any.
+    pub fn check_feasible(&self, values: &[Ratio]) -> Result<(), String> {
+        if values.len() != self.num_vars() {
+            return Err(format!(
+                "assignment has {} values but the problem has {} variables",
+                values.len(),
+                self.num_vars()
+            ));
+        }
+        for (i, v) in values.iter().enumerate() {
+            if v.is_negative() {
+                return Err(format!("variable {} is negative ({v})", self.names[i]));
+            }
+        }
+        for c in &self.constraints {
+            if !c.is_satisfied(values) {
+                return Err(format!(
+                    "constraint '{}' violated by {}",
+                    c.name,
+                    c.violation(values)
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the problem in an LP-like textual format (for debugging dumps).
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        out.push_str(match self.direction {
+            Objective::Maximize => "maximize: ",
+            Objective::Minimize => "minimize: ",
+        });
+        let mut first = true;
+        for (i, c) in self.objective.iter().enumerate() {
+            if c.is_zero() {
+                continue;
+            }
+            if !first {
+                out.push_str(" + ");
+            }
+            out.push_str(&format!("{} {}", c, self.names[i]));
+            first = false;
+        }
+        out.push('\n');
+        for c in &self.constraints {
+            out.push_str(&format!("  {}: ", c.name));
+            let mut first = true;
+            for (v, coeff) in c.expr.terms() {
+                if !first {
+                    out.push_str(" + ");
+                }
+                out.push_str(&format!("{} {}", coeff, self.names[v.0]));
+                first = false;
+            }
+            out.push_str(&format!(" {} {}\n", c.sense, c.rhs));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steady_rational::rat;
+
+    #[test]
+    fn build_small_problem() {
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective(x, rat(3, 1));
+        lp.set_objective(y, rat(2, 1));
+        let mut e = LinearExpr::new();
+        e.add_term(x, rat(1, 1)).add_term(y, rat(1, 1));
+        lp.add_constraint("budget", e, Sense::Le, rat(4, 1));
+
+        assert_eq!(lp.num_vars(), 2);
+        assert_eq!(lp.num_constraints(), 1);
+        assert_eq!(lp.var_name(x), "x");
+        assert_eq!(lp.objective_coeff(y), &rat(2, 1));
+        let vals = vec![rat(4, 1), rat(0, 1)];
+        assert!(lp.check_feasible(&vals).is_ok());
+        assert_eq!(lp.objective_value(&vals), rat(12, 1));
+        let bad = vec![rat(5, 1), rat(0, 1)];
+        assert!(lp.check_feasible(&bad).is_err());
+        let neg = vec![rat(-1, 1), rat(0, 1)];
+        assert!(lp.check_feasible(&neg).is_err());
+    }
+
+    #[test]
+    fn expr_accumulates_and_cancels() {
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var("x");
+        let mut e = LinearExpr::new();
+        e.add_term(x, rat(1, 2));
+        e.add_term(x, rat(1, 2));
+        assert_eq!(e.len(), 1);
+        assert_eq!(e.eval(&[rat(2, 1)]), rat(2, 1));
+        e.add_term(x, rat(-1, 1));
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn expr_add_sub() {
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        let mut a = LinearExpr::new();
+        a.add_term(x, rat(1, 1));
+        let mut b = LinearExpr::new();
+        b.add_term(x, rat(1, 1)).add_term(y, rat(2, 1));
+        a.add_expr(&b);
+        assert_eq!(a.eval(&[rat(1, 1), rat(1, 1)]), rat(4, 1));
+        a.sub_expr(&b);
+        assert_eq!(a.eval(&[rat(1, 1), rat(1, 1)]), rat(1, 1));
+    }
+
+    #[test]
+    fn constraint_violation_amounts() {
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var("x");
+        let c = Constraint {
+            name: "c".into(),
+            expr: LinearExpr::var(x),
+            sense: Sense::Le,
+            rhs: rat(1, 1),
+        };
+        assert_eq!(c.violation(&[rat(3, 1)]), rat(2, 1));
+        assert_eq!(c.violation(&[rat(1, 2)]), rat(0, 1));
+        let ceq = Constraint { sense: Sense::Eq, ..c.clone() };
+        assert_eq!(ceq.violation(&[rat(1, 2)]), rat(1, 2));
+        let cge = Constraint { sense: Sense::Ge, ..c };
+        assert_eq!(cge.violation(&[rat(1, 2)]), rat(1, 2));
+        assert_eq!(cge.violation(&[rat(2, 1)]), rat(0, 1));
+    }
+
+    #[test]
+    fn dump_contains_names() {
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var("tp");
+        lp.set_objective(x, rat(1, 1));
+        lp.add_constraint("cap", LinearExpr::var(x), Sense::Le, rat(1, 2));
+        let dump = lp.dump();
+        assert!(dump.contains("maximize"));
+        assert!(dump.contains("tp"));
+        assert!(dump.contains("cap"));
+        assert!(dump.contains("1/2"));
+    }
+}

@@ -1,0 +1,756 @@
+//! Dense two-phase primal simplex, generic over the scalar type.
+//!
+//! The same pivoting code is instantiated twice:
+//!
+//! * with `f64` — fast, used to locate the optimal vertex of the large
+//!   steady-state LPs (e.g. the Figure-9 reduce instance);
+//! * with [`steady_rational::Ratio`] — exact, used on small and medium
+//!   instances and as the reference implementation the floating-point result
+//!   is certified against (see [`crate::exact`]).
+//!
+//! The implementation is a classical dense tableau simplex: constraints are
+//! brought to equality standard form with slack/surplus/artificial variables,
+//! phase 1 minimizes the sum of artificials, phase 2 optimizes the real
+//! objective.  Dantzig's rule is used by default and the solver switches to
+//! Bland's rule after a configurable number of iterations so that cycling on
+//! degenerate vertices cannot prevent termination.
+
+use crate::model::{LpProblem, Objective, Sense};
+use crate::scalar::Scalar;
+use steady_rational::Ratio;
+
+/// Outcome classification of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal solution was found.
+    Optimal,
+    /// The constraint set is empty.
+    Infeasible,
+    /// The objective is unbounded above (for maximization).
+    Unbounded,
+}
+
+/// Errors produced by the simplex solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimplexError {
+    /// The problem is infeasible.
+    Infeasible,
+    /// The objective is unbounded.
+    Unbounded,
+    /// The iteration limit was exceeded (should not happen with Bland's rule;
+    /// kept as a defensive backstop).
+    IterationLimit {
+        /// Number of pivots performed before giving up.
+        iterations: usize,
+    },
+}
+
+impl std::fmt::Display for SimplexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimplexError::Infeasible => write!(f, "linear program is infeasible"),
+            SimplexError::Unbounded => write!(f, "linear program is unbounded"),
+            SimplexError::IterationLimit { iterations } => {
+                write!(f, "simplex iteration limit exceeded after {iterations} pivots")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimplexError {}
+
+/// Solution of a linear program in scalar type `S`.
+#[derive(Debug, Clone)]
+pub struct Solution<S> {
+    /// Values of the structural (user-declared) variables.
+    pub values: Vec<S>,
+    /// Objective value in the problem's own direction.
+    pub objective: S,
+    /// Dual value per original constraint (sign convention: dual of the
+    /// maximization problem; `>= 0` for `<=` rows, `<= 0` for `>=` rows,
+    /// free for `==` rows).
+    pub duals: Vec<S>,
+    /// Number of simplex pivots performed (both phases).
+    pub iterations: usize,
+}
+
+impl<S: Scalar> Solution<S> {
+    /// Value of variable `v` as `f64` (reporting convenience).
+    pub fn value_f64(&self, v: crate::model::VarId) -> f64 {
+        self.values[v.index()].to_f64()
+    }
+}
+
+/// Tunable parameters of the solver.
+#[derive(Debug, Clone)]
+pub struct SimplexOptions {
+    /// Hard cap on the number of pivots (defensive; default `50 (m + n) + 10_000`
+    /// when `None`).
+    pub max_iterations: Option<usize>,
+    /// Number of Dantzig-rule pivots before switching to Bland's rule.
+    pub bland_after: usize,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions { max_iterations: None, bland_after: 10_000 }
+    }
+}
+
+/// Solves `problem` with the default options.
+pub fn solve<S: Scalar>(problem: &LpProblem) -> Result<Solution<S>, SimplexError> {
+    solve_with_options(problem, &SimplexOptions::default())
+}
+
+/// Solves `problem` in `f64` arithmetic.
+pub fn solve_f64(problem: &LpProblem) -> Result<Solution<f64>, SimplexError> {
+    solve(problem)
+}
+
+/// Solves `problem` in exact rational arithmetic.
+pub fn solve_exact(problem: &LpProblem) -> Result<Solution<Ratio>, SimplexError> {
+    solve(problem)
+}
+
+/// Solves `problem` with explicit options.
+pub fn solve_with_options<S: Scalar>(
+    problem: &LpProblem,
+    options: &SimplexOptions,
+) -> Result<Solution<S>, SimplexError> {
+    Tableau::<S>::build(problem).solve(problem, options)
+}
+
+/// Column classification in the standard-form tableau.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ColKind {
+    Structural,
+    Slack,
+    Artificial,
+}
+
+/// Dense standard-form tableau.
+struct Tableau<S> {
+    /// `rows[i]` holds the coefficients of row `i` over all columns.
+    rows: Vec<Vec<S>>,
+    /// Right-hand side per row (kept separately; always `>= 0` in exact
+    /// arithmetic, up to tolerance in `f64`).
+    rhs: Vec<S>,
+    /// Index of the basic column of each row.
+    basis: Vec<usize>,
+    /// Kind of every column.
+    kinds: Vec<ColKind>,
+    /// Phase-2 objective coefficient per column (maximization form).
+    costs: Vec<S>,
+    /// Column that formed the initial identity of each row (used to read the duals).
+    init_col: Vec<usize>,
+    /// Whether the original constraint was negated during rhs normalization.
+    negated: Vec<bool>,
+    /// Number of structural columns.
+    n_structural: usize,
+}
+
+impl<S: Scalar> Tableau<S> {
+    fn build(problem: &LpProblem) -> Self {
+        let n = problem.num_vars();
+        let m = problem.num_constraints();
+
+        // Count extra columns.
+        let mut n_slack = 0;
+        let mut n_art = 0;
+        for c in problem.constraints() {
+            let rhs_neg = c.rhs.is_negative();
+            let sense = effective_sense(c.sense, rhs_neg);
+            match sense {
+                Sense::Le => n_slack += 1,
+                Sense::Ge => {
+                    n_slack += 1;
+                    n_art += 1;
+                }
+                Sense::Eq => n_art += 1,
+            }
+        }
+
+        let total_cols = n + n_slack + n_art;
+        let mut kinds = vec![ColKind::Structural; n];
+        kinds.extend(std::iter::repeat(ColKind::Slack).take(n_slack));
+        kinds.extend(std::iter::repeat(ColKind::Artificial).take(n_art));
+
+        // Phase-2 costs: maximization form.
+        let flip = matches!(problem.direction(), Objective::Minimize);
+        let mut costs = vec![S::zero(); total_cols];
+        for (j, c) in problem.objective_vector().iter().enumerate() {
+            let v = S::from_ratio(c);
+            costs[j] = if flip { v.neg() } else { v };
+        }
+
+        let mut rows = Vec::with_capacity(m);
+        let mut rhs = Vec::with_capacity(m);
+        let mut basis = Vec::with_capacity(m);
+        let mut init_col = Vec::with_capacity(m);
+        let mut negated = Vec::with_capacity(m);
+
+        let mut next_slack = n;
+        let mut next_art = n + n_slack;
+
+        for c in problem.constraints() {
+            let rhs_neg = c.rhs.is_negative();
+            let sense = effective_sense(c.sense, rhs_neg);
+            let mut row = vec![S::zero(); total_cols];
+            for (v, coeff) in c.expr.terms() {
+                let val = S::from_ratio(coeff);
+                row[v.index()] = if rhs_neg { val.neg() } else { val };
+            }
+            let b = {
+                let val = S::from_ratio(&c.rhs);
+                if rhs_neg {
+                    val.neg()
+                } else {
+                    val
+                }
+            };
+            match sense {
+                Sense::Le => {
+                    row[next_slack] = S::one();
+                    basis.push(next_slack);
+                    init_col.push(next_slack);
+                    next_slack += 1;
+                }
+                Sense::Ge => {
+                    row[next_slack] = S::one().neg();
+                    next_slack += 1;
+                    row[next_art] = S::one();
+                    basis.push(next_art);
+                    init_col.push(next_art);
+                    next_art += 1;
+                }
+                Sense::Eq => {
+                    row[next_art] = S::one();
+                    basis.push(next_art);
+                    init_col.push(next_art);
+                    next_art += 1;
+                }
+            }
+            rows.push(row);
+            rhs.push(b);
+            negated.push(rhs_neg);
+        }
+
+        Tableau { rows, rhs, basis, kinds, costs, init_col, negated, n_structural: n }
+    }
+
+    fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn num_cols(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Performs a pivot on (`row`, `col`).
+    fn pivot(&mut self, row: usize, col: usize) {
+        let pivot_val = self.rows[row][col].clone();
+        debug_assert!(!pivot_val.is_zero(), "pivot on a zero entry");
+        // Normalize the pivot row.
+        for v in self.rows[row].iter_mut() {
+            if !v.is_zero() {
+                *v = v.div(&pivot_val);
+            }
+        }
+        self.rhs[row] = self.rhs[row].div(&pivot_val);
+        self.rows[row][col] = S::one();
+
+        // Eliminate the pivot column from all other rows.
+        for i in 0..self.num_rows() {
+            if i == row {
+                continue;
+            }
+            let factor = self.rows[i][col].clone();
+            if factor.is_zero() {
+                continue;
+            }
+            let (pivot_row, other_row) = if i < row {
+                let (a, b) = self.rows.split_at_mut(row);
+                (&b[0], &mut a[i])
+            } else {
+                let (a, b) = self.rows.split_at_mut(i);
+                (&a[row], &mut b[0])
+            };
+            for (dst, src) in other_row.iter_mut().zip(pivot_row.iter()) {
+                if !src.is_zero() {
+                    *dst = dst.sub(&factor.mul(src));
+                }
+            }
+            other_row[col] = S::zero();
+            self.rhs[i] = self.rhs[i].sub(&factor.mul(&self.rhs[row]));
+        }
+        self.basis[row] = col;
+    }
+
+    /// Reduced cost of column `j` w.r.t. the cost vector `costs`:
+    /// `r_j = c_j - sum_i c_{basis[i]} * T[i][j]`.
+    fn reduced_cost(&self, costs: &[S], j: usize) -> S {
+        let mut acc = costs[j].clone();
+        for i in 0..self.num_rows() {
+            let cb = &costs[self.basis[i]];
+            if cb.is_zero() {
+                continue;
+            }
+            let t = &self.rows[i][j];
+            if t.is_zero() {
+                continue;
+            }
+            acc = acc.sub(&cb.mul(t));
+        }
+        acc
+    }
+
+    /// Full vector of reduced costs (computed from scratch, `O(m n)`).  Used
+    /// once per phase; afterwards the vector is updated incrementally at each
+    /// pivot so that the entering-column choice costs `O(n)`.
+    fn reduced_cost_row(&self, costs: &[S]) -> Vec<S> {
+        (0..self.num_cols()).map(|j| self.reduced_cost(costs, j)).collect()
+    }
+
+    /// Chooses the entering column: Dantzig (largest reduced cost) or Bland
+    /// (smallest index with positive reduced cost).  Columns for which
+    /// `allowed` is false never enter.
+    fn choose_entering(&self, reduced: &[S], allowed: &[bool], bland: bool) -> Option<usize> {
+        let mut best: Option<(usize, &S)> = None;
+        for (j, r) in reduced.iter().enumerate() {
+            if !allowed[j] {
+                continue;
+            }
+            if r.is_positive() {
+                if bland {
+                    return Some(j);
+                }
+                match &best {
+                    None => best = Some((j, r)),
+                    Some((_, rb)) if rb.lt(r) => best = Some((j, r)),
+                    _ => {}
+                }
+            }
+        }
+        best.map(|(j, _)| j)
+    }
+
+    /// Ratio test: returns the leaving row, or `None` if the column is
+    /// unbounded.  Ties are broken by the smallest basic variable index
+    /// (lexicographic protection together with Bland's entering rule).
+    fn choose_leaving(&self, col: usize) -> Option<usize> {
+        let mut best: Option<(usize, S)> = None;
+        for i in 0..self.num_rows() {
+            let a = &self.rows[i][col];
+            if !a.is_positive() {
+                continue;
+            }
+            let ratio = self.rhs[i].div(a);
+            match &best {
+                None => best = Some((i, ratio)),
+                Some((bi, br)) => {
+                    if ratio.lt(br)
+                        || (!br.lt(&ratio) && self.basis[i] < self.basis[*bi])
+                    {
+                        best = Some((i, ratio));
+                    }
+                }
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Runs simplex iterations with the given cost vector until optimality.
+    ///
+    /// The reduced-cost row is computed once and updated incrementally at each
+    /// pivot, so that an iteration costs `O(m n)` for the pivot itself plus
+    /// `O(n)` for pricing (instead of `O(m n)` pricing per iteration).
+    fn optimize(
+        &mut self,
+        costs: &[S],
+        allowed: &[bool],
+        options: &SimplexOptions,
+        iterations: &mut usize,
+    ) -> Result<(), SimplexError> {
+        let default_cap = 50 * (self.num_rows() + self.num_cols()) + 10_000;
+        let cap = options.max_iterations.unwrap_or(default_cap);
+        let mut reduced = self.reduced_cost_row(costs);
+        loop {
+            if *iterations > cap {
+                return Err(SimplexError::IterationLimit { iterations: *iterations });
+            }
+            let bland = *iterations >= options.bland_after;
+            let Some(col) = self.choose_entering(&reduced, allowed, bland) else {
+                return Ok(());
+            };
+            let Some(row) = self.choose_leaving(col) else {
+                return Err(SimplexError::Unbounded);
+            };
+            let entering_cost = reduced[col].clone();
+            self.pivot(row, col);
+            // r <- r - r[col] * (normalized pivot row).
+            for (r, t) in reduced.iter_mut().zip(self.rows[row].iter()) {
+                if !t.is_zero() {
+                    *r = r.sub(&entering_cost.mul(t));
+                }
+            }
+            reduced[col] = S::zero();
+            *iterations += 1;
+        }
+    }
+
+    fn solve(
+        mut self,
+        problem: &LpProblem,
+        options: &SimplexOptions,
+    ) -> Result<Solution<S>, SimplexError> {
+        let mut iterations = 0usize;
+        let has_artificials = self.kinds.iter().any(|k| *k == ColKind::Artificial);
+
+        // ---- Phase 1: minimize the sum of artificial variables. ----
+        if has_artificials {
+            let phase1_costs: Vec<S> = self
+                .kinds
+                .iter()
+                .map(|k| if *k == ColKind::Artificial { S::one().neg() } else { S::zero() })
+                .collect();
+            let allowed: Vec<bool> = vec![true; self.num_cols()];
+            self.optimize(&phase1_costs, &allowed, options, &mut iterations)?;
+
+            // Feasible iff all artificials are zero, i.e. phase-1 objective is 0.
+            let mut infeasibility = S::zero();
+            for i in 0..self.num_rows() {
+                if self.kinds[self.basis[i]] == ColKind::Artificial {
+                    infeasibility = infeasibility.add(&self.rhs[i]);
+                }
+            }
+            if infeasibility.is_positive() {
+                return Err(SimplexError::Infeasible);
+            }
+
+            // Drive artificial variables out of the basis where possible so the
+            // phase-2 basis is made of real columns.  Rows where no real column
+            // has a non-zero entry are redundant; their artificial stays basic
+            // at value zero and is simply never allowed to re-enter.
+            for i in 0..self.num_rows() {
+                if self.kinds[self.basis[i]] != ColKind::Artificial {
+                    continue;
+                }
+                let replacement = (0..self.num_cols()).find(|&j| {
+                    self.kinds[j] != ColKind::Artificial && !self.rows[i][j].is_zero()
+                });
+                if let Some(j) = replacement {
+                    self.pivot(i, j);
+                }
+            }
+        }
+
+        // ---- Phase 2: optimize the real objective, artificials locked out. ----
+        let allowed: Vec<bool> =
+            self.kinds.iter().map(|k| *k != ColKind::Artificial).collect();
+        let costs = self.costs.clone();
+        self.optimize(&costs, &allowed, options, &mut iterations)?;
+
+        // ---- Extract the primal solution. ----
+        let mut values = vec![S::zero(); self.n_structural];
+        for i in 0..self.num_rows() {
+            let j = self.basis[i];
+            if j < self.n_structural {
+                values[j] = clamp_nonneg(self.rhs[i].clone());
+            }
+        }
+
+        // Objective in maximization form, then flip back for minimization problems.
+        let mut objective = S::zero();
+        for (j, c) in costs.iter().enumerate().take(self.n_structural) {
+            if !c.is_zero() && !values[j].is_zero() {
+                objective = objective.add(&c.mul(&values[j]));
+            }
+        }
+        if matches!(problem.direction(), Objective::Minimize) {
+            objective = objective.neg();
+        }
+
+        // ---- Extract the duals: y_i = c_B^T B^{-1} e_i, read from the column
+        // that formed the initial identity of row i. ----
+        let mut duals = Vec::with_capacity(self.num_rows());
+        for i in 0..self.num_rows() {
+            let col = self.init_col[i];
+            let mut y = S::zero();
+            for r in 0..self.num_rows() {
+                let cb = &costs[self.basis[r]];
+                if cb.is_zero() {
+                    continue;
+                }
+                let t = &self.rows[r][col];
+                if t.is_zero() {
+                    continue;
+                }
+                y = y.add(&cb.mul(t));
+            }
+            if self.negated[i] {
+                y = y.neg();
+            }
+            duals.push(y);
+        }
+
+        Ok(Solution { values, objective, duals, iterations })
+    }
+}
+
+/// Clamp tiny negative values (f64 round-off) to zero; exact scalars pass through.
+fn clamp_nonneg<S: Scalar>(v: S) -> S {
+    if v.is_negative() || v.is_zero() {
+        // For exact arithmetic a negative basic value cannot happen (the ratio
+        // test preserves rhs >= 0); for f64 it can be a tiny negative epsilon.
+        if v.to_f64() < 0.0 {
+            S::zero()
+        } else {
+            v
+        }
+    } else {
+        v
+    }
+}
+
+/// Sense after multiplying a constraint by -1 when its rhs is negative.
+fn effective_sense(sense: Sense, negated: bool) -> Sense {
+    if !negated {
+        return sense;
+    }
+    match sense {
+        Sense::Le => Sense::Ge,
+        Sense::Ge => Sense::Le,
+        Sense::Eq => Sense::Eq,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LinearExpr, LpProblem};
+    use steady_rational::{rat, Ratio};
+
+    fn expr(terms: &[(crate::model::VarId, Ratio)]) -> LinearExpr {
+        let mut e = LinearExpr::new();
+        for (v, c) in terms {
+            e.add_term(*v, c.clone());
+        }
+        e
+    }
+
+    /// maximize 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> optimum (4, 0), value 12.
+    fn sample_lp() -> LpProblem {
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective(x, rat(3, 1));
+        lp.set_objective(y, rat(2, 1));
+        lp.add_constraint("c1", expr(&[(x, rat(1, 1)), (y, rat(1, 1))]), Sense::Le, rat(4, 1));
+        lp.add_constraint("c2", expr(&[(x, rat(1, 1)), (y, rat(3, 1))]), Sense::Le, rat(6, 1));
+        lp
+    }
+
+    #[test]
+    fn basic_max_f64() {
+        let sol = solve_f64(&sample_lp()).unwrap();
+        assert!((sol.objective - 12.0).abs() < 1e-6);
+        assert!((sol.values[0] - 4.0).abs() < 1e-6);
+        assert!(sol.values[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn basic_max_exact() {
+        let sol = solve_exact(&sample_lp()).unwrap();
+        assert_eq!(sol.objective, rat(12, 1));
+        assert_eq!(sol.values, vec![rat(4, 1), rat(0, 1)]);
+    }
+
+    #[test]
+    fn fractional_optimum_exact() {
+        // maximize x + y s.t. 2x + y <= 1, x + 3y <= 1 -> x = 2/5, y = 1/5, obj 3/5.
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective(x, rat(1, 1));
+        lp.set_objective(y, rat(1, 1));
+        lp.add_constraint("a", expr(&[(x, rat(2, 1)), (y, rat(1, 1))]), Sense::Le, rat(1, 1));
+        lp.add_constraint("b", expr(&[(x, rat(1, 1)), (y, rat(3, 1))]), Sense::Le, rat(1, 1));
+        let sol = solve_exact(&lp).unwrap();
+        assert_eq!(sol.objective, rat(3, 5));
+        assert_eq!(sol.values, vec![rat(2, 5), rat(1, 5)]);
+    }
+
+    #[test]
+    fn equality_and_ge_constraints() {
+        // minimize 2x + 3y s.t. x + y == 10, x >= 3, y >= 2 -> x = 8, y = 2, obj 22.
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective(x, rat(2, 1));
+        lp.set_objective(y, rat(3, 1));
+        lp.add_constraint("sum", expr(&[(x, rat(1, 1)), (y, rat(1, 1))]), Sense::Eq, rat(10, 1));
+        lp.add_constraint("xmin", expr(&[(x, rat(1, 1))]), Sense::Ge, rat(3, 1));
+        lp.add_constraint("ymin", expr(&[(y, rat(1, 1))]), Sense::Ge, rat(2, 1));
+        let sol = solve_exact(&lp).unwrap();
+        assert_eq!(sol.objective, rat(22, 1));
+        assert_eq!(sol.values, vec![rat(8, 1), rat(2, 1)]);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var("x");
+        lp.set_objective(x, rat(1, 1));
+        lp.add_constraint("lo", expr(&[(x, rat(1, 1))]), Sense::Ge, rat(5, 1));
+        lp.add_constraint("hi", expr(&[(x, rat(1, 1))]), Sense::Le, rat(3, 1));
+        assert_eq!(solve_exact(&lp).unwrap_err(), SimplexError::Infeasible);
+        assert_eq!(solve_f64(&lp).unwrap_err(), SimplexError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective(x, rat(1, 1));
+        lp.add_constraint("only_y", expr(&[(y, rat(1, 1))]), Sense::Le, rat(1, 1));
+        assert_eq!(solve_exact(&lp).unwrap_err(), SimplexError::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalization() {
+        // maximize x s.t. -x <= -2 (i.e. x >= 2), x <= 5.
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var("x");
+        lp.set_objective(x, rat(1, 1));
+        lp.add_constraint("neg", expr(&[(x, rat(-1, 1))]), Sense::Le, rat(-2, 1));
+        lp.add_constraint("cap", expr(&[(x, rat(1, 1))]), Sense::Le, rat(5, 1));
+        let sol = solve_exact(&lp).unwrap();
+        assert_eq!(sol.objective, rat(5, 1));
+    }
+
+    #[test]
+    fn minimization_direction() {
+        // minimize x + y s.t. x + 2y >= 4, 3x + y >= 6 -> x = 8/5, y = 6/5, obj 14/5.
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective(x, rat(1, 1));
+        lp.set_objective(y, rat(1, 1));
+        lp.add_constraint("a", expr(&[(x, rat(1, 1)), (y, rat(2, 1))]), Sense::Ge, rat(4, 1));
+        lp.add_constraint("b", expr(&[(x, rat(3, 1)), (y, rat(1, 1))]), Sense::Ge, rat(6, 1));
+        let sol = solve_exact(&lp).unwrap();
+        assert_eq!(sol.objective, rat(14, 5));
+        assert_eq!(sol.values, vec![rat(8, 5), rat(6, 5)]);
+    }
+
+    #[test]
+    fn redundant_equalities_do_not_break() {
+        // x + y == 2 stated twice plus the implied sum; phase 1 leaves an
+        // artificial basic at zero in a redundant row.
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective(x, rat(1, 1));
+        lp.add_constraint("e1", expr(&[(x, rat(1, 1)), (y, rat(1, 1))]), Sense::Eq, rat(2, 1));
+        lp.add_constraint("e2", expr(&[(x, rat(1, 1)), (y, rat(1, 1))]), Sense::Eq, rat(2, 1));
+        lp.add_constraint("e3", expr(&[(x, rat(2, 1)), (y, rat(2, 1))]), Sense::Eq, rat(4, 1));
+        let sol = solve_exact(&lp).unwrap();
+        assert_eq!(sol.objective, rat(2, 1));
+        assert_eq!(sol.values[0], rat(2, 1));
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Klee-Minty-like degeneracy: many redundant constraints through the origin.
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        let z = lp.add_var("z");
+        lp.set_objective(x, rat(1, 1));
+        lp.set_objective(y, rat(1, 1));
+        lp.set_objective(z, rat(1, 1));
+        for i in 0..12 {
+            lp.add_constraint(
+                format!("c{i}"),
+                expr(&[(x, rat(1 + (i % 3), 1)), (y, rat(1, 1)), (z, rat(1, 1))]),
+                Sense::Le,
+                rat(0, 1),
+            );
+        }
+        lp.add_constraint("cap", expr(&[(x, rat(1, 1))]), Sense::Le, rat(1, 1));
+        let sol = solve_exact(&lp).unwrap();
+        assert_eq!(sol.objective, rat(0, 1));
+    }
+
+    #[test]
+    fn duals_certify_optimum() {
+        // For the sample LP, strong duality: y1*4 + y2*6 == 12 with y >= 0 and
+        // A^T y >= c.
+        let lp = sample_lp();
+        let sol = solve_exact(&lp).unwrap();
+        let y1 = &sol.duals[0];
+        let y2 = &sol.duals[1];
+        assert!(!y1.is_negative() && !y2.is_negative());
+        assert_eq!(y1 * &rat(4, 1) + y2 * &rat(6, 1), rat(12, 1));
+        // Dual feasibility: column x: y1 + y2 >= 3; column y: y1 + 3 y2 >= 2.
+        assert!(y1 + y2 >= rat(3, 1));
+        assert!(y1 + &(y2 * &rat(3, 1)) >= rat(2, 1));
+    }
+
+    #[test]
+    fn empty_problem() {
+        let lp = LpProblem::maximize();
+        let sol = solve_exact(&lp).unwrap();
+        assert_eq!(sol.objective, Ratio::zero());
+        assert!(sol.values.is_empty());
+    }
+
+    #[test]
+    fn zero_objective_feasible() {
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var("x");
+        lp.add_constraint("cap", expr(&[(x, rat(1, 1))]), Sense::Le, rat(3, 1));
+        let sol = solve_exact(&lp).unwrap();
+        assert_eq!(sol.objective, Ratio::zero());
+    }
+
+    #[test]
+    fn f64_and_exact_agree_on_random_instances() {
+        // Deterministic pseudo-random feasible bounded LPs; compare the two backends.
+        let mut seed: u64 = 0x9e3779b97f4a7c15;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _case in 0..20 {
+            let mut lp = LpProblem::maximize();
+            let nv = 2 + (next() % 4) as usize;
+            let nc = 2 + (next() % 4) as usize;
+            let vars: Vec<_> = (0..nv).map(|i| lp.add_var(format!("x{i}"))).collect();
+            for &v in &vars {
+                lp.set_objective(v, rat((next() % 9 + 1) as i64, 1));
+            }
+            for c in 0..nc {
+                let mut e = LinearExpr::new();
+                for &v in &vars {
+                    e.add_term(v, rat((next() % 5 + 1) as i64, (next() % 3 + 1) as i64));
+                }
+                lp.add_constraint(format!("c{c}"), e, Sense::Le, rat((next() % 20 + 1) as i64, 1));
+            }
+            let exact = solve_exact(&lp).unwrap();
+            let float = solve_f64(&lp).unwrap();
+            let diff = (exact.objective.to_f64() - float.objective).abs();
+            assert!(
+                diff <= 1e-6 * exact.objective.to_f64().abs().max(1.0),
+                "objective mismatch: exact {} vs f64 {}",
+                exact.objective,
+                float.objective
+            );
+            // The exact solution must be feasible for the original problem.
+            assert!(lp.check_feasible(&exact.values).is_ok());
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the simplex solvers.
+//!
+//! Random bounded feasible LPs are generated and the two backends (f64 and
+//! exact rational) plus the certified pipeline are cross-checked:
+//! * the exact solution is feasible,
+//! * the exact and floating objectives agree up to tolerance,
+//! * the certified solution equals the exact-simplex solution's objective,
+//! * the exact solution is at least as good as a sample of feasible points.
+
+use proptest::prelude::*;
+use steady_lp::{
+    solve_certified, solve_exact, solve_f64, LinearExpr, LpProblem, Sense,
+};
+use steady_rational::{rat, Ratio};
+
+#[derive(Debug, Clone)]
+struct RandomLp {
+    num_vars: usize,
+    objective: Vec<(i64, i64)>,
+    /// Each constraint: coefficients (numer, denom) per variable plus a rhs.
+    constraints: Vec<(Vec<(i64, i64)>, i64)>,
+}
+
+fn random_lp_strategy() -> impl Strategy<Value = RandomLp> {
+    (2usize..5, 1usize..5).prop_flat_map(|(nv, nc)| {
+        let coeff = (0i64..6, 1i64..4);
+        let objective = proptest::collection::vec((1i64..8, 1i64..3), nv);
+        let constraint = (proptest::collection::vec(coeff, nv), 1i64..25);
+        let constraints = proptest::collection::vec(constraint, nc);
+        (objective, constraints).prop_map(move |(objective, constraints)| RandomLp {
+            num_vars: nv,
+            objective,
+            constraints,
+        })
+    })
+}
+
+/// Builds the LP; every variable also gets an individual upper bound so the
+/// problem is always bounded and feasible (origin is feasible).
+fn build(lp_desc: &RandomLp) -> LpProblem {
+    let mut lp = LpProblem::maximize();
+    let vars: Vec<_> =
+        (0..lp_desc.num_vars).map(|i| lp.add_var(format!("x{i}"))).collect();
+    for (v, (n, d)) in vars.iter().zip(&lp_desc.objective) {
+        lp.set_objective(*v, rat(*n, *d));
+    }
+    for (ci, (coeffs, rhs)) in lp_desc.constraints.iter().enumerate() {
+        let mut e = LinearExpr::new();
+        for (v, (n, d)) in vars.iter().zip(coeffs) {
+            e.add_term(*v, rat(*n, *d));
+        }
+        if !e.is_empty() {
+            lp.add_constraint(format!("c{ci}"), e, Sense::Le, rat(*rhs, 1));
+        }
+    }
+    for (i, v) in vars.iter().enumerate() {
+        lp.add_constraint(format!("ub{i}"), LinearExpr::var(*v), Sense::Le, rat(50, 1));
+    }
+    lp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exact_solution_is_feasible_and_matches_f64(desc in random_lp_strategy()) {
+        let lp = build(&desc);
+        let exact = solve_exact(&lp).unwrap();
+        prop_assert!(lp.check_feasible(&exact.values).is_ok());
+        let float = solve_f64(&lp).unwrap();
+        let diff = (exact.objective.to_f64() - float.objective).abs();
+        prop_assert!(diff <= 1e-6 * exact.objective.to_f64().abs().max(1.0),
+            "exact {} vs f64 {}", exact.objective, float.objective);
+    }
+
+    #[test]
+    fn certified_matches_exact(desc in random_lp_strategy()) {
+        let lp = build(&desc);
+        let exact = solve_exact(&lp).unwrap();
+        let certified = solve_certified(&lp).unwrap();
+        prop_assert_eq!(certified.objective, exact.objective);
+        prop_assert!(lp.check_feasible(&certified.values).is_ok());
+    }
+
+    #[test]
+    fn optimum_dominates_random_feasible_points(
+        desc in random_lp_strategy(),
+        samples in proptest::collection::vec(proptest::collection::vec(0u16..100u16, 2..5), 1..8),
+    ) {
+        let lp = build(&desc);
+        let exact = solve_exact(&lp).unwrap();
+        for sample in samples {
+            // Scale an arbitrary non-negative point until feasible (shrink toward 0).
+            let mut point: Vec<Ratio> = (0..lp.num_vars())
+                .map(|i| rat(*sample.get(i).unwrap_or(&0) as i64, 100))
+                .collect();
+            for _ in 0..12 {
+                if lp.check_feasible(&point).is_ok() {
+                    break;
+                }
+                for p in point.iter_mut() {
+                    *p = &*p * &rat(1, 2);
+                }
+            }
+            if lp.check_feasible(&point).is_ok() {
+                let val = lp.objective_value(&point);
+                prop_assert!(val <= exact.objective,
+                    "feasible point with value {} beats 'optimal' {}", val, exact.objective);
+            }
+        }
+    }
+
+    #[test]
+    fn duals_certify_upper_bound(desc in random_lp_strategy()) {
+        // Weak duality: for any feasible x, c.x <= b.y when y is the optimal dual.
+        let lp = build(&desc);
+        let exact = solve_exact(&lp).unwrap();
+        let dual_obj: Ratio = lp.constraints().iter().zip(&exact.duals)
+            .map(|(c, y)| &c.rhs * y).sum();
+        prop_assert_eq!(dual_obj, exact.objective.clone());
+    }
+}

@@ -1,0 +1,654 @@
+//! Topology generators.
+//!
+//! Three families are provided:
+//!
+//! * **regular topologies** (star, chain, clique, grid, binary tree) used by
+//!   unit tests, examples and the scaling benchmarks;
+//! * **random topologies** — flat random graphs and a Tiers-like hierarchical
+//!   generator reproducing the structure of the random platforms used in the
+//!   paper's experiment (§4.7): a WAN core of routers, MAN routers below it,
+//!   and LAN compute nodes at the leaves, with heterogeneous link costs and
+//!   node speeds;
+//! * **paper instances** — the exact toy platform of Figure 2 (scatter), the
+//!   exact 3-processor platform of Figure 6 (reduce) and a Figure-9-like
+//!   14-node Tiers platform with the published node speeds.  The original
+//!   Figure 9 link labels cannot be recovered unambiguously from the paper,
+//!   so the link costs of [`figure9`] are a documented substitution (see
+//!   DESIGN.md); the node count, hierarchy, participant set, speeds, message
+//!   size and task cost follow the paper.
+
+use crate::graph::{NodeId, Platform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use steady_rational::{rat, Ratio};
+
+/// A scatter workload instance: a platform, a source and a set of targets.
+#[derive(Debug, Clone)]
+pub struct ScatterInstance {
+    /// The platform graph.
+    pub platform: Platform,
+    /// Source processor holding the messages.
+    pub source: NodeId,
+    /// Target processors, each of which must receive its own message stream.
+    pub targets: Vec<NodeId>,
+}
+
+/// A reduce workload instance: a platform, ordered participants, a target,
+/// and the size/cost parameters of the reduction.
+#[derive(Debug, Clone)]
+pub struct ReduceInstance {
+    /// The platform graph.
+    pub platform: Platform,
+    /// Participants in reduction order: `participants[i]` owns value `v_i`.
+    pub participants: Vec<NodeId>,
+    /// Processor that must end up with the reduced value `v[0, N]`.
+    pub target: NodeId,
+    /// Size of every partial value `v[k, m]` (the paper's experiment uses 10).
+    pub message_size: Ratio,
+    /// Cost of every task `T_{k,l,m}`; the execution time on `P_i` is
+    /// `task_cost / speed(P_i)` (the paper's experiment uses 10).
+    pub task_cost: Ratio,
+}
+
+/// A gossip (personalized all-to-all) instance.
+#[derive(Debug, Clone)]
+pub struct GossipInstance {
+    /// The platform graph.
+    pub platform: Platform,
+    /// Source processors.
+    pub sources: Vec<NodeId>,
+    /// Target processors.
+    pub targets: Vec<NodeId>,
+}
+
+// ---------------------------------------------------------------------------
+// Regular topologies
+// ---------------------------------------------------------------------------
+
+/// Star topology: one center connected to `leaves` leaves by symmetric links
+/// of cost `cost`; every node has speed 1.  Returns `(platform, center, leaves)`.
+pub fn star(leaves: usize, cost: Ratio) -> (Platform, NodeId, Vec<NodeId>) {
+    let mut p = Platform::new();
+    let center = p.add_node("center", rat(1, 1));
+    let leaf_ids: Vec<_> = (0..leaves)
+        .map(|i| {
+            let n = p.add_node(format!("leaf{i}"), rat(1, 1));
+            p.add_link(center, n, cost.clone());
+            n
+        })
+        .collect();
+    (p, center, leaf_ids)
+}
+
+/// Heterogeneous star: leaf `i` is connected with cost `costs[i]`.
+pub fn heterogeneous_star(costs: &[Ratio]) -> (Platform, NodeId, Vec<NodeId>) {
+    let mut p = Platform::new();
+    let center = p.add_node("center", rat(1, 1));
+    let leaf_ids: Vec<_> = costs
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let n = p.add_node(format!("leaf{i}"), rat(1, 1));
+            p.add_link(center, n, c.clone());
+            n
+        })
+        .collect();
+    (p, center, leaf_ids)
+}
+
+/// Directed chain `n0 -> n1 -> ... -> n_{len-1}` with symmetric links.
+pub fn chain(len: usize, cost: Ratio) -> (Platform, Vec<NodeId>) {
+    assert!(len >= 1, "a chain needs at least one node");
+    let mut p = Platform::new();
+    let nodes: Vec<_> = (0..len).map(|i| p.add_node(format!("n{i}"), rat(1, 1))).collect();
+    for w in nodes.windows(2) {
+        p.add_link(w[0], w[1], cost.clone());
+    }
+    (p, nodes)
+}
+
+/// Complete graph on `n` nodes with uniform link cost.
+pub fn clique(n: usize, cost: Ratio) -> (Platform, Vec<NodeId>) {
+    let mut p = Platform::new();
+    let nodes: Vec<_> = (0..n).map(|i| p.add_node(format!("n{i}"), rat(1, 1))).collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            p.add_link(nodes[i], nodes[j], cost.clone());
+        }
+    }
+    (p, nodes)
+}
+
+/// 2-D grid of `rows x cols` nodes with symmetric links of cost `cost`.
+pub fn grid(rows: usize, cols: usize, cost: Ratio) -> (Platform, Vec<Vec<NodeId>>) {
+    let mut p = Platform::new();
+    let mut ids = vec![Vec::with_capacity(cols); rows];
+    for (r, row_ids) in ids.iter_mut().enumerate() {
+        for c in 0..cols {
+            row_ids.push(p.add_node(format!("n{r}_{c}"), rat(1, 1)));
+        }
+    }
+    for r in 0..rows {
+        for c in 0..cols {
+            if r + 1 < rows {
+                p.add_link(ids[r][c], ids[r + 1][c], cost.clone());
+            }
+            if c + 1 < cols {
+                p.add_link(ids[r][c], ids[r][c + 1], cost.clone());
+            }
+        }
+    }
+    (p, ids)
+}
+
+/// Complete binary tree of the given depth (depth 0 = a single root).
+pub fn binary_tree(depth: usize, cost: Ratio) -> (Platform, NodeId, Vec<NodeId>) {
+    let mut p = Platform::new();
+    let root = p.add_node("n0", rat(1, 1));
+    let mut all = vec![root];
+    let mut frontier = vec![root];
+    for level in 1..=depth {
+        let mut next = Vec::new();
+        for (i, &parent) in frontier.iter().enumerate() {
+            for side in 0..2 {
+                let n = p.add_node(format!("n{level}_{i}_{side}"), rat(1, 1));
+                p.add_link(parent, n, cost.clone());
+                next.push(n);
+                all.push(n);
+            }
+        }
+        frontier = next;
+    }
+    (p, root, all)
+}
+
+// ---------------------------------------------------------------------------
+// Random topologies
+// ---------------------------------------------------------------------------
+
+/// Parameters of the flat random-platform generator.
+#[derive(Debug, Clone)]
+pub struct RandomConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Probability of adding an extra (non-spanning-tree) link between a pair.
+    pub extra_link_probability: f64,
+    /// Link costs are drawn as `1/b` with `b` uniform in this inclusive range.
+    pub bandwidth_range: (u32, u32),
+    /// Node speeds are drawn uniformly in this inclusive range.
+    pub speed_range: (u32, u32),
+}
+
+impl Default for RandomConfig {
+    fn default() -> Self {
+        RandomConfig {
+            nodes: 8,
+            extra_link_probability: 0.2,
+            bandwidth_range: (1, 10),
+            speed_range: (1, 10),
+        }
+    }
+}
+
+/// Random connected platform: a random spanning tree plus extra random links,
+/// heterogeneous costs and speeds.
+pub fn random_connected(config: &RandomConfig, rng: &mut StdRng) -> Platform {
+    assert!(config.nodes >= 1);
+    let mut p = Platform::new();
+    let nodes: Vec<_> = (0..config.nodes)
+        .map(|i| {
+            let speed = rng.gen_range(config.speed_range.0..=config.speed_range.1);
+            p.add_node(format!("n{i}"), rat(speed as i64, 1))
+        })
+        .collect();
+    let rand_cost = |rng: &mut StdRng| {
+        let b = rng.gen_range(config.bandwidth_range.0..=config.bandwidth_range.1);
+        rat(1, b as i64)
+    };
+    // Random spanning tree: connect node i to a random earlier node.
+    for i in 1..config.nodes {
+        let j = rng.gen_range(0..i);
+        let cost = rand_cost(rng);
+        p.add_link(nodes[i], nodes[j], cost);
+    }
+    // Extra links.
+    for i in 0..config.nodes {
+        for j in (i + 1)..config.nodes {
+            if p.edge_between(nodes[i], nodes[j]).is_none()
+                && rng.gen_bool(config.extra_link_probability)
+            {
+                let cost = rand_cost(rng);
+                p.add_link(nodes[i], nodes[j], cost);
+            }
+        }
+    }
+    p
+}
+
+/// Parameters of the Tiers-like hierarchical generator.
+#[derive(Debug, Clone)]
+pub struct TiersConfig {
+    /// Number of WAN (core) routers, connected in a cycle plus chords.
+    pub wan_routers: usize,
+    /// Number of MAN routers attached to each WAN router.
+    pub man_per_wan: usize,
+    /// Number of LAN compute hosts attached to each MAN router.
+    pub lan_per_man: usize,
+    /// WAN link costs `1/b`, `b` uniform in this range (fast backbone).
+    pub wan_bandwidth: (u32, u32),
+    /// MAN uplink costs `1/b`.
+    pub man_bandwidth: (u32, u32),
+    /// LAN link costs `1/b`.
+    pub lan_bandwidth: (u32, u32),
+    /// Compute speeds of the LAN hosts.
+    pub speed_range: (u32, u32),
+}
+
+impl Default for TiersConfig {
+    fn default() -> Self {
+        TiersConfig {
+            wan_routers: 3,
+            man_per_wan: 1,
+            lan_per_man: 3,
+            wan_bandwidth: (20, 40),
+            man_bandwidth: (10, 20),
+            lan_bandwidth: (4, 10),
+            speed_range: (10, 100),
+        }
+    }
+}
+
+/// Result of the Tiers-like generator: platform plus the list of LAN compute
+/// hosts (the gray nodes of Figure 9) in logical order.
+#[derive(Debug, Clone)]
+pub struct TiersPlatform {
+    /// The generated platform.
+    pub platform: Platform,
+    /// WAN + MAN router node ids.
+    pub routers: Vec<NodeId>,
+    /// LAN compute hosts; `hosts[i]` is the participant of logical index `i`.
+    pub hosts: Vec<NodeId>,
+}
+
+/// Generates a Tiers-like hierarchical platform (WAN core, MAN routers, LAN
+/// hosts) with heterogeneous random link costs and host speeds.
+pub fn tiers(config: &TiersConfig, rng: &mut StdRng) -> TiersPlatform {
+    assert!(config.wan_routers >= 1);
+    let mut p = Platform::new();
+    let mut routers = Vec::new();
+    let mut hosts = Vec::new();
+
+    let rand_cost = |rng: &mut StdRng, range: (u32, u32)| {
+        let b = rng.gen_range(range.0..=range.1);
+        rat(1, b as i64)
+    };
+
+    // WAN core: cycle plus one chord per router with small probability.
+    let wan: Vec<_> = (0..config.wan_routers).map(|i| p.add_router(format!("wan{i}"))).collect();
+    routers.extend(&wan);
+    if config.wan_routers > 1 {
+        for i in 0..config.wan_routers {
+            let j = (i + 1) % config.wan_routers;
+            if p.edge_between(wan[i], wan[j]).is_none() {
+                let c = rand_cost(rng, config.wan_bandwidth);
+                p.add_link(wan[i], wan[j], c);
+            }
+        }
+        for i in 0..config.wan_routers {
+            if rng.gen_bool(0.3) {
+                let j = rng.gen_range(0..config.wan_routers);
+                if j != i && p.edge_between(wan[i], wan[j]).is_none() {
+                    let c = rand_cost(rng, config.wan_bandwidth);
+                    p.add_link(wan[i], wan[j], c);
+                }
+            }
+        }
+    }
+
+    // MAN routers and LAN hosts.
+    for (wi, &w) in wan.iter().enumerate() {
+        for mi in 0..config.man_per_wan {
+            let man = p.add_router(format!("man{wi}_{mi}"));
+            routers.push(man);
+            let c = rand_cost(rng, config.man_bandwidth);
+            p.add_link(w, man, c);
+            for li in 0..config.lan_per_man {
+                let speed = rng.gen_range(config.speed_range.0..=config.speed_range.1);
+                let host = p.add_node(format!("host{wi}_{mi}_{li}"), rat(speed as i64, 1));
+                let c = rand_cost(rng, config.lan_bandwidth);
+                p.add_link(man, host, c);
+                hosts.push(host);
+            }
+        }
+    }
+
+    TiersPlatform { platform: p, routers, hosts }
+}
+
+/// Convenience: a reduce instance on a random Tiers platform (all hosts
+/// participate, the fastest host is the target), message size 10 and task
+/// cost 10 as in the paper's experiment.
+pub fn tiers_reduce_instance(config: &TiersConfig, seed: u64) -> ReduceInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t = tiers(config, &mut rng);
+    let target = *t
+        .hosts
+        .iter()
+        .max_by_key(|&&h| t.platform.node(h).speed.clone())
+        .expect("tiers platform has at least one host");
+    ReduceInstance {
+        platform: t.platform,
+        participants: t.hosts,
+        target,
+        message_size: rat(10, 1),
+        task_cost: rat(10, 1),
+    }
+}
+
+/// Convenience: a scatter instance on a random Tiers platform (the fastest
+/// host is the source, all other hosts are targets).
+pub fn tiers_scatter_instance(config: &TiersConfig, seed: u64) -> ScatterInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t = tiers(config, &mut rng);
+    let source = *t
+        .hosts
+        .iter()
+        .max_by_key(|&&h| t.platform.node(h).speed.clone())
+        .expect("tiers platform has at least one host");
+    let targets = t.hosts.iter().copied().filter(|&h| h != source).collect();
+    ScatterInstance { platform: t.platform, source, targets }
+}
+
+// ---------------------------------------------------------------------------
+// Paper instances
+// ---------------------------------------------------------------------------
+
+/// The exact toy scatter platform of Figure 2.
+///
+/// Five nodes: the source `Ps`, two relays `Pa`, `Pb` and two targets `P0`,
+/// `P1`.  Edge costs are those printed on Figure 2(a): `c(Ps,Pa) = c(Ps,Pb) =
+/// 1`, `c(Pa,P0) = 2/3`, `c(Pb,P0) = c(Pb,P1) = 4/3`.  The optimal steady-state
+/// throughput is `1/2` (one scatter every two time-units) with a period-12
+/// integer schedule.
+pub fn figure2() -> ScatterInstance {
+    let mut p = Platform::new();
+    let ps = p.add_node("Ps", rat(1, 1));
+    let pa = p.add_node("Pa", rat(1, 1));
+    let pb = p.add_node("Pb", rat(1, 1));
+    let p0 = p.add_node("P0", rat(1, 1));
+    let p1 = p.add_node("P1", rat(1, 1));
+    p.add_edge(ps, pa, rat(1, 1));
+    p.add_edge(ps, pb, rat(1, 1));
+    p.add_edge(pa, p0, rat(2, 3));
+    p.add_edge(pb, p0, rat(4, 3));
+    p.add_edge(pb, p1, rat(4, 3));
+    ScatterInstance { platform: p, source: ps, targets: vec![p0, p1] }
+}
+
+/// The exact toy reduce platform of Figure 6.
+///
+/// Three fully connected processors with unit link costs; every processor can
+/// process one task per time-unit except node 0 which processes two.  All
+/// messages have size 1, the target is node 0.  The optimal steady-state
+/// throughput is 1 (three reductions every three time-units), achieved with
+/// the two reduction trees of Figure 7 (weights 1/3 and 2/3).
+pub fn figure6() -> ReduceInstance {
+    let mut p = Platform::new();
+    let p0 = p.add_node("P0", rat(2, 1));
+    let p1 = p.add_node("P1", rat(1, 1));
+    let p2 = p.add_node("P2", rat(1, 1));
+    p.add_link(p0, p1, rat(1, 1));
+    p.add_link(p0, p2, rat(1, 1));
+    p.add_link(p1, p2, rat(1, 1));
+    ReduceInstance {
+        platform: p,
+        participants: vec![p0, p1, p2],
+        target: p0,
+        message_size: rat(1, 1),
+        task_cost: rat(1, 1),
+    }
+}
+
+/// A Figure-9-like Tiers platform: 14 nodes, 6 routers and 8 LAN compute
+/// hosts with the node speeds published in the paper (15, 55, 79, 75, 92, 38,
+/// 64, 17 for logical indices 0..7), target = logical index 4 (the fastest
+/// host, node 6 in the paper's numbering), message size 10 and task cost 10.
+///
+/// The paper's exact link costs cannot be recovered from the published
+/// figure, so the hierarchy uses representative costs: a fast WAN core
+/// (1/20 per unit), MAN uplinks (1/10) and slower LAN links (1/5).  See
+/// DESIGN.md ("substitutions") and EXPERIMENTS.md for the measured throughput
+/// on this substituted instance.
+pub fn figure9() -> ReduceInstance {
+    let mut p = Platform::new();
+    // Routers 0..5: WAN core 0,1,2 and MAN routers 3,4,5.
+    let wan0 = p.add_router("wan0");
+    let wan1 = p.add_router("wan1");
+    let wan2 = p.add_router("wan2");
+    let man3 = p.add_router("man3");
+    let man4 = p.add_router("man4");
+    let man5 = p.add_router("man5");
+    let wan_cost = rat(1, 20);
+    let man_cost = rat(1, 10);
+    let lan_cost = rat(1, 5);
+    p.add_link(wan0, wan1, wan_cost.clone());
+    p.add_link(wan1, wan2, wan_cost.clone());
+    p.add_link(wan2, wan0, wan_cost);
+    p.add_link(wan0, man3, man_cost.clone());
+    p.add_link(wan1, man4, man_cost.clone());
+    p.add_link(wan2, man5, man_cost);
+
+    // LAN hosts: (paper node id, logical index, speed, attached MAN router).
+    // Speeds are the published ones; the logical order below reproduces the
+    // paper's mapping  node 11 -> index 0, node 8 -> 1, node 13 -> 2,
+    // node 9 -> 3, node 6 -> 4, node 12 -> 5, node 7 -> 6, node 10 -> 7.
+    let host6 = p.add_node("node6", rat(92, 1)); // index 4, target
+    let host7 = p.add_node("node7", rat(64, 1)); // index 6
+    let host8 = p.add_node("node8", rat(55, 1)); // index 1
+    let host9 = p.add_node("node9", rat(75, 1)); // index 3
+    let host10 = p.add_node("node10", rat(17, 1)); // index 7
+    let host11 = p.add_node("node11", rat(15, 1)); // index 0
+    let host12 = p.add_node("node12", rat(38, 1)); // index 5
+    let host13 = p.add_node("node13", rat(79, 1)); // index 2
+
+    p.add_link(man3, host6, lan_cost.clone());
+    p.add_link(man3, host7, lan_cost.clone());
+    p.add_link(man3, host13, lan_cost.clone());
+    p.add_link(man4, host8, lan_cost.clone());
+    p.add_link(man4, host9, lan_cost.clone());
+    p.add_link(man5, host10, lan_cost.clone());
+    p.add_link(man5, host11, lan_cost.clone());
+    p.add_link(man5, host12, lan_cost);
+
+    // Participants in logical order 0..7.
+    let participants = vec![host11, host8, host13, host9, host6, host12, host7, host10];
+    ReduceInstance {
+        platform: p,
+        participants,
+        target: host6,
+        message_size: rat(10, 1),
+        task_cost: rat(10, 1),
+    }
+}
+
+/// The 3-processor clique used to introduce reduction trees in Figure 5.
+pub fn figure5() -> ReduceInstance {
+    let (p, nodes) = clique(3, rat(1, 1));
+    ReduceInstance {
+        platform: p,
+        participants: nodes.clone(),
+        target: nodes[0],
+        message_size: rat(1, 1),
+        task_cost: rat(1, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_shape() {
+        let (p, center, leaves) = star(4, rat(1, 2));
+        assert_eq!(p.num_nodes(), 5);
+        assert_eq!(p.num_edges(), 8);
+        assert_eq!(p.out_edges(center).len(), 4);
+        for &l in &leaves {
+            assert!(p.is_reachable(center, l));
+            assert!(p.is_reachable(l, center));
+        }
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn heterogeneous_star_costs() {
+        let costs = vec![rat(1, 1), rat(1, 2), rat(1, 3)];
+        let (p, center, leaves) = heterogeneous_star(&costs);
+        for (i, &l) in leaves.iter().enumerate() {
+            let e = p.edge_between(center, l).unwrap();
+            assert_eq!(p.edge(e).cost, costs[i]);
+        }
+    }
+
+    #[test]
+    fn chain_and_grid_and_tree() {
+        let (c, nodes) = chain(5, rat(1, 1));
+        assert_eq!(c.num_edges(), 8);
+        assert!(c.is_reachable(nodes[0], nodes[4]));
+
+        let (g, ids) = grid(3, 4, rat(1, 1));
+        assert_eq!(g.num_nodes(), 12);
+        assert!(g.is_reachable(ids[0][0], ids[2][3]));
+        assert_eq!(g.num_edges(), 2 * (3 * 3 + 2 * 4));
+
+        let (t, root, all) = binary_tree(3, rat(1, 1));
+        assert_eq!(all.len(), 15);
+        assert_eq!(t.num_nodes(), 15);
+        for &n in &all {
+            assert!(t.is_reachable(root, n));
+        }
+    }
+
+    #[test]
+    fn clique_is_complete() {
+        let (p, nodes) = clique(4, rat(1, 1));
+        assert_eq!(p.num_edges(), 4 * 3);
+        for &a in &nodes {
+            for &b in &nodes {
+                if a != b {
+                    assert!(p.edge_between(a, b).is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_connected_is_connected_and_valid() {
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let config = RandomConfig { nodes: 10, ..Default::default() };
+            let p = random_connected(&config, &mut rng);
+            assert!(p.validate().is_ok());
+            for a in p.node_ids() {
+                for b in p.node_ids() {
+                    assert!(p.is_reachable(a, b), "{a} cannot reach {b} (seed {seed})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiers_structure() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let config = TiersConfig::default();
+        let t = tiers(&config, &mut rng);
+        assert!(t.platform.validate().is_ok());
+        assert_eq!(t.hosts.len(), config.wan_routers * config.man_per_wan * config.lan_per_man);
+        // Routers cannot compute, hosts can.
+        for &r in &t.routers {
+            assert!(!t.platform.node(r).can_compute());
+        }
+        for &h in &t.hosts {
+            assert!(t.platform.node(h).can_compute());
+        }
+        // Fully connected (symmetric links everywhere).
+        for &a in &t.hosts {
+            for &b in &t.hosts {
+                assert!(t.platform.is_reachable(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn tiers_instances() {
+        let inst = tiers_reduce_instance(&TiersConfig::default(), 7);
+        assert!(inst.participants.contains(&inst.target));
+        assert_eq!(inst.message_size, rat(10, 1));
+        let s = tiers_scatter_instance(&TiersConfig::default(), 7);
+        assert!(!s.targets.contains(&s.source));
+        assert!(!s.targets.is_empty());
+    }
+
+    #[test]
+    fn figure2_matches_paper() {
+        let inst = figure2();
+        let p = &inst.platform;
+        assert_eq!(p.num_nodes(), 5);
+        assert_eq!(p.num_edges(), 5);
+        assert_eq!(inst.targets.len(), 2);
+        // Costs from the figure.
+        let names: Vec<_> = p.node_ids().map(|n| p.node(n).name.clone()).collect();
+        assert_eq!(names, vec!["Ps", "Pa", "Pb", "P0", "P1"]);
+        let cost = |a: usize, b: usize| {
+            p.edge(p.edge_between(NodeId(a), NodeId(b)).unwrap()).cost.clone()
+        };
+        assert_eq!(cost(0, 1), rat(1, 1));
+        assert_eq!(cost(0, 2), rat(1, 1));
+        assert_eq!(cost(1, 3), rat(2, 3));
+        assert_eq!(cost(2, 3), rat(4, 3));
+        assert_eq!(cost(2, 4), rat(4, 3));
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn figure6_matches_paper() {
+        let inst = figure6();
+        assert_eq!(inst.platform.num_nodes(), 3);
+        assert_eq!(inst.platform.num_edges(), 6);
+        assert_eq!(inst.participants.len(), 3);
+        assert_eq!(inst.target, inst.participants[0]);
+        assert_eq!(inst.platform.node(inst.target).speed, rat(2, 1));
+        assert_eq!(inst.platform.node(inst.participants[1]).speed, rat(1, 1));
+    }
+
+    #[test]
+    fn figure9_structure() {
+        let inst = figure9();
+        let p = &inst.platform;
+        assert_eq!(p.num_nodes(), 14);
+        assert_eq!(inst.participants.len(), 8);
+        assert!(p.validate().is_ok());
+        // Published speeds in logical order.
+        let speeds: Vec<i64> = inst
+            .participants
+            .iter()
+            .map(|&n| p.node(n).speed.numer().to_i64().unwrap())
+            .collect();
+        assert_eq!(speeds, vec![15, 55, 79, 75, 92, 38, 64, 17]);
+        // Target is logical index 4 and the fastest host.
+        assert_eq!(inst.target, inst.participants[4]);
+        // All participants can reach the target.
+        for &h in &inst.participants {
+            assert!(p.is_reachable(h, inst.target));
+        }
+        // Routers do not compute.
+        assert_eq!(p.compute_nodes().len(), 8);
+    }
+
+    #[test]
+    fn figure5_clique() {
+        let inst = figure5();
+        assert_eq!(inst.platform.num_nodes(), 3);
+        assert_eq!(inst.platform.num_edges(), 6);
+    }
+}

@@ -1,0 +1,705 @@
+//! Heterogeneous platform graphs.
+//!
+//! The target platform of the paper is modeled as an edge-weighted directed
+//! graph `G = (V, E, c)` (§2): each edge `e = (i, j)` carries the time `c(e)`
+//! needed to transfer one unit of message from `P_i` to `P_j`.  The graph may
+//! contain cycles and multiple routes; edges are directed and `c(i, j)` need
+//! not equal `c(j, i)`.  Nodes additionally carry a compute speed used by the
+//! reduce formulation (time to process a task of cost `w` on `P_i` is
+//! `w / speed(P_i)`); routers have speed 0 and never compute.
+//!
+//! The one-port, full-overlap operation model itself lives in the LP
+//! formulations (`steady-core`) and in the simulator (`steady-sim`); this
+//! crate only describes the static platform.
+
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
+use std::fmt;
+
+use steady_rational::Ratio;
+
+/// Identifier of a node (processor or router) of a [`Platform`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// Index of the node in the platform's node list.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Identifier of a directed edge of a [`Platform`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub usize);
+
+impl EdgeId {
+    /// Index of the edge in the platform's edge list.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A processor or router.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// Human-readable name (used in dumps and error messages).
+    pub name: String,
+    /// Compute speed: a node processes a task of cost `w` in `w / speed`
+    /// time-units.  Zero means the node is a pure router and cannot compute.
+    pub speed: Ratio,
+}
+
+impl Node {
+    /// `true` if this node can execute computational tasks.
+    pub fn can_compute(&self) -> bool {
+        self.speed.is_positive()
+    }
+}
+
+/// A directed communication link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    /// Source endpoint.
+    pub from: NodeId,
+    /// Destination endpoint.
+    pub to: NodeId,
+    /// Time needed to transfer one unit of message across this link.
+    pub cost: Ratio,
+}
+
+/// Errors raised when building or validating a platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlatformError {
+    /// An edge refers to a node that does not exist.
+    UnknownNode {
+        /// The offending node id.
+        node: NodeId,
+    },
+    /// An edge has a non-positive transfer cost.
+    NonPositiveCost {
+        /// The offending edge id.
+        edge: EdgeId,
+    },
+    /// A node has a negative speed.
+    NegativeSpeed {
+        /// The offending node id.
+        node: NodeId,
+    },
+    /// A self-loop edge was declared.
+    SelfLoop {
+        /// The offending node id.
+        node: NodeId,
+    },
+    /// Parsing a textual platform description failed.
+    Parse {
+        /// Line number (1-based) where the error occurred.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::UnknownNode { node } => write!(f, "unknown node {node}"),
+            PlatformError::NonPositiveCost { edge } => {
+                write!(f, "edge #{} has a non-positive cost", edge.0)
+            }
+            PlatformError::NegativeSpeed { node } => {
+                write!(f, "node {node} has a negative speed")
+            }
+            PlatformError::SelfLoop { node } => write!(f, "self-loop on node {node}"),
+            PlatformError::Parse { line, reason } => {
+                write!(f, "parse error at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+/// An edge-weighted directed platform graph.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Platform {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    out_adj: Vec<Vec<EdgeId>>,
+    in_adj: Vec<Vec<EdgeId>>,
+}
+
+impl Platform {
+    /// Creates an empty platform.
+    pub fn new() -> Self {
+        Platform::default()
+    }
+
+    /// Adds a compute node with the given name and speed.
+    pub fn add_node(&mut self, name: impl Into<String>, speed: Ratio) -> NodeId {
+        self.nodes.push(Node { name: name.into(), speed });
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Adds a pure router (speed 0).
+    pub fn add_router(&mut self, name: impl Into<String>) -> NodeId {
+        self.add_node(name, Ratio::zero())
+    }
+
+    /// Adds a directed edge `from -> to` with transfer cost `cost`.
+    ///
+    /// # Panics
+    /// Panics if either endpoint does not exist or if `from == to`.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, cost: Ratio) -> EdgeId {
+        assert!(from.0 < self.nodes.len(), "unknown source node {from}");
+        assert!(to.0 < self.nodes.len(), "unknown destination node {to}");
+        assert_ne!(from, to, "self-loops are not allowed");
+        self.edges.push(Edge { from, to, cost });
+        let id = EdgeId(self.edges.len() - 1);
+        self.out_adj[from.0].push(id);
+        self.in_adj[to.0].push(id);
+        id
+    }
+
+    /// Adds a symmetric link: two directed edges with the same cost.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId, cost: Ratio) -> (EdgeId, EdgeId) {
+        let e1 = self.add_edge(a, b, cost.clone());
+        let e2 = self.add_edge(b, a, cost);
+        (e1, e2)
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Node data.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Edge data.
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.0]
+    }
+
+    /// Iterates over node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Iterates over edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len()).map(EdgeId)
+    }
+
+    /// Ids of nodes that can compute (speed > 0).
+    pub fn compute_nodes(&self) -> Vec<NodeId> {
+        self.node_ids().filter(|&n| self.node(n).can_compute()).collect()
+    }
+
+    /// Outgoing edges of `node`.
+    pub fn out_edges(&self, node: NodeId) -> &[EdgeId] {
+        &self.out_adj[node.0]
+    }
+
+    /// Incoming edges of `node`.
+    pub fn in_edges(&self, node: NodeId) -> &[EdgeId] {
+        &self.in_adj[node.0]
+    }
+
+    /// First edge `from -> to`, if any.
+    pub fn edge_between(&self, from: NodeId, to: NodeId) -> Option<EdgeId> {
+        self.out_adj[from.0].iter().copied().find(|&e| self.edges[e.0].to == to)
+    }
+
+    /// Structural and numerical validation of the platform.
+    pub fn validate(&self) -> Result<(), PlatformError> {
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.speed.is_negative() {
+                return Err(PlatformError::NegativeSpeed { node: NodeId(i) });
+            }
+        }
+        for (i, e) in self.edges.iter().enumerate() {
+            if e.from.0 >= self.nodes.len() {
+                return Err(PlatformError::UnknownNode { node: e.from });
+            }
+            if e.to.0 >= self.nodes.len() {
+                return Err(PlatformError::UnknownNode { node: e.to });
+            }
+            if e.from == e.to {
+                return Err(PlatformError::SelfLoop { node: e.from });
+            }
+            if !e.cost.is_positive() {
+                return Err(PlatformError::NonPositiveCost { edge: EdgeId(i) });
+            }
+        }
+        Ok(())
+    }
+
+    /// Set of nodes reachable from `from` (including `from` itself).
+    pub fn reachable_from(&self, from: NodeId) -> BTreeSet<NodeId> {
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        seen.insert(from);
+        queue.push_back(from);
+        while let Some(n) = queue.pop_front() {
+            for &e in &self.out_adj[n.0] {
+                let next = self.edges[e.0].to;
+                if seen.insert(next) {
+                    queue.push_back(next);
+                }
+            }
+        }
+        seen
+    }
+
+    /// `true` iff there is a directed path `from -> to`.
+    pub fn is_reachable(&self, from: NodeId, to: NodeId) -> bool {
+        self.reachable_from(from).contains(&to)
+    }
+
+    /// Single-source shortest paths by total transfer cost (Dijkstra).
+    ///
+    /// Returns, for every node, `Some((distance, predecessor_edge))` where
+    /// `predecessor_edge` is `None` for the source itself, or `None` when the
+    /// node is unreachable.
+    pub fn shortest_paths(&self, source: NodeId) -> Vec<Option<(Ratio, Option<EdgeId>)>> {
+        #[derive(PartialEq, Eq)]
+        struct Entry {
+            dist: Ratio,
+            node: NodeId,
+        }
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                // Reverse for a min-heap.
+                other.dist.cmp(&self.dist).then(other.node.cmp(&self.node))
+            }
+        }
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let mut result: Vec<Option<(Ratio, Option<EdgeId>)>> = vec![None; self.nodes.len()];
+        let mut heap = BinaryHeap::new();
+        result[source.0] = Some((Ratio::zero(), None));
+        heap.push(Entry { dist: Ratio::zero(), node: source });
+        while let Some(Entry { dist, node }) = heap.pop() {
+            match &result[node.0] {
+                Some((best, _)) if *best < dist => continue,
+                _ => {}
+            }
+            for &e in &self.out_adj[node.0] {
+                let edge = &self.edges[e.0];
+                let nd = &dist + &edge.cost;
+                let better = match &result[edge.to.0] {
+                    None => true,
+                    Some((cur, _)) => nd < *cur,
+                };
+                if better {
+                    result[edge.to.0] = Some((nd.clone(), Some(e)));
+                    heap.push(Entry { dist: nd, node: edge.to });
+                }
+            }
+        }
+        result
+    }
+
+    /// Shortest path (sequence of edges) from `from` to `to`, if one exists.
+    pub fn shortest_path(&self, from: NodeId, to: NodeId) -> Option<Vec<EdgeId>> {
+        let table = self.shortest_paths(from);
+        table[to.0].as_ref()?;
+        let mut path = Vec::new();
+        let mut cur = to;
+        while cur != from {
+            let (_, pred) = table[cur.0].as_ref()?;
+            let e = (*pred)?;
+            path.push(e);
+            cur = self.edges[e.0].from;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Diameter-like bound used by the steady-state start-up analysis (§3.4):
+    /// the maximum over reachable pairs of the hop count of a shortest path.
+    pub fn max_hop_diameter(&self) -> usize {
+        let mut best = 0;
+        for s in self.node_ids() {
+            // BFS by hops.
+            let mut dist = vec![usize::MAX; self.num_nodes()];
+            dist[s.0] = 0;
+            let mut q = VecDeque::new();
+            q.push_back(s);
+            while let Some(n) = q.pop_front() {
+                for &e in &self.out_adj[n.0] {
+                    let t = self.edges[e.0].to;
+                    if dist[t.0] == usize::MAX {
+                        dist[t.0] = dist[n.0] + 1;
+                        q.push_back(t);
+                    }
+                }
+            }
+            for &d in &dist {
+                if d != usize::MAX && d > best {
+                    best = d;
+                }
+            }
+        }
+        best
+    }
+
+    /// Serializes the platform to the simple textual format understood by
+    /// [`Platform::from_text`].
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for n in &self.nodes {
+            out.push_str(&format!("node {} {}\n", n.name.replace(' ', "_"), n.speed));
+        }
+        for e in &self.edges {
+            out.push_str(&format!("edge {} {} {}\n", e.from.0, e.to.0, e.cost));
+        }
+        out
+    }
+
+    /// Parses a platform from the textual format produced by [`Platform::to_text`]:
+    /// one `node <name> <speed>` or `edge <from-index> <to-index> <cost>`
+    /// declaration per line; blank lines and `#` comments are ignored.
+    pub fn from_text(text: &str) -> Result<Platform, PlatformError> {
+        let mut platform = Platform::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = lineno + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let kind = parts.next().unwrap();
+            let err = |reason: &str| PlatformError::Parse { line: lineno, reason: reason.into() };
+            match kind {
+                "node" => {
+                    let name = parts.next().ok_or_else(|| err("missing node name"))?;
+                    let speed: Ratio = parts
+                        .next()
+                        .ok_or_else(|| err("missing node speed"))?
+                        .parse()
+                        .map_err(|_| err("invalid speed"))?;
+                    platform.add_node(name, speed);
+                }
+                "edge" => {
+                    let from: usize = parts
+                        .next()
+                        .ok_or_else(|| err("missing source"))?
+                        .parse()
+                        .map_err(|_| err("invalid source index"))?;
+                    let to: usize = parts
+                        .next()
+                        .ok_or_else(|| err("missing destination"))?
+                        .parse()
+                        .map_err(|_| err("invalid destination index"))?;
+                    let cost: Ratio = parts
+                        .next()
+                        .ok_or_else(|| err("missing cost"))?
+                        .parse()
+                        .map_err(|_| err("invalid cost"))?;
+                    if from >= platform.num_nodes() {
+                        return Err(PlatformError::UnknownNode { node: NodeId(from) });
+                    }
+                    if to >= platform.num_nodes() {
+                        return Err(PlatformError::UnknownNode { node: NodeId(to) });
+                    }
+                    platform.add_edge(NodeId(from), NodeId(to), cost);
+                }
+                other => return Err(err(&format!("unknown declaration '{other}'"))),
+            }
+        }
+        platform.validate()?;
+        Ok(platform)
+    }
+
+    /// Returns the transposed platform: every edge `(i, j)` becomes `(j, i)`
+    /// with the same cost; nodes, names and speeds are unchanged.
+    ///
+    /// Transposition turns a gather problem into a scatter problem on the
+    /// reversed graph (the one-port roles of emission and reception swap), so
+    /// `TP_gather(G) = TP_scatter(Gᵀ)`; `steady-core` relies on this duality.
+    pub fn transpose(&self) -> Platform {
+        let mut out = Platform::new();
+        for n in &self.nodes {
+            out.add_node(n.name.clone(), n.speed.clone());
+        }
+        for e in &self.edges {
+            out.add_edge(e.to, e.from, e.cost.clone());
+        }
+        out
+    }
+
+    /// Builds the subgraph induced by `keep` (in the given order).
+    ///
+    /// Returns the new platform together with the mapping `old NodeId -> new
+    /// NodeId` for the kept nodes; edges with at least one endpoint outside
+    /// `keep` are dropped.
+    pub fn induced_subgraph(&self, keep: &[NodeId]) -> (Platform, BTreeMap<NodeId, NodeId>) {
+        let mut out = Platform::new();
+        let mut map = BTreeMap::new();
+        for &old in keep {
+            let node = self.node(old);
+            let new = out.add_node(node.name.clone(), node.speed.clone());
+            map.insert(old, new);
+        }
+        for e in &self.edges {
+            if let (Some(&from), Some(&to)) = (map.get(&e.from), map.get(&e.to)) {
+                out.add_edge(from, to, e.cost.clone());
+            }
+        }
+        (out, map)
+    }
+
+    /// `true` iff every node can reach every other node (strong connectivity).
+    pub fn is_strongly_connected(&self) -> bool {
+        if self.nodes.is_empty() {
+            return true;
+        }
+        let first = NodeId(0);
+        if self.reachable_from(first).len() != self.num_nodes() {
+            return false;
+        }
+        self.transpose().reachable_from(first).len() == self.num_nodes()
+    }
+
+    /// Total number of directed edges incident to `node` (in + out degree).
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.out_adj[node.0].len() + self.in_adj[node.0].len()
+    }
+
+    /// Graphviz DOT rendering (compute nodes are filled, routers are plain).
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph platform {\n");
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.can_compute() {
+                out.push_str(&format!(
+                    "  n{i} [label=\"{} (s={})\", style=filled, fillcolor=lightgray];\n",
+                    n.name, n.speed
+                ));
+            } else {
+                out.push_str(&format!("  n{i} [label=\"{}\"];\n", n.name));
+            }
+        }
+        for e in &self.edges {
+            out.push_str(&format!(
+                "  n{} -> n{} [label=\"{}\"];\n",
+                e.from.0, e.to.0, e.cost
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steady_rational::rat;
+
+    fn triangle() -> (Platform, NodeId, NodeId, NodeId) {
+        let mut p = Platform::new();
+        let a = p.add_node("a", rat(1, 1));
+        let b = p.add_node("b", rat(2, 1));
+        let c = p.add_node("c", rat(3, 1));
+        p.add_link(a, b, rat(1, 1));
+        p.add_link(b, c, rat(2, 1));
+        p.add_edge(a, c, rat(5, 1));
+        (p, a, b, c)
+    }
+
+    #[test]
+    fn build_and_query() {
+        let (p, a, b, c) = triangle();
+        assert_eq!(p.num_nodes(), 3);
+        assert_eq!(p.num_edges(), 5);
+        assert_eq!(p.node(a).name, "a");
+        assert!(p.node(a).can_compute());
+        assert_eq!(p.out_edges(a).len(), 2);
+        assert_eq!(p.in_edges(c).len(), 2);
+        assert!(p.edge_between(a, b).is_some());
+        assert!(p.edge_between(c, a).is_none());
+        assert_eq!(p.compute_nodes().len(), 3);
+        assert!(p.validate().is_ok());
+        let _ = format!("{a}");
+        assert_eq!(p.edge(p.edge_between(b, c).unwrap()).cost, rat(2, 1));
+    }
+
+    #[test]
+    fn routers_cannot_compute() {
+        let mut p = Platform::new();
+        let r = p.add_router("r0");
+        assert!(!p.node(r).can_compute());
+        assert!(p.compute_nodes().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        let mut p = Platform::new();
+        let a = p.add_node("a", rat(1, 1));
+        p.add_edge(a, a, rat(1, 1));
+    }
+
+    #[test]
+    fn validation_catches_bad_cost() {
+        let mut p = Platform::new();
+        let a = p.add_node("a", rat(1, 1));
+        let b = p.add_node("b", rat(1, 1));
+        p.add_edge(a, b, rat(0, 1));
+        assert_eq!(p.validate(), Err(PlatformError::NonPositiveCost { edge: EdgeId(0) }));
+        let mut p2 = Platform::new();
+        p2.add_node("a", rat(-1, 1));
+        assert_eq!(p2.validate(), Err(PlatformError::NegativeSpeed { node: NodeId(0) }));
+    }
+
+    #[test]
+    fn reachability() {
+        let mut p = Platform::new();
+        let a = p.add_node("a", rat(1, 1));
+        let b = p.add_node("b", rat(1, 1));
+        let c = p.add_node("c", rat(1, 1));
+        p.add_edge(a, b, rat(1, 1));
+        assert!(p.is_reachable(a, b));
+        assert!(!p.is_reachable(b, a));
+        assert!(!p.is_reachable(a, c));
+        assert_eq!(p.reachable_from(a).len(), 2);
+    }
+
+    #[test]
+    fn shortest_paths_prefer_cheap_routes() {
+        let (p, a, _b, c) = triangle();
+        // a -> c direct costs 5, via b costs 1 + 2 = 3.
+        let path = p.shortest_path(a, c).unwrap();
+        assert_eq!(path.len(), 2);
+        let table = p.shortest_paths(a);
+        assert_eq!(table[c.0].as_ref().unwrap().0, rat(3, 1));
+        assert_eq!(table[a.0].as_ref().unwrap().0, rat(0, 1));
+    }
+
+    #[test]
+    fn shortest_path_unreachable() {
+        let mut p = Platform::new();
+        let a = p.add_node("a", rat(1, 1));
+        let b = p.add_node("b", rat(1, 1));
+        assert!(p.shortest_path(a, b).is_none());
+        assert_eq!(p.max_hop_diameter(), 0);
+    }
+
+    #[test]
+    fn hop_diameter() {
+        let mut p = Platform::new();
+        let nodes: Vec<_> = (0..5).map(|i| p.add_node(format!("n{i}"), rat(1, 1))).collect();
+        for w in nodes.windows(2) {
+            p.add_edge(w[0], w[1], rat(1, 1));
+        }
+        assert_eq!(p.max_hop_diameter(), 4);
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let (p, _, _, _) = triangle();
+        let text = p.to_text();
+        let parsed = Platform::from_text(&text).unwrap();
+        assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn text_parse_errors() {
+        assert!(matches!(
+            Platform::from_text("node a"),
+            Err(PlatformError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            Platform::from_text("edge 0 1 1"),
+            Err(PlatformError::UnknownNode { .. })
+        ));
+        assert!(matches!(
+            Platform::from_text("bogus"),
+            Err(PlatformError::Parse { .. })
+        ));
+        // Comments and blank lines are fine.
+        let p = Platform::from_text("# comment\n\nnode a 1\nnode b 2\nedge 0 1 1/2\n").unwrap();
+        assert_eq!(p.num_nodes(), 2);
+        assert_eq!(p.edge(EdgeId(0)).cost, rat(1, 2));
+    }
+
+    #[test]
+    fn transpose_reverses_every_edge() {
+        let (p, a, b, c) = triangle();
+        let t = p.transpose();
+        assert_eq!(t.num_nodes(), p.num_nodes());
+        assert_eq!(t.num_edges(), p.num_edges());
+        // The asymmetric edge a -> c becomes c -> a.
+        assert!(p.edge_between(a, c).is_some());
+        assert!(t.edge_between(c, a).is_some());
+        assert!(t.edge_between(a, c).is_none());
+        // Costs and speeds are preserved.
+        assert_eq!(t.edge(t.edge_between(c, a).unwrap()).cost, rat(5, 1));
+        assert_eq!(t.node(b).speed, rat(2, 1));
+        // Transposing twice is the identity.
+        assert_eq!(t.transpose(), p);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let (p, a, b, c) = triangle();
+        let (sub, map) = p.induced_subgraph(&[a, b]);
+        assert_eq!(sub.num_nodes(), 2);
+        // a<->b link survives (2 directed edges); edges touching c are dropped.
+        assert_eq!(sub.num_edges(), 2);
+        assert_eq!(map[&a], NodeId(0));
+        assert_eq!(map[&b], NodeId(1));
+        assert!(!map.contains_key(&c));
+        assert_eq!(sub.node(map[&a]).name, "a");
+    }
+
+    #[test]
+    fn strong_connectivity() {
+        let (p, _, _, _) = triangle();
+        // a -> c is one-way but a<->b and b<->c links make the graph strongly connected.
+        assert!(p.is_strongly_connected());
+        let mut q = Platform::new();
+        let x = q.add_node("x", rat(1, 1));
+        let y = q.add_node("y", rat(1, 1));
+        q.add_edge(x, y, rat(1, 1));
+        assert!(!q.is_strongly_connected());
+        assert!(Platform::new().is_strongly_connected());
+    }
+
+    #[test]
+    fn degree_counts_both_directions() {
+        let (p, a, _b, c) = triangle();
+        // a: link to b (2 edges) + edge a->c = 3.
+        assert_eq!(p.degree(a), 3);
+        // c: link to b (2 edges) + edge a->c = 3.
+        assert_eq!(p.degree(c), 3);
+    }
+
+    #[test]
+    fn dot_export_mentions_all_nodes() {
+        let (p, _, _, _) = triangle();
+        let dot = p.to_dot();
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("n0 ->"));
+        assert!(dot.matches("label").count() >= p.num_nodes() + p.num_edges());
+    }
+}

@@ -1,0 +1,40 @@
+//! Heterogeneous platform model and topology generators.
+//!
+//! The paper models the target "grid" platform as an edge-weighted directed
+//! graph `G = (V, E, c)` operated under the one-port, full-overlap model (§2).
+//! This crate provides:
+//!
+//! * [`graph`] — the [`Platform`] graph type: nodes with compute speeds,
+//!   directed edges with per-unit transfer costs, validation, reachability,
+//!   shortest paths, and a small textual/DOT serialization;
+//! * [`generators`] — regular topologies (star, chain, clique, grid, tree),
+//!   random and Tiers-like hierarchical generators, and the exact platform
+//!   instances used by the paper's figures (Figure 2 scatter toy, Figure 6
+//!   reduce toy, Figure 9-like Tiers platform).
+//!
+//! # Example
+//!
+//! ```
+//! use steady_platform::generators::figure2;
+//!
+//! let instance = figure2();
+//! assert_eq!(instance.platform.num_nodes(), 5);
+//! assert_eq!(instance.targets.len(), 2);
+//! assert!(instance.platform.validate().is_ok());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod generators;
+pub mod graph;
+pub mod topologies;
+
+pub use generators::{
+    figure2, figure5, figure6, figure9, GossipInstance, RandomConfig, ReduceInstance,
+    ScatterInstance, TiersConfig, TiersPlatform,
+};
+pub use graph::{Edge, EdgeId, Node, NodeId, Platform, PlatformError};
+pub use topologies::{
+    FatTreeConfig, FatTreePlatform, GatherInstance, GeometricConfig, PrefixInstance,
+};

@@ -1,0 +1,514 @@
+//! Additional structured topology generators.
+//!
+//! The generators in [`crate::generators`] cover the paper's own instances and
+//! the basic shapes used by the unit tests.  This module adds the structured
+//! interconnects commonly found in cluster and grid deployments — rings,
+//! tori, hypercubes, fat trees, dumbbells and random geometric graphs — so
+//! that the scaling benchmarks and the ablation studies can sweep over a
+//! representative family of platforms.
+//!
+//! Every generator returns plain [`Platform`] graphs (plus the node handles a
+//! caller needs to set up a collective); the workload-instance helpers at the
+//! bottom wrap them into the `*Instance` structs consumed by `steady-core`.
+
+use crate::generators::{GossipInstance, ReduceInstance, ScatterInstance};
+use crate::graph::{NodeId, Platform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use steady_rational::{rat, Ratio};
+
+/// A gather workload instance: every source owns a message stream destined to
+/// the single sink.  Gather is the dual of scatter (transpose the platform).
+#[derive(Debug, Clone)]
+pub struct GatherInstance {
+    /// The platform graph.
+    pub platform: Platform,
+    /// Source processors, each emitting its own message stream.
+    pub sources: Vec<NodeId>,
+    /// The sink processor that must receive one message from every source per
+    /// operation.
+    pub sink: NodeId,
+}
+
+/// A parallel-prefix workload instance: participant `i` must obtain the prefix
+/// value `v[0, i]` (the reduction of the values of ranks `0..=i`).
+///
+/// This is the extension suggested in the paper's conclusion ("extend the
+/// solution for reduce operations to general parallel prefix computations").
+#[derive(Debug, Clone)]
+pub struct PrefixInstance {
+    /// The platform graph.
+    pub platform: Platform,
+    /// Participants in rank order: `participants[i]` owns value `v_i` and must
+    /// end up with `v[0, i]`.
+    pub participants: Vec<NodeId>,
+    /// Size of every partial value `v[k, m]`.
+    pub message_size: Ratio,
+    /// Cost of every combining task `T_{k,l,m}`.
+    pub task_cost: Ratio,
+}
+
+// ---------------------------------------------------------------------------
+// Structured topologies
+// ---------------------------------------------------------------------------
+
+/// Bidirectional ring of `n` nodes with uniform link cost and unit speeds.
+pub fn ring(n: usize, cost: Ratio) -> (Platform, Vec<NodeId>) {
+    assert!(n >= 2, "a ring needs at least two nodes");
+    let mut p = Platform::new();
+    let nodes: Vec<_> = (0..n).map(|i| p.add_node(format!("r{i}"), rat(1, 1))).collect();
+    for i in 0..n {
+        let j = (i + 1) % n;
+        if p.edge_between(nodes[i], nodes[j]).is_none() {
+            p.add_link(nodes[i], nodes[j], cost.clone());
+        }
+    }
+    (p, nodes)
+}
+
+/// 2-D torus (`rows x cols` grid with wrap-around links) with uniform cost.
+pub fn torus(rows: usize, cols: usize, cost: Ratio) -> (Platform, Vec<Vec<NodeId>>) {
+    assert!(rows >= 2 && cols >= 2, "a torus needs at least 2x2 nodes");
+    let mut p = Platform::new();
+    let mut ids = vec![Vec::with_capacity(cols); rows];
+    for (r, row_ids) in ids.iter_mut().enumerate() {
+        for c in 0..cols {
+            row_ids.push(p.add_node(format!("t{r}_{c}"), rat(1, 1)));
+        }
+    }
+    for r in 0..rows {
+        for c in 0..cols {
+            let right = ids[r][(c + 1) % cols];
+            let down = ids[(r + 1) % rows][c];
+            if p.edge_between(ids[r][c], right).is_none() {
+                p.add_link(ids[r][c], right, cost.clone());
+            }
+            if p.edge_between(ids[r][c], down).is_none() {
+                p.add_link(ids[r][c], down, cost.clone());
+            }
+        }
+    }
+    (p, ids)
+}
+
+/// `d`-dimensional hypercube (`2^d` nodes); nodes differing in exactly one bit
+/// are linked with the given cost.
+pub fn hypercube(dimensions: usize, cost: Ratio) -> (Platform, Vec<NodeId>) {
+    assert!(dimensions >= 1, "a hypercube needs at least one dimension");
+    assert!(dimensions <= 16, "hypercube dimension is capped at 16");
+    let n = 1usize << dimensions;
+    let mut p = Platform::new();
+    let nodes: Vec<_> = (0..n).map(|i| p.add_node(format!("h{i}"), rat(1, 1))).collect();
+    for i in 0..n {
+        for bit in 0..dimensions {
+            let j = i ^ (1 << bit);
+            if i < j {
+                p.add_link(nodes[i], nodes[j], cost.clone());
+            }
+        }
+    }
+    (p, nodes)
+}
+
+/// Parameters of the two-level fat-tree generator.
+#[derive(Debug, Clone)]
+pub struct FatTreeConfig {
+    /// Number of leaf (edge) switches.
+    pub leaf_switches: usize,
+    /// Number of spine (core) switches, each connected to every leaf switch.
+    pub spine_switches: usize,
+    /// Compute hosts attached to each leaf switch.
+    pub hosts_per_leaf: usize,
+    /// Cost of a leaf-to-spine uplink (fatter, i.e. cheaper, than host links).
+    pub uplink_cost: Ratio,
+    /// Cost of a host-to-leaf link.
+    pub host_cost: Ratio,
+    /// Compute speed of every host.
+    pub host_speed: Ratio,
+}
+
+impl Default for FatTreeConfig {
+    fn default() -> Self {
+        FatTreeConfig {
+            leaf_switches: 3,
+            spine_switches: 2,
+            hosts_per_leaf: 2,
+            uplink_cost: rat(1, 4),
+            host_cost: rat(1, 2),
+            host_speed: rat(1, 1),
+        }
+    }
+}
+
+/// Result of the fat-tree generator.
+#[derive(Debug, Clone)]
+pub struct FatTreePlatform {
+    /// The generated platform.
+    pub platform: Platform,
+    /// Spine switch node ids (routers).
+    pub spines: Vec<NodeId>,
+    /// Leaf switch node ids (routers).
+    pub leaves: Vec<NodeId>,
+    /// Compute hosts, grouped per leaf switch and flattened in order.
+    pub hosts: Vec<NodeId>,
+}
+
+/// Two-level fat tree: spine switches, leaf switches and compute hosts.
+/// Switches are routers (speed 0); uplinks are cheaper than host links so the
+/// aggregate leaf-to-spine bandwidth exceeds a single host link, the defining
+/// property of a fat tree.
+pub fn fat_tree(config: &FatTreeConfig) -> FatTreePlatform {
+    assert!(config.leaf_switches >= 1 && config.spine_switches >= 1);
+    assert!(config.hosts_per_leaf >= 1);
+    let mut p = Platform::new();
+    let spines: Vec<_> =
+        (0..config.spine_switches).map(|i| p.add_router(format!("spine{i}"))).collect();
+    let leaves: Vec<_> =
+        (0..config.leaf_switches).map(|i| p.add_router(format!("leaf{i}"))).collect();
+    let mut hosts = Vec::new();
+    for (li, &leaf) in leaves.iter().enumerate() {
+        for &spine in &spines {
+            p.add_link(leaf, spine, config.uplink_cost.clone());
+        }
+        for hi in 0..config.hosts_per_leaf {
+            let host = p.add_node(format!("host{li}_{hi}"), config.host_speed.clone());
+            p.add_link(leaf, host, config.host_cost.clone());
+            hosts.push(host);
+        }
+    }
+    FatTreePlatform { platform: p, spines, leaves, hosts }
+}
+
+/// Dumbbell: two cliques of compute hosts bridged by a single bottleneck link
+/// between two gateway routers.  Returns the platform and the hosts of the
+/// left and right clusters.
+pub fn dumbbell(
+    hosts_per_side: usize,
+    local_cost: Ratio,
+    bridge_cost: Ratio,
+) -> (Platform, Vec<NodeId>, Vec<NodeId>) {
+    assert!(hosts_per_side >= 1);
+    let mut p = Platform::new();
+    let gw_left = p.add_router("gw_left");
+    let gw_right = p.add_router("gw_right");
+    p.add_link(gw_left, gw_right, bridge_cost);
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for i in 0..hosts_per_side {
+        let l = p.add_node(format!("left{i}"), rat(1, 1));
+        p.add_link(gw_left, l, local_cost.clone());
+        left.push(l);
+        let r = p.add_node(format!("right{i}"), rat(1, 1));
+        p.add_link(gw_right, r, local_cost.clone());
+        right.push(r);
+    }
+    // Local all-to-all inside each cluster (LAN-style switching).
+    for side in [&left, &right] {
+        for i in 0..side.len() {
+            for j in (i + 1)..side.len() {
+                p.add_link(side[i], side[j], local_cost.clone());
+            }
+        }
+    }
+    (p, left, right)
+}
+
+/// Parameters of the random geometric graph generator.
+#[derive(Debug, Clone)]
+pub struct GeometricConfig {
+    /// Number of nodes scattered uniformly in the unit square.
+    pub nodes: usize,
+    /// Nodes closer than this Euclidean distance are linked.
+    pub radius: f64,
+    /// Link costs are drawn as `1/b` with `b` uniform in this inclusive range.
+    pub bandwidth_range: (u32, u32),
+    /// Node speeds are drawn uniformly in this inclusive range.
+    pub speed_range: (u32, u32),
+}
+
+impl Default for GeometricConfig {
+    fn default() -> Self {
+        GeometricConfig {
+            nodes: 10,
+            radius: 0.5,
+            bandwidth_range: (1, 10),
+            speed_range: (1, 10),
+        }
+    }
+}
+
+/// Random geometric graph: nodes at random positions in the unit square,
+/// linked when closer than `radius`.  The graph is made connected by linking
+/// every isolated component to its nearest neighbour outside the component.
+pub fn random_geometric(config: &GeometricConfig, rng: &mut StdRng) -> (Platform, Vec<NodeId>) {
+    assert!(config.nodes >= 1);
+    let mut p = Platform::new();
+    let positions: Vec<(f64, f64)> =
+        (0..config.nodes).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let nodes: Vec<_> = (0..config.nodes)
+        .map(|i| {
+            let speed = rng.gen_range(config.speed_range.0..=config.speed_range.1);
+            p.add_node(format!("g{i}"), rat(speed as i64, 1))
+        })
+        .collect();
+    let rand_cost = |rng: &mut StdRng| {
+        let b = rng.gen_range(config.bandwidth_range.0..=config.bandwidth_range.1);
+        rat(1, b as i64)
+    };
+    let dist = |a: (f64, f64), b: (f64, f64)| ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
+    for i in 0..config.nodes {
+        for j in (i + 1)..config.nodes {
+            if dist(positions[i], positions[j]) <= config.radius {
+                let c = rand_cost(rng);
+                p.add_link(nodes[i], nodes[j], c);
+            }
+        }
+    }
+    // Stitch disconnected components together: repeatedly link the first node
+    // not reachable from node 0 to its geometrically nearest reachable node.
+    if config.nodes > 1 {
+        loop {
+            let reachable = p.reachable_from(nodes[0]);
+            if reachable.len() == config.nodes {
+                break;
+            }
+            let outside = nodes
+                .iter()
+                .copied()
+                .find(|n| !reachable.contains(n))
+                .expect("some node is unreachable");
+            let nearest = reachable
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    dist(positions[a.index()], positions[outside.index()])
+                        .partial_cmp(&dist(positions[b.index()], positions[outside.index()]))
+                        .expect("distances are finite")
+                })
+                .expect("reachable set is non-empty");
+            let c = rand_cost(rng);
+            p.add_link(nearest, outside, c);
+        }
+    }
+    (p, nodes)
+}
+
+// ---------------------------------------------------------------------------
+// Workload-instance helpers
+// ---------------------------------------------------------------------------
+
+/// Scatter instance on a fat tree: the first host scatters to all other hosts.
+pub fn fat_tree_scatter_instance(config: &FatTreeConfig) -> ScatterInstance {
+    let ft = fat_tree(config);
+    let source = ft.hosts[0];
+    let targets = ft.hosts[1..].to_vec();
+    ScatterInstance { platform: ft.platform, source, targets }
+}
+
+/// Reduce instance on a fat tree: all hosts participate, the first host is the
+/// target; unit message size and task cost.
+pub fn fat_tree_reduce_instance(config: &FatTreeConfig) -> ReduceInstance {
+    let ft = fat_tree(config);
+    let target = ft.hosts[0];
+    ReduceInstance {
+        platform: ft.platform,
+        participants: ft.hosts,
+        target,
+        message_size: rat(1, 1),
+        task_cost: rat(1, 1),
+    }
+}
+
+/// Gather instance on a dumbbell: every host of both clusters sends to the
+/// first host of the left cluster, stressing the bridge link.
+pub fn dumbbell_gather_instance(
+    hosts_per_side: usize,
+    local_cost: Ratio,
+    bridge_cost: Ratio,
+) -> GatherInstance {
+    let (platform, left, right) = dumbbell(hosts_per_side, local_cost, bridge_cost);
+    let sink = left[0];
+    let sources = left
+        .iter()
+        .skip(1)
+        .chain(right.iter())
+        .copied()
+        .collect();
+    GatherInstance { platform, sources, sink }
+}
+
+/// Gossip instance on a ring: every node exchanges a personalized message with
+/// every other node.
+pub fn ring_gossip_instance(n: usize, cost: Ratio) -> GossipInstance {
+    let (platform, nodes) = ring(n, cost);
+    GossipInstance { platform, sources: nodes.clone(), targets: nodes }
+}
+
+/// Parallel-prefix instance on a hypercube with unit parameters.
+pub fn hypercube_prefix_instance(dimensions: usize, cost: Ratio) -> PrefixInstance {
+    let (platform, nodes) = hypercube(dimensions, cost);
+    PrefixInstance {
+        platform,
+        participants: nodes,
+        message_size: rat(1, 1),
+        task_cost: rat(1, 1),
+    }
+}
+
+/// Parallel-prefix instance on a random geometric platform (all compute nodes
+/// participate in node order), unit parameters.
+pub fn geometric_prefix_instance(config: &GeometricConfig, seed: u64) -> PrefixInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (platform, nodes) = random_geometric(config, &mut rng);
+    PrefixInstance {
+        platform,
+        participants: nodes,
+        message_size: rat(1, 1),
+        task_cost: rat(1, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_shape() {
+        let (p, nodes) = ring(5, rat(1, 2));
+        assert_eq!(p.num_nodes(), 5);
+        assert_eq!(p.num_edges(), 10);
+        assert!(p.is_strongly_connected());
+        // Each node has exactly two neighbours (4 incident directed edges).
+        for &n in &nodes {
+            assert_eq!(p.degree(n), 4);
+        }
+    }
+
+    #[test]
+    fn ring_of_two_has_single_link() {
+        let (p, _) = ring(2, rat(1, 1));
+        assert_eq!(p.num_edges(), 2);
+    }
+
+    #[test]
+    fn torus_shape() {
+        let (p, ids) = torus(3, 4, rat(1, 1));
+        assert_eq!(p.num_nodes(), 12);
+        // Every node has 4 neighbours in a 3x4 torus: 2 * 12 * 4 / 2 directed edges.
+        assert_eq!(p.num_edges(), 48);
+        assert!(p.is_strongly_connected());
+        assert!(p.edge_between(ids[0][0], ids[0][3]).is_some(), "wrap-around column link");
+        assert!(p.edge_between(ids[0][0], ids[2][0]).is_some(), "wrap-around row link");
+    }
+
+    #[test]
+    fn torus_2x2_deduplicates_wraparound() {
+        // On a 2x2 torus the wrap-around neighbour equals the direct neighbour;
+        // the generator must not create parallel links.
+        let (p, _) = torus(2, 2, rat(1, 1));
+        assert_eq!(p.num_nodes(), 4);
+        assert_eq!(p.num_edges(), 8);
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        for d in 1..=4usize {
+            let (p, nodes) = hypercube(d, rat(1, 1));
+            assert_eq!(p.num_nodes(), 1 << d);
+            assert_eq!(p.num_edges(), d * (1 << d));
+            assert!(p.is_strongly_connected());
+            for &n in &nodes {
+                assert_eq!(p.degree(n), 2 * d);
+            }
+        }
+    }
+
+    #[test]
+    fn fat_tree_shape() {
+        let config = FatTreeConfig::default();
+        let ft = fat_tree(&config);
+        assert_eq!(ft.spines.len(), 2);
+        assert_eq!(ft.leaves.len(), 3);
+        assert_eq!(ft.hosts.len(), 6);
+        assert!(ft.platform.validate().is_ok());
+        assert!(ft.platform.is_strongly_connected());
+        for &s in &ft.spines {
+            assert!(!ft.platform.node(s).can_compute());
+        }
+        for &h in &ft.hosts {
+            assert!(ft.platform.node(h).can_compute());
+        }
+        // Every leaf is connected to every spine.
+        for &l in &ft.leaves {
+            for &s in &ft.spines {
+                assert!(ft.platform.edge_between(l, s).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn dumbbell_shape() {
+        let (p, left, right) = dumbbell(3, rat(1, 2), rat(2, 1));
+        assert_eq!(left.len(), 3);
+        assert_eq!(right.len(), 3);
+        assert_eq!(p.num_nodes(), 8);
+        assert!(p.is_strongly_connected());
+        // Left hosts reach right hosts only through the gateways.
+        assert!(p.edge_between(left[0], right[0]).is_none());
+        assert!(p.is_reachable(left[0], right[0]));
+        // Intra-cluster links exist.
+        assert!(p.edge_between(left[0], left[1]).is_some());
+    }
+
+    #[test]
+    fn random_geometric_is_connected() {
+        for seed in 0..5u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            // A tiny radius forces the stitching path to run.
+            let config = GeometricConfig { nodes: 12, radius: 0.15, ..Default::default() };
+            let (p, nodes) = random_geometric(&config, &mut rng);
+            assert_eq!(nodes.len(), 12);
+            assert!(p.validate().is_ok());
+            assert!(p.is_strongly_connected(), "seed {seed} produced a disconnected graph");
+        }
+    }
+
+    #[test]
+    fn random_geometric_single_node() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let config = GeometricConfig { nodes: 1, ..Default::default() };
+        let (p, nodes) = random_geometric(&config, &mut rng);
+        assert_eq!(p.num_nodes(), 1);
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(p.num_edges(), 0);
+    }
+
+    #[test]
+    fn instance_helpers_are_well_formed() {
+        let s = fat_tree_scatter_instance(&FatTreeConfig::default());
+        assert!(!s.targets.contains(&s.source));
+        assert!(!s.targets.is_empty());
+
+        let r = fat_tree_reduce_instance(&FatTreeConfig::default());
+        assert!(r.participants.contains(&r.target));
+        assert_eq!(r.message_size, rat(1, 1));
+
+        let g = dumbbell_gather_instance(2, rat(1, 2), rat(1, 1));
+        assert!(!g.sources.contains(&g.sink));
+        assert_eq!(g.sources.len(), 3);
+        for &src in &g.sources {
+            assert!(g.platform.is_reachable(src, g.sink));
+        }
+
+        let gossip = ring_gossip_instance(4, rat(1, 1));
+        assert_eq!(gossip.sources.len(), 4);
+        assert_eq!(gossip.targets.len(), 4);
+
+        let prefix = hypercube_prefix_instance(3, rat(1, 1));
+        assert_eq!(prefix.participants.len(), 8);
+
+        let gp = geometric_prefix_instance(&GeometricConfig::default(), 3);
+        assert!(!gp.participants.is_empty());
+        assert!(gp.platform.validate().is_ok());
+    }
+}

@@ -1,0 +1,576 @@
+//! Exact rational numbers built on [`BigInt`].
+//!
+//! [`Ratio`] is always kept in canonical form: the denominator is strictly
+//! positive and `gcd(|num|, den) = 1`.  All the scheduling algorithms of the
+//! workspace (LP solving, period computation, matching decomposition,
+//! reduction-tree extraction) manipulate `Ratio` values so that the schedules
+//! they produce are provably feasible, not feasible-up-to-rounding.
+
+use crate::bigint::{BigInt, ParseBigIntError};
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational number `num / den` with `den > 0` and `gcd(num, den) = 1`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: BigInt,
+    den: BigInt,
+}
+
+/// Error returned when parsing a [`Ratio`] fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRatioError {
+    /// Human-readable description of the failure.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseRatioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ParseRatioError {}
+
+impl From<ParseBigIntError> for ParseRatioError {
+    fn from(e: ParseBigIntError) -> Self {
+        ParseRatioError { reason: e.reason }
+    }
+}
+
+impl Ratio {
+    /// The rational 0.
+    pub fn zero() -> Self {
+        Ratio { num: BigInt::zero(), den: BigInt::one() }
+    }
+
+    /// The rational 1.
+    pub fn one() -> Self {
+        Ratio { num: BigInt::one(), den: BigInt::one() }
+    }
+
+    /// Builds `num / den`, normalizing sign and common factors.
+    ///
+    /// # Panics
+    /// Panics if `den` is zero.
+    pub fn new(num: BigInt, den: BigInt) -> Self {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        let mut num = num;
+        let mut den = den;
+        if den.is_negative() {
+            num = -num;
+            den = -den;
+        }
+        if num.is_zero() {
+            return Ratio::zero();
+        }
+        let g = num.gcd(&den);
+        if !g.is_one() {
+            num = &num / &g;
+            den = &den / &g;
+        }
+        Ratio { num, den }
+    }
+
+    /// Builds the rational `n / d` from machine integers.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    pub fn from_frac(n: i64, d: i64) -> Self {
+        Ratio::new(BigInt::from(n), BigInt::from(d))
+    }
+
+    /// Builds the integer rational `n`.
+    pub fn from_int(n: i64) -> Self {
+        Ratio { num: BigInt::from(n), den: BigInt::one() }
+    }
+
+    /// Numerator (sign-carrying part).
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// Denominator (always strictly positive).
+    pub fn denom(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// Returns `true` iff the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Returns `true` iff the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Returns `true` iff the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// Returns `true` iff the value is an integer (denominator 1).
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Ratio {
+        Ratio { num: self.num.abs(), den: self.den.clone() }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> Ratio {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Ratio::new(self.den.clone(), self.num.clone())
+    }
+
+    /// Largest integer `<= self`.
+    pub fn floor(&self) -> BigInt {
+        let (q, r) = self.num.div_rem(&self.den);
+        if r.is_negative() {
+            q - BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// Smallest integer `>= self`.
+    pub fn ceil(&self) -> BigInt {
+        let (q, r) = self.num.div_rem(&self.den);
+        if r.is_positive() {
+            q + BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// Lossy conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        // Scale so that both operands fit comfortably in f64 range when they
+        // are huge: shift both by the same power of two.
+        let nb = self.num.bits() as i64;
+        let db = self.den.bits() as i64;
+        if nb < 900 && db < 900 {
+            return self.num.to_f64() / self.den.to_f64();
+        }
+        // Rare path for extremely large operands: compute via quotient+remainder.
+        let scale = BigInt::from(2u64).pow(64);
+        let scaled = (&self.num * &scale).div_rem(&self.den).0;
+        scaled.to_f64() / 1.8446744073709552e19
+    }
+
+    /// Minimum of two rationals.
+    pub fn min(self, other: Ratio) -> Ratio {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Maximum of two rationals.
+    pub fn max(self, other: Ratio) -> Ratio {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Best rational approximation of an `f64` with denominator bounded by
+    /// `max_den`, computed with the Stern–Brocot / continued-fraction method.
+    ///
+    /// Used by the fixed-period approximation path when an LP is solved in
+    /// floating point first (§4.6 of the paper): the resulting rates are
+    /// rationalized before being scaled to an integer period.
+    ///
+    /// Returns `None` for non-finite inputs.
+    pub fn approximate_f64(value: f64, max_den: u64) -> Option<Ratio> {
+        if !value.is_finite() {
+            return None;
+        }
+        let max_den = max_den.max(1);
+        let negative = value < 0.0;
+        let mut x = value.abs();
+        // Continued-fraction convergents p_k / q_k.
+        let (mut p0, mut q0, mut p1, mut q1) = (0u128, 1u128, 1u128, 0u128);
+        for _ in 0..64 {
+            let a = x.floor();
+            if a > u64::MAX as f64 {
+                break;
+            }
+            let a_int = a as u128;
+            let p2 = a_int.saturating_mul(p1).saturating_add(p0);
+            let q2 = a_int.saturating_mul(q1).saturating_add(q0);
+            if q2 > max_den as u128 {
+                break;
+            }
+            p0 = p1;
+            q0 = q1;
+            p1 = p2;
+            q1 = q2;
+            let frac = x - a;
+            if frac < 1e-15 {
+                break;
+            }
+            x = 1.0 / frac;
+        }
+        if q1 == 0 {
+            return Some(Ratio::zero());
+        }
+        let mut r = Ratio::new(BigInt::from(p1), BigInt::from(q1));
+        if negative {
+            r = -r;
+        }
+        Some(r)
+    }
+
+    /// `self * n / d` using machine integers, convenient in tests.
+    pub fn scale(&self, n: i64, d: i64) -> Ratio {
+        self * &Ratio::from_frac(n, d)
+    }
+}
+
+impl Default for Ratio {
+    fn default() -> Self {
+        Ratio::zero()
+    }
+}
+
+impl From<i64> for Ratio {
+    fn from(v: i64) -> Self {
+        Ratio::from_int(v)
+    }
+}
+
+impl From<u64> for Ratio {
+    fn from(v: u64) -> Self {
+        Ratio { num: BigInt::from(v), den: BigInt::one() }
+    }
+}
+
+impl From<i32> for Ratio {
+    fn from(v: i32) -> Self {
+        Ratio::from_int(v as i64)
+    }
+}
+
+impl From<usize> for Ratio {
+    fn from(v: usize) -> Self {
+        Ratio { num: BigInt::from(v), den: BigInt::one() }
+    }
+}
+
+impl From<BigInt> for Ratio {
+    fn from(v: BigInt) -> Self {
+        Ratio { num: v, den: BigInt::one() }
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b vs c/d (b, d > 0)  <=>  a*d vs c*b
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl Neg for &Ratio {
+    type Output = Ratio;
+    fn neg(self) -> Ratio {
+        Ratio { num: -&self.num, den: self.den.clone() }
+    }
+}
+
+impl Neg for Ratio {
+    type Output = Ratio;
+    fn neg(self) -> Ratio {
+        -&self
+    }
+}
+
+impl Add for &Ratio {
+    type Output = Ratio;
+    fn add(self, other: &Ratio) -> Ratio {
+        Ratio::new(
+            &self.num * &other.den + &other.num * &self.den,
+            &self.den * &other.den,
+        )
+    }
+}
+
+impl Sub for &Ratio {
+    type Output = Ratio;
+    fn sub(self, other: &Ratio) -> Ratio {
+        Ratio::new(
+            &self.num * &other.den - &other.num * &self.den,
+            &self.den * &other.den,
+        )
+    }
+}
+
+impl Mul for &Ratio {
+    type Output = Ratio;
+    fn mul(self, other: &Ratio) -> Ratio {
+        Ratio::new(&self.num * &other.num, &self.den * &other.den)
+    }
+}
+
+impl Div for &Ratio {
+    type Output = Ratio;
+    fn div(self, other: &Ratio) -> Ratio {
+        assert!(!other.is_zero(), "division by zero rational");
+        Ratio::new(&self.num * &other.den, &self.den * &other.num)
+    }
+}
+
+macro_rules! forward_ratio_binop {
+    ($trait:ident, $method:ident, $assign_trait:ident, $assign_method:ident) => {
+        impl $trait for Ratio {
+            type Output = Ratio;
+            fn $method(self, other: Ratio) -> Ratio {
+                (&self).$method(&other)
+            }
+        }
+        impl $trait<&Ratio> for Ratio {
+            type Output = Ratio;
+            fn $method(self, other: &Ratio) -> Ratio {
+                (&self).$method(other)
+            }
+        }
+        impl $trait<Ratio> for &Ratio {
+            type Output = Ratio;
+            fn $method(self, other: Ratio) -> Ratio {
+                self.$method(&other)
+            }
+        }
+        impl $assign_trait<&Ratio> for Ratio {
+            fn $assign_method(&mut self, other: &Ratio) {
+                *self = (&*self).$method(other);
+            }
+        }
+        impl $assign_trait<Ratio> for Ratio {
+            fn $assign_method(&mut self, other: Ratio) {
+                *self = (&*self).$method(&other);
+            }
+        }
+    };
+}
+
+forward_ratio_binop!(Add, add, AddAssign, add_assign);
+forward_ratio_binop!(Sub, sub, SubAssign, sub_assign);
+forward_ratio_binop!(Mul, mul, MulAssign, mul_assign);
+forward_ratio_binop!(Div, div, DivAssign, div_assign);
+
+impl Sum for Ratio {
+    fn sum<I: Iterator<Item = Ratio>>(iter: I) -> Ratio {
+        iter.fold(Ratio::zero(), |acc, x| acc + x)
+    }
+}
+
+impl<'a> Sum<&'a Ratio> for Ratio {
+    fn sum<I: Iterator<Item = &'a Ratio>>(iter: I) -> Ratio {
+        iter.fold(Ratio::zero(), |acc, x| acc + x)
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl FromStr for Ratio {
+    type Err = ParseRatioError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        match s.split_once('/') {
+            None => Ok(Ratio::from(s.parse::<BigInt>()?)),
+            Some((n, d)) => {
+                let num: BigInt = n.trim().parse()?;
+                let den: BigInt = d.trim().parse()?;
+                if den.is_zero() {
+                    return Err(ParseRatioError { reason: "zero denominator".into() });
+                }
+                Ok(Ratio::new(num, den))
+            }
+        }
+    }
+}
+
+/// Least common multiple of the denominators of a collection of rationals.
+///
+/// This is the period `T` of the paper's periodic schedules: multiplying every
+/// LP variable by `lcm_of_denominators` yields integer message counts.
+pub fn lcm_of_denominators<'a, I>(values: I) -> BigInt
+where
+    I: IntoIterator<Item = &'a Ratio>,
+{
+    let mut acc = BigInt::one();
+    for v in values {
+        acc = acc.lcm(v.denom());
+        if acc.is_zero() {
+            acc = BigInt::one();
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Ratio {
+        Ratio::from_frac(n, d)
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, 4), r(1, -2));
+        assert_eq!(r(0, 17), Ratio::zero());
+        assert_eq!(r(6, -4), r(-3, 2));
+        assert!(r(1, 2).denom().is_positive());
+        assert!(r(-1, 2).denom().is_positive());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = r(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(r(1, 2) + r(1, 3), r(5, 6));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(2, 3) / r(4, 9), r(3, 2));
+        assert_eq!(-r(2, 3), r(-2, 3));
+        assert_eq!(r(1, 3) + r(2, 3), Ratio::one());
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut x = r(1, 2);
+        x += r(1, 3);
+        assert_eq!(x, r(5, 6));
+        x -= r(1, 6);
+        assert_eq!(x, r(2, 3));
+        x *= r(3, 2);
+        assert_eq!(x, Ratio::one());
+        x /= r(1, 4);
+        assert_eq!(x, r(4, 1));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(7, 7) == Ratio::one());
+        assert!(r(-5, 3) < Ratio::zero());
+        assert_eq!(r(1, 2).max(r(2, 3)), r(2, 3));
+        assert_eq!(r(1, 2).min(r(2, 3)), r(1, 2));
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(r(7, 2).floor(), BigInt::from(3i64));
+        assert_eq!(r(7, 2).ceil(), BigInt::from(4i64));
+        assert_eq!(r(-7, 2).floor(), BigInt::from(-4i64));
+        assert_eq!(r(-7, 2).ceil(), BigInt::from(-3i64));
+        assert_eq!(r(4, 2).floor(), BigInt::from(2i64));
+        assert_eq!(r(4, 2).ceil(), BigInt::from(2i64));
+        assert_eq!(Ratio::zero().floor(), BigInt::zero());
+    }
+
+    #[test]
+    fn recip() {
+        assert_eq!(r(3, 4).recip(), r(4, 3));
+        assert_eq!(r(-3, 4).recip(), r(-4, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "reciprocal of zero")]
+    fn recip_zero_panics() {
+        let _ = Ratio::zero().recip();
+    }
+
+    #[test]
+    fn to_f64() {
+        assert!((r(1, 2).to_f64() - 0.5).abs() < 1e-12);
+        assert!((r(-22, 7).to_f64() + 22.0 / 7.0).abs() < 1e-12);
+        assert_eq!(Ratio::zero().to_f64(), 0.0);
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for s in ["0", "5", "-5", "1/2", "-7/3", "22/7"] {
+            let v: Ratio = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+        assert_eq!(" 4 / 6 ".parse::<Ratio>().unwrap(), r(2, 3));
+        assert!("1/0".parse::<Ratio>().is_err());
+        assert!("x/2".parse::<Ratio>().is_err());
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let parts = vec![r(1, 6); 6];
+        let total: Ratio = parts.iter().sum();
+        assert_eq!(total, Ratio::one());
+        let total_owned: Ratio = parts.into_iter().sum();
+        assert_eq!(total_owned, Ratio::one());
+    }
+
+    #[test]
+    fn lcm_of_denominators_matches_paper_examples() {
+        // Figure 2: throughput 1/2 and per-edge rates with denominators 2, 3, 4
+        // lead to the period 12 used in the paper.
+        let values = vec![r(1, 2), r(1, 3), r(1, 4), r(3, 4)];
+        assert_eq!(lcm_of_denominators(&values), BigInt::from(12i64));
+        // Figure 6: all denominators are 3 -> period 3.
+        let values = vec![r(2, 3), r(1, 3), Ratio::one()];
+        assert_eq!(lcm_of_denominators(&values), BigInt::from(3i64));
+        // Empty input -> period 1.
+        assert_eq!(lcm_of_denominators(&[]), BigInt::one());
+    }
+
+    #[test]
+    fn approximate_f64() {
+        assert_eq!(Ratio::approximate_f64(0.5, 100).unwrap(), r(1, 2));
+        assert_eq!(Ratio::approximate_f64(-0.25, 100).unwrap(), r(-1, 4));
+        assert_eq!(Ratio::approximate_f64(2.0 / 9.0, 1000).unwrap(), r(2, 9));
+        assert_eq!(Ratio::approximate_f64(0.0, 100).unwrap(), Ratio::zero());
+        let third = Ratio::approximate_f64(1.0 / 3.0, 10).unwrap();
+        assert_eq!(third, r(1, 3));
+        assert!(Ratio::approximate_f64(f64::NAN, 10).is_none());
+        assert!(Ratio::approximate_f64(f64::INFINITY, 10).is_none());
+        // Golden ratio with a small denominator bound: best convergent 8/5 or 13/8.
+        let phi = Ratio::approximate_f64(1.618033988749895, 8).unwrap();
+        assert_eq!(phi, r(13, 8));
+    }
+
+    #[test]
+    fn scale_helper() {
+        assert_eq!(r(1, 3).scale(3, 2), r(1, 2));
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests for the exact arithmetic layer.
+//!
+//! These check the ring/field/order axioms that the rest of the workspace
+//! silently relies on (e.g. the matching decomposition subtracts rationals and
+//! expects exact cancellation to zero).
+
+use proptest::prelude::*;
+use steady_rational::{lcm_of_denominators, BigInt, Ratio};
+
+fn bigint_strategy() -> impl Strategy<Value = BigInt> {
+    // Mix of small values and products of large values to exercise multi-limb paths.
+    prop_oneof![
+        any::<i64>().prop_map(BigInt::from),
+        (any::<i128>(), any::<i64>()).prop_map(|(a, b)| BigInt::from(a) * BigInt::from(b)),
+    ]
+}
+
+fn ratio_strategy() -> impl Strategy<Value = Ratio> {
+    (any::<i64>(), 1i64..=1_000_000i64).prop_map(|(n, d)| Ratio::from_frac(n, d))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn bigint_add_commutative(a in bigint_strategy(), b in bigint_strategy()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn bigint_add_associative(a in bigint_strategy(), b in bigint_strategy(), c in bigint_strategy()) {
+        prop_assert_eq!((&a + &b) + &c, &a + (&b + &c));
+    }
+
+    #[test]
+    fn bigint_mul_commutative(a in bigint_strategy(), b in bigint_strategy()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn bigint_mul_distributes(a in bigint_strategy(), b in bigint_strategy(), c in bigint_strategy()) {
+        prop_assert_eq!(&a * (&b + &c), &a * &b + &a * &c);
+    }
+
+    #[test]
+    fn bigint_sub_inverse(a in bigint_strategy(), b in bigint_strategy()) {
+        prop_assert_eq!((&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn bigint_div_rem_reconstructs(a in bigint_strategy(), b in bigint_strategy()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert_eq!(&q * &b + &r, a.clone());
+        prop_assert!(r.abs() < b.abs());
+        // Truncated division: remainder has the sign of the dividend (or is zero).
+        prop_assert!(r.is_zero() || (r.is_negative() == a.is_negative()));
+    }
+
+    #[test]
+    fn bigint_gcd_divides_both(a in bigint_strategy(), b in bigint_strategy()) {
+        let g = a.gcd(&b);
+        if g.is_zero() {
+            prop_assert!(a.is_zero() && b.is_zero());
+        } else {
+            prop_assert!(a.div_rem(&g).1.is_zero());
+            prop_assert!(b.div_rem(&g).1.is_zero());
+            prop_assert!(!g.is_negative());
+        }
+    }
+
+    #[test]
+    fn bigint_display_parse_roundtrip(a in bigint_strategy()) {
+        let s = a.to_string();
+        let parsed: BigInt = s.parse().unwrap();
+        prop_assert_eq!(parsed, a);
+    }
+
+    #[test]
+    fn bigint_cmp_consistent_with_sub(a in bigint_strategy(), b in bigint_strategy()) {
+        let diff = &a - &b;
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => prop_assert!(diff.is_negative()),
+            std::cmp::Ordering::Equal => prop_assert!(diff.is_zero()),
+            std::cmp::Ordering::Greater => prop_assert!(diff.is_positive()),
+        }
+    }
+
+    #[test]
+    fn ratio_field_axioms(a in ratio_strategy(), b in ratio_strategy(), c in ratio_strategy()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!((&a + &b) + &c, &a + (&b + &c));
+        prop_assert_eq!(&a * (&b + &c), &a * &b + &a * &c);
+        prop_assert_eq!(&a + &Ratio::zero(), a.clone());
+        prop_assert_eq!(&a * &Ratio::one(), a.clone());
+    }
+
+    #[test]
+    fn ratio_sub_div_inverse(a in ratio_strategy(), b in ratio_strategy()) {
+        prop_assert_eq!((&a + &b) - &b, a.clone());
+        if !b.is_zero() {
+            prop_assert_eq!((&a * &b) / &b, a);
+        }
+    }
+
+    #[test]
+    fn ratio_normalized(a in ratio_strategy()) {
+        prop_assert!(a.denom().is_positive());
+        prop_assert!(a.numer().gcd(a.denom()).is_one() || a.is_zero());
+    }
+
+    #[test]
+    fn ratio_ordering_total(a in ratio_strategy(), b in ratio_strategy()) {
+        // Exactly one of <, ==, > holds, and it matches the sign of the difference.
+        let diff = &a - &b;
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => prop_assert!(diff.is_negative()),
+            std::cmp::Ordering::Equal => prop_assert!(diff.is_zero()),
+            std::cmp::Ordering::Greater => prop_assert!(diff.is_positive()),
+        }
+    }
+
+    #[test]
+    fn ratio_floor_ceil_bracket(a in ratio_strategy()) {
+        let fl = Ratio::from(a.floor());
+        let ce = Ratio::from(a.ceil());
+        prop_assert!(fl <= a && a <= ce);
+        prop_assert!(&ce - &fl <= Ratio::one());
+        if a.is_integer() {
+            prop_assert_eq!(fl, ce);
+        }
+    }
+
+    #[test]
+    fn ratio_to_f64_close(n in -1_000_000i64..1_000_000, d in 1i64..1_000_000) {
+        let r = Ratio::from_frac(n, d);
+        let expected = n as f64 / d as f64;
+        prop_assert!((r.to_f64() - expected).abs() <= 1e-9 * expected.abs().max(1.0));
+    }
+
+    #[test]
+    fn ratio_display_parse_roundtrip(a in ratio_strategy()) {
+        let s = a.to_string();
+        let parsed: Ratio = s.parse().unwrap();
+        prop_assert_eq!(parsed, a);
+    }
+
+    #[test]
+    fn lcm_denominators_clears_all(values in proptest::collection::vec(ratio_strategy(), 0..12)) {
+        let lcm = lcm_of_denominators(&values);
+        prop_assert!(lcm.is_positive());
+        for v in &values {
+            let scaled = v * &Ratio::from(lcm.clone());
+            prop_assert!(scaled.is_integer());
+        }
+    }
+
+    #[test]
+    fn approximate_f64_recovers_simple_fractions(n in -500i64..500, d in 1i64..500) {
+        let r = Ratio::from_frac(n, d);
+        let approx = Ratio::approximate_f64(r.to_f64(), 100_000).unwrap();
+        prop_assert_eq!(approx, r);
+    }
+}

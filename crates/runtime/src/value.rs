@@ -1,0 +1,128 @@
+//! Concrete payloads carried by the runtime.
+//!
+//! The paper's reduce operator `⊕` is associative but **not** commutative, so
+//! the runtime materializes values as ordered sequences of tagged tokens:
+//! combining is concatenation, which is associative and order-sensitive.  Any
+//! deviation from the left-to-right rank order (or any mixing of operations
+//! with different time-stamps) is therefore immediately visible in the final
+//! sequence, which is exactly what the end-to-end correctness checks look for.
+
+/// Token contributed by one participant to one operation.
+///
+/// Encodes the participant rank and the operation time-stamp in a single
+/// `u64` so sequences stay cheap to move between threads.
+pub fn encode_token(rank: usize, timestamp: u64) -> u64 {
+    ((rank as u64) << 40) | (timestamp & 0xFF_FFFF_FFFF)
+}
+
+/// Inverse of [`encode_token`].
+pub fn decode_token(token: u64) -> (usize, u64) {
+    ((token >> 40) as usize, token & 0xFF_FFFF_FFFF)
+}
+
+/// An ordered partial-reduction value: the concatenation of the tokens of a
+/// contiguous rank interval, all stamped with the same operation time-stamp.
+pub type Seq = Vec<u64>;
+
+/// The leaf value `v[i, i]` of participant `rank` for operation `timestamp`.
+pub fn leaf_value(rank: usize, timestamp: u64) -> Seq {
+    vec![encode_token(rank, timestamp)]
+}
+
+/// The non-commutative reduction operator `⊕`: ordered concatenation.
+pub fn combine(left: &Seq, right: &Seq) -> Seq {
+    let mut out = Vec::with_capacity(left.len() + right.len());
+    out.extend_from_slice(left);
+    out.extend_from_slice(right);
+    out
+}
+
+/// The expected complete result `v[0, n]` of operation `timestamp` on a
+/// reduction over ranks `0..=n`.
+pub fn expected_result(n: usize, timestamp: u64) -> Seq {
+    (0..=n).map(|rank| encode_token(rank, timestamp)).collect()
+}
+
+/// Checks that `seq` is a well-formed partial value: contiguous ranks
+/// `lo..=hi` in order, all carrying the same time-stamp, which is returned.
+pub fn check_partial(seq: &Seq, lo: usize, hi: usize) -> Result<u64, String> {
+    if seq.len() != hi - lo + 1 {
+        return Err(format!(
+            "v[{lo},{hi}] has {} tokens instead of {}",
+            seq.len(),
+            hi - lo + 1
+        ));
+    }
+    let (_, ts) = decode_token(seq[0]);
+    for (offset, &token) in seq.iter().enumerate() {
+        let (rank, t) = decode_token(token);
+        if rank != lo + offset {
+            return Err(format!(
+                "v[{lo},{hi}] token {offset} has rank {rank}, expected {}",
+                lo + offset
+            ));
+        }
+        if t != ts {
+            return Err(format!(
+                "v[{lo},{hi}] mixes time-stamps {ts} and {t} (operator applied across operations)"
+            ));
+        }
+    }
+    Ok(ts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_roundtrip() {
+        for rank in [0usize, 1, 7, 255] {
+            for ts in [0u64, 1, 42, 1 << 30] {
+                assert_eq!(decode_token(encode_token(rank, ts)), (rank, ts));
+            }
+        }
+    }
+
+    #[test]
+    fn combine_is_associative_but_not_commutative() {
+        let a = leaf_value(0, 3);
+        let b = leaf_value(1, 3);
+        let c = leaf_value(2, 3);
+        let left = combine(&combine(&a, &b), &c);
+        let right = combine(&a, &combine(&b, &c));
+        assert_eq!(left, right);
+        assert_eq!(left, expected_result(2, 3));
+        assert_ne!(combine(&a, &b), combine(&b, &a));
+    }
+
+    #[test]
+    fn check_partial_accepts_well_formed_values() {
+        let v = combine(&leaf_value(1, 9), &leaf_value(2, 9));
+        assert_eq!(check_partial(&v, 1, 2).unwrap(), 9);
+    }
+
+    #[test]
+    fn check_partial_rejects_corruption() {
+        // Wrong length.
+        assert!(check_partial(&leaf_value(0, 1), 0, 1).is_err());
+        // Wrong rank order.
+        let swapped = combine(&leaf_value(2, 1), &leaf_value(1, 1));
+        assert!(check_partial(&swapped, 1, 2).is_err());
+        // Mixed time-stamps.
+        let mixed = combine(&leaf_value(1, 1), &leaf_value(2, 2));
+        let err = check_partial(&mixed, 1, 2).unwrap_err();
+        assert!(err.contains("time-stamps"), "{err}");
+    }
+
+    #[test]
+    fn expected_result_matches_fold() {
+        let n = 4;
+        let ts = 17;
+        let mut acc = leaf_value(0, ts);
+        for rank in 1..=n {
+            acc = combine(&acc, &leaf_value(rank, ts));
+        }
+        assert_eq!(acc, expected_result(n, ts));
+    }
+}

@@ -1,0 +1,385 @@
+//! Resource-constrained discrete-event engine for the one-port model.
+//!
+//! Baseline collective algorithms (direct scatters, tree reduces, ...) are
+//! expressed as DAGs of transfers and computations.  [`simulate`] plays such a
+//! DAG under the one-port, full-overlap model: a transfer occupies the
+//! sender's outgoing port and the receiver's incoming port for its whole
+//! duration, a computation occupies the node's compute unit, and an operation
+//! starts as soon as its dependencies have completed and its resources are
+//! free (greedy list scheduling, earliest-start-time order).
+//!
+//! Time is kept in exact rationals so that results can be compared exactly
+//! with the LP-derived bounds.
+
+use std::collections::BTreeMap;
+
+use steady_platform::{NodeId, Platform};
+use steady_rational::Ratio;
+
+/// Identifier of an operation inside a [`Dag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(pub usize);
+
+/// Kind of DAG operation.
+#[derive(Debug, Clone)]
+pub enum OpKind {
+    /// Point-to-point transfer occupying both ports for `duration`.
+    Transfer {
+        /// Sending node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// Busy time of both ports.
+        duration: Ratio,
+    },
+    /// Computation occupying the node's compute unit for `duration`.
+    Compute {
+        /// Executing node.
+        node: NodeId,
+        /// Busy time of the compute unit.
+        duration: Ratio,
+    },
+    /// Zero-duration synchronization point (used to mark the completion of one
+    /// collective operation in a pipelined series).
+    Milestone,
+}
+
+/// One operation of a DAG.
+#[derive(Debug, Clone)]
+pub struct DagOp {
+    /// What the operation does.
+    pub kind: OpKind,
+    /// Operations that must complete before this one starts.
+    pub deps: Vec<OpId>,
+}
+
+/// A DAG of transfers and computations.
+#[derive(Debug, Clone, Default)]
+pub struct Dag {
+    ops: Vec<DagOp>,
+}
+
+impl Dag {
+    /// Creates an empty DAG.
+    pub fn new() -> Self {
+        Dag::default()
+    }
+
+    /// Adds an operation and returns its id.
+    pub fn add(&mut self, kind: OpKind, deps: Vec<OpId>) -> OpId {
+        self.ops.push(DagOp { kind, deps });
+        OpId(self.ops.len() - 1)
+    }
+
+    /// Convenience: adds a transfer.
+    pub fn transfer(&mut self, from: NodeId, to: NodeId, duration: Ratio, deps: Vec<OpId>) -> OpId {
+        self.add(OpKind::Transfer { from, to, duration }, deps)
+    }
+
+    /// Convenience: adds a computation.
+    pub fn compute(&mut self, node: NodeId, duration: Ratio, deps: Vec<OpId>) -> OpId {
+        self.add(OpKind::Compute { node, duration }, deps)
+    }
+
+    /// Convenience: adds a milestone.
+    pub fn milestone(&mut self, deps: Vec<OpId>) -> OpId {
+        self.add(OpKind::Milestone, deps)
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when the DAG has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Operations slice.
+    pub fn ops(&self) -> &[DagOp] {
+        &self.ops
+    }
+}
+
+/// Errors raised by the simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// An operation depends on itself transitively.
+    CyclicDependencies,
+    /// An operation references a node missing from the platform.
+    UnknownNode {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// A transfer uses a link that does not exist in the platform.
+    MissingLink {
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+    },
+    /// A duration is negative.
+    NegativeDuration,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::CyclicDependencies => write!(f, "the DAG contains a dependency cycle"),
+            SimError::UnknownNode { node } => write!(f, "unknown node {node}"),
+            SimError::MissingLink { from, to } => write!(f, "no link {from} -> {to}"),
+            SimError::NegativeDuration => write!(f, "negative duration"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result of simulating a DAG.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Completion time of every operation.
+    pub finish_times: Vec<Ratio>,
+    /// Time at which the last operation completes.
+    pub makespan: Ratio,
+}
+
+impl SimResult {
+    /// Finish time of `op`.
+    pub fn finish(&self, op: OpId) -> &Ratio {
+        &self.finish_times[op.0]
+    }
+}
+
+/// Simulates `dag` on `platform` under the one-port, full-overlap model.
+pub fn simulate(platform: &Platform, dag: &Dag) -> Result<SimResult, SimError> {
+    let n_ops = dag.len();
+    // Validate operations.
+    for op in dag.ops() {
+        match &op.kind {
+            OpKind::Transfer { from, to, duration } => {
+                if from.index() >= platform.num_nodes() {
+                    return Err(SimError::UnknownNode { node: *from });
+                }
+                if to.index() >= platform.num_nodes() {
+                    return Err(SimError::UnknownNode { node: *to });
+                }
+                if platform.edge_between(*from, *to).is_none() {
+                    return Err(SimError::MissingLink { from: *from, to: *to });
+                }
+                if duration.is_negative() {
+                    return Err(SimError::NegativeDuration);
+                }
+            }
+            OpKind::Compute { node, duration } => {
+                if node.index() >= platform.num_nodes() {
+                    return Err(SimError::UnknownNode { node: *node });
+                }
+                if duration.is_negative() {
+                    return Err(SimError::NegativeDuration);
+                }
+            }
+            OpKind::Milestone => {}
+        }
+    }
+
+    // Per-resource availability times.
+    let mut send_free: BTreeMap<NodeId, Ratio> = BTreeMap::new();
+    let mut recv_free: BTreeMap<NodeId, Ratio> = BTreeMap::new();
+    let mut compute_free: BTreeMap<NodeId, Ratio> = BTreeMap::new();
+
+    let mut finish: Vec<Option<Ratio>> = vec![None; n_ops];
+    let mut remaining_deps: Vec<usize> = dag.ops().iter().map(|o| o.deps.len()).collect();
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n_ops];
+    for (i, op) in dag.ops().iter().enumerate() {
+        for d in &op.deps {
+            dependents[d.0].push(i);
+        }
+    }
+    let mut ready: Vec<usize> =
+        (0..n_ops).filter(|&i| remaining_deps[i] == 0).collect();
+    let mut scheduled = 0usize;
+    let zero = Ratio::zero();
+
+    while !ready.is_empty() {
+        // Earliest-start-time greedy choice (ties broken by op index for
+        // determinism).
+        let mut best: Option<(usize, Ratio)> = None;
+        for &i in &ready {
+            let op = &dag.ops()[i];
+            let dep_ready: Ratio = op
+                .deps
+                .iter()
+                .map(|d| finish[d.0].clone().expect("dependency finished"))
+                .max()
+                .unwrap_or_else(Ratio::zero);
+            let resource_ready = match &op.kind {
+                OpKind::Transfer { from, to, .. } => {
+                    let s = send_free.get(from).unwrap_or(&zero);
+                    let r = recv_free.get(to).unwrap_or(&zero);
+                    if s >= r {
+                        s.clone()
+                    } else {
+                        r.clone()
+                    }
+                }
+                OpKind::Compute { node, .. } => compute_free.get(node).unwrap_or(&zero).clone(),
+                OpKind::Milestone => Ratio::zero(),
+            };
+            let start = dep_ready.max(resource_ready);
+            match &best {
+                None => best = Some((i, start)),
+                Some((bi, bs)) => {
+                    if start < *bs || (start == *bs && i < *bi) {
+                        best = Some((i, start));
+                    }
+                }
+            }
+        }
+        let (idx, start) = best.expect("ready list is non-empty");
+        ready.retain(|&i| i != idx);
+        let op = &dag.ops()[idx];
+        let end = match &op.kind {
+            OpKind::Transfer { from, to, duration } => {
+                let end = &start + duration;
+                send_free.insert(*from, end.clone());
+                recv_free.insert(*to, end.clone());
+                end
+            }
+            OpKind::Compute { node, duration } => {
+                let end = &start + duration;
+                compute_free.insert(*node, end.clone());
+                end
+            }
+            OpKind::Milestone => start.clone(),
+        };
+        finish[idx] = Some(end);
+        scheduled += 1;
+        for &dep in &dependents[idx] {
+            remaining_deps[dep] -= 1;
+            if remaining_deps[dep] == 0 {
+                ready.push(dep);
+            }
+        }
+    }
+
+    if scheduled != n_ops {
+        return Err(SimError::CyclicDependencies);
+    }
+    let finish_times: Vec<Ratio> = finish.into_iter().map(|f| f.unwrap()).collect();
+    let makespan = finish_times.iter().cloned().max().unwrap_or_else(Ratio::zero);
+    Ok(SimResult { finish_times, makespan })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steady_platform::generators;
+    use steady_rational::rat;
+
+    #[test]
+    fn empty_dag() {
+        let (p, _) = generators::chain(2, rat(1, 1));
+        let res = simulate(&p, &Dag::new()).unwrap();
+        assert_eq!(res.makespan, Ratio::zero());
+    }
+
+    #[test]
+    fn sequential_transfers_on_same_port() {
+        // Two transfers out of the same node serialize on its send port.
+        let (p, c, leaves) = generators::star(2, rat(1, 1));
+        let mut dag = Dag::new();
+        let a = dag.transfer(c, leaves[0], rat(2, 1), vec![]);
+        let b = dag.transfer(c, leaves[1], rat(3, 1), vec![]);
+        let res = simulate(&p, &dag).unwrap();
+        assert_eq!(res.makespan, rat(5, 1));
+        assert!(res.finish(a) < res.finish(b) || res.finish(b) < res.finish(a));
+    }
+
+    #[test]
+    fn independent_transfers_overlap() {
+        // Different senders and receivers: fully parallel.
+        let (p, nodes) = generators::clique(4, rat(1, 1));
+        let mut dag = Dag::new();
+        dag.transfer(nodes[0], nodes[1], rat(2, 1), vec![]);
+        dag.transfer(nodes[2], nodes[3], rat(2, 1), vec![]);
+        let res = simulate(&p, &dag).unwrap();
+        assert_eq!(res.makespan, rat(2, 1));
+    }
+
+    #[test]
+    fn computation_overlaps_with_communication() {
+        // Full-overlap: a node can compute while sending.
+        let (p, nodes) = generators::chain(2, rat(1, 1));
+        let mut dag = Dag::new();
+        dag.transfer(nodes[0], nodes[1], rat(5, 1), vec![]);
+        dag.compute(nodes[0], rat(5, 1), vec![]);
+        let res = simulate(&p, &dag).unwrap();
+        assert_eq!(res.makespan, rat(5, 1));
+    }
+
+    #[test]
+    fn dependencies_are_respected() {
+        // A store-and-forward relay: second hop starts after the first.
+        let (p, nodes) = generators::chain(3, rat(1, 1));
+        let mut dag = Dag::new();
+        let first = dag.transfer(nodes[0], nodes[1], rat(1, 1), vec![]);
+        let second = dag.transfer(nodes[1], nodes[2], rat(1, 1), vec![first]);
+        let done = dag.milestone(vec![second]);
+        let res = simulate(&p, &dag).unwrap();
+        assert_eq!(*res.finish(done), rat(2, 1));
+        assert_eq!(res.makespan, rat(2, 1));
+    }
+
+    #[test]
+    fn recv_port_is_exclusive() {
+        // Two different senders to the same receiver serialize on its recv port.
+        let (p, nodes) = generators::clique(3, rat(1, 1));
+        let mut dag = Dag::new();
+        dag.transfer(nodes[1], nodes[0], rat(2, 1), vec![]);
+        dag.transfer(nodes[2], nodes[0], rat(2, 1), vec![]);
+        let res = simulate(&p, &dag).unwrap();
+        assert_eq!(res.makespan, rat(4, 1));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let (p, nodes) = generators::chain(3, rat(1, 1));
+        // Missing link: 0 -> 2 is two hops.
+        let mut dag = Dag::new();
+        dag.transfer(nodes[0], nodes[2], rat(1, 1), vec![]);
+        assert_eq!(
+            simulate(&p, &dag).unwrap_err(),
+            SimError::MissingLink { from: nodes[0], to: nodes[2] }
+        );
+        // Unknown node.
+        let mut dag = Dag::new();
+        dag.compute(NodeId(99), rat(1, 1), vec![]);
+        assert!(matches!(simulate(&p, &dag).unwrap_err(), SimError::UnknownNode { .. }));
+        // Negative duration.
+        let mut dag = Dag::new();
+        dag.compute(nodes[0], rat(-1, 1), vec![]);
+        assert_eq!(simulate(&p, &dag).unwrap_err(), SimError::NegativeDuration);
+        // Cycle.
+        let mut dag = Dag::new();
+        let a = dag.add(OpKind::Milestone, vec![OpId(1)]);
+        let _b = dag.add(OpKind::Milestone, vec![a]);
+        assert_eq!(simulate(&p, &dag).unwrap_err(), SimError::CyclicDependencies);
+    }
+
+    #[test]
+    fn pipelining_two_operations_shares_resources() {
+        // Two identical "operations" (transfer then forward) pipeline: the
+        // second starts while the first is on its second hop.
+        let (p, nodes) = generators::chain(3, rat(1, 1));
+        let mut dag = Dag::new();
+        let a1 = dag.transfer(nodes[0], nodes[1], rat(1, 1), vec![]);
+        let a2 = dag.transfer(nodes[1], nodes[2], rat(1, 1), vec![a1]);
+        let b1 = dag.transfer(nodes[0], nodes[1], rat(1, 1), vec![]);
+        let b2 = dag.transfer(nodes[1], nodes[2], rat(1, 1), vec![b1]);
+        let res = simulate(&p, &dag).unwrap();
+        assert_eq!(res.makespan, rat(3, 1));
+        let _ = (a2, b2);
+    }
+}

@@ -1,0 +1,94 @@
+//! Parallel parameter sweeps.
+//!
+//! The benchmark harness evaluates many independent configurations (horizons,
+//! random platforms, period sizes).  [`parallel_map`] fans the work out over a
+//! bounded pool of OS threads using crossbeam's scoped threads — results come
+//! back in input order, and a panic in any worker propagates to the caller.
+
+use parking_lot::Mutex;
+
+/// Applies `f` to every input, using up to `workers` threads, and returns the
+/// results in input order.
+///
+/// `workers = 0` is interpreted as "one worker per available CPU".
+pub fn parallel_map<T, R, F>(inputs: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        workers
+    };
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.min(n).max(1);
+
+    // Work queue of (index, input); results gathered under a lock.
+    let queue: Mutex<Vec<(usize, T)>> = Mutex::new(inputs.into_iter().enumerate().collect());
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let item = queue.lock().pop();
+                let Some((idx, input)) = item else { break };
+                let out = f(input);
+                results.lock()[idx] = Some(out);
+            });
+        }
+    })
+    .expect("a sweep worker panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every input was processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let out = parallel_map(inputs.clone(), 4, |x| x * x);
+        let expected: Vec<u64> = inputs.iter().map(|x| x * x).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u64> = parallel_map(Vec::<u64>::new(), 4, |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_workers_means_auto() {
+        let out = parallel_map(vec![1u64, 2, 3], 0, |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn more_workers_than_items() {
+        let out = parallel_map(vec![5u64], 16, |x| x * 2);
+        assert_eq!(out, vec![10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep worker panicked")]
+    fn worker_panic_propagates() {
+        let _ = parallel_map(vec![1u64, 2, 3], 2, |x| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -1,0 +1,37 @@
+//! Domain scenario: a periodic personalized all-to-all (gossip).
+//!
+//! A distributed join keeps re-partitioning data: every worker must send a
+//! distinct bucket to every other worker, round after round.  We compute the
+//! optimal steady-state exchange rate on a heterogeneous platform and show the
+//! explicit periodic schedule for one period.
+//!
+//! Run with `cargo run --release --example gossip_exchange`.
+
+use steady_collectives::prelude::*;
+use steady_platform::generators;
+
+fn main() {
+    // Four workers around a switch with heterogeneous access links.
+    let costs = [rat(1, 4), rat(1, 2), rat(1, 2), rat(1, 1)];
+    let (platform, _switch, workers) = generators::heterogeneous_star(&costs);
+
+    let problem = GossipProblem::new(platform, workers.clone(), workers.clone())
+        .expect("valid gossip problem");
+    let solution = problem.solve().expect("LP solves");
+    solution.verify(&problem).expect("exact feasibility");
+
+    println!("=== Personalized all-to-all (gossip) ===");
+    println!("workers: {}", workers.len());
+    println!("optimal steady-state rate TP = {} rounds per time-unit", solution.throughput());
+    println!("minimal integer period T = {}", solution.period());
+
+    let schedule = solution.build_schedule(&problem).expect("schedule");
+    schedule.validate(problem.platform()).expect("one-port feasible");
+    println!("\none period of the schedule:\n{}", schedule.render(problem.platform()));
+
+    // Compare with a clique of the same size but uniform links.
+    let (clique, nodes) = generators::clique(4, rat(1, 2));
+    let uniform = GossipProblem::new(clique, nodes.clone(), nodes).expect("valid");
+    let usol = uniform.solve().expect("LP solves");
+    println!("for reference, a uniform 4-clique with cost 1/2 achieves TP = {}", usol.throughput());
+}

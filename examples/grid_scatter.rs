@@ -1,0 +1,55 @@
+//! Domain scenario: distributing work units from a head node across a
+//! cluster-of-clusters (2-D grid of compute nodes plus a heterogeneous access
+//! star), comparing the steady-state schedule against the direct
+//! shortest-path scatter baseline.
+//!
+//! Run with `cargo run --release --example grid_scatter`.
+
+use steady_collectives::prelude::*;
+use steady_platform::generators;
+
+fn main() {
+    println!("=== Steady-state scatter vs direct scatter ===\n");
+    println!("{:<28} {:>12} {:>12} {:>8}", "platform", "steady TP", "baseline", "gain");
+
+    // A 3x3 grid: the head node is a corner, every other node is a target.
+    let (grid, ids) = generators::grid(3, 3, rat(1, 1));
+    let source = ids[0][0];
+    let targets: Vec<NodeId> =
+        grid.node_ids().filter(|&n| n != source).collect();
+    report_one("grid 3x3 (unit links)", grid, source, targets);
+
+    // A heterogeneous star: leaves with increasingly slow links.
+    let costs: Vec<Ratio> = (1..=6).map(|i| rat(i, 3)).collect();
+    let (star, center, leaves) = generators::heterogeneous_star(&costs);
+    report_one("heterogeneous star (6 leaves)", star, center, leaves);
+
+    // A random Tiers platform: the fastest host scatters to all other hosts.
+    let inst = tiers_scatter_instance(&TiersConfig::default(), 42);
+    report_one("tiers (seed 42)", inst.platform, inst.source, inst.targets);
+}
+
+fn report_one(name: &str, platform: Platform, source: NodeId, targets: Vec<NodeId>) {
+    let problem = ScatterProblem::new(platform, source, targets).expect("valid scatter problem");
+    let solution = problem.solve().expect("LP solves");
+    let schedule = solution.build_schedule(&problem).expect("schedule");
+    schedule.validate(problem.platform()).expect("feasible schedule");
+
+    let ops = 30;
+    let baseline = measure_pipelined_throughput(
+        problem.platform(),
+        &direct_scatter(&problem, ops),
+        ops,
+    )
+    .expect("baseline simulation");
+
+    let steady = solution.throughput().to_f64();
+    let base = baseline.throughput.to_f64();
+    println!(
+        "{:<28} {:>12.4} {:>12.4} {:>7.2}x",
+        name,
+        steady,
+        base,
+        if base > 0.0 { steady / base } else { f64::INFINITY }
+    );
+}

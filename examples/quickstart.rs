@@ -1,0 +1,67 @@
+//! Quickstart: reproduce the two toy examples of the paper end-to-end.
+//!
+//! * Figure 2: a series of scatters on a 5-node platform — optimal throughput
+//!   1/2 (one scatter every two time-units).
+//! * Figure 6: a series of reduces on a 3-processor platform — optimal
+//!   throughput 1 (one reduction per time-unit), realized by two reduction
+//!   trees (Figure 7).
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use steady_collectives::prelude::*;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Series of Scatters on the Figure 2 platform.
+    // ------------------------------------------------------------------
+    let scatter = ScatterProblem::from_instance(figure2()).expect("valid instance");
+    let solution = scatter.solve().expect("LP solves");
+    println!("=== Series of Scatters (Figure 2) ===");
+    println!("optimal steady-state throughput TP = {}", solution.throughput());
+    println!("minimal integer period T = {}", solution.period());
+
+    let schedule = solution.build_schedule(&scatter).expect("schedule construction");
+    schedule.validate(scatter.platform()).expect("one-port feasible");
+    println!("\nperiodic schedule:\n{}", schedule.render(scatter.platform()));
+
+    // Execute the schedule for 600 time-units with cold buffers and compare
+    // with the Lemma-1 upper bound TP * K.
+    let report = execute_scatter_schedule(&scatter, &schedule, solution.throughput(), &rat(600, 1));
+    println!(
+        "simulated 600 time-units: {} scatters completed (upper bound {}), efficiency {}",
+        report.completed_operations,
+        report.upper_bound,
+        report.efficiency()
+    );
+
+    // ------------------------------------------------------------------
+    // Series of Reduces on the Figure 6 platform.
+    // ------------------------------------------------------------------
+    let reduce = ReduceProblem::from_instance(figure6()).expect("valid instance");
+    let rsol = reduce.solve().expect("LP solves");
+    println!("\n=== Series of Reduces (Figure 6) ===");
+    println!("optimal steady-state throughput TP = {}", rsol.throughput());
+
+    let trees = rsol.extract_trees(&reduce).expect("tree extraction");
+    println!("reduction trees ({}):", trees.len());
+    for (i, wt) in trees.iter().enumerate() {
+        println!(
+            "  tree {i}: weight {}, {} transfers, {} tasks",
+            wt.weight,
+            wt.tree.num_transfers(),
+            wt.tree.num_tasks()
+        );
+    }
+
+    let schedule = rsol.build_schedule(&reduce).expect("schedule construction");
+    schedule.validate(reduce.platform()).expect("one-port feasible");
+    println!("\nperiodic schedule:\n{}", schedule.render(reduce.platform()));
+
+    let report = execute_reduce_schedule(&reduce, &schedule, rsol.throughput(), &rat(300, 1));
+    println!(
+        "simulated 300 time-units: {} reductions completed (upper bound {}), efficiency {}",
+        report.completed_operations,
+        report.upper_bound,
+        report.efficiency()
+    );
+}

@@ -1,0 +1,75 @@
+//! Domain scenario: periodic aggregation of sensor readings.
+//!
+//! A hierarchical deployment (Tiers-like: site routers, gateway routers, and
+//! heterogeneous edge boxes) keeps producing readings that must be reduced
+//! with an order-sensitive operator (e.g. a time-ordered merge) into a single
+//! archive node.  We maximize the sustained aggregation rate, extract the
+//! reduction trees actually used, clamp the schedule to a practical period,
+//! and compare against flat-tree and binomial-tree aggregation.
+//!
+//! Run with `cargo run --release --example sensor_reduce`.
+
+use steady_collectives::prelude::*;
+
+fn main() {
+    // A small deployment: 2 sites, 1 gateway per site, 2 edge boxes per gateway.
+    let config = TiersConfig {
+        wan_routers: 2,
+        man_per_wan: 1,
+        lan_per_man: 2,
+        ..TiersConfig::default()
+    };
+    let instance = tiers_reduce_instance(&config, 7);
+    println!("=== Sensor aggregation campaign ===");
+    println!(
+        "{} nodes, {} participants, archive node = {}",
+        instance.platform.num_nodes(),
+        instance.participants.len(),
+        instance.platform.node(instance.target).name
+    );
+
+    let problem = ReduceProblem::from_instance(instance).expect("valid problem");
+    let solution = problem.solve().expect("LP solves");
+    solution.verify(&problem).expect("exact feasibility");
+    println!("\noptimal aggregation rate TP = {} (~{:.4} per time-unit)",
+        solution.throughput(), solution.throughput().to_f64());
+
+    let trees = solution.extract_trees(&problem).expect("trees");
+    println!("aggregation uses {} reduction tree(s):", trees.len());
+    for (i, wt) in trees.iter().enumerate() {
+        println!("  tree {i}: weight {}, {} transfers, {} combines",
+            wt.weight, wt.tree.num_transfers(), wt.tree.num_tasks());
+    }
+
+    // A practical controller wants a short period: clamp it and report the loss.
+    println!("\nfixed-period plans:");
+    for period in [5i64, 20, 100] {
+        let (plan, schedule) =
+            build_fixed_period_schedule(&problem, &solution, &trees, &rat(period, 1))
+                .expect("fixed-period plan");
+        schedule.validate(problem.platform()).expect("feasible");
+        println!(
+            "  period {period:>4}: rate {} (guaranteed loss <= {})",
+            plan.throughput, plan.loss_bound
+        );
+    }
+
+    // Dynamic check: run the exact-period schedule for a long horizon.
+    let schedule = solution.build_schedule(&problem).expect("schedule");
+    let report = execute_reduce_schedule(&problem, &schedule, solution.throughput(), &rat(2000, 1));
+    println!(
+        "\nsimulated 2000 time-units: {} aggregations ({} possible), efficiency {}",
+        report.completed_operations, report.upper_bound, report.efficiency()
+    );
+
+    // Classical alternatives.
+    let ops = 25;
+    let flat =
+        measure_pipelined_throughput(problem.platform(), &flat_tree_reduce(&problem, ops), ops)
+            .expect("flat tree");
+    let bino =
+        measure_pipelined_throughput(problem.platform(), &binomial_reduce(&problem, ops), ops)
+            .expect("binomial tree");
+    println!("\nbaselines: flat-tree {:.4}, binomial {:.4}, steady-state {:.4}",
+        flat.throughput.to_f64(), bino.throughput.to_f64(), solution.throughput().to_f64());
+}

@@ -1,0 +1,148 @@
+//! Cross-crate property-based tests for the extension modules: gather
+//! (transpose duality), parallel prefix (bracketing and schedules) and the
+//! threaded message-passing runtime (end-to-end data correctness).
+
+use proptest::prelude::*;
+use steady_collectives::prelude::*;
+use steady_platform::generators::{self, RandomConfig};
+
+fn random_platform(seed: u64, nodes: usize, extra: f64) -> Platform {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let config = RandomConfig {
+        nodes,
+        extra_link_probability: extra,
+        bandwidth_range: (1, 6),
+        speed_range: (1, 8),
+    };
+    generators::random_connected(&config, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Gather: the exact solution verifies, the schedule is one-port feasible
+    /// and achieves TP, and the transpose-dual scatter problem has exactly the
+    /// same optimum (TP_gather(G) = TP_scatter(Gᵀ)).
+    #[test]
+    fn gather_duality_and_schedule(seed in 0u64..5000, nodes in 3usize..7, sources in 1usize..4) {
+        let platform = random_platform(seed, nodes, 0.3);
+        let all: Vec<NodeId> = platform.node_ids().collect();
+        let sink = all[0];
+        let sources: Vec<NodeId> = all.iter().copied().skip(1).take(sources).collect();
+        prop_assume!(!sources.is_empty());
+
+        let problem = GatherProblem::new(platform, sources, sink).unwrap();
+        let solution = problem.solve().unwrap();
+        prop_assert!(solution.throughput().is_positive());
+        solution.verify(&problem).unwrap();
+
+        let schedule = solution.build_schedule(&problem).unwrap();
+        schedule.validate(problem.platform()).unwrap();
+        prop_assert_eq!(schedule.throughput(), solution.throughput().clone());
+
+        let dual = problem.dual_scatter().unwrap();
+        let dual_solution = dual.solve().unwrap();
+        prop_assert_eq!(dual_solution.throughput().clone(), solution.throughput().clone());
+    }
+
+    /// Prefix: the shared-capacity LP is feasible (verifies), never exceeds
+    /// the single-rank reduce upper bound, and its aggregated schedule is
+    /// one-port feasible with the same throughput.
+    #[test]
+    fn prefix_bracketing_and_schedule(seed in 0u64..5000, nodes in 3usize..6) {
+        let platform = random_platform(seed, nodes, 0.4);
+        let compute: Vec<NodeId> = platform.compute_nodes();
+        prop_assume!(compute.len() >= 3);
+        let participants = vec![compute[0], compute[1], compute[2]];
+
+        let problem = PrefixProblem::new(platform, participants, rat(1, 1), rat(1, 1)).unwrap();
+        let solution = problem.solve().unwrap();
+        prop_assert!(solution.throughput().is_positive());
+        solution.verify(&problem).unwrap();
+
+        let upper = problem.upper_bound().unwrap();
+        prop_assert!(*solution.throughput() <= upper,
+            "prefix TP {} exceeds the single-rank bound {}", solution.throughput(), upper);
+
+        let schedule = solution.build_schedule(&problem).unwrap();
+        schedule.validate(problem.platform()).unwrap();
+        prop_assert_eq!(schedule.throughput(), solution.throughput().clone());
+    }
+
+    /// Threaded scatter execution on random platforms: no data-level errors,
+    /// never more completions than injections, and a warm pipeline completes a
+    /// sizeable fraction of the injected operations.
+    #[test]
+    fn threaded_scatter_is_correct(seed in 0u64..2000, nodes in 3usize..6, targets in 1usize..3) {
+        let platform = random_platform(seed, nodes, 0.3);
+        let all: Vec<NodeId> = platform.node_ids().collect();
+        let source = all[0];
+        let targets: Vec<NodeId> = all.iter().copied().skip(1).take(targets).collect();
+        prop_assume!(!targets.is_empty());
+
+        let problem = ScatterProblem::new(platform, source, targets).unwrap();
+        let solution = problem.solve().unwrap();
+        let schedule = solution.build_schedule(&problem).unwrap();
+        let config = RunConfig { production_periods: 10, drain_periods: 8 };
+        let report = run_scatter(&problem, &schedule, config).unwrap();
+
+        prop_assert!(report.errors.is_empty(), "data errors: {:?}", report.errors);
+        let injected = config.production_periods * report.operations_per_period;
+        prop_assert!(report.completed_operations <= injected);
+        prop_assert!(report.completed_operations * 2 >= injected,
+            "only {} of {} operations completed (seed {seed})",
+            report.completed_operations, injected);
+    }
+
+    /// Threaded reduce execution on random platforms: every delivered result
+    /// is the correctly ordered reduction of a single operation.
+    #[test]
+    fn threaded_reduce_is_correct(seed in 0u64..2000, nodes in 3usize..5) {
+        let platform = random_platform(seed, nodes, 0.4);
+        let compute: Vec<NodeId> = platform.compute_nodes();
+        prop_assume!(compute.len() >= 2);
+        let participants: Vec<NodeId> = compute.iter().copied().take(3.min(compute.len())).collect();
+        let target = participants[0];
+
+        let problem = ReduceProblem::new(platform, participants, target, rat(1, 1), rat(1, 1)).unwrap();
+        let solution = problem.solve().unwrap();
+        let trees = solution.extract_trees(&problem).unwrap();
+        let config = RunConfig { production_periods: 10, drain_periods: 10 };
+        let report = run_reduce(&problem, &trees, config).unwrap();
+
+        prop_assert!(report.errors.is_empty(), "data errors: {:?}", report.errors);
+        prop_assert_eq!(report.correct_results, report.completed_operations);
+        prop_assert!(report.completed_operations > 0,
+            "nothing completed after {} periods (seed {seed})", report.periods);
+    }
+}
+
+#[test]
+fn gather_on_fat_tree_and_prefix_on_figure6_work_through_the_facade() {
+    // Deterministic end-to-end smoke test of the new prelude exports.
+    let gather = GatherProblem::from_instance(dumbbell_gather_instance(2, rat(1, 2), rat(1, 1)))
+        .expect("valid gather instance");
+    let gsol = gather.solve().expect("gather LP solves");
+    gsol.verify(&gather).expect("gather solution verifies");
+
+    let scatter = ScatterProblem::from_instance(fat_tree_scatter_instance(&FatTreeConfig::default()))
+        .expect("valid scatter instance");
+    let ssol = scatter.solve().expect("scatter LP solves");
+    assert!(ssol.throughput().is_positive());
+
+    let reduce = ReduceProblem::from_instance(fat_tree_reduce_instance(&FatTreeConfig {
+        leaf_switches: 2,
+        spine_switches: 1,
+        hosts_per_leaf: 2,
+        ..FatTreeConfig::default()
+    }))
+    .expect("valid reduce instance");
+    let rsol = reduce.solve().expect("reduce LP solves");
+    rsol.verify(&reduce).expect("reduce solution verifies");
+
+    let ring = ring_gossip_instance(4, rat(1, 1));
+    let gossip = GossipProblem::new(ring.platform, ring.sources, ring.targets)
+        .expect("valid gossip problem");
+    assert!(gossip.solve().expect("gossip LP solves").throughput().is_positive());
+}

@@ -1,0 +1,143 @@
+//! Failure-injection integration tests: malformed platforms and degenerate
+//! problems must be rejected with meaningful errors rather than producing
+//! nonsense schedules.
+
+use steady_collectives::prelude::*;
+use steady_platform::{EdgeId, PlatformError};
+
+#[test]
+fn zero_cost_link_is_rejected() {
+    let mut p = Platform::new();
+    let a = p.add_node("a", rat(1, 1));
+    let b = p.add_node("b", rat(1, 1));
+    p.add_edge(a, b, rat(0, 1));
+    assert_eq!(p.validate(), Err(PlatformError::NonPositiveCost { edge: EdgeId(0) }));
+    // Problem constructors propagate the platform error.
+    assert!(matches!(
+        ScatterProblem::new(p.clone(), a, vec![b]),
+        Err(CoreError::Platform(_))
+    ));
+    assert!(matches!(
+        ReduceProblem::new(p, vec![a, b], a, rat(1, 1), rat(1, 1)),
+        Err(CoreError::Platform(_))
+    ));
+}
+
+#[test]
+fn negative_speed_is_rejected() {
+    let mut p = Platform::new();
+    p.add_node("a", rat(-1, 1));
+    assert!(matches!(p.validate(), Err(PlatformError::NegativeSpeed { .. })));
+}
+
+#[test]
+fn disconnected_scatter_target_is_rejected() {
+    let mut p = Platform::new();
+    let a = p.add_node("a", rat(1, 1));
+    let b = p.add_node("b", rat(1, 1));
+    let c = p.add_node("c", rat(1, 1));
+    p.add_edge(a, b, rat(1, 1));
+    // c is unreachable from a.
+    assert!(matches!(
+        ScatterProblem::new(p, a, vec![b, c]),
+        Err(CoreError::Unreachable { .. })
+    ));
+}
+
+#[test]
+fn one_way_link_reduce_is_rejected_when_target_cannot_be_reached() {
+    // Participants can only be reached FROM the target, not reach it.
+    let mut p = Platform::new();
+    let t = p.add_node("t", rat(1, 1));
+    let x = p.add_node("x", rat(1, 1));
+    p.add_edge(t, x, rat(1, 1)); // only t -> x
+    assert!(matches!(
+        ReduceProblem::new(p, vec![t, x], t, rat(1, 1), rat(1, 1)),
+        Err(CoreError::Unreachable { .. })
+    ));
+}
+
+#[test]
+fn router_only_platform_cannot_reduce() {
+    let mut p = Platform::new();
+    let r1 = p.add_router("r1");
+    let r2 = p.add_router("r2");
+    p.add_link(r1, r2, rat(1, 1));
+    assert!(matches!(
+        ReduceProblem::new(p, vec![r1, r2], r1, rat(1, 1), rat(1, 1)),
+        Err(CoreError::NotAComputeNode { .. })
+    ));
+}
+
+#[test]
+fn gossip_with_no_commodities_is_rejected() {
+    let mut p = Platform::new();
+    let a = p.add_node("a", rat(1, 1));
+    assert!(matches!(
+        GossipProblem::new(p, vec![a], vec![a]),
+        Err(CoreError::EmptyProblem)
+    ));
+}
+
+#[test]
+fn corrupt_platform_text_is_rejected() {
+    for text in [
+        "node a",                 // missing speed
+        "node a one",             // invalid speed
+        "edge 0 1 1",             // edge before nodes exist
+        "node a 1\nedge 0 5 1",   // unknown destination
+        "frob a b c",             // unknown keyword
+        "node a 1\nnode b 1\nedge 0 1 0", // zero cost caught by validate()
+    ] {
+        assert!(Platform::from_text(text).is_err(), "accepted: {text}");
+    }
+}
+
+#[test]
+fn fixed_period_rejects_non_positive_periods() {
+    let problem = ReduceProblem::from_instance(figure6()).unwrap();
+    let solution = problem.solve().unwrap();
+    let trees = solution.extract_trees(&problem).unwrap();
+    assert!(matches!(
+        approximate_for_period(&trees, &rat(0, 1)),
+        Err(CoreError::InvalidPeriod)
+    ));
+    assert!(matches!(
+        approximate_for_period(&trees, &rat(-1, 2)),
+        Err(CoreError::InvalidPeriod)
+    ));
+}
+
+#[test]
+fn simulator_rejects_transfers_on_missing_links() {
+    use steady_sim::{simulate, Dag, SimError};
+    let mut p = Platform::new();
+    let a = p.add_node("a", rat(1, 1));
+    let b = p.add_node("b", rat(1, 1));
+    // no link a -> b
+    let mut dag = Dag::new();
+    dag.transfer(a, b, rat(1, 1), vec![]);
+    assert!(matches!(simulate(&p, &dag), Err(SimError::MissingLink { .. })));
+}
+
+#[test]
+fn schedule_validation_catches_tampering() {
+    let problem = ScatterProblem::from_instance(figure2()).unwrap();
+    let solution = problem.solve().unwrap();
+    let mut schedule = solution.build_schedule(&problem).unwrap();
+    schedule.validate(problem.platform()).unwrap();
+    // Tamper: shrink the period below the scheduled communication time.
+    schedule.period = rat(1, 100);
+    assert!(schedule.validate(problem.platform()).is_err());
+}
+
+#[test]
+fn infeasible_lp_reports_infeasible_not_panic() {
+    use steady_lp::{LinearExpr, LpProblem, Sense, SimplexError};
+    let mut lp = LpProblem::maximize();
+    let x = lp.add_var("x");
+    lp.set_objective(x, rat(1, 1));
+    lp.add_constraint("lo", LinearExpr::var(x), Sense::Ge, rat(2, 1));
+    lp.add_constraint("hi", LinearExpr::var(x), Sense::Le, rat(1, 1));
+    assert_eq!(steady_lp::solve_exact(&lp).unwrap_err(), SimplexError::Infeasible);
+}
