@@ -77,9 +77,8 @@ fn relay_message(
     if from == to {
         return dag.milestone(deps);
     }
-    let path = platform
-        .shortest_path(from, to)
-        .unwrap_or_else(|| panic!("no path from {from} to {to}"));
+    let path =
+        platform.shortest_path(from, to).unwrap_or_else(|| panic!("no path from {from} to {to}"));
     let mut last_deps = deps;
     let mut last = None;
     for e in path {
@@ -121,9 +120,8 @@ pub fn direct_scatter(problem: &ScatterProblem, operations: usize) -> Dag {
 pub fn flat_tree_reduce(problem: &ReduceProblem, operations: usize) -> Dag {
     let platform = problem.platform();
     let target = problem.target();
-    let task_time = problem
-        .task_time(target)
-        .expect("flat-tree baseline requires a computing target");
+    let task_time =
+        problem.task_time(target).expect("flat-tree baseline requires a computing target");
     let mut dag = Dag::new();
     let mut previous_op_end: Option<OpId> = None;
     let n = problem.last_index();
@@ -139,8 +137,8 @@ pub fn flat_tree_reduce(problem: &ReduceProblem, operations: usize) -> Dag {
         }
         // Left-to-right fold on the target.
         let mut prev = arrival[0];
-        for m in 1..=n {
-            let deps = vec![prev, arrival[m]];
+        for &op in &arrival[1..=n] {
+            let deps = vec![prev, op];
             prev = dag.compute(target, task_time.clone(), deps);
         }
         previous_op_end = Some(dag.milestone(vec![prev]));
@@ -184,9 +182,8 @@ pub fn binomial_reduce(problem: &ReduceProblem, operations: usize) -> Dag {
                     &size,
                     vec![ready[partner]],
                 );
-                let task_time = problem
-                    .task_time(participants[j])
-                    .expect("participants can compute");
+                let task_time =
+                    problem.task_time(participants[j]).expect("participants can compute");
                 let combine = dag.compute(participants[j], task_time, vec![ready[j], arrive]);
                 ready[j] = combine;
                 range[j] = (range[j].0, range[partner].1);
@@ -242,14 +239,8 @@ pub fn binomial_scatter(problem: &ScatterProblem, operations: usize) -> Dag {
                 let (first, second) = targets.split_at(mid);
                 // Ship the whole bundle for `second` to its first member.
                 let pivot = second[0];
-                let bundle_arrival = relay_range_message(
-                    platform,
-                    dag,
-                    holder,
-                    pivot,
-                    second.len(),
-                    vec![ready],
-                );
+                let bundle_arrival =
+                    relay_range_message(platform, dag, holder, pivot, second.len(), vec![ready]);
                 scatter_range(platform, dag, pivot, second, bundle_arrival, deliveries);
                 scatter_range(platform, dag, holder, first, ready, deliveries);
             }
@@ -260,7 +251,14 @@ pub fn binomial_scatter(problem: &ScatterProblem, operations: usize) -> Dag {
         let deps: Vec<OpId> = previous_op_end.iter().copied().collect();
         let start = dag.milestone(deps);
         let mut deliveries = Vec::new();
-        scatter_range(platform, &mut dag, problem.source(), problem.targets(), start, &mut deliveries);
+        scatter_range(
+            platform,
+            &mut dag,
+            problem.source(),
+            problem.targets(),
+            start,
+            &mut deliveries,
+        );
         previous_op_end = Some(dag.milestone(deliveries));
     }
     dag
@@ -290,7 +288,8 @@ pub fn direct_gather(problem: &GatherProblem, operations: usize) -> Dag {
         let deps: Vec<OpId> = previous_op_end.iter().copied().collect();
         let mut deliveries = Vec::new();
         for &s in problem.sources() {
-            let done = relay_message(platform, &mut dag, s, problem.sink(), &Ratio::one(), deps.clone());
+            let done =
+                relay_message(platform, &mut dag, s, problem.sink(), &Ratio::one(), deps.clone());
             deliveries.push(done);
         }
         previous_op_end = Some(dag.milestone(deliveries));
@@ -330,7 +329,14 @@ pub fn chain_reduce(problem: &ReduceProblem, operations: usize) -> Dag {
         }
         // Ship v[0, N] from rank 0 to the target.
         let size = problem.size((0, n));
-        let done = relay_message(platform, &mut dag, participants[0], problem.target(), &size, vec![ready]);
+        let done = relay_message(
+            platform,
+            &mut dag,
+            participants[0],
+            problem.target(),
+            &size,
+            vec![ready],
+        );
         previous_op_end = Some(dag.milestone(vec![done]));
     }
     dag
@@ -443,18 +449,11 @@ mod tests {
         // Pipelining amortizes the start-up latency: throughput is
         // non-decreasing in the number of back-to-back operations.
         let problem = ScatterProblem::from_instance(figure2()).unwrap();
-        let few = measure_pipelined_throughput(
-            problem.platform(),
-            &direct_scatter(&problem, 2),
-            2,
-        )
-        .unwrap();
-        let many = measure_pipelined_throughput(
-            problem.platform(),
-            &direct_scatter(&problem, 40),
-            40,
-        )
-        .unwrap();
+        let few = measure_pipelined_throughput(problem.platform(), &direct_scatter(&problem, 2), 2)
+            .unwrap();
+        let many =
+            measure_pipelined_throughput(problem.platform(), &direct_scatter(&problem, 40), 40)
+                .unwrap();
         assert!(many.throughput >= few.throughput);
     }
 
@@ -483,8 +482,7 @@ mod tests {
         // On a chain the binomial scatter forwards the far targets' bundle to
         // the middle node, exactly the behaviour the recursion is meant to show.
         let (p, nodes) = generators::chain(5, rat(1, 1));
-        let problem =
-            ScatterProblem::new(p, nodes[0], nodes[1..].to_vec()).unwrap();
+        let problem = ScatterProblem::new(p, nodes[0], nodes[1..].to_vec()).unwrap();
         let ops = 10;
         let dag = binomial_scatter(&problem, ops);
         let report = measure_pipelined_throughput(problem.platform(), &dag, ops).unwrap();

@@ -19,12 +19,9 @@ fn reproduce() {
     ];
     for (name, problem) in scatters {
         let optimal = problem.solve().expect("solves");
-        let base = measure_pipelined_throughput(
-            problem.platform(),
-            &direct_scatter(&problem, ops),
-            ops,
-        )
-        .expect("baseline");
+        let base =
+            measure_pipelined_throughput(problem.platform(), &direct_scatter(&problem, ops), ops)
+                .expect("baseline");
         let s = optimal.throughput().to_f64();
         let b = base.throughput.to_f64();
         println!("{:<28} {:>12.4} {:>12.4} {:>7.2}x", name, s, b, s / b.max(1e-12));
@@ -47,24 +44,23 @@ fn reproduce() {
     ];
     for (name, problem) in reduces {
         let optimal = problem.solve().expect("solves");
-        let flat = measure_pipelined_throughput(
-            problem.platform(),
-            &flat_tree_reduce(&problem, ops),
-            ops,
-        )
-        .expect("flat baseline");
-        let bino = measure_pipelined_throughput(
-            problem.platform(),
-            &binomial_reduce(&problem, ops),
-            ops,
-        )
-        .expect("binomial baseline");
+        let flat =
+            measure_pipelined_throughput(problem.platform(), &flat_tree_reduce(&problem, ops), ops)
+                .expect("flat baseline");
+        let bino =
+            measure_pipelined_throughput(problem.platform(), &binomial_reduce(&problem, ops), ops)
+                .expect("binomial baseline");
         let s = optimal.throughput().to_f64();
         let f = flat.throughput.to_f64();
         let b = bino.throughput.to_f64();
         println!(
             "{:<28} {:>12.4} {:>12.4} {:>12.4} {:>7.2}x {:>7.2}x",
-            name, s, f, b, s / f.max(1e-12), s / b.max(1e-12)
+            name,
+            s,
+            f,
+            b,
+            s / f.max(1e-12),
+            s / b.max(1e-12)
         );
     }
 }
@@ -76,12 +72,8 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("simulate_flat_tree_reduce_25ops", |b| {
         b.iter(|| {
-            measure_pipelined_throughput(
-                problem.platform(),
-                &flat_tree_reduce(&problem, 25),
-                25,
-            )
-            .expect("baseline")
+            measure_pipelined_throughput(problem.platform(), &flat_tree_reduce(&problem, 25), 25)
+                .expect("baseline")
         })
     });
     group.finish();

@@ -7,7 +7,10 @@ use steady_lp::{solve_certified, solve_exact, solve_f64};
 
 fn reproduce() {
     print_header("Ablation A3 — exact simplex vs f64 + exact certification");
-    println!("{:<24} {:>8} {:>8} {:>14} {:>14}", "instance", "vars", "rows", "exact TP", "certified TP");
+    println!(
+        "{:<24} {:>8} {:>8} {:>14} {:>14}",
+        "instance", "vars", "rows", "exact TP", "certified TP"
+    );
     for leaves in [2usize, 4, 8, 12] {
         let problem = star_scatter(leaves);
         let (lp, _) = problem.build_lp();

@@ -35,7 +35,10 @@ fn reproduce() {
         .iter()
         .map(|&e| solution.edge_occupation(&problem, e))
         .sum();
-    println!("source outgoing-port occupation: {} (saturated at the optimum)", fmt_ratio(&total_source));
+    println!(
+        "source outgoing-port occupation: {} (saturated at the optimum)",
+        fmt_ratio(&total_source)
+    );
 }
 
 fn bench(c: &mut Criterion) {
@@ -43,9 +46,7 @@ fn bench(c: &mut Criterion) {
     let problem = figure2_problem();
     let mut group = c.benchmark_group("fig2_toy_scatter");
     group.sample_size(20);
-    group.bench_function("solve_scatter_lp_exact", |b| {
-        b.iter(|| problem.solve().expect("solves"))
-    });
+    group.bench_function("solve_scatter_lp_exact", |b| b.iter(|| problem.solve().expect("solves")));
     group.bench_function("build_lp_only", |b| b.iter(|| problem.build_lp()));
     group.finish();
 }

@@ -35,7 +35,11 @@ fn reproduce() {
             .iter()
             .map(|&e| format!("{}->{}", load.edges[e].sender, load.edges[e].receiver))
             .collect();
-        println!("  matching {i}: duration {}, transfers {}", fmt_ratio(&s.duration), edges.join(", "));
+        println!(
+            "  matching {i}: duration {}, transfers {}",
+            fmt_ratio(&s.duration),
+            edges.join(", ")
+        );
     }
 
     print_header("Figure 4 — periodic schedule built from the LP solution");

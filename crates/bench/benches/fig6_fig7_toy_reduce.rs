@@ -60,9 +60,7 @@ fn bench(c: &mut Criterion) {
     let solution = problem.solve().expect("solves");
     let mut group = c.benchmark_group("fig6_fig7");
     group.sample_size(20);
-    group.bench_function("solve_reduce_lp_exact", |b| {
-        b.iter(|| problem.solve().expect("solves"))
-    });
+    group.bench_function("solve_reduce_lp_exact", |b| b.iter(|| problem.solve().expect("solves")));
     group.bench_function("extract_reduction_trees", |b| {
         b.iter(|| solution.extract_trees(&problem).expect("trees"))
     });

@@ -58,12 +58,9 @@ fn reproduce() {
         let dual_tp = dual.solve().expect("dual LP solves").throughput().clone();
         assert_eq!(&dual_tp, sol.throughput(), "duality violated on {name}");
         let ops = 20;
-        let baseline = measure_pipelined_throughput(
-            problem.platform(),
-            &direct_gather(&problem, ops),
-            ops,
-        )
-        .expect("baseline simulates");
+        let baseline =
+            measure_pipelined_throughput(problem.platform(), &direct_gather(&problem, ops), ops)
+                .expect("baseline simulates");
         assert!(baseline.throughput <= *sol.throughput());
         println!(
             "{:<34} {:>16} {:>16} {:>16}",

@@ -13,12 +13,7 @@ fn reproduce() {
     for (name, problem) in instances() {
         let sol = problem.solve().expect("gossip LP solves");
         sol.verify(&problem).expect("solution verifies");
-        println!(
-            "{:<34} {:>16} {:>10}",
-            name,
-            fmt_ratio(sol.throughput()),
-            sol.period()
-        );
+        println!("{:<34} {:>16} {:>10}", name, fmt_ratio(sol.throughput()), sol.period());
     }
 }
 

@@ -41,10 +41,7 @@ fn instances() -> Vec<(String, PrefixProblem)> {
 
 fn reproduce() {
     print_header("Extension E2 — Series of parallel prefixes");
-    println!(
-        "{:<28} {:>18} {:>18} {:>8}",
-        "platform", "achieved TP", "upper bound", "gap"
-    );
+    println!("{:<28} {:>18} {:>18} {:>8}", "platform", "achieved TP", "upper bound", "gap");
     for (name, problem) in instances() {
         let sol = problem.solve().expect("prefix LP solves");
         sol.verify(&problem).expect("solution verifies");

@@ -18,7 +18,10 @@ fn reproduce() {
         schedule.period.clone(),
         problem.platform().max_hop_diameter(),
     );
-    println!("{:>10} {:>14} {:>14} {:>12} {:>12}", "K", "simulated", "upper bound", "sim eff", "analytic lb");
+    println!(
+        "{:>10} {:>14} {:>14} {:>12} {:>12}",
+        "K", "simulated", "upper bound", "sim eff", "analytic lb"
+    );
     for k in [48i64, 120, 480, 1200, 4800, 12000] {
         let report =
             execute_scatter_schedule(&problem, &schedule, solution.throughput(), &rat(k, 1));

@@ -11,7 +11,11 @@ fn reproduce() {
     let solution = problem.solve().expect("solves");
     let trees = solution.extract_trees(&problem).expect("trees");
     print_header("Proposition 4 — fixed-period approximation (Figure 6 instance)");
-    println!("optimal TP = {}, {} reduction tree(s)", fmt_ratio(solution.throughput()), trees.len());
+    println!(
+        "optimal TP = {}, {} reduction tree(s)",
+        fmt_ratio(solution.throughput()),
+        trees.len()
+    );
     println!("{:>10} {:>16} {:>16} {:>16}", "T_fixed", "throughput", "loss", "bound #trees/T");
     for t in [1i64, 2, 3, 5, 10, 30, 100, 300, 1000] {
         let plan = approximate_for_period(&trees, &rat(t, 1)).expect("plan");

@@ -60,12 +60,8 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("threaded_reduce_figure6_10_periods", |b| {
         b.iter(|| {
-            run_reduce(
-                &reduce,
-                &trees,
-                RunConfig { production_periods: 10, drain_periods: 5 },
-            )
-            .expect("run")
+            run_reduce(&reduce, &trees, RunConfig { production_periods: 10, drain_periods: 5 })
+                .expect("run")
         })
     });
     group.finish();

@@ -71,8 +71,7 @@ pub fn tiers_scatter(seed: u64) -> ScatterProblem {
 /// Scatter problems of growing size on star platforms (used by the LP-solver
 /// ablation).
 pub fn star_scatter(leaves: usize) -> ScatterProblem {
-    let (platform, center, leaf_ids) =
-        generators::star(leaves, steady_rational::rat(1, 2));
+    let (platform, center, leaf_ids) = generators::star(leaves, steady_rational::rat(1, 2));
     ScatterProblem::new(platform, center, leaf_ids).expect("star scatter is valid")
 }
 

@@ -99,9 +99,9 @@ impl ParsedArgs {
     pub fn usize_value(&mut self, name: &str, default: usize) -> Result<usize, ArgError> {
         match self.value(name) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| ArgError(format!("--{name} expects an integer, got '{v}'"))),
+            Some(v) => {
+                v.parse().map_err(|_| ArgError(format!("--{name} expects an integer, got '{v}'")))
+            }
         }
     }
 
@@ -109,9 +109,9 @@ impl ParsedArgs {
     pub fn u64_value(&mut self, name: &str, default: u64) -> Result<u64, ArgError> {
         match self.value(name) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| ArgError(format!("--{name} expects an integer, got '{v}'"))),
+            Some(v) => {
+                v.parse().map_err(|_| ArgError(format!("--{name} expects an integer, got '{v}'")))
+            }
         }
     }
 
@@ -194,13 +194,11 @@ mod tests {
 
     #[test]
     fn required_and_typed_accessors() {
-        let mut p = parse(&["--source", "3", "--targets", "1, 2,4", "--size", "2/3", "--seed", "7"])
-            .unwrap();
+        let mut p =
+            parse(&["--source", "3", "--targets", "1, 2,4", "--size", "2/3", "--seed", "7"])
+                .unwrap();
         assert_eq!(p.node_value("source").unwrap(), NodeId(3));
-        assert_eq!(
-            p.node_list("targets").unwrap(),
-            vec![NodeId(1), NodeId(2), NodeId(4)]
-        );
+        assert_eq!(p.node_list("targets").unwrap(), vec![NodeId(1), NodeId(2), NodeId(4)]);
         assert_eq!(p.ratio_value("size", rat(1, 1)).unwrap(), rat(2, 3));
         assert_eq!(p.u64_value("seed", 0).unwrap(), 7);
         // Absent optional values fall back to their defaults.

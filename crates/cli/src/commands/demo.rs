@@ -35,8 +35,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 
 fn demo_figure2(out: &mut dyn Write) -> Result<(), CliError> {
     writeln!(out, "=== Figure 2: toy scatter (one source, two targets) ===")?;
-    let problem = ScatterProblem::from_instance(figure2())
-        .map_err(|e| CliError::Failed(e.to_string()))?;
+    let problem =
+        ScatterProblem::from_instance(figure2()).map_err(|e| CliError::Failed(e.to_string()))?;
     let solution = problem.solve().map_err(|e| CliError::Failed(e.to_string()))?;
     writeln!(out, "LP optimal throughput : {} (paper: 1/2)", solution.throughput())?;
     let schedule =
@@ -45,12 +45,13 @@ fn demo_figure2(out: &mut dyn Write) -> Result<(), CliError> {
     writeln!(out, "schedule period       : {} ({} slots)", schedule.period, schedule.slots.len())?;
 
     let ops = 30;
-    let baseline = measure_pipelined_throughput(problem.platform(), &direct_scatter(&problem, ops), ops)
-        .map_err(|e| CliError::Failed(e.to_string()))?;
+    let baseline =
+        measure_pipelined_throughput(problem.platform(), &direct_scatter(&problem, ops), ops)
+            .map_err(|e| CliError::Failed(e.to_string()))?;
     writeln!(out, "direct-scatter baseline: {} ops/time-unit", baseline.throughput)?;
 
-    let report = run_scatter(&problem, &schedule, RunConfig::default())
-        .map_err(CliError::Failed)?;
+    let report =
+        run_scatter(&problem, &schedule, RunConfig::default()).map_err(CliError::Failed)?;
     writeln!(
         out,
         "threaded execution    : {} operations completed over {} periods, {} data errors",
@@ -63,8 +64,8 @@ fn demo_figure2(out: &mut dyn Write) -> Result<(), CliError> {
 
 fn demo_figure6(out: &mut dyn Write) -> Result<(), CliError> {
     writeln!(out, "=== Figure 6: toy reduce (3 processors, target P0) ===")?;
-    let problem = ReduceProblem::from_instance(figure6())
-        .map_err(|e| CliError::Failed(e.to_string()))?;
+    let problem =
+        ReduceProblem::from_instance(figure6()).map_err(|e| CliError::Failed(e.to_string()))?;
     let solution = problem.solve().map_err(|e| CliError::Failed(e.to_string()))?;
     writeln!(out, "LP optimal throughput : {} (paper: 1)", solution.throughput())?;
     let trees = solution.extract_trees(&problem).map_err(|e| CliError::Failed(e.to_string()))?;
@@ -116,7 +117,11 @@ fn demo_figure9(participants: usize, out: &mut dyn Write) -> Result<(), CliError
     )
     .map_err(|e| CliError::Failed(e.to_string()))?;
     let solution = problem.solve().map_err(|e| CliError::Failed(e.to_string()))?;
-    writeln!(out, "LP optimal throughput : {} (paper: 2/9 on its own link costs)", solution.throughput())?;
+    writeln!(
+        out,
+        "LP optimal throughput : {} (paper: 2/9 on its own link costs)",
+        solution.throughput()
+    )?;
     let trees = solution.extract_trees(&problem).map_err(|e| CliError::Failed(e.to_string()))?;
     writeln!(out, "reduction trees       : {}", trees.len())?;
     let ops = 10;

@@ -15,8 +15,17 @@ use crate::CliError;
 
 const SPEC: OptionSpec = OptionSpec {
     valued: &[
-        "out", "nodes", "leaves", "rows", "cols", "dimensions", "cost", "seed", "hosts",
-        "hosts-per-side", "spines",
+        "out",
+        "nodes",
+        "leaves",
+        "rows",
+        "cols",
+        "dimensions",
+        "cost",
+        "seed",
+        "hosts",
+        "hosts-per-side",
+        "spines",
     ],
     flags: &[],
 };
@@ -81,20 +90,11 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "dumbbell" => {
             let hosts = parsed.usize_value("hosts-per-side", 3)?;
             let (p, left, right) = topologies::dumbbell(hosts, cost, rat(1, 1));
-            (
-                p,
-                format!(
-                    "dumbbell: left {}, right {}",
-                    describe(&left),
-                    describe(&right)
-                ),
-            )
+            (p, format!("dumbbell: left {}, right {}", describe(&left), describe(&right)))
         }
         "random" => {
-            let config = RandomConfig {
-                nodes: parsed.usize_value("nodes", 8)?,
-                ..RandomConfig::default()
-            };
+            let config =
+                RandomConfig { nodes: parsed.usize_value("nodes", 8)?, ..RandomConfig::default() };
             let mut rng = StdRng::seed_from_u64(seed);
             let p = generators::random_connected(&config, &mut rng);
             (p, format!("random connected platform, seed {seed}"))

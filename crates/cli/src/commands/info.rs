@@ -22,7 +22,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     writeln!(out, "hop diameter       : {}", platform.max_hop_diameter())?;
     for n in platform.node_ids() {
         let node = platform.node(n);
-        let kind = if node.can_compute() { format!("speed {}", node.speed) } else { "router".into() };
+        let kind =
+            if node.can_compute() { format!("speed {}", node.speed) } else { "router".into() };
         writeln!(out, "  {n}: {} ({kind}, degree {})", node.name, platform.degree(n))?;
     }
     if want_dot {

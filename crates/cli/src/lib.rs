@@ -101,9 +101,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "generate" => commands::generate::run(rest, out),
         "demo" => commands::demo::run(rest, out),
         "info" => commands::info::run(rest, out),
-        other => Err(CliError::Usage(format!(
-            "unknown command '{other}' (try 'steady help')"
-        ))),
+        other => Err(CliError::Usage(format!("unknown command '{other}' (try 'steady help')"))),
     }
 }
 

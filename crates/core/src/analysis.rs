@@ -58,11 +58,7 @@ impl OccupationReport {
 
     /// Resources whose occupation equals 1 exactly — these pin the throughput.
     pub fn saturated(&self) -> Vec<Resource> {
-        self.occupations
-            .iter()
-            .filter(|(_, occ)| **occ == Ratio::one())
-            .map(|(r, _)| *r)
-            .collect()
+        self.occupations.iter().filter(|(_, occ)| **occ == Ratio::one()).map(|(r, _)| *r).collect()
     }
 
     /// The most loaded resource and its occupation, if any traffic exists.
@@ -154,8 +150,10 @@ mod tests {
         let solution = problem.solve().unwrap();
         let report = analyze_scatter(&problem, &solution);
         let saturated = report.saturated();
-        assert!(saturated.contains(&Resource::OutPort(problem.source())),
-            "source out-port should be saturated, got {saturated:?}");
+        assert!(
+            saturated.contains(&Resource::OutPort(problem.source())),
+            "source out-port should be saturated, got {saturated:?}"
+        );
         let (busiest, occ) = report.busiest().unwrap();
         assert_eq!(occ, rat(1, 1));
         assert!(matches!(busiest, Resource::OutPort(_) | Resource::InPort(_)));

@@ -111,11 +111,7 @@ pub fn approximate_scatter_for_period(
     }
     // Every target must receive the same number of messages per operation, so
     // the achieved throughput is pinned by the slowest commodity.
-    let slowest = per_target
-        .iter()
-        .min()
-        .cloned()
-        .unwrap_or_else(Ratio::zero);
+    let slowest = per_target.iter().min().cloned().unwrap_or_else(Ratio::zero);
     let throughput = &slowest / t_fixed;
     let loss_bound = &Ratio::from(paths.len()) / t_fixed;
     Ok(FixedPeriodScatterPlan {
@@ -161,10 +157,7 @@ pub fn verify_loss_bound(plan: &FixedPeriodPlan, optimal: &Ratio) -> Result<(), 
     }
     let loss = optimal - &plan.throughput;
     if loss > plan.loss_bound {
-        return Err(format!(
-            "loss {loss} exceeds the Proposition-4 bound {}",
-            plan.loss_bound
-        ));
+        return Err(format!("loss {loss} exceeds the Proposition-4 bound {}", plan.loss_bound));
     }
     Ok(())
 }

@@ -135,10 +135,7 @@ mod tests {
             let eps = rat(num, den);
             let k = b.horizon_for_efficiency(&eps);
             let eff = b.efficiency(&k);
-            assert!(
-                eff >= &rat(1, 1) - &eps,
-                "efficiency {eff} at horizon {k} is below 1 - {eps}"
-            );
+            assert!(eff >= &rat(1, 1) - &eps, "efficiency {eff} at horizon {k} is below 1 - {eps}");
         }
     }
 

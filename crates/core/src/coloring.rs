@@ -70,11 +70,7 @@ impl BipartiteLoad {
             *send.entry(e.sender).or_insert_with(Ratio::zero) += &e.weight;
             *recv.entry(e.receiver).or_insert_with(Ratio::zero) += &e.weight;
         }
-        send.values()
-            .chain(recv.values())
-            .cloned()
-            .max()
-            .unwrap_or_else(Ratio::zero)
+        send.values().chain(recv.values()).cloned().max().unwrap_or_else(Ratio::zero)
     }
 }
 
@@ -182,21 +178,15 @@ pub fn decompose(load: &BipartiteLoad) -> Result<Vec<MatchingStep>, ColoringErro
 
         // Step weight: cannot exceed any matched edge's remaining weight, and
         // must not let an unsaturated vertex's degree exceed the new maximum.
-        let mut w = matching
-            .iter()
-            .map(|&i| remaining[i].clone())
-            .min()
-            .expect("matching is non-empty");
+        let mut w =
+            matching.iter().map(|&i| remaining[i].clone()).min().expect("matching is non-empty");
         let mut saturated: Vec<Vertex> = Vec::new();
         for &i in &matching {
             saturated.push(Vertex::Send(load.edges[i].sender));
             saturated.push(Vertex::Recv(load.edges[i].receiver));
         }
-        let max_unsaturated = degree
-            .iter()
-            .filter(|(v, _)| !saturated.contains(v))
-            .map(|(_, d)| d.clone())
-            .max();
+        let max_unsaturated =
+            degree.iter().filter(|(v, _)| !saturated.contains(v)).map(|(_, d)| d.clone()).max();
         if let Some(md) = max_unsaturated {
             let slack = &delta - &md;
             debug_assert!(slack.is_positive(), "critical vertex left unsaturated");
@@ -392,10 +382,7 @@ fn combine_matchings(
 /// Checks that a decomposition is a valid schedule of the load: exact
 /// coverage, matching property in each step, and total duration equal to the
 /// maximum weighted degree.
-pub fn verify_decomposition(
-    load: &BipartiteLoad,
-    steps: &[MatchingStep],
-) -> Result<(), String> {
+pub fn verify_decomposition(load: &BipartiteLoad, steps: &[MatchingStep]) -> Result<(), String> {
     let mut covered = vec![Ratio::zero(); load.edges.len()];
     for (si, step) in steps.iter().enumerate() {
         if !step.duration.is_positive() {

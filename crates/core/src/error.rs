@@ -55,7 +55,9 @@ impl std::fmt::Display for CoreError {
             CoreError::SourceIsTarget { node } => {
                 write!(f, "node {node} is both the source and a target")
             }
-            CoreError::Unreachable { node } => write!(f, "node {node} is not connected to the operation"),
+            CoreError::Unreachable { node } => {
+                write!(f, "node {node} is not connected to the operation")
+            }
             CoreError::EmptyProblem => write!(f, "the problem has no targets or participants"),
             CoreError::NotAComputeNode { node } => {
                 write!(f, "node {node} is a router and cannot take part in the operation")

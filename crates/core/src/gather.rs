@@ -31,7 +31,7 @@ use steady_rational::{lcm_of_denominators, BigInt, Ratio};
 use crate::coloring::{decompose, BipartiteLoad};
 use crate::error::CoreError;
 use crate::scatter::ScatterProblem;
-use crate::schedule::{CommSlot, Payload, PeriodicSchedule, Transfer};
+use crate::schedule::{CommSlot, Payload, PayloadQueue, PeriodicSchedule, Transfer};
 
 /// A pipelined gather problem: platform, sources and sink.
 #[derive(Debug, Clone)]
@@ -242,8 +242,7 @@ impl GatherSolution {
     /// Occupation `s(P_i -> P_j)` of an edge: total transfer time per time-unit.
     pub fn edge_occupation(&self, problem: &GatherProblem, edge: EdgeId) -> Ratio {
         let cost = &problem.platform().edge(edge).cost;
-        let total: Ratio =
-            (0..problem.sources().len()).map(|si| self.flow(edge, si)).sum();
+        let total: Ratio = (0..problem.sources().len()).map(|si| self.flow(edge, si)).sum();
         &total * cost
     }
 
@@ -331,7 +330,7 @@ impl GatherSolution {
         let period = Ratio::from(period_int);
 
         let mut load = BipartiteLoad::new();
-        let mut queues: BTreeMap<(usize, usize), Vec<(Payload, Ratio, Ratio)>> = BTreeMap::new();
+        let mut queues: BTreeMap<(usize, usize), PayloadQueue> = BTreeMap::new();
         for ((e, si), flow) in &self.flows {
             let edge = platform.edge(*e);
             let count = flow * &period;
@@ -510,10 +509,7 @@ mod tests {
         let c = q.add_node("c", rat(1, 1));
         q.add_edge(a, b, rat(1, 1));
         q.add_edge(b, c, rat(1, 1));
-        assert!(matches!(
-            GatherProblem::new(q, vec![c], a),
-            Err(CoreError::Unreachable { .. })
-        ));
+        assert!(matches!(GatherProblem::new(q, vec![c], a), Err(CoreError::Unreachable { .. })));
     }
 
     #[test]

@@ -19,7 +19,7 @@ use steady_rational::{lcm_of_denominators, BigInt, Ratio};
 
 use crate::coloring::{decompose, BipartiteLoad};
 use crate::error::CoreError;
-use crate::schedule::{CommSlot, Payload, PeriodicSchedule, Transfer};
+use crate::schedule::{CommSlot, Payload, PayloadQueue, PeriodicSchedule, Transfer};
 
 /// A pipelined personalized all-to-all problem.
 #[derive(Debug, Clone)]
@@ -112,10 +112,7 @@ impl GossipProblem {
 
     /// Commodities as `(source node, target node)` pairs.
     pub fn commodities(&self) -> Vec<(NodeId, NodeId)> {
-        self.commodities
-            .iter()
-            .map(|&(si, ti)| (self.sources[si], self.targets[ti]))
-            .collect()
+        self.commodities.iter().map(|&(si, ti)| (self.sources[si], self.targets[ti])).collect()
     }
 
     fn commodity_endpoints(&self, c: usize) -> (NodeId, NodeId) {
@@ -291,12 +288,9 @@ impl GossipSolution {
                     continue;
                 }
                 let inflow: Ratio = platform.in_edges(n).iter().map(|&e| self.flow(e, c)).sum();
-                let outflow: Ratio =
-                    platform.out_edges(n).iter().map(|&e| self.flow(e, c)).sum();
+                let outflow: Ratio = platform.out_edges(n).iter().map(|&e| self.flow(e, c)).sum();
                 if inflow != outflow {
-                    return Err(format!(
-                        "conservation violated at {n} for commodity ({s},{t})"
-                    ));
+                    return Err(format!("conservation violated at {n} for commodity ({s},{t})"));
                 }
             }
             let received: Ratio = platform.in_edges(t).iter().map(|&e| self.flow(e, c)).sum();
@@ -317,7 +311,7 @@ impl GossipSolution {
         let period = Ratio::from(self.period());
 
         let mut load = BipartiteLoad::new();
-        let mut queues: BTreeMap<(usize, usize), Vec<(Payload, Ratio, Ratio)>> = BTreeMap::new();
+        let mut queues: BTreeMap<(usize, usize), PayloadQueue> = BTreeMap::new();
         for ((e, c), flow) in &self.flows {
             let edge = platform.edge(*e);
             let count = flow * &period;
@@ -426,12 +420,9 @@ mod tests {
     fn scatter_is_a_special_case_of_gossip() {
         // With a single source the gossip LP reduces to the scatter LP.
         let inst = generators::figure2();
-        let gossip = GossipProblem::new(
-            inst.platform.clone(),
-            vec![inst.source],
-            inst.targets.clone(),
-        )
-        .unwrap();
+        let gossip =
+            GossipProblem::new(inst.platform.clone(), vec![inst.source], inst.targets.clone())
+                .unwrap();
         let gsol = gossip.solve().unwrap();
         let scatter = crate::scatter::ScatterProblem::from_instance(inst).unwrap();
         let ssol = scatter.solve().unwrap();

@@ -81,12 +81,12 @@ pub use approx::{
     approximate_for_period, approximate_scatter_for_period, build_fixed_period_scatter_schedule,
     build_fixed_period_schedule, FixedPeriodPlan, FixedPeriodScatterPlan,
 };
-pub use paths::{extract_paths, verify_path_set, WeightedPath};
 pub use bounds::SteadyStateBounds;
 pub use coloring::{BipartiteLoad, ColoringError, LoadEdge, MatchingStep};
 pub use error::CoreError;
 pub use gather::{GatherProblem, GatherSolution};
 pub use gossip::{GossipProblem, GossipSolution};
+pub use paths::{extract_paths, verify_path_set, WeightedPath};
 pub use prefix::{PrefixProblem, PrefixSolution};
 pub use reduce::{Interval, ReduceProblem, ReduceSolution, Task};
 pub use scatter::{ScatterProblem, ScatterSolution};

@@ -36,7 +36,7 @@ use steady_rational::{lcm_of_denominators, BigInt, Ratio};
 use crate::coloring::{decompose, BipartiteLoad};
 use crate::error::CoreError;
 use crate::reduce::{Interval, ReduceProblem, ReduceSolution, Task};
-use crate::schedule::{CommSlot, ComputeOp, Payload, PeriodicSchedule, Transfer};
+use crate::schedule::{CommSlot, ComputeOp, Payload, PayloadQueue, PeriodicSchedule, Transfer};
 use crate::trees::{TreeOp, WeightedTree};
 
 /// A pipelined parallel-prefix problem.
@@ -249,7 +249,12 @@ impl PrefixProblem {
                 }
             }
             if !out_expr.is_empty() {
-                lp.add_constraint(format!("one-port-out[{node}]"), out_expr, Sense::Le, Ratio::one());
+                lp.add_constraint(
+                    format!("one-port-out[{node}]"),
+                    out_expr,
+                    Sense::Le,
+                    Ratio::one(),
+                );
             }
             let mut in_expr = LinearExpr::new();
             for &e in platform.in_edges(node) {
@@ -428,9 +433,7 @@ impl PrefixSolution {
         // Per-rank flow validity.
         for d in 1..=problem.last_index() {
             let sub = problem.sub_problem(d).map_err(|e| e.to_string())?;
-            self.rank_solution(d)
-                .verify(&sub)
-                .map_err(|e| format!("destination rank {d}: {e}"))?;
+            self.rank_solution(d).verify(&sub).map_err(|e| format!("destination rank {d}: {e}"))?;
         }
         // Aggregated occupations.
         for node in platform.node_ids() {
@@ -498,7 +501,7 @@ impl PrefixSolution {
         let period = Ratio::from(period_int);
 
         let mut load = BipartiteLoad::new();
-        let mut queues: BTreeMap<(usize, usize), Vec<(Payload, Ratio, Ratio)>> = BTreeMap::new();
+        let mut queues: BTreeMap<(usize, usize), PayloadQueue> = BTreeMap::new();
         let mut compute: BTreeMap<(NodeId, Task), Ratio> = BTreeMap::new();
 
         for trees in per_rank_trees.values() {
@@ -575,9 +578,8 @@ impl PrefixSolution {
         let computations = compute
             .into_iter()
             .map(|((node, task), count)| {
-                let task_time = problem
-                    .task_time(node)
-                    .expect("tree assigns computation to a compute node");
+                let task_time =
+                    problem.task_time(node).expect("tree assigns computation to a compute node");
                 let duration = &count * &task_time;
                 ComputeOp { node, task, count, duration }
             })
@@ -674,7 +676,8 @@ mod tests {
     #[test]
     fn hypercube_prefix_instance_solves() {
         // 4-node hypercube (dimension 2): small enough for the exact LP.
-        let problem = PrefixProblem::from_instance(hypercube_prefix_instance(2, rat(1, 1))).unwrap();
+        let problem =
+            PrefixProblem::from_instance(hypercube_prefix_instance(2, rat(1, 1))).unwrap();
         let sol = problem.solve().unwrap();
         sol.verify(&problem).unwrap();
         assert!(sol.throughput().is_positive());

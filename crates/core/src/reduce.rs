@@ -28,7 +28,7 @@ use steady_rational::{lcm_of_denominators, BigInt, Ratio};
 
 use crate::coloring::{decompose, BipartiteLoad};
 use crate::error::CoreError;
-use crate::schedule::{CommSlot, ComputeOp, Payload, PeriodicSchedule, Transfer};
+use crate::schedule::{CommSlot, ComputeOp, Payload, PayloadQueue, PeriodicSchedule, Transfer};
 use crate::trees::{extract_trees, TreeOp, WeightedTree};
 
 /// An interval `[k, m]` of participant indices: the partial value `v[k, m]`.
@@ -214,7 +214,8 @@ impl ReduceProblem {
         for e in platform.edge_ids() {
             let edge = platform.edge(e);
             for &iv in &intervals {
-                let v = lp.add_var(format!("send[{}->{},v[{},{}]]", edge.from, edge.to, iv.0, iv.1));
+                let v =
+                    lp.add_var(format!("send[{}->{},v[{},{}]]", edge.from, edge.to, iv.0, iv.1));
                 send.insert((e, iv), v);
             }
         }
@@ -241,7 +242,12 @@ impl ReduceProblem {
                 }
             }
             if !out_expr.is_empty() {
-                lp.add_constraint(format!("one-port-out[{node}]"), out_expr, Sense::Le, Ratio::one());
+                lp.add_constraint(
+                    format!("one-port-out[{node}]"),
+                    out_expr,
+                    Sense::Le,
+                    Ratio::one(),
+                );
             }
             let mut in_expr = LinearExpr::new();
             for &e in platform.in_edges(node) {
@@ -417,12 +423,8 @@ impl ReduceSolution {
         let Some(task_time) = problem.task_time(node) else {
             return Ratio::zero();
         };
-        let total: Ratio = self
-            .tasks
-            .iter()
-            .filter(|((n, _), _)| *n == node)
-            .map(|(_, rate)| rate.clone())
-            .sum();
+        let total: Ratio =
+            self.tasks.iter().filter(|((n, _), _)| *n == node).map(|(_, rate)| rate.clone()).sum();
         total * task_time
     }
 
@@ -528,11 +530,8 @@ impl ReduceSolution {
             }
         }
         // Throughput.
-        let mut delivered: Ratio = platform
-            .in_edges(problem.target())
-            .iter()
-            .map(|&e| self.send_rate(e, (0, n)))
-            .sum();
+        let mut delivered: Ratio =
+            platform.in_edges(problem.target()).iter().map(|&e| self.send_rate(e, (0, n))).sum();
         for l in 0..n {
             delivered += self.task_rate(problem.target(), (0, l, n));
         }
@@ -574,7 +573,7 @@ impl ReduceSolution {
         let period = Ratio::from(period_int);
 
         let mut load = BipartiteLoad::new();
-        let mut queues: BTreeMap<(usize, usize), Vec<(Payload, Ratio, Ratio)>> = BTreeMap::new();
+        let mut queues: BTreeMap<(usize, usize), PayloadQueue> = BTreeMap::new();
         let mut compute: BTreeMap<(NodeId, Task), Ratio> = BTreeMap::new();
         let mut operations = Ratio::zero();
 
@@ -651,9 +650,8 @@ impl ReduceSolution {
         let computations = compute
             .into_iter()
             .map(|((node, task), count)| {
-                let task_time = problem
-                    .task_time(node)
-                    .expect("tree assigns computation to a compute node");
+                let task_time =
+                    problem.task_time(node).expect("tree assigns computation to a compute node");
                 let duration = &count * &task_time;
                 ComputeOp { node, task, count, duration }
             })

@@ -23,7 +23,7 @@ use steady_rational::{lcm_of_denominators, BigInt, Ratio};
 
 use crate::coloring::{decompose, BipartiteLoad};
 use crate::error::CoreError;
-use crate::schedule::{CommSlot, Payload, PeriodicSchedule, Transfer};
+use crate::schedule::{CommSlot, Payload, PayloadQueue, PeriodicSchedule, Transfer};
 
 /// A pipelined scatter problem: platform, source and targets.
 #[derive(Debug, Clone)]
@@ -108,10 +108,7 @@ impl ScatterProblem {
         for e in platform.edge_ids() {
             let edge = platform.edge(e);
             for (ti, t) in self.targets.iter().enumerate() {
-                let v = lp.add_var(format!(
-                    "send[{}->{},m{}]",
-                    edge.from, edge.to, t
-                ));
+                let v = lp.add_var(format!("send[{}->{},m{}]", edge.from, edge.to, t));
                 send.insert((e, ti), v);
             }
         }
@@ -243,9 +240,7 @@ impl ScatterSolution {
     /// Occupation `s(P_i -> P_j)` of an edge: total transfer time per time-unit.
     pub fn edge_occupation(&self, problem: &ScatterProblem, edge: EdgeId) -> Ratio {
         let cost = &problem.platform().edge(edge).cost;
-        let total: Ratio = (0..problem.targets().len())
-            .map(|ti| self.flow(edge, ti))
-            .sum();
+        let total: Ratio = (0..problem.targets().len()).map(|ti| self.flow(edge, ti)).sum();
         &total * cost
     }
 
@@ -297,10 +292,8 @@ impl ScatterSolution {
                 if n == t {
                     continue;
                 }
-                let inflow: Ratio =
-                    platform.in_edges(n).iter().map(|&e| self.flow(e, ti)).sum();
-                let outflow: Ratio =
-                    platform.out_edges(n).iter().map(|&e| self.flow(e, ti)).sum();
+                let inflow: Ratio = platform.in_edges(n).iter().map(|&e| self.flow(e, ti)).sum();
+                let outflow: Ratio = platform.out_edges(n).iter().map(|&e| self.flow(e, ti)).sum();
                 if inflow != outflow {
                     return Err(format!(
                         "conservation violated at {n} for m{t}: in {inflow}, out {outflow}"
@@ -316,8 +309,7 @@ impl ScatterSolution {
                     return Err(format!("target {t} re-emits messages of its own type"));
                 }
             }
-            let received: Ratio =
-                platform.in_edges(t).iter().map(|&e| self.flow(e, ti)).sum();
+            let received: Ratio = platform.in_edges(t).iter().map(|&e| self.flow(e, ti)).sum();
             if received != self.throughput {
                 return Err(format!(
                     "target {t} receives {received} instead of TP = {}",
@@ -340,7 +332,7 @@ impl ScatterSolution {
         // Per (sender, receiver) pair: the total duration and the FIFO of
         // (payload, count, duration) items to distribute over the matchings.
         let mut load = BipartiteLoad::new();
-        let mut queues: BTreeMap<(usize, usize), Vec<(Payload, Ratio, Ratio)>> = BTreeMap::new();
+        let mut queues: BTreeMap<(usize, usize), PayloadQueue> = BTreeMap::new();
         for ((e, ti), flow) in &self.flows {
             let edge = platform.edge(*e);
             let count = flow * &period;
@@ -451,11 +443,8 @@ mod tests {
         let sol = problem.solve().unwrap();
         let platform = problem.platform();
         let source = problem.source();
-        let total: Ratio = platform
-            .out_edges(source)
-            .iter()
-            .map(|&e| sol.edge_occupation(&problem, e))
-            .sum();
+        let total: Ratio =
+            platform.out_edges(source).iter().map(|&e| sol.edge_occupation(&problem, e)).sum();
         assert_eq!(total, rat(1, 1));
     }
 

@@ -46,6 +46,11 @@ pub enum Payload {
     },
 }
 
+/// FIFO of `(payload, count, duration)` items queued on a `(sender, receiver)`
+/// pair while a period's transfers are distributed over the matchings of the
+/// weighted-edge-coloring decomposition (§3.3).
+pub type PayloadQueue = Vec<(Payload, Ratio, Ratio)>;
+
 impl fmt::Display for Payload {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

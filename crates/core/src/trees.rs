@@ -116,8 +116,8 @@ impl ReductionTree {
 
         // Every consumption must be backed by a production or an initial value.
         for (&(interval, node), &count) in &consumed {
-            let initial = problem.participant_index(node) == Some(interval.0)
-                && interval.0 == interval.1;
+            let initial =
+                problem.participant_index(node) == Some(interval.0) && interval.0 == interval.1;
             let have = produced.get(&(interval, node)).copied().unwrap_or(0);
             if !initial && have < count {
                 return Err(format!(
@@ -127,7 +127,7 @@ impl ReductionTree {
             }
         }
         // The final result must be produced on the target.
-        let final_ok = produced.get(&(((0, n)), problem.target())).copied().unwrap_or(0) >= 1
+        let final_ok = produced.get(&((0, n), problem.target())).copied().unwrap_or(0) >= 1
             || (problem.participant_index(problem.target()) == Some(0) && n == 0);
         if !final_ok {
             return Err("the tree does not produce v[0,N] on the target".into());
@@ -366,8 +366,8 @@ fn find_tree(problem: &ReduceProblem, remaining: &Remaining) -> Result<Reduction
     }];
 
     let mut guard = 0usize;
-    let guard_cap = 4 * (remaining.values.len() + problem.intervals().len() + 4)
-        * (platform.num_nodes() + 1);
+    let guard_cap =
+        4 * (remaining.values.len() + problem.intervals().len() + 4) * (platform.num_nodes() + 1);
 
     while let Some(pos) = inputs.iter().position(|inp| {
         !(problem.participant_index(inp.node) == Some(inp.interval.0)
@@ -399,11 +399,7 @@ fn find_tree(problem: &ReduceProblem, remaining: &Remaining) -> Result<Reduction
         if let Some((task, _)) = best_task {
             let (_, l, _) = task;
             ops.push(TreeOp::Compute { node, task });
-            inputs.push(PendingInput {
-                interval: (k, l),
-                node,
-                forbidden: BTreeSet::from([node]),
-            });
+            inputs.push(PendingInput { interval: (k, l), node, forbidden: BTreeSet::from([node]) });
             inputs.push(PendingInput {
                 interval: (l + 1, m),
                 node,
@@ -522,9 +518,19 @@ mod tests {
         // P1 sends v[1,2] to P0, P0 computes T_{0,0,2}.
         let t0 = ReductionTree {
             ops: vec![
-                TreeOp::Transfer { from: NodeId(2), to: NodeId(1), edge: e(2, 1), interval: (2, 2) },
+                TreeOp::Transfer {
+                    from: NodeId(2),
+                    to: NodeId(1),
+                    edge: e(2, 1),
+                    interval: (2, 2),
+                },
                 TreeOp::Compute { node: NodeId(1), task: (1, 1, 2) },
-                TreeOp::Transfer { from: NodeId(1), to: NodeId(0), edge: e(1, 0), interval: (1, 2) },
+                TreeOp::Transfer {
+                    from: NodeId(1),
+                    to: NodeId(0),
+                    edge: e(1, 0),
+                    interval: (1, 2),
+                },
                 TreeOp::Compute { node: NodeId(0), task: (0, 0, 2) },
             ],
         };
@@ -533,9 +539,19 @@ mod tests {
         // P2 sends v[1,2] to P0, P0 computes T_{0,0,2}.
         let t1 = ReductionTree {
             ops: vec![
-                TreeOp::Transfer { from: NodeId(1), to: NodeId(2), edge: e(1, 2), interval: (1, 1) },
+                TreeOp::Transfer {
+                    from: NodeId(1),
+                    to: NodeId(2),
+                    edge: e(1, 2),
+                    interval: (1, 1),
+                },
                 TreeOp::Compute { node: NodeId(2), task: (1, 1, 2) },
-                TreeOp::Transfer { from: NodeId(2), to: NodeId(0), edge: e(2, 0), interval: (1, 2) },
+                TreeOp::Transfer {
+                    from: NodeId(2),
+                    to: NodeId(0),
+                    edge: e(2, 0),
+                    interval: (1, 2),
+                },
                 TreeOp::Compute { node: NodeId(0), task: (0, 0, 2) },
             ],
         };
@@ -552,7 +568,12 @@ mod tests {
         // v[1,2] is sent without ever being computed.
         let bad = ReductionTree {
             ops: vec![
-                TreeOp::Transfer { from: NodeId(1), to: NodeId(0), edge: e(1, 0), interval: (1, 2) },
+                TreeOp::Transfer {
+                    from: NodeId(1),
+                    to: NodeId(0),
+                    edge: e(1, 0),
+                    interval: (1, 2),
+                },
                 TreeOp::Compute { node: NodeId(0), task: (0, 0, 2) },
             ],
         };
@@ -568,9 +589,19 @@ mod tests {
         // A tree that only builds v[1,2] on P0 and never the full result.
         let bad = ReductionTree {
             ops: vec![
-                TreeOp::Transfer { from: NodeId(2), to: NodeId(1), edge: e(2, 1), interval: (2, 2) },
+                TreeOp::Transfer {
+                    from: NodeId(2),
+                    to: NodeId(1),
+                    edge: e(2, 1),
+                    interval: (2, 2),
+                },
                 TreeOp::Compute { node: NodeId(1), task: (1, 1, 2) },
-                TreeOp::Transfer { from: NodeId(1), to: NodeId(0), edge: e(1, 0), interval: (1, 2) },
+                TreeOp::Transfer {
+                    from: NodeId(1),
+                    to: NodeId(0),
+                    edge: e(1, 0),
+                    interval: (1, 2),
+                },
             ],
         };
         let err = bad.verify(&problem).unwrap_err();
@@ -587,19 +618,14 @@ mod tests {
         let solution = problem.solve().unwrap();
         let platform = problem.platform();
         let half = rat(1, 2);
-        let mut sends: BTreeMap<_, _> = solution
-            .sends()
-            .iter()
-            .map(|(k, v)| (*k, v * &half))
-            .collect();
-        let tasks: BTreeMap<_, _> =
-            solution.tasks().iter().map(|(k, v)| (*k, v * &half)).collect();
+        let mut sends: BTreeMap<_, _> =
+            solution.sends().iter().map(|(k, v)| (*k, v * &half)).collect();
+        let tasks: BTreeMap<_, _> = solution.tasks().iter().map(|(k, v)| (*k, v * &half)).collect();
         let e12 = platform.edge_between(NodeId(1), NodeId(2)).unwrap();
         let e21 = platform.edge_between(NodeId(2), NodeId(1)).unwrap();
         *sends.entry((e12, (1, 1))).or_insert_with(Ratio::zero) += rat(1, 10);
         *sends.entry((e21, (1, 1))).or_insert_with(Ratio::zero) += rat(1, 10);
-        let doctored =
-            ReduceSolution::from_rates(solution.throughput() * &half, sends, tasks);
+        let doctored = ReduceSolution::from_rates(solution.throughput() * &half, sends, tasks);
         // The doctored solution still satisfies every constraint (the cycle is
         // conservative and the ports have slack) ...
         doctored.verify(&problem).unwrap();

@@ -165,21 +165,14 @@ pub fn certify(
     }
     check_dual_feasible(problem, &duals).map_err(|e| format!("dual infeasible: {e}"))?;
 
-    let dual_obj: Ratio = problem
-        .constraints()
-        .iter()
-        .zip(&duals)
-        .map(|(c, y)| &c.rhs * y)
-        .sum();
+    let dual_obj: Ratio = problem.constraints().iter().zip(&duals).map(|(c, y)| &c.rhs * y).sum();
 
     let gap = match problem.direction() {
         Objective::Maximize => &dual_obj - &primal_obj,
         Objective::Minimize => &primal_obj - &dual_obj,
     };
     if !gap.is_zero() {
-        return Err(format!(
-            "duality gap is {gap} (primal {primal_obj}, dual {dual_obj})"
-        ));
+        return Err(format!("duality gap is {gap} (primal {primal_obj}, dual {dual_obj})"));
     }
 
     Ok(CertifiedSolution {
@@ -293,19 +286,9 @@ mod tests {
         let y = lp.add_var("y");
         let z = lp.add_var("z");
         lp.set_objective(z, rat(1, 1));
-        lp.add_constraint(
-            "flow",
-            expr(&[(x, rat(1, 1)), (y, rat(-1, 1))]),
-            Sense::Eq,
-            rat(0, 1),
-        );
+        lp.add_constraint("flow", expr(&[(x, rat(1, 1)), (y, rat(-1, 1))]), Sense::Eq, rat(0, 1));
         lp.add_constraint("capx", expr(&[(x, rat(3, 1))]), Sense::Le, rat(1, 1));
-        lp.add_constraint(
-            "link",
-            expr(&[(z, rat(1, 1)), (y, rat(-1, 1))]),
-            Sense::Le,
-            rat(0, 1),
-        );
+        lp.add_constraint("link", expr(&[(z, rat(1, 1)), (y, rat(-1, 1))]), Sense::Le, rat(0, 1));
         let sol = solve_certified(&lp).unwrap();
         assert_eq!(sol.objective, rat(1, 3));
     }
@@ -367,7 +350,8 @@ mod tests {
         assert_eq!(sol.certificate, Certificate::ExactSimplex);
         assert_eq!(sol.objective, rat(3, 5));
 
-        let strict = CertifyOptions { max_denominator: 1, forbid_fallback: true, ..Default::default() };
+        let strict =
+            CertifyOptions { max_denominator: 1, forbid_fallback: true, ..Default::default() };
         assert!(matches!(
             solve_certified_with_options(&lp, &strict),
             Err(CertifyError::CertificationFailed { .. })

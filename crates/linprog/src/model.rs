@@ -286,11 +286,7 @@ impl LpProblem {
         }
         for c in &self.constraints {
             if !c.is_satisfied(values) {
-                return Err(format!(
-                    "constraint '{}' violated by {}",
-                    c.name,
-                    c.violation(values)
-                ));
+                return Err(format!("constraint '{}' violated by {}", c.name, c.violation(values)));
             }
         }
         Ok(())

@@ -172,8 +172,8 @@ impl<S: Scalar> Tableau<S> {
 
         let total_cols = n + n_slack + n_art;
         let mut kinds = vec![ColKind::Structural; n];
-        kinds.extend(std::iter::repeat(ColKind::Slack).take(n_slack));
-        kinds.extend(std::iter::repeat(ColKind::Artificial).take(n_art));
+        kinds.extend(std::iter::repeat_n(ColKind::Slack, n_slack));
+        kinds.extend(std::iter::repeat_n(ColKind::Artificial, n_art));
 
         // Phase-2 costs: maximization form.
         let flip = matches!(problem.direction(), Objective::Minimize);
@@ -348,9 +348,7 @@ impl<S: Scalar> Tableau<S> {
             match &best {
                 None => best = Some((i, ratio)),
                 Some((bi, br)) => {
-                    if ratio.lt(br)
-                        || (!br.lt(&ratio) && self.basis[i] < self.basis[*bi])
-                    {
+                    if ratio.lt(br) || (!br.lt(&ratio) && self.basis[i] < self.basis[*bi]) {
                         best = Some((i, ratio));
                     }
                 }
@@ -404,7 +402,7 @@ impl<S: Scalar> Tableau<S> {
         options: &SimplexOptions,
     ) -> Result<Solution<S>, SimplexError> {
         let mut iterations = 0usize;
-        let has_artificials = self.kinds.iter().any(|k| *k == ColKind::Artificial);
+        let has_artificials = self.kinds.contains(&ColKind::Artificial);
 
         // ---- Phase 1: minimize the sum of artificial variables. ----
         if has_artificials {
@@ -435,9 +433,8 @@ impl<S: Scalar> Tableau<S> {
                 if self.kinds[self.basis[i]] != ColKind::Artificial {
                     continue;
                 }
-                let replacement = (0..self.num_cols()).find(|&j| {
-                    self.kinds[j] != ColKind::Artificial && !self.rows[i][j].is_zero()
-                });
+                let replacement = (0..self.num_cols())
+                    .find(|&j| self.kinds[j] != ColKind::Artificial && !self.rows[i][j].is_zero());
                 if let Some(j) = replacement {
                     self.pivot(i, j);
                 }
@@ -445,8 +442,7 @@ impl<S: Scalar> Tableau<S> {
         }
 
         // ---- Phase 2: optimize the real objective, artificials locked out. ----
-        let allowed: Vec<bool> =
-            self.kinds.iter().map(|k| *k != ColKind::Artificial).collect();
+        let allowed: Vec<bool> = self.kinds.iter().map(|k| *k != ColKind::Artificial).collect();
         let costs = self.costs.clone();
         self.optimize(&costs, &allowed, options, &mut iterations)?;
 

@@ -8,9 +8,7 @@
 //! * the exact solution is at least as good as a sample of feasible points.
 
 use proptest::prelude::*;
-use steady_lp::{
-    solve_certified, solve_exact, solve_f64, LinearExpr, LpProblem, Sense,
-};
+use steady_lp::{solve_certified, solve_exact, solve_f64, LinearExpr, LpProblem, Sense};
 use steady_rational::{rat, Ratio};
 
 #[derive(Debug, Clone)]
@@ -39,8 +37,7 @@ fn random_lp_strategy() -> impl Strategy<Value = RandomLp> {
 /// problem is always bounded and feasible (origin is feasible).
 fn build(lp_desc: &RandomLp) -> LpProblem {
     let mut lp = LpProblem::maximize();
-    let vars: Vec<_> =
-        (0..lp_desc.num_vars).map(|i| lp.add_var(format!("x{i}"))).collect();
+    let vars: Vec<_> = (0..lp_desc.num_vars).map(|i| lp.add_var(format!("x{i}"))).collect();
     for (v, (n, d)) in vars.iter().zip(&lp_desc.objective) {
         lp.set_objective(*v, rat(*n, *d));
     }

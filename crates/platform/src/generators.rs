@@ -599,9 +599,8 @@ mod tests {
         // Costs from the figure.
         let names: Vec<_> = p.node_ids().map(|n| p.node(n).name.clone()).collect();
         assert_eq!(names, vec!["Ps", "Pa", "Pb", "P0", "P1"]);
-        let cost = |a: usize, b: usize| {
-            p.edge(p.edge_between(NodeId(a), NodeId(b)).unwrap()).cost.clone()
-        };
+        let cost =
+            |a: usize, b: usize| p.edge(p.edge_between(NodeId(a), NodeId(b)).unwrap()).cost.clone();
         assert_eq!(cost(0, 1), rat(1, 1));
         assert_eq!(cost(0, 2), rat(1, 1));
         assert_eq!(cost(1, 3), rat(2, 3));
@@ -629,11 +628,8 @@ mod tests {
         assert_eq!(inst.participants.len(), 8);
         assert!(p.validate().is_ok());
         // Published speeds in logical order.
-        let speeds: Vec<i64> = inst
-            .participants
-            .iter()
-            .map(|&n| p.node(n).speed.numer().to_i64().unwrap())
-            .collect();
+        let speeds: Vec<i64> =
+            inst.participants.iter().map(|&n| p.node(n).speed.numer().to_i64().unwrap()).collect();
         assert_eq!(speeds, vec![15, 55, 79, 75, 92, 38, 64, 17]);
         // Target is logical index 4 and the fastest host.
         assert_eq!(inst.target, inst.participants[4]);

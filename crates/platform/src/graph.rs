@@ -500,10 +500,7 @@ impl Platform {
             }
         }
         for e in &self.edges {
-            out.push_str(&format!(
-                "  n{} -> n{} [label=\"{}\"];\n",
-                e.from.0, e.to.0, e.cost
-            ));
+            out.push_str(&format!("  n{} -> n{} [label=\"{}\"];\n", e.from.0, e.to.0, e.cost));
         }
         out.push_str("}\n");
         out
@@ -624,18 +621,12 @@ mod tests {
 
     #[test]
     fn text_parse_errors() {
-        assert!(matches!(
-            Platform::from_text("node a"),
-            Err(PlatformError::Parse { line: 1, .. })
-        ));
+        assert!(matches!(Platform::from_text("node a"), Err(PlatformError::Parse { line: 1, .. })));
         assert!(matches!(
             Platform::from_text("edge 0 1 1"),
             Err(PlatformError::UnknownNode { .. })
         ));
-        assert!(matches!(
-            Platform::from_text("bogus"),
-            Err(PlatformError::Parse { .. })
-        ));
+        assert!(matches!(Platform::from_text("bogus"), Err(PlatformError::Parse { .. })));
         // Comments and blank lines are fine.
         let p = Platform::from_text("# comment\n\nnode a 1\nnode b 2\nedge 0 1 1/2\n").unwrap();
         assert_eq!(p.num_nodes(), 2);

@@ -228,12 +228,7 @@ pub struct GeometricConfig {
 
 impl Default for GeometricConfig {
     fn default() -> Self {
-        GeometricConfig {
-            nodes: 10,
-            radius: 0.5,
-            bandwidth_range: (1, 10),
-            speed_range: (1, 10),
-        }
+        GeometricConfig { nodes: 10, radius: 0.5, bandwidth_range: (1, 10), speed_range: (1, 10) }
     }
 }
 
@@ -328,12 +323,7 @@ pub fn dumbbell_gather_instance(
 ) -> GatherInstance {
     let (platform, left, right) = dumbbell(hosts_per_side, local_cost, bridge_cost);
     let sink = left[0];
-    let sources = left
-        .iter()
-        .skip(1)
-        .chain(right.iter())
-        .copied()
-        .collect();
+    let sources = left.iter().skip(1).chain(right.iter()).copied().collect();
     GatherInstance { platform, sources, sink }
 }
 
@@ -347,12 +337,7 @@ pub fn ring_gossip_instance(n: usize, cost: Ratio) -> GossipInstance {
 /// Parallel-prefix instance on a hypercube with unit parameters.
 pub fn hypercube_prefix_instance(dimensions: usize, cost: Ratio) -> PrefixInstance {
     let (platform, nodes) = hypercube(dimensions, cost);
-    PrefixInstance {
-        platform,
-        participants: nodes,
-        message_size: rat(1, 1),
-        task_cost: rat(1, 1),
-    }
+    PrefixInstance { platform, participants: nodes, message_size: rat(1, 1), task_cost: rat(1, 1) }
 }
 
 /// Parallel-prefix instance on a random geometric platform (all compute nodes
@@ -360,12 +345,7 @@ pub fn hypercube_prefix_instance(dimensions: usize, cost: Ratio) -> PrefixInstan
 pub fn geometric_prefix_instance(config: &GeometricConfig, seed: u64) -> PrefixInstance {
     let mut rng = StdRng::seed_from_u64(seed);
     let (platform, nodes) = random_geometric(config, &mut rng);
-    PrefixInstance {
-        platform,
-        participants: nodes,
-        message_size: rat(1, 1),
-        task_cost: rat(1, 1),
-    }
+    PrefixInstance { platform, participants: nodes, message_size: rat(1, 1), task_cost: rat(1, 1) }
 }
 
 #[cfg(test)]

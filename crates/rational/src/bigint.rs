@@ -38,7 +38,7 @@ impl Sign {
     }
 
     /// Sign of a product of values with these signs.
-    pub fn mul(self, other: Sign) -> Sign {
+    pub fn product(self, other: Sign) -> Sign {
         match (self, other) {
             (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
             (Sign::Positive, Sign::Positive) | (Sign::Negative, Sign::Negative) => Sign::Positive,

@@ -305,20 +305,14 @@ impl Neg for Ratio {
 impl Add for &Ratio {
     type Output = Ratio;
     fn add(self, other: &Ratio) -> Ratio {
-        Ratio::new(
-            &self.num * &other.den + &other.num * &self.den,
-            &self.den * &other.den,
-        )
+        Ratio::new(&self.num * &other.den + &other.num * &self.den, &self.den * &other.den)
     }
 }
 
 impl Sub for &Ratio {
     type Output = Ratio;
     fn sub(self, other: &Ratio) -> Ratio {
-        Ratio::new(
-            &self.num * &other.den - &other.num * &self.den,
-            &self.den * &other.den,
-        )
+        Ratio::new(&self.num * &other.den - &other.num * &self.den, &self.den * &other.den)
     }
 }
 

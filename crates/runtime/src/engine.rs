@@ -170,9 +170,7 @@ pub fn run_scatter(
                                 *counter += 1;
                                 Some(t)
                             } else {
-                                buffer
-                                    .get_mut(&order.destination)
-                                    .and_then(|q| q.pop_front())
+                                buffer.get_mut(&order.destination).and_then(|q| q.pop_front())
                             };
                             let Some(timestamp) = timestamp else { break };
                             senders[order.to.index()]
@@ -494,10 +492,9 @@ pub fn run_reduce(
                                 let left = buffer.get(&left_key);
                                 let right = buffer.get(&right_key);
                                 match (left, right) {
-                                    (Some(left), Some(right)) => left
-                                        .keys()
-                                        .find(|ts| right.contains_key(ts))
-                                        .copied(),
+                                    (Some(left), Some(right)) => {
+                                        left.keys().find(|ts| right.contains_key(ts)).copied()
+                                    }
                                     _ => None,
                                 }
                             };
@@ -535,9 +532,9 @@ pub fn run_reduce(
             if NodeId(node_index) == target {
                 target_results = delivered;
             } else if !delivered.is_empty() {
-                shared_errors
-                    .lock()
-                    .push(format!("node P{node_index} collected final results but is not the target"));
+                shared_errors.lock().push(format!(
+                    "node P{node_index} collected final results but is not the target"
+                ));
             }
         }
     });

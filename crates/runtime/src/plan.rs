@@ -220,13 +220,7 @@ impl ReducePlan {
             }
         }
 
-        Ok(ReducePlan {
-            operations_per_period: offset,
-            tree_counts,
-            tree_offsets,
-            sends,
-            computes,
-        })
+        Ok(ReducePlan { operations_per_period: offset, tree_counts, tree_offsets, sends, computes })
     }
 
     /// Total messages forwarded per period across all nodes.
@@ -292,10 +286,7 @@ mod tests {
         let trees = solution.extract_trees(&problem).unwrap();
         let plan = ReducePlan::from_trees(&problem, &trees).unwrap();
         assert_eq!(plan.tree_counts.len(), trees.len());
-        assert_eq!(
-            plan.operations_per_period,
-            plan.tree_counts.iter().sum::<u64>()
-        );
+        assert_eq!(plan.operations_per_period, plan.tree_counts.iter().sum::<u64>());
         // Offsets partition [0, operations_per_period).
         let mut expected = 0;
         for (o, c) in plan.tree_offsets.iter().zip(&plan.tree_counts) {

@@ -47,11 +47,7 @@ pub fn expected_result(n: usize, timestamp: u64) -> Seq {
 /// `lo..=hi` in order, all carrying the same time-stamp, which is returned.
 pub fn check_partial(seq: &Seq, lo: usize, hi: usize) -> Result<u64, String> {
     if seq.len() != hi - lo + 1 {
-        return Err(format!(
-            "v[{lo},{hi}] has {} tokens instead of {}",
-            seq.len(),
-            hi - lo + 1
-        ));
+        return Err(format!("v[{lo},{hi}] has {} tokens instead of {}", seq.len(), hi - lo + 1));
     }
     let (_, ts) = decode_token(seq[0]);
     for (offset, &token) in seq.iter().enumerate() {

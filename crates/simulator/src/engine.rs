@@ -197,8 +197,7 @@ pub fn simulate(platform: &Platform, dag: &Dag) -> Result<SimResult, SimError> {
             dependents[d.0].push(i);
         }
     }
-    let mut ready: Vec<usize> =
-        (0..n_ops).filter(|&i| remaining_deps[i] == 0).collect();
+    let mut ready: Vec<usize> = (0..n_ops).filter(|&i| remaining_deps[i] == 0).collect();
     let mut scheduled = 0usize;
     let zero = Ratio::zero();
 

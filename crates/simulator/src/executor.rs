@@ -72,10 +72,8 @@ pub fn execute_scatter_schedule(
                 let sent = if t.from == source {
                     wanted
                 } else {
-                    let have = available
-                        .get(&(t.from, *destination))
-                        .cloned()
-                        .unwrap_or_else(Ratio::zero);
+                    let have =
+                        available.get(&(t.from, *destination)).cloned().unwrap_or_else(Ratio::zero);
                     let sent = wanted.min(have);
                     if sent.is_positive() {
                         *available.get_mut(&(t.from, *destination)).unwrap() =
@@ -169,8 +167,7 @@ pub fn execute_reduce_schedule(
                 if is_unlimited(op.node, input) {
                     continue;
                 }
-                let have =
-                    available.get(&(op.node, input)).cloned().unwrap_or_else(Ratio::zero);
+                let have = available.get(&(op.node, input)).cloned().unwrap_or_else(Ratio::zero);
                 doable = doable.min(have);
             }
             if !doable.is_positive() {

@@ -44,11 +44,7 @@ where
     })
     .expect("a sweep worker panicked");
 
-    results
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("every input was processed"))
-        .collect()
+    results.into_inner().into_iter().map(|r| r.expect("every input was processed")).collect()
 }
 
 #[cfg(test)]

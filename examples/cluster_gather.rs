@@ -37,10 +37,7 @@ fn main() {
     // Duality cross-check: scatter on the transposed platform.
     let dual = problem.dual_scatter().expect("dual problem is valid");
     let dual_solution = dual.solve().expect("dual LP solves");
-    println!(
-        "transpose-dual scatter throughput = {} (must match)",
-        dual_solution.throughput()
-    );
+    println!("transpose-dual scatter throughput = {} (must match)", dual_solution.throughput());
     assert_eq!(solution.throughput(), dual_solution.throughput());
 
     // Explicit periodic schedule.
@@ -56,8 +53,8 @@ fn main() {
     // Naive baseline: every host ships directly along a shortest path.
     let ops = 30;
     let dag = direct_gather(&problem, ops);
-    let baseline = measure_pipelined_throughput(problem.platform(), &dag, ops)
-        .expect("baseline simulation");
+    let baseline =
+        measure_pipelined_throughput(problem.platform(), &dag, ops).expect("baseline simulation");
     println!(
         "direct-gather baseline: {} ops/time-unit (steady state wins by x{:.2})",
         baseline.throughput,

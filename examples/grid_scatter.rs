@@ -15,8 +15,7 @@ fn main() {
     // A 3x3 grid: the head node is a corner, every other node is a target.
     let (grid, ids) = generators::grid(3, 3, rat(1, 1));
     let source = ids[0][0];
-    let targets: Vec<NodeId> =
-        grid.node_ids().filter(|&n| n != source).collect();
+    let targets: Vec<NodeId> = grid.node_ids().filter(|&n| n != source).collect();
     report_one("grid 3x3 (unit links)", grid, source, targets);
 
     // A heterogeneous star: leaves with increasingly slow links.
@@ -36,12 +35,9 @@ fn report_one(name: &str, platform: Platform, source: NodeId, targets: Vec<NodeI
     schedule.validate(problem.platform()).expect("feasible schedule");
 
     let ops = 30;
-    let baseline = measure_pipelined_throughput(
-        problem.platform(),
-        &direct_scatter(&problem, ops),
-        ops,
-    )
-    .expect("baseline simulation");
+    let baseline =
+        measure_pipelined_throughput(problem.platform(), &direct_scatter(&problem, ops), ops)
+            .expect("baseline simulation");
 
     let steady = solution.throughput().to_f64();
     let base = baseline.throughput.to_f64();

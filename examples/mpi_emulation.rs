@@ -43,10 +43,7 @@ fn main() {
     let report = run_reduce(&reduce, &trees, config).expect("threaded run");
     println!("\n=== Threaded reduce run (Figure 6) ===");
     println!("reduction trees      : {}", trees.len());
-    println!(
-        "operations injected  : {}",
-        config.production_periods * report.operations_per_period
-    );
+    println!("operations injected  : {}", config.production_periods * report.operations_per_period);
     println!("results delivered    : {}", report.completed_operations);
     println!("results correct      : {}", report.correct_results);
     println!("data-level errors    : {}", report.errors.len());

@@ -35,11 +35,7 @@ fn main() {
     let trees = solution.extract_trees(&problem).expect("tree extraction");
     for (rank, rank_trees) in &trees {
         let total: Ratio = rank_trees.iter().map(|t| t.weight.clone()).sum();
-        println!(
-            "rank {rank}: {} tree(s), total weight {} (= TP)",
-            rank_trees.len(),
-            total
-        );
+        println!("rank {rank}: {} tree(s), total weight {} (= TP)", rank_trees.len(), total);
         for (i, wt) in rank_trees.iter().enumerate() {
             println!(
                 "  tree {i}: weight {}, {} transfers, {} tasks",

@@ -13,12 +13,8 @@ use steady_collectives::prelude::*;
 
 fn main() {
     // A small deployment: 2 sites, 1 gateway per site, 2 edge boxes per gateway.
-    let config = TiersConfig {
-        wan_routers: 2,
-        man_per_wan: 1,
-        lan_per_man: 2,
-        ..TiersConfig::default()
-    };
+    let config =
+        TiersConfig { wan_routers: 2, man_per_wan: 1, lan_per_man: 2, ..TiersConfig::default() };
     let instance = tiers_reduce_instance(&config, 7);
     println!("=== Sensor aggregation campaign ===");
     println!(
@@ -31,14 +27,21 @@ fn main() {
     let problem = ReduceProblem::from_instance(instance).expect("valid problem");
     let solution = problem.solve().expect("LP solves");
     solution.verify(&problem).expect("exact feasibility");
-    println!("\noptimal aggregation rate TP = {} (~{:.4} per time-unit)",
-        solution.throughput(), solution.throughput().to_f64());
+    println!(
+        "\noptimal aggregation rate TP = {} (~{:.4} per time-unit)",
+        solution.throughput(),
+        solution.throughput().to_f64()
+    );
 
     let trees = solution.extract_trees(&problem).expect("trees");
     println!("aggregation uses {} reduction tree(s):", trees.len());
     for (i, wt) in trees.iter().enumerate() {
-        println!("  tree {i}: weight {}, {} transfers, {} combines",
-            wt.weight, wt.tree.num_transfers(), wt.tree.num_tasks());
+        println!(
+            "  tree {i}: weight {}, {} transfers, {} combines",
+            wt.weight,
+            wt.tree.num_transfers(),
+            wt.tree.num_tasks()
+        );
     }
 
     // A practical controller wants a short period: clamp it and report the loss.
@@ -59,7 +62,9 @@ fn main() {
     let report = execute_reduce_schedule(&problem, &schedule, solution.throughput(), &rat(2000, 1));
     println!(
         "\nsimulated 2000 time-units: {} aggregations ({} possible), efficiency {}",
-        report.completed_operations, report.upper_bound, report.efficiency()
+        report.completed_operations,
+        report.upper_bound,
+        report.efficiency()
     );
 
     // Classical alternatives.
@@ -70,6 +75,10 @@ fn main() {
     let bino =
         measure_pipelined_throughput(problem.platform(), &binomial_reduce(&problem, ops), ops)
             .expect("binomial tree");
-    println!("\nbaselines: flat-tree {:.4}, binomial {:.4}, steady-state {:.4}",
-        flat.throughput.to_f64(), bino.throughput.to_f64(), solution.throughput().to_f64());
+    println!(
+        "\nbaselines: flat-tree {:.4}, binomial {:.4}, steady-state {:.4}",
+        flat.throughput.to_f64(),
+        bino.throughput.to_f64(),
+        solution.throughput().to_f64()
+    );
 }

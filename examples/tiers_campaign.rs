@@ -19,8 +19,7 @@ fn main() {
     // minutes of solve time); by default the campaign keeps the first 6
     // participants (the target, logical index 4, is among them).  Pass
     // `--full` (or set STEADY_FULL_FIG9=1) to run the complete instance.
-    let full = std::env::args().any(|a| a == "--full")
-        || std::env::var("STEADY_FULL_FIG9").is_ok();
+    let full = std::env::args().any(|a| a == "--full") || std::env::var("STEADY_FULL_FIG9").is_ok();
     let mut instance = figure9();
     if !full {
         instance.participants.truncate(6);
@@ -43,9 +42,11 @@ fn main() {
     let start = Instant::now();
     let solution = problem.solve().expect("LP solves");
     let solve_time = start.elapsed();
-    println!("\noptimal steady-state throughput TP = {}  (~{:.4} reduces per time-unit)",
+    println!(
+        "\noptimal steady-state throughput TP = {}  (~{:.4} reduces per time-unit)",
         solution.throughput(),
-        solution.throughput().to_f64());
+        solution.throughput().to_f64()
+    );
     println!("LP solved in {solve_time:.2?}");
     solution.verify(&problem).expect("solution verifies exactly");
 
@@ -87,18 +88,12 @@ fn main() {
 
     // Compare against the classical baselines on the same platform.
     let ops = 20;
-    let flat = measure_pipelined_throughput(
-        problem.platform(),
-        &flat_tree_reduce(&problem, ops),
-        ops,
-    )
-    .expect("flat-tree baseline");
-    let binomial = measure_pipelined_throughput(
-        problem.platform(),
-        &binomial_reduce(&problem, ops),
-        ops,
-    )
-    .expect("binomial baseline");
+    let flat =
+        measure_pipelined_throughput(problem.platform(), &flat_tree_reduce(&problem, ops), ops)
+            .expect("flat-tree baseline");
+    let binomial =
+        measure_pipelined_throughput(problem.platform(), &binomial_reduce(&problem, ops), ops)
+            .expect("binomial baseline");
     println!("\nbaseline comparison (sustained throughput over {ops} pipelined operations):");
     println!("  steady-state optimum : {:.4}", solution.throughput().to_f64());
     println!("  flat-tree reduce     : {:.4}", flat.throughput.to_f64());

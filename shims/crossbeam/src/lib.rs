@@ -1,0 +1,92 @@
+//! Minimal offline stand-in for [`crossbeam`](https://crates.io/crates/crossbeam),
+//! used because this workspace builds without network access to a registry.
+//!
+//! Covers the two submodules the workspace consumes:
+//!
+//! * [`channel`] — unbounded multi-producer channels with `try_recv`, backed
+//!   by `std::sync::mpsc` (the workspace only ever keeps one consumer per
+//!   receiver, so mpsc semantics suffice);
+//! * [`thread`] — `scope`/`spawn` with crossbeam's signature (the spawn
+//!   closure receives the scope, and `scope` returns `Err` if any spawned
+//!   thread panicked), backed by `std::thread::scope`.
+
+/// Unbounded channels with crossbeam's module layout.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, SendError, Sender, TryRecvError};
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+/// Scoped threads with crossbeam's `|scope|`-receiving spawn closures.
+pub mod thread {
+    use std::any::Any;
+
+    /// Handle onto a scope, passed both to the `scope` closure and to every
+    /// spawned closure (crossbeam lets workers spawn siblings).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope again.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope; every thread spawned in it is joined before
+    /// `scope` returns.  Returns `Err` if any spawned thread panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn channel_roundtrip() {
+        let (tx, rx) = super::channel::unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.try_recv().unwrap(), 1);
+        assert_eq!(rx.try_recv().unwrap(), 2);
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn scope_joins_and_collects() {
+        let total = std::sync::atomic::AtomicU64::new(0);
+        super::thread::scope(|scope| {
+            for i in 1..=4u64 {
+                let total = &total;
+                scope.spawn(move |_| {
+                    total.fetch_add(i, std::sync::atomic::Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn scope_reports_worker_panics() {
+        let result = super::thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+}

@@ -126,8 +126,9 @@ fn gather_on_fat_tree_and_prefix_on_figure6_work_through_the_facade() {
     let gsol = gather.solve().expect("gather LP solves");
     gsol.verify(&gather).expect("gather solution verifies");
 
-    let scatter = ScatterProblem::from_instance(fat_tree_scatter_instance(&FatTreeConfig::default()))
-        .expect("valid scatter instance");
+    let scatter =
+        ScatterProblem::from_instance(fat_tree_scatter_instance(&FatTreeConfig::default()))
+            .expect("valid scatter instance");
     let ssol = scatter.solve().expect("scatter LP solves");
     assert!(ssol.throughput().is_positive());
 

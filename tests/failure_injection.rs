@@ -13,10 +13,7 @@ fn zero_cost_link_is_rejected() {
     p.add_edge(a, b, rat(0, 1));
     assert_eq!(p.validate(), Err(PlatformError::NonPositiveCost { edge: EdgeId(0) }));
     // Problem constructors propagate the platform error.
-    assert!(matches!(
-        ScatterProblem::new(p.clone(), a, vec![b]),
-        Err(CoreError::Platform(_))
-    ));
+    assert!(matches!(ScatterProblem::new(p.clone(), a, vec![b]), Err(CoreError::Platform(_))));
     assert!(matches!(
         ReduceProblem::new(p, vec![a, b], a, rat(1, 1), rat(1, 1)),
         Err(CoreError::Platform(_))
@@ -38,10 +35,7 @@ fn disconnected_scatter_target_is_rejected() {
     let c = p.add_node("c", rat(1, 1));
     p.add_edge(a, b, rat(1, 1));
     // c is unreachable from a.
-    assert!(matches!(
-        ScatterProblem::new(p, a, vec![b, c]),
-        Err(CoreError::Unreachable { .. })
-    ));
+    assert!(matches!(ScatterProblem::new(p, a, vec![b, c]), Err(CoreError::Unreachable { .. })));
 }
 
 #[test]
@@ -73,20 +67,17 @@ fn router_only_platform_cannot_reduce() {
 fn gossip_with_no_commodities_is_rejected() {
     let mut p = Platform::new();
     let a = p.add_node("a", rat(1, 1));
-    assert!(matches!(
-        GossipProblem::new(p, vec![a], vec![a]),
-        Err(CoreError::EmptyProblem)
-    ));
+    assert!(matches!(GossipProblem::new(p, vec![a], vec![a]), Err(CoreError::EmptyProblem)));
 }
 
 #[test]
 fn corrupt_platform_text_is_rejected() {
     for text in [
-        "node a",                 // missing speed
-        "node a one",             // invalid speed
-        "edge 0 1 1",             // edge before nodes exist
-        "node a 1\nedge 0 5 1",   // unknown destination
-        "frob a b c",             // unknown keyword
+        "node a",                         // missing speed
+        "node a one",                     // invalid speed
+        "edge 0 1 1",                     // edge before nodes exist
+        "node a 1\nedge 0 5 1",           // unknown destination
+        "frob a b c",                     // unknown keyword
         "node a 1\nnode b 1\nedge 0 1 0", // zero cost caught by validate()
     ] {
         assert!(Platform::from_text(text).is_err(), "accepted: {text}");
@@ -98,14 +89,8 @@ fn fixed_period_rejects_non_positive_periods() {
     let problem = ReduceProblem::from_instance(figure6()).unwrap();
     let solution = problem.solve().unwrap();
     let trees = solution.extract_trees(&problem).unwrap();
-    assert!(matches!(
-        approximate_for_period(&trees, &rat(0, 1)),
-        Err(CoreError::InvalidPeriod)
-    ));
-    assert!(matches!(
-        approximate_for_period(&trees, &rat(-1, 2)),
-        Err(CoreError::InvalidPeriod)
-    ));
+    assert!(matches!(approximate_for_period(&trees, &rat(0, 1)), Err(CoreError::InvalidPeriod)));
+    assert!(matches!(approximate_for_period(&trees, &rat(-1, 2)), Err(CoreError::InvalidPeriod)));
 }
 
 #[test]

@@ -1,0 +1,43 @@
+//! Workspace bring-up smoke test.
+//!
+//! Guards the whole rational → LP → core pipeline through the facade: the
+//! paper's Figure 2 scatter instance must solve to a steady-state throughput
+//! of exactly 1/2, and the periodic schedule built from that solution must
+//! validate under the one-port model and achieve the LP throughput.
+
+use steady_collectives::prelude::*;
+
+#[test]
+fn figure2_scatter_solves_to_one_half() {
+    let problem = ScatterProblem::from_instance(figure2()).expect("figure2 instance is valid");
+    let solution = problem.solve().expect("figure2 LP solves");
+    assert_eq!(
+        *solution.throughput(),
+        rat(1, 2),
+        "the paper's toy platform sustains one scatter every two time-units"
+    );
+}
+
+#[test]
+fn figure2_schedule_validates_under_one_port_model() {
+    let problem = ScatterProblem::from_instance(figure2()).expect("figure2 instance is valid");
+    let solution = problem.solve().expect("figure2 LP solves");
+    let schedule = solution.build_schedule(&problem).expect("schedule construction succeeds");
+    schedule
+        .validate(problem.platform())
+        .expect("schedule respects the one-port, full-overlap model");
+    assert_eq!(
+        schedule.throughput(),
+        *solution.throughput(),
+        "the constructed periodic schedule achieves the LP optimum"
+    );
+}
+
+#[test]
+fn facade_prelude_covers_the_exact_arithmetic_entry_points() {
+    // `rat`/`int`/`Ratio`/`BigInt` all come through the prelude and agree.
+    assert_eq!(rat(6, 12), rat(1, 2));
+    assert_eq!(int(3), rat(3, 1));
+    assert_eq!(Ratio::from_frac(1, 2) + Ratio::from_frac(1, 3), rat(5, 6));
+    assert_eq!(BigInt::from(6).gcd(&BigInt::from(4)), BigInt::from(2));
+}
