@@ -1,0 +1,50 @@
+//! Experiment SVC — the serving subsystem's own performance.
+//!
+//! This is the first bench target tracking a subsystem of the reproduction
+//! rather than a figure of the paper: it measures the three layers a served
+//! query crosses — canonical fingerprinting, a cache hit, and the cold LP
+//! solve the cache amortizes away — plus a full repetition-heavy load run
+//! (the number it prints is what CI snapshots into `BENCH_service.json`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use steady_bench::print_header;
+use steady_platform::generators::figure2;
+use steady_service::{
+    fingerprint, run_load, solve_query, Collective, LoadConfig, Query, Service, ServiceConfig,
+};
+
+fn figure2_query() -> Query {
+    let instance = figure2();
+    Query {
+        platform: instance.platform,
+        collective: Collective::Scatter { source: instance.source, targets: instance.targets },
+    }
+}
+
+fn reproduce() {
+    print_header("Service — sustained load over a repetition-heavy query mix");
+    let service = Service::start(ServiceConfig { workers: 4, ..ServiceConfig::default() });
+    let report =
+        run_load(&service, &LoadConfig { queries: 2000, clients: 4, distinct: 24, seed: 42 })
+            .expect("load run succeeds");
+    print!("{}", report.render());
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let query = figure2_query();
+    let mut group = c.benchmark_group("service");
+    group.bench_function("fingerprint_figure2", |b| b.iter(|| fingerprint(black_box(&query))));
+    group.bench_function("cold_solve_figure2", |b| {
+        b.iter(|| solve_query(black_box(&query), false).expect("solves"))
+    });
+    let service = Service::start(ServiceConfig { workers: 2, ..ServiceConfig::default() });
+    service.query(query.clone()).expect("warm the cache");
+    group.bench_function("cached_query_figure2", |b| {
+        b.iter(|| service.query(black_box(query.clone())).expect("cached"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -3,6 +3,7 @@
 pub mod demo;
 pub mod generate;
 pub mod info;
+pub mod serve_bench;
 pub mod solve;
 
 use std::path::Path;

@@ -1,0 +1,55 @@
+//! `steady serve-bench` — load-test the query-serving engine and report
+//! sustained throughput, latency percentiles and cache behaviour.
+
+use std::io::Write;
+
+use steady_service::{run_load, LoadConfig, Service, ServiceConfig};
+
+use crate::args::{OptionSpec, ParsedArgs};
+use crate::CliError;
+
+const SPEC: OptionSpec = OptionSpec {
+    valued: &[
+        "queries",
+        "clients",
+        "distinct",
+        "workers",
+        "cache-capacity",
+        "shards",
+        "seed",
+        "out",
+    ],
+    flags: &["schedules"],
+};
+
+/// Runs `steady serve-bench ...`.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let mut parsed = ParsedArgs::parse(args, &SPEC)?;
+    let load = LoadConfig {
+        queries: parsed.usize_value("queries", 1000)?,
+        clients: parsed.usize_value("clients", 4)?,
+        distinct: parsed.usize_value("distinct", 24)?,
+        seed: parsed.u64_value("seed", 42)?,
+    };
+    let mut config = ServiceConfig {
+        workers: parsed.usize_value("workers", 4)?,
+        build_schedules: parsed.flag("schedules"),
+        ..ServiceConfig::default()
+    };
+    config.cache.capacity = parsed.usize_value("cache-capacity", config.cache.capacity)?;
+    config.cache.shards = parsed.usize_value("shards", config.cache.shards)?;
+    let json_path = parsed.value("out").map(str::to_owned);
+
+    let service = Service::start(config);
+    let report = run_load(&service, &load)
+        .map_err(|e| CliError::Failed(format!("serve-bench load run failed: {e}")))?;
+
+    writeln!(out, "operation          : service load benchmark")?;
+    write!(out, "{}", report.render())?;
+    if let Some(path) = json_path {
+        std::fs::write(&path, report.to_json())
+            .map_err(|e| CliError::Failed(format!("cannot write report to '{path}': {e}")))?;
+        writeln!(out, "json report        : written to {path}")?;
+    }
+    Ok(())
+}

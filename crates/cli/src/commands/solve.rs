@@ -7,6 +7,8 @@ use steady_core::gossip::GossipProblem;
 use steady_core::prefix::PrefixProblem;
 use steady_core::reduce::ReduceProblem;
 use steady_core::scatter::ScatterProblem;
+use steady_core::schedule::PeriodicSchedule;
+use steady_platform::Platform;
 use steady_rational::rat;
 
 use crate::args::{OptionSpec, ParsedArgs};
@@ -28,6 +30,26 @@ const SPEC: OptionSpec = OptionSpec {
     ],
     flags: &["schedule", "trees", "verify"],
 };
+
+/// Maps any displayable solver error into [`CliError::Failed`] with a
+/// `"<what>: <cause>"` message — the one error-mapping idiom every
+/// per-collective handler shares.
+fn failed<E: std::fmt::Display>(what: &'static str) -> impl Fn(E) -> CliError {
+    move |e| CliError::Failed(format!("{what}: {e}"))
+}
+
+/// Validates `schedule` against `platform` and writes its rendering —
+/// the shared tail of every `--schedule` path.
+fn emit_schedule(
+    out: &mut dyn Write,
+    platform: &Platform,
+    schedule: &PeriodicSchedule,
+) -> Result<(), CliError> {
+    schedule.validate(platform).map_err(failed("schedule validation failed"))?;
+    writeln!(out, "--- periodic schedule ---")?;
+    write!(out, "{}", schedule.render(platform))?;
+    Ok(())
+}
 
 /// Runs `steady solve ...`.
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
@@ -55,29 +77,21 @@ fn scatter(parsed: &mut ParsedArgs, out: &mut dyn Write) -> Result<(), CliError>
     let want_verify = parsed.flag("verify");
 
     let problem = ScatterProblem::new(platform, source, targets)
-        .map_err(|e| CliError::Failed(format!("invalid scatter problem: {e}")))?;
-    let solution =
-        problem.solve().map_err(|e| CliError::Failed(format!("LP solve failed: {e}")))?;
+        .map_err(failed("invalid scatter problem"))?;
+    let solution = problem.solve().map_err(failed("LP solve failed"))?;
     writeln!(out, "operation          : series of scatters")?;
     writeln!(out, "source             : {}", problem.source())?;
     writeln!(out, "targets            : {}", node_list(problem.targets()))?;
     writeln!(out, "optimal throughput : {} operations per time-unit", solution.throughput())?;
     writeln!(out, "integer period     : {}", solution.period())?;
     if want_verify {
-        solution
-            .verify(&problem)
-            .map_err(|e| CliError::Failed(format!("solution verification failed: {e}")))?;
+        solution.verify(&problem).map_err(failed("solution verification failed"))?;
         writeln!(out, "verification       : all SSSP(G) constraints hold")?;
     }
     if want_schedule {
-        let schedule = solution
-            .build_schedule(&problem)
-            .map_err(|e| CliError::Failed(format!("schedule construction failed: {e}")))?;
-        schedule
-            .validate(problem.platform())
-            .map_err(|e| CliError::Failed(format!("schedule validation failed: {e}")))?;
-        writeln!(out, "--- periodic schedule ---")?;
-        write!(out, "{}", schedule.render(problem.platform()))?;
+        let schedule =
+            solution.build_schedule(&problem).map_err(failed("schedule construction failed"))?;
+        emit_schedule(out, problem.platform(), &schedule)?;
     }
     Ok(())
 }
@@ -89,30 +103,22 @@ fn gather(parsed: &mut ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> 
     let want_schedule = parsed.flag("schedule");
     let want_verify = parsed.flag("verify");
 
-    let problem = GatherProblem::new(platform, sources, sink)
-        .map_err(|e| CliError::Failed(format!("invalid gather problem: {e}")))?;
-    let solution =
-        problem.solve().map_err(|e| CliError::Failed(format!("LP solve failed: {e}")))?;
+    let problem =
+        GatherProblem::new(platform, sources, sink).map_err(failed("invalid gather problem"))?;
+    let solution = problem.solve().map_err(failed("LP solve failed"))?;
     writeln!(out, "operation          : series of gathers")?;
     writeln!(out, "sources            : {}", node_list(problem.sources()))?;
     writeln!(out, "sink               : {}", problem.sink())?;
     writeln!(out, "optimal throughput : {} operations per time-unit", solution.throughput())?;
     writeln!(out, "integer period     : {}", solution.period())?;
     if want_verify {
-        solution
-            .verify(&problem)
-            .map_err(|e| CliError::Failed(format!("solution verification failed: {e}")))?;
+        solution.verify(&problem).map_err(failed("solution verification failed"))?;
         writeln!(out, "verification       : all SSG(G) constraints hold")?;
     }
     if want_schedule {
-        let schedule = solution
-            .build_schedule(&problem)
-            .map_err(|e| CliError::Failed(format!("schedule construction failed: {e}")))?;
-        schedule
-            .validate(problem.platform())
-            .map_err(|e| CliError::Failed(format!("schedule validation failed: {e}")))?;
-        writeln!(out, "--- periodic schedule ---")?;
-        write!(out, "{}", schedule.render(problem.platform()))?;
+        let schedule =
+            solution.build_schedule(&problem).map_err(failed("schedule construction failed"))?;
+        emit_schedule(out, problem.platform(), &schedule)?;
     }
     Ok(())
 }
@@ -123,24 +129,18 @@ fn gossip(parsed: &mut ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> 
     let targets = parsed.node_list("targets")?;
     let want_schedule = parsed.flag("schedule");
 
-    let problem = GossipProblem::new(platform, sources, targets)
-        .map_err(|e| CliError::Failed(format!("invalid gossip problem: {e}")))?;
-    let solution =
-        problem.solve().map_err(|e| CliError::Failed(format!("LP solve failed: {e}")))?;
+    let problem =
+        GossipProblem::new(platform, sources, targets).map_err(failed("invalid gossip problem"))?;
+    let solution = problem.solve().map_err(failed("LP solve failed"))?;
     writeln!(out, "operation          : series of gossips (personalized all-to-all)")?;
     writeln!(out, "sources            : {}", node_list(problem.sources()))?;
     writeln!(out, "targets            : {}", node_list(problem.targets()))?;
     writeln!(out, "optimal throughput : {} operations per time-unit", solution.throughput())?;
     writeln!(out, "integer period     : {}", solution.period())?;
     if want_schedule {
-        let schedule = solution
-            .build_schedule(&problem)
-            .map_err(|e| CliError::Failed(format!("schedule construction failed: {e}")))?;
-        schedule
-            .validate(problem.platform())
-            .map_err(|e| CliError::Failed(format!("schedule validation failed: {e}")))?;
-        writeln!(out, "--- periodic schedule ---")?;
-        write!(out, "{}", schedule.render(problem.platform()))?;
+        let schedule =
+            solution.build_schedule(&problem).map_err(failed("schedule construction failed"))?;
+        emit_schedule(out, problem.platform(), &schedule)?;
     }
     Ok(())
 }
@@ -156,24 +156,19 @@ fn reduce(parsed: &mut ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> 
     let want_verify = parsed.flag("verify");
 
     let problem = ReduceProblem::new(platform, participants, target, size, task_cost)
-        .map_err(|e| CliError::Failed(format!("invalid reduce problem: {e}")))?;
-    let solution =
-        problem.solve().map_err(|e| CliError::Failed(format!("LP solve failed: {e}")))?;
+        .map_err(failed("invalid reduce problem"))?;
+    let solution = problem.solve().map_err(failed("LP solve failed"))?;
     writeln!(out, "operation          : series of reduces")?;
     writeln!(out, "participants       : {}", node_list(problem.participants()))?;
     writeln!(out, "target             : {}", problem.target())?;
     writeln!(out, "optimal throughput : {} operations per time-unit", solution.throughput())?;
     writeln!(out, "integer period     : {}", solution.period())?;
     if want_verify {
-        solution
-            .verify(&problem)
-            .map_err(|e| CliError::Failed(format!("solution verification failed: {e}")))?;
+        solution.verify(&problem).map_err(failed("solution verification failed"))?;
         writeln!(out, "verification       : all SSR(G) constraints hold")?;
     }
     if want_trees || want_schedule {
-        let trees = solution
-            .extract_trees(&problem)
-            .map_err(|e| CliError::Failed(format!("tree extraction failed: {e}")))?;
+        let trees = solution.extract_trees(&problem).map_err(failed("tree extraction failed"))?;
         if want_trees {
             writeln!(out, "--- reduction trees ({}) ---", trees.len())?;
             for (i, wt) in trees.iter().enumerate() {
@@ -189,12 +184,8 @@ fn reduce(parsed: &mut ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> 
         if want_schedule {
             let schedule = solution
                 .build_schedule_from_trees(&problem, &trees)
-                .map_err(|e| CliError::Failed(format!("schedule construction failed: {e}")))?;
-            schedule
-                .validate(problem.platform())
-                .map_err(|e| CliError::Failed(format!("schedule validation failed: {e}")))?;
-            writeln!(out, "--- periodic schedule ---")?;
-            write!(out, "{}", schedule.render(problem.platform()))?;
+                .map_err(failed("schedule construction failed"))?;
+            emit_schedule(out, problem.platform(), &schedule)?;
         }
     }
     Ok(())
@@ -208,26 +199,18 @@ fn prefix(parsed: &mut ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> 
     let want_schedule = parsed.flag("schedule");
 
     let problem = PrefixProblem::new(platform, participants, size, task_cost)
-        .map_err(|e| CliError::Failed(format!("invalid prefix problem: {e}")))?;
-    let solution =
-        problem.solve().map_err(|e| CliError::Failed(format!("LP solve failed: {e}")))?;
-    let upper = problem
-        .upper_bound()
-        .map_err(|e| CliError::Failed(format!("upper-bound computation failed: {e}")))?;
+        .map_err(failed("invalid prefix problem"))?;
+    let solution = problem.solve().map_err(failed("LP solve failed"))?;
+    let upper = problem.upper_bound().map_err(failed("upper-bound computation failed"))?;
     writeln!(out, "operation          : series of parallel prefixes")?;
     writeln!(out, "participants       : {}", node_list(problem.participants()))?;
     writeln!(out, "achieved throughput: {} operations per time-unit", solution.throughput())?;
     writeln!(out, "upper bound        : {} (best single-rank reduce)", upper)?;
     writeln!(out, "integer period     : {}", solution.period())?;
     if want_schedule {
-        let schedule = solution
-            .build_schedule(&problem)
-            .map_err(|e| CliError::Failed(format!("schedule construction failed: {e}")))?;
-        schedule
-            .validate(problem.platform())
-            .map_err(|e| CliError::Failed(format!("schedule validation failed: {e}")))?;
-        writeln!(out, "--- periodic schedule ---")?;
-        write!(out, "{}", schedule.render(problem.platform()))?;
+        let schedule =
+            solution.build_schedule(&problem).map_err(failed("schedule construction failed"))?;
+        emit_schedule(out, problem.platform(), &schedule)?;
     }
     Ok(())
 }

@@ -77,6 +77,8 @@ USAGE:
   steady generate TOPO  [--out FILE] [topology options]
           TOPO ∈ {star, chain, clique, grid, ring, torus, hypercube, fat-tree,
                   dumbbell, random, geometric, tiers}
+  steady serve-bench    [--queries N] [--clients N] [--distinct N] [--workers N]
+                        [--cache-capacity N] [--shards N] [--seed N] [--out FILE] [--schedules]
   steady demo NAME      NAME ∈ {figure2, figure6, figure9}
   steady info           --platform FILE [--dot]
   steady help
@@ -98,6 +100,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             Ok(())
         }
         "solve" => commands::solve::run(rest, out),
+        "serve-bench" => commands::serve_bench::run(rest, out),
         "generate" => commands::generate::run(rest, out),
         "demo" => commands::demo::run(rest, out),
         "info" => commands::info::run(rest, out),
@@ -119,7 +122,7 @@ mod tests {
     #[test]
     fn help_lists_every_command() {
         let text = run_to_string(&["help"]).unwrap();
-        for needle in ["solve scatter", "solve reduce", "generate", "demo", "info"] {
+        for needle in ["solve scatter", "solve reduce", "serve-bench", "generate", "demo", "info"] {
             assert!(text.contains(needle), "help misses '{needle}'");
         }
     }

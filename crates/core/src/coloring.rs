@@ -4,7 +4,7 @@
 //! platform edge carries an aggregate communication time per period.  To turn
 //! those aggregate loads into an explicit schedule respecting the one-port
 //! model, the paper (§3.3, following Schrijver vol. A ch. 20 and the companion
-//! report [4]) builds a bipartite graph with one *sender* and one *receiver*
+//! report \[4\]) builds a bipartite graph with one *sender* and one *receiver*
 //! vertex per processor and decomposes it into weighted **matchings**: a
 //! matching is a set of transfers that can run simultaneously because no two
 //! of them share a sender or a receiver.

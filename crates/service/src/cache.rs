@@ -1,0 +1,262 @@
+//! Sharded in-memory solution cache with LRU eviction.
+//!
+//! The cache maps canonical fingerprints to [`Answer`]s.  Keys are spread
+//! over independently locked shards so concurrent lookups from the worker
+//! pool do not contend on a single lock; within a shard, reads take the
+//! shared side of a [`parking_lot::RwLock`] and recency is tracked with a
+//! per-entry atomic timestamp so hits never need the exclusive side.
+//! Eviction is least-recently-used per shard.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::query::Answer;
+
+/// Sizing of a [`SolutionCache`].
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Upper bound on the number of cached answers across all shards — never
+    /// exceeded.  The bound is enforced as a per-shard quota of
+    /// `capacity / shards` (shard count is reduced when `capacity` is
+    /// smaller than the shard count), so a shard may evict while another
+    /// still has room; with keys that are already hashes the spread is even
+    /// and the effective capacity stays close to the bound.
+    pub capacity: usize,
+    /// Number of shards (rounded up to a power of two, at least 1, at most
+    /// `capacity`).
+    pub shards: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig { capacity: 1024, shards: 16 }
+    }
+}
+
+/// Monotonic counters describing the cache's behaviour so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Answers stored.
+    pub insertions: u64,
+    /// Entries displaced to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when none happened).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    answer: Arc<Answer>,
+    last_used: AtomicU64,
+}
+
+/// A sharded fingerprint → [`Answer`] cache with per-shard LRU eviction.
+pub struct SolutionCache {
+    shards: Vec<RwLock<HashMap<u64, Entry>>>,
+    shard_mask: u64,
+    per_shard_capacity: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl SolutionCache {
+    /// Creates an empty cache.
+    pub fn new(config: &CacheConfig) -> Self {
+        let capacity = config.capacity.max(1);
+        let mut shards = config.shards.max(1).next_power_of_two();
+        while shards > capacity {
+            shards /= 2;
+        }
+        // shards <= capacity, so the floor quota is >= 1 and
+        // shards * per_shard_capacity <= capacity.
+        let per_shard_capacity = capacity / shards;
+        SolutionCache {
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            shard_mask: shards as u64 - 1,
+            per_shard_capacity,
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &RwLock<HashMap<u64, Entry>> {
+        // The fingerprint is already a hash; fold the high bits in so shard
+        // choice is not just the low bits the HashMap also keys on.
+        let idx = ((key >> 32) ^ key) & self.shard_mask;
+        &self.shards[idx as usize]
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Looks up `key`, updating recency and the hit/miss counters.
+    pub fn get(&self, key: u64) -> Option<Arc<Answer>> {
+        let shard = self.shard(key).read();
+        match shard.get(&key) {
+            Some(entry) => {
+                entry.last_used.store(self.tick(), Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.answer))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Looks up `key` without touching the hit/miss counters (recency is
+    /// still updated).
+    ///
+    /// The engine uses this to re-check the cache while holding the
+    /// single-flight admission lock: the initial lookup already recorded a
+    /// miss for the query, so this second look must not count again —
+    /// `hits + misses` stays equal to the number of queries.
+    pub fn peek(&self, key: u64) -> Option<Arc<Answer>> {
+        let shard = self.shard(key).read();
+        let entry = shard.get(&key)?;
+        entry.last_used.store(self.tick(), Ordering::Relaxed);
+        Some(Arc::clone(&entry.answer))
+    }
+
+    /// Stores `answer` under `key`, evicting the least recently used entry of
+    /// the shard if it is full.
+    pub fn insert(&self, key: u64, answer: Arc<Answer>) {
+        let mut shard = self.shard(key).write();
+        if !shard.contains_key(&key) && shard.len() >= self.per_shard_capacity {
+            if let Some(victim) = shard
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used.load(Ordering::Relaxed))
+                .map(|(&k, _)| k)
+            {
+                shard.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let entry = Entry { answer, last_used: AtomicU64::new(self.tick()) };
+        if shard.insert(key, entry).is_none() {
+            self.insertions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of cached answers.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the hit/miss/insertion/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::Fingerprint;
+    use steady_rational::rat;
+
+    fn answer(key: u64) -> Arc<Answer> {
+        Arc::new(Answer {
+            fingerprint: Fingerprint(key),
+            platform: steady_platform::Platform::new(),
+            throughput: rat(key as i64, 1),
+            schedule: None,
+        })
+    }
+
+    #[test]
+    fn get_insert_roundtrip_and_counters() {
+        let cache = SolutionCache::new(&CacheConfig { capacity: 8, shards: 2 });
+        assert!(cache.get(1).is_none());
+        cache.insert(1, answer(1));
+        let got = cache.get(1).expect("present");
+        assert_eq!(got.throughput, rat(1, 1));
+        assert_eq!(cache.len(), 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+        assert!((stats.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_stale_entries() {
+        // One shard of capacity 2 so eviction order is fully observable.
+        let cache = SolutionCache::new(&CacheConfig { capacity: 2, shards: 1 });
+        cache.insert(1, answer(1));
+        cache.insert(2, answer(2));
+        // Touch key 1 so key 2 becomes the LRU victim.
+        assert!(cache.get(1).is_some());
+        cache.insert(3, answer(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(2).is_none(), "the stale entry was evicted");
+        assert!(cache.get(3).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_overwrites_without_eviction() {
+        let cache = SolutionCache::new(&CacheConfig { capacity: 1, shards: 1 });
+        cache.insert(7, answer(7));
+        cache.insert(7, answer(8));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.get(7).unwrap().throughput, rat(8, 1));
+    }
+
+    #[test]
+    fn total_capacity_is_never_exceeded() {
+        // More shards than capacity: the shard count must shrink so the
+        // global bound holds instead of each shard granting a free slot.
+        let cache = SolutionCache::new(&CacheConfig { capacity: 5, shards: 16 });
+        for key in 0..100u64 {
+            cache.insert(key, answer(key));
+            assert!(cache.len() <= 5, "len {} exceeds capacity", cache.len());
+        }
+        assert!(cache.stats().evictions > 0);
+    }
+
+    #[test]
+    fn peek_does_not_touch_counters() {
+        let cache = SolutionCache::new(&CacheConfig::default());
+        assert!(cache.peek(5).is_none());
+        cache.insert(5, answer(5));
+        assert!(cache.peek(5).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0));
+        assert!(!cache.is_empty());
+    }
+}

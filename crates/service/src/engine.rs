@@ -1,0 +1,457 @@
+//! The serving engine: a worker pool with single-flight deduplication.
+//!
+//! Queries are submitted to an unbounded crossbeam channel and picked up by a
+//! fixed pool of worker threads (the threaded-executor shape: workers share
+//! one receiver and a common stop condition — here, channel disconnection).
+//! Each worker:
+//!
+//! 1. fingerprints the query and consults the [`SolutionCache`];
+//! 2. on a miss, checks the **in-flight table**: if an identical (isomorphic)
+//!    query is already being solved, the reply channel is parked on that
+//!    solve instead of stampeding the LP — *single-flight* deduplication;
+//! 3. otherwise solves cold, publishes the answer to the cache, and fans the
+//!    result out to every parked waiter.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use steady_platform::Platform;
+
+use crate::cache::{CacheConfig, CacheStats, SolutionCache};
+use crate::query::{solve_prepared, Answer, Query};
+use crate::ServiceError;
+
+/// Configuration of a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Number of worker threads (0 means one per available CPU).
+    pub workers: usize,
+    /// Solution-cache sizing.
+    pub cache: CacheConfig,
+    /// Whether answers include an explicit periodic schedule (slower solves,
+    /// richer answers).
+    pub build_schedules: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig { workers: 4, cache: CacheConfig::default(), build_schedules: false }
+    }
+}
+
+/// How a particular response was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedVia {
+    /// Found in the solution cache.
+    Cache,
+    /// Solved cold by the responding worker.
+    Solve,
+    /// Parked on another query's in-flight solve (single-flight dedup).
+    Coalesced,
+}
+
+/// A successful response: the (shared) answer plus how it was obtained.
+#[derive(Debug, Clone)]
+pub struct Served {
+    /// The answer, shared with the cache and any coalesced waiters.
+    pub answer: Arc<Answer>,
+    /// How this particular response was produced.
+    pub via: ServedVia,
+}
+
+/// Result type delivered on a response channel.
+pub type ServeResult = Result<Served, ServiceError>;
+
+/// Counters describing a service's traffic so far.  Cache counters are
+/// folded in: `hits + misses == queries` for well-formed queries (coalesced
+/// queries count as misses — they reached the in-flight table).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceStats {
+    /// Queries accepted by workers.
+    pub queries: u64,
+    /// Responses served straight from the cache.
+    pub hits: u64,
+    /// Cache lookups that found nothing.
+    pub misses: u64,
+    /// Queries parked on an identical in-flight solve.
+    pub coalesced: u64,
+    /// Cold LP solves performed.
+    pub solves: u64,
+    /// Error responses delivered (bad query, infeasible problem or panicked
+    /// solve; coalesced waiters on a failed solve count once each).
+    pub errors: u64,
+    /// Answers inserted into the cache.
+    pub insertions: u64,
+    /// Cache entries displaced by LRU eviction.
+    pub evictions: u64,
+    /// Answers currently cached.
+    pub cached_entries: usize,
+}
+
+impl ServiceStats {
+    /// Fraction of cache lookups that hit (0 when none happened).
+    pub fn hit_ratio(&self) -> f64 {
+        CacheStats { hits: self.hits, misses: self.misses, ..CacheStats::default() }.hit_ratio()
+    }
+
+    /// Counter increments between the `earlier` snapshot and this one, for
+    /// isolating one load run on a service that has already served traffic.
+    /// `cached_entries` is a gauge, not a counter, and keeps this snapshot's
+    /// value.
+    pub fn since(&self, earlier: &ServiceStats) -> ServiceStats {
+        ServiceStats {
+            queries: self.queries.saturating_sub(earlier.queries),
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            coalesced: self.coalesced.saturating_sub(earlier.coalesced),
+            solves: self.solves.saturating_sub(earlier.solves),
+            errors: self.errors.saturating_sub(earlier.errors),
+            insertions: self.insertions.saturating_sub(earlier.insertions),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            cached_entries: self.cached_entries,
+        }
+    }
+}
+
+struct Job {
+    query: Query,
+    reply: Sender<ServeResult>,
+}
+
+/// A query parked on another query's in-flight solve.  The platform is kept
+/// so the fan-out can strip the schedule when the waiter's numbering differs
+/// from the solver's (see [`tailor`]).
+struct Waiter {
+    platform: Platform,
+    reply: Sender<ServeResult>,
+}
+
+type InFlight = Mutex<HashMap<u64, Vec<Waiter>>>;
+
+/// Adapts a shared answer to one caller: schedules are expressed in the node
+/// numbering of the platform they were solved on, so a caller holding an
+/// isomorphic but differently numbered platform gets the answer with the
+/// schedule stripped (throughput is numbering-invariant and always served).
+fn tailor(answer: &Arc<Answer>, platform: &Platform) -> Arc<Answer> {
+    if answer.schedule.is_none() || answer.platform == *platform {
+        Arc::clone(answer)
+    } else {
+        Arc::new(Answer {
+            fingerprint: answer.fingerprint,
+            platform: answer.platform.clone(),
+            throughput: answer.throughput.clone(),
+            schedule: None,
+        })
+    }
+}
+
+struct Shared {
+    cache: SolutionCache,
+    in_flight: InFlight,
+    build_schedules: bool,
+    queries: AtomicU64,
+    coalesced: AtomicU64,
+    solves: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// A running query-serving engine.  Dropping the service disconnects the
+/// submission channel and joins every worker.
+pub struct Service {
+    submit: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl Service {
+    /// Starts the worker pool described by `config`.
+    pub fn start(config: ServiceConfig) -> Service {
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            config.workers
+        };
+        let shared = Arc::new(Shared {
+            cache: SolutionCache::new(&config.cache),
+            in_flight: Mutex::new(HashMap::new()),
+            build_schedules: config.build_schedules,
+            queries: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            solves: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        });
+        let (submit, jobs) = unbounded::<Job>();
+        let jobs = Arc::new(Mutex::new(jobs));
+        let workers = (0..workers)
+            .map(|i| {
+                let jobs = Arc::clone(&jobs);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("steady-service-{i}"))
+                    .spawn(move || worker_loop(&jobs, &shared))
+                    .expect("spawning a service worker")
+            })
+            .collect();
+        Service { submit: Some(submit), workers, shared }
+    }
+
+    /// Enqueues `query` and returns the channel its response will arrive on.
+    pub fn submit(&self, query: Query) -> Receiver<ServeResult> {
+        let (reply, response) = unbounded();
+        let submit = self.submit.as_ref().expect("service is running");
+        submit.send(Job { query, reply }).expect("workers outlive the submission side");
+        response
+    }
+
+    /// Submits `query` and blocks until its response arrives.
+    pub fn query(&self, query: Query) -> ServeResult {
+        self.submit(query)
+            .recv()
+            .map_err(|_| ServiceError("the service shut down before responding".into()))?
+    }
+
+    /// A snapshot of the service's counters.
+    pub fn stats(&self) -> ServiceStats {
+        let cache = self.shared.cache.stats();
+        ServiceStats {
+            queries: self.shared.queries.load(Ordering::Relaxed),
+            hits: cache.hits,
+            misses: cache.misses,
+            coalesced: self.shared.coalesced.load(Ordering::Relaxed),
+            solves: self.shared.solves.load(Ordering::Relaxed),
+            errors: self.shared.errors.load(Ordering::Relaxed),
+            insertions: cache.insertions,
+            evictions: cache.evictions,
+            cached_entries: self.shared.cache.len(),
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        // Disconnect the channel so idle workers' recv() fails and they exit.
+        self.submit = None;
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(jobs: &Mutex<Receiver<Job>>, shared: &Shared) {
+    loop {
+        // The receiver lock is held only while waiting for the next job, not
+        // while serving it, so dispatch is serialized but solves overlap.
+        let job = match jobs.lock().recv() {
+            Ok(job) => job,
+            Err(_) => return,
+        };
+        // A panicking solve must not shrink the pool: contain it here.  The
+        // panicking job's reply sender is dropped during unwinding, so its
+        // caller sees a disconnect error rather than a hang; parked waiters
+        // are released by the in-flight drop guard inside `serve`.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| serve(shared, job)));
+    }
+}
+
+/// Removes an in-flight entry when dropped, failing any parked waiters.
+///
+/// `serve` disarms the guard on the normal path (after fanning the real
+/// outcome out); if the solve panics, the guard runs during unwinding so the
+/// key does not stay in the table forever — without it, every waiter would
+/// block indefinitely and all future queries for the fingerprint would park
+/// on a solve that no longer exists.
+struct InFlightGuard<'a> {
+    shared: &'a Shared,
+    key: u64,
+    armed: bool,
+}
+
+impl InFlightGuard<'_> {
+    fn disarm(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let waiters = self.shared.in_flight.lock().remove(&self.key).unwrap_or_default();
+        // The solver's own query failed too: one error for it (its reply
+        // sender dies with the unwinding stack) plus one per parked waiter.
+        self.shared.errors.fetch_add(1 + waiters.len() as u64, Ordering::Relaxed);
+        for waiter in waiters {
+            let _ =
+                waiter.reply.send(Err(ServiceError("the solve for this query panicked".into())));
+        }
+    }
+}
+
+fn serve(shared: &Shared, job: Job) {
+    shared.queries.fetch_add(1, Ordering::Relaxed);
+    if let Err(e) = job.query.validate() {
+        shared.errors.fetch_add(1, Ordering::Relaxed);
+        let _ = job.reply.send(Err(e));
+        return;
+    }
+    let fingerprint = job.query.fingerprint();
+    let key = fingerprint.0;
+
+    if let Some(answer) = shared.cache.get(key) {
+        let answer = tailor(&answer, &job.query.platform);
+        let _ = job.reply.send(Ok(Served { answer, via: ServedVia::Cache }));
+        return;
+    }
+
+    // Single-flight admission: park on an identical in-flight solve, or
+    // register ourselves as the solver for this key.
+    {
+        let mut in_flight = shared.in_flight.lock();
+        // The solve may have completed between the miss above and taking the
+        // lock; re-check (without double-counting the miss) before admitting.
+        if let Some(answer) = shared.cache.peek(key) {
+            let answer = tailor(&answer, &job.query.platform);
+            let _ = job.reply.send(Ok(Served { answer, via: ServedVia::Cache }));
+            return;
+        }
+        if let Some(waiters) = in_flight.get_mut(&key) {
+            waiters.push(Waiter { platform: job.query.platform, reply: job.reply });
+            shared.coalesced.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        in_flight.insert(key, Vec::new());
+    }
+    let mut guard = InFlightGuard { shared, key, armed: true };
+
+    shared.solves.fetch_add(1, Ordering::Relaxed);
+    // The query was already validated and fingerprinted above; solve_prepared
+    // skips redoing both on the hot path.
+    let outcome = match solve_prepared(&job.query, fingerprint, shared.build_schedules) {
+        Ok(answer) => {
+            let answer = Arc::new(answer);
+            shared.cache.insert(key, Arc::clone(&answer));
+            Ok(answer)
+        }
+        Err(e) => Err(e),
+    };
+
+    let waiters = shared.in_flight.lock().remove(&key).unwrap_or_default();
+    guard.disarm();
+    if outcome.is_err() {
+        // One error response per caller: the solver's own plus every waiter.
+        shared.errors.fetch_add(1 + waiters.len() as u64, Ordering::Relaxed);
+    }
+    // The solver's own job gets the full answer (it is the numbering the
+    // schedule was built in); waiters get it tailored to their platforms.
+    let respond = |platform: Option<&Platform>, via: ServedVia| match &outcome {
+        Ok(answer) => Ok(Served {
+            answer: platform.map_or_else(|| Arc::clone(answer), |p| tailor(answer, p)),
+            via,
+        }),
+        Err(e) => Err(e.clone()),
+    };
+    let _ = job.reply.send(respond(None, ServedVia::Solve));
+    for waiter in waiters {
+        let _ = waiter.reply.send(respond(Some(&waiter.platform), ServedVia::Coalesced));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Collective;
+    use steady_platform::generators::figure2;
+    use steady_platform::NodeId;
+    use steady_rational::rat;
+
+    fn figure2_query() -> Query {
+        let instance = figure2();
+        Query {
+            platform: instance.platform,
+            collective: Collective::Scatter { source: instance.source, targets: instance.targets },
+        }
+    }
+
+    #[test]
+    fn second_identical_query_hits_the_cache() {
+        let service = Service::start(ServiceConfig { workers: 2, ..ServiceConfig::default() });
+        let first = service.query(figure2_query()).unwrap();
+        assert_eq!(first.via, ServedVia::Solve);
+        assert_eq!(first.answer.throughput, rat(1, 2));
+        let second = service.query(figure2_query()).unwrap();
+        assert_eq!(second.via, ServedVia::Cache);
+        assert_eq!(second.answer.throughput, rat(1, 2));
+        let stats = service.stats();
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.solves, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.cached_entries, 1);
+    }
+
+    #[test]
+    fn schedules_are_built_when_configured() {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            build_schedules: true,
+            ..ServiceConfig::default()
+        });
+        let served = service.query(figure2_query()).unwrap();
+        let schedule = served.answer.schedule.as_ref().expect("schedule built");
+        assert_eq!(schedule.throughput(), rat(1, 2));
+    }
+
+    #[test]
+    fn relabeled_cache_hits_drop_the_schedule_but_keep_the_throughput() {
+        use crate::fingerprint::permuted_platform;
+
+        let service = Service::start(ServiceConfig {
+            workers: 2,
+            build_schedules: true,
+            ..ServiceConfig::default()
+        });
+        let cold = service.query(figure2_query()).unwrap();
+        assert!(cold.answer.schedule.is_some(), "solver's own numbering keeps the schedule");
+
+        // The same query with every node renumbered: same fingerprint, same
+        // throughput, but the cached schedule's node ids would be wrong.
+        let instance = figure2();
+        let perm = [4, 0, 1, 2, 3];
+        let relabeled = Query {
+            platform: permuted_platform(&instance.platform, &perm),
+            collective: Collective::Scatter {
+                source: NodeId(perm[instance.source.index()]),
+                targets: instance.targets.iter().map(|t| NodeId(perm[t.index()])).collect(),
+            },
+        };
+        let served = service.query(relabeled).unwrap();
+        assert_eq!(served.via, ServedVia::Cache);
+        assert_eq!(served.answer.throughput, cold.answer.throughput);
+        assert!(served.answer.schedule.is_none(), "foreign numbering must not get a schedule");
+
+        // An exact repeat still gets the schedule.
+        let repeat = service.query(figure2_query()).unwrap();
+        assert_eq!(repeat.via, ServedVia::Cache);
+        assert!(repeat.answer.schedule.is_some());
+    }
+
+    #[test]
+    fn invalid_queries_get_error_responses() {
+        let service = Service::start(ServiceConfig { workers: 1, ..ServiceConfig::default() });
+        let mut query = figure2_query();
+        query.collective = Collective::Scatter { source: NodeId(42), targets: vec![NodeId(1)] };
+        assert!(service.query(query).is_err());
+        assert_eq!(service.stats().errors, 1);
+    }
+
+    #[test]
+    fn shutdown_joins_workers() {
+        let service = Service::start(ServiceConfig { workers: 3, ..ServiceConfig::default() });
+        let _ = service.query(figure2_query()).unwrap();
+        drop(service); // must not hang
+    }
+}

@@ -1,0 +1,412 @@
+//! Canonical, relabeling-invariant fingerprints of throughput queries.
+//!
+//! Two queries that differ only by a renumbering of the platform's nodes
+//! describe the same steady-state problem and have the same optimal
+//! throughput, so they should map to a single cache key.  The fingerprint is
+//! built from a Weisfeiler–Leman color refinement of the platform graph:
+//!
+//! 1. every node starts with a color derived from its compute speed and its
+//!    *role* in the query (source, target, sink, participant with rank, ...);
+//! 2. colors are refined for `|V|` rounds — a node's next color hashes its
+//!    current color together with the **sorted multisets** of
+//!    `(edge cost, neighbor color)` pairs over its outgoing and incoming
+//!    edges;
+//! 3. the fingerprint hashes the sorted multiset of final colors together
+//!    with the collective kind and its scalar parameters.
+//!
+//! Every per-node quantity enters through a sorted multiset, so the result is
+//! invariant under any permutation of node indices — isomorphic queries
+//! *always* share a fingerprint.  The converse is deliberately approximate:
+//! color refinement is the 1-WL test, which cannot separate certain highly
+//! symmetric non-isomorphic graphs (the classic pair is `K_{3,3}` versus the
+//! triangular prism).  To break exactly that class, each node's initial color
+//! also includes its directed-triangle count (a bipartite platform has none,
+//! a prism-like one does).  Distinct speeds, edge costs or roles reach every
+//! refinement round, so collisions require platforms that are
+//! simultaneously WL-equivalent, triangle-equivalent and parameter-identical
+//! — or a 64-bit hash collision.  That residual risk is the cache-key
+//! trade-off this module makes; callers needing certainty can re-verify a
+//! cached answer against a cold solve.  Node *names* are deliberately
+//! ignored: the fingerprint is structural.
+//!
+//! Hashing uses FNV-1a, hand-rolled so fingerprints are stable across
+//! processes and runs (unlike `std`'s randomly keyed `DefaultHasher`).
+
+use std::fmt;
+
+use steady_platform::{NodeId, Platform};
+use steady_rational::Ratio;
+
+use crate::query::{Collective, Query};
+
+/// A 64-bit canonical fingerprint of a [`Query`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fingerprint(pub u64);
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Incremental FNV-1a hasher over 64-bit words and byte strings.
+struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv(Self::OFFSET)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn word(&mut self, word: u64) {
+        self.bytes(&word.to_le_bytes());
+    }
+
+    fn ratio(&mut self, r: &Ratio) {
+        // Ratios are kept in lowest terms, so the textual numerator/denominator
+        // pair is a canonical encoding of the value.
+        self.bytes(r.numer().to_string().as_bytes());
+        self.bytes(b"/");
+        self.bytes(r.denom().to_string().as_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Role bits mixed into a node's initial color.  A node may hold several
+/// roles at once (e.g. a reduce target that also contributes a value).
+mod role {
+    pub const SOURCE: u64 = 1 << 0;
+    pub const TARGET: u64 = 1 << 1;
+    pub const SINK: u64 = 1 << 2;
+    pub const PARTICIPANT: u64 = 1 << 3;
+    /// Prefix participants are *ordered* (participant `i` receives the
+    /// reduction of ranks `0..=i`), so their rank is part of the role.
+    pub const RANK_BASE: u64 = 1 << 8;
+}
+
+/// Number of directed triangles through each node: ordered pairs `(u, w)`
+/// with edges `v -> u`, `u -> w`, `w -> v`.  A permutation-invariant seed
+/// that separates bipartite platforms from triangle-bearing ones — the
+/// graph class plain 1-WL refinement is blind to.
+fn directed_triangle_counts(platform: &Platform) -> Vec<u64> {
+    platform
+        .node_ids()
+        .map(|v| {
+            let mut count = 0u64;
+            for &e1 in platform.out_edges(v) {
+                let u = platform.edge(e1).to;
+                for &e2 in platform.out_edges(u) {
+                    let w = platform.edge(e2).to;
+                    if w != v && platform.edge_between(w, v).is_some() {
+                        count += 1;
+                    }
+                }
+            }
+            count
+        })
+        .collect()
+}
+
+/// Number of distinct values in `colors` (the size of the color partition).
+fn distinct_count(colors: &[u64]) -> usize {
+    let mut sorted = colors.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+/// Weisfeiler–Leman canonical hash of `platform` with per-node role labels.
+fn canonical_platform_hash(platform: &Platform, roles: &[u64]) -> u64 {
+    let n = platform.num_nodes();
+    let triangles = directed_triangle_counts(platform);
+    // Edge-cost hashes are loop-invariant; hashing a `Ratio` allocates
+    // (BigInt-to-string), so pay for each edge once, not once per round.
+    let edge_cost_hash: Vec<u64> = platform
+        .edge_ids()
+        .map(|e| {
+            let mut h = Fnv::new();
+            h.ratio(&platform.edge(e).cost);
+            h.finish()
+        })
+        .collect();
+    let mut colors: Vec<u64> = (0..n)
+        .map(|i| {
+            let mut h = Fnv::new();
+            h.ratio(&platform.node(NodeId(i)).speed);
+            h.word(roles[i]);
+            h.word(triangles[i]);
+            h.finish()
+        })
+        .collect();
+
+    // Refinement only ever splits color classes, so once the class count
+    // stops growing the partition is stable and further rounds are no-ops.
+    // The class count is an isomorphism invariant, so isomorphic platforms
+    // exit after the same number of rounds with matching color multisets.
+    let mut classes = distinct_count(&colors);
+    for _round in 0..n {
+        let mut next = Vec::with_capacity(n);
+        for i in 0..n {
+            let node = NodeId(i);
+            let neighbor_hash = |e: &steady_platform::EdgeId, color: u64| {
+                let mut h = Fnv::new();
+                h.word(edge_cost_hash[e.index()]);
+                h.word(color);
+                h.finish()
+            };
+            let mut out: Vec<u64> = platform
+                .out_edges(node)
+                .iter()
+                .map(|e| neighbor_hash(e, colors[platform.edge(*e).to.index()]))
+                .collect();
+            let mut inc: Vec<u64> = platform
+                .in_edges(node)
+                .iter()
+                .map(|e| neighbor_hash(e, colors[platform.edge(*e).from.index()]))
+                .collect();
+            out.sort_unstable();
+            inc.sort_unstable();
+            let mut h = Fnv::new();
+            h.word(colors[i]);
+            h.bytes(b"out");
+            for w in out {
+                h.word(w);
+            }
+            h.bytes(b"in");
+            for w in inc {
+                h.word(w);
+            }
+            next.push(h.finish());
+        }
+        colors = next;
+        let refined = distinct_count(&colors);
+        if refined == classes {
+            break;
+        }
+        classes = refined;
+    }
+
+    colors.sort_unstable();
+    let mut h = Fnv::new();
+    h.word(n as u64);
+    h.word(platform.num_edges() as u64);
+    for c in colors {
+        h.word(c);
+    }
+    h.finish()
+}
+
+/// Computes the canonical fingerprint of `query`.
+///
+/// The query's node ids must be valid for its platform (see
+/// [`Query::validate`]); out-of-range ids panic.
+pub fn fingerprint(query: &Query) -> Fingerprint {
+    let n = query.platform.num_nodes();
+    let mut roles = vec![0u64; n];
+    let mut h = Fnv::new();
+    match &query.collective {
+        Collective::Scatter { source, targets } => {
+            h.bytes(b"scatter");
+            roles[source.index()] |= role::SOURCE;
+            for t in targets {
+                roles[t.index()] |= role::TARGET;
+            }
+        }
+        Collective::Gather { sources, sink } => {
+            h.bytes(b"gather");
+            for s in sources {
+                roles[s.index()] |= role::SOURCE;
+            }
+            roles[sink.index()] |= role::SINK;
+        }
+        Collective::Gossip { sources, targets } => {
+            h.bytes(b"gossip");
+            for s in sources {
+                roles[s.index()] |= role::SOURCE;
+            }
+            for t in targets {
+                roles[t.index()] |= role::TARGET;
+            }
+        }
+        Collective::Reduce { participants, target, size, task_cost } => {
+            h.bytes(b"reduce");
+            for p in participants {
+                roles[p.index()] |= role::PARTICIPANT;
+            }
+            roles[target.index()] |= role::SINK;
+            h.ratio(size);
+            h.ratio(task_cost);
+        }
+        Collective::Prefix { participants, size, task_cost } => {
+            h.bytes(b"prefix");
+            for (rank, p) in participants.iter().enumerate() {
+                roles[p.index()] |= role::PARTICIPANT | (role::RANK_BASE * (rank as u64 + 1));
+            }
+            h.ratio(size);
+            h.ratio(task_cost);
+        }
+    }
+    h.word(canonical_platform_hash(&query.platform, &roles));
+    Fingerprint(h.finish())
+}
+
+/// Returns a copy of `platform` with node `i` renumbered to `perm[i]`
+/// (`perm` must be a permutation of `0..num_nodes`); edges follow their
+/// endpoints, costs and speeds are unchanged.
+///
+/// This is the relabeling the fingerprint is invariant under; it is exposed
+/// for tests, examples and benchmarks.
+pub fn permuted_platform(platform: &Platform, perm: &[usize]) -> Platform {
+    assert_eq!(perm.len(), platform.num_nodes(), "perm must cover every node");
+    let mut inverse = vec![usize::MAX; perm.len()];
+    for (old, &new) in perm.iter().enumerate() {
+        assert!(new < perm.len() && inverse[new] == usize::MAX, "perm must be a permutation");
+        inverse[new] = old;
+    }
+    let mut out = Platform::new();
+    for &old in &inverse {
+        let node = platform.node(NodeId(old));
+        out.add_node(node.name.clone(), node.speed.clone());
+    }
+    for e in platform.edge_ids() {
+        let edge = platform.edge(e);
+        out.add_edge(
+            NodeId(perm[edge.from.index()]),
+            NodeId(perm[edge.to.index()]),
+            edge.cost.clone(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steady_platform::generators::figure2;
+    use steady_rational::rat;
+
+    fn scatter_query() -> Query {
+        let instance = figure2();
+        Query {
+            platform: instance.platform,
+            collective: Collective::Scatter { source: instance.source, targets: instance.targets },
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic() {
+        let q = scatter_query();
+        assert_eq!(fingerprint(&q), fingerprint(&q));
+    }
+
+    #[test]
+    fn permutation_preserves_fingerprint() {
+        let q = scatter_query();
+        // Rotate all five node indices.
+        let perm = [1, 2, 3, 4, 0];
+        let platform = permuted_platform(&q.platform, &perm);
+        let Collective::Scatter { source, targets } = &q.collective else { unreachable!() };
+        let permuted = Query {
+            platform,
+            collective: Collective::Scatter {
+                source: NodeId(perm[source.index()]),
+                targets: targets.iter().map(|t| NodeId(perm[t.index()])).collect(),
+            },
+        };
+        assert_eq!(fingerprint(&q), fingerprint(&permuted));
+    }
+
+    #[test]
+    fn role_changes_change_fingerprint() {
+        let q = scatter_query();
+        let Collective::Scatter { source, targets } = &q.collective else { unreachable!() };
+        // Dropping one target is a different query.
+        let fewer = Query {
+            platform: q.platform.clone(),
+            collective: Collective::Scatter { source: *source, targets: targets[..1].to_vec() },
+        };
+        assert_ne!(fingerprint(&q), fingerprint(&fewer));
+    }
+
+    #[test]
+    fn target_order_is_irrelevant_but_prefix_rank_order_is_not() {
+        let q = scatter_query();
+        let Collective::Scatter { source, targets } = &q.collective else { unreachable!() };
+        let mut reversed_targets = targets.clone();
+        reversed_targets.reverse();
+        let reversed = Query {
+            platform: q.platform.clone(),
+            collective: Collective::Scatter { source: *source, targets: reversed_targets },
+        };
+        assert_eq!(fingerprint(&q), fingerprint(&reversed));
+
+        let participants = vec![NodeId(0), NodeId(1), NodeId(2)];
+        let mut swapped = participants.clone();
+        swapped.swap(0, 2);
+        let prefix = |participants: Vec<NodeId>| Query {
+            platform: q.platform.clone(),
+            collective: Collective::Prefix { participants, size: rat(1, 1), task_cost: rat(1, 1) },
+        };
+        assert_ne!(fingerprint(&prefix(participants)), fingerprint(&prefix(swapped)));
+    }
+
+    #[test]
+    fn scalar_parameters_reach_the_fingerprint() {
+        let platform = figure2().platform;
+        let reduce = |size: Ratio| Query {
+            platform: platform.clone(),
+            collective: Collective::Reduce {
+                participants: vec![NodeId(0), NodeId(3)],
+                target: NodeId(0),
+                size,
+                task_cost: rat(1, 1),
+            },
+        };
+        assert_ne!(fingerprint(&reduce(rat(1, 1))), fingerprint(&reduce(rat(2, 1))));
+    }
+
+    #[test]
+    fn wl_blind_spot_k33_vs_prism_is_separated() {
+        // K_{3,3} and the triangular prism are the classic non-isomorphic
+        // 3-regular pair that plain 1-WL refinement cannot distinguish; with
+        // uniform speeds/costs and fully symmetric roles the refinement
+        // colors coincide, so separation must come from the triangle counts.
+        let uniform = |edges: &[(usize, usize)]| {
+            let mut p = Platform::new();
+            let nodes: Vec<_> = (0..6).map(|i| p.add_node(format!("n{i}"), rat(1, 1))).collect();
+            for &(a, b) in edges {
+                p.add_link(nodes[a], nodes[b], rat(1, 1));
+            }
+            p
+        };
+        let k33 =
+            uniform(&[(0, 3), (0, 4), (0, 5), (1, 3), (1, 4), (1, 5), (2, 3), (2, 4), (2, 5)]);
+        let prism =
+            uniform(&[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3), (1, 4), (2, 5)]);
+        let all: Vec<NodeId> = (0..6).map(NodeId).collect();
+        let symmetric = |platform: Platform| Query {
+            platform,
+            collective: Collective::Gossip { sources: all.clone(), targets: all.clone() },
+        };
+        assert_ne!(fingerprint(&symmetric(k33)), fingerprint(&symmetric(prism)));
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn permuted_platform_rejects_non_permutations() {
+        let platform = figure2().platform;
+        let _ = permuted_platform(&platform, &[0, 0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Concurrent serving of steady-state throughput queries.
+//!
+//! The solver stack (`steady-core`) answers one question at a time, from
+//! scratch.  This crate turns it into a query-serving engine for the traffic
+//! pattern of a deployment — millions of requests, most of them repeats or
+//! relabelings of platforms already seen — the same way the paper amortizes
+//! one collective's cost over a long pipelined series:
+//!
+//! * [`mod@fingerprint`] — a **canonical, relabeling-invariant fingerprint** of
+//!   `(platform, collective, roles)` built from Weisfeiler–Leman color
+//!   refinement, so isomorphic queries share one cache key;
+//! * [`cache`] — a **sharded LRU solution cache** (`parking_lot::RwLock`
+//!   shards, atomic recency, hit/miss/eviction counters);
+//! * [`engine`] — a **worker pool with single-flight deduplication** over
+//!   crossbeam channels: concurrent identical queries coalesce onto one
+//!   in-flight LP solve instead of stampeding the solver;
+//! * [`loadgen`] — a **load generator** replaying repetition-heavy query
+//!   mixes from several client threads and reporting sustained queries/sec,
+//!   p50/p95/p99 latency and the cache hit ratio.
+//!
+//! # Example
+//!
+//! ```
+//! use steady_service::{Collective, Query, Service, ServiceConfig, ServedVia};
+//! use steady_platform::generators::figure2;
+//! use steady_rational::rat;
+//!
+//! let service = Service::start(ServiceConfig { workers: 2, ..ServiceConfig::default() });
+//! let instance = figure2();
+//! let query = Query {
+//!     platform: instance.platform,
+//!     collective: Collective::Scatter { source: instance.source, targets: instance.targets },
+//! };
+//!
+//! let first = service.query(query.clone()).unwrap();
+//! assert_eq!(first.via, ServedVia::Solve);
+//! assert_eq!(first.answer.throughput, rat(1, 2));
+//!
+//! let second = service.query(query).unwrap();
+//! assert_eq!(second.via, ServedVia::Cache);
+//! assert_eq!(second.answer.throughput, rat(1, 2));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod engine;
+pub mod fingerprint;
+pub mod loadgen;
+pub mod query;
+
+pub use cache::{CacheConfig, CacheStats, SolutionCache};
+pub use engine::{ServeResult, Served, ServedVia, Service, ServiceConfig, ServiceStats};
+pub use fingerprint::{fingerprint, permuted_platform, Fingerprint};
+pub use loadgen::{query_mix, run_load, LoadConfig, LoadReport};
+pub use query::{solve_query, Answer, Collective, Query};
+
+/// Error produced while validating or solving a query.
+///
+/// The payload is a rendered message: errors cross thread and channel
+/// boundaries and fan out to coalesced waiters, so they must be `Clone`,
+/// which the underlying solver errors are not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceError(pub String);
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ServiceError {}

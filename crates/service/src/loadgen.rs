@@ -1,0 +1,362 @@
+//! Load generation: configurable query mixes, concurrent clients and a
+//! latency/throughput report.
+//!
+//! The generator builds a pool of *distinct* queries spanning every
+//! collective kind and several topology families from
+//! [`steady_platform::generators`] (the paper's figures, stars, a small
+//! Tiers hierarchy, random connected platforms), then replays a long,
+//! repetition-heavy random sequence drawn from that pool through a
+//! [`Service`] from several client threads — the access pattern of a
+//! deployment where many users ask about the same few platforms.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use steady_platform::generators::{
+    figure2, figure6, heterogeneous_star, random_connected, star, tiers, RandomConfig, TiersConfig,
+};
+use steady_platform::NodeId;
+use steady_rational::rat;
+
+use crate::engine::{Service, ServiceStats};
+use crate::query::{Collective, Query};
+use crate::ServiceError;
+
+/// Parameters of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Total number of queries to issue.
+    pub queries: usize,
+    /// Number of concurrent client threads.
+    pub clients: usize,
+    /// Size of the distinct-query pool the sequence is drawn from.
+    pub distinct: usize,
+    /// Seed for both the pool and the replay sequence.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig { queries: 1000, clients: 4, distinct: 24, seed: 42 }
+    }
+}
+
+/// Builds a pool of up to `distinct` queries cycling through seven families:
+/// the Figure 2 scatter and Figure 6 reduce, star scatters, heterogeneous
+/// star gathers, random-connected gossips and reduces, and small Tiers
+/// reduces.  Instances within a family vary in size and random seed; the
+/// fixed-figure families repeat, so the pool is deduplicated by fingerprint
+/// before it is returned — every entry is a genuinely distinct cache key and
+/// the reported `distinct` count stays honest.
+pub fn query_mix(distinct: usize, seed: u64) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let candidates: Vec<Query> = (0..distinct)
+        .map(|i| {
+            let variant = (i / 7) as u64;
+            match i % 7 {
+                0 => {
+                    let instance = figure2();
+                    Query {
+                        platform: instance.platform,
+                        collective: Collective::Scatter {
+                            source: instance.source,
+                            targets: instance.targets,
+                        },
+                    }
+                }
+                1 => {
+                    let instance = figure6();
+                    Query {
+                        platform: instance.platform,
+                        collective: Collective::Reduce {
+                            participants: instance.participants,
+                            target: instance.target,
+                            size: instance.message_size,
+                            task_cost: instance.task_cost,
+                        },
+                    }
+                }
+                2 => {
+                    let leaves = 3 + (variant as usize % 4);
+                    let cost = rat(1, rng.gen_range(1i64..=4));
+                    let (platform, root, leaves) = star(leaves, cost);
+                    Query {
+                        platform,
+                        collective: Collective::Scatter { source: root, targets: leaves },
+                    }
+                }
+                3 => {
+                    let costs: Vec<_> = (0..3 + (variant as usize % 3))
+                        .map(|_| rat(1, rng.gen_range(1i64..=5)))
+                        .collect();
+                    let (platform, center, leaves) = heterogeneous_star(&costs);
+                    Query {
+                        platform,
+                        collective: Collective::Gather { sources: leaves, sink: center },
+                    }
+                }
+                4 => {
+                    let config = RandomConfig { nodes: 5, ..RandomConfig::default() };
+                    let platform = random_connected(&config, &mut rng);
+                    Query {
+                        platform,
+                        collective: Collective::Gossip {
+                            sources: vec![NodeId(0), NodeId(1)],
+                            targets: vec![NodeId(2), NodeId(3)],
+                        },
+                    }
+                }
+                5 => {
+                    let config = RandomConfig {
+                        nodes: 5 + (variant as usize % 2),
+                        ..RandomConfig::default()
+                    };
+                    let platform = random_connected(&config, &mut rng);
+                    let participants: Vec<NodeId> = platform.node_ids().collect();
+                    Query {
+                        platform,
+                        collective: Collective::Reduce {
+                            participants,
+                            target: NodeId(0),
+                            size: rat(1, 1),
+                            task_cost: rat(1, 1),
+                        },
+                    }
+                }
+                _ => {
+                    let config = TiersConfig {
+                        wan_routers: 1,
+                        man_per_wan: 1,
+                        lan_per_man: 3,
+                        ..TiersConfig::default()
+                    };
+                    let t = tiers(&config, &mut rng);
+                    let target = t.hosts[0];
+                    Query {
+                        platform: t.platform,
+                        collective: Collective::Reduce {
+                            participants: t.hosts,
+                            target,
+                            size: rat(1, 1),
+                            task_cost: rat(1, 1),
+                        },
+                    }
+                }
+            }
+        })
+        .collect();
+    let mut seen = std::collections::BTreeSet::new();
+    candidates.into_iter().filter(|q| seen.insert(q.fingerprint())).collect()
+}
+
+/// Outcome of a load run: sustained throughput, latency percentiles and the
+/// service's counters at the end of the run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Queries issued.
+    pub queries: usize,
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Distinct queries in the pool.
+    pub distinct: usize,
+    /// Wall-clock duration of the run, in seconds.
+    pub elapsed_seconds: f64,
+    /// Sustained queries per second.
+    pub queries_per_second: f64,
+    /// Median response latency, in microseconds.
+    pub p50_micros: f64,
+    /// 95th-percentile response latency, in microseconds.
+    pub p95_micros: f64,
+    /// 99th-percentile response latency, in microseconds.
+    pub p99_micros: f64,
+    /// Cache hit ratio over this run's queries only.
+    pub hit_ratio: f64,
+    /// Service counter increments attributable to this run (traffic the
+    /// service handled before the run is subtracted out); `cached_entries`
+    /// is the gauge value at the end of the run.
+    pub stats: ServiceStats,
+}
+
+impl LoadReport {
+    /// Machine-readable one-object JSON summary (for `BENCH_service.json`).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"queries\":{},\"clients\":{},\"distinct\":{},",
+                "\"elapsed_seconds\":{:.6},\"queries_per_second\":{:.1},",
+                "\"p50_micros\":{:.1},\"p95_micros\":{:.1},\"p99_micros\":{:.1},",
+                "\"hit_ratio\":{:.4},\"hits\":{},\"misses\":{},\"coalesced\":{},",
+                "\"solves\":{},\"errors\":{},\"evictions\":{}}}"
+            ),
+            self.queries,
+            self.clients,
+            self.distinct,
+            self.elapsed_seconds,
+            self.queries_per_second,
+            self.p50_micros,
+            self.p95_micros,
+            self.p99_micros,
+            self.hit_ratio,
+            self.stats.hits,
+            self.stats.misses,
+            self.stats.coalesced,
+            self.stats.solves,
+            self.stats.errors,
+            self.stats.evictions,
+        )
+    }
+
+    /// Human-readable multi-line rendering of the report.
+    pub fn render(&self) -> String {
+        format!(
+            "queries            : {} ({} distinct, {} clients)\n\
+             elapsed            : {:.3} s\n\
+             queries/sec        : {:.1}\n\
+             latency p50/p95/p99: {:.1} / {:.1} / {:.1} µs\n\
+             cache hit ratio    : {:.1}% ({} hits, {} misses, {} evictions)\n\
+             coalesced (dedup)  : {}\n\
+             cold LP solves     : {}\n",
+            self.queries,
+            self.distinct,
+            self.clients,
+            self.elapsed_seconds,
+            self.queries_per_second,
+            self.p50_micros,
+            self.p95_micros,
+            self.p99_micros,
+            self.hit_ratio * 100.0,
+            self.stats.hits,
+            self.stats.misses,
+            self.stats.evictions,
+            self.stats.coalesced,
+            self.stats.solves,
+        )
+    }
+}
+
+fn percentile_micros(sorted_nanos: &[u64], q: f64) -> f64 {
+    if sorted_nanos.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * (sorted_nanos.len() - 1) as f64).round() as usize;
+    sorted_nanos[rank] as f64 / 1_000.0
+}
+
+/// Replays `config.queries` queries drawn from [`query_mix`] through
+/// `service` using `config.clients` concurrent client threads, and returns
+/// the latency/throughput report.  Fails if any query fails.
+pub fn run_load(service: &Service, config: &LoadConfig) -> Result<LoadReport, ServiceError> {
+    let mix = query_mix(config.distinct.max(1), config.seed);
+    // Pre-draw the replay sequence so clients race only on the work counter.
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x6c6f_6164);
+    let sequence: Vec<usize> = (0..config.queries).map(|_| rng.gen_range(0..mix.len())).collect();
+
+    let next = AtomicUsize::new(0);
+    let clients = config.clients.max(1);
+    let before = service.stats();
+    let started = Instant::now();
+    let per_client: Vec<Result<Vec<u64>, ServiceError>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let next = &next;
+                let mix = &mix;
+                let sequence = &sequence;
+                scope.spawn(move |_| {
+                    let mut latencies = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= sequence.len() {
+                            return Ok(latencies);
+                        }
+                        let query = mix[sequence[i]].clone();
+                        let sent = Instant::now();
+                        service.query(query)?;
+                        latencies.push(sent.elapsed().as_nanos() as u64);
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+    })
+    .expect("a load client panicked");
+    let elapsed = started.elapsed();
+
+    let mut latencies = Vec::with_capacity(config.queries);
+    for client in per_client {
+        latencies.extend(client?);
+    }
+    latencies.sort_unstable();
+
+    let stats = service.stats().since(&before);
+    let elapsed_seconds = elapsed.as_secs_f64();
+    Ok(LoadReport {
+        queries: latencies.len(),
+        clients,
+        distinct: mix.len(),
+        elapsed_seconds,
+        queries_per_second: if elapsed_seconds > 0.0 {
+            latencies.len() as f64 / elapsed_seconds
+        } else {
+            0.0
+        },
+        p50_micros: percentile_micros(&latencies, 0.50),
+        p95_micros: percentile_micros(&latencies, 0.95),
+        p99_micros: percentile_micros(&latencies, 0.99),
+        hit_ratio: stats.hit_ratio(),
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_deterministic_deduplicated_and_spans_kinds() {
+        let a = query_mix(14, 9);
+        let b = query_mix(14, 9);
+        assert_eq!(a.len(), b.len());
+        for (qa, qb) in a.iter().zip(&b) {
+            assert_eq!(qa.fingerprint(), qb.fingerprint());
+        }
+        // The fixed-figure families repeat past one full cycle; duplicates
+        // are dropped, and what remains is pairwise distinct.
+        assert!(a.len() >= 7 && a.len() <= 14, "got {} queries", a.len());
+        let fingerprints: std::collections::BTreeSet<_> =
+            a.iter().map(|q| q.fingerprint()).collect();
+        assert_eq!(fingerprints.len(), a.len(), "pool is deduplicated by fingerprint");
+        let kinds: std::collections::BTreeSet<_> =
+            a.iter().map(|q| q.collective.kind_name()).collect();
+        assert!(kinds.len() >= 4, "mix spans several collective kinds: {kinds:?}");
+    }
+
+    #[test]
+    fn every_mix_query_is_valid() {
+        for query in query_mix(21, 3) {
+            query.validate().expect("mix queries reference existing nodes");
+        }
+    }
+
+    #[test]
+    fn report_json_is_well_formed_enough() {
+        let report = LoadReport {
+            queries: 10,
+            clients: 2,
+            distinct: 3,
+            elapsed_seconds: 0.5,
+            queries_per_second: 20.0,
+            p50_micros: 1.0,
+            p95_micros: 2.0,
+            p99_micros: 3.0,
+            hit_ratio: 0.7,
+            stats: ServiceStats::default(),
+        };
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"queries_per_second\":20.0"));
+        assert!(json.contains("\"hit_ratio\":0.7000"));
+        assert!(!report.render().is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for the canonical fingerprint.
+//!
+//! The cache key contract: applying any node permutation to a random
+//! connected platform (and renaming the query's roles accordingly) must not
+//! change the fingerprint — and the permuted query must be served from the
+//! cache with the exact same throughput — while perturbing a single edge
+//! cost must change the fingerprint.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use steady_platform::generators::{random_connected, RandomConfig};
+use steady_platform::{EdgeId, NodeId, Platform};
+use steady_rational::{rat, Ratio};
+use steady_service::{
+    fingerprint, permuted_platform, Collective, Query, ServedVia, Service, ServiceConfig,
+};
+
+/// A random connected 6-node platform, deterministic in `seed`.
+fn platform_for(seed: u64) -> Platform {
+    let config = RandomConfig { nodes: 6, ..RandomConfig::default() };
+    random_connected(&config, &mut StdRng::seed_from_u64(seed))
+}
+
+/// A random permutation of `0..n`, deterministic in `seed` (Fisher–Yates).
+fn permutation_for(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        perm.swap(i, rng.gen_range(0..=i));
+    }
+    perm
+}
+
+/// A scatter query on `platform` from node 0 to nodes 1 and 2.
+fn scatter_query(platform: Platform) -> Query {
+    Query {
+        platform,
+        collective: Collective::Scatter { source: NodeId(0), targets: vec![NodeId(1), NodeId(2)] },
+    }
+}
+
+/// The same query with every node id mapped through `perm`.
+fn permuted_query(query: &Query, perm: &[usize]) -> Query {
+    let map = |id: &NodeId| NodeId(perm[id.index()]);
+    let map_all = |ids: &[NodeId]| ids.iter().map(map).collect::<Vec<_>>();
+    let collective = match &query.collective {
+        Collective::Scatter { source, targets } => {
+            Collective::Scatter { source: map(source), targets: map_all(targets) }
+        }
+        Collective::Gather { sources, sink } => {
+            Collective::Gather { sources: map_all(sources), sink: map(sink) }
+        }
+        Collective::Gossip { sources, targets } => {
+            Collective::Gossip { sources: map_all(sources), targets: map_all(targets) }
+        }
+        Collective::Reduce { participants, target, size, task_cost } => Collective::Reduce {
+            participants: map_all(participants),
+            target: map(target),
+            size: size.clone(),
+            task_cost: task_cost.clone(),
+        },
+        Collective::Prefix { participants, size, task_cost } => Collective::Prefix {
+            participants: map_all(participants),
+            size: size.clone(),
+            task_cost: task_cost.clone(),
+        },
+    };
+    Query { platform: permuted_platform(&query.platform, perm), collective }
+}
+
+/// Rebuilds `platform` with the cost of edge `edge` replaced by `cost`
+/// (the platform's fields are private, so perturbation goes through a copy).
+fn with_edge_cost(platform: &Platform, edge: EdgeId, cost: Ratio) -> Platform {
+    let mut out = Platform::new();
+    for id in platform.node_ids() {
+        let node = platform.node(id);
+        out.add_node(node.name.clone(), node.speed.clone());
+    }
+    for id in platform.edge_ids() {
+        let e = platform.edge(id);
+        let c = if id == edge { cost.clone() } else { e.cost.clone() };
+        out.add_edge(e.from, e.to, c);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn permuting_nodes_preserves_fingerprint_and_cached_throughput(
+        seed in 0u64..10_000,
+        perm_seed in 0u64..10_000,
+    ) {
+        let query = scatter_query(platform_for(seed));
+        let perm = permutation_for(query.platform.num_nodes(), perm_seed);
+        let permuted = permuted_query(&query, &perm);
+        prop_assert_eq!(fingerprint(&query), fingerprint(&permuted));
+
+        // The isomorphic query must be answered from the cache, with the
+        // exact same rational throughput the cold solve produced.
+        let service = Service::start(ServiceConfig { workers: 2, ..ServiceConfig::default() });
+        let cold = service.query(query).expect("cold solve succeeds");
+        prop_assert_eq!(cold.via, ServedVia::Solve);
+        let cached = service.query(permuted).expect("isomorphic query succeeds");
+        prop_assert_eq!(cached.via, ServedVia::Cache);
+        prop_assert_eq!(&cached.answer.throughput, &cold.answer.throughput);
+        prop_assert_eq!(service.stats().solves, 1);
+    }
+
+    #[test]
+    fn perturbing_one_edge_cost_changes_fingerprint(
+        seed in 0u64..10_000,
+        edge_index in 0usize..64,
+    ) {
+        let query = scatter_query(platform_for(seed));
+        let edge = EdgeId(edge_index % query.platform.num_edges());
+        let old_cost = query.platform.edge(edge).cost.clone();
+        let perturbed = Query {
+            platform: with_edge_cost(&query.platform, edge, old_cost + rat(1, 1)),
+            collective: query.collective.clone(),
+        };
+        prop_assert_ne!(fingerprint(&query), fingerprint(&perturbed));
+    }
+}

@@ -5,12 +5,19 @@
 //! bounded pool of OS threads using crossbeam's scoped threads — results come
 //! back in input order, and a panic in any worker propagates to the caller.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use parking_lot::Mutex;
 
 /// Applies `f` to every input, using up to `workers` threads, and returns the
 /// results in input order.
 ///
 /// `workers = 0` is interpreted as "one worker per available CPU".
+///
+/// Work is distributed by an atomic next-index counter over per-slot storage:
+/// claiming an item is one `fetch_add` instead of a global queue lock, inputs
+/// are processed in forward order, and each worker writes its result into its
+/// own slot without contending with the others.
 pub fn parallel_map<T, R, F>(inputs: Vec<T>, workers: usize, f: F) -> Vec<R>
 where
     T: Send,
@@ -28,23 +35,28 @@ where
     }
     let workers = workers.min(n).max(1);
 
-    // Work queue of (index, input); results gathered under a lock.
-    let queue: Mutex<Vec<(usize, T)>> = Mutex::new(inputs.into_iter().enumerate().collect());
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    // Per-slot storage: the claim ticket comes from `next`, so the per-item
+    // mutexes are never contended — they only move values across threads.
+    let slots: Vec<Mutex<Option<T>>> = inputs.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
 
     crossbeam::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|_| loop {
-                let item = queue.lock().pop();
-                let Some((idx, input)) = item else { break };
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
+                let input = slots[idx].lock().take().expect("each index is claimed once");
                 let out = f(input);
-                results.lock()[idx] = Some(out);
+                *results[idx].lock() = Some(out);
             });
         }
     })
     .expect("a sweep worker panicked");
 
-    results.into_inner().into_iter().map(|r| r.expect("every input was processed")).collect()
+    results.into_iter().map(|slot| slot.into_inner().expect("every input was processed")).collect()
 }
 
 #[cfg(test)]

@@ -360,7 +360,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// A length specification for [`vec`]: an exact size or a size range.
+    /// A length specification for [`fn@vec`]: an exact size or a size range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         start: usize,

@@ -23,6 +23,7 @@
 //! | [`sim`] | `steady-sim` | One-port discrete-event simulation, Prop.-1 executor |
 //! | [`baselines`] | `steady-baselines` | Direct/binomial scatter, gather, flat/binomial/chain reduces |
 //! | [`runtime`] | `steady-runtime` | Threaded message-passing execution with real payloads |
+//! | [`service`] | `steady-service` | Query serving: canonical fingerprints, sharded cache, single-flight worker pool |
 //!
 //! ## Quick start
 //!
@@ -52,6 +53,7 @@ pub use steady_lp as lp;
 pub use steady_platform as platform;
 pub use steady_rational as rational;
 pub use steady_runtime as runtime;
+pub use steady_service as service;
 pub use steady_sim as sim;
 
 /// Commonly used items, for `use steady_collectives::prelude::*`.
@@ -83,6 +85,10 @@ pub mod prelude {
     pub use steady_platform::{NodeId, Platform};
     pub use steady_rational::{int, rat, BigInt, Ratio};
     pub use steady_runtime::{run_gather, run_reduce, run_scatter, RunConfig};
+    pub use steady_service::{
+        fingerprint, run_load, Collective, LoadConfig, Query, Served, ServedVia, Service,
+        ServiceConfig,
+    };
     pub use steady_sim::{execute_reduce_schedule, execute_scatter_schedule, parallel_map};
 }
 

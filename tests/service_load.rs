@@ -1,0 +1,81 @@
+//! Acceptance load test of the serving subsystem: a repetition-heavy mix of
+//! 1,000 queries across 4 worker threads and 4 clients must be served mostly
+//! from the cache, cached answers must equal cold-solve answers exactly, and
+//! the single-flight table must have coalesced at least one query.
+
+use steady_collectives::service::{
+    query_mix, run_load, solve_query, Collective, LoadConfig, Query, ServedVia, Service,
+    ServiceConfig,
+};
+use steady_platform::generators::{random_connected, RandomConfig};
+use steady_platform::NodeId;
+use steady_rational::rat;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn sustained_mixed_load_is_served_from_the_cache() {
+    let service = Service::start(ServiceConfig { workers: 4, ..ServiceConfig::default() });
+    let load = LoadConfig { queries: 1000, clients: 4, distinct: 21, seed: 11 };
+    let report = run_load(&service, &load).expect("every query of the mix solves");
+
+    assert_eq!(report.queries, 1000);
+    assert!(
+        report.hit_ratio > 0.5,
+        "expected a mostly-cached run, got hit ratio {} ({:?})",
+        report.hit_ratio,
+        report.stats
+    );
+    // Every query was answered and either hit the cache, was solved cold, or
+    // was coalesced onto an in-flight solve.
+    let stats = report.stats;
+    assert_eq!(stats.queries, 1000);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.hits + stats.misses, stats.queries);
+    assert!(stats.solves <= 21, "at most one cold solve per distinct query, got {stats:?}");
+
+    // Cached answers are identical to cold-solve answers: exact rational
+    // equality of throughput for every distinct query of the mix.
+    for query in query_mix(load.distinct, load.seed) {
+        let served = service.query(query.clone()).expect("warm query succeeds");
+        assert_eq!(served.via, ServedVia::Cache, "mix queries are all cached by now");
+        let cold = solve_query(&query, false).expect("cold solve succeeds");
+        assert_eq!(
+            served.answer.throughput,
+            cold.throughput,
+            "cached and cold throughput diverge for a {} query",
+            query.collective.kind_name()
+        );
+    }
+
+    // Single-flight dedup: submit one *fresh* (uncached) moderately expensive
+    // query many times at once; exactly one worker may solve it, the other
+    // submissions coalesce onto that in-flight solve.
+    let config = RandomConfig { nodes: 8, ..RandomConfig::default() };
+    let platform = random_connected(&config, &mut StdRng::seed_from_u64(0xfeed));
+    let participants: Vec<NodeId> = platform.node_ids().collect();
+    let fresh = Query {
+        platform,
+        collective: Collective::Reduce {
+            participants,
+            target: NodeId(0),
+            size: rat(1, 1),
+            task_cost: rat(1, 1),
+        },
+    };
+    let before = service.stats();
+    let responses: Vec<_> = (0..16).map(|_| service.submit(fresh.clone())).collect();
+    let mut throughputs = Vec::new();
+    for response in responses {
+        let served = response.recv().expect("service running").expect("solve succeeds");
+        throughputs.push(served.answer.throughput.clone());
+    }
+    assert!(throughputs.windows(2).all(|w| w[0] == w[1]), "all coalesced answers agree");
+    let after = service.stats();
+    assert!(
+        after.coalesced > before.coalesced,
+        "single-flight dedup coalesced at least one of the 16 concurrent submissions \
+         (before {before:?}, after {after:?})"
+    );
+}
