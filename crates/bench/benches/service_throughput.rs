@@ -8,9 +8,13 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use steady_bench::print_header;
-use steady_platform::generators::figure2;
+use steady_core::problem::solve_steady_warm;
+use steady_core::scatter::ScatterProblem;
+use steady_platform::generators::{figure2, heterogeneous_star};
+use steady_rational::rat;
 use steady_service::{
-    fingerprint, run_load, solve_query, Collective, LoadConfig, Query, Service, ServiceConfig,
+    fingerprint, run_load, solve_query, structural_fingerprint, Collective, LoadConfig, Query,
+    Service, ServiceConfig,
 };
 
 fn figure2_query() -> Query {
@@ -35,6 +39,9 @@ fn bench(c: &mut Criterion) {
     let query = figure2_query();
     let mut group = c.benchmark_group("service");
     group.bench_function("fingerprint_figure2", |b| b.iter(|| fingerprint(black_box(&query))));
+    group.bench_function("structural_fingerprint_figure2", |b| {
+        b.iter(|| structural_fingerprint(black_box(&query)))
+    });
     group.bench_function("cold_solve_figure2", |b| {
         b.iter(|| solve_query(black_box(&query), false).expect("solves"))
     });
@@ -42,6 +49,23 @@ fn bench(c: &mut Criterion) {
     service.query(query.clone()).expect("warm the cache");
     group.bench_function("cached_query_figure2", |b| {
         b.iter(|| service.query(black_box(query.clone())).expect("cached"))
+    });
+
+    // Warm vs cold exact solve of a cost-drifted star scatter: the basis of
+    // the base platform seeds the drifted one (same structural class).
+    let star = |costs: &[steady_rational::Ratio]| {
+        let (platform, center, leaves) = heterogeneous_star(costs);
+        ScatterProblem::new(platform, center, leaves).expect("valid star scatter")
+    };
+    let base = star(&[rat(1, 2), rat(1, 3), rat(1, 4), rat(1, 5)]);
+    let (_, base_report) = solve_steady_warm(&base, None).expect("base solve");
+    let basis = base_report.basis.expect("base solve yields a basis");
+    let drifted = star(&[rat(1, 3), rat(2, 5), rat(1, 6), rat(3, 7)]);
+    group.bench_function("drifted_star_cold", |b| {
+        b.iter(|| solve_steady_warm(black_box(&drifted), None).expect("cold solve"))
+    });
+    group.bench_function("drifted_star_warm", |b| {
+        b.iter(|| solve_steady_warm(black_box(&drifted), Some(&basis)).expect("warm solve"))
     });
     group.finish();
 }

@@ -79,6 +79,8 @@ USAGE:
                   dumbbell, random, geometric, tiers}
   steady serve-bench    [--queries N] [--clients N] [--distinct N] [--workers N]
                         [--cache-capacity N] [--shards N] [--seed N] [--out FILE] [--schedules]
+                        [--baseline FILE] [--snapshot FILE] [--preload FILE]
+                        [--max-inflight-cold N] [--cold-queue N]
   steady demo NAME      NAME ∈ {figure2, figure6, figure9}
   steady info           --platform FILE [--dot]
   steady help

@@ -209,17 +209,24 @@ impl GatherProblem {
 
     /// Solves `SSG(G)` exactly and returns the steady-state solution.
     pub fn solve(&self) -> Result<GatherSolution, CoreError> {
-        let (lp, vars) = self.build_lp();
-        let sol = steady_lp::solve_exact_auto(&lp)?;
-        let mut flows = BTreeMap::new();
-        for (&key, &var) in &vars.send {
-            let v = sol.values[var.index()].clone();
-            if v.is_positive() {
-                flows.insert(key, v);
-            }
+        crate::problem::solve_steady(self)
+    }
+}
+
+impl crate::problem::SteadyProblem for GatherProblem {
+    type Vars = GatherVars;
+    type Solution = GatherSolution;
+    const KIND: &'static str = "gather";
+
+    fn formulate(&self) -> (LpProblem, GatherVars) {
+        self.build_lp()
+    }
+
+    fn interpret(&self, vars: &GatherVars, values: &[Ratio]) -> GatherSolution {
+        GatherSolution {
+            throughput: values[vars.throughput.index()].clone(),
+            flows: crate::problem::positive_values(&vars.send, values),
         }
-        let throughput = sol.values[vars.throughput.index()].clone();
-        Ok(GatherSolution { throughput, flows })
     }
 }
 

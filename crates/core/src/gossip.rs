@@ -217,17 +217,24 @@ impl GossipProblem {
 
     /// Solves `SSPA2A(G)` exactly.
     pub fn solve(&self) -> Result<GossipSolution, CoreError> {
-        let (lp, vars) = self.build_lp();
-        let sol = steady_lp::solve_exact_auto(&lp)?;
-        let mut flows = BTreeMap::new();
-        for (&key, &var) in &vars.send {
-            let v = sol.values[var.index()].clone();
-            if v.is_positive() {
-                flows.insert(key, v);
-            }
+        crate::problem::solve_steady(self)
+    }
+}
+
+impl crate::problem::SteadyProblem for GossipProblem {
+    type Vars = GossipVars;
+    type Solution = GossipSolution;
+    const KIND: &'static str = "gossip";
+
+    fn formulate(&self) -> (LpProblem, GossipVars) {
+        self.build_lp()
+    }
+
+    fn interpret(&self, vars: &GossipVars, values: &[Ratio]) -> GossipSolution {
+        GossipSolution {
+            throughput: values[vars.throughput.index()].clone(),
+            flows: crate::problem::positive_values(&vars.send, values),
         }
-        let throughput = sol.values[vars.throughput.index()].clone();
-        Ok(GossipSolution { throughput, flows })
     }
 }
 

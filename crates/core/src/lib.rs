@@ -20,6 +20,7 @@
 //! | [`reduce`] | §4 | LP `SSR(G)` mixing transfers and computations |
 //! | [`prefix`] | §6 (extension) | parallel-prefix series: per-rank reduce flows on shared ports |
 //! | [`trees`] | §4.3–4.4 | Reduction-tree extraction (Lemma 2 / Theorem 1) |
+//! | [`problem`] | — | Collective-generic build → solve → interpret pipeline with warm starts |
 //! | [`coloring`] | §3.3 | Weighted bipartite matching decomposition |
 //! | [`schedule`] | §3.3, §4.3 | Periodic schedules and one-port validation |
 //! | [`approx`] | §4.6 | Fixed-period approximation (Proposition 4) |
@@ -71,6 +72,7 @@ pub mod gather;
 pub mod gossip;
 pub mod paths;
 pub mod prefix;
+pub mod problem;
 pub mod reduce;
 pub mod scatter;
 pub mod schedule;
@@ -88,6 +90,7 @@ pub use gather::{GatherProblem, GatherSolution};
 pub use gossip::{GossipProblem, GossipSolution};
 pub use paths::{extract_paths, verify_path_set, WeightedPath};
 pub use prefix::{PrefixProblem, PrefixSolution};
+pub use problem::{solve_steady, solve_steady_warm, SolveReport, SteadyProblem};
 pub use reduce::{Interval, ReduceProblem, ReduceSolution, Task};
 pub use scatter::{ScatterProblem, ScatterSolution};
 pub use schedule::{CommSlot, ComputeOp, Payload, PeriodicSchedule, Transfer};

@@ -361,24 +361,25 @@ impl PrefixProblem {
 
     /// Solves `SSP(G)` exactly.
     pub fn solve(&self) -> Result<PrefixSolution, CoreError> {
-        let (lp, vars) = self.build_lp();
-        let sol = steady_lp::solve_exact_auto(&lp)?;
-        let mut sends = BTreeMap::new();
-        for (&key, &var) in &vars.send {
-            let v = sol.values[var.index()].clone();
-            if v.is_positive() {
-                sends.insert(key, v);
-            }
+        crate::problem::solve_steady(self)
+    }
+}
+
+impl crate::problem::SteadyProblem for PrefixProblem {
+    type Vars = PrefixVars;
+    type Solution = PrefixSolution;
+    const KIND: &'static str = "prefix";
+
+    fn formulate(&self) -> (LpProblem, PrefixVars) {
+        self.build_lp()
+    }
+
+    fn interpret(&self, vars: &PrefixVars, values: &[Ratio]) -> PrefixSolution {
+        PrefixSolution {
+            throughput: values[vars.throughput.index()].clone(),
+            sends: crate::problem::positive_values(&vars.send, values),
+            tasks: crate::problem::positive_values(&vars.cons, values),
         }
-        let mut tasks = BTreeMap::new();
-        for (&key, &var) in &vars.cons {
-            let v = sol.values[var.index()].clone();
-            if v.is_positive() {
-                tasks.insert(key, v);
-            }
-        }
-        let throughput = sol.values[vars.throughput.index()].clone();
-        Ok(PrefixSolution { throughput, sends, tasks })
     }
 }
 

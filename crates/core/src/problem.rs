@@ -1,0 +1,134 @@
+//! The collective-generic steady-state pipeline: build → solve → interpret.
+//!
+//! Every collective in this crate ([`crate::scatter`], [`crate::gather`],
+//! [`crate::gossip`], [`crate::reduce`], [`crate::prefix`]) follows the same
+//! three-step flow: formulate the steady-state LP, solve it exactly, and read
+//! the optimal variable values back into domain quantities (flows, task
+//! rates, throughput).  [`SteadyProblem`] captures the two collective-specific
+//! steps and [`solve_steady`] / [`solve_steady_warm`] provide the one shared
+//! solve driver, so the LP plumbing — solver selection, warm-start seeding,
+//! error mapping, pivot accounting — exists exactly once.
+//!
+//! The warm path is what the serving layer builds on: a [`SolvedBasis`] kept
+//! from a previous solve of a *structurally identical* problem (same
+//! topology and roles, possibly different edge costs) seeds the simplex,
+//! which then re-optimizes from that vertex instead of from scratch.  The
+//! returned [`SolveReport`] says whether the seed took and how many pivots
+//! the solve spent, so callers can measure the savings.
+
+use std::collections::BTreeMap;
+
+use steady_lp::{LpProblem, VarId};
+use steady_rational::Ratio;
+
+use crate::error::CoreError;
+
+pub use steady_lp::SolvedBasis;
+
+/// A steady-state collective problem that can be formulated as an LP and its
+/// solution read back from the LP's optimal variable values.
+///
+/// Implementations provide the two collective-specific halves of the
+/// pipeline; [`solve_steady`] supplies the shared middle.
+pub trait SteadyProblem {
+    /// Mapping from LP variables back to domain quantities.
+    type Vars;
+    /// Domain solution produced from the optimal LP values.
+    type Solution;
+
+    /// Short lowercase name of the collective kind (`"scatter"`, ...).
+    const KIND: &'static str;
+
+    /// Builds the steady-state LP and the variable map.
+    fn formulate(&self) -> (LpProblem, Self::Vars);
+
+    /// Reads the optimal LP values back into a domain solution.
+    ///
+    /// `values` holds one exact rational per LP variable, indexed by
+    /// [`VarId`]; the method is pure interpretation and must not fail —
+    /// every invariant it relies on is enforced by the LP's constraints.
+    fn interpret(&self, vars: &Self::Vars, values: &[Ratio]) -> Self::Solution;
+}
+
+/// What one shared-driver solve cost and produced, besides the solution.
+#[derive(Debug, Clone)]
+pub struct SolveReport {
+    /// Total simplex pivots performed (both phases, all runs).
+    pub iterations: usize,
+    /// `true` when a supplied basis installed cleanly and seeded the solve.
+    pub warm_started: bool,
+    /// Final basis, reusable to warm-start a structurally identical solve.
+    pub basis: Option<SolvedBasis>,
+}
+
+/// Solves `problem` exactly through the shared pipeline.
+pub fn solve_steady<P: SteadyProblem>(problem: &P) -> Result<P::Solution, CoreError> {
+    solve_steady_warm(problem, None).map(|(solution, _)| solution)
+}
+
+/// Solves `problem` exactly, optionally warm-starting the simplex from a
+/// basis kept from a structurally identical solve, and reports the cost.
+///
+/// Warm and cold solves return the same exact optimum — an unusable basis is
+/// silently discarded (see [`steady_lp::solve_with_basis`]) — so a caller
+/// can cache bases as aggressively as it likes without risking correctness.
+pub fn solve_steady_warm<P: SteadyProblem>(
+    problem: &P,
+    warm: Option<&SolvedBasis>,
+) -> Result<(P::Solution, SolveReport), CoreError> {
+    let (lp, vars) = problem.formulate();
+    let sol = steady_lp::solve_exact_auto_with(&lp, warm)?;
+    let report = SolveReport {
+        iterations: sol.iterations,
+        warm_started: sol.warm_started,
+        basis: sol.basis,
+    };
+    Ok((problem.interpret(&vars, &sol.values), report))
+}
+
+/// Filters a variable map down to the strictly positive optimal values —
+/// the shared "read the flows back" step of every `interpret`.
+pub(crate) fn positive_values<K: Ord + Copy>(
+    vars: &BTreeMap<K, VarId>,
+    values: &[Ratio],
+) -> BTreeMap<K, Ratio> {
+    let mut out = BTreeMap::new();
+    for (&key, &var) in vars {
+        let v = values[var.index()].clone();
+        if v.is_positive() {
+            out.insert(key, v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scatter::ScatterProblem;
+    use steady_platform::generators::figure2;
+    use steady_rational::rat;
+
+    #[test]
+    fn shared_driver_matches_the_inherent_solve() {
+        let problem = ScatterProblem::from_instance(figure2()).unwrap();
+        let direct = problem.solve().unwrap();
+        let (via_driver, report) = solve_steady_warm(&problem, None).unwrap();
+        assert_eq!(via_driver.throughput(), direct.throughput());
+        assert!(!report.warm_started);
+        assert!(report.basis.is_some());
+        assert_eq!(ScatterProblem::KIND, "scatter");
+    }
+
+    #[test]
+    fn warm_start_reuses_the_basis_and_matches_cold() {
+        let problem = ScatterProblem::from_instance(figure2()).unwrap();
+        let (cold, cold_report) = solve_steady_warm(&problem, None).unwrap();
+        let basis = cold_report.basis.expect("cold solve yields a basis");
+        let (warm, warm_report) = solve_steady_warm(&problem, Some(&basis)).unwrap();
+        assert!(warm_report.warm_started);
+        assert!(warm_report.iterations <= cold_report.iterations);
+        assert_eq!(warm.throughput(), cold.throughput());
+        assert_eq!(*warm.throughput(), rat(1, 2));
+    }
+}

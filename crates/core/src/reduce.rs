@@ -352,24 +352,25 @@ impl ReduceProblem {
 
     /// Solves `SSR(G)` exactly.
     pub fn solve(&self) -> Result<ReduceSolution, CoreError> {
-        let (lp, vars) = self.build_lp();
-        let sol = steady_lp::solve_exact_auto(&lp)?;
-        let mut sends = BTreeMap::new();
-        for (&key, &var) in &vars.send {
-            let v = sol.values[var.index()].clone();
-            if v.is_positive() {
-                sends.insert(key, v);
-            }
+        crate::problem::solve_steady(self)
+    }
+}
+
+impl crate::problem::SteadyProblem for ReduceProblem {
+    type Vars = ReduceVars;
+    type Solution = ReduceSolution;
+    const KIND: &'static str = "reduce";
+
+    fn formulate(&self) -> (LpProblem, ReduceVars) {
+        self.build_lp()
+    }
+
+    fn interpret(&self, vars: &ReduceVars, values: &[Ratio]) -> ReduceSolution {
+        ReduceSolution {
+            throughput: values[vars.throughput.index()].clone(),
+            sends: crate::problem::positive_values(&vars.send, values),
+            tasks: crate::problem::positive_values(&vars.cons, values),
         }
-        let mut tasks = BTreeMap::new();
-        for (&key, &var) in &vars.cons {
-            let v = sol.values[var.index()].clone();
-            if v.is_positive() {
-                tasks.insert(key, v);
-            }
-        }
-        let throughput = sol.values[vars.throughput.index()].clone();
-        Ok(ReduceSolution { throughput, sends, tasks })
     }
 }
 

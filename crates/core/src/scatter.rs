@@ -200,17 +200,24 @@ impl ScatterProblem {
 
     /// Solves `SSSP(G)` exactly and returns the steady-state solution.
     pub fn solve(&self) -> Result<ScatterSolution, CoreError> {
-        let (lp, vars) = self.build_lp();
-        let sol = steady_lp::solve_exact_auto(&lp)?;
-        let mut flows = BTreeMap::new();
-        for (&key, &var) in &vars.send {
-            let v = sol.values[var.index()].clone();
-            if v.is_positive() {
-                flows.insert(key, v);
-            }
+        crate::problem::solve_steady(self)
+    }
+}
+
+impl crate::problem::SteadyProblem for ScatterProblem {
+    type Vars = ScatterVars;
+    type Solution = ScatterSolution;
+    const KIND: &'static str = "scatter";
+
+    fn formulate(&self) -> (LpProblem, ScatterVars) {
+        self.build_lp()
+    }
+
+    fn interpret(&self, vars: &ScatterVars, values: &[Ratio]) -> ScatterSolution {
+        ScatterSolution {
+            throughput: values[vars.throughput.index()].clone(),
+            flows: crate::problem::positive_values(&vars.send, values),
         }
-        let throughput = sol.values[vars.throughput.index()].clone();
-        Ok(ScatterSolution { throughput, flows })
     }
 }
 

@@ -22,7 +22,7 @@
 //! experiment.
 
 use crate::model::{LpProblem, Objective, Sense};
-use crate::simplex::{self, SimplexError, SimplexOptions, Solution};
+use crate::simplex::{self, SimplexError, SimplexOptions, Solution, SolvedBasis};
 use steady_rational::Ratio;
 
 /// How the returned exact solution was validated.
@@ -50,6 +50,11 @@ pub struct CertifiedSolution {
     pub certificate: Certificate,
     /// Total simplex pivots performed (f64 + fallback).
     pub iterations: usize,
+    /// `true` when the underlying simplex resumed from a supplied basis.
+    pub warm_started: bool,
+    /// Final basis of the underlying simplex run, reusable to warm-start a
+    /// structurally identical solve (`None` only for hand-built solutions).
+    pub basis: Option<SolvedBasis>,
 }
 
 /// Options controlling [`solve_certified`].
@@ -116,20 +121,46 @@ pub fn solve_certified_with_options(
     problem: &LpProblem,
     options: &CertifyOptions,
 ) -> Result<CertifiedSolution, CertifyError> {
-    let float = simplex::solve_with_options::<f64>(problem, &options.simplex)?;
+    solve_certified_warm(problem, options, None)
+}
+
+/// [`solve_certified_with_options`], optionally resuming the `f64` simplex
+/// from a previously solved basis.
+///
+/// The warm basis seeds the floating-point solve; when certification fails
+/// and the exact rational simplex must re-solve, it is seeded with the
+/// basis the `f64` run ended on — which is usually the optimal vertex, so
+/// the expensive exact run mostly just confirms it.
+pub fn solve_certified_warm(
+    problem: &LpProblem,
+    options: &CertifyOptions,
+    warm: Option<&SolvedBasis>,
+) -> Result<CertifiedSolution, CertifyError> {
+    let float = match warm {
+        Some(basis) => simplex::solve_with_basis_options::<f64>(problem, basis, &options.simplex)?,
+        None => simplex::solve_with_options::<f64>(problem, &options.simplex)?,
+    };
     match certify(problem, &float, options.max_denominator) {
         Ok(sol) => Ok(sol),
         Err(reason) => {
             if options.forbid_fallback {
                 return Err(CertifyError::CertificationFailed { reason });
             }
-            let exact = simplex::solve_with_options::<Ratio>(problem, &options.simplex)?;
+            let exact = simplex::solve_with_basis_options::<Ratio>(
+                problem,
+                &float.basis,
+                &options.simplex,
+            )?;
             Ok(CertifiedSolution {
                 values: exact.values,
                 objective: exact.objective,
                 duals: exact.duals,
                 certificate: Certificate::ExactSimplex,
                 iterations: float.iterations + exact.iterations,
+                // Caller-perspective flag: did the *supplied* basis take?  The
+                // exact re-solve is always internally seeded from the f64 basis.
+                warm_started: float.warm_started,
+                basis: Some(exact.basis),
             })
         }
     }
@@ -181,6 +212,8 @@ pub fn certify(
         duals,
         certificate: Certificate::Optimal,
         iterations: float.iterations,
+        warm_started: float.warm_started,
+        basis: Some(float.basis.clone()),
     })
 }
 
@@ -316,6 +349,9 @@ mod tests {
             objective: 5.0,
             duals: vec![0.0, 0.0],
             iterations: 0,
+            phase1_iterations: 0,
+            warm_started: false,
+            basis: crate::simplex::SolvedBasis::default(),
         };
         let err = certify(&lp, &float, 1_000_000).unwrap_err();
         assert!(err.contains("dual") || err.contains("gap"), "unexpected reason: {err}");
@@ -329,6 +365,9 @@ mod tests {
             objective: 30.0,
             duals: vec![3.0, 0.0],
             iterations: 0,
+            phase1_iterations: 0,
+            warm_started: false,
+            basis: crate::simplex::SolvedBasis::default(),
         };
         let err = certify(&lp, &float, 1_000_000).unwrap_err();
         assert!(err.contains("primal infeasible"), "unexpected reason: {err}");

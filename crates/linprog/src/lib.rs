@@ -47,13 +47,14 @@ pub mod scalar;
 pub mod simplex;
 
 pub use exact::{
-    certify, solve_certified, solve_certified_with_options, Certificate, CertifiedSolution,
-    CertifyError, CertifyOptions,
+    certify, solve_certified, solve_certified_warm, solve_certified_with_options, Certificate,
+    CertifiedSolution, CertifyError, CertifyOptions,
 };
 pub use model::{Constraint, LinearExpr, LpProblem, Objective, Sense, VarId};
 pub use scalar::Scalar;
 pub use simplex::{
-    solve_exact, solve_f64, solve_with_options, LpStatus, SimplexError, SimplexOptions, Solution,
+    solve_exact, solve_f64, solve_with_basis, solve_with_basis_options, solve_with_options,
+    LpStatus, SimplexError, SimplexOptions, Solution, SolvedBasis,
 };
 
 use steady_rational::Ratio;
@@ -64,19 +65,37 @@ use steady_rational::Ratio;
 ///
 /// This is the entry point used by the steady-state schedulers.
 pub fn solve_exact_auto(problem: &LpProblem) -> Result<CertifiedSolution, CertifyError> {
+    solve_exact_auto_with(problem, None)
+}
+
+/// [`solve_exact_auto`], optionally warm-starting from a previously solved
+/// basis (see [`SolvedBasis`]).
+///
+/// The strategy choice is identical to the cold path, so warm and cold
+/// solves of the same problem run the same arithmetic and return the same
+/// exact optimum — the basis only changes where the simplex *starts*.
+pub fn solve_exact_auto_with(
+    problem: &LpProblem,
+    warm: Option<&SolvedBasis>,
+) -> Result<CertifiedSolution, CertifyError> {
     const EXACT_SIMPLEX_LIMIT: usize = 2_000;
     let size = problem.num_vars() * problem.num_constraints().max(1);
     if size <= EXACT_SIMPLEX_LIMIT {
-        let sol = simplex::solve_exact(problem)?;
+        let sol = match warm {
+            Some(basis) => simplex::solve_with_basis::<Ratio>(problem, basis)?,
+            None => simplex::solve_exact(problem)?,
+        };
         Ok(CertifiedSolution {
             values: sol.values,
             objective: sol.objective,
             duals: sol.duals,
             certificate: Certificate::ExactSimplex,
             iterations: sol.iterations,
+            warm_started: sol.warm_started,
+            basis: Some(sol.basis),
         })
     } else {
-        solve_certified(problem)
+        exact::solve_certified_warm(problem, &CertifyOptions::default(), warm)
     }
 }
 

@@ -59,6 +59,86 @@ impl std::fmt::Display for SimplexError {
 
 impl std::error::Error for SimplexError {}
 
+/// The final basis of a solved LP, in the solver's equality standard form.
+///
+/// A basis is the partition of the standard-form columns (structural
+/// variables first, then slacks, then artificials) into `m` *basic* columns —
+/// one per constraint row, recorded here in row order — and the rest, which
+/// are non-basic at zero.  It is the piece of solver state worth keeping
+/// between solves: [`solve_with_basis`] resumes the simplex from a previously
+/// optimal basis, which on a problem that differs only in its numeric data
+/// (e.g. perturbed edge costs) is usually optimal or near-optimal already.
+///
+/// # Invariants
+///
+/// * `cols.len()` equals the number of constraint rows of the problem the
+///   basis was extracted from, and `cols[i]` is the column basic in row `i`.
+/// * Every entry is unique and `< num_cols`; `num_cols` and `n_structural`
+///   describe the standard form (total columns / structural prefix) and are
+///   used by [`solve_with_basis`] to reject a basis from a *structurally
+///   different* problem before attempting to install it.
+/// * A basis is advisory, never load-bearing: installing it on a compatible
+///   problem yields a starting vertex, after which the simplex re-optimizes
+///   to provable optimality.  A basis that turns out to be singular or primal
+///   infeasible for the new data is discarded and the solve falls back to
+///   the ordinary two-phase method, so a stale or even corrupted basis can
+///   cost time but can never change the reported optimum.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SolvedBasis {
+    /// Basic column of each constraint row, in row order.
+    pub cols: Vec<usize>,
+    /// Total number of standard-form columns (structural + slack + artificial).
+    pub num_cols: usize,
+    /// Number of structural (user-declared) columns.
+    pub n_structural: usize,
+}
+
+impl SolvedBasis {
+    /// Serializes the basis as a single JSON object
+    /// (`{"cols":[...],"num_cols":N,"n_structural":K}`).
+    pub fn to_json(&self) -> String {
+        let cols: Vec<String> = self.cols.iter().map(|c| c.to_string()).collect();
+        format!(
+            "{{\"cols\":[{}],\"num_cols\":{},\"n_structural\":{}}}",
+            cols.join(","),
+            self.num_cols,
+            self.n_structural
+        )
+    }
+
+    /// Parses the representation produced by [`SolvedBasis::to_json`].
+    pub fn from_json(text: &str) -> Result<SolvedBasis, String> {
+        let field = |name: &str| -> Result<&str, String> {
+            let tag = format!("\"{name}\":");
+            let start =
+                text.find(&tag).ok_or_else(|| format!("missing field '{name}'"))? + tag.len();
+            let rest = &text[start..];
+            let end =
+                rest.find([',', '}']).ok_or_else(|| format!("unterminated field '{name}'"))?;
+            Ok(rest[..end].trim())
+        };
+        let cols_start =
+            text.find("\"cols\":[").ok_or_else(|| "missing field 'cols'".to_string())? + 8;
+        let cols_end =
+            text[cols_start..].find(']').ok_or_else(|| "unterminated 'cols' array".to_string())?
+                + cols_start;
+        let body = text[cols_start..cols_end].trim();
+        let cols = if body.is_empty() {
+            Vec::new()
+        } else {
+            body.split(',')
+                .map(|c| c.trim().parse::<usize>().map_err(|e| format!("bad column: {e}")))
+                .collect::<Result<Vec<usize>, String>>()?
+        };
+        let num_cols =
+            field("num_cols")?.parse::<usize>().map_err(|e| format!("bad num_cols: {e}"))?;
+        let n_structural = field("n_structural")?
+            .parse::<usize>()
+            .map_err(|e| format!("bad n_structural: {e}"))?;
+        Ok(SolvedBasis { cols, num_cols, n_structural })
+    }
+}
+
 /// Solution of a linear program in scalar type `S`.
 #[derive(Debug, Clone)]
 pub struct Solution<S> {
@@ -72,6 +152,13 @@ pub struct Solution<S> {
     pub duals: Vec<S>,
     /// Number of simplex pivots performed (both phases).
     pub iterations: usize,
+    /// Number of those pivots spent in phase 1 (feasibility search).
+    pub phase1_iterations: usize,
+    /// `true` when the solve resumed from a supplied [`SolvedBasis`] (the
+    /// basis installed cleanly and was primal feasible for this data).
+    pub warm_started: bool,
+    /// The final basis, reusable to warm-start a structurally identical solve.
+    pub basis: SolvedBasis,
 }
 
 impl<S: Scalar> Solution<S> {
@@ -117,7 +204,48 @@ pub fn solve_with_options<S: Scalar>(
     problem: &LpProblem,
     options: &SimplexOptions,
 ) -> Result<Solution<S>, SimplexError> {
-    Tableau::<S>::build(problem).solve(problem, options)
+    Tableau::<S>::build(problem).run(problem, options, false)
+}
+
+/// Solves `problem`, resuming the simplex from a previously solved basis.
+///
+/// The basis must come from a problem with the same standard-form shape
+/// (same constraint rows in the same order, same senses, same variables) —
+/// typically the same steady-state LP with different numeric costs.  When the
+/// basis installs cleanly and is primal feasible for the new data, phase 1 is
+/// skipped entirely (unless the installed point leaves an artificial variable
+/// positive, in which case phase 1 re-runs from it); when it is incompatible,
+/// singular or infeasible, the solve silently falls back to the ordinary
+/// two-phase method, so the result is identical to [`solve`] either way —
+/// only the pivot count changes.
+pub fn solve_with_basis<S: Scalar>(
+    problem: &LpProblem,
+    basis: &SolvedBasis,
+) -> Result<Solution<S>, SimplexError> {
+    solve_with_basis_options(problem, basis, &SimplexOptions::default())
+}
+
+/// [`solve_with_basis`] with explicit options.
+pub fn solve_with_basis_options<S: Scalar>(
+    problem: &LpProblem,
+    basis: &SolvedBasis,
+    options: &SimplexOptions,
+) -> Result<Solution<S>, SimplexError> {
+    let mut tableau = Tableau::<S>::build(problem);
+    let compatible = basis.cols.len() == tableau.num_rows()
+        && basis.num_cols == tableau.num_cols()
+        && basis.n_structural == tableau.n_structural
+        && basis.cols.iter().all(|&c| c < basis.num_cols)
+        && {
+            let mut sorted = basis.cols.clone();
+            sorted.sort_unstable();
+            sorted.windows(2).all(|w| w[0] != w[1])
+        };
+    if compatible && tableau.install_basis(&basis.cols) {
+        return tableau.run(problem, options, true);
+    }
+    // The install pivoted the tableau partway; rebuild and solve cold.
+    Tableau::<S>::build(problem).run(problem, options, false)
 }
 
 /// Column classification in the standard-form tableau.
@@ -396,16 +524,84 @@ impl<S: Scalar> Tableau<S> {
         }
     }
 
-    fn solve(
+    /// Attempts to pivot the tableau onto the supplied basis (column `cols[i]`
+    /// basic in row `i`).  Targets whose pivot entry is currently zero are
+    /// retried after other installs create fill-in; if a full pass makes no
+    /// progress the basis is singular for this problem's data and `false` is
+    /// returned (the tableau is then partially pivoted and must be discarded).
+    /// Installation also fails when the installed vertex has a negative basic
+    /// value — such a basis is primal infeasible and cannot seed the primal
+    /// simplex, whose ratio test assumes `rhs >= 0`.
+    fn install_basis(&mut self, cols: &[usize]) -> bool {
+        let m = self.num_rows();
+        let target: std::collections::HashSet<usize> = cols.iter().copied().collect();
+        // A basis is a *set* of columns; which row each one ends up basic in
+        // is irrelevant (the tableau is the same up to row order), and fixing
+        // the row assignment up front would wrongly fail on bases that
+        // permute the current one.  Rows already holding a target column are
+        // claimed; every other target is pivoted into some unclaimed row.
+        let mut claimed: Vec<bool> = (0..m).map(|i| target.contains(&self.basis[i])).collect();
+        let mut pending: Vec<usize> = {
+            let basic: std::collections::HashSet<usize> = self.basis.iter().copied().collect();
+            cols.iter().copied().filter(|c| !basic.contains(c)).collect()
+        };
+        // Multi-pass: a pivot creates fill-in that can unlock a target column
+        // whose entries in the unclaimed rows were all zero so far.
+        while !pending.is_empty() {
+            let before = pending.len();
+            pending.retain(|&c| {
+                // Pick the unclaimed row with the largest pivot magnitude —
+                // in exact arithmetic any non-zero works, in f64 it keeps the
+                // reconstruction well-conditioned.
+                let row = (0..m).filter(|&r| !claimed[r] && !self.rows[r][c].is_zero()).max_by(
+                    |&a, &b| {
+                        let (va, vb) =
+                            (self.rows[a][c].to_f64().abs(), self.rows[b][c].to_f64().abs());
+                        va.partial_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal)
+                    },
+                );
+                match row {
+                    Some(r) => {
+                        self.pivot(r, c);
+                        claimed[r] = true;
+                        false
+                    }
+                    None => true,
+                }
+            });
+            if pending.len() == before {
+                return false;
+            }
+        }
+        self.rhs.iter().all(|b| !b.is_negative())
+    }
+
+    fn run(
         mut self,
         problem: &LpProblem,
         options: &SimplexOptions,
+        warm_started: bool,
     ) -> Result<Solution<S>, SimplexError> {
         let mut iterations = 0usize;
-        let has_artificials = self.kinds.contains(&ColKind::Artificial);
 
         // ---- Phase 1: minimize the sum of artificial variables. ----
-        if has_artificials {
+        //
+        // Cold, phase 1 runs whenever artificials exist: even when they all
+        // start at zero (all-zero-rhs equality rows, common in the flow LPs),
+        // its pivots select a *well-conditioned* feasible basis, and skipping
+        // it leaves phase 2 to fight the degeneracy from an arbitrary one —
+        // observed as a >100x pivot blow-up on the steady-state reduce LPs.
+        // Warm, the installed basis was optimal for a sibling problem, so
+        // phase 1 is only needed if it leaves an artificial basic at a
+        // strictly positive value (i.e. the basis is infeasible here).
+        let needs_phase1 = if warm_started {
+            (0..self.num_rows()).any(|i| {
+                self.kinds[self.basis[i]] == ColKind::Artificial && self.rhs[i].is_positive()
+            })
+        } else {
+            self.kinds.contains(&ColKind::Artificial)
+        };
+        if needs_phase1 {
             let phase1_costs: Vec<S> = self
                 .kinds
                 .iter()
@@ -424,20 +620,21 @@ impl<S: Scalar> Tableau<S> {
             if infeasibility.is_positive() {
                 return Err(SimplexError::Infeasible);
             }
+        }
+        let phase1_iterations = iterations;
 
-            // Drive artificial variables out of the basis where possible so the
-            // phase-2 basis is made of real columns.  Rows where no real column
-            // has a non-zero entry are redundant; their artificial stays basic
-            // at value zero and is simply never allowed to re-enter.
-            for i in 0..self.num_rows() {
-                if self.kinds[self.basis[i]] != ColKind::Artificial {
-                    continue;
-                }
-                let replacement = (0..self.num_cols())
-                    .find(|&j| self.kinds[j] != ColKind::Artificial && !self.rows[i][j].is_zero());
-                if let Some(j) = replacement {
-                    self.pivot(i, j);
-                }
+        // Drive artificial variables out of the basis where possible so the
+        // phase-2 basis is made of real columns.  Rows where no real column
+        // has a non-zero entry are redundant; their artificial stays basic
+        // at value zero and is simply never allowed to re-enter.
+        for i in 0..self.num_rows() {
+            if self.kinds[self.basis[i]] != ColKind::Artificial {
+                continue;
+            }
+            let replacement = (0..self.num_cols())
+                .find(|&j| self.kinds[j] != ColKind::Artificial && !self.rows[i][j].is_zero());
+            if let Some(j) = replacement {
+                self.pivot(i, j);
             }
         }
 
@@ -489,7 +686,20 @@ impl<S: Scalar> Tableau<S> {
             duals.push(y);
         }
 
-        Ok(Solution { values, objective, duals, iterations })
+        let basis = SolvedBasis {
+            cols: self.basis.clone(),
+            num_cols: self.num_cols(),
+            n_structural: self.n_structural,
+        };
+        Ok(Solution {
+            values,
+            objective,
+            duals,
+            iterations,
+            phase1_iterations,
+            warm_started,
+            basis,
+        })
     }
 }
 
@@ -709,6 +919,110 @@ mod tests {
         lp.add_constraint("cap", expr(&[(x, rat(1, 1))]), Sense::Le, rat(3, 1));
         let sol = solve_exact(&lp).unwrap();
         assert_eq!(sol.objective, Ratio::zero());
+    }
+
+    #[test]
+    fn warm_start_on_identical_problem_repivots_nothing() {
+        let lp = sample_lp();
+        let cold = solve_exact(&lp).unwrap();
+        assert!(!cold.warm_started);
+        let warm = solve_with_basis::<Ratio>(&lp, &cold.basis).unwrap();
+        assert!(warm.warm_started);
+        assert_eq!(warm.iterations, 0, "the optimal basis needs no further pivots");
+        assert_eq!(warm.objective, cold.objective);
+        assert_eq!(warm.values, cold.values);
+        assert_eq!(warm.basis, cold.basis);
+    }
+
+    #[test]
+    fn warm_start_with_perturbed_costs_matches_cold_solve() {
+        // Same constraint structure, different coefficients and rhs: the old
+        // basis seeds the solve, the optimum must match a cold solve exactly.
+        let lp = sample_lp();
+        let cold_basis = solve_exact(&lp).unwrap().basis;
+        let mut perturbed = LpProblem::maximize();
+        let x = perturbed.add_var("x");
+        let y = perturbed.add_var("y");
+        perturbed.set_objective(x, rat(3, 1));
+        perturbed.set_objective(y, rat(2, 1));
+        perturbed.add_constraint(
+            "c1",
+            expr(&[(x, rat(1, 1)), (y, rat(2, 1))]),
+            Sense::Le,
+            rat(5, 1),
+        );
+        perturbed.add_constraint(
+            "c2",
+            expr(&[(x, rat(1, 1)), (y, rat(3, 1))]),
+            Sense::Le,
+            rat(7, 1),
+        );
+        let warm = solve_with_basis::<Ratio>(&perturbed, &cold_basis).unwrap();
+        let cold = solve_exact(&perturbed).unwrap();
+        assert_eq!(warm.objective, cold.objective);
+        assert_eq!(warm.values, cold.values);
+        assert!(warm.warm_started);
+    }
+
+    #[test]
+    fn incompatible_basis_falls_back_to_cold_solve() {
+        let lp = sample_lp();
+        let foreign = SolvedBasis { cols: vec![0, 1, 2], num_cols: 9, n_structural: 3 };
+        let sol = solve_with_basis::<Ratio>(&lp, &foreign).unwrap();
+        assert!(!sol.warm_started);
+        assert_eq!(sol.objective, rat(12, 1));
+    }
+
+    #[test]
+    fn warm_start_reruns_phase1_when_an_artificial_stays_positive() {
+        // maximize x s.t. x + y == 3, x <= 2.  Standard-form columns:
+        // x(0), y(1), slack of c2 (2), artificial of c1 (3).  Installing the
+        // basis {artificial, slack} reproduces the initial tableau — the
+        // artificial is basic at 3 > 0, so the warm solve must re-enter
+        // phase 1 and still reach the exact optimum (2, 1).
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective(x, rat(1, 1));
+        lp.add_constraint("sum", expr(&[(x, rat(1, 1)), (y, rat(1, 1))]), Sense::Eq, rat(3, 1));
+        lp.add_constraint("cap", expr(&[(x, rat(1, 1))]), Sense::Le, rat(2, 1));
+        let infeasible_basis = SolvedBasis { cols: vec![3, 2], num_cols: 4, n_structural: 2 };
+        let warm = solve_with_basis::<Ratio>(&lp, &infeasible_basis).unwrap();
+        assert!(warm.warm_started);
+        assert!(warm.phase1_iterations > 0, "phase 1 must re-run from the infeasible basis");
+        let cold = solve_exact(&lp).unwrap();
+        assert_eq!(warm.objective, cold.objective);
+        assert_eq!(warm.values, cold.values);
+        assert_eq!(warm.values, vec![rat(2, 1), rat(1, 1)]);
+    }
+
+    #[test]
+    fn primal_infeasible_basis_falls_back_to_cold_solve() {
+        // maximize x s.t. x - y <= 2, x <= 5.  Columns: x(0), y(1), sl1(2),
+        // sl2(3).  The basis {y, sl2} pivots row 1 on the -1 entry of y,
+        // turning the rhs negative — primal infeasible, so the warm solve
+        // must discard the basis and run the ordinary two-phase method.
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective(x, rat(1, 1));
+        lp.add_constraint("c1", expr(&[(x, rat(1, 1)), (y, rat(-1, 1))]), Sense::Le, rat(2, 1));
+        lp.add_constraint("c2", expr(&[(x, rat(1, 1))]), Sense::Le, rat(5, 1));
+        let bad = SolvedBasis { cols: vec![1, 3], num_cols: 4, n_structural: 2 };
+        let sol = solve_with_basis::<Ratio>(&lp, &bad).unwrap();
+        assert!(!sol.warm_started);
+        assert_eq!(sol.objective, rat(5, 1));
+    }
+
+    #[test]
+    fn solved_basis_json_round_trip() {
+        let basis = solve_exact(&sample_lp()).unwrap().basis;
+        let parsed = SolvedBasis::from_json(&basis.to_json()).unwrap();
+        assert_eq!(parsed, basis);
+        let empty = SolvedBasis::default();
+        assert_eq!(SolvedBasis::from_json(&empty.to_json()).unwrap(), empty);
+        assert!(SolvedBasis::from_json("{\"cols\":[1,2]}").is_err());
+        assert!(SolvedBasis::from_json("not json").is_err());
     }
 
     #[test]

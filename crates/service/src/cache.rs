@@ -162,6 +162,18 @@ impl SolutionCache {
         }
     }
 
+    /// A point-in-time copy of every cached `(key, answer)` pair, in
+    /// unspecified order (used by snapshot persistence; shards are read one
+    /// at a time, so concurrent inserts may or may not be included).
+    pub fn entries(&self) -> Vec<(u64, Arc<Answer>)> {
+        let mut out = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            let shard = shard.read();
+            out.extend(shard.iter().map(|(&k, entry)| (k, Arc::clone(&entry.answer))));
+        }
+        out
+    }
+
     /// Number of cached answers.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.read().len()).sum()

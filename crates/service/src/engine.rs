@@ -1,4 +1,5 @@
-//! The serving engine: a worker pool with single-flight deduplication.
+//! The serving engine: a worker pool with single-flight deduplication,
+//! warm-started cold solves and admission control.
 //!
 //! Queries are submitted to an unbounded crossbeam channel and picked up by a
 //! fixed pool of worker threads (the threaded-executor shape: workers share
@@ -9,21 +10,40 @@
 //! 2. on a miss, checks the **in-flight table**: if an identical (isomorphic)
 //!    query is already being solved, the reply channel is parked on that
 //!    solve instead of stampeding the LP — *single-flight* deduplication;
-//! 3. otherwise solves cold, publishes the answer to the cache, and fans the
-//!    result out to every parked waiter.
+//! 3. passes the **admission gate**: at most
+//!    [`ServiceConfig::max_inflight_cold`] cold solves run concurrently, a
+//!    bounded number more wait their turn (each waiter still occupies its
+//!    worker thread — see [`ServiceConfig::cold_queue`] for how to size the
+//!    bound so cache hits keep dedicated workers), and the excess is *shed*
+//!    with [`ServeError::Shed`];
+//! 4. solves — **warm-started** from the cached [`SolvedBasis`] of the
+//!    query's structural class (same topology and roles, any edge costs)
+//!    when one exists — publishes the answer and its final basis, and fans
+//!    the result out to every parked waiter.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+use steady_core::problem::SolvedBasis;
 use steady_platform::Platform;
 
 use crate::cache::{CacheConfig, CacheStats, SolutionCache};
+use crate::fingerprint::Fingerprint;
+use crate::persist;
 use crate::query::{solve_prepared, Answer, Query};
 use crate::ServiceError;
+
+/// Upper bound on remembered warm-start bases (one per structural class);
+/// beyond it, new classes are simply not remembered.  A basis is a few
+/// hundred `usize`s, so this caps the table at a few MB even under
+/// adversarial traffic that never repeats a structure.
+const MAX_CACHED_BASES: usize = 4096;
 
 /// Configuration of a [`Service`].
 #[derive(Debug, Clone)]
@@ -35,11 +55,45 @@ pub struct ServiceConfig {
     /// Whether answers include an explicit periodic schedule (slower solves,
     /// richer answers).
     pub build_schedules: bool,
+    /// Maximum number of cold LP solves running concurrently (0 = unlimited).
+    /// Excess cold queries wait in a bounded queue or are shed.
+    pub max_inflight_cold: usize,
+    /// How many cold queries may wait for a solve slot when the gate is full
+    /// (only meaningful with `max_inflight_cold > 0`); arrivals beyond this
+    /// are shed with [`ServeError::Shed`].
+    ///
+    /// Each *waiting* cold query occupies a worker thread, so at most
+    /// `workers - max_inflight_cold` can ever wait at once regardless of
+    /// this bound, and every waiter reduces the capacity left for cached
+    /// traffic.  To actually protect cache-hit latency under a cold
+    /// stampede, keep `max_inflight_cold + cold_queue` *below* `workers`
+    /// (e.g. `workers: 8, max_inflight_cold: 2, cold_queue: 2` sheds the
+    /// rest while 4+ workers keep serving hits); a `cold_queue` of
+    /// `workers` or more means no query is ever shed in practice.
+    pub cold_queue: usize,
+    /// Optional snapshot file (see [`Service::snapshot`]) whose entries are
+    /// loaded into the cache on start, restoring the previous warm set.
+    pub preload_from: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        ServiceConfig { workers: 4, cache: CacheConfig::default(), build_schedules: false }
+        ServiceConfig {
+            workers: 4,
+            cache: CacheConfig::default(),
+            build_schedules: false,
+            max_inflight_cold: 0,
+            cold_queue: 16,
+            preload_from: None,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Sets the snapshot file to preload the cache from on start.
+    pub fn preload(mut self, path: impl Into<PathBuf>) -> Self {
+        self.preload_from = Some(path.into());
+        self
     }
 }
 
@@ -63,8 +117,37 @@ pub struct Served {
     pub via: ServedVia,
 }
 
+/// Why a query was not served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The query was invalid, the problem infeasible, or the solve failed.
+    Failed(ServiceError),
+    /// The query needed a cold solve but the admission gate was saturated
+    /// (see [`ServiceConfig::max_inflight_cold`]): the service chose to shed
+    /// it rather than degrade cached traffic.  Retrying later is reasonable —
+    /// nothing is wrong with the query itself.
+    Shed,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Failed(e) => write!(f, "{e}"),
+            ServeError::Shed => write!(f, "shed under cold-solve overload"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ServiceError> for ServeError {
+    fn from(e: ServiceError) -> Self {
+        ServeError::Failed(e)
+    }
+}
+
 /// Result type delivered on a response channel.
-pub type ServeResult = Result<Served, ServiceError>;
+pub type ServeResult = Result<Served, ServeError>;
 
 /// Counters describing a service's traffic so far.  Cache counters are
 /// folded in: `hits + misses == queries` for well-formed queries (coalesced
@@ -79,8 +162,25 @@ pub struct ServiceStats {
     pub misses: u64,
     /// Queries parked on an identical in-flight solve.
     pub coalesced: u64,
-    /// Cold LP solves performed.
+    /// Cold LP solves attempted (successful or not).
     pub solves: u64,
+    /// Successful solves warm-started from a cached structural-class basis
+    /// that installed cleanly.
+    pub warm_solves: u64,
+    /// Successful from-scratch solves (no usable basis for the structural
+    /// class).  `warm_solves + cold_solves <= solves`; the difference is
+    /// failed attempts, which record neither pivots nor latency.
+    pub cold_solves: u64,
+    /// Simplex pivots spent in warm-started solves.
+    pub warm_pivots: u64,
+    /// Simplex pivots spent in from-scratch solves.
+    pub cold_pivots: u64,
+    /// Wall-clock nanoseconds spent in warm-started solves.
+    pub warm_solve_nanos: u64,
+    /// Wall-clock nanoseconds spent in from-scratch solves.
+    pub cold_solve_nanos: u64,
+    /// Queries shed by cold-solve admission control.
+    pub shed: u64,
     /// Error responses delivered (bad query, infeasible problem or panicked
     /// solve; coalesced waiters on a failed solve count once each).
     pub errors: u64,
@@ -98,6 +198,26 @@ impl ServiceStats {
         CacheStats { hits: self.hits, misses: self.misses, ..CacheStats::default() }.hit_ratio()
     }
 
+    /// Mean simplex pivots per warm-started solve (0 when none ran).
+    pub fn mean_warm_pivots(&self) -> f64 {
+        mean(self.warm_pivots, self.warm_solves)
+    }
+
+    /// Mean simplex pivots per from-scratch solve (0 when none ran).
+    pub fn mean_cold_pivots(&self) -> f64 {
+        mean(self.cold_pivots, self.cold_solves)
+    }
+
+    /// Mean wall-clock microseconds per warm-started solve (0 when none ran).
+    pub fn mean_warm_solve_micros(&self) -> f64 {
+        mean(self.warm_solve_nanos, self.warm_solves) / 1_000.0
+    }
+
+    /// Mean wall-clock microseconds per from-scratch solve (0 when none ran).
+    pub fn mean_cold_solve_micros(&self) -> f64 {
+        mean(self.cold_solve_nanos, self.cold_solves) / 1_000.0
+    }
+
     /// Counter increments between the `earlier` snapshot and this one, for
     /// isolating one load run on a service that has already served traffic.
     /// `cached_entries` is a gauge, not a counter, and keeps this snapshot's
@@ -109,11 +229,26 @@ impl ServiceStats {
             misses: self.misses.saturating_sub(earlier.misses),
             coalesced: self.coalesced.saturating_sub(earlier.coalesced),
             solves: self.solves.saturating_sub(earlier.solves),
+            warm_solves: self.warm_solves.saturating_sub(earlier.warm_solves),
+            cold_solves: self.cold_solves.saturating_sub(earlier.cold_solves),
+            warm_pivots: self.warm_pivots.saturating_sub(earlier.warm_pivots),
+            cold_pivots: self.cold_pivots.saturating_sub(earlier.cold_pivots),
+            warm_solve_nanos: self.warm_solve_nanos.saturating_sub(earlier.warm_solve_nanos),
+            cold_solve_nanos: self.cold_solve_nanos.saturating_sub(earlier.cold_solve_nanos),
+            shed: self.shed.saturating_sub(earlier.shed),
             errors: self.errors.saturating_sub(earlier.errors),
             insertions: self.insertions.saturating_sub(earlier.insertions),
             evictions: self.evictions.saturating_sub(earlier.evictions),
             cached_entries: self.cached_entries,
         }
+    }
+}
+
+fn mean(total: u64, count: u64) -> f64 {
+    if count == 0 {
+        0.0
+    } else {
+        total as f64 / count as f64
     }
 }
 
@@ -149,13 +284,101 @@ fn tailor(answer: &Arc<Answer>, platform: &Platform) -> Arc<Answer> {
     }
 }
 
+/// State of the cold-solve admission gate.
+#[derive(Default)]
+struct GateState {
+    running: usize,
+    waiting: usize,
+}
+
+/// Bounds the number of concurrently running cold solves.  Admission either
+/// succeeds (possibly after waiting in a bounded queue) or tells the caller
+/// to shed; a [`ColdSlot`] releases the slot on drop so a panicking solve
+/// cannot leak capacity.
+struct ColdGate {
+    /// 0 means the gate is disabled (unlimited cold solves).
+    max_running: usize,
+    max_waiting: usize,
+    state: std::sync::Mutex<GateState>,
+    freed: std::sync::Condvar,
+}
+
+enum Admission {
+    Admitted,
+    Shed,
+}
+
+impl ColdGate {
+    fn new(max_running: usize, max_waiting: usize) -> ColdGate {
+        ColdGate {
+            max_running,
+            max_waiting,
+            state: std::sync::Mutex::new(GateState::default()),
+            freed: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Waits for a cold-solve slot, or decides to shed when both the slots
+    /// and the waiting queue are full.
+    fn admit(&self) -> Admission {
+        if self.max_running == 0 {
+            return Admission::Admitted;
+        }
+        let mut state = self.state.lock().expect("gate lock");
+        if state.running >= self.max_running {
+            if state.waiting >= self.max_waiting {
+                return Admission::Shed;
+            }
+            state.waiting += 1;
+            while state.running >= self.max_running {
+                state = self.freed.wait(state).expect("gate lock");
+            }
+            state.waiting -= 1;
+        }
+        state.running += 1;
+        Admission::Admitted
+    }
+
+    fn release(&self) {
+        if self.max_running == 0 {
+            return;
+        }
+        let mut state = self.state.lock().expect("gate lock");
+        state.running -= 1;
+        drop(state);
+        self.freed.notify_one();
+    }
+}
+
+/// Releases the admission-gate slot on drop (normal exit or unwinding).
+struct ColdSlot<'a> {
+    gate: &'a ColdGate,
+}
+
+impl Drop for ColdSlot<'_> {
+    fn drop(&mut self) {
+        self.gate.release();
+    }
+}
+
 struct Shared {
     cache: SolutionCache,
     in_flight: InFlight,
+    /// Winning basis per structural class (cost-blind fingerprint), used to
+    /// warm-start cold solves of platforms that differ only in edge costs.
+    bases: Mutex<HashMap<u64, SolvedBasis>>,
+    gate: ColdGate,
     build_schedules: bool,
     queries: AtomicU64,
     coalesced: AtomicU64,
     solves: AtomicU64,
+    warm_solves: AtomicU64,
+    cold_solves: AtomicU64,
+    warm_pivots: AtomicU64,
+    cold_pivots: AtomicU64,
+    warm_solve_nanos: AtomicU64,
+    cold_solve_nanos: AtomicU64,
+    shed: AtomicU64,
     errors: AtomicU64,
 }
 
@@ -169,6 +392,13 @@ pub struct Service {
 
 impl Service {
     /// Starts the worker pool described by `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`ServiceConfig::preload_from`] points to an unreadable or
+    /// malformed snapshot — a serving process is better off failing fast than
+    /// silently starting with an empty cache.  Use [`Service::preload`] after
+    /// a plain start for a fallible reload.
     pub fn start(config: ServiceConfig) -> Service {
         let workers = if config.workers == 0 {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
@@ -178,10 +408,19 @@ impl Service {
         let shared = Arc::new(Shared {
             cache: SolutionCache::new(&config.cache),
             in_flight: Mutex::new(HashMap::new()),
+            bases: Mutex::new(HashMap::new()),
+            gate: ColdGate::new(config.max_inflight_cold, config.cold_queue),
             build_schedules: config.build_schedules,
             queries: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             solves: AtomicU64::new(0),
+            warm_solves: AtomicU64::new(0),
+            cold_solves: AtomicU64::new(0),
+            warm_pivots: AtomicU64::new(0),
+            cold_pivots: AtomicU64::new(0),
+            warm_solve_nanos: AtomicU64::new(0),
+            cold_solve_nanos: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
             errors: AtomicU64::new(0),
         });
         let (submit, jobs) = unbounded::<Job>();
@@ -196,7 +435,11 @@ impl Service {
                     .expect("spawning a service worker")
             })
             .collect();
-        Service { submit: Some(submit), workers, shared }
+        let service = Service { submit: Some(submit), workers, shared };
+        if let Some(path) = &config.preload_from {
+            service.preload(path).expect("preloading the configured snapshot");
+        }
+        service
     }
 
     /// Enqueues `query` and returns the channel its response will arrive on.
@@ -209,9 +452,51 @@ impl Service {
 
     /// Submits `query` and blocks until its response arrives.
     pub fn query(&self, query: Query) -> ServeResult {
-        self.submit(query)
-            .recv()
-            .map_err(|_| ServiceError("the service shut down before responding".into()))?
+        self.submit(query).recv().map_err(|_| {
+            ServeError::Failed(ServiceError("the service shut down before responding".into()))
+        })?
+    }
+
+    /// Writes the cache's `fingerprint → throughput` entries to `path` as a
+    /// JSON snapshot (see [`crate::persist`]) and returns how many were
+    /// written.  Schedules are not persisted — restored entries answer with
+    /// `schedule: None`, like any isomorphic cache hit.
+    pub fn snapshot(&self, path: impl AsRef<Path>) -> Result<usize, ServiceError> {
+        let entries: Vec<persist::SnapshotEntry> = self
+            .shared
+            .cache
+            .entries()
+            .into_iter()
+            .map(|(key, answer)| (key, answer.throughput.clone()))
+            .collect();
+        persist::write_snapshot(&entries, path.as_ref())?;
+        Ok(entries.len())
+    }
+
+    /// Loads a snapshot written by [`Service::snapshot`] into the cache and
+    /// returns how many entries were inserted.
+    ///
+    /// Snapshots persist only `fingerprint → throughput`, so a restored
+    /// [`Answer`] carries an **empty** [`Answer::platform`] and no schedule;
+    /// consumers reading those fields must treat restored hits like
+    /// isomorphic-but-renumbered ones (exact throughput, nothing
+    /// numbering-dependent).
+    pub fn preload(&self, path: impl AsRef<Path>) -> Result<usize, ServiceError> {
+        let entries = persist::read_snapshot(path.as_ref())?;
+        let count = entries.len();
+        for (key, throughput) in entries {
+            let answer = Answer {
+                fingerprint: Fingerprint(key),
+                // The platform a snapshot entry was solved on is gone; an
+                // empty stand-in is fine because restored answers carry no
+                // schedule, the only platform-numbering-sensitive payload.
+                platform: Platform::new(),
+                throughput,
+                schedule: None,
+            };
+            self.shared.cache.insert(key, Arc::new(answer));
+        }
+        Ok(count)
     }
 
     /// A snapshot of the service's counters.
@@ -223,6 +508,13 @@ impl Service {
             misses: cache.misses,
             coalesced: self.shared.coalesced.load(Ordering::Relaxed),
             solves: self.shared.solves.load(Ordering::Relaxed),
+            warm_solves: self.shared.warm_solves.load(Ordering::Relaxed),
+            cold_solves: self.shared.cold_solves.load(Ordering::Relaxed),
+            warm_pivots: self.shared.warm_pivots.load(Ordering::Relaxed),
+            cold_pivots: self.shared.cold_pivots.load(Ordering::Relaxed),
+            warm_solve_nanos: self.shared.warm_solve_nanos.load(Ordering::Relaxed),
+            cold_solve_nanos: self.shared.cold_solve_nanos.load(Ordering::Relaxed),
+            shed: self.shared.shed.load(Ordering::Relaxed),
             errors: self.shared.errors.load(Ordering::Relaxed),
             insertions: cache.insertions,
             evictions: cache.evictions,
@@ -286,8 +578,9 @@ impl Drop for InFlightGuard<'_> {
         // sender dies with the unwinding stack) plus one per parked waiter.
         self.shared.errors.fetch_add(1 + waiters.len() as u64, Ordering::Relaxed);
         for waiter in waiters {
-            let _ =
-                waiter.reply.send(Err(ServiceError("the solve for this query panicked".into())));
+            let _ = waiter.reply.send(Err(ServeError::Failed(ServiceError(
+                "the solve for this query panicked".into(),
+            ))));
         }
     }
 }
@@ -296,7 +589,7 @@ fn serve(shared: &Shared, job: Job) {
     shared.queries.fetch_add(1, Ordering::Relaxed);
     if let Err(e) = job.query.validate() {
         shared.errors.fetch_add(1, Ordering::Relaxed);
-        let _ = job.reply.send(Err(e));
+        let _ = job.reply.send(Err(ServeError::Failed(e)));
         return;
     }
     let fingerprint = job.query.fingerprint();
@@ -328,17 +621,56 @@ fn serve(shared: &Shared, job: Job) {
     }
     let mut guard = InFlightGuard { shared, key, armed: true };
 
+    // Admission control: this query needs a cold solve.  Wait for a slot in
+    // the bounded queue, or shed — releasing every waiter that coalesced onto
+    // us in the meantime, since no solve for this key is going to happen.
+    let _slot = match shared.gate.admit() {
+        Admission::Admitted => ColdSlot { gate: &shared.gate },
+        Admission::Shed => {
+            let waiters = shared.in_flight.lock().remove(&key).unwrap_or_default();
+            guard.disarm();
+            shared.shed.fetch_add(1 + waiters.len() as u64, Ordering::Relaxed);
+            let _ = job.reply.send(Err(ServeError::Shed));
+            for waiter in waiters {
+                let _ = waiter.reply.send(Err(ServeError::Shed));
+            }
+            return;
+        }
+    };
+
     shared.solves.fetch_add(1, Ordering::Relaxed);
+    // Warm-start seed: the winning basis of this query's structural class
+    // (same topology and roles, possibly different costs), if any.
+    let structural_key = job.query.structural_fingerprint().0;
+    let warm = shared.bases.lock().get(&structural_key).cloned();
     // The query was already validated and fingerprinted above; solve_prepared
     // skips redoing both on the hot path.
-    let outcome = match solve_prepared(&job.query, fingerprint, shared.build_schedules) {
-        Ok(answer) => {
-            let answer = Arc::new(answer);
-            shared.cache.insert(key, Arc::clone(&answer));
-            Ok(answer)
-        }
-        Err(e) => Err(e),
-    };
+    let solve_started = Instant::now();
+    let outcome =
+        match solve_prepared(&job.query, fingerprint, shared.build_schedules, warm.as_ref()) {
+            Ok((answer, report)) => {
+                let nanos = solve_started.elapsed().as_nanos() as u64;
+                if report.warm_started {
+                    shared.warm_solves.fetch_add(1, Ordering::Relaxed);
+                    shared.warm_pivots.fetch_add(report.iterations as u64, Ordering::Relaxed);
+                    shared.warm_solve_nanos.fetch_add(nanos, Ordering::Relaxed);
+                } else {
+                    shared.cold_solves.fetch_add(1, Ordering::Relaxed);
+                    shared.cold_pivots.fetch_add(report.iterations as u64, Ordering::Relaxed);
+                    shared.cold_solve_nanos.fetch_add(nanos, Ordering::Relaxed);
+                }
+                if let Some(basis) = report.basis {
+                    let mut bases = shared.bases.lock();
+                    if bases.len() < MAX_CACHED_BASES || bases.contains_key(&structural_key) {
+                        bases.insert(structural_key, basis);
+                    }
+                }
+                let answer = Arc::new(answer);
+                shared.cache.insert(key, Arc::clone(&answer));
+                Ok(answer)
+            }
+            Err(e) => Err(e),
+        };
 
     let waiters = shared.in_flight.lock().remove(&key).unwrap_or_default();
     guard.disarm();
@@ -353,7 +685,7 @@ fn serve(shared: &Shared, job: Job) {
             answer: platform.map_or_else(|| Arc::clone(answer), |p| tailor(answer, p)),
             via,
         }),
-        Err(e) => Err(e.clone()),
+        Err(e) => Err(ServeError::Failed(e.clone())),
     };
     let _ = job.reply.send(respond(None, ServedVia::Solve));
     for waiter in waiters {
@@ -446,6 +778,116 @@ mod tests {
         query.collective = Collective::Scatter { source: NodeId(42), targets: vec![NodeId(1)] };
         assert!(service.query(query).is_err());
         assert_eq!(service.stats().errors, 1);
+    }
+
+    #[test]
+    fn cost_drift_queries_warm_start_from_the_structural_class() {
+        use steady_platform::generators::heterogeneous_star;
+
+        let star_scatter = |costs: &[steady_rational::Ratio]| {
+            let (platform, center, leaves) = heterogeneous_star(costs);
+            Query { platform, collective: Collective::Scatter { source: center, targets: leaves } }
+        };
+        let base = star_scatter(&[rat(1, 2), rat(1, 3), rat(1, 4)]);
+        let drifted = star_scatter(&[rat(1, 3), rat(1, 5), rat(2, 3)]);
+        assert_ne!(base.fingerprint(), drifted.fingerprint());
+        assert_eq!(base.structural_fingerprint(), drifted.structural_fingerprint());
+
+        let service = Service::start(ServiceConfig { workers: 1, ..ServiceConfig::default() });
+        let cold = service.query(base).unwrap();
+        assert_eq!(cold.via, ServedVia::Solve);
+        let warm = service.query(drifted.clone()).unwrap();
+        assert_eq!(warm.via, ServedVia::Solve, "a drifted platform is still a cache miss");
+        let stats = service.stats();
+        assert_eq!(stats.solves, 2);
+        assert_eq!(stats.warm_solves, 1, "the second solve reuses the class basis: {stats:?}");
+        // Warm-started answers are bit-identical to from-scratch answers.
+        let from_scratch = crate::query::solve_query(&drifted, false).unwrap();
+        assert_eq!(warm.answer.throughput, from_scratch.throughput);
+    }
+
+    #[test]
+    fn admission_gate_queues_or_sheds_cold_queries() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use steady_platform::generators::{random_connected, RandomConfig};
+
+        let expensive = |seed: u64| {
+            let config = RandomConfig { nodes: 8, ..RandomConfig::default() };
+            let platform = random_connected(&config, &mut StdRng::seed_from_u64(seed));
+            let participants: Vec<NodeId> = platform.node_ids().collect();
+            Query {
+                platform,
+                collective: Collective::Reduce {
+                    participants,
+                    target: NodeId(0),
+                    size: rat(1, 1),
+                    task_cost: rat(1, 1),
+                },
+            }
+        };
+
+        // Queue mode: one solve slot, a queue deep enough for everyone — all
+        // four distinct cold queries must eventually be served, one at a time.
+        let service = Service::start(ServiceConfig {
+            workers: 4,
+            max_inflight_cold: 1,
+            cold_queue: 16,
+            ..ServiceConfig::default()
+        });
+        let responses: Vec<_> = (0..4).map(|i| service.submit(expensive(i))).collect();
+        for response in responses {
+            assert!(response.recv().unwrap().is_ok(), "queued cold queries are served");
+        }
+        let stats = service.stats();
+        assert_eq!(stats.solves, 4);
+        assert_eq!(stats.shed, 0);
+
+        // Shed mode: one slot, no queue — concurrent cold queries beyond the
+        // slot are shed with the distinct variant, not errors.
+        let service = Service::start(ServiceConfig {
+            workers: 4,
+            max_inflight_cold: 1,
+            cold_queue: 0,
+            ..ServiceConfig::default()
+        });
+        let responses: Vec<_> = (10..14).map(|i| service.submit(expensive(i))).collect();
+        let mut served = 0u64;
+        let mut shed = 0u64;
+        for response in responses {
+            match response.recv().unwrap() {
+                Ok(_) => served += 1,
+                Err(ServeError::Shed) => shed += 1,
+                Err(ServeError::Failed(e)) => panic!("unexpected failure: {e}"),
+            }
+        }
+        assert_eq!(served + shed, 4);
+        assert!(served >= 1, "the slot holder is always served");
+        let stats = service.stats();
+        assert_eq!(stats.shed, shed);
+        assert_eq!(stats.errors, 0, "shed responses are not errors");
+    }
+
+    #[test]
+    fn snapshot_round_trip_restores_the_warm_set() {
+        let dir = std::env::temp_dir().join("steady-service-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Unique per process so concurrent test runs don't race on the file.
+        let path = dir.join(format!("warmset_{}.json", std::process::id()));
+
+        let service = Service::start(ServiceConfig { workers: 1, ..ServiceConfig::default() });
+        let cold = service.query(figure2_query()).unwrap();
+        assert_eq!(cold.via, ServedVia::Solve);
+        assert_eq!(service.snapshot(&path).unwrap(), 1);
+        drop(service);
+
+        let restored =
+            Service::start(ServiceConfig { workers: 1, ..ServiceConfig::default() }.preload(&path));
+        let served = restored.query(figure2_query()).unwrap();
+        assert_eq!(served.via, ServedVia::Cache, "restored entries serve without a solve");
+        assert_eq!(served.answer.throughput, cold.answer.throughput);
+        assert_eq!(restored.stats().solves, 0);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -128,7 +128,13 @@ fn distinct_count(colors: &[u64]) -> usize {
 }
 
 /// Weisfeiler–Leman canonical hash of `platform` with per-node role labels.
-fn canonical_platform_hash(platform: &Platform, roles: &[u64]) -> u64 {
+///
+/// With `include_costs` unset, every edge cost and exact node speed is
+/// replaced by a constant (only the *can-compute* capability of each node
+/// survives), yielding the cost-blind structural hash: platforms that differ
+/// only in their numeric edge costs — the "cost drift" of a real deployment —
+/// collapse into one structural class.
+fn canonical_platform_hash(platform: &Platform, roles: &[u64], include_costs: bool) -> u64 {
     let n = platform.num_nodes();
     let triangles = directed_triangle_counts(platform);
     // Edge-cost hashes are loop-invariant; hashing a `Ratio` allocates
@@ -136,6 +142,9 @@ fn canonical_platform_hash(platform: &Platform, roles: &[u64]) -> u64 {
     let edge_cost_hash: Vec<u64> = platform
         .edge_ids()
         .map(|e| {
+            if !include_costs {
+                return 0;
+            }
             let mut h = Fnv::new();
             h.ratio(&platform.edge(e).cost);
             h.finish()
@@ -144,7 +153,12 @@ fn canonical_platform_hash(platform: &Platform, roles: &[u64]) -> u64 {
     let mut colors: Vec<u64> = (0..n)
         .map(|i| {
             let mut h = Fnv::new();
-            h.ratio(&platform.node(NodeId(i)).speed);
+            let node = platform.node(NodeId(i));
+            if include_costs {
+                h.ratio(&node.speed);
+            } else {
+                h.word(u64::from(node.can_compute()));
+            }
             h.word(roles[i]);
             h.word(triangles[i]);
             h.finish()
@@ -213,9 +227,32 @@ fn canonical_platform_hash(platform: &Platform, roles: &[u64]) -> u64 {
 /// The query's node ids must be valid for its platform (see
 /// [`Query::validate`]); out-of-range ids panic.
 pub fn fingerprint(query: &Query) -> Fingerprint {
+    fingerprint_with(query, true)
+}
+
+/// Computes the **structural** fingerprint of `query`: topology, roles and
+/// collective kind only — every numeric cost (edge costs, exact node speeds,
+/// the reduce/prefix `size` and `task_cost` scalars) is blinded.
+///
+/// Queries sharing a structural fingerprint formulate LPs with the same
+/// variables and constraints, differing only in coefficients, so the solved
+/// basis of one is a valid warm-start seed for the others (the engine keys
+/// its basis cache on this value).  Unlike the exact fingerprint it is *not*
+/// a cache key for answers: two queries in one structural class generally
+/// have different optimal throughputs.
+pub fn structural_fingerprint(query: &Query) -> Fingerprint {
+    fingerprint_with(query, false)
+}
+
+fn fingerprint_with(query: &Query, include_costs: bool) -> Fingerprint {
     let n = query.platform.num_nodes();
     let mut roles = vec![0u64; n];
     let mut h = Fnv::new();
+    if !include_costs {
+        // Domain-separate the two keyspaces: a structural fingerprint must
+        // never collide with an exact one even for cost-free queries.
+        h.bytes(b"structural:");
+    }
     match &query.collective {
         Collective::Scatter { source, targets } => {
             h.bytes(b"scatter");
@@ -246,19 +283,23 @@ pub fn fingerprint(query: &Query) -> Fingerprint {
                 roles[p.index()] |= role::PARTICIPANT;
             }
             roles[target.index()] |= role::SINK;
-            h.ratio(size);
-            h.ratio(task_cost);
+            if include_costs {
+                h.ratio(size);
+                h.ratio(task_cost);
+            }
         }
         Collective::Prefix { participants, size, task_cost } => {
             h.bytes(b"prefix");
             for (rank, p) in participants.iter().enumerate() {
                 roles[p.index()] |= role::PARTICIPANT | (role::RANK_BASE * (rank as u64 + 1));
             }
-            h.ratio(size);
-            h.ratio(task_cost);
+            if include_costs {
+                h.ratio(size);
+                h.ratio(task_cost);
+            }
         }
     }
-    h.word(canonical_platform_hash(&query.platform, &roles));
+    h.word(canonical_platform_hash(&query.platform, &roles, include_costs));
     Fingerprint(h.finish())
 }
 
@@ -401,6 +442,65 @@ mod tests {
             collective: Collective::Gossip { sources: all.clone(), targets: all.clone() },
         };
         assert_ne!(fingerprint(&symmetric(k33)), fingerprint(&symmetric(prism)));
+    }
+
+    #[test]
+    fn structural_fingerprint_is_cost_blind_but_shape_sensitive() {
+        let base = scatter_query();
+        // Scale every edge cost: the exact fingerprint changes, the structural
+        // one does not — the two queries are one warm-start class.
+        let mut drifted_platform = Platform::new();
+        for id in base.platform.node_ids() {
+            let node = base.platform.node(id);
+            drifted_platform.add_node(node.name.clone(), node.speed.clone());
+        }
+        for id in base.platform.edge_ids() {
+            let e = base.platform.edge(id);
+            drifted_platform.add_edge(e.from, e.to, &e.cost * &rat(3, 7));
+        }
+        let drifted = Query { platform: drifted_platform, collective: base.collective.clone() };
+        assert_ne!(fingerprint(&base), fingerprint(&drifted));
+        assert_eq!(structural_fingerprint(&base), structural_fingerprint(&drifted));
+        // The structural and exact keyspaces are domain-separated.
+        assert_ne!(structural_fingerprint(&base), fingerprint(&base));
+
+        // Dropping a target changes the roles, hence the structural class.
+        let Collective::Scatter { source, targets } = &base.collective else { unreachable!() };
+        let fewer = Query {
+            platform: base.platform.clone(),
+            collective: Collective::Scatter { source: *source, targets: targets[..1].to_vec() },
+        };
+        assert_ne!(structural_fingerprint(&base), structural_fingerprint(&fewer));
+    }
+
+    #[test]
+    fn structural_fingerprint_blinds_reduce_scalars_and_survives_permutation() {
+        let platform = figure2().platform;
+        let reduce = |size: Ratio| Query {
+            platform: platform.clone(),
+            collective: Collective::Reduce {
+                participants: vec![NodeId(0), NodeId(3)],
+                target: NodeId(0),
+                size,
+                task_cost: rat(1, 1),
+            },
+        };
+        assert_eq!(
+            structural_fingerprint(&reduce(rat(1, 1))),
+            structural_fingerprint(&reduce(rat(5, 1)))
+        );
+
+        let q = scatter_query();
+        let perm = [2, 0, 4, 1, 3];
+        let Collective::Scatter { source, targets } = &q.collective else { unreachable!() };
+        let permuted = Query {
+            platform: permuted_platform(&q.platform, &perm),
+            collective: Collective::Scatter {
+                source: NodeId(perm[source.index()]),
+                targets: targets.iter().map(|t| NodeId(perm[t.index()])).collect(),
+            },
+        };
+        assert_eq!(structural_fingerprint(&q), structural_fingerprint(&permuted));
     }
 
     #[test]

@@ -8,15 +8,24 @@
 //!
 //! * [`mod@fingerprint`] — a **canonical, relabeling-invariant fingerprint** of
 //!   `(platform, collective, roles)` built from Weisfeiler–Leman color
-//!   refinement, so isomorphic queries share one cache key;
+//!   refinement, so isomorphic queries share one cache key, plus a
+//!   **cost-blind structural fingerprint** grouping platforms that differ
+//!   only in edge costs into one warm-start class;
 //! * [`cache`] — a **sharded LRU solution cache** (`parking_lot::RwLock`
 //!   shards, atomic recency, hit/miss/eviction counters);
 //! * [`engine`] — a **worker pool with single-flight deduplication** over
 //!   crossbeam channels: concurrent identical queries coalesce onto one
-//!   in-flight LP solve instead of stampeding the solver;
+//!   in-flight LP solve instead of stampeding the solver; cold solves are
+//!   **warm-started** from the cached simplex basis of their structural
+//!   class and bounded by **admission control** (queue or shed under a cold
+//!   stampede);
+//! * [`persist`] — **snapshot persistence**: the cache's
+//!   `fingerprint → throughput` entries round-trip through a JSON file so a
+//!   restarted service keeps its warm set;
 //! * [`loadgen`] — a **load generator** replaying repetition-heavy query
-//!   mixes from several client threads and reporting sustained queries/sec,
-//!   p50/p95/p99 latency and the cache hit ratio.
+//!   mixes (including a cost-drift scenario) from several client threads and
+//!   reporting sustained queries/sec, p50/p95/p99 latency, the cache hit
+//!   ratio and warm-vs-cold pivot counts.
 //!
 //! # Example
 //!
@@ -48,11 +57,14 @@ pub mod cache;
 pub mod engine;
 pub mod fingerprint;
 pub mod loadgen;
+pub mod persist;
 pub mod query;
 
 pub use cache::{CacheConfig, CacheStats, SolutionCache};
-pub use engine::{ServeResult, Served, ServedVia, Service, ServiceConfig, ServiceStats};
-pub use fingerprint::{fingerprint, permuted_platform, Fingerprint};
+pub use engine::{
+    ServeError, ServeResult, Served, ServedVia, Service, ServiceConfig, ServiceStats,
+};
+pub use fingerprint::{fingerprint, permuted_platform, structural_fingerprint, Fingerprint};
 pub use loadgen::{query_mix, run_load, LoadConfig, LoadReport};
 pub use query::{solve_query, Answer, Collective, Query};
 

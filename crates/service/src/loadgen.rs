@@ -20,7 +20,7 @@ use steady_platform::generators::{
 use steady_platform::NodeId;
 use steady_rational::rat;
 
-use crate::engine::{Service, ServiceStats};
+use crate::engine::{ServeError, Service, ServiceStats};
 use crate::query::{Collective, Query};
 use crate::ServiceError;
 
@@ -43,19 +43,24 @@ impl Default for LoadConfig {
     }
 }
 
-/// Builds a pool of up to `distinct` queries cycling through seven families:
+/// Builds a pool of up to `distinct` queries cycling through eight families:
 /// the Figure 2 scatter and Figure 6 reduce, star scatters, heterogeneous
-/// star gathers, random-connected gossips and reduces, and small Tiers
-/// reduces.  Instances within a family vary in size and random seed; the
-/// fixed-figure families repeat, so the pool is deduplicated by fingerprint
-/// before it is returned — every entry is a genuinely distinct cache key and
-/// the reported `distinct` count stays honest.
+/// star gathers, random-connected gossips and reduces, small Tiers reduces,
+/// and a **cost-drift** family — one fixed star topology whose edge costs
+/// are re-drawn per variant, the traffic shape of a deployment whose link
+/// performance drifts over time.  Cost-drift variants are distinct cache
+/// keys in one structural class, so they exercise the engine's warm-start
+/// path: every variant after the first seeds its solve with the class basis.
+/// Instances within a family vary in size and random seed; the fixed-figure
+/// families repeat, so the pool is deduplicated by fingerprint before it is
+/// returned — every entry is a genuinely distinct cache key and the reported
+/// `distinct` count stays honest.
 pub fn query_mix(distinct: usize, seed: u64) -> Vec<Query> {
     let mut rng = StdRng::seed_from_u64(seed);
     let candidates: Vec<Query> = (0..distinct)
         .map(|i| {
-            let variant = (i / 7) as u64;
-            match i % 7 {
+            let variant = (i / 8) as u64;
+            match i % 8 {
                 0 => {
                     let instance = figure2();
                     Query {
@@ -125,7 +130,7 @@ pub fn query_mix(distinct: usize, seed: u64) -> Vec<Query> {
                         },
                     }
                 }
-                _ => {
+                6 => {
                     let config = TiersConfig {
                         wan_routers: 1,
                         man_per_wan: 1,
@@ -144,6 +149,19 @@ pub fn query_mix(distinct: usize, seed: u64) -> Vec<Query> {
                         },
                     }
                 }
+                _ => {
+                    // Cost drift: a fixed 4-leaf star whose edge costs are
+                    // re-drawn per variant.  Every variant is a distinct cache
+                    // key in one structural class, so all but the first
+                    // exercise the warm-start path on their cold solve.
+                    let costs: Vec<_> =
+                        (0..4).map(|leaf| rat(1, 1 + ((variant as i64 * 5 + leaf) % 6))).collect();
+                    let (platform, center, leaves) = heterogeneous_star(&costs);
+                    Query {
+                        platform,
+                        collective: Collective::Scatter { source: center, targets: leaves },
+                    }
+                }
             }
         })
         .collect();
@@ -155,7 +173,7 @@ pub fn query_mix(distinct: usize, seed: u64) -> Vec<Query> {
 /// service's counters at the end of the run.
 #[derive(Debug, Clone)]
 pub struct LoadReport {
-    /// Queries issued.
+    /// Queries issued (including any shed by admission control).
     pub queries: usize,
     /// Concurrent clients.
     pub clients: usize,
@@ -188,7 +206,10 @@ impl LoadReport {
                 "\"elapsed_seconds\":{:.6},\"queries_per_second\":{:.1},",
                 "\"p50_micros\":{:.1},\"p95_micros\":{:.1},\"p99_micros\":{:.1},",
                 "\"hit_ratio\":{:.4},\"hits\":{},\"misses\":{},\"coalesced\":{},",
-                "\"solves\":{},\"errors\":{},\"evictions\":{}}}"
+                "\"solves\":{},\"warm_solves\":{},",
+                "\"mean_warm_pivots\":{:.2},\"mean_cold_pivots\":{:.2},",
+                "\"mean_warm_solve_micros\":{:.1},\"mean_cold_solve_micros\":{:.1},",
+                "\"shed\":{},\"errors\":{},\"evictions\":{}}}"
             ),
             self.queries,
             self.clients,
@@ -203,6 +224,12 @@ impl LoadReport {
             self.stats.misses,
             self.stats.coalesced,
             self.stats.solves,
+            self.stats.warm_solves,
+            self.stats.mean_warm_pivots(),
+            self.stats.mean_cold_pivots(),
+            self.stats.mean_warm_solve_micros(),
+            self.stats.mean_cold_solve_micros(),
+            self.stats.shed,
             self.stats.errors,
             self.stats.evictions,
         )
@@ -217,7 +244,9 @@ impl LoadReport {
              latency p50/p95/p99: {:.1} / {:.1} / {:.1} µs\n\
              cache hit ratio    : {:.1}% ({} hits, {} misses, {} evictions)\n\
              coalesced (dedup)  : {}\n\
-             cold LP solves     : {}\n",
+             cold LP solves     : {} ({} warm-started, {} shed)\n\
+             mean pivots        : {:.1} warm vs {:.1} cold\n\
+             mean solve latency : {:.1} µs warm vs {:.1} µs cold\n",
             self.queries,
             self.distinct,
             self.clients,
@@ -232,6 +261,12 @@ impl LoadReport {
             self.stats.evictions,
             self.stats.coalesced,
             self.stats.solves,
+            self.stats.warm_solves,
+            self.stats.shed,
+            self.stats.mean_warm_pivots(),
+            self.stats.mean_cold_pivots(),
+            self.stats.mean_warm_solve_micros(),
+            self.stats.mean_cold_solve_micros(),
         )
     }
 }
@@ -246,7 +281,9 @@ fn percentile_micros(sorted_nanos: &[u64], q: f64) -> f64 {
 
 /// Replays `config.queries` queries drawn from [`query_mix`] through
 /// `service` using `config.clients` concurrent client threads, and returns
-/// the latency/throughput report.  Fails if any query fails.
+/// the latency/throughput report.  Fails if any query fails; queries *shed*
+/// by admission control are an accounted outcome, not a failure — they are
+/// timed and counted like served ones (see [`ServiceStats::shed`]).
 pub fn run_load(service: &Service, config: &LoadConfig) -> Result<LoadReport, ServiceError> {
     let mix = query_mix(config.distinct.max(1), config.seed);
     // Pre-draw the replay sequence so clients race only on the work counter.
@@ -272,7 +309,10 @@ pub fn run_load(service: &Service, config: &LoadConfig) -> Result<LoadReport, Se
                         }
                         let query = mix[sequence[i]].clone();
                         let sent = Instant::now();
-                        service.query(query)?;
+                        match service.query(query) {
+                            Ok(_) | Err(ServeError::Shed) => {}
+                            Err(ServeError::Failed(e)) => return Err(e),
+                        }
                         latencies.push(sent.elapsed().as_nanos() as u64);
                     }
                 })
@@ -337,6 +377,21 @@ mod tests {
         for query in query_mix(21, 3) {
             query.validate().expect("mix queries reference existing nodes");
         }
+    }
+
+    #[test]
+    fn mix_contains_a_cost_drift_structural_class() {
+        // The cost-drift family yields several distinct cache keys in one
+        // structural class, so a load run actually exercises warm starts.
+        let mix = query_mix(24, 42);
+        let mut class_sizes = std::collections::BTreeMap::new();
+        for query in &mix {
+            *class_sizes.entry(query.structural_fingerprint()).or_insert(0usize) += 1;
+        }
+        assert!(
+            class_sizes.values().any(|&n| n >= 2),
+            "expected a structural class with several cost variants: {class_sizes:?}"
+        );
     }
 
     #[test]

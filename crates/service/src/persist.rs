@@ -1,0 +1,127 @@
+//! Snapshot persistence for the solution cache.
+//!
+//! A long-running service accumulates a warm set — the fingerprints it has
+//! already solved.  [`write_snapshot`] serializes that set as a small JSON
+//! document (`fingerprint → throughput`, both as strings: fingerprints in
+//! hex, throughputs as exact `numerator/denominator` rationals) and
+//! [`read_snapshot`] parses it back, so a restarted service can preload the
+//! entries and serve its old traffic from the cache immediately instead of
+//! re-solving every LP.
+//!
+//! Schedules and platforms are deliberately *not* persisted: a schedule is
+//! only meaningful in the node numbering it was solved in, which the
+//! snapshot cannot guarantee the next process will present.  Restored
+//! entries therefore answer with exact throughput and `schedule: None` —
+//! precisely what the engine already serves to isomorphic-but-renumbered
+//! callers.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::str::FromStr;
+
+use steady_rational::Ratio;
+
+use crate::ServiceError;
+
+/// One persisted cache entry: canonical fingerprint and exact throughput.
+pub type SnapshotEntry = (u64, Ratio);
+
+/// Renders cache entries as the snapshot JSON document.
+pub fn render_snapshot(entries: &[SnapshotEntry]) -> String {
+    let mut out = String::from("{\"entries\":[");
+    for (i, (fingerprint, throughput)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"fingerprint\":\"{fingerprint:016x}\",\"throughput\":\"{throughput}\"}}"
+        );
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Writes `entries` to `path` in the snapshot JSON format.
+pub fn write_snapshot(entries: &[SnapshotEntry], path: &Path) -> Result<(), ServiceError> {
+    std::fs::write(path, render_snapshot(entries))
+        .map_err(|e| ServiceError(format!("cannot write snapshot to '{}': {e}", path.display())))
+}
+
+/// Reads a snapshot produced by [`write_snapshot`] back into entries.
+pub fn read_snapshot(path: &Path) -> Result<Vec<SnapshotEntry>, ServiceError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ServiceError(format!("cannot read snapshot '{}': {e}", path.display())))?;
+    parse_snapshot(&text)
+        .map_err(|e| ServiceError(format!("malformed snapshot '{}': {e}", path.display())))
+}
+
+/// Parses the snapshot document format of [`render_snapshot`].
+pub fn parse_snapshot(text: &str) -> Result<Vec<SnapshotEntry>, String> {
+    let mut entries = Vec::new();
+    let body =
+        text.split_once("\"entries\":[").ok_or_else(|| "missing 'entries' array".to_string())?.1;
+    let mut rest = body;
+    while let Some(start) = rest.find('{') {
+        let end = rest[start..].find('}').ok_or_else(|| "unterminated entry".to_string())?;
+        let object = &rest[start + 1..start + end];
+        entries.push(parse_entry(object)?);
+        rest = &rest[start + end + 1..];
+    }
+    Ok(entries)
+}
+
+fn parse_entry(object: &str) -> Result<SnapshotEntry, String> {
+    let string_field = |name: &str| -> Result<&str, String> {
+        let tag = format!("\"{name}\":\"");
+        let start =
+            object.find(&tag).ok_or_else(|| format!("entry missing field '{name}'"))? + tag.len();
+        let end =
+            object[start..].find('"').ok_or_else(|| format!("unterminated field '{name}'"))?
+                + start;
+        Ok(&object[start..end])
+    };
+    let fingerprint = u64::from_str_radix(string_field("fingerprint")?, 16)
+        .map_err(|e| format!("bad fingerprint: {e}"))?;
+    let throughput =
+        Ratio::from_str(string_field("throughput")?).map_err(|e| format!("bad throughput: {e}"))?;
+    if throughput.is_negative() {
+        return Err(format!("negative throughput {throughput}"));
+    }
+    Ok((fingerprint, throughput))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steady_rational::rat;
+
+    #[test]
+    fn snapshot_text_round_trips() {
+        let entries = vec![(0x12ab_u64, rat(2, 9)), (u64::MAX, rat(0, 1)), (7, rat(15, 4))];
+        let text = render_snapshot(&entries);
+        assert_eq!(parse_snapshot(&text).unwrap(), entries);
+        assert_eq!(parse_snapshot(&render_snapshot(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn snapshot_file_round_trips() {
+        let dir = std::env::temp_dir().join("steady-service-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Unique per process so concurrent test runs don't race on the file.
+        let path = dir.join(format!("snapshot_{}.json", std::process::id()));
+        let entries = vec![(42u64, rat(1, 2))];
+        write_snapshot(&entries, &path).unwrap();
+        assert_eq!(read_snapshot(&path).unwrap(), entries);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn malformed_snapshots_are_rejected() {
+        assert!(parse_snapshot("").is_err());
+        assert!(parse_snapshot("{\"entries\":[{\"fingerprint\":\"zz\"}]}").is_err());
+        assert!(parse_snapshot("{\"entries\":[{\"fingerprint\":\"0f\",\"throughput\":\"-1/2\"}]}")
+            .is_err());
+        assert!(read_snapshot(Path::new("/nonexistent/steady.json")).is_err());
+    }
+}

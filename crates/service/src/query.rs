@@ -3,13 +3,14 @@
 use steady_core::gather::GatherProblem;
 use steady_core::gossip::GossipProblem;
 use steady_core::prefix::PrefixProblem;
+use steady_core::problem::{solve_steady_warm, SolveReport, SolvedBasis};
 use steady_core::reduce::ReduceProblem;
 use steady_core::scatter::ScatterProblem;
 use steady_core::schedule::PeriodicSchedule;
 use steady_platform::{NodeId, Platform};
 use steady_rational::Ratio;
 
-use crate::fingerprint::{fingerprint, Fingerprint};
+use crate::fingerprint::{fingerprint, structural_fingerprint, Fingerprint};
 use crate::ServiceError;
 
 /// The collective operation a query asks about, with its distinguished nodes.
@@ -130,6 +131,12 @@ impl Query {
     pub fn fingerprint(&self) -> Fingerprint {
         fingerprint(self)
     }
+
+    /// The query's cost-blind structural fingerprint — the warm-start class
+    /// key (see [`structural_fingerprint`]).
+    pub fn structural_fingerprint(&self) -> Fingerprint {
+        structural_fingerprint(self)
+    }
 }
 
 /// The answer to a query: optimal throughput and, optionally, an explicit
@@ -146,7 +153,9 @@ pub struct Answer {
     /// Canonical fingerprint the answer is cached under.
     pub fingerprint: Fingerprint,
     /// The platform of the query this answer was solved for — the numbering
-    /// the schedule's node ids refer to.
+    /// the schedule's node ids refer to.  Empty (zero nodes) for entries
+    /// restored from a snapshot (see `Service::preload`): the original
+    /// platform is not persisted, and such answers never carry a schedule.
     pub platform: Platform,
     /// Optimal steady-state throughput (operations per time-unit).
     pub throughput: Ratio,
@@ -163,24 +172,31 @@ fn err<E: std::fmt::Display>(what: &'static str) -> impl Fn(E) -> ServiceError {
 /// schedule.
 pub fn solve_query(query: &Query, build_schedule: bool) -> Result<Answer, ServiceError> {
     query.validate()?;
-    solve_prepared(query, query.fingerprint(), build_schedule)
+    solve_prepared(query, query.fingerprint(), build_schedule, None).map(|(answer, _)| answer)
 }
 
 /// [`solve_query`] for a caller that has already validated the query and
 /// computed its fingerprint (the engine does both before cache lookup, and
-/// the WL hash is not free) — neither is redone here.
+/// the WL hash is not free) — neither is redone here.  A `warm` basis from a
+/// structurally identical solve seeds the simplex; the returned
+/// [`SolveReport`] carries the pivot count, whether the seed took, and the
+/// final basis for the engine's warm-start cache.
 pub(crate) fn solve_prepared(
     query: &Query,
     fingerprint: Fingerprint,
     build_schedule: bool,
-) -> Result<Answer, ServiceError> {
+    warm: Option<&SolvedBasis>,
+) -> Result<(Answer, SolveReport), ServiceError> {
     let platform = query.platform.clone();
     // Each collective has its own problem/solution types but the exact same
-    // solve → build-schedule → validate tail, which only a macro can share.
+    // construct → solve → build-schedule → validate tail, which only a macro
+    // can share (the solve itself is already shared: every arm goes through
+    // `steady_core::problem::solve_steady_warm`).
     macro_rules! answer {
         ($kind:literal, $problem:expr) => {{
             let problem = $problem.map_err(err(concat!("invalid ", $kind, " query")))?;
-            let solution = problem.solve().map_err(err(concat!($kind, " solve failed")))?;
+            let (solution, report) =
+                solve_steady_warm(&problem, warm).map_err(err(concat!($kind, " solve failed")))?;
             let schedule = build_schedule
                 .then(|| solution.build_schedule(&problem))
                 .transpose()
@@ -190,10 +206,10 @@ pub(crate) fn solve_prepared(
                     .validate(problem.platform())
                     .map_err(err(concat!($kind, " schedule validation failed")))?;
             }
-            (solution.throughput().clone(), schedule)
+            (solution.throughput().clone(), schedule, report)
         }};
     }
-    let (throughput, schedule) = match &query.collective {
+    let (throughput, schedule, report) = match &query.collective {
         Collective::Scatter { source, targets } => {
             answer!("scatter", ScatterProblem::new(platform, *source, targets.clone()))
         }
@@ -218,7 +234,7 @@ pub(crate) fn solve_prepared(
             PrefixProblem::new(platform, participants.clone(), size.clone(), task_cost.clone())
         ),
     };
-    Ok(Answer { fingerprint, platform: query.platform.clone(), throughput, schedule })
+    Ok((Answer { fingerprint, platform: query.platform.clone(), throughput, schedule }, report))
 }
 
 #[cfg(test)]

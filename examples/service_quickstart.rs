@@ -16,6 +16,7 @@ fn main() {
         workers: 4,
         cache: CacheConfig { capacity: 256, shards: 8 },
         build_schedules: true,
+        ..ServiceConfig::default()
     });
 
     // ------------------------------------------------------------------

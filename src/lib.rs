@@ -23,7 +23,7 @@
 //! | [`sim`] | `steady-sim` | One-port discrete-event simulation, Prop.-1 executor |
 //! | [`baselines`] | `steady-baselines` | Direct/binomial scatter, gather, flat/binomial/chain reduces |
 //! | [`runtime`] | `steady-runtime` | Threaded message-passing execution with real payloads |
-//! | [`service`] | `steady-service` | Query serving: canonical fingerprints, sharded cache, single-flight worker pool |
+//! | [`service`] | `steady-service` | Query serving: canonical fingerprints, sharded cache, single-flight worker pool, warm-started solves, admission control, snapshot persistence |
 //!
 //! ## Quick start
 //!
@@ -70,10 +70,12 @@ pub mod prelude {
     pub use steady_core::gather::GatherProblem;
     pub use steady_core::gossip::GossipProblem;
     pub use steady_core::prefix::PrefixProblem;
+    pub use steady_core::problem::{solve_steady, solve_steady_warm, SolveReport, SteadyProblem};
     pub use steady_core::reduce::ReduceProblem;
     pub use steady_core::scatter::ScatterProblem;
     pub use steady_core::schedule::PeriodicSchedule;
     pub use steady_core::CoreError;
+    pub use steady_lp::{solve_with_basis, SolvedBasis};
     pub use steady_platform::generators::{
         figure2, figure5, figure6, figure9, tiers_reduce_instance, tiers_scatter_instance,
         RandomConfig, TiersConfig,
@@ -86,8 +88,8 @@ pub mod prelude {
     pub use steady_rational::{int, rat, BigInt, Ratio};
     pub use steady_runtime::{run_gather, run_reduce, run_scatter, RunConfig};
     pub use steady_service::{
-        fingerprint, run_load, Collective, LoadConfig, Query, Served, ServedVia, Service,
-        ServiceConfig,
+        fingerprint, run_load, structural_fingerprint, Collective, LoadConfig, Query, ServeError,
+        Served, ServedVia, Service, ServiceConfig,
     };
     pub use steady_sim::{execute_reduce_schedule, execute_scatter_schedule, parallel_map};
 }
