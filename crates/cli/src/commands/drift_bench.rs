@@ -1,0 +1,86 @@
+//! `steady drift-bench` — run the random-walk cost-drift scenario through
+//! the serving engine and report the triage split.
+//!
+//! Each epoch advances the service epoch (expiring the previous epoch's
+//! answers under the configured TTL), steps three independent random walks
+//! (a star scatter, a star gather and a random reduce), and pushes the
+//! drifted queries plus revalidation probes through the service.  The report
+//! shows how the drift pipeline fared: how many solves re-priced a cached
+//! basis in range, how many were repaired by the dual simplex, how many had
+//! to resolve — and, with verification on (the default), confirms every
+//! drifted answer equals an independent cold solve's exact rational.
+//!
+//! With `--min-reuse <fraction>` the run doubles as a CI gate on the drift
+//! pipeline's effectiveness: it fails when fewer than that fraction of the
+//! triaged solves were answered by the `InRange`/`DualRepair` fast rungs.
+
+use std::io::Write;
+
+use steady_service::{run_drift_load, DriftLoadConfig, Service, ServiceConfig};
+
+use crate::args::{OptionSpec, ParsedArgs};
+use crate::CliError;
+
+const SPEC: OptionSpec = OptionSpec {
+    valued: &["epochs", "hits-per-epoch", "workers", "ttl", "seed", "out", "min-reuse"],
+    flags: &["no-verify", "no-ttl"],
+};
+
+/// Runs `steady drift-bench ...`.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let mut parsed = ParsedArgs::parse(args, &SPEC)?;
+    let config = DriftLoadConfig {
+        epochs: parsed.usize_value("epochs", 40)?,
+        hits_per_epoch: parsed.usize_value("hits-per-epoch", 3)?,
+        seed: parsed.u64_value("seed", 42)?,
+        verify: !parsed.flag("no-verify"),
+    };
+    // TTL of 0 epochs by default (previous epochs expire immediately);
+    // `--no-ttl` isolates pure drift triage with no revalidation traffic.
+    let ttl = if parsed.flag("no-ttl") { None } else { Some(parsed.u64_value("ttl", 0)?) };
+    let service_config = ServiceConfig {
+        workers: parsed.usize_value("workers", 4)?,
+        ttl,
+        ..ServiceConfig::default()
+    };
+    let json_path = parsed.value("out").map(str::to_owned);
+    let min_reuse: Option<f64> = match parsed.value("min-reuse") {
+        None => None,
+        Some(raw) => Some(raw.parse().map_err(|_| {
+            CliError::Usage(format!("--min-reuse expects a fraction in [0, 1], got '{raw}'"))
+        })?),
+    };
+
+    let service = Service::start(service_config);
+    let report = run_drift_load(&service, &config)
+        .map_err(|e| CliError::Failed(format!("drift-bench run failed: {e}")))?;
+
+    writeln!(out, "operation          : drift triage benchmark")?;
+    write!(out, "{}", report.render())?;
+    if let Some(path) = json_path {
+        std::fs::write(&path, report.to_json())
+            .map_err(|e| CliError::Failed(format!("cannot write report to '{path}': {e}")))?;
+        writeln!(out, "json report        : written to {path}")?;
+    }
+    if let Some(min_reuse) = min_reuse {
+        let reuse = report.triage_reuse_fraction();
+        writeln!(
+            out,
+            "reuse gate         : {:.1}% (minimum {:.1}%)",
+            reuse * 100.0,
+            min_reuse * 100.0
+        )?;
+        if reuse < min_reuse {
+            return Err(CliError::Failed(format!(
+                "drift triage reused the basis on only {:.1}% of triaged solves \
+                 (minimum {:.1}%): in_range {} + dual_repairs {} of {} triaged",
+                reuse * 100.0,
+                min_reuse * 100.0,
+                report.stats.in_range,
+                report.stats.dual_repairs,
+                report.stats.triaged,
+            )));
+        }
+    }
+    Ok(())
+}

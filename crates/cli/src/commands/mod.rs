@@ -1,6 +1,7 @@
 //! Subcommand implementations.
 
 pub mod demo;
+pub mod drift_bench;
 pub mod generate;
 pub mod info;
 pub mod serve_bench;

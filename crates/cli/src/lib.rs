@@ -81,6 +81,8 @@ USAGE:
                         [--cache-capacity N] [--shards N] [--seed N] [--out FILE] [--schedules]
                         [--baseline FILE] [--snapshot FILE] [--preload FILE]
                         [--max-inflight-cold N] [--cold-queue N]
+  steady drift-bench    [--epochs N] [--hits-per-epoch N] [--workers N] [--ttl N | --no-ttl]
+                        [--seed N] [--out FILE] [--min-reuse F] [--no-verify]
   steady demo NAME      NAME ∈ {figure2, figure6, figure9}
   steady info           --platform FILE [--dot]
   steady help
@@ -103,6 +105,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         }
         "solve" => commands::solve::run(rest, out),
         "serve-bench" => commands::serve_bench::run(rest, out),
+        "drift-bench" => commands::drift_bench::run(rest, out),
         "generate" => commands::generate::run(rest, out),
         "demo" => commands::demo::run(rest, out),
         "info" => commands::info::run(rest, out),
@@ -124,7 +127,15 @@ mod tests {
     #[test]
     fn help_lists_every_command() {
         let text = run_to_string(&["help"]).unwrap();
-        for needle in ["solve scatter", "solve reduce", "serve-bench", "generate", "demo", "info"] {
+        for needle in [
+            "solve scatter",
+            "solve reduce",
+            "serve-bench",
+            "drift-bench",
+            "generate",
+            "demo",
+            "info",
+        ] {
             assert!(text.contains(needle), "help misses '{needle}'");
         }
     }

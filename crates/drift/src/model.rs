@@ -1,0 +1,207 @@
+//! Time-correlated cost drift: bounded random walks over a fixed topology.
+//!
+//! The serving workloads this crate targets are platforms whose *structure*
+//! is stable while their *link costs* wander — congestion building and
+//! clearing, adaptive wireless LANs renegotiating rates, duty-cycled links
+//! alternating power states.  Consecutive observations of such a platform
+//! are strongly correlated: each cost is close to its previous value, not a
+//! fresh draw.  [`DriftModel`] reproduces exactly that trace so the triage
+//! layer can be exercised (and benchmarked) on realistic drift rather than
+//! on i.i.d. cost redraws.
+//!
+//! Costs stay exact rationals with **bounded denominators**: every edge
+//! carries an integer walker `w` on the grid `[min_num, max_num]` and the
+//! drifted cost is `base_cost * w / grid`.  A step moves each walker by at
+//! most one grid cell (staying put with the configured probability), so the
+//! trajectory is a lazy random walk, and denominators never grow with the
+//! number of steps — unlike multiplicative perturbation chains, whose exact
+//! rationals blow up linearly in walk length.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use steady_platform::Platform;
+use steady_rational::{rat, Ratio};
+
+/// Shape of the random walk applied to every edge cost.
+#[derive(Debug, Clone)]
+pub struct DriftConfig {
+    /// Walk grid: a drifted cost is `base * walker / grid`.
+    pub grid: i64,
+    /// Lowest walker value (inclusive); `min_num / grid` is the deepest
+    /// discount a cost can drift to.
+    pub min_num: i64,
+    /// Highest walker value (inclusive); `max_num / grid` is the worst
+    /// slowdown a cost can drift to.
+    pub max_num: i64,
+    /// Probability that an edge's walker moves at all in one step (the walk
+    /// is lazy: most real links are quiet most of the time).
+    pub move_probability: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        // Costs wander between half and double their base value in steps of
+        // 1/16, with ~2/3 of the edges moving each epoch.
+        DriftConfig { grid: 16, min_num: 8, max_num: 32, move_probability: 0.67 }
+    }
+}
+
+impl DriftConfig {
+    fn validate(&self) {
+        assert!(self.grid > 0, "drift grid must be positive");
+        assert!(self.min_num > 0, "drifted costs must stay positive");
+        assert!(
+            self.min_num <= self.grid && self.grid <= self.max_num,
+            "the walker bounds must bracket the grid (scale 1)"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.move_probability),
+            "move_probability must be a probability"
+        );
+    }
+}
+
+/// A platform whose edge costs follow per-edge lazy random walks.
+///
+/// The topology, node speeds and node roles are fixed; only edge costs move.
+/// Every platform produced by [`DriftModel::step`] therefore belongs to the
+/// same *structural class* (in the sense of the serving layer's cost-blind
+/// fingerprint), which is precisely the precondition for reusing a solved
+/// simplex basis across steps.
+#[derive(Debug, Clone)]
+pub struct DriftModel {
+    base: Platform,
+    config: DriftConfig,
+    /// One walker per edge, in edge-id order; cost scale is `walker / grid`.
+    walkers: Vec<i64>,
+    rng: StdRng,
+    steps: u64,
+}
+
+impl DriftModel {
+    /// Creates a model over `base` whose first state is `base` itself
+    /// (every walker starts at scale 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config` is malformed (non-positive grid, bounds that do
+    /// not bracket scale 1, probability outside `[0, 1]`).
+    pub fn new(base: Platform, config: DriftConfig, seed: u64) -> DriftModel {
+        config.validate();
+        let walkers = vec![config.grid; base.edge_ids().count()];
+        DriftModel { base, config, walkers, rng: StdRng::seed_from_u64(seed), steps: 0 }
+    }
+
+    /// The undrifted platform the walk started from.
+    pub fn base(&self) -> &Platform {
+        &self.base
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Advances every walker by one (lazy) step and returns the drifted
+    /// platform.
+    pub fn step(&mut self) -> Platform {
+        for w in self.walkers.iter_mut() {
+            if !self.rng.gen_bool(self.config.move_probability) {
+                continue;
+            }
+            let delta = if self.rng.gen_bool(0.5) { 1 } else { -1 };
+            *w = (*w + delta).clamp(self.config.min_num, self.config.max_num);
+        }
+        self.steps += 1;
+        self.current()
+    }
+
+    /// The platform at the walk's current position (same topology as the
+    /// base, each edge cost scaled by its walker).
+    pub fn current(&self) -> Platform {
+        let mut out = Platform::new();
+        for id in self.base.node_ids() {
+            let node = self.base.node(id);
+            out.add_node(node.name.clone(), node.speed.clone());
+        }
+        for (edge_id, walker) in self.base.edge_ids().zip(&self.walkers) {
+            let e = self.base.edge(edge_id);
+            let scale = rat(*walker, self.config.grid);
+            out.add_edge(e.from, e.to, &e.cost * &scale);
+        }
+        out
+    }
+
+    /// Current cost scale of each edge, in edge-id order (reporting aid).
+    pub fn scales(&self) -> Vec<Ratio> {
+        self.walkers.iter().map(|w| rat(*w, self.config.grid)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steady_platform::generators::heterogeneous_star;
+
+    fn star() -> Platform {
+        heterogeneous_star(&[rat(1, 2), rat(1, 3), rat(1, 4)]).0
+    }
+
+    #[test]
+    fn initial_state_is_the_base_platform() {
+        let model = DriftModel::new(star(), DriftConfig::default(), 7);
+        let current = model.current();
+        for (a, b) in model.base().edge_ids().zip(current.edge_ids()) {
+            assert_eq!(model.base().edge(a).cost, current.edge(b).cost);
+        }
+    }
+
+    #[test]
+    fn walk_is_deterministic_bounded_and_time_correlated() {
+        let config = DriftConfig::default();
+        let mut a = DriftModel::new(star(), config.clone(), 42);
+        let mut b = DriftModel::new(star(), config.clone(), 42);
+        let mut moved = 0usize;
+        for _ in 0..50 {
+            let pa = a.step();
+            let pb = b.step();
+            for (ea, eb) in pa.edge_ids().zip(pb.edge_ids()) {
+                assert_eq!(pa.edge(ea).cost, pb.edge(eb).cost, "same seed, same trace");
+            }
+            for (scale, edge) in a.scales().iter().zip(pa.edge_ids()) {
+                // Bounded between min_num/grid and max_num/grid.
+                assert!(*scale >= rat(config.min_num, config.grid));
+                assert!(*scale <= rat(config.max_num, config.grid));
+                assert!(pa.edge(edge).cost.is_positive());
+            }
+            moved += 1;
+        }
+        assert_eq!(a.steps(), moved as u64);
+        // After 50 lazy steps at least one edge must have left scale 1.
+        assert!(a.scales().iter().any(|s| *s != rat(1, 1)), "the walk never moved");
+    }
+
+    #[test]
+    fn denominators_stay_bounded_along_the_walk() {
+        let mut model = DriftModel::new(star(), DriftConfig::default(), 3);
+        let mut worst = steady_rational::BigInt::from(0i64);
+        for _ in 0..200 {
+            let p = model.step();
+            for e in p.edge_ids() {
+                let denom = p.edge(e).cost.denom().clone();
+                if denom > worst {
+                    worst = denom;
+                }
+            }
+        }
+        // base denominators are <= 4, the grid is 16: the product bounds it.
+        assert!(worst <= steady_rational::BigInt::from(64i64), "denominator blow-up: {worst}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bracket")]
+    fn malformed_config_is_rejected() {
+        let config = DriftConfig { min_num: 20, ..DriftConfig::default() };
+        DriftModel::new(star(), config, 0);
+    }
+}

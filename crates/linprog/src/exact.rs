@@ -166,6 +166,49 @@ pub fn solve_certified_warm(
     }
 }
 
+/// [`solve_certified_warm`]'s **dual-simplex** sibling: the `f64` simplex
+/// resumes from `basis` via [`simplex::solve_dual_with_basis_options`], the
+/// rationalized optimum is certified exactly, and a failed certification
+/// falls back to the exact simplex seeded with the basis the float run ended
+/// on.
+///
+/// The returned [`DualOutcome`](crate::simplex::DualOutcome) describes the
+/// float run (how the basis was used); the solution itself is exact on every
+/// path.
+pub fn solve_certified_dual(
+    problem: &LpProblem,
+    options: &CertifyOptions,
+    basis: &SolvedBasis,
+) -> Result<(CertifiedSolution, crate::simplex::DualOutcome), CertifyError> {
+    let (float, outcome) =
+        simplex::solve_dual_with_basis_options::<f64>(problem, basis, &options.simplex)?;
+    match certify(problem, &float, options.max_denominator) {
+        Ok(sol) => Ok((sol, outcome)),
+        Err(reason) => {
+            if options.forbid_fallback {
+                return Err(CertifyError::CertificationFailed { reason });
+            }
+            let exact = simplex::solve_with_basis_options::<Ratio>(
+                problem,
+                &float.basis,
+                &options.simplex,
+            )?;
+            Ok((
+                CertifiedSolution {
+                    values: exact.values,
+                    objective: exact.objective,
+                    duals: exact.duals,
+                    certificate: Certificate::ExactSimplex,
+                    iterations: float.iterations + exact.iterations,
+                    warm_started: float.warm_started,
+                    basis: Some(exact.basis),
+                },
+                outcome,
+            ))
+        }
+    }
+}
+
 /// Rationalizes a floating-point solution and verifies optimality exactly.
 ///
 /// Returns `Err(reason)` when any of the exact checks fails.

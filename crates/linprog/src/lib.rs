@@ -43,18 +43,21 @@
 
 pub mod exact;
 pub mod model;
+pub mod ranging;
 pub mod scalar;
 pub mod simplex;
 
 pub use exact::{
-    certify, solve_certified, solve_certified_warm, solve_certified_with_options, Certificate,
-    CertifiedSolution, CertifyError, CertifyOptions,
+    certify, solve_certified, solve_certified_dual, solve_certified_warm,
+    solve_certified_with_options, Certificate, CertifiedSolution, CertifyError, CertifyOptions,
 };
 pub use model::{Constraint, LinearExpr, LpProblem, Objective, Sense, VarId};
+pub use ranging::{objective_ranging, CostRange, RangingError};
 pub use scalar::Scalar;
 pub use simplex::{
-    solve_exact, solve_f64, solve_with_basis, solve_with_basis_options, solve_with_options,
-    LpStatus, SimplexError, SimplexOptions, Solution, SolvedBasis,
+    solve_dual_with_basis, solve_dual_with_basis_options, solve_exact, solve_f64, solve_with_basis,
+    solve_with_basis_options, solve_with_options, DualOutcome, LpStatus, SimplexError,
+    SimplexOptions, Solution, SolvedBasis,
 };
 
 use steady_rational::Ratio;
@@ -78,24 +81,56 @@ pub fn solve_exact_auto_with(
     problem: &LpProblem,
     warm: Option<&SolvedBasis>,
 ) -> Result<CertifiedSolution, CertifyError> {
-    const EXACT_SIMPLEX_LIMIT: usize = 2_000;
-    let size = problem.num_vars() * problem.num_constraints().max(1);
-    if size <= EXACT_SIMPLEX_LIMIT {
+    if below_exact_simplex_limit(problem) {
         let sol = match warm {
             Some(basis) => simplex::solve_with_basis::<Ratio>(problem, basis)?,
             None => simplex::solve_exact(problem)?,
         };
-        Ok(CertifiedSolution {
-            values: sol.values,
-            objective: sol.objective,
-            duals: sol.duals,
-            certificate: Certificate::ExactSimplex,
-            iterations: sol.iterations,
-            warm_started: sol.warm_started,
-            basis: Some(sol.basis),
-        })
+        Ok(exact_simplex_certified(sol))
     } else {
         exact::solve_certified_warm(problem, &CertifyOptions::default(), warm)
+    }
+}
+
+/// Solves `problem` exactly, resuming from `basis` with the **dual simplex**
+/// (see [`solve_dual_with_basis`]) and reporting how the basis was used.
+///
+/// The size-based strategy split mirrors [`solve_exact_auto_with`]: small
+/// problems run the exact rational dual simplex directly; large ones run it
+/// in `f64`, certify the rationalized optimum, and fall back to the exact
+/// simplex seeded from the float basis when certification fails.  Every path
+/// returns the same exact optimum as a cold [`solve_exact_auto`] — the
+/// [`DualOutcome`] only describes how much work the basis saved.
+pub fn solve_exact_dual_auto(
+    problem: &LpProblem,
+    basis: &SolvedBasis,
+) -> Result<(CertifiedSolution, DualOutcome), CertifyError> {
+    if below_exact_simplex_limit(problem) {
+        let (sol, outcome) = simplex::solve_dual_with_basis::<Ratio>(problem, basis)?;
+        Ok((exact_simplex_certified(sol), outcome))
+    } else {
+        exact::solve_certified_dual(problem, &CertifyOptions::default(), basis)
+    }
+}
+
+/// Problem-size split between the direct exact simplex and the certified
+/// `f64`-then-exact pipeline.
+fn below_exact_simplex_limit(problem: &LpProblem) -> bool {
+    const EXACT_SIMPLEX_LIMIT: usize = 2_000;
+    problem.num_vars() * problem.num_constraints().max(1) <= EXACT_SIMPLEX_LIMIT
+}
+
+/// Wraps an exact-simplex solution as a [`CertifiedSolution`] (optimal by
+/// construction).
+fn exact_simplex_certified(sol: Solution<Ratio>) -> CertifiedSolution {
+    CertifiedSolution {
+        values: sol.values,
+        objective: sol.objective,
+        duals: sol.duals,
+        certificate: Certificate::ExactSimplex,
+        iterations: sol.iterations,
+        warm_started: sol.warm_started,
+        basis: Some(sol.basis),
     }
 }
 

@@ -237,6 +237,11 @@ impl LpProblem {
         self.names.len()
     }
 
+    /// All variable ids, in declaration order.
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        (0..self.names.len()).map(VarId)
+    }
+
     /// Number of constraints.
     pub fn num_constraints(&self) -> usize {
         self.constraints.len()

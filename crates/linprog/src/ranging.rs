@@ -1,0 +1,252 @@
+//! Post-optimal sensitivity ranging.
+//!
+//! After an LP is solved, each objective coefficient `c_j` can move within an
+//! interval — the *optimality range* — without changing the optimal **basis**
+//! (and hence the optimal vertex; the objective *value* moves linearly with
+//! `c_j` when `x_j > 0`).  For the steady-state serving stack this is the
+//! cheap side of drift triage: a cached [`SolvedBasis`] together with the
+//! ranges tells, without a single pivot, whether a perturbed objective still
+//! has the same optimal solution.
+//!
+//! The classical derivation, specialized to the tableau kept by
+//! [`crate::simplex`] (maximization form, reduced costs `r_k <= 0` at the
+//! optimum):
+//!
+//! * **non-basic `j`** — only `r_j` depends on `c_j`, and linearly:
+//!   `c_j` may decrease without bound and increase by at most `-r_j`;
+//! * **basic `j` (in row `i`)** — a change `δ` shifts every non-basic
+//!   reduced cost by `-δ · T[i][k]`, so `δ` is bounded below by
+//!   `max { r_k / T[i][k] : T[i][k] > 0 }` and above by
+//!   `min { r_k / T[i][k] : T[i][k] < 0 }` over entering-eligible columns.
+//!
+//! Minimization problems are handled by computing in maximization form and
+//! mirroring the interval back.  All arithmetic is exact rational, so a
+//! coefficient strictly inside its range provably keeps the basis optimal.
+
+use crate::model::{LpProblem, Objective};
+use crate::simplex::{install_for_ranging, InstallVerdict, SolvedBasis};
+use steady_rational::Ratio;
+
+/// Optimality interval of one objective coefficient; `None` bounds are
+/// infinite.  Both bounds are inclusive: at a boundary the basis is still
+/// optimal, tied with a neighbouring one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostRange {
+    /// Greatest lower bound on the coefficient (`None` = unbounded below).
+    pub lower: Option<Ratio>,
+    /// Least upper bound on the coefficient (`None` = unbounded above).
+    pub upper: Option<Ratio>,
+}
+
+impl CostRange {
+    /// `true` when `value` lies within the (inclusive) range.
+    pub fn contains(&self, value: &Ratio) -> bool {
+        self.lower.as_ref().is_none_or(|lo| lo <= value)
+            && self.upper.as_ref().is_none_or(|hi| value <= hi)
+    }
+}
+
+/// Errors raised by [`objective_ranging`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RangingError {
+    /// The basis does not fit the problem's standard form, or is singular
+    /// for its data.
+    UnusableBasis,
+    /// The basis installed cleanly but is not optimal for the problem, so
+    /// ranging around it is meaningless.
+    NotOptimal,
+}
+
+impl std::fmt::Display for RangingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RangingError::UnusableBasis => {
+                write!(f, "the basis does not fit this problem's standard form")
+            }
+            RangingError::NotOptimal => {
+                write!(f, "the basis is not optimal for this problem")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RangingError {}
+
+/// Computes, for every structural variable, the interval its objective
+/// coefficient may move in (the others held fixed) while `basis` remains
+/// optimal for `problem`.
+///
+/// `basis` must be an optimal basis of `problem` — typically
+/// [`Solution::basis`](crate::simplex::Solution) from a prior solve; anything
+/// else is rejected rather than silently ranged around.
+pub fn objective_ranging(
+    problem: &LpProblem,
+    basis: &SolvedBasis,
+) -> Result<Vec<CostRange>, RangingError> {
+    let tableau = match install_for_ranging(problem, basis) {
+        InstallVerdict::Optimal(t) => t,
+        InstallVerdict::Unusable => return Err(RangingError::UnusableBasis),
+        InstallVerdict::NotOptimal => return Err(RangingError::NotOptimal),
+    };
+    let minimize = matches!(problem.direction(), Objective::Minimize);
+    let objective = problem.objective_vector();
+
+    // Row in which each structural column is basic, if any.
+    let mut basic_in_row = vec![None; tableau.n_structural];
+    for (row, &col) in tableau.basis.iter().enumerate() {
+        if col < tableau.n_structural {
+            basic_in_row[col] = Some(row);
+        }
+    }
+    let in_basis = |col: usize| tableau.basis.contains(&col);
+
+    let ranges = (0..tableau.n_structural)
+        .map(|j| {
+            // Work in maximization form (coefficients negated for Minimize).
+            let c_max = if minimize { -&objective[j] } else { objective[j].clone() };
+            let (lo_max, hi_max) = match basic_in_row[j] {
+                None => {
+                    // Non-basic: r_j may rise by -r_j before turning positive.
+                    (None, Some(&c_max - &tableau.reduced[j]))
+                }
+                Some(row) => {
+                    // Basic: bound the shift by the dual ratio over the row.
+                    let mut delta_lo: Option<Ratio> = None;
+                    let mut delta_hi: Option<Ratio> = None;
+                    for (k, t) in tableau.rows[row].iter().enumerate() {
+                        if !tableau.allowed[k] || t.is_zero() || in_basis(k) {
+                            continue;
+                        }
+                        let ratio = &tableau.reduced[k] / t;
+                        if t.is_positive() {
+                            if delta_lo.as_ref().is_none_or(|lo| *lo < ratio) {
+                                delta_lo = Some(ratio);
+                            }
+                        } else if delta_hi.as_ref().is_none_or(|hi| ratio < *hi) {
+                            delta_hi = Some(ratio);
+                        }
+                    }
+                    (delta_lo.map(|d| &c_max + &d), delta_hi.map(|d| &c_max + &d))
+                }
+            };
+            if minimize {
+                // Mirror the maximization-form interval back.
+                CostRange { lower: hi_max.map(|h| -&h), upper: lo_max.map(|l| -&l) }
+            } else {
+                CostRange { lower: lo_max, upper: hi_max }
+            }
+        })
+        .collect();
+    Ok(ranges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LinearExpr, LpProblem, Sense};
+    use crate::simplex::solve_exact;
+    use steady_rational::rat;
+
+    fn expr(terms: &[(crate::model::VarId, Ratio)]) -> LinearExpr {
+        let mut e = LinearExpr::new();
+        for (v, c) in terms {
+            e.add_term(*v, c.clone());
+        }
+        e
+    }
+
+    /// maximize 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> optimum (4, 0).
+    fn sample_lp() -> LpProblem {
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective(x, rat(3, 1));
+        lp.set_objective(y, rat(2, 1));
+        lp.add_constraint("c1", expr(&[(x, rat(1, 1)), (y, rat(1, 1))]), Sense::Le, rat(4, 1));
+        lp.add_constraint("c2", expr(&[(x, rat(1, 1)), (y, rat(3, 1))]), Sense::Le, rat(6, 1));
+        lp
+    }
+
+    #[test]
+    fn ranges_of_the_sample_lp_are_exact() {
+        // At the optimum (4, 0): c_x may drop to 2 (where (3,1) ties) and
+        // rise without bound; c_y may rise to 3 (same tie) and drop freely.
+        let lp = sample_lp();
+        let basis = solve_exact(&lp).unwrap().basis;
+        let ranges = objective_ranging(&lp, &basis).unwrap();
+        assert_eq!(ranges[0], CostRange { lower: Some(rat(2, 1)), upper: None });
+        assert_eq!(ranges[1], CostRange { lower: None, upper: Some(rat(3, 1)) });
+        assert!(ranges[0].contains(&rat(3, 1)));
+        assert!(ranges[0].contains(&rat(2, 1)), "bounds are inclusive");
+        assert!(!ranges[0].contains(&rat(1, 1)));
+    }
+
+    #[test]
+    fn interior_perturbations_keep_the_basis_optimal_and_exterior_do_not() {
+        let lp = sample_lp();
+        let cold = solve_exact(&lp).unwrap();
+        let ranges = objective_ranging(&lp, &cold.basis).unwrap();
+
+        // Strictly inside the x-range: the same vertex stays optimal.
+        let mut inside = sample_lp();
+        inside.set_objective(crate::model::VarId(0), rat(5, 2));
+        assert!(ranges[0].contains(&rat(5, 2)));
+        let re = solve_exact(&inside).unwrap();
+        assert_eq!(re.values, cold.values);
+
+        // Strictly outside: the optimal vertex must move.
+        let mut outside = sample_lp();
+        outside.set_objective(crate::model::VarId(0), rat(1, 1));
+        assert!(!ranges[0].contains(&rat(1, 1)));
+        let moved = solve_exact(&outside).unwrap();
+        assert_ne!(moved.values, cold.values);
+    }
+
+    #[test]
+    fn minimization_ranges_are_mirrored() {
+        // minimize x + y s.t. x + 2y >= 4, 3x + y >= 6 -> x = 8/5, y = 6/5.
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective(x, rat(1, 1));
+        lp.set_objective(y, rat(1, 1));
+        lp.add_constraint("a", expr(&[(x, rat(1, 1)), (y, rat(2, 1))]), Sense::Ge, rat(4, 1));
+        lp.add_constraint("b", expr(&[(x, rat(3, 1)), (y, rat(1, 1))]), Sense::Ge, rat(6, 1));
+        let cold = solve_exact(&lp).unwrap();
+        let ranges = objective_ranging(&lp, &cold.basis).unwrap();
+        for (j, range) in ranges.iter().enumerate() {
+            // The current coefficient always lies inside its own range.
+            assert!(range.contains(lp.objective_coeff(crate::model::VarId(j))));
+            // A bounded interval must be ordered.
+            if let (Some(lo), Some(hi)) = (&range.lower, &range.upper) {
+                assert!(lo <= hi);
+            }
+        }
+        // Perturb each coefficient inside its range: the vertex is unchanged.
+        for (j, range) in ranges.iter().enumerate() {
+            let target = match (&range.lower, &range.upper) {
+                (_, Some(hi)) => hi.clone(),
+                (Some(lo), None) => lo.clone(),
+                (None, None) => continue,
+            };
+            let mut perturbed = lp.clone();
+            perturbed.set_objective(crate::model::VarId(j), target);
+            let re = solve_exact(&perturbed).unwrap();
+            assert_eq!(
+                perturbed.objective_value(&cold.values),
+                re.objective,
+                "coefficient {j} at its boundary must keep the old vertex optimal"
+            );
+        }
+    }
+
+    #[test]
+    fn foreign_and_suboptimal_bases_are_rejected() {
+        let lp = sample_lp();
+        let foreign = SolvedBasis { cols: vec![0, 1, 2], num_cols: 9, n_structural: 3 };
+        assert_eq!(objective_ranging(&lp, &foreign).unwrap_err(), RangingError::UnusableBasis);
+        // The all-slack basis is feasible but not optimal.
+        let slack = SolvedBasis { cols: vec![2, 3], num_cols: 4, n_structural: 2 };
+        assert_eq!(objective_ranging(&lp, &slack).unwrap_err(), RangingError::NotOptimal);
+    }
+}

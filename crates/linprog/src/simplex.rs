@@ -232,7 +232,157 @@ pub fn solve_with_basis_options<S: Scalar>(
     options: &SimplexOptions,
 ) -> Result<Solution<S>, SimplexError> {
     let mut tableau = Tableau::<S>::build(problem);
-    let compatible = basis.cols.len() == tableau.num_rows()
+    if basis_compatible(basis, &tableau)
+        && tableau.install_basis(&basis.cols)
+        && tableau.rhs.iter().all(|b| !b.is_negative())
+    {
+        return tableau.run(problem, options, true);
+    }
+    // The install pivoted the tableau partway; rebuild and solve cold.
+    Tableau::<S>::build(problem).run(problem, options, false)
+}
+
+/// How [`solve_dual_with_basis`] ended up using the supplied basis.
+///
+/// The variants order the outcomes from cheapest to most expensive; the
+/// serving layer's drift triage maps them onto its `InRange` / `DualRepair`
+/// / `Resolve` classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DualOutcome {
+    /// The basis installed cleanly and was still both primal and dual
+    /// feasible for the new data: the old vertex is still optimal, zero
+    /// pivots were spent, the solution was merely re-priced.
+    StillOptimal,
+    /// The basis installed primal-infeasible but dual-feasible — the classic
+    /// post-perturbation shape — and dual simplex pivots repaired it in
+    /// place without ever leaving the dual-feasible region.
+    DualRepaired {
+        /// Dual pivots spent restoring primal feasibility.
+        pivots: usize,
+    },
+    /// The basis installed primal-feasible but no longer dual-feasible (the
+    /// perturbation moved the optimum); ordinary primal phase-2 pivots
+    /// re-optimized from the installed vertex.
+    PrimalReoptimized {
+        /// Primal pivots spent reaching the new optimum.
+        pivots: usize,
+    },
+    /// The basis could not be exploited (incompatible shape, singular for
+    /// the new data, an artificial left basic at a positive value, or
+    /// neither primal- nor dual-feasible); the result comes from a fresh
+    /// two-phase solve — or, for the positive-artificial case, a phase-1
+    /// restart from the installed point.
+    FellBack,
+}
+
+/// Solves `problem` with the **dual simplex**, resuming from a previously
+/// optimal basis of a structurally identical problem.
+///
+/// After a data perturbation (drifted edge costs, changed right-hand sides)
+/// the old optimal basis typically stays *dual* feasible — reduced costs
+/// depend on the objective, not the rhs — while the primal point it induces
+/// may turn infeasible.  The primal warm start ([`solve_with_basis`]) must
+/// discard such a basis and fall back to a full two-phase solve; this solver
+/// instead repairs it in place with dual pivots, which preserve dual
+/// feasibility and terminate at the new optimum, usually within a handful of
+/// iterations.  The returned [`DualOutcome`] reports which path was taken.
+///
+/// Every path returns the same exact optimum as a cold [`solve`]: the basis
+/// is advisory, and any situation the dual method cannot handle (including a
+/// failed dual ratio test, which in exact arithmetic certifies primal
+/// infeasibility) falls back to the ordinary two-phase method rather than
+/// trusting warm state for an infeasibility verdict.
+pub fn solve_dual_with_basis<S: Scalar>(
+    problem: &LpProblem,
+    basis: &SolvedBasis,
+) -> Result<(Solution<S>, DualOutcome), SimplexError> {
+    solve_dual_with_basis_options(problem, basis, &SimplexOptions::default())
+}
+
+/// [`solve_dual_with_basis`] with explicit options.
+pub fn solve_dual_with_basis_options<S: Scalar>(
+    problem: &LpProblem,
+    basis: &SolvedBasis,
+    options: &SimplexOptions,
+) -> Result<(Solution<S>, DualOutcome), SimplexError> {
+    let mut tableau = Tableau::<S>::build(problem);
+    if !basis_compatible(basis, &tableau) || !tableau.install_basis(&basis.cols) {
+        let sol = Tableau::<S>::build(problem).run(problem, options, false)?;
+        return Ok((sol, DualOutcome::FellBack));
+    }
+    // Pivot basic artificials out wherever a real column is available —
+    // exactly what the two-phase path does before phase 2.  This is
+    // load-bearing here, not cosmetic: an artificial left basic in a row
+    // that is *not* all-zero (the installed basis came from different
+    // numeric data) could be driven to a positive value by later primal or
+    // dual pivots, silently turning the "optimum" infeasible for the real
+    // constraints.  After the drive-out, any remaining basic artificial sits
+    // in an all-zero real row, where no allowed pivot can ever change its
+    // value.
+    tableau.drive_out_artificials();
+    // An artificial still basic at a strictly positive value means the
+    // installed point violates a real constraint the dual method cannot see
+    // — re-run phase 1 from the installed basis like the primal warm path
+    // does.  (A *negative* one makes its row the dual leaving row with no
+    // eligible entering column, so the dual path below falls back cold.)
+    let positive_artificial = (0..tableau.num_rows()).any(|i| {
+        tableau.kinds[tableau.basis[i]] == ColKind::Artificial && tableau.rhs[i].is_positive()
+    });
+    if positive_artificial {
+        let sol = tableau.run(problem, options, true)?;
+        return Ok((sol, DualOutcome::FellBack));
+    }
+
+    let primal_feasible = tableau.rhs.iter().all(|b| !b.is_negative());
+    let allowed: Vec<bool> = tableau.kinds.iter().map(|k| *k != ColKind::Artificial).collect();
+    let costs = tableau.costs.clone();
+    let mut reduced = tableau.reduced_cost_row(&costs);
+    let dual_feasible = tableau.choose_entering(&reduced, &allowed, false).is_none();
+    let mut iterations = 0usize;
+    match (primal_feasible, dual_feasible) {
+        (true, true) => Ok((tableau.finish(problem, 0, 0, true), DualOutcome::StillOptimal)),
+        (true, false) => {
+            tableau.optimize(&costs, &allowed, options, &mut iterations)?;
+            let pivots = iterations;
+            Ok((
+                tableau.finish(problem, iterations, 0, true),
+                DualOutcome::PrimalReoptimized { pivots },
+            ))
+        }
+        (false, true) => {
+            match tableau.dual_optimize(&allowed, &mut reduced, options, &mut iterations)? {
+                DualRun::Restored => {
+                    let dual_pivots = iterations;
+                    // Dual feasibility is invariant under the dual ratio
+                    // test, so the repaired vertex is already optimal; the
+                    // primal pass is a no-op in exact arithmetic and guards
+                    // the f64 instantiation against tolerance drift.
+                    tableau.optimize(&costs, &allowed, options, &mut iterations)?;
+                    Ok((
+                        tableau.finish(problem, iterations, 0, true),
+                        DualOutcome::DualRepaired { pivots: dual_pivots },
+                    ))
+                }
+                DualRun::RatioTestFailed => {
+                    // Dual unboundedness certifies primal infeasibility in
+                    // exact arithmetic, but never trust a warm basis for an
+                    // infeasibility verdict: re-solve from scratch.
+                    let sol = Tableau::<S>::build(problem).run(problem, options, false)?;
+                    Ok((sol, DualOutcome::FellBack))
+                }
+            }
+        }
+        (false, false) => {
+            let sol = Tableau::<S>::build(problem).run(problem, options, false)?;
+            Ok((sol, DualOutcome::FellBack))
+        }
+    }
+}
+
+/// Shape compatibility of a basis with a freshly built tableau: same row
+/// count, same standard form, in-range and duplicate-free columns.
+fn basis_compatible<S: Scalar>(basis: &SolvedBasis, tableau: &Tableau<S>) -> bool {
+    basis.cols.len() == tableau.num_rows()
         && basis.num_cols == tableau.num_cols()
         && basis.n_structural == tableau.n_structural
         && basis.cols.iter().all(|&c| c < basis.num_cols)
@@ -240,12 +390,7 @@ pub fn solve_with_basis_options<S: Scalar>(
             let mut sorted = basis.cols.clone();
             sorted.sort_unstable();
             sorted.windows(2).all(|w| w[0] != w[1])
-        };
-    if compatible && tableau.install_basis(&basis.cols) {
-        return tableau.run(problem, options, true);
-    }
-    // The install pivoted the tableau partway; rebuild and solve cold.
-    Tableau::<S>::build(problem).run(problem, options, false)
+        }
 }
 
 /// Column classification in the standard-form tableau.
@@ -254,6 +399,14 @@ enum ColKind {
     Structural,
     Slack,
     Artificial,
+}
+
+/// How a dual-simplex run ended.
+enum DualRun {
+    /// Primal feasibility restored; the basis is optimal.
+    Restored,
+    /// A leaving row had no eligible entering column (dual unbounded).
+    RatioTestFailed,
 }
 
 /// Dense standard-form tableau.
@@ -529,9 +682,10 @@ impl<S: Scalar> Tableau<S> {
     /// retried after other installs create fill-in; if a full pass makes no
     /// progress the basis is singular for this problem's data and `false` is
     /// returned (the tableau is then partially pivoted and must be discarded).
-    /// Installation also fails when the installed vertex has a negative basic
-    /// value — such a basis is primal infeasible and cannot seed the primal
-    /// simplex, whose ratio test assumes `rhs >= 0`.
+    /// A successful install says nothing about primal feasibility: the
+    /// induced vertex may have negative basic values, which the *primal*
+    /// simplex cannot start from (its ratio test assumes `rhs >= 0`) but the
+    /// *dual* simplex repairs — callers check `rhs` themselves.
     fn install_basis(&mut self, cols: &[usize]) -> bool {
         let m = self.num_rows();
         let target: std::collections::HashSet<usize> = cols.iter().copied().collect();
@@ -573,7 +727,118 @@ impl<S: Scalar> Tableau<S> {
                 return false;
             }
         }
-        self.rhs.iter().all(|b| !b.is_negative())
+        true
+    }
+
+    /// Drives artificial variables out of the basis where possible so later
+    /// pivots only touch real columns.  Rows where no real column has a
+    /// non-zero entry are redundant: their artificial stays basic and —
+    /// because every entry an allowed entering column could contribute is
+    /// zero there — its value can never change again.  Shared by the
+    /// two-phase path (between phases) and the warm dual path (right after
+    /// a basis install, where skipping it would let later pivots push a
+    /// basic artificial positive and corrupt the reported optimum).
+    fn drive_out_artificials(&mut self) {
+        for i in 0..self.num_rows() {
+            if self.kinds[self.basis[i]] != ColKind::Artificial {
+                continue;
+            }
+            let replacement = (0..self.num_cols())
+                .find(|&j| self.kinds[j] != ColKind::Artificial && !self.rows[i][j].is_zero());
+            if let Some(j) = replacement {
+                self.pivot(i, j);
+            }
+        }
+    }
+
+    /// Runs **dual simplex** iterations until primal feasibility is restored
+    /// (`rhs >= 0`), assuming the current basis is dual feasible (all allowed
+    /// reduced costs `<= 0`).  Each iteration picks a leaving row with a
+    /// negative basic value (most negative first, smallest basic index under
+    /// the anti-cycling rule) and an entering column by the dual ratio test —
+    /// the allowed column with a negative entry in that row minimizing
+    /// `reduced / entry`, which keeps every reduced cost non-positive — so
+    /// the first primal-feasible basis reached is optimal.
+    ///
+    /// Returns [`DualRun::RatioTestFailed`] when a leaving row has no
+    /// negative entry in any allowed column: the dual is unbounded, i.e. the
+    /// primal is infeasible (callers re-verify that verdict from scratch).
+    ///
+    /// `reduced` is the caller's already-computed reduced-cost row for the
+    /// phase-2 objective (the dual-feasibility probe needs it anyway); it is
+    /// updated incrementally at each pivot, so no `O(m n)` re-pricing
+    /// happens here.
+    fn dual_optimize(
+        &mut self,
+        allowed: &[bool],
+        reduced: &mut [S],
+        options: &SimplexOptions,
+        iterations: &mut usize,
+    ) -> Result<DualRun, SimplexError> {
+        let default_cap = 50 * (self.num_rows() + self.num_cols()) + 10_000;
+        let cap = options.max_iterations.unwrap_or(default_cap);
+        loop {
+            if *iterations > cap {
+                return Err(SimplexError::IterationLimit { iterations: *iterations });
+            }
+            let bland = *iterations >= options.bland_after;
+            let mut row: Option<usize> = None;
+            for i in 0..self.num_rows() {
+                if !self.rhs[i].is_negative() {
+                    continue;
+                }
+                row = Some(match row {
+                    None => i,
+                    Some(r) if bland => {
+                        if self.basis[i] < self.basis[r] {
+                            i
+                        } else {
+                            r
+                        }
+                    }
+                    Some(r) => {
+                        if self.rhs[i].lt(&self.rhs[r]) {
+                            i
+                        } else {
+                            r
+                        }
+                    }
+                });
+            }
+            let Some(row) = row else {
+                return Ok(DualRun::Restored);
+            };
+            // Dual ratio test; iterating in ascending column order keeps the
+            // smallest index on ties, which is Bland-compatible.
+            let mut entering: Option<(usize, S)> = None;
+            for j in 0..self.num_cols() {
+                if !allowed[j] {
+                    continue;
+                }
+                let a = &self.rows[row][j];
+                if !a.is_negative() {
+                    continue;
+                }
+                let ratio = reduced[j].div(a);
+                match &entering {
+                    None => entering = Some((j, ratio)),
+                    Some((_, best)) if ratio.lt(best) => entering = Some((j, ratio)),
+                    _ => {}
+                }
+            }
+            let Some((col, _)) = entering else {
+                return Ok(DualRun::RatioTestFailed);
+            };
+            let entering_cost = reduced[col].clone();
+            self.pivot(row, col);
+            for (r, t) in reduced.iter_mut().zip(self.rows[row].iter()) {
+                if !t.is_zero() {
+                    *r = r.sub(&entering_cost.mul(t));
+                }
+            }
+            reduced[col] = S::zero();
+            *iterations += 1;
+        }
     }
 
     fn run(
@@ -623,25 +888,28 @@ impl<S: Scalar> Tableau<S> {
         }
         let phase1_iterations = iterations;
 
-        // Drive artificial variables out of the basis where possible so the
-        // phase-2 basis is made of real columns.  Rows where no real column
-        // has a non-zero entry are redundant; their artificial stays basic
-        // at value zero and is simply never allowed to re-enter.
-        for i in 0..self.num_rows() {
-            if self.kinds[self.basis[i]] != ColKind::Artificial {
-                continue;
-            }
-            let replacement = (0..self.num_cols())
-                .find(|&j| self.kinds[j] != ColKind::Artificial && !self.rows[i][j].is_zero());
-            if let Some(j) = replacement {
-                self.pivot(i, j);
-            }
-        }
+        self.drive_out_artificials();
 
         // ---- Phase 2: optimize the real objective, artificials locked out. ----
         let allowed: Vec<bool> = self.kinds.iter().map(|k| *k != ColKind::Artificial).collect();
         let costs = self.costs.clone();
         self.optimize(&costs, &allowed, options, &mut iterations)?;
+
+        Ok(self.finish(problem, iterations, phase1_iterations, warm_started))
+    }
+
+    /// Reads the primal solution, objective, duals and final basis out of an
+    /// optimized tableau.  Shared by the two-phase [`Tableau::run`] and the
+    /// dual-simplex path, which reach optimality by different pivot
+    /// sequences but extract the result identically.
+    fn finish(
+        self,
+        problem: &LpProblem,
+        iterations: usize,
+        phase1_iterations: usize,
+        warm_started: bool,
+    ) -> Solution<S> {
+        let costs = self.costs.clone();
 
         // ---- Extract the primal solution. ----
         let mut values = vec![S::zero(); self.n_structural];
@@ -691,16 +959,63 @@ impl<S: Scalar> Tableau<S> {
             num_cols: self.num_cols(),
             n_structural: self.n_structural,
         };
-        Ok(Solution {
-            values,
-            objective,
-            duals,
-            iterations,
-            phase1_iterations,
-            warm_started,
-            basis,
-        })
+        Solution { values, objective, duals, iterations, phase1_iterations, warm_started, basis }
     }
+}
+
+/// The pieces of an exact optimal tableau that post-optimal sensitivity
+/// analysis ([`crate::ranging`]) reads: the pivoted rows, the basis
+/// assignment, the reduced-cost row and the mask of columns eligible to
+/// enter (non-artificial).
+pub(crate) struct OptimalTableau {
+    /// Pivoted tableau rows over all standard-form columns.
+    pub rows: Vec<Vec<Ratio>>,
+    /// Basic column of each row.
+    pub basis: Vec<usize>,
+    /// `true` for columns allowed to enter (non-artificial).
+    pub allowed: Vec<bool>,
+    /// Reduced cost of every column w.r.t. the maximization-form objective.
+    pub reduced: Vec<Ratio>,
+    /// Number of structural columns.
+    pub n_structural: usize,
+}
+
+/// Outcome of installing a basis for ranging purposes.
+pub(crate) enum InstallVerdict {
+    /// The basis is optimal for the problem; the tableau is usable.
+    Optimal(Box<OptimalTableau>),
+    /// The basis does not fit the problem's standard form or is singular.
+    Unusable,
+    /// The basis installed but is not optimal for this data.
+    NotOptimal,
+}
+
+/// Installs `basis` on a fresh exact tableau of `problem` and verifies it is
+/// optimal (primal feasible, no positive artificial, dual feasible).
+pub(crate) fn install_for_ranging(problem: &LpProblem, basis: &SolvedBasis) -> InstallVerdict {
+    let mut tableau = Tableau::<Ratio>::build(problem);
+    if !basis_compatible(basis, &tableau) || !tableau.install_basis(&basis.cols) {
+        return InstallVerdict::Unusable;
+    }
+    let feasible = tableau.rhs.iter().all(|b| !b.is_negative())
+        && (0..tableau.num_rows()).all(|i| {
+            tableau.kinds[tableau.basis[i]] != ColKind::Artificial || tableau.rhs[i].is_zero()
+        });
+    if !feasible {
+        return InstallVerdict::NotOptimal;
+    }
+    let allowed: Vec<bool> = tableau.kinds.iter().map(|k| *k != ColKind::Artificial).collect();
+    let reduced = tableau.reduced_cost_row(&tableau.costs);
+    if tableau.choose_entering(&reduced, &allowed, false).is_some() {
+        return InstallVerdict::NotOptimal;
+    }
+    InstallVerdict::Optimal(Box::new(OptimalTableau {
+        rows: tableau.rows,
+        basis: tableau.basis,
+        allowed,
+        reduced,
+        n_structural: tableau.n_structural,
+    }))
 }
 
 /// Clamp tiny negative values (f64 round-off) to zero; exact scalars pass through.
@@ -1012,6 +1327,159 @@ mod tests {
         let sol = solve_with_basis::<Ratio>(&lp, &bad).unwrap();
         assert!(!sol.warm_started);
         assert_eq!(sol.objective, rat(5, 1));
+    }
+
+    #[test]
+    fn dual_solver_reprices_the_unchanged_problem_with_zero_pivots() {
+        let lp = sample_lp();
+        let cold = solve_exact(&lp).unwrap();
+        let (sol, outcome) = solve_dual_with_basis::<Ratio>(&lp, &cold.basis).unwrap();
+        assert_eq!(outcome, DualOutcome::StillOptimal);
+        assert_eq!(sol.iterations, 0);
+        assert!(sol.warm_started);
+        assert_eq!(sol.objective, cold.objective);
+        assert_eq!(sol.values, cold.values);
+        assert_eq!(sol.duals, cold.duals);
+        assert_eq!(sol.basis, cold.basis);
+    }
+
+    #[test]
+    fn dual_repair_of_a_tightened_rhs() {
+        // Optimum of the sample LP is x = 4 with basis {x, s2} (s2 = 2).
+        // Tightening c2's rhs from 6 to 2 drives the installed s2 to -2:
+        // the basis stays dual feasible but turns primal infeasible, so the
+        // dual simplex must repair it and land exactly on the cold optimum
+        // (x = 2, objective 6).
+        let old = solve_exact(&sample_lp()).unwrap();
+        let mut tight = LpProblem::maximize();
+        let x = tight.add_var("x");
+        let y = tight.add_var("y");
+        tight.set_objective(x, rat(3, 1));
+        tight.set_objective(y, rat(2, 1));
+        tight.add_constraint("c1", expr(&[(x, rat(1, 1)), (y, rat(1, 1))]), Sense::Le, rat(4, 1));
+        tight.add_constraint("c2", expr(&[(x, rat(1, 1)), (y, rat(3, 1))]), Sense::Le, rat(2, 1));
+        let cold = solve_exact(&tight).unwrap();
+        let (warm, outcome) = solve_dual_with_basis::<Ratio>(&tight, &old.basis).unwrap();
+        assert_eq!(warm.objective, cold.objective);
+        assert_eq!(warm.objective, rat(6, 1));
+        assert_eq!(warm.values, cold.values);
+        assert!(warm.warm_started);
+        assert!(matches!(outcome, DualOutcome::DualRepaired { pivots } if pivots >= 1));
+    }
+
+    #[test]
+    fn dual_repair_matches_cold_on_negative_rhs_perturbations() {
+        // maximize x + y s.t. x + 2y <= 6, 3x + y <= 9 has optimum at the
+        // intersection of both constraints; shrinking the first rhs alone
+        // pushes the induced vertex below zero (primal infeasible).
+        // Exercise both scalar backends.
+        let mut base = LpProblem::maximize();
+        let x = base.add_var("x");
+        let y = base.add_var("y");
+        base.set_objective(x, rat(1, 1));
+        base.set_objective(y, rat(1, 1));
+        base.add_constraint("a", expr(&[(x, rat(1, 1)), (y, rat(2, 1))]), Sense::Le, rat(6, 1));
+        base.add_constraint("b", expr(&[(x, rat(3, 1)), (y, rat(1, 1))]), Sense::Le, rat(9, 1));
+        let basis = solve_exact(&base).unwrap().basis;
+
+        let mut shrunk = LpProblem::maximize();
+        let x = shrunk.add_var("x");
+        let y = shrunk.add_var("y");
+        shrunk.set_objective(x, rat(1, 1));
+        shrunk.set_objective(y, rat(1, 1));
+        shrunk.add_constraint("a", expr(&[(x, rat(1, 1)), (y, rat(2, 1))]), Sense::Le, rat(2, 1));
+        shrunk.add_constraint("b", expr(&[(x, rat(3, 1)), (y, rat(1, 1))]), Sense::Le, rat(9, 1));
+        let cold = solve_exact(&shrunk).unwrap();
+        let (warm, outcome) = solve_dual_with_basis::<Ratio>(&shrunk, &basis).unwrap();
+        assert_eq!(warm.objective, cold.objective);
+        assert_eq!(warm.values, cold.values);
+        assert!(matches!(outcome, DualOutcome::StillOptimal | DualOutcome::DualRepaired { .. }));
+        let (warm_f64, _) = solve_dual_with_basis::<f64>(&shrunk, &basis).unwrap();
+        assert!((warm_f64.objective - cold.objective.to_f64()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dual_solver_falls_back_when_the_problem_turns_infeasible() {
+        // The perturbation makes the problem infeasible: the dual ratio test
+        // fails (dual unbounded) and the solver must re-verify from scratch,
+        // reporting Infeasible like a cold solve.
+        let mut feasible = LpProblem::maximize();
+        let x = feasible.add_var("x");
+        feasible.set_objective(x, rat(1, 1));
+        feasible.add_constraint("lo", expr(&[(x, rat(1, 1))]), Sense::Ge, rat(1, 1));
+        feasible.add_constraint("hi", expr(&[(x, rat(1, 1))]), Sense::Le, rat(3, 1));
+        let basis = solve_exact(&feasible).unwrap().basis;
+
+        let mut infeasible = LpProblem::maximize();
+        let x = infeasible.add_var("x");
+        infeasible.set_objective(x, rat(1, 1));
+        infeasible.add_constraint("lo", expr(&[(x, rat(1, 1))]), Sense::Ge, rat(5, 1));
+        infeasible.add_constraint("hi", expr(&[(x, rat(1, 1))]), Sense::Le, rat(3, 1));
+        assert_eq!(
+            solve_dual_with_basis::<Ratio>(&infeasible, &basis).unwrap_err(),
+            SimplexError::Infeasible
+        );
+    }
+
+    #[test]
+    fn dual_solver_stays_feasible_when_the_prior_basis_kept_an_artificial() {
+        // maximize x + 3y s.t. e1: x + y == 2, e2: 2x + y == 4, cap: x <= 2.
+        // The unique feasible point is (2, 0).  Standard-form columns:
+        // x(0), y(1), cap's slack(2), artificials a1(3), a2(4).
+        //
+        // The basis {x, slack, a2} — the shape a cold solve of a sibling
+        // whose e2 was *redundant* leaves behind — installs consistently:
+        // x = 2 and a2 = 0 (e2 holds at the installed point), so the
+        // positive-artificial bail-out does not fire, and the a2 row reads
+        // `-y + a2 = 0`.  The point is primal feasible but not dual optimal
+        // (y's reduced cost is positive), so phase-2 pivots y in — and
+        // without the post-install artificial drive-out, that pivot pushes
+        // a2 to 2 and "optimizes" to (0, 2), which violates e2.  The solver
+        // must instead return the exact cold optimum (2, 0) and a feasible
+        // point.
+        let mut drifted = LpProblem::maximize();
+        let x = drifted.add_var("x");
+        let y = drifted.add_var("y");
+        drifted.set_objective(x, rat(1, 1));
+        drifted.set_objective(y, rat(3, 1));
+        drifted.add_constraint("e1", expr(&[(x, rat(1, 1)), (y, rat(1, 1))]), Sense::Eq, rat(2, 1));
+        drifted.add_constraint("e2", expr(&[(x, rat(2, 1)), (y, rat(1, 1))]), Sense::Eq, rat(4, 1));
+        drifted.add_constraint("cap", expr(&[(x, rat(1, 1))]), Sense::Le, rat(2, 1));
+
+        let stale = SolvedBasis { cols: vec![0, 2, 4], num_cols: 5, n_structural: 2 };
+        let cold = solve_exact(&drifted).unwrap();
+        assert_eq!(cold.values, vec![rat(2, 1), rat(0, 1)]);
+        let (warm, _) = solve_dual_with_basis::<Ratio>(&drifted, &stale).unwrap();
+        assert!(
+            drifted.check_feasible(&warm.values).is_ok(),
+            "dual reuse returned an infeasible point: {:?}",
+            warm.values
+        );
+        assert_eq!(warm.objective, cold.objective);
+        assert_eq!(warm.values, cold.values);
+    }
+
+    #[test]
+    fn dual_solver_falls_back_on_foreign_or_singular_bases() {
+        let lp = sample_lp();
+        let foreign = SolvedBasis { cols: vec![0, 1, 2], num_cols: 9, n_structural: 3 };
+        let (sol, outcome) = solve_dual_with_basis::<Ratio>(&lp, &foreign).unwrap();
+        assert_eq!(outcome, DualOutcome::FellBack);
+        assert!(!sol.warm_started);
+        assert_eq!(sol.objective, rat(12, 1));
+    }
+
+    #[test]
+    fn dual_solver_reoptimizes_primal_feasible_but_suboptimal_bases() {
+        // The all-slack basis of the sample LP is primal feasible (rhs >= 0)
+        // but not dual feasible (positive reduced costs): the solver should
+        // take the primal phase-2 path from the installed vertex.
+        let lp = sample_lp();
+        let slack_basis = SolvedBasis { cols: vec![2, 3], num_cols: 4, n_structural: 2 };
+        let (sol, outcome) = solve_dual_with_basis::<Ratio>(&lp, &slack_basis).unwrap();
+        assert!(matches!(outcome, DualOutcome::PrimalReoptimized { pivots } if pivots >= 1));
+        assert!(sol.warm_started);
+        assert_eq!(sol.objective, rat(12, 1));
     }
 
     #[test]

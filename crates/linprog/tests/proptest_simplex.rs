@@ -8,7 +8,10 @@
 //! * the exact solution is at least as good as a sample of feasible points.
 
 use proptest::prelude::*;
-use steady_lp::{solve_certified, solve_exact, solve_f64, LinearExpr, LpProblem, Sense};
+use steady_lp::{
+    objective_ranging, solve_certified, solve_dual_with_basis, solve_exact, solve_f64, DualOutcome,
+    LinearExpr, LpProblem, Sense,
+};
 use steady_rational::{rat, Ratio};
 
 #[derive(Debug, Clone)]
@@ -54,6 +57,25 @@ fn build(lp_desc: &RandomLp) -> LpProblem {
         lp.add_constraint(format!("ub{i}"), LinearExpr::var(*v), Sense::Le, rat(50, 1));
     }
     lp
+}
+
+/// Clones `lp` with each constraint's rhs replaced (same variables, same
+/// coefficients, same senses) — the LP builder is append-only, so rhs
+/// perturbations go through a rebuild.
+fn rebuild_with_rhs(lp: &LpProblem, rhs: &[Ratio]) -> LpProblem {
+    let mut out = LpProblem::maximize();
+    let vars: Vec<_> = lp.vars().map(|v| out.add_var(lp.var_name(v))).collect();
+    for v in lp.vars() {
+        out.set_objective(vars[v.index()], lp.objective_coeff(v).clone());
+    }
+    for (c, new_rhs) in lp.constraints().iter().zip(rhs) {
+        let mut e = LinearExpr::new();
+        for (v, coeff) in c.expr.terms() {
+            e.add_term(vars[v.index()], coeff.clone());
+        }
+        out.add_constraint(c.name.clone(), e, c.sense, new_rhs.clone());
+    }
+    out
 }
 
 proptest! {
@@ -105,6 +127,129 @@ proptest! {
                     "feasible point with value {} beats 'optimal' {}", val, exact.objective);
             }
         }
+    }
+
+    #[test]
+    fn dual_simplex_repair_is_exact_under_cost_and_rhs_perturbations(
+        desc in random_lp_strategy(),
+        cost_scales in proptest::collection::vec((1i64..6, 1i64..6), 8),
+        rhs_scales in proptest::collection::vec((1i64..6, 1i64..6), 8),
+    ) {
+        // Solve the base LP, keep its optimal basis, then perturb every
+        // objective coefficient and every rhs by random positive rational
+        // factors.  Resuming the perturbed problem from the old basis with
+        // the dual simplex must return the bit-identical exact optimum of a
+        // cold solve, whatever reuse path it ends up taking.
+        let base = build(&desc);
+        let basis = solve_exact(&base).unwrap().basis;
+
+        let mut perturbed = base.clone();
+        let vars: Vec<_> = perturbed.vars().collect();
+        for (j, v) in vars.into_iter().enumerate() {
+            let (n, d) = cost_scales[j % cost_scales.len()];
+            let scaled = perturbed.objective_coeff(v) * &rat(n, d);
+            perturbed.set_objective(v, scaled);
+        }
+        let rescaled_rhs: Vec<Ratio> = perturbed
+            .constraints()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let (n, d) = rhs_scales[i % rhs_scales.len()];
+                &c.rhs * &rat(n, d)
+            })
+            .collect();
+        let rebuilt = rebuild_with_rhs(&perturbed, &rescaled_rhs);
+
+        let cold = solve_exact(&rebuilt).unwrap();
+        let (warm, outcome) = solve_dual_with_basis::<Ratio>(&rebuilt, &basis).unwrap();
+        prop_assert_eq!(&warm.objective, &cold.objective);
+        prop_assert!(rebuilt.check_feasible(&warm.values).is_ok());
+        prop_assert_eq!(rebuilt.objective_value(&warm.values), cold.objective);
+        // Pure rhs shrink/stretch keeps dual feasibility, so the repair
+        // paths must at least be well-formed; nothing stronger is asserted
+        // about *which* path ran — only that the answer is exact.
+        match outcome {
+            DualOutcome::StillOptimal => prop_assert_eq!(warm.iterations, 0),
+            DualOutcome::DualRepaired { pivots } => prop_assert!(pivots >= 1),
+            DualOutcome::PrimalReoptimized { pivots } => prop_assert!(pivots >= 1),
+            DualOutcome::FellBack => {}
+        }
+    }
+
+    #[test]
+    fn dual_simplex_is_exact_on_lps_with_equality_and_ge_rows(
+        desc in random_lp_strategy(),
+        rhs_scales in proptest::collection::vec((1i64..6, 1i64..6), 8),
+    ) {
+        // The steady-state LPs live in the artificial-column regime
+        // (zero-rhs equalities, >= rows), which plain `Le`-only instances
+        // never reach.  Augment each random LP with an equality tying a
+        // mirror variable to x0 and a redundant >= row, solve, perturb the
+        // rhs, and demand the dual path still matches a cold solve exactly.
+        let mut base = build(&desc);
+        let vars: Vec<_> = base.vars().collect();
+        let mirror = base.add_var("mirror");
+        let mut tie = LinearExpr::new();
+        tie.add_term(vars[0], rat(1, 1));
+        tie.add_term(mirror, rat(-1, 1));
+        base.add_constraint("tie", tie, Sense::Eq, rat(0, 1));
+        let mut floor = LinearExpr::new();
+        floor.add_term(vars[0], rat(1, 1));
+        floor.add_term(mirror, rat(1, 1));
+        base.add_constraint("floor", floor, Sense::Ge, rat(0, 1));
+
+        let basis = solve_exact(&base).unwrap().basis;
+        let rescaled: Vec<Ratio> = base
+            .constraints()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let (n, d) = rhs_scales[i % rhs_scales.len()];
+                &c.rhs * &rat(n, d)
+            })
+            .collect();
+        let rebuilt = rebuild_with_rhs(&base, &rescaled);
+        let cold = solve_exact(&rebuilt).unwrap();
+        let (warm, _) = solve_dual_with_basis::<Ratio>(&rebuilt, &basis).unwrap();
+        prop_assert_eq!(&warm.objective, &cold.objective);
+        prop_assert!(
+            rebuilt.check_feasible(&warm.values).is_ok(),
+            "dual reuse returned an infeasible point"
+        );
+        prop_assert_eq!(rebuilt.objective_value(&warm.values), cold.objective);
+    }
+
+    #[test]
+    fn in_range_cost_perturbations_keep_the_vertex_optimal(
+        desc in random_lp_strategy(),
+        pick in 0usize..4,
+    ) {
+        // Sensitivity ranging: nudging one objective coefficient to a point
+        // strictly inside its computed range must keep the old optimal
+        // vertex optimal, verified by an independent cold re-solve.
+        let lp = build(&desc);
+        let cold = solve_exact(&lp).unwrap();
+        let ranges = objective_ranging(&lp, &cold.basis).unwrap();
+        let j = pick % lp.num_vars();
+        let v = lp.vars().nth(j).unwrap();
+        let current = lp.objective_coeff(v).clone();
+        prop_assert!(ranges[j].contains(&current), "own coefficient outside its range");
+        // Midpoint between the coefficient and its nearest finite bound.
+        let target = match (&ranges[j].lower, &ranges[j].upper) {
+            (_, Some(hi)) => &(&current + hi) / &rat(2, 1),
+            (Some(lo), None) => &(&current + lo) / &rat(2, 1),
+            (None, None) => current.clone(),
+        };
+        prop_assert!(ranges[j].contains(&target));
+        let mut nudged = lp.clone();
+        nudged.set_objective(v, target);
+        let re = solve_exact(&nudged).unwrap();
+        prop_assert_eq!(
+            nudged.objective_value(&cold.values),
+            re.objective,
+            "the old vertex must still be optimal inside the range"
+        );
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Sharded in-memory solution cache with LRU eviction.
+//! Sharded in-memory solution cache with LRU eviction and epoch-based
+//! staleness.
 //!
 //! The cache maps canonical fingerprints to [`Answer`]s.  Keys are spread
 //! over independently locked shards so concurrent lookups from the worker
@@ -6,6 +7,14 @@
 //! shared side of a [`parking_lot::RwLock`] and recency is tracked with a
 //! per-entry atomic timestamp so hits never need the exclusive side.
 //! Eviction is least-recently-used per shard.
+//!
+//! Every entry remembers the **epoch** it was inserted in (see
+//! `Service::advance_epoch`).  A TTL-aware lookup classifies entries older
+//! than the TTL as [`Lookup::Stale`] instead of dropping them: the stale
+//! answer is still returned, because the engine's drift triage can usually
+//! *revalidate* it against the cached simplex basis far more cheaply than
+//! re-deriving it — and it remains the best available fallback when a
+//! revalidation is shed under overload.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -39,10 +48,13 @@ impl Default for CacheConfig {
 /// Monotonic counters describing the cache's behaviour so far.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups that found an entry.
+    /// Lookups that found a fresh entry.
     pub hits: u64,
-    /// Lookups that found nothing.
+    /// Lookups that found nothing — or only a stale entry (stale lookups
+    /// count as misses, so `hits + misses` equals total lookups).
     pub misses: u64,
+    /// The subset of `misses` that found a stale entry (TTL expired).
+    pub stale: u64,
     /// Answers stored.
     pub insertions: u64,
     /// Entries displaced to make room.
@@ -64,6 +76,21 @@ impl CacheStats {
 struct Entry {
     answer: Arc<Answer>,
     last_used: AtomicU64,
+    /// Service epoch the entry was inserted (or last revalidated) in.
+    epoch: u64,
+}
+
+/// Outcome of a TTL-aware cache lookup (see [`SolutionCache::lookup`]).
+#[derive(Debug, Clone)]
+pub enum Lookup {
+    /// A fresh entry: serve it directly.
+    Hit(Arc<Answer>),
+    /// An entry older than the TTL: its exact value may no longer reflect
+    /// the platform — revalidate before serving, but keep it as the
+    /// best-effort fallback.
+    Stale(Arc<Answer>),
+    /// Nothing cached under the key.
+    Miss,
 }
 
 /// A sharded fingerprint → [`Answer`] cache with per-shard LRU eviction.
@@ -74,8 +101,17 @@ pub struct SolutionCache {
     clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    stale: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+}
+
+/// `true` when an entry inserted at `epoch` is still fresh at `now` under
+/// `ttl` (`None` = entries never expire; `Some(t)` = fresh for `t` epochs
+/// beyond the insertion one, so `Some(0)` expires entries as soon as the
+/// epoch advances).
+fn fresh(epoch: u64, now: u64, ttl: Option<u64>) -> bool {
+    ttl.is_none_or(|t| now.saturating_sub(epoch) <= t)
 }
 
 impl SolutionCache {
@@ -96,6 +132,7 @@ impl SolutionCache {
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            stale: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
@@ -112,39 +149,78 @@ impl SolutionCache {
         self.clock.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Looks up `key`, updating recency and the hit/miss counters.
+    /// Looks up `key` ignoring entry age, updating recency and the hit/miss
+    /// counters.  Shorthand for [`SolutionCache::lookup`] with no TTL.
     pub fn get(&self, key: u64) -> Option<Arc<Answer>> {
+        match self.lookup(key, 0, None) {
+            Lookup::Hit(answer) => Some(answer),
+            Lookup::Stale(_) | Lookup::Miss => None,
+        }
+    }
+
+    /// Looks up `key` at epoch `now` under `ttl`, updating recency and the
+    /// counters: a fresh entry is a hit, a stale one counts as a miss (plus
+    /// the `stale` marker) but still hands back the old answer for
+    /// revalidation, and an absent one is a plain miss.
+    pub fn lookup(&self, key: u64, now: u64, ttl: Option<u64>) -> Lookup {
         let shard = self.shard(key).read();
         match shard.get(&key) {
             Some(entry) => {
                 entry.last_used.store(self.tick(), Ordering::Relaxed);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(&entry.answer))
+                if fresh(entry.epoch, now, ttl) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    Lookup::Hit(Arc::clone(&entry.answer))
+                } else {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    self.stale.fetch_add(1, Ordering::Relaxed);
+                    Lookup::Stale(Arc::clone(&entry.answer))
+                }
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+                Lookup::Miss
             }
         }
     }
 
     /// Looks up `key` without touching the hit/miss counters (recency is
-    /// still updated).
+    /// still updated).  Shorthand for [`SolutionCache::peek_fresh`] with no
+    /// TTL.
+    pub fn peek(&self, key: u64) -> Option<Arc<Answer>> {
+        self.peek_fresh(key, 0, None)
+    }
+
+    /// Returns the entry under `key` only if it is *fresh* at epoch `now`
+    /// under `ttl`, without touching the hit/miss counters (recency is still
+    /// updated).
     ///
     /// The engine uses this to re-check the cache while holding the
     /// single-flight admission lock: the initial lookup already recorded a
-    /// miss for the query, so this second look must not count again —
-    /// `hits + misses` stays equal to the number of queries.
-    pub fn peek(&self, key: u64) -> Option<Arc<Answer>> {
+    /// hit or miss for the query, so this second look must not count again —
+    /// `hits + misses` stays equal to the number of lookups.  A stale entry
+    /// is reported as absent so the caller proceeds to revalidation.
+    pub fn peek_fresh(&self, key: u64, now: u64, ttl: Option<u64>) -> Option<Arc<Answer>> {
         let shard = self.shard(key).read();
         let entry = shard.get(&key)?;
         entry.last_used.store(self.tick(), Ordering::Relaxed);
-        Some(Arc::clone(&entry.answer))
+        if fresh(entry.epoch, now, ttl) {
+            Some(Arc::clone(&entry.answer))
+        } else {
+            None
+        }
     }
 
-    /// Stores `answer` under `key`, evicting the least recently used entry of
-    /// the shard if it is full.
+    /// Stores `answer` under `key` at epoch 0 (see
+    /// [`SolutionCache::insert_at`]).
     pub fn insert(&self, key: u64, answer: Arc<Answer>) {
+        self.insert_at(key, answer, 0);
+    }
+
+    /// Stores `answer` under `key` stamped with `epoch`, evicting the least
+    /// recently used entry of the shard if it is full.  Re-inserting an
+    /// existing key refreshes both the answer and its epoch — this is how a
+    /// revalidated entry becomes fresh again.
+    pub fn insert_at(&self, key: u64, answer: Arc<Answer>, epoch: u64) {
         let mut shard = self.shard(key).write();
         if !shard.contains_key(&key) && shard.len() >= self.per_shard_capacity {
             if let Some(victim) = shard
@@ -156,7 +232,7 @@ impl SolutionCache {
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
-        let entry = Entry { answer, last_used: AtomicU64::new(self.tick()) };
+        let entry = Entry { answer, last_used: AtomicU64::new(self.tick()), epoch };
         if shard.insert(key, entry).is_none() {
             self.insertions.fetch_add(1, Ordering::Relaxed);
         }
@@ -184,11 +260,12 @@ impl SolutionCache {
         self.len() == 0
     }
 
-    /// A snapshot of the hit/miss/insertion/eviction counters.
+    /// A snapshot of the hit/miss/stale/insertion/eviction counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            stale: self.stale.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
         }
@@ -259,6 +336,42 @@ mod tests {
             assert!(cache.len() <= 5, "len {} exceeds capacity", cache.len());
         }
         assert!(cache.stats().evictions > 0);
+    }
+
+    #[test]
+    fn ttl_classifies_entries_without_dropping_them() {
+        let cache = SolutionCache::new(&CacheConfig::default());
+        cache.insert_at(9, answer(9), 3);
+
+        // Fresh within the TTL window, stale beyond it, never dropped.
+        assert!(matches!(cache.lookup(9, 3, Some(0)), Lookup::Hit(_)));
+        assert!(matches!(cache.lookup(9, 4, Some(1)), Lookup::Hit(_)));
+        match cache.lookup(9, 5, Some(1)) {
+            Lookup::Stale(old) => assert_eq!(old.throughput, rat(9, 1)),
+            other => panic!("expected a stale entry, got {other:?}"),
+        }
+        // No TTL: never stale.
+        assert!(matches!(cache.lookup(9, 1000, None), Lookup::Hit(_)));
+        assert!(matches!(cache.lookup(8, 0, Some(1)), Lookup::Miss));
+
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.stale), (3, 2, 1));
+
+        // Re-inserting refreshes the epoch: the entry is fresh again.
+        cache.insert_at(9, answer(9), 5);
+        assert!(matches!(cache.lookup(9, 5, Some(0)), Lookup::Hit(_)));
+        assert_eq!(cache.stats().insertions, 1, "refresh is not a new insertion");
+    }
+
+    #[test]
+    fn peek_fresh_respects_ttl_without_counting() {
+        let cache = SolutionCache::new(&CacheConfig::default());
+        cache.insert_at(4, answer(4), 0);
+        assert!(cache.peek_fresh(4, 0, Some(0)).is_some());
+        assert!(cache.peek_fresh(4, 1, Some(0)).is_none(), "stale entries read as absent");
+        assert!(cache.peek_fresh(4, 1, None).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.stale), (0, 0, 0));
     }
 
     #[test]

@@ -1,27 +1,37 @@
 //! The serving engine: a worker pool with single-flight deduplication,
-//! warm-started cold solves and admission control.
+//! drift-triaged solves, TTL revalidation and requeue-based admission
+//! control.
 //!
 //! Queries are submitted to an unbounded crossbeam channel and picked up by a
 //! fixed pool of worker threads (the threaded-executor shape: workers share
 //! one receiver and a common stop condition — here, channel disconnection).
 //! Each worker:
 //!
-//! 1. fingerprints the query and consults the [`SolutionCache`];
-//! 2. on a miss, checks the **in-flight table**: if an identical (isomorphic)
-//!    query is already being solved, the reply channel is parked on that
-//!    solve instead of stampeding the LP — *single-flight* deduplication;
+//! 1. fingerprints the query and consults the [`SolutionCache`] at the
+//!    current **epoch**: a fresh entry is served directly, an entry older
+//!    than [`ServiceConfig::ttl`] epochs is kept as a *stale* fallback and
+//!    routed to revalidation instead of being dropped;
+//! 2. on a miss (or stale hit), checks the **in-flight table**: if an
+//!    identical (isomorphic) query is already being solved, the reply
+//!    channel is parked on that solve instead of stampeding the LP —
+//!    *single-flight* deduplication;
 //! 3. passes the **admission gate**: at most
-//!    [`ServiceConfig::max_inflight_cold`] cold solves run concurrently, a
-//!    bounded number more wait their turn (each waiter still occupies its
-//!    worker thread — see [`ServiceConfig::cold_queue`] for how to size the
-//!    bound so cache hits keep dedicated workers), and the excess is *shed*
-//!    with [`ServeError::Shed`];
-//! 4. solves — **warm-started** from the cached [`SolvedBasis`] of the
-//!    query's structural class (same topology and roles, any edge costs)
-//!    when one exists — publishes the answer and its final basis, and fans
-//!    the result out to every parked waiter.
+//!    [`ServiceConfig::max_inflight_cold`] solves run concurrently; up to
+//!    [`ServiceConfig::cold_queue`] more are **requeued** into the gate's
+//!    pending queue — the worker returns to serving hit traffic immediately,
+//!    and a slot-holder picks the job up when it releases its slot — and the
+//!    excess is *shed* with [`ServeError::Shed`] (a shed *revalidation*
+//!    falls back to its stale answer instead of an error);
+//! 4. solves through the **drift triage ladder**
+//!    ([`steady_drift::solve_steady_triaged`]) seeded with the cached
+//!    [`SolvedBasis`] of the query's structural class (same topology and
+//!    roles, any edge costs): a still-optimal basis re-prices with zero
+//!    pivots (`in_range`), a primal-infeasible one is repaired by the dual
+//!    simplex (`dual_repairs`), anything else resolves warm or cold — then
+//!    publishes the answer and its final basis and fans the result out to
+//!    every parked waiter.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -33,7 +43,9 @@ use parking_lot::Mutex;
 use steady_core::problem::SolvedBasis;
 use steady_platform::Platform;
 
-use crate::cache::{CacheConfig, CacheStats, SolutionCache};
+use steady_drift::Triage;
+
+use crate::cache::{CacheConfig, CacheStats, Lookup, SolutionCache};
 use crate::fingerprint::Fingerprint;
 use crate::persist;
 use crate::query::{solve_prepared, Answer, Query};
@@ -62,15 +74,22 @@ pub struct ServiceConfig {
     /// (only meaningful with `max_inflight_cold > 0`); arrivals beyond this
     /// are shed with [`ServeError::Shed`].
     ///
-    /// Each *waiting* cold query occupies a worker thread, so at most
-    /// `workers - max_inflight_cold` can ever wait at once regardless of
-    /// this bound, and every waiter reduces the capacity left for cached
-    /// traffic.  To actually protect cache-hit latency under a cold
-    /// stampede, keep `max_inflight_cold + cold_queue` *below* `workers`
-    /// (e.g. `workers: 8, max_inflight_cold: 2, cold_queue: 2` sheds the
-    /// rest while 4+ workers keep serving hits); a `cold_queue` of
-    /// `workers` or more means no query is ever shed in practice.
+    /// Waiting is **requeue-based**: a query that finds the gate full is
+    /// parked in the gate's pending queue and its worker immediately returns
+    /// to serving other traffic — a waiting cold query no longer occupies a
+    /// worker thread.  Slot-holders drain the queue as they finish, so under
+    /// a cold stampede up to `max_inflight_cold` workers are solving while
+    /// every other worker keeps serving cache hits, whatever this bound is.
+    /// Size it purely by how much cold *latency backlog* is acceptable: each
+    /// pending query waits for the jobs ahead of it in the queue.
     pub cold_queue: usize,
+    /// Cache time-to-live in **epochs** (see [`Service::advance_epoch`]):
+    /// `None` means entries never expire; `Some(t)` keeps an entry fresh for
+    /// `t` epochs beyond the one it was inserted in, after which lookups
+    /// classify it as *expired* and route it through drift triage — the
+    /// cached basis of its structural class revalidates it, usually with
+    /// zero pivots — instead of dropping it.
+    pub ttl: Option<u64>,
     /// Optional snapshot file (see [`Service::snapshot`]) whose entries are
     /// loaded into the cache on start, restoring the previous warm set.
     pub preload_from: Option<PathBuf>,
@@ -84,6 +103,7 @@ impl Default for ServiceConfig {
             build_schedules: false,
             max_inflight_cold: 0,
             cold_queue: 16,
+            ttl: None,
             preload_from: None,
         }
     }
@@ -100,12 +120,17 @@ impl ServiceConfig {
 /// How a particular response was produced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServedVia {
-    /// Found in the solution cache.
+    /// Found fresh in the solution cache.
     Cache,
-    /// Solved cold by the responding worker.
+    /// Solved by the responding worker (cold, warm or triaged).
     Solve,
+    /// A TTL-expired cache entry revalidated through drift triage.
+    Revalidated,
     /// Parked on another query's in-flight solve (single-flight dedup).
     Coalesced,
+    /// A TTL-expired entry served as-is because its revalidation was shed
+    /// by admission control — stale data beats no data.
+    StaleFallback,
 }
 
 /// A successful response: the (shared) answer plus how it was obtained.
@@ -165,12 +190,31 @@ pub struct ServiceStats {
     /// Cold LP solves attempted (successful or not).
     pub solves: u64,
     /// Successful solves warm-started from a cached structural-class basis
-    /// that installed cleanly.
+    /// that installed cleanly (`in_range + dual_repairs +` warm resolves).
     pub warm_solves: u64,
     /// Successful from-scratch solves (no usable basis for the structural
     /// class).  `warm_solves + cold_solves <= solves`; the difference is
     /// failed attempts, which record neither pivots nor latency.
     pub cold_solves: u64,
+    /// Solves that entered drift triage with a prior basis for their
+    /// structural class — the denominator of the basis-reuse fraction.
+    pub triaged: u64,
+    /// Triaged solves whose cached basis was still optimal: the answer was
+    /// re-priced with **zero pivots**.
+    pub in_range: u64,
+    /// Triaged solves repaired in place by the dual simplex.
+    pub dual_repairs: u64,
+    /// Cache lookups that found a TTL-expired entry (routed to
+    /// revalidation; see [`ServiceConfig::ttl`]).
+    pub expired: u64,
+    /// Solves that revalidated an expired entry (as opposed to answering a
+    /// brand-new fingerprint).
+    pub revalidations: u64,
+    /// Queries parked in the admission gate's pending queue instead of
+    /// blocking a worker (requeue-based admission).
+    pub requeued: u64,
+    /// Expired entries served as-is because their revalidation was shed.
+    pub stale_served: u64,
     /// Simplex pivots spent in warm-started solves.
     pub warm_pivots: u64,
     /// Simplex pivots spent in from-scratch solves.
@@ -218,6 +262,17 @@ impl ServiceStats {
         mean(self.cold_solve_nanos, self.cold_solves) / 1_000.0
     }
 
+    /// Fraction of triaged solves (those with a prior basis) that reused it
+    /// via `InRange` or `DualRepair` — the drift pipeline's headline number
+    /// (0 when nothing was triaged).
+    pub fn triage_reuse_fraction(&self) -> f64 {
+        if self.triaged == 0 {
+            0.0
+        } else {
+            (self.in_range + self.dual_repairs) as f64 / self.triaged as f64
+        }
+    }
+
     /// Counter increments between the `earlier` snapshot and this one, for
     /// isolating one load run on a service that has already served traffic.
     /// `cached_entries` is a gauge, not a counter, and keeps this snapshot's
@@ -231,6 +286,13 @@ impl ServiceStats {
             solves: self.solves.saturating_sub(earlier.solves),
             warm_solves: self.warm_solves.saturating_sub(earlier.warm_solves),
             cold_solves: self.cold_solves.saturating_sub(earlier.cold_solves),
+            triaged: self.triaged.saturating_sub(earlier.triaged),
+            in_range: self.in_range.saturating_sub(earlier.in_range),
+            dual_repairs: self.dual_repairs.saturating_sub(earlier.dual_repairs),
+            expired: self.expired.saturating_sub(earlier.expired),
+            revalidations: self.revalidations.saturating_sub(earlier.revalidations),
+            requeued: self.requeued.saturating_sub(earlier.requeued),
+            stale_served: self.stale_served.saturating_sub(earlier.stale_served),
             warm_pivots: self.warm_pivots.saturating_sub(earlier.warm_pivots),
             cold_pivots: self.cold_pivots.saturating_sub(earlier.cold_pivots),
             warm_solve_nanos: self.warm_solve_nanos.saturating_sub(earlier.warm_solve_nanos),
@@ -255,6 +317,19 @@ fn mean(total: u64, count: u64) -> f64 {
 struct Job {
     query: Query,
     reply: Sender<ServeResult>,
+}
+
+/// A validated, fingerprinted query that needs a solve (cache miss or TTL
+/// revalidation), holding leadership of its in-flight entry.  This is the
+/// unit the admission gate queues on requeue: parking it costs a queue slot,
+/// not a worker thread.
+struct SolveJob {
+    job: Job,
+    fingerprint: Fingerprint,
+    /// The expired answer this solve revalidates, if any — served as the
+    /// fallback when the solve is shed, and the reason the leader's response
+    /// is labelled [`ServedVia::Revalidated`].
+    stale: Option<Arc<Answer>>,
 }
 
 /// A query parked on another query's in-flight solve.  The platform is kept
@@ -288,76 +363,71 @@ fn tailor(answer: &Arc<Answer>, platform: &Platform) -> Arc<Answer> {
 #[derive(Default)]
 struct GateState {
     running: usize,
-    waiting: usize,
+    pending: VecDeque<SolveJob>,
 }
 
-/// Bounds the number of concurrently running cold solves.  Admission either
-/// succeeds (possibly after waiting in a bounded queue) or tells the caller
-/// to shed; a [`ColdSlot`] releases the slot on drop so a panicking solve
-/// cannot leak capacity.
+/// Bounds the number of concurrently running cold solves with a
+/// **requeue-based** waiting queue: a job that finds every slot taken is
+/// parked *by value* in `pending` and its worker returns to serving other
+/// traffic; slot-holders drain the queue before releasing their slot
+/// ([`ColdGate::release_or_takeover`]).  Queueing and releasing happen under
+/// one mutex, which preserves the invariant *pending non-empty ⇒ running >
+/// 0*: every parked job is picked up by some future release, so none is
+/// stranded.
 struct ColdGate {
-    /// 0 means the gate is disabled (unlimited cold solves).
+    /// 0 means the gate is disabled (unlimited cold solves, nothing queues).
     max_running: usize,
-    max_waiting: usize,
+    max_pending: usize,
     state: std::sync::Mutex<GateState>,
-    freed: std::sync::Condvar,
 }
 
 enum Admission {
-    Admitted,
-    Shed,
+    /// The caller holds a slot: run the job, then keep calling
+    /// [`ColdGate::release_or_takeover`] until the pending queue is drained.
+    Admitted(SolveJob),
+    /// The job is parked in the pending queue; a slot-holder will run it.
+    Queued,
+    /// Slots and queue are both full: the caller sheds the job.
+    Shed(SolveJob),
 }
 
 impl ColdGate {
-    fn new(max_running: usize, max_waiting: usize) -> ColdGate {
-        ColdGate {
-            max_running,
-            max_waiting,
-            state: std::sync::Mutex::new(GateState::default()),
-            freed: std::sync::Condvar::new(),
-        }
+    fn new(max_running: usize, max_pending: usize) -> ColdGate {
+        ColdGate { max_running, max_pending, state: std::sync::Mutex::new(GateState::default()) }
     }
 
-    /// Waits for a cold-solve slot, or decides to shed when both the slots
-    /// and the waiting queue are full.
-    fn admit(&self) -> Admission {
+    /// Takes a solve slot, parks the job, or reports that it must be shed.
+    fn admit(&self, job: SolveJob) -> Admission {
         if self.max_running == 0 {
-            return Admission::Admitted;
+            return Admission::Admitted(job);
         }
         let mut state = self.state.lock().expect("gate lock");
-        if state.running >= self.max_running {
-            if state.waiting >= self.max_waiting {
-                return Admission::Shed;
-            }
-            state.waiting += 1;
-            while state.running >= self.max_running {
-                state = self.freed.wait(state).expect("gate lock");
-            }
-            state.waiting -= 1;
+        if state.running < self.max_running {
+            state.running += 1;
+            return Admission::Admitted(job);
         }
-        state.running += 1;
-        Admission::Admitted
+        if state.pending.len() < self.max_pending {
+            state.pending.push_back(job);
+            return Admission::Queued;
+        }
+        Admission::Shed(job)
     }
 
-    fn release(&self) {
+    /// Hands the caller the next pending job — the slot transfers to it — or
+    /// releases the slot when the queue is empty.  Holding the slot across
+    /// the hand-off (instead of release-then-reacquire) is what makes the
+    /// stranding invariant airtight: a job can never be queued after the
+    /// last slot-holder checked the queue.
+    fn release_or_takeover(&self) -> Option<SolveJob> {
         if self.max_running == 0 {
-            return;
+            return None;
         }
         let mut state = self.state.lock().expect("gate lock");
+        if let Some(job) = state.pending.pop_front() {
+            return Some(job);
+        }
         state.running -= 1;
-        drop(state);
-        self.freed.notify_one();
-    }
-}
-
-/// Releases the admission-gate slot on drop (normal exit or unwinding).
-struct ColdSlot<'a> {
-    gate: &'a ColdGate,
-}
-
-impl Drop for ColdSlot<'_> {
-    fn drop(&mut self) {
-        self.gate.release();
+        None
     }
 }
 
@@ -365,15 +435,25 @@ struct Shared {
     cache: SolutionCache,
     in_flight: InFlight,
     /// Winning basis per structural class (cost-blind fingerprint), used to
-    /// warm-start cold solves of platforms that differ only in edge costs.
+    /// triage every solve of a platform that differs only in edge costs.
     bases: Mutex<HashMap<u64, SolvedBasis>>,
     gate: ColdGate,
     build_schedules: bool,
+    /// Current cache epoch; advanced by [`Service::advance_epoch`].
+    epoch: AtomicU64,
+    /// Cache TTL in epochs (see [`ServiceConfig::ttl`]).
+    ttl: Option<u64>,
     queries: AtomicU64,
     coalesced: AtomicU64,
     solves: AtomicU64,
     warm_solves: AtomicU64,
     cold_solves: AtomicU64,
+    triaged: AtomicU64,
+    in_range: AtomicU64,
+    dual_repairs: AtomicU64,
+    revalidations: AtomicU64,
+    requeued: AtomicU64,
+    stale_served: AtomicU64,
     warm_pivots: AtomicU64,
     cold_pivots: AtomicU64,
     warm_solve_nanos: AtomicU64,
@@ -411,11 +491,19 @@ impl Service {
             bases: Mutex::new(HashMap::new()),
             gate: ColdGate::new(config.max_inflight_cold, config.cold_queue),
             build_schedules: config.build_schedules,
+            epoch: AtomicU64::new(0),
+            ttl: config.ttl,
             queries: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             solves: AtomicU64::new(0),
             warm_solves: AtomicU64::new(0),
             cold_solves: AtomicU64::new(0),
+            triaged: AtomicU64::new(0),
+            in_range: AtomicU64::new(0),
+            dual_repairs: AtomicU64::new(0),
+            revalidations: AtomicU64::new(0),
+            requeued: AtomicU64::new(0),
+            stale_served: AtomicU64::new(0),
             warm_pivots: AtomicU64::new(0),
             cold_pivots: AtomicU64::new(0),
             warm_solve_nanos: AtomicU64::new(0),
@@ -457,8 +545,26 @@ impl Service {
         })?
     }
 
-    /// Writes the cache's `fingerprint → throughput` entries to `path` as a
-    /// JSON snapshot (see [`crate::persist`]) and returns how many were
+    /// Advances the cache epoch by one and returns the new epoch.
+    ///
+    /// Under a [`ServiceConfig::ttl`] of `Some(t)`, entries inserted more
+    /// than `t` epochs ago become *expired*: still cached, but revalidated
+    /// through drift triage on their next lookup.  Call this on whatever
+    /// cadence matches the deployment's cost-drift rate (e.g. once per
+    /// monitoring interval); with a `ttl` of `None` the epoch is
+    /// bookkeeping only.
+    pub fn advance_epoch(&self) -> u64 {
+        self.shared.epoch.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The current cache epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Writes the cache's `fingerprint → throughput` entries **and** the
+    /// per-structural-class simplex basis seeds to `path` as a JSON snapshot
+    /// (see [`crate::persist`]), returning how many cache entries were
     /// written.  Schedules are not persisted — restored entries answer with
     /// `schedule: None`, like any isomorphic cache hit.
     pub fn snapshot(&self, path: impl AsRef<Path>) -> Result<usize, ServiceError> {
@@ -469,7 +575,9 @@ impl Service {
             .into_iter()
             .map(|(key, answer)| (key, answer.throughput.clone()))
             .collect();
-        persist::write_snapshot(&entries, path.as_ref())?;
+        let bases: Vec<persist::BasisEntry> =
+            self.shared.bases.lock().iter().map(|(&class, basis)| (class, basis.clone())).collect();
+        persist::write_snapshot(&entries, &bases, path.as_ref())?;
         Ok(entries.len())
     }
 
@@ -480,10 +588,14 @@ impl Service {
     /// [`Answer`] carries an **empty** [`Answer::platform`] and no schedule;
     /// consumers reading those fields must treat restored hits like
     /// isomorphic-but-renumbered ones (exact throughput, nothing
-    /// numbering-dependent).
+    /// numbering-dependent).  Restored entries are stamped with the current
+    /// epoch.  Persisted basis seeds are merged into the per-class basis
+    /// table, so the very first drifted solve after a restart triages
+    /// against its class's last known basis instead of going cold.
     pub fn preload(&self, path: impl AsRef<Path>) -> Result<usize, ServiceError> {
-        let entries = persist::read_snapshot(path.as_ref())?;
+        let (entries, bases) = persist::read_snapshot(path.as_ref())?;
         let count = entries.len();
+        let epoch = self.epoch();
         for (key, throughput) in entries {
             let answer = Answer {
                 fingerprint: Fingerprint(key),
@@ -494,7 +606,13 @@ impl Service {
                 throughput,
                 schedule: None,
             };
-            self.shared.cache.insert(key, Arc::new(answer));
+            self.shared.cache.insert_at(key, Arc::new(answer), epoch);
+        }
+        let mut table = self.shared.bases.lock();
+        for (class, basis) in bases {
+            if table.len() < MAX_CACHED_BASES || table.contains_key(&class) {
+                table.insert(class, basis);
+            }
         }
         Ok(count)
     }
@@ -510,6 +628,13 @@ impl Service {
             solves: self.shared.solves.load(Ordering::Relaxed),
             warm_solves: self.shared.warm_solves.load(Ordering::Relaxed),
             cold_solves: self.shared.cold_solves.load(Ordering::Relaxed),
+            triaged: self.shared.triaged.load(Ordering::Relaxed),
+            in_range: self.shared.in_range.load(Ordering::Relaxed),
+            dual_repairs: self.shared.dual_repairs.load(Ordering::Relaxed),
+            expired: cache.stale,
+            revalidations: self.shared.revalidations.load(Ordering::Relaxed),
+            requeued: self.shared.requeued.load(Ordering::Relaxed),
+            stale_served: self.shared.stale_served.load(Ordering::Relaxed),
             warm_pivots: self.shared.warm_pivots.load(Ordering::Relaxed),
             cold_pivots: self.shared.cold_pivots.load(Ordering::Relaxed),
             warm_solve_nanos: self.shared.warm_solve_nanos.load(Ordering::Relaxed),
@@ -594,20 +719,27 @@ fn serve(shared: &Shared, job: Job) {
     }
     let fingerprint = job.query.fingerprint();
     let key = fingerprint.0;
+    let now = shared.epoch.load(Ordering::Relaxed);
 
-    if let Some(answer) = shared.cache.get(key) {
-        let answer = tailor(&answer, &job.query.platform);
-        let _ = job.reply.send(Ok(Served { answer, via: ServedVia::Cache }));
-        return;
-    }
+    let stale = match shared.cache.lookup(key, now, shared.ttl) {
+        Lookup::Hit(answer) => {
+            let answer = tailor(&answer, &job.query.platform);
+            let _ = job.reply.send(Ok(Served { answer, via: ServedVia::Cache }));
+            return;
+        }
+        // Expired: keep the old answer as the shed fallback and revalidate.
+        Lookup::Stale(answer) => Some(answer),
+        Lookup::Miss => None,
+    };
 
     // Single-flight admission: park on an identical in-flight solve, or
     // register ourselves as the solver for this key.
     {
         let mut in_flight = shared.in_flight.lock();
-        // The solve may have completed between the miss above and taking the
-        // lock; re-check (without double-counting the miss) before admitting.
-        if let Some(answer) = shared.cache.peek(key) {
+        // The solve may have completed between the lookup above and taking
+        // the lock; re-check (without double-counting) before admitting.  A
+        // still-stale entry reads as absent here — it must be revalidated.
+        if let Some(answer) = shared.cache.peek_fresh(key, now, shared.ttl) {
             let answer = tailor(&answer, &job.query.platform);
             let _ = job.reply.send(Ok(Served { answer, via: ServedVia::Cache }));
             return;
@@ -619,38 +751,95 @@ fn serve(shared: &Shared, job: Job) {
         }
         in_flight.insert(key, Vec::new());
     }
-    let mut guard = InFlightGuard { shared, key, armed: true };
 
-    // Admission control: this query needs a cold solve.  Wait for a slot in
-    // the bounded queue, or shed — releasing every waiter that coalesced onto
-    // us in the meantime, since no solve for this key is going to happen.
-    let _slot = match shared.gate.admit() {
-        Admission::Admitted => ColdSlot { gate: &shared.gate },
-        Admission::Shed => {
-            let waiters = shared.in_flight.lock().remove(&key).unwrap_or_default();
-            guard.disarm();
+    // Admission control: this query needs a solve.  Take a slot, park the
+    // job in the gate's pending queue (the worker is immediately free for
+    // hit traffic — requeue-based admission), or shed.
+    match shared.gate.admit(SolveJob { job, fingerprint, stale }) {
+        Admission::Admitted(solve) => run_solve_chain(shared, solve),
+        Admission::Queued => {
+            shared.requeued.fetch_add(1, Ordering::Relaxed);
+        }
+        Admission::Shed(solve) => shed(shared, solve),
+    }
+}
+
+/// Sheds a solve the gate rejected, releasing every waiter that coalesced
+/// onto it — no solve for this key is going to happen.  A *revalidation*
+/// degrades gracefully: its expired answer is served as-is
+/// ([`ServedVia::StaleFallback`]) instead of failing the callers.
+fn shed(shared: &Shared, solve: SolveJob) {
+    let key = solve.fingerprint.0;
+    let waiters = shared.in_flight.lock().remove(&key).unwrap_or_default();
+    match &solve.stale {
+        Some(answer) => {
+            shared.stale_served.fetch_add(1 + waiters.len() as u64, Ordering::Relaxed);
+            let serve_stale = |platform: &Platform| {
+                Ok(Served { answer: tailor(answer, platform), via: ServedVia::StaleFallback })
+            };
+            let _ = solve.job.reply.send(serve_stale(&solve.job.query.platform));
+            for waiter in waiters {
+                let _ = waiter.reply.send(serve_stale(&waiter.platform));
+            }
+        }
+        None => {
             shared.shed.fetch_add(1 + waiters.len() as u64, Ordering::Relaxed);
-            let _ = job.reply.send(Err(ServeError::Shed));
+            let _ = solve.job.reply.send(Err(ServeError::Shed));
             for waiter in waiters {
                 let _ = waiter.reply.send(Err(ServeError::Shed));
             }
-            return;
         }
-    };
+    }
+}
+
+/// Runs `first` while holding a gate slot, then keeps draining the gate's
+/// pending queue until it is empty — the slot transfers from job to job
+/// without ever being released in between, so queued jobs cannot be
+/// stranded.  Each job is individually contained: a panicking solve fails
+/// its own callers (via the in-flight guard) but the chain, and with it the
+/// slot, carries on.
+fn run_solve_chain(shared: &Shared, first: SolveJob) {
+    let mut next = Some(first);
+    while let Some(solve) = next.take() {
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| solve_one(shared, solve)));
+        next = shared.gate.release_or_takeover();
+    }
+}
+
+/// Solves one admitted job through the drift-triage ladder, publishes the
+/// answer and its basis, and fans the result out to every parked waiter.
+fn solve_one(shared: &Shared, solve: SolveJob) {
+    let SolveJob { job, fingerprint, stale } = solve;
+    let key = fingerprint.0;
+    let mut guard = InFlightGuard { shared, key, armed: true };
 
     shared.solves.fetch_add(1, Ordering::Relaxed);
-    // Warm-start seed: the winning basis of this query's structural class
-    // (same topology and roles, possibly different costs), if any.
+    // Triage seed: the winning basis of this query's structural class (same
+    // topology and roles, possibly different costs), if any.
     let structural_key = job.query.structural_fingerprint().0;
-    let warm = shared.bases.lock().get(&structural_key).cloned();
-    // The query was already validated and fingerprinted above; solve_prepared
-    // skips redoing both on the hot path.
+    let prior = shared.bases.lock().get(&structural_key).cloned();
+    // The query was already validated and fingerprinted by `serve`;
+    // solve_prepared skips redoing both on the hot path.
     let solve_started = Instant::now();
     let outcome =
-        match solve_prepared(&job.query, fingerprint, shared.build_schedules, warm.as_ref()) {
+        match solve_prepared(&job.query, fingerprint, shared.build_schedules, prior.as_ref()) {
             Ok((answer, report)) => {
                 let nanos = solve_started.elapsed().as_nanos() as u64;
-                if report.warm_started {
+                if report.had_prior {
+                    shared.triaged.fetch_add(1, Ordering::Relaxed);
+                }
+                match report.triage {
+                    Triage::InRange => {
+                        shared.in_range.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Triage::DualRepair { .. } => {
+                        shared.dual_repairs.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Triage::ResolveWarm { .. } | Triage::ResolveCold => {}
+                }
+                if report.triage.reused_basis()
+                    || matches!(report.triage, Triage::ResolveWarm { .. })
+                {
                     shared.warm_solves.fetch_add(1, Ordering::Relaxed);
                     shared.warm_pivots.fetch_add(report.iterations as u64, Ordering::Relaxed);
                     shared.warm_solve_nanos.fetch_add(nanos, Ordering::Relaxed);
@@ -659,6 +848,9 @@ fn serve(shared: &Shared, job: Job) {
                     shared.cold_pivots.fetch_add(report.iterations as u64, Ordering::Relaxed);
                     shared.cold_solve_nanos.fetch_add(nanos, Ordering::Relaxed);
                 }
+                if stale.is_some() {
+                    shared.revalidations.fetch_add(1, Ordering::Relaxed);
+                }
                 if let Some(basis) = report.basis {
                     let mut bases = shared.bases.lock();
                     if bases.len() < MAX_CACHED_BASES || bases.contains_key(&structural_key) {
@@ -666,7 +858,11 @@ fn serve(shared: &Shared, job: Job) {
                     }
                 }
                 let answer = Arc::new(answer);
-                shared.cache.insert(key, Arc::clone(&answer));
+                shared.cache.insert_at(
+                    key,
+                    Arc::clone(&answer),
+                    shared.epoch.load(Ordering::Relaxed),
+                );
                 Ok(answer)
             }
             Err(e) => Err(e),
@@ -687,7 +883,8 @@ fn serve(shared: &Shared, job: Job) {
         }),
         Err(e) => Err(ServeError::Failed(e.clone())),
     };
-    let _ = job.reply.send(respond(None, ServedVia::Solve));
+    let leader_via = if stale.is_some() { ServedVia::Revalidated } else { ServedVia::Solve };
+    let _ = job.reply.send(respond(None, leader_via));
     for waiter in waiters {
         let _ = waiter.reply.send(respond(Some(&waiter.platform), ServedVia::Coalesced));
     }
@@ -869,6 +1066,172 @@ mod tests {
     }
 
     #[test]
+    fn expired_entries_revalidate_through_triage_not_eviction() {
+        let service =
+            Service::start(ServiceConfig { workers: 1, ttl: Some(0), ..ServiceConfig::default() });
+        let cold = service.query(figure2_query()).unwrap();
+        assert_eq!(cold.via, ServedVia::Solve);
+
+        // Same epoch: still fresh.
+        let hit = service.query(figure2_query()).unwrap();
+        assert_eq!(hit.via, ServedVia::Cache);
+
+        // Epoch advances: the entry expires and the next query revalidates
+        // it — identical LP, cached class basis, so the triage is in-range
+        // with zero pivots — and the answer stays exact.
+        assert_eq!(service.advance_epoch(), 1);
+        assert_eq!(service.epoch(), 1);
+        let revalidated = service.query(figure2_query()).unwrap();
+        assert_eq!(revalidated.via, ServedVia::Revalidated);
+        assert_eq!(revalidated.answer.throughput, cold.answer.throughput);
+
+        // Revalidation re-stamped the entry: fresh again within this epoch.
+        let hit = service.query(figure2_query()).unwrap();
+        assert_eq!(hit.via, ServedVia::Cache);
+
+        let stats = service.stats();
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.revalidations, 1);
+        assert_eq!(stats.solves, 2);
+        assert_eq!(stats.triaged, 1, "the revalidation had a prior basis");
+        assert_eq!(stats.in_range, 1, "an unchanged LP must re-price in range");
+        assert!((stats.triage_reuse_fraction() - 1.0).abs() < 1e-12);
+        assert_eq!(stats.cached_entries, 1, "expiry never drops the entry");
+    }
+
+    #[test]
+    fn drifted_queries_triage_against_the_class_basis() {
+        use steady_platform::generators::heterogeneous_star;
+
+        let star_scatter = |costs: &[steady_rational::Ratio]| {
+            let (platform, center, leaves) = heterogeneous_star(costs);
+            Query { platform, collective: Collective::Scatter { source: center, targets: leaves } }
+        };
+        let service = Service::start(ServiceConfig { workers: 1, ..ServiceConfig::default() });
+        let base = service.query(star_scatter(&[rat(1, 2), rat(1, 3), rat(1, 4)])).unwrap();
+        // A small drift of one cost: same structural class, new cache key.
+        let drifted = star_scatter(&[rat(17, 32), rat(1, 3), rat(1, 4)]);
+        let from_scratch = crate::query::solve_query(&drifted, false).unwrap();
+        let served = service.query(drifted).unwrap();
+        assert_eq!(served.via, ServedVia::Solve);
+        assert_eq!(served.answer.throughput, from_scratch.throughput);
+        assert!(base.answer.throughput.is_positive());
+        let stats = service.stats();
+        assert_eq!(stats.triaged, 1);
+        assert_eq!(stats.warm_solves, 1, "the drifted solve reused the class basis: {stats:?}");
+    }
+
+    #[test]
+    fn shed_revalidations_fall_back_to_the_stale_answer() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use steady_platform::generators::{random_connected, RandomConfig};
+
+        // One solve slot, no queue: with the slot pinned by a slow cold
+        // solve, an expired entry's revalidation is shed — and must degrade
+        // to serving the stale answer rather than an error.
+        let service = Service::start(ServiceConfig {
+            workers: 2,
+            ttl: Some(0),
+            max_inflight_cold: 1,
+            cold_queue: 0,
+            ..ServiceConfig::default()
+        });
+        let quick = figure2_query();
+        let fresh = service.query(quick.clone()).unwrap();
+        assert_eq!(fresh.via, ServedVia::Solve);
+        // A worker replies before releasing its gate slot; give that release
+        // time to land so the slow solve below deterministically gets the
+        // slot rather than being shed by the transient occupancy.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        service.advance_epoch(); // the quick answer is now expired
+
+        let slow = {
+            let config = RandomConfig { nodes: 8, ..RandomConfig::default() };
+            let platform = random_connected(&config, &mut StdRng::seed_from_u64(2));
+            let participants: Vec<NodeId> = platform.node_ids().collect();
+            Query {
+                platform,
+                collective: Collective::Reduce {
+                    participants,
+                    target: NodeId(0),
+                    size: rat(1, 1),
+                    task_cost: rat(1, 1),
+                },
+            }
+        };
+        let slow_response = service.submit(slow);
+        // Wait until the slow solve has actually claimed the slot (its
+        // `solves` increment happens at solve start) rather than sleeping
+        // blind; the reduce LP then runs for orders of magnitude longer
+        // than the stale query below takes to arrive.
+        let deadline = Instant::now() + std::time::Duration::from_secs(10);
+        while service.stats().solves < 2 {
+            assert!(Instant::now() < deadline, "slow solve never started");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+
+        let stale = service.query(quick).unwrap();
+        assert_eq!(stale.via, ServedVia::StaleFallback, "shed revalidation serves stale");
+        assert_eq!(stale.answer.throughput, fresh.answer.throughput);
+        assert!(slow_response.recv().unwrap().is_ok());
+        let stats = service.stats();
+        assert_eq!(stats.stale_served, 1);
+        assert_eq!(stats.shed, 0, "a stale fallback is not a shed error");
+        assert_eq!(stats.errors, 0);
+    }
+
+    #[test]
+    fn requeued_cold_queries_do_not_park_workers() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use steady_platform::generators::{random_connected, RandomConfig};
+
+        // One solve slot, a deep queue, and only TWO workers: four distinct
+        // cold queries are submitted at once.  Under the old blocking
+        // admission, workers would park on the gate and the test could only
+        // pass with workers >= queries; with requeue-based admission the
+        // jobs queue *by value* and the slot-holder drains them, while a
+        // cache hit sails through a free worker mid-stampede.
+        let service = Service::start(ServiceConfig {
+            workers: 2,
+            max_inflight_cold: 1,
+            cold_queue: 16,
+            ..ServiceConfig::default()
+        });
+        let warm = figure2_query();
+        let first = service.query(warm.clone()).unwrap();
+        assert_eq!(first.via, ServedVia::Solve);
+
+        let expensive = |seed: u64| {
+            let config = RandomConfig { nodes: 6, ..RandomConfig::default() };
+            let platform = random_connected(&config, &mut StdRng::seed_from_u64(seed));
+            let participants: Vec<NodeId> = platform.node_ids().collect();
+            Query {
+                platform,
+                collective: Collective::Reduce {
+                    participants,
+                    target: NodeId(0),
+                    size: rat(1, 1),
+                    task_cost: rat(1, 1),
+                },
+            }
+        };
+        let responses: Vec<_> = (20..24).map(|i| service.submit(expensive(i))).collect();
+        // While the stampede is queued behind one slot, hit traffic is
+        // served promptly by the worker the queue does NOT occupy.
+        let hit = service.query(warm).unwrap();
+        assert_eq!(hit.via, ServedVia::Cache);
+        for response in responses {
+            assert!(response.recv().unwrap().is_ok(), "queued cold queries are served");
+        }
+        let stats = service.stats();
+        assert_eq!(stats.solves, 5);
+        assert_eq!(stats.shed, 0);
+        assert!(stats.requeued >= 1, "the stampede must have requeued: {stats:?}");
+    }
+
+    #[test]
     fn snapshot_round_trip_restores_the_warm_set() {
         let dir = std::env::temp_dir().join("steady-service-snapshot-test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -887,6 +1250,30 @@ mod tests {
         assert_eq!(served.via, ServedVia::Cache, "restored entries serve without a solve");
         assert_eq!(served.answer.throughput, cold.answer.throughput);
         assert_eq!(restored.stats().solves, 0);
+
+        // The snapshot also carried the structural class's basis seed: the
+        // restarted service's very FIRST drifted solve (same topology and
+        // roles as Figure 2, scaled costs — a cache miss) triages against
+        // it instead of going cold.
+        let instance = figure2();
+        let mut drifted_platform = steady_platform::Platform::new();
+        for id in instance.platform.node_ids() {
+            let node = instance.platform.node(id);
+            drifted_platform.add_node(node.name.clone(), node.speed.clone());
+        }
+        for id in instance.platform.edge_ids() {
+            let e = instance.platform.edge(id);
+            drifted_platform.add_edge(e.from, e.to, &e.cost * &rat(9, 8));
+        }
+        let drifted = Query {
+            platform: drifted_platform,
+            collective: Collective::Scatter { source: instance.source, targets: instance.targets },
+        };
+        let served = restored.query(drifted).unwrap();
+        assert_eq!(served.via, ServedVia::Solve);
+        let stats = restored.stats();
+        assert_eq!(stats.solves, 1);
+        assert_eq!(stats.triaged, 1, "the restored basis seed fed the first drifted solve");
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -12,20 +12,28 @@
 //!   **cost-blind structural fingerprint** grouping platforms that differ
 //!   only in edge costs into one warm-start class;
 //! * [`cache`] — a **sharded LRU solution cache** (`parking_lot::RwLock`
-//!   shards, atomic recency, hit/miss/eviction counters);
+//!   shards, atomic recency, hit/miss/eviction counters) whose entries carry
+//!   an **epoch**: under a TTL they expire into *stale* — kept for
+//!   revalidation, never silently served as fresh;
 //! * [`engine`] — a **worker pool with single-flight deduplication** over
 //!   crossbeam channels: concurrent identical queries coalesce onto one
-//!   in-flight LP solve instead of stampeding the solver; cold solves are
-//!   **warm-started** from the cached simplex basis of their structural
-//!   class and bounded by **admission control** (queue or shed under a cold
-//!   stampede);
+//!   in-flight LP solve instead of stampeding the solver; every solve runs
+//!   the **drift triage ladder** (`steady-drift`) seeded with the cached
+//!   simplex basis of its structural class — still-optimal bases re-price
+//!   with zero pivots, primal-infeasible ones are repaired by the dual
+//!   simplex; admission control bounds concurrent solves with a
+//!   **requeue-based** pending queue (waiting costs a queue slot, not a
+//!   worker thread; the overflow is shed, and shed *revalidations* fall
+//!   back to their stale answer);
 //! * [`persist`] — **snapshot persistence**: the cache's
-//!   `fingerprint → throughput` entries round-trip through a JSON file so a
-//!   restarted service keeps its warm set;
+//!   `fingerprint → throughput` entries *and* the per-structural-class basis
+//!   seeds round-trip through a JSON file, so a restarted service keeps its
+//!   warm set and triages its very first drifted solves;
 //! * [`loadgen`] — a **load generator** replaying repetition-heavy query
-//!   mixes (including a cost-drift scenario) from several client threads and
-//!   reporting sustained queries/sec, p50/p95/p99 latency, the cache hit
-//!   ratio and warm-vs-cold pivot counts.
+//!   mixes (including independent cost redraws and a time-correlated
+//!   random-walk drift family) from several client threads, plus a
+//!   dedicated drift scenario runner ([`run_drift_load`]) reporting the
+//!   triage split and verifying exactness against cold solves.
 //!
 //! # Example
 //!
@@ -60,12 +68,14 @@ pub mod loadgen;
 pub mod persist;
 pub mod query;
 
-pub use cache::{CacheConfig, CacheStats, SolutionCache};
+pub use cache::{CacheConfig, CacheStats, Lookup, SolutionCache};
 pub use engine::{
     ServeError, ServeResult, Served, ServedVia, Service, ServiceConfig, ServiceStats,
 };
 pub use fingerprint::{fingerprint, permuted_platform, structural_fingerprint, Fingerprint};
-pub use loadgen::{query_mix, run_load, LoadConfig, LoadReport};
+pub use loadgen::{
+    query_mix, run_drift_load, run_load, DriftLoadConfig, DriftReport, LoadConfig, LoadReport,
+};
 pub use query::{solve_query, Answer, Collective, Query};
 
 /// Error produced while validating or solving a query.

@@ -9,19 +9,21 @@
 //! [`Service`] from several client threads — the access pattern of a
 //! deployment where many users ask about the same few platforms.
 
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use steady_drift::{DriftConfig, DriftModel};
 use steady_platform::generators::{
     figure2, figure6, heterogeneous_star, random_connected, star, tiers, RandomConfig, TiersConfig,
 };
-use steady_platform::NodeId;
+use steady_platform::{NodeId, Platform};
 use steady_rational::rat;
 
 use crate::engine::{ServeError, Service, ServiceStats};
-use crate::query::{Collective, Query};
+use crate::query::{solve_query, Collective, Query};
 use crate::ServiceError;
 
 /// Parameters of one load run.
@@ -43,24 +45,32 @@ impl Default for LoadConfig {
     }
 }
 
-/// Builds a pool of up to `distinct` queries cycling through eight families:
+/// Builds a pool of up to `distinct` queries cycling through nine families:
 /// the Figure 2 scatter and Figure 6 reduce, star scatters, heterogeneous
 /// star gathers, random-connected gossips and reduces, small Tiers reduces,
-/// and a **cost-drift** family — one fixed star topology whose edge costs
-/// are re-drawn per variant, the traffic shape of a deployment whose link
-/// performance drifts over time.  Cost-drift variants are distinct cache
-/// keys in one structural class, so they exercise the engine's warm-start
-/// path: every variant after the first seeds its solve with the class basis.
+/// a **cost-redraw** family — one fixed star topology whose edge costs are
+/// re-drawn independently per variant — and a **cost-drift-walk** family,
+/// where consecutive variants are successive steps of one bounded random
+/// walk ([`steady_drift::DriftModel`]): the time-correlated traffic shape of
+/// a deployment whose link performance drifts gradually.  Both drift
+/// families yield distinct cache keys inside one structural class, so they
+/// exercise the engine's triage path — every variant after the first seeds
+/// its solve with the class basis, and the walk family's small steps are
+/// what the `InRange`/`DualRepair` fast rungs are built for.
 /// Instances within a family vary in size and random seed; the fixed-figure
 /// families repeat, so the pool is deduplicated by fingerprint before it is
 /// returned — every entry is a genuinely distinct cache key and the reported
 /// `distinct` count stays honest.
 pub fn query_mix(distinct: usize, seed: u64) -> Vec<Query> {
     let mut rng = StdRng::seed_from_u64(seed);
+    // The walk family shares one model across variants so its queries form a
+    // genuine trajectory, not independent draws.
+    let walk_star = heterogeneous_star(&[rat(1, 2), rat(1, 3), rat(1, 4), rat(1, 5), rat(1, 6)]);
+    let mut walk = DriftModel::new(walk_star.0.clone(), DriftConfig::default(), seed ^ 0xd41f);
     let candidates: Vec<Query> = (0..distinct)
         .map(|i| {
-            let variant = (i / 8) as u64;
-            match i % 8 {
+            let variant = (i / 9) as u64;
+            match i % 9 {
                 0 => {
                     let instance = figure2();
                     Query {
@@ -149,17 +159,30 @@ pub fn query_mix(distinct: usize, seed: u64) -> Vec<Query> {
                         },
                     }
                 }
-                _ => {
-                    // Cost drift: a fixed 4-leaf star whose edge costs are
+                7 => {
+                    // Cost redraw: a fixed 4-leaf star whose edge costs are
                     // re-drawn per variant.  Every variant is a distinct cache
                     // key in one structural class, so all but the first
-                    // exercise the warm-start path on their cold solve.
+                    // exercise the triage path on their cold solve.
                     let costs: Vec<_> =
                         (0..4).map(|leaf| rat(1, 1 + ((variant as i64 * 5 + leaf) % 6))).collect();
                     let (platform, center, leaves) = heterogeneous_star(&costs);
                     Query {
                         platform,
                         collective: Collective::Scatter { source: center, targets: leaves },
+                    }
+                }
+                _ => {
+                    // Cost-drift walk: one more step of the shared random
+                    // walk on the fixed 5-leaf star — consecutive variants
+                    // are time-correlated, like a platform under gradually
+                    // shifting congestion.
+                    Query {
+                        platform: walk.step(),
+                        collective: Collective::Scatter {
+                            source: walk_star.1,
+                            targets: walk_star.2.clone(),
+                        },
                     }
                 }
             }
@@ -207,6 +230,8 @@ impl LoadReport {
                 "\"p50_micros\":{:.1},\"p95_micros\":{:.1},\"p99_micros\":{:.1},",
                 "\"hit_ratio\":{:.4},\"hits\":{},\"misses\":{},\"coalesced\":{},",
                 "\"solves\":{},\"warm_solves\":{},",
+                "\"triaged\":{},\"in_range\":{},\"dual_repairs\":{},",
+                "\"expired\":{},\"revalidations\":{},\"requeued\":{},\"stale_served\":{},",
                 "\"mean_warm_pivots\":{:.2},\"mean_cold_pivots\":{:.2},",
                 "\"mean_warm_solve_micros\":{:.1},\"mean_cold_solve_micros\":{:.1},",
                 "\"shed\":{},\"errors\":{},\"evictions\":{}}}"
@@ -225,6 +250,13 @@ impl LoadReport {
             self.stats.coalesced,
             self.stats.solves,
             self.stats.warm_solves,
+            self.stats.triaged,
+            self.stats.in_range,
+            self.stats.dual_repairs,
+            self.stats.expired,
+            self.stats.revalidations,
+            self.stats.requeued,
+            self.stats.stale_served,
             self.stats.mean_warm_pivots(),
             self.stats.mean_cold_pivots(),
             self.stats.mean_warm_solve_micros(),
@@ -245,6 +277,8 @@ impl LoadReport {
              cache hit ratio    : {:.1}% ({} hits, {} misses, {} evictions)\n\
              coalesced (dedup)  : {}\n\
              cold LP solves     : {} ({} warm-started, {} shed)\n\
+             drift triage       : {} triaged — {} in-range, {} dual-repaired\n\
+             ttl / requeue      : {} expired, {} revalidated, {} requeued, {} stale-served\n\
              mean pivots        : {:.1} warm vs {:.1} cold\n\
              mean solve latency : {:.1} µs warm vs {:.1} µs cold\n",
             self.queries,
@@ -263,6 +297,13 @@ impl LoadReport {
             self.stats.solves,
             self.stats.warm_solves,
             self.stats.shed,
+            self.stats.triaged,
+            self.stats.in_range,
+            self.stats.dual_repairs,
+            self.stats.expired,
+            self.stats.revalidations,
+            self.stats.requeued,
+            self.stats.stale_served,
             self.stats.mean_warm_pivots(),
             self.stats.mean_cold_pivots(),
             self.stats.mean_warm_solve_micros(),
@@ -349,6 +390,262 @@ pub fn run_load(service: &Service, config: &LoadConfig) -> Result<LoadReport, Se
     })
 }
 
+/// Parameters of a drift scenario run (see [`run_drift_load`]).
+#[derive(Debug, Clone)]
+pub struct DriftLoadConfig {
+    /// Number of drift epochs: each advances the service epoch and steps
+    /// every scenario's random walk once.
+    pub epochs: usize,
+    /// Repeat submissions of each epoch's query (cache-hit traffic riding
+    /// along with the drift).
+    pub hits_per_epoch: usize,
+    /// Seed for the walks.
+    pub seed: u64,
+    /// Re-solve every drifted query cold after the run and require exact
+    /// `Ratio` equality with the served answer.
+    pub verify: bool,
+}
+
+impl Default for DriftLoadConfig {
+    fn default() -> Self {
+        DriftLoadConfig { epochs: 40, hits_per_epoch: 3, seed: 42, verify: true }
+    }
+}
+
+/// Outcome of a drift scenario run: the triage split, TTL/revalidation
+/// traffic and the exactness verification count.
+#[derive(Debug, Clone)]
+pub struct DriftReport {
+    /// Drift epochs executed.
+    pub epochs: usize,
+    /// Total queries issued (drifted + hit + revalidation traffic).
+    pub queries: usize,
+    /// Drifted first-submissions (one per scenario per epoch).
+    pub drifted_queries: usize,
+    /// Wall-clock duration of the run, in seconds.
+    pub elapsed_seconds: f64,
+    /// Drifted answers re-verified exact against an independent cold solve.
+    pub verified: usize,
+    /// Service counter increments attributable to this run.
+    pub stats: ServiceStats,
+}
+
+impl DriftReport {
+    /// Fraction of triaged solves that reused the basis (`InRange` +
+    /// `DualRepair`) — the drift pipeline's headline number.
+    pub fn triage_reuse_fraction(&self) -> f64 {
+        self.stats.triage_reuse_fraction()
+    }
+
+    /// Machine-readable one-object JSON summary (for `BENCH_drift.json`).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"epochs\":{},\"queries\":{},\"drifted_queries\":{},",
+                "\"elapsed_seconds\":{:.6},",
+                "\"solves\":{},\"triaged\":{},\"in_range\":{},\"dual_repairs\":{},",
+                "\"warm_solves\":{},\"cold_solves\":{},",
+                "\"triage_reuse_fraction\":{:.4},",
+                "\"expired\":{},\"revalidations\":{},\"requeued\":{},\"stale_served\":{},",
+                "\"mean_warm_pivots\":{:.2},\"mean_cold_pivots\":{:.2},",
+                "\"hits\":{},\"verified\":{},\"errors\":{}}}"
+            ),
+            self.epochs,
+            self.queries,
+            self.drifted_queries,
+            self.elapsed_seconds,
+            self.stats.solves,
+            self.stats.triaged,
+            self.stats.in_range,
+            self.stats.dual_repairs,
+            self.stats.warm_solves,
+            self.stats.cold_solves,
+            self.triage_reuse_fraction(),
+            self.stats.expired,
+            self.stats.revalidations,
+            self.stats.requeued,
+            self.stats.stale_served,
+            self.stats.mean_warm_pivots(),
+            self.stats.mean_cold_pivots(),
+            self.stats.hits,
+            self.verified,
+            self.stats.errors,
+        )
+    }
+
+    /// Human-readable multi-line rendering of the report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ =
+            writeln!(out, "epochs             : {} ({} queries total)", self.epochs, self.queries);
+        let _ = writeln!(out, "elapsed            : {:.3} s", self.elapsed_seconds);
+        let _ = writeln!(
+            out,
+            "drifted queries    : {} ({} triaged against a prior basis)",
+            self.drifted_queries, self.stats.triaged
+        );
+        let _ = writeln!(
+            out,
+            "triage outcomes    : {} in-range, {} dual-repaired, {} resolved ({:.1}% reused)",
+            self.stats.in_range,
+            self.stats.dual_repairs,
+            self.stats.triaged - self.stats.in_range - self.stats.dual_repairs,
+            self.triage_reuse_fraction() * 100.0,
+        );
+        let _ = writeln!(
+            out,
+            "ttl traffic        : {} expired, {} revalidated, {} stale-served",
+            self.stats.expired, self.stats.revalidations, self.stats.stale_served
+        );
+        let _ = writeln!(
+            out,
+            "mean pivots        : {:.1} warm vs {:.1} cold",
+            self.stats.mean_warm_pivots(),
+            self.stats.mean_cold_pivots()
+        );
+        let _ = writeln!(
+            out,
+            "exactness          : {} drifted answers verified against cold solves",
+            self.verified
+        );
+        out
+    }
+}
+
+/// One drifting workload: a platform under a random walk plus the collective
+/// asked about it (node roles stay fixed — only edge costs move, so every
+/// step stays in one structural class).
+struct DriftScenario {
+    model: DriftModel,
+    build: Box<dyn Fn(Platform) -> Query>,
+    previous: Option<Query>,
+}
+
+/// The fixed scenario family of `steady drift-bench`: a star scatter, a star
+/// gather and a random-connected reduce, each under an independent walk.
+fn drift_scenarios(seed: u64) -> Vec<DriftScenario> {
+    let scatter_star = heterogeneous_star(&[rat(1, 2), rat(1, 3), rat(1, 4), rat(1, 5), rat(1, 6)]);
+    let gather_star = heterogeneous_star(&[rat(1, 2), rat(2, 3), rat(1, 4)]);
+    let reduce_platform = random_connected(
+        &RandomConfig { nodes: 5, ..RandomConfig::default() },
+        &mut StdRng::seed_from_u64(seed),
+    );
+    let reduce_participants: Vec<NodeId> = reduce_platform.node_ids().collect();
+    let config = DriftConfig::default();
+    vec![
+        DriftScenario {
+            model: DriftModel::new(scatter_star.0, config.clone(), seed ^ 1),
+            build: Box::new(move |platform| Query {
+                platform,
+                collective: Collective::Scatter {
+                    source: scatter_star.1,
+                    targets: scatter_star.2.clone(),
+                },
+            }),
+            previous: None,
+        },
+        DriftScenario {
+            model: DriftModel::new(gather_star.0, config.clone(), seed ^ 2),
+            build: Box::new(move |platform| Query {
+                platform,
+                collective: Collective::Gather {
+                    sources: gather_star.2.clone(),
+                    sink: gather_star.1,
+                },
+            }),
+            previous: None,
+        },
+        DriftScenario {
+            model: DriftModel::new(reduce_platform, config, seed ^ 3),
+            build: Box::new(move |platform| Query {
+                platform,
+                collective: Collective::Reduce {
+                    participants: reduce_participants.clone(),
+                    target: reduce_participants[0],
+                    size: rat(1, 1),
+                    task_cost: rat(1, 1),
+                },
+            }),
+            previous: None,
+        },
+    ]
+}
+
+/// Replays the random-walk drift scenario family through `service`: each
+/// epoch advances the service epoch (expiring the previous epoch's answers
+/// under a TTL), steps every scenario's walk, submits the drifted query (a
+/// fresh cache key in a known structural class → drift triage), repeats it
+/// for hit traffic, and re-asks the *previous* epoch's query to exercise
+/// TTL revalidation.  With [`DriftLoadConfig::verify`] set, every drifted
+/// answer is re-checked for exact `Ratio` equality against an independent
+/// cold solve after the run.
+///
+/// The service should be configured with a [`ttl`](crate::ServiceConfig::ttl)
+/// (e.g. `Some(0)`) for the revalidation path to light up; without one the
+/// run still exercises triage on every drifted query.
+pub fn run_drift_load(
+    service: &Service,
+    config: &DriftLoadConfig,
+) -> Result<DriftReport, ServiceError> {
+    let mut scenarios = drift_scenarios(config.seed);
+    let mut served: Vec<(Query, steady_rational::Ratio)> = Vec::new();
+    let mut queries = 0usize;
+    let before = service.stats();
+    let started = Instant::now();
+
+    let mut ask = |query: Query| -> Result<std::sync::Arc<crate::query::Answer>, ServiceError> {
+        queries += 1;
+        match service.query(query) {
+            Ok(response) => Ok(response.answer),
+            Err(ServeError::Shed) => {
+                Err(ServiceError("drift run shed a query; run without admission limits".into()))
+            }
+            Err(ServeError::Failed(e)) => Err(e),
+        }
+    };
+
+    for _ in 0..config.epochs.max(1) {
+        service.advance_epoch();
+        for scenario in scenarios.iter_mut() {
+            let drifted = (scenario.build)(scenario.model.step());
+            let answer = ask(drifted.clone())?;
+            served.push((drifted.clone(), answer.throughput.clone()));
+            for _ in 1..config.hits_per_epoch.max(1) {
+                ask(drifted.clone())?;
+            }
+            // Revalidation probe: the previous epoch's query is expired now
+            // (under a TTL) and must be revalidated through triage.
+            if let Some(previous) = scenario.previous.replace(drifted) {
+                ask(previous)?;
+            }
+        }
+    }
+    let elapsed_seconds = started.elapsed().as_secs_f64();
+
+    let mut verified = 0usize;
+    if config.verify {
+        for (query, throughput) in &served {
+            let cold = solve_query(query, false)?;
+            if cold.throughput != *throughput {
+                return Err(ServiceError(format!(
+                    "drift triage diverged from a cold solve: served {} vs cold {}",
+                    throughput, cold.throughput
+                )));
+            }
+            verified += 1;
+        }
+    }
+
+    Ok(DriftReport {
+        epochs: config.epochs.max(1),
+        queries,
+        drifted_queries: served.len(),
+        elapsed_seconds,
+        verified,
+        stats: service.stats().since(&before),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -392,6 +689,49 @@ mod tests {
             class_sizes.values().any(|&n| n >= 2),
             "expected a structural class with several cost variants: {class_sizes:?}"
         );
+    }
+
+    #[test]
+    fn mix_contains_a_time_correlated_walk_class() {
+        // The walk family (i % 9 == 8) puts several successive walk states
+        // of one fixed star into the pool: same structural class, distinct
+        // cache keys.
+        let mix = query_mix(36, 5);
+        let mut class_sizes = std::collections::BTreeMap::new();
+        for query in &mix {
+            *class_sizes.entry(query.structural_fingerprint()).or_insert(0usize) += 1;
+        }
+        assert!(
+            class_sizes.values().any(|&n| n >= 3),
+            "expected a walk class with several steps: {class_sizes:?}"
+        );
+    }
+
+    #[test]
+    fn drift_load_triages_revalidates_and_stays_exact() {
+        use crate::engine::{Service, ServiceConfig};
+
+        let service =
+            Service::start(ServiceConfig { workers: 2, ttl: Some(0), ..ServiceConfig::default() });
+        let config = DriftLoadConfig { epochs: 4, hits_per_epoch: 2, seed: 7, verify: true };
+        let report = run_drift_load(&service, &config).unwrap();
+        assert_eq!(report.epochs, 4);
+        assert_eq!(report.drifted_queries, 12, "3 scenarios x 4 epochs");
+        assert_eq!(report.verified, 12, "every drifted answer checked against a cold solve");
+        assert_eq!(report.stats.errors, 0);
+        assert!(report.stats.triaged > 0, "later epochs must triage against a prior basis");
+        assert!(report.stats.expired > 0, "ttl 0 must expire the previous epoch's answers");
+        assert!(report.stats.revalidations > 0, "the probe re-asks expired entries");
+        assert!(
+            report.stats.in_range + report.stats.dual_repairs > 0,
+            "a bounded walk must reuse the basis at least once: {:?}",
+            report.stats
+        );
+        let json = report.to_json();
+        for key in ["triage_reuse_fraction", "in_range", "dual_repairs", "verified"] {
+            assert!(json.contains(key), "drift JSON misses '{key}': {json}");
+        }
+        assert!(!report.render().is_empty());
     }
 
     #[test]

@@ -1,24 +1,33 @@
-//! Snapshot persistence for the solution cache.
+//! Snapshot persistence for the solution cache and the basis seeds.
 //!
 //! A long-running service accumulates a warm set — the fingerprints it has
-//! already solved.  [`write_snapshot`] serializes that set as a small JSON
-//! document (`fingerprint → throughput`, both as strings: fingerprints in
-//! hex, throughputs as exact `numerator/denominator` rationals) and
-//! [`read_snapshot`] parses it back, so a restarted service can preload the
-//! entries and serve its old traffic from the cache immediately instead of
-//! re-solving every LP.
+//! already solved — plus one winning simplex basis per *structural class*
+//! (cost-blind fingerprint).  [`write_snapshot`] serializes both as a small
+//! JSON document (fingerprints in hex, throughputs as exact
+//! `numerator/denominator` rationals, bases via
+//! [`SolvedBasis::to_json`]) and [`read_snapshot`] parses it back, so a
+//! restarted service preloads the entries *and* triages its very first
+//! drifted solves against each class's last known basis instead of going
+//! cold.
 //!
 //! Schedules and platforms are deliberately *not* persisted: a schedule is
 //! only meaningful in the node numbering it was solved in, which the
 //! snapshot cannot guarantee the next process will present.  Restored
 //! entries therefore answer with exact throughput and `schedule: None` —
 //! precisely what the engine already serves to isomorphic-but-renumbered
-//! callers.
+//! callers.  Bases are safe to persist and restore blindly because they are
+//! advisory: a stale or corrupt basis costs pivots, never correctness.
+//!
+//! The `bases` array precedes the `entries` array in the document, so
+//! snapshots written before bases existed (no `bases` key) still parse —
+//! and old parsers, which scan everything after `"entries":[`, still read
+//! new snapshots.
 
 use std::fmt::Write as _;
 use std::path::Path;
 use std::str::FromStr;
 
+use steady_core::problem::SolvedBasis;
 use steady_rational::Ratio;
 
 use crate::ServiceError;
@@ -26,9 +35,20 @@ use crate::ServiceError;
 /// One persisted cache entry: canonical fingerprint and exact throughput.
 pub type SnapshotEntry = (u64, Ratio);
 
-/// Renders cache entries as the snapshot JSON document.
-pub fn render_snapshot(entries: &[SnapshotEntry]) -> String {
-    let mut out = String::from("{\"entries\":[");
+/// One persisted basis seed: structural-class fingerprint and the class's
+/// last optimal basis.
+pub type BasisEntry = (u64, SolvedBasis);
+
+/// Renders cache entries and basis seeds as the snapshot JSON document.
+pub fn render_snapshot(entries: &[SnapshotEntry], bases: &[BasisEntry]) -> String {
+    let mut out = String::from("{\"bases\":[");
+    for (i, (class, basis)) in bases.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"class\":\"{class:016x}\",\"basis\":{}}}", basis.to_json());
+    }
+    out.push_str("],\"entries\":[");
     for (i, (fingerprint, throughput)) in entries.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -42,21 +62,30 @@ pub fn render_snapshot(entries: &[SnapshotEntry]) -> String {
     out
 }
 
-/// Writes `entries` to `path` in the snapshot JSON format.
-pub fn write_snapshot(entries: &[SnapshotEntry], path: &Path) -> Result<(), ServiceError> {
-    std::fs::write(path, render_snapshot(entries))
+/// Writes `entries` and `bases` to `path` in the snapshot JSON format.
+pub fn write_snapshot(
+    entries: &[SnapshotEntry],
+    bases: &[BasisEntry],
+    path: &Path,
+) -> Result<(), ServiceError> {
+    std::fs::write(path, render_snapshot(entries, bases))
         .map_err(|e| ServiceError(format!("cannot write snapshot to '{}': {e}", path.display())))
 }
 
-/// Reads a snapshot produced by [`write_snapshot`] back into entries.
-pub fn read_snapshot(path: &Path) -> Result<Vec<SnapshotEntry>, ServiceError> {
+/// Reads a snapshot produced by [`write_snapshot`] back into entries and
+/// basis seeds (the latter empty for snapshots predating basis
+/// persistence).
+pub fn read_snapshot(path: &Path) -> Result<(Vec<SnapshotEntry>, Vec<BasisEntry>), ServiceError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| ServiceError(format!("cannot read snapshot '{}': {e}", path.display())))?;
-    parse_snapshot(&text)
-        .map_err(|e| ServiceError(format!("malformed snapshot '{}': {e}", path.display())))
+    let entries = parse_snapshot(&text)
+        .map_err(|e| ServiceError(format!("malformed snapshot '{}': {e}", path.display())))?;
+    let bases = parse_bases(&text)
+        .map_err(|e| ServiceError(format!("malformed snapshot '{}': {e}", path.display())))?;
+    Ok((entries, bases))
 }
 
-/// Parses the snapshot document format of [`render_snapshot`].
+/// Parses the `entries` array of the snapshot document format.
 pub fn parse_snapshot(text: &str) -> Result<Vec<SnapshotEntry>, String> {
     let mut entries = Vec::new();
     let body =
@@ -69,6 +98,62 @@ pub fn parse_snapshot(text: &str) -> Result<Vec<SnapshotEntry>, String> {
         rest = &rest[start + end + 1..];
     }
     Ok(entries)
+}
+
+/// Parses the optional `bases` array of the snapshot document format.
+///
+/// Each element nests a [`SolvedBasis`] object, so the scan tracks one level
+/// of brace depth: an element runs from its opening `{` to the `}` *after*
+/// the embedded basis object closes.
+pub fn parse_bases(text: &str) -> Result<Vec<BasisEntry>, String> {
+    let Some((_, body)) = text.split_once("\"bases\":[") else {
+        return Ok(Vec::new()); // pre-bases snapshot
+    };
+    // The array ends at the first `]` not inside an element; elements contain
+    // exactly one nested `[` (the basis's cols), so scan element-wise.
+    let mut bases = Vec::new();
+    let mut rest = body;
+    loop {
+        let next_close = rest.find(']').ok_or_else(|| "unterminated 'bases' array".to_string())?;
+        match rest.find('{') {
+            Some(start) if start < next_close => {
+                let element = &rest[start..];
+                let class_tag = "\"class\":\"";
+                let class_start = element
+                    .find(class_tag)
+                    .ok_or_else(|| "basis element missing 'class'".to_string())?
+                    + class_tag.len();
+                let class_end = element[class_start..]
+                    .find('"')
+                    .ok_or_else(|| "unterminated 'class'".to_string())?
+                    + class_start;
+                let class = u64::from_str_radix(&element[class_start..class_end], 16)
+                    .map_err(|e| format!("bad class fingerprint: {e}"))?;
+                let basis_tag = "\"basis\":";
+                let basis_start = element
+                    .find(basis_tag)
+                    .ok_or_else(|| "basis element missing 'basis'".to_string())?
+                    + basis_tag.len();
+                // The SolvedBasis object contains no nested braces: it ends
+                // at the first `}` after it opens, and the element at the
+                // next one.
+                let basis_end = element[basis_start..]
+                    .find('}')
+                    .ok_or_else(|| "unterminated basis object".to_string())?
+                    + basis_start
+                    + 1;
+                let basis = SolvedBasis::from_json(&element[basis_start..basis_end])?;
+                let element_end = element[basis_end..]
+                    .find('}')
+                    .ok_or_else(|| "unterminated basis element".to_string())?
+                    + basis_end
+                    + 1;
+                bases.push((class, basis));
+                rest = &element[element_end..];
+            }
+            _ => return Ok(bases),
+        }
+    }
 }
 
 fn parse_entry(object: &str) -> Result<SnapshotEntry, String> {
@@ -96,12 +181,31 @@ mod tests {
     use super::*;
     use steady_rational::rat;
 
+    fn sample_bases() -> Vec<BasisEntry> {
+        vec![
+            (0xfeed_u64, SolvedBasis { cols: vec![0, 3, 4], num_cols: 7, n_structural: 3 }),
+            (1, SolvedBasis { cols: vec![], num_cols: 0, n_structural: 0 }),
+        ]
+    }
+
     #[test]
     fn snapshot_text_round_trips() {
         let entries = vec![(0x12ab_u64, rat(2, 9)), (u64::MAX, rat(0, 1)), (7, rat(15, 4))];
-        let text = render_snapshot(&entries);
+        let bases = sample_bases();
+        let text = render_snapshot(&entries, &bases);
         assert_eq!(parse_snapshot(&text).unwrap(), entries);
-        assert_eq!(parse_snapshot(&render_snapshot(&[])).unwrap(), vec![]);
+        assert_eq!(parse_bases(&text).unwrap(), bases);
+        let empty = render_snapshot(&[], &[]);
+        assert_eq!(parse_snapshot(&empty).unwrap(), vec![]);
+        assert_eq!(parse_bases(&empty).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn pre_bases_snapshots_still_parse() {
+        // The format before basis persistence: only an entries array.
+        let old = "{\"entries\":[{\"fingerprint\":\"002a\",\"throughput\":\"1/2\"}]}\n";
+        assert_eq!(parse_snapshot(old).unwrap(), vec![(42u64, rat(1, 2))]);
+        assert_eq!(parse_bases(old).unwrap(), vec![]);
     }
 
     #[test]
@@ -111,8 +215,9 @@ mod tests {
         // Unique per process so concurrent test runs don't race on the file.
         let path = dir.join(format!("snapshot_{}.json", std::process::id()));
         let entries = vec![(42u64, rat(1, 2))];
-        write_snapshot(&entries, &path).unwrap();
-        assert_eq!(read_snapshot(&path).unwrap(), entries);
+        let bases = sample_bases();
+        write_snapshot(&entries, &bases, &path).unwrap();
+        assert_eq!(read_snapshot(&path).unwrap(), (entries, bases));
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -122,6 +227,11 @@ mod tests {
         assert!(parse_snapshot("{\"entries\":[{\"fingerprint\":\"zz\"}]}").is_err());
         assert!(parse_snapshot("{\"entries\":[{\"fingerprint\":\"0f\",\"throughput\":\"-1/2\"}]}")
             .is_err());
+        assert!(
+            parse_bases("{\"bases\":[{\"class\":\"zz\",\"basis\":{}}],\"entries\":[]}").is_err()
+        );
+        assert!(parse_bases("{\"bases\":[{\"class\":\"0f\"}],\"entries\":[]}").is_err());
+        assert!(parse_bases("{\"bases\":[{\"class\":\"0f\",\"basis\":{\"cols\":[1]}}").is_err());
         assert!(read_snapshot(Path::new("/nonexistent/steady.json")).is_err());
     }
 }

@@ -3,10 +3,11 @@
 use steady_core::gather::GatherProblem;
 use steady_core::gossip::GossipProblem;
 use steady_core::prefix::PrefixProblem;
-use steady_core::problem::{solve_steady_warm, SolveReport, SolvedBasis};
+use steady_core::problem::SolvedBasis;
 use steady_core::reduce::ReduceProblem;
 use steady_core::scatter::ScatterProblem;
 use steady_core::schedule::PeriodicSchedule;
+use steady_drift::{solve_steady_triaged, TriageReport};
 use steady_platform::{NodeId, Platform};
 use steady_rational::Ratio;
 
@@ -178,25 +179,28 @@ pub fn solve_query(query: &Query, build_schedule: bool) -> Result<Answer, Servic
 /// [`solve_query`] for a caller that has already validated the query and
 /// computed its fingerprint (the engine does both before cache lookup, and
 /// the WL hash is not free) — neither is redone here.  A `warm` basis from a
-/// structurally identical solve seeds the simplex; the returned
-/// [`SolveReport`] carries the pivot count, whether the seed took, and the
-/// final basis for the engine's warm-start cache.
+/// structurally identical solve feeds the drift-triage ladder
+/// ([`steady_drift::solve_steady_triaged`]): still-optimal bases re-price
+/// with zero pivots, primal-infeasible ones are repaired by the dual
+/// simplex, anything else resolves warm or cold.  The returned
+/// [`TriageReport`] carries the rung taken, the pivot count and the final
+/// basis for the engine's per-class basis cache.
 pub(crate) fn solve_prepared(
     query: &Query,
     fingerprint: Fingerprint,
     build_schedule: bool,
     warm: Option<&SolvedBasis>,
-) -> Result<(Answer, SolveReport), ServiceError> {
+) -> Result<(Answer, TriageReport), ServiceError> {
     let platform = query.platform.clone();
     // Each collective has its own problem/solution types but the exact same
     // construct → solve → build-schedule → validate tail, which only a macro
     // can share (the solve itself is already shared: every arm goes through
-    // `steady_core::problem::solve_steady_warm`).
+    // `steady_drift::solve_steady_triaged`).
     macro_rules! answer {
         ($kind:literal, $problem:expr) => {{
             let problem = $problem.map_err(err(concat!("invalid ", $kind, " query")))?;
-            let (solution, report) =
-                solve_steady_warm(&problem, warm).map_err(err(concat!($kind, " solve failed")))?;
+            let (solution, report) = solve_steady_triaged(&problem, warm)
+                .map_err(err(concat!($kind, " solve failed")))?;
             let schedule = build_schedule
                 .then(|| solution.build_schedule(&problem))
                 .transpose()

@@ -23,7 +23,8 @@
 //! | [`sim`] | `steady-sim` | One-port discrete-event simulation, Prop.-1 executor |
 //! | [`baselines`] | `steady-baselines` | Direct/binomial scatter, gather, flat/binomial/chain reduces |
 //! | [`runtime`] | `steady-runtime` | Threaded message-passing execution with real payloads |
-//! | [`service`] | `steady-service` | Query serving: canonical fingerprints, sharded cache, single-flight worker pool, warm-started solves, admission control, snapshot persistence |
+//! | [`drift`] | `steady-drift` | Cost-drift models (bounded random walks) and basis-reuse triage: in-range re-pricing, dual-simplex repair, warm/cold resolve |
+//! | [`service`] | `steady-service` | Query serving: canonical fingerprints, sharded cache with TTL epochs, single-flight worker pool, drift-triaged solves, requeue admission, snapshot persistence |
 //!
 //! ## Quick start
 //!
@@ -49,6 +50,7 @@
 
 pub use steady_baselines as baselines;
 pub use steady_core as core;
+pub use steady_drift as drift;
 pub use steady_lp as lp;
 pub use steady_platform as platform;
 pub use steady_rational as rational;
@@ -75,7 +77,13 @@ pub mod prelude {
     pub use steady_core::scatter::ScatterProblem;
     pub use steady_core::schedule::PeriodicSchedule;
     pub use steady_core::CoreError;
-    pub use steady_lp::{solve_with_basis, SolvedBasis};
+    pub use steady_drift::{
+        solve_steady_triaged, DriftConfig, DriftModel, DriftStats, Triage, TriageReport,
+    };
+    pub use steady_lp::{
+        objective_ranging, solve_dual_with_basis, solve_with_basis, CostRange, DualOutcome,
+        SolvedBasis,
+    };
     pub use steady_platform::generators::{
         figure2, figure5, figure6, figure9, tiers_reduce_instance, tiers_scatter_instance,
         RandomConfig, TiersConfig,
@@ -88,8 +96,8 @@ pub mod prelude {
     pub use steady_rational::{int, rat, BigInt, Ratio};
     pub use steady_runtime::{run_gather, run_reduce, run_scatter, RunConfig};
     pub use steady_service::{
-        fingerprint, run_load, structural_fingerprint, Collective, LoadConfig, Query, ServeError,
-        Served, ServedVia, Service, ServiceConfig,
+        fingerprint, run_drift_load, run_load, structural_fingerprint, Collective, DriftLoadConfig,
+        DriftReport, LoadConfig, Query, ServeError, Served, ServedVia, Service, ServiceConfig,
     };
     pub use steady_sim::{execute_reduce_schedule, execute_scatter_schedule, parallel_map};
 }

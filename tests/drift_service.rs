@@ -1,0 +1,91 @@
+//! End-to-end acceptance of the drift pipeline through the facade: TTL
+//! expiry revalidates instead of evicting, drifted queries triage against
+//! the structural class's basis, every path stays exact, and a restarted
+//! service's first drifted solve warm-starts from the persisted basis seed.
+
+use steady_collectives::prelude::*;
+use steady_collectives::service::solve_query;
+
+fn star_scatter(costs: &[Ratio]) -> Query {
+    let (platform, center, leaves) =
+        steady_collectives::platform::generators::heterogeneous_star(costs);
+    Query { platform, collective: Collective::Scatter { source: center, targets: leaves } }
+}
+
+#[test]
+fn ttl_revalidation_and_drift_triage_stay_exact() {
+    let service =
+        Service::start(ServiceConfig { workers: 2, ttl: Some(0), ..ServiceConfig::default() });
+
+    // Walk one star platform through several drift steps; each step is a
+    // new cache key in the same structural class.
+    let mut model = DriftModel::new(
+        star_scatter(&[rat(1, 2), rat(1, 3), rat(1, 4), rat(1, 5)]).platform,
+        DriftConfig::default(),
+        17,
+    );
+    let query_for = |platform: steady_collectives::platform::Platform| {
+        let targets: Vec<NodeId> = platform.node_ids().skip(1).collect();
+        Query { platform, collective: Collective::Scatter { source: NodeId(0), targets } }
+    };
+
+    let mut previous: Option<Query> = None;
+    for _ in 0..5 {
+        service.advance_epoch();
+        let drifted = query_for(model.step());
+        let served = service.query(drifted.clone()).unwrap();
+        // Exactness: the triaged answer equals an independent cold solve.
+        let cold = solve_query(&drifted, false).unwrap();
+        assert_eq!(served.answer.throughput, cold.throughput);
+
+        // Re-asking the previous epoch's platform hits the expired entry:
+        // revalidated through triage, still exact, entry kept.
+        if let Some(previous) = previous.replace(drifted) {
+            let revalidated = service.query(previous.clone()).unwrap();
+            assert_eq!(revalidated.via, ServedVia::Revalidated);
+            let cold = solve_query(&previous, false).unwrap();
+            assert_eq!(revalidated.answer.throughput, cold.throughput);
+        }
+    }
+
+    let stats = service.stats();
+    assert_eq!(stats.errors, 0);
+    assert!(stats.expired >= 4, "each earlier epoch's probe must expire: {stats:?}");
+    assert!(stats.revalidations >= 4, "expired entries revalidate: {stats:?}");
+    assert!(stats.triaged >= 5, "drifted + revalidated solves triage: {stats:?}");
+    assert!(
+        stats.in_range + stats.dual_repairs > 0,
+        "a bounded walk must reuse the basis: {stats:?}"
+    );
+    assert!(
+        stats.mean_warm_pivots() <= stats.mean_cold_pivots(),
+        "triage must not pivot more than cold solves: {stats:?}"
+    );
+}
+
+#[test]
+fn restarted_service_triages_its_first_drifted_solve_from_the_snapshot() {
+    let dir = std::env::temp_dir().join("steady-drift-service-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("snapshot_{}.json", std::process::id()));
+
+    let service = Service::start(ServiceConfig { workers: 1, ..ServiceConfig::default() });
+    let base = star_scatter(&[rat(1, 2), rat(1, 3), rat(1, 4)]);
+    service.query(base).unwrap();
+    assert!(service.snapshot(&path).unwrap() >= 1);
+    drop(service);
+
+    // Fresh process, same snapshot: the first ever solve is a *drifted*
+    // sibling (new fingerprint, same structural class) — it must triage
+    // against the persisted basis seed rather than resolve cold.
+    let restored =
+        Service::start(ServiceConfig { workers: 1, ..ServiceConfig::default() }.preload(&path));
+    let drifted = star_scatter(&[rat(9, 16), rat(1, 3), rat(1, 4)]);
+    let cold = solve_query(&drifted, false).unwrap();
+    let served = restored.query(drifted).unwrap();
+    assert_eq!(served.answer.throughput, cold.throughput);
+    let stats = restored.stats();
+    assert_eq!(stats.solves, 1);
+    assert_eq!(stats.triaged, 1, "the persisted seed fed the first drifted solve: {stats:?}");
+    std::fs::remove_file(&path).unwrap();
+}
