@@ -1,0 +1,91 @@
+//! `steady forecast-bench` — run the speculative pre-solving scenario
+//! through the serving engine and report the prefetch hit rate.
+//!
+//! Each epoch forecasts the likeliest next platforms of two forecastable
+//! random walks (a star scatter and a star gather under a lazy, fine-grained
+//! drift), schedules them as prefetch jobs, lets the idle workers pre-solve
+//! them, then steps the walks and replays the drifted queries.  The report
+//! shows how much of the drift was answered *before* it was asked: the
+//! prefetch hit fraction, the wasted speculation, the per-epoch
+//! `will-hold`/`may-exit`/`will-exit` classification split — and, with
+//! verification on (the default), confirms every drifted answer equals an
+//! independent cold solve's exact rational.
+//!
+//! With `--min-prefetch-hit <fraction>` the run doubles as a CI gate on the
+//! forecaster's effectiveness: it fails when fewer than that fraction of
+//! the fresh demand work was answered from prefetched entries.
+
+use std::io::Write;
+
+use steady_service::{run_forecast_load, ForecastLoadConfig, Service, ServiceConfig};
+
+use crate::args::{OptionSpec, ParsedArgs};
+use crate::CliError;
+
+const SPEC: OptionSpec = OptionSpec {
+    valued: &[
+        "epochs",
+        "hits-per-epoch",
+        "workers",
+        "seed",
+        "horizon",
+        "plan",
+        "out",
+        "min-prefetch-hit",
+    ],
+    flags: &["no-verify"],
+};
+
+/// Runs `steady forecast-bench ...`.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let mut parsed = ParsedArgs::parse(args, &SPEC)?;
+    let config = ForecastLoadConfig {
+        epochs: parsed.usize_value("epochs", 50)?,
+        hits_per_epoch: parsed.usize_value("hits-per-epoch", 2)?,
+        seed: parsed.u64_value("seed", 42)?,
+        horizon: parsed.u64_value("horizon", 1)?,
+        plan: parsed.usize_value("plan", 16)?,
+        verify: !parsed.flag("no-verify"),
+    };
+    let service_config =
+        ServiceConfig { workers: parsed.usize_value("workers", 4)?, ..ServiceConfig::default() };
+    let json_path = parsed.value("out").map(str::to_owned);
+    let min_hit: Option<f64> = match parsed.value("min-prefetch-hit") {
+        None => None,
+        Some(raw) => Some(raw.parse().map_err(|_| {
+            CliError::Usage(format!("--min-prefetch-hit expects a fraction in [0, 1], got '{raw}'"))
+        })?),
+    };
+
+    let service = Service::start(service_config);
+    let report = run_forecast_load(&service, &config)
+        .map_err(|e| CliError::Failed(format!("forecast-bench run failed: {e}")))?;
+
+    writeln!(out, "operation          : speculative pre-solving benchmark")?;
+    write!(out, "{}", report.render())?;
+    if let Some(path) = json_path {
+        std::fs::write(&path, report.to_json())
+            .map_err(|e| CliError::Failed(format!("cannot write report to '{path}': {e}")))?;
+        writeln!(out, "json report        : written to {path}")?;
+    }
+    if let Some(min_hit) = min_hit {
+        let fraction = report.prefetch_hit_fraction();
+        writeln!(
+            out,
+            "prefetch gate      : {:.1}% (minimum {:.1}%)",
+            fraction * 100.0,
+            min_hit * 100.0
+        )?;
+        if fraction < min_hit {
+            return Err(CliError::Failed(format!(
+                "prefetched entries answered only {:.1}% of fresh demand \
+                 (minimum {:.1}%): {} prefetch hits vs {} demand solves",
+                fraction * 100.0,
+                min_hit * 100.0,
+                report.stats.prefetch_hits,
+                report.stats.solves,
+            )));
+        }
+    }
+    Ok(())
+}

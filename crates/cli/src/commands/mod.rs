@@ -2,6 +2,7 @@
 
 pub mod demo;
 pub mod drift_bench;
+pub mod forecast_bench;
 pub mod generate;
 pub mod info;
 pub mod serve_bench;

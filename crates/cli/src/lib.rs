@@ -83,6 +83,8 @@ USAGE:
                         [--max-inflight-cold N] [--cold-queue N]
   steady drift-bench    [--epochs N] [--hits-per-epoch N] [--workers N] [--ttl N | --no-ttl]
                         [--seed N] [--out FILE] [--min-reuse F] [--no-verify]
+  steady forecast-bench [--epochs N] [--hits-per-epoch N] [--workers N] [--horizon N]
+                        [--plan N] [--seed N] [--out FILE] [--min-prefetch-hit F] [--no-verify]
   steady demo NAME      NAME ∈ {figure2, figure6, figure9}
   steady info           --platform FILE [--dot]
   steady help
@@ -106,6 +108,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "solve" => commands::solve::run(rest, out),
         "serve-bench" => commands::serve_bench::run(rest, out),
         "drift-bench" => commands::drift_bench::run(rest, out),
+        "forecast-bench" => commands::forecast_bench::run(rest, out),
         "generate" => commands::generate::run(rest, out),
         "demo" => commands::demo::run(rest, out),
         "info" => commands::info::run(rest, out),
@@ -132,6 +135,7 @@ mod tests {
             "solve reduce",
             "serve-bench",
             "drift-bench",
+            "forecast-bench",
             "generate",
             "demo",
             "info",

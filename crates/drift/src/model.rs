@@ -97,9 +97,62 @@ impl DriftModel {
         &self.base
     }
 
+    /// The walk's configuration (grid, walker bounds, laziness).
+    pub fn config(&self) -> &DriftConfig {
+        &self.config
+    }
+
+    /// Current walker position of each edge, in edge-id order.  Together
+    /// with [`DriftModel::config`] this is the model's full state: the cost
+    /// of edge `e` is `base_cost_e * walkers[e] / grid`.
+    pub fn walkers(&self) -> &[i64] {
+        &self.walkers
+    }
+
     /// Number of steps taken so far.
     pub fn steps(&self) -> u64 {
         self.steps
+    }
+
+    /// Per-edge interval of walker positions reachable within `k` steps
+    /// (inclusive bounds, clamped to the configured grid).  Because one step
+    /// moves a walker by at most one cell, the `k`-step reachable set of
+    /// the whole model is exactly the product of these intervals — the
+    /// foundation of the forecaster's exact drift envelope.
+    pub fn reachable_walkers(&self, k: u64) -> Vec<(i64, i64)> {
+        let k = i64::try_from(k).unwrap_or(i64::MAX);
+        self.walkers
+            .iter()
+            .map(|w| {
+                (
+                    w.saturating_sub(k).max(self.config.min_num),
+                    w.saturating_add(k).min(self.config.max_num),
+                )
+            })
+            .collect()
+    }
+
+    /// The platform the model would show with every walker at the given
+    /// position (same topology as the base, each edge cost scaled by
+    /// `walkers[e] / grid`).  Used by the forecaster to materialize
+    /// candidate future platforms without touching the model's own state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `walkers` does not have one entry per edge.
+    pub fn platform_at(&self, walkers: &[i64]) -> Platform {
+        assert_eq!(walkers.len(), self.walkers.len(), "walker vector must have one entry per edge");
+        let mut out = Platform::new();
+        for id in self.base.node_ids() {
+            let node = self.base.node(id);
+            out.add_node(node.name.clone(), node.speed.clone());
+        }
+        for (edge_id, walker) in self.base.edge_ids().zip(walkers) {
+            let e = self.base.edge(edge_id);
+            let scale = rat(*walker, self.config.grid);
+            out.add_edge(e.from, e.to, &e.cost * &scale);
+        }
+        out
     }
 
     /// Advances every walker by one (lazy) step and returns the drifted
@@ -119,17 +172,7 @@ impl DriftModel {
     /// The platform at the walk's current position (same topology as the
     /// base, each edge cost scaled by its walker).
     pub fn current(&self) -> Platform {
-        let mut out = Platform::new();
-        for id in self.base.node_ids() {
-            let node = self.base.node(id);
-            out.add_node(node.name.clone(), node.speed.clone());
-        }
-        for (edge_id, walker) in self.base.edge_ids().zip(&self.walkers) {
-            let e = self.base.edge(edge_id);
-            let scale = rat(*walker, self.config.grid);
-            out.add_edge(e.from, e.to, &e.cost * &scale);
-        }
-        out
+        self.platform_at(&self.walkers)
     }
 
     /// Current cost scale of each edge, in edge-id order (reporting aid).
@@ -203,5 +246,29 @@ mod tests {
     fn malformed_config_is_rejected() {
         let config = DriftConfig { min_num: 20, ..DriftConfig::default() };
         DriftModel::new(star(), config, 0);
+    }
+
+    #[test]
+    fn reachable_intervals_bound_the_walk_and_platform_at_matches() {
+        let mut model = DriftModel::new(star(), DriftConfig::default(), 11);
+        for k in [1u64, 2, 3] {
+            let reach = model.reachable_walkers(k);
+            let mut probe = DriftModel::new(star(), DriftConfig::default(), 11);
+            probe.walkers.clone_from(&model.walkers);
+            for _ in 0..k {
+                probe.step();
+            }
+            for ((lo, hi), w) in reach.iter().zip(probe.walkers()) {
+                assert!(lo <= w && w <= hi, "walker {w} escaped its {k}-step envelope [{lo},{hi}]");
+                assert!(*lo >= model.config().min_num && *hi <= model.config().max_num);
+            }
+            model.step();
+        }
+        // platform_at at the current walkers is exactly current().
+        let here = model.platform_at(model.walkers());
+        let current = model.current();
+        for (a, b) in here.edge_ids().zip(current.edge_ids()) {
+            assert_eq!(here.edge(a).cost, current.edge(b).cost);
+        }
     }
 }

@@ -52,7 +52,9 @@ pub use exact::{
     solve_certified_with_options, Certificate, CertifiedSolution, CertifyError, CertifyOptions,
 };
 pub use model::{Constraint, LinearExpr, LpProblem, Objective, Sense, VarId};
-pub use ranging::{objective_ranging, CostRange, RangingError};
+pub use ranging::{
+    basis_still_optimal, objective_ranging, rhs_ranging, CostRange, RangingError, RhsRange,
+};
 pub use scalar::Scalar;
 pub use simplex::{
     solve_dual_with_basis, solve_dual_with_basis_options, solve_exact, solve_f64, solve_with_basis,

@@ -22,6 +22,16 @@
 //! Minimization problems are handled by computing in maximization form and
 //! mirroring the interval back.  All arithmetic is exact rational, so a
 //! coefficient strictly inside its range provably keeps the basis optimal.
+//!
+//! [`rhs_ranging`] is the dual analogue: each constraint's right-hand side
+//! `b_i` gets the interval it may move in while the basis stays optimal.  A
+//! rhs change never touches the reduced costs (dual feasibility is a
+//! property of the objective), only the basic values `B⁻¹ b`, which move
+//! linearly along the column `B⁻¹ e_i` — readable directly from the final
+//! tableau under the column that formed row `i`'s initial identity.  The
+//! steady-state forecaster uses these intervals to predict, without
+//! installing the basis, whether a drifted problem will still re-price
+//! `InRange` with zero pivots.
 
 use crate::model::{LpProblem, Objective};
 use crate::simplex::{install_for_ranging, InstallVerdict, SolvedBasis};
@@ -46,7 +56,33 @@ impl CostRange {
     }
 }
 
-/// Errors raised by [`objective_ranging`].
+/// Optimality interval of one constraint's right-hand side; `None` bounds
+/// are infinite.  Both bounds are inclusive: at a boundary the basis is
+/// still optimal (a basic variable sits exactly at zero, tied with a
+/// neighbouring basis).
+///
+/// The interval is additionally clamped to the side of zero the current rhs
+/// lies on: crossing zero changes the solver's standard form itself (the
+/// constraint is renormalized with different slack/artificial columns), so
+/// the basis — a set of standard-form columns — is not even *defined* on
+/// the far side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RhsRange {
+    /// Greatest lower bound on the right-hand side (`None` = unbounded below).
+    pub lower: Option<Ratio>,
+    /// Least upper bound on the right-hand side (`None` = unbounded above).
+    pub upper: Option<Ratio>,
+}
+
+impl RhsRange {
+    /// `true` when `value` lies within the (inclusive) range.
+    pub fn contains(&self, value: &Ratio) -> bool {
+        self.lower.as_ref().is_none_or(|lo| lo <= value)
+            && self.upper.as_ref().is_none_or(|hi| value <= hi)
+    }
+}
+
+/// Errors raised by [`objective_ranging`] and [`rhs_ranging`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RangingError {
     /// The basis does not fit the problem's standard form, or is singular
@@ -138,6 +174,99 @@ pub fn objective_ranging(
         })
         .collect();
     Ok(ranges)
+}
+
+/// Computes, for every constraint, the interval its right-hand side may move
+/// in (the others held fixed) while `basis` remains optimal for `problem` —
+/// the dual analogue of [`objective_ranging`].
+///
+/// Inside the interval the optimal *basis* is unchanged: resuming the
+/// perturbed problem from it ([`crate::solve_dual_with_basis`]) re-prices
+/// with **zero pivots**, and the objective moves linearly with the dual
+/// price of the row.  Strictly outside, at least one basic value turns
+/// negative and restoring optimality costs at least one dual pivot.
+///
+/// Rows that keep a basic artificial stuck in a redundant row are *pinned*:
+/// their rhs cannot move at all without the redundancy (and with it the
+/// installed point's feasibility) breaking, so `lower == upper == rhs`.
+pub fn rhs_ranging(
+    problem: &LpProblem,
+    basis: &SolvedBasis,
+) -> Result<Vec<RhsRange>, RangingError> {
+    let tableau = match install_for_ranging(problem, basis) {
+        InstallVerdict::Optimal(t) => t,
+        InstallVerdict::Unusable => return Err(RangingError::UnusableBasis),
+        InstallVerdict::NotOptimal => return Err(RangingError::NotOptimal),
+    };
+    let m = tableau.rhs.len();
+    let zero = Ratio::zero();
+
+    let ranges = (0..m)
+        .map(|i| {
+            let current = &problem.constraints()[i].rhs;
+            // The column that started as row i's identity now holds B⁻¹ e_i:
+            // a standard-form perturbation δ' of b_i moves every basic value
+            // by δ' · T[r][col], and the basis survives while they all stay
+            // non-negative (and artificial-basic rows stay exactly at zero).
+            let col = tableau.init_col[i];
+            let mut delta_lo: Option<Ratio> = None;
+            let mut delta_hi: Option<Ratio> = None;
+            let mut pinned = false;
+            for r in 0..m {
+                let t = &tableau.rows[r][col];
+                if t.is_zero() {
+                    continue;
+                }
+                if tableau.basic_artificial[r] {
+                    // rhs[r] is 0 here (verified on install): any δ' pushes
+                    // the stuck artificial off zero, so the rhs cannot move.
+                    pinned = true;
+                    break;
+                }
+                let bound = -&(&tableau.rhs[r] / t);
+                if t.is_positive() {
+                    if delta_lo.as_ref().is_none_or(|lo| *lo < bound) {
+                        delta_lo = Some(bound);
+                    }
+                } else if delta_hi.as_ref().is_none_or(|hi| bound < *hi) {
+                    delta_hi = Some(bound);
+                }
+            }
+            if pinned {
+                return RhsRange { lower: Some(current.clone()), upper: Some(current.clone()) };
+            }
+            // Map the standard-form interval back to the original rhs: a
+            // negated row stores b' = -b, so δ' = -δ and the bounds swap.
+            let (mut lower, mut upper) = if tableau.negated[i] {
+                (delta_hi.map(|d| current - &d), delta_lo.map(|d| current - &d))
+            } else {
+                (delta_lo.map(|d| current + &d), delta_hi.map(|d| current + &d))
+            };
+            // Clamp to the current sign regime (see [`RhsRange`]).
+            if tableau.negated[i] {
+                if upper.as_ref().is_none_or(|hi| zero < *hi) {
+                    upper = Some(zero.clone());
+                }
+            } else if lower.as_ref().is_none_or(|lo| *lo < zero) {
+                lower = Some(zero.clone());
+            }
+            RhsRange { lower, upper }
+        })
+        .collect();
+    Ok(ranges)
+}
+
+/// Exact zero-pivot survival probe: `true` when `basis` installs cleanly on
+/// `problem` and is already optimal for its data — i.e. a triaged solve
+/// would answer `InRange` by re-pricing alone.
+///
+/// This is the certification primitive of the steady-state forecaster: cost
+/// drift moves *constraint coefficients* of the collective LPs, which no
+/// single-axis range can bound jointly, so candidate platforms inside the
+/// drift envelope are certified one by one with this probe (one basis
+/// factorization and one re-pricing, never a pivot).
+pub fn basis_still_optimal(problem: &LpProblem, basis: &SolvedBasis) -> bool {
+    matches!(install_for_ranging(problem, basis), InstallVerdict::Optimal(_))
 }
 
 #[cfg(test)]
@@ -245,8 +374,124 @@ mod tests {
         let lp = sample_lp();
         let foreign = SolvedBasis { cols: vec![0, 1, 2], num_cols: 9, n_structural: 3 };
         assert_eq!(objective_ranging(&lp, &foreign).unwrap_err(), RangingError::UnusableBasis);
+        assert_eq!(rhs_ranging(&lp, &foreign).unwrap_err(), RangingError::UnusableBasis);
         // The all-slack basis is feasible but not optimal.
         let slack = SolvedBasis { cols: vec![2, 3], num_cols: 4, n_structural: 2 };
         assert_eq!(objective_ranging(&lp, &slack).unwrap_err(), RangingError::NotOptimal);
+        assert_eq!(rhs_ranging(&lp, &slack).unwrap_err(), RangingError::NotOptimal);
+    }
+
+    #[test]
+    fn rhs_ranges_of_the_sample_lp_are_exact() {
+        // Optimum (4, 0) with basis {x, s2}: x = b1 and s2 = b2 - b1, so
+        // b1 may move in [0, 6] (x >= 0, s2 >= 0) and b2 in [4, ∞).
+        let lp = sample_lp();
+        let cold = solve_exact(&lp).unwrap();
+        let ranges = rhs_ranging(&lp, &cold.basis).unwrap();
+        assert_eq!(ranges[0], RhsRange { lower: Some(rat(0, 1)), upper: Some(rat(6, 1)) });
+        assert_eq!(ranges[1], RhsRange { lower: Some(rat(4, 1)), upper: None });
+        assert!(ranges[0].contains(&rat(4, 1)), "the current rhs is inside its own range");
+        assert!(ranges[0].contains(&rat(6, 1)), "bounds are inclusive");
+        assert!(!ranges[0].contains(&rat(7, 1)));
+        assert!(ranges[1].contains(&rat(100, 1)), "unbounded above");
+        assert!(!ranges[1].contains(&rat(3, 1)));
+    }
+
+    #[test]
+    fn inside_rhs_nudges_reprice_with_zero_pivots_and_outside_ones_do_not() {
+        use crate::simplex::{solve_dual_with_basis, DualOutcome};
+
+        let lp = sample_lp();
+        let cold = solve_exact(&lp).unwrap();
+        let ranges = rhs_ranging(&lp, &cold.basis).unwrap();
+
+        let with_rhs = |i: usize, rhs: Ratio| {
+            let mut out = LpProblem::maximize();
+            let vars: Vec<_> = lp.vars().map(|v| out.add_var(lp.var_name(v))).collect();
+            for v in lp.vars() {
+                out.set_objective(vars[v.index()], lp.objective_coeff(v).clone());
+            }
+            for (ci, c) in lp.constraints().iter().enumerate() {
+                let mut e = LinearExpr::new();
+                for (v, coeff) in c.expr.terms() {
+                    e.add_term(vars[v.index()], coeff.clone());
+                }
+                let r = if ci == i { rhs.clone() } else { c.rhs.clone() };
+                out.add_constraint(c.name.clone(), e, c.sense, r);
+            }
+            out
+        };
+
+        // Inside: b1 -> 5 (within [0, 6]) must re-price StillOptimal, and
+        // the objective moves by δ times the row's dual price.
+        assert!(ranges[0].contains(&rat(5, 1)));
+        let inside = with_rhs(0, rat(5, 1));
+        let (warm, outcome) = solve_dual_with_basis::<Ratio>(&inside, &cold.basis).unwrap();
+        assert_eq!(outcome, DualOutcome::StillOptimal);
+        assert_eq!(warm.iterations, 0);
+        assert_eq!(warm.objective, &cold.objective + &cold.duals[0]);
+
+        // Outside: b1 -> 7 (> 6) breaks primal feasibility of the basis.
+        assert!(!ranges[0].contains(&rat(7, 1)));
+        let outside = with_rhs(0, rat(7, 1));
+        let (repaired, outcome) = solve_dual_with_basis::<Ratio>(&outside, &cold.basis).unwrap();
+        match outcome {
+            DualOutcome::DualRepaired { pivots } => assert!(pivots >= 1),
+            other => panic!("expected a dual repair, got {other:?}"),
+        }
+        assert_eq!(repaired.objective, solve_exact(&outside).unwrap().objective);
+    }
+
+    #[test]
+    fn negated_rows_mirror_their_rhs_range() {
+        // maximize x s.t. -x <= -2 (i.e. x >= 2), x <= 5 -> optimum x = 5.
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var("x");
+        lp.set_objective(x, rat(1, 1));
+        lp.add_constraint("neg", expr(&[(x, rat(-1, 1))]), Sense::Le, rat(-2, 1));
+        lp.add_constraint("cap", expr(&[(x, rat(1, 1))]), Sense::Le, rat(5, 1));
+        let cold = solve_exact(&lp).unwrap();
+        let ranges = rhs_ranging(&lp, &cold.basis).unwrap();
+        // The floor may drop to -5 (where it meets the cap) and rise to the
+        // sign boundary at 0, where the standard form itself changes.
+        assert_eq!(ranges[0], RhsRange { lower: Some(rat(-5, 1)), upper: Some(rat(0, 1)) });
+        // The cap binds at the optimum: it may shrink to 2 and grow freely.
+        assert_eq!(ranges[1], RhsRange { lower: Some(rat(2, 1)), upper: None });
+    }
+
+    #[test]
+    fn redundant_equality_rows_are_pinned() {
+        // x + y == 2 stated twice: the duplicate keeps a basic artificial in
+        // a redundant row, so neither rhs may move independently.
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective(x, rat(1, 1));
+        lp.add_constraint("e1", expr(&[(x, rat(1, 1)), (y, rat(1, 1))]), Sense::Eq, rat(2, 1));
+        lp.add_constraint("e2", expr(&[(x, rat(1, 1)), (y, rat(1, 1))]), Sense::Eq, rat(2, 1));
+        let cold = solve_exact(&lp).unwrap();
+        let ranges = rhs_ranging(&lp, &cold.basis).unwrap();
+        let pinned: Vec<bool> = ranges
+            .iter()
+            .map(|r| r.lower.as_ref() == Some(&rat(2, 1)) && r.upper.as_ref() == Some(&rat(2, 1)))
+            .collect();
+        assert!(pinned.contains(&true), "a redundant duplicate must pin its rhs: {ranges:?}");
+    }
+
+    #[test]
+    fn still_optimal_probe_matches_the_ranges() {
+        let lp = sample_lp();
+        let cold = solve_exact(&lp).unwrap();
+        assert!(basis_still_optimal(&lp, &cold.basis));
+
+        // A drifted objective outside the x-range: same basis, no longer
+        // optimal — the probe must say so without pivoting.
+        let mut drifted = sample_lp();
+        drifted.set_objective(crate::model::VarId(0), rat(1, 1));
+        assert!(!basis_still_optimal(&drifted, &cold.basis));
+
+        // A foreign basis is simply not optimal-installable.
+        let foreign = SolvedBasis { cols: vec![0, 1, 2], num_cols: 9, n_structural: 3 };
+        assert!(!basis_still_optimal(&lp, &foreign));
     }
 }

@@ -965,8 +965,10 @@ impl<S: Scalar> Tableau<S> {
 
 /// The pieces of an exact optimal tableau that post-optimal sensitivity
 /// analysis ([`crate::ranging`]) reads: the pivoted rows, the basis
-/// assignment, the reduced-cost row and the mask of columns eligible to
-/// enter (non-artificial).
+/// assignment, the reduced-cost row, the mask of columns eligible to enter
+/// (non-artificial), and — for rhs ranging — the basic values, the column
+/// that formed each row's initial identity (so `B⁻¹ e_i` can be read off),
+/// the rhs-negation record and which rows keep a basic artificial.
 pub(crate) struct OptimalTableau {
     /// Pivoted tableau rows over all standard-form columns.
     pub rows: Vec<Vec<Ratio>>,
@@ -978,6 +980,16 @@ pub(crate) struct OptimalTableau {
     pub reduced: Vec<Ratio>,
     /// Number of structural columns.
     pub n_structural: usize,
+    /// Value of the basic variable of each row (`B⁻¹ b`, all `>= 0`).
+    pub rhs: Vec<Ratio>,
+    /// Column that formed the initial identity of row `i`: its pivoted
+    /// column now holds `B⁻¹ e_i`.
+    pub init_col: Vec<usize>,
+    /// Whether the original constraint was negated during rhs normalization.
+    pub negated: Vec<bool>,
+    /// `true` for rows whose basic column is an artificial (stuck at zero in
+    /// a redundant row).
+    pub basic_artificial: Vec<bool>,
 }
 
 /// Outcome of installing a basis for ranging purposes.
@@ -1009,12 +1021,18 @@ pub(crate) fn install_for_ranging(problem: &LpProblem, basis: &SolvedBasis) -> I
     if tableau.choose_entering(&reduced, &allowed, false).is_some() {
         return InstallVerdict::NotOptimal;
     }
+    let basic_artificial: Vec<bool> =
+        tableau.basis.iter().map(|&col| tableau.kinds[col] == ColKind::Artificial).collect();
     InstallVerdict::Optimal(Box::new(OptimalTableau {
         rows: tableau.rows,
         basis: tableau.basis,
         allowed,
         reduced,
         n_structural: tableau.n_structural,
+        rhs: tableau.rhs,
+        init_col: tableau.init_col,
+        negated: tableau.negated,
+        basic_artificial,
     }))
 }
 

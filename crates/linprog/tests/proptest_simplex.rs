@@ -9,8 +9,8 @@
 
 use proptest::prelude::*;
 use steady_lp::{
-    objective_ranging, solve_certified, solve_dual_with_basis, solve_exact, solve_f64, DualOutcome,
-    LinearExpr, LpProblem, Sense,
+    objective_ranging, rhs_ranging, solve_certified, solve_dual_with_basis, solve_exact, solve_f64,
+    DualOutcome, LinearExpr, LpProblem, Sense, SimplexError,
 };
 use steady_rational::{rat, Ratio};
 
@@ -57,6 +57,22 @@ fn build(lp_desc: &RandomLp) -> LpProblem {
         lp.add_constraint(format!("ub{i}"), LinearExpr::var(*v), Sense::Le, rat(50, 1));
     }
     lp
+}
+
+/// Augments a random `Le`-only LP with the row shapes the steady-state LPs
+/// live in: an equality tying a mirror variable to `x0` and a redundant
+/// `>=` floor, both with rhs 0 — the artificial-column regime.
+fn augment_with_eq_and_ge(lp: &mut LpProblem) {
+    let vars: Vec<_> = lp.vars().collect();
+    let mirror = lp.add_var("mirror");
+    let mut tie = LinearExpr::new();
+    tie.add_term(vars[0], rat(1, 1));
+    tie.add_term(mirror, rat(-1, 1));
+    lp.add_constraint("tie", tie, Sense::Eq, rat(0, 1));
+    let mut floor = LinearExpr::new();
+    floor.add_term(vars[0], rat(1, 1));
+    floor.add_term(mirror, rat(1, 1));
+    lp.add_constraint("floor", floor, Sense::Ge, rat(0, 1));
 }
 
 /// Clones `lp` with each constraint's rhs replaced (same variables, same
@@ -250,6 +266,107 @@ proptest! {
             re.objective,
             "the old vertex must still be optimal inside the range"
         );
+    }
+
+    #[test]
+    fn in_range_rhs_perturbations_reprice_with_zero_pivots(
+        desc in random_lp_strategy(),
+        pick in 0usize..16,
+    ) {
+        // rhs ranging: nudging one right-hand side to the midpoint between
+        // its current value and its nearest finite bound must keep the
+        // installed basis optimal — the dual warm start re-prices it with
+        // zero pivots and the answer still equals an independent cold solve.
+        let mut lp = build(&desc);
+        augment_with_eq_and_ge(&mut lp);
+        let cold = solve_exact(&lp).unwrap();
+        let ranges = rhs_ranging(&lp, &cold.basis).unwrap();
+        let i = pick % lp.num_constraints();
+        let current = lp.constraints()[i].rhs.clone();
+        prop_assert!(ranges[i].contains(&current), "own rhs outside its range: {:?}", ranges[i]);
+        let target = match (&ranges[i].lower, &ranges[i].upper) {
+            (_, Some(hi)) => &(&current + hi) / &rat(2, 1),
+            (Some(lo), None) => &(&current + lo) / &rat(2, 1),
+            (None, None) => current.clone(),
+        };
+        prop_assert!(ranges[i].contains(&target));
+
+        let rhs: Vec<Ratio> = lp
+            .constraints()
+            .iter()
+            .enumerate()
+            .map(|(ci, c)| if ci == i { target.clone() } else { c.rhs.clone() })
+            .collect();
+        let rebuilt = rebuild_with_rhs(&lp, &rhs);
+        let (warm, outcome) = solve_dual_with_basis::<Ratio>(&rebuilt, &cold.basis).unwrap();
+        prop_assert!(
+            matches!(outcome, DualOutcome::StillOptimal),
+            "inside-range rhs nudge was not re-priced in place: {outcome:?}"
+        );
+        prop_assert_eq!(warm.iterations, 0, "an in-range reprice must spend zero pivots");
+        let re = solve_exact(&rebuilt).unwrap();
+        prop_assert_eq!(warm.objective, re.objective);
+    }
+
+    #[test]
+    fn out_of_range_rhs_perturbations_force_repair_pivots(
+        desc in random_lp_strategy(),
+        pick in 0usize..16,
+    ) {
+        // Strictly outside the reported interval the old basis is primal
+        // infeasible: restoring optimality costs at least one dual repair
+        // pivot (or a full fallback / an infeasibility verdict) — never a
+        // free StillOptimal re-price.
+        let mut lp = build(&desc);
+        augment_with_eq_and_ge(&mut lp);
+        let cold = solve_exact(&lp).unwrap();
+        let ranges = rhs_ranging(&lp, &cold.basis).unwrap();
+        let i = pick % lp.num_constraints();
+        // Nudge just past a finite bound while keeping the rhs on the same
+        // side of zero (crossing zero changes the standard form itself, so
+        // nothing about the old basis is even well-defined there).
+        let target = if let Some(hi) = &ranges[i].upper {
+            hi + &rat(1, 1)
+        } else if let Some(lo) = &ranges[i].lower {
+            if lo.is_positive() {
+                lo / &rat(2, 1)
+            } else {
+                return Ok(());
+            }
+        } else {
+            return Ok(());
+        };
+        prop_assert!(!ranges[i].contains(&target));
+
+        let rhs: Vec<Ratio> = lp
+            .constraints()
+            .iter()
+            .enumerate()
+            .map(|(ci, c)| if ci == i { target.clone() } else { c.rhs.clone() })
+            .collect();
+        let rebuilt = rebuild_with_rhs(&lp, &rhs);
+        match solve_dual_with_basis::<Ratio>(&rebuilt, &cold.basis) {
+            Ok((warm, outcome)) => {
+                prop_assert!(
+                    !matches!(outcome, DualOutcome::StillOptimal),
+                    "an out-of-range rhs must not re-price for free"
+                );
+                if let DualOutcome::DualRepaired { pivots } = outcome {
+                    prop_assert!(pivots >= 1);
+                }
+                let re = solve_exact(&rebuilt).unwrap();
+                prop_assert_eq!(warm.objective, re.objective);
+            }
+            // The nudge can empty the constraint set entirely (e.g. a pinned
+            // redundant equality moved off its twin): also not StillOptimal.
+            Err(SimplexError::Infeasible) => {
+                prop_assert_eq!(
+                    solve_exact(&rebuilt).unwrap_err(),
+                    SimplexError::Infeasible
+                );
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected solver error: {e}"))),
+        }
     }
 
     #[test]

@@ -6,7 +6,14 @@
 //! pool do not contend on a single lock; within a shard, reads take the
 //! shared side of a [`parking_lot::RwLock`] and recency is tracked with a
 //! per-entry atomic timestamp so hits never need the exclusive side.
-//! Eviction is least-recently-used per shard.
+//! Eviction is least-recently-used per shard, with a **drift-aware
+//! preference**: entries whose structural class has no surviving simplex
+//! basis seed are evicted first.  Losing such an entry costs a full cold
+//! solve to re-derive, but so does *keeping* it once costs drift (no basis
+//! means no cheap revalidation) — whereas an entry whose class is seeded
+//! can always be re-derived by a near-free `InRange`/`DualRepair` triage.
+//! The seeded-class set is maintained by the engine
+//! ([`SolutionCache::mark_class_seeded`]).
 //!
 //! Every entry remembers the **epoch** it was inserted in (see
 //! `Service::advance_epoch`).  A TTL-aware lookup classifies entries older
@@ -59,6 +66,10 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Entries displaced to make room.
     pub evictions: u64,
+    /// The subset of `evictions` where the drift-aware preference overrode
+    /// plain LRU: a less-recently-used entry of a *seeded* structural class
+    /// was spared in favour of an unseeded one (cheapest to lose).
+    pub preferred_evictions: u64,
 }
 
 impl CacheStats {
@@ -78,6 +89,10 @@ struct Entry {
     last_used: AtomicU64,
     /// Service epoch the entry was inserted (or last revalidated) in.
     epoch: u64,
+    /// Structural class of the entry's platform (cost-blind fingerprint),
+    /// when known — drives the drift-aware eviction preference.  `None`
+    /// (e.g. snapshot-restored entries) is treated as unseeded.
+    class: Option<u64>,
 }
 
 /// Outcome of a TTL-aware cache lookup (see [`SolutionCache::lookup`]).
@@ -98,12 +113,17 @@ pub struct SolutionCache {
     shards: Vec<RwLock<HashMap<u64, Entry>>>,
     shard_mask: u64,
     per_shard_capacity: usize,
+    /// Structural classes with a surviving basis seed (see
+    /// [`SolutionCache::mark_class_seeded`]); entries outside it are
+    /// preferred eviction victims.
+    seeded: RwLock<std::collections::HashSet<u64>>,
     clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     stale: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    preferred_evictions: AtomicU64,
 }
 
 /// `true` when an entry inserted at `epoch` is still fresh at `now` under
@@ -129,13 +149,24 @@ impl SolutionCache {
             shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
             shard_mask: shards as u64 - 1,
             per_shard_capacity,
+            seeded: RwLock::new(std::collections::HashSet::new()),
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             stale: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            preferred_evictions: AtomicU64::new(0),
         }
+    }
+
+    /// Records that structural class `class` has a surviving basis seed:
+    /// entries of seeded classes are cheap to re-derive (their next solve
+    /// triages `InRange`/`DualRepair`), so eviction spares them in favour of
+    /// unseeded entries.  Idempotent; classes are never un-marked — a basis
+    /// seed, once cached, is only ever replaced by a newer one.
+    pub fn mark_class_seeded(&self, class: u64) {
+        self.seeded.write().insert(class);
     }
 
     fn shard(&self, key: u64) -> &RwLock<HashMap<u64, Entry>> {
@@ -210,29 +241,52 @@ impl SolutionCache {
         }
     }
 
-    /// Stores `answer` under `key` at epoch 0 (see
+    /// Stores `answer` under `key` at epoch 0 with no structural class (see
     /// [`SolutionCache::insert_at`]).
     pub fn insert(&self, key: u64, answer: Arc<Answer>) {
-        self.insert_at(key, answer, 0);
+        self.insert_at(key, answer, 0, None);
     }
 
-    /// Stores `answer` under `key` stamped with `epoch`, evicting the least
-    /// recently used entry of the shard if it is full.  Re-inserting an
-    /// existing key refreshes both the answer and its epoch — this is how a
-    /// revalidated entry becomes fresh again.
-    pub fn insert_at(&self, key: u64, answer: Arc<Answer>, epoch: u64) {
+    /// Stores `answer` under `key` stamped with `epoch` and the entry's
+    /// structural `class`, evicting a victim if the shard is full.
+    /// Re-inserting an existing key refreshes the answer, its epoch and its
+    /// class — this is how a revalidated entry becomes fresh again.
+    ///
+    /// Victim choice is LRU with a drift-aware preference: entries whose
+    /// class has no surviving basis seed (including `class: None` entries)
+    /// are evicted first, LRU among themselves; only when every entry in
+    /// the shard is seeded does plain LRU decide.  Losing an unseeded entry
+    /// costs one cold solve either way, while a seeded entry's class keeps
+    /// revalidating nearly for free.
+    pub fn insert_at(&self, key: u64, answer: Arc<Answer>, epoch: u64, class: Option<u64>) {
         let mut shard = self.shard(key).write();
         if !shard.contains_key(&key) && shard.len() >= self.per_shard_capacity {
-            if let Some(victim) = shard
-                .iter()
-                .min_by_key(|(_, entry)| entry.last_used.load(Ordering::Relaxed))
-                .map(|(&k, _)| k)
-            {
+            let seeded = self.seeded.read();
+            let lru = |entries: &HashMap<u64, Entry>, unseeded_only: bool| {
+                entries
+                    .iter()
+                    .filter(|(_, e)| {
+                        !unseeded_only || !e.class.is_some_and(|c| seeded.contains(&c))
+                    })
+                    .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                    .map(|(&k, _)| k)
+            };
+            let global = lru(&shard, false);
+            let victim = match lru(&shard, true) {
+                Some(preferred) => {
+                    if Some(preferred) != global {
+                        self.preferred_evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Some(preferred)
+                }
+                None => global,
+            };
+            if let Some(victim) = victim {
                 shard.remove(&victim);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
-        let entry = Entry { answer, last_used: AtomicU64::new(self.tick()), epoch };
+        let entry = Entry { answer, last_used: AtomicU64::new(self.tick()), epoch, class };
         if shard.insert(key, entry).is_none() {
             self.insertions.fetch_add(1, Ordering::Relaxed);
         }
@@ -268,6 +322,7 @@ impl SolutionCache {
             stale: self.stale.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            preferred_evictions: self.preferred_evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -317,6 +372,46 @@ mod tests {
     }
 
     #[test]
+    fn drift_aware_eviction_prefers_unseeded_classes() {
+        // One shard of capacity 2.  Key 1 belongs to a *seeded* structural
+        // class (a basis seed survives, so it revalidates for free); key 2
+        // belongs to an unseeded class.  Even after key 2 is touched (making
+        // key 1 the LRU victim), eviction must prefer key 2 — losing it
+        // costs one cold solve either way, losing key 1 throws away a free
+        // revalidation.
+        let cache = SolutionCache::new(&CacheConfig { capacity: 2, shards: 1 });
+        cache.mark_class_seeded(77);
+        cache.insert_at(1, answer(1), 0, Some(77));
+        cache.insert_at(2, answer(2), 0, Some(88));
+        assert!(cache.get(2).is_some(), "key 2 is now the most recently used");
+
+        cache.insert_at(3, answer(3), 0, Some(77));
+        assert!(cache.get(1).is_some(), "the seeded entry was spared");
+        assert!(cache.get(2).is_none(), "the unseeded entry was preferred");
+        assert!(cache.get(3).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.preferred_evictions, 1, "preference overrode LRU");
+
+        // With only seeded entries left, plain LRU decides and the
+        // preference counter stays put.
+        assert!(cache.get(3).is_some(), "key 1 becomes the LRU victim");
+        cache.insert_at(4, answer(4), 0, Some(77));
+        assert!(cache.get(1).is_none(), "plain LRU evicted the oldest seeded entry");
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.preferred_evictions, 1);
+
+        // Entries with an unknown class (snapshot restores) count as
+        // unseeded and go first.
+        cache.insert_at(5, answer(5), 0, None);
+        assert!(cache.get(5).is_some());
+        cache.insert_at(6, answer(6), 0, Some(77));
+        assert!(cache.get(5).is_none(), "class-less entries are preferred victims");
+        assert_eq!(cache.stats().preferred_evictions, 2);
+    }
+
+    #[test]
     fn reinsert_overwrites_without_eviction() {
         let cache = SolutionCache::new(&CacheConfig { capacity: 1, shards: 1 });
         cache.insert(7, answer(7));
@@ -341,7 +436,7 @@ mod tests {
     #[test]
     fn ttl_classifies_entries_without_dropping_them() {
         let cache = SolutionCache::new(&CacheConfig::default());
-        cache.insert_at(9, answer(9), 3);
+        cache.insert_at(9, answer(9), 3, None);
 
         // Fresh within the TTL window, stale beyond it, never dropped.
         assert!(matches!(cache.lookup(9, 3, Some(0)), Lookup::Hit(_)));
@@ -358,7 +453,7 @@ mod tests {
         assert_eq!((stats.hits, stats.misses, stats.stale), (3, 2, 1));
 
         // Re-inserting refreshes the epoch: the entry is fresh again.
-        cache.insert_at(9, answer(9), 5);
+        cache.insert_at(9, answer(9), 5, None);
         assert!(matches!(cache.lookup(9, 5, Some(0)), Lookup::Hit(_)));
         assert_eq!(cache.stats().insertions, 1, "refresh is not a new insertion");
     }
@@ -366,7 +461,7 @@ mod tests {
     #[test]
     fn peek_fresh_respects_ttl_without_counting() {
         let cache = SolutionCache::new(&CacheConfig::default());
-        cache.insert_at(4, answer(4), 0);
+        cache.insert_at(4, answer(4), 0, None);
         assert!(cache.peek_fresh(4, 0, Some(0)).is_some());
         assert!(cache.peek_fresh(4, 1, Some(0)).is_none(), "stale entries read as absent");
         assert!(cache.peek_fresh(4, 1, None).is_some());

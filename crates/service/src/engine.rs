@@ -30,15 +30,25 @@
 //!    simplex (`dual_repairs`), anything else resolves warm or cold — then
 //!    publishes the answer and its final basis and fans the result out to
 //!    every parked waiter.
+//!
+//! Workers with nothing to do don't just block: they drain the **prefetch
+//! queue** ([`Service::schedule_prefetch`]) — platforms a forecaster
+//! predicts the drift will produce next — and pre-solve them through the
+//! same triage ladder, installing the answers as ordinary epoch-stamped
+//! cache entries.  A demand query that lands on one is counted as a
+//! `prefetch_hit`; speculative work is strictly idle-time (a worker only
+//! picks it up when the job channel is empty) and strictly advisory (a
+//! wrong prediction wastes idle cycles, never correctness — the entry it
+//! installed is a *correct* answer to a question nobody asked).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::Mutex;
 use steady_core::problem::SolvedBasis;
 use steady_platform::Platform;
@@ -56,6 +66,24 @@ use crate::ServiceError;
 /// hundred `usize`s, so this caps the table at a few MB even under
 /// adversarial traffic that never repeats a structure.
 const MAX_CACHED_BASES: usize = 4096;
+
+/// How long an idle worker blocks on the job channel before re-checking the
+/// prefetch queue.  Small enough that scheduled speculative work starts
+/// promptly, large enough that a fully idle pool wakes only ~1k times/s.
+const IDLE_POLL: Duration = Duration::from_millis(1);
+
+/// One unit of speculative work: a query a forecaster predicts the drift
+/// will produce, pre-solved by idle workers (see
+/// [`Service::schedule_prefetch`]).
+#[derive(Debug, Clone)]
+pub struct PrefetchJob {
+    /// The predicted future query.
+    pub query: Query,
+    /// `true` when the forecaster expects this platform to *exit* the
+    /// cached basis's optimality range (a repair-rung solve) — counted in
+    /// [`ServiceStats::predicted_exits`].
+    pub predicted_exit: bool,
+}
 
 /// Configuration of a [`Service`].
 #[derive(Debug, Clone)]
@@ -228,6 +256,22 @@ pub struct ServiceStats {
     /// Error responses delivered (bad query, infeasible problem or panicked
     /// solve; coalesced waiters on a failed solve count once each).
     pub errors: u64,
+    /// Speculative solves completed by idle workers and installed into the
+    /// cache (see [`Service::schedule_prefetch`]).
+    pub prefetched: u64,
+    /// Demand queries answered from a prefetched entry (each prefetched
+    /// entry counts at most once — its first demand landing; afterwards it
+    /// is an ordinary cache entry).
+    pub prefetch_hits: u64,
+    /// Prefetched entries that a demand solve had to re-derive anyway (the
+    /// entry was evicted or expired before any demand query landed on it).
+    pub prefetch_wasted: u64,
+    /// Scheduled prefetch jobs whose platform the forecaster predicted to
+    /// exit the cached basis's optimality range.
+    pub predicted_exits: u64,
+    /// Evictions where the drift-aware preference overrode plain LRU (see
+    /// [`CacheStats::preferred_evictions`]).
+    pub preferred_evictions: u64,
     /// Answers inserted into the cache.
     pub insertions: u64,
     /// Cache entries displaced by LRU eviction.
@@ -273,6 +317,20 @@ impl ServiceStats {
         }
     }
 
+    /// Of the demand queries that needed fresh work (a solve or a prefetch
+    /// landing), the fraction answered from a prefetched entry:
+    /// `prefetch_hits / (prefetch_hits + solves)`, 0 when neither happened.
+    /// This is the forecaster's headline number: how much of the drift was
+    /// predicted off the critical path.
+    pub fn prefetch_hit_fraction(&self) -> f64 {
+        let total = self.prefetch_hits + self.solves;
+        if total == 0 {
+            0.0
+        } else {
+            self.prefetch_hits as f64 / total as f64
+        }
+    }
+
     /// Counter increments between the `earlier` snapshot and this one, for
     /// isolating one load run on a service that has already served traffic.
     /// `cached_entries` is a gauge, not a counter, and keeps this snapshot's
@@ -299,6 +357,13 @@ impl ServiceStats {
             cold_solve_nanos: self.cold_solve_nanos.saturating_sub(earlier.cold_solve_nanos),
             shed: self.shed.saturating_sub(earlier.shed),
             errors: self.errors.saturating_sub(earlier.errors),
+            prefetched: self.prefetched.saturating_sub(earlier.prefetched),
+            prefetch_hits: self.prefetch_hits.saturating_sub(earlier.prefetch_hits),
+            prefetch_wasted: self.prefetch_wasted.saturating_sub(earlier.prefetch_wasted),
+            predicted_exits: self.predicted_exits.saturating_sub(earlier.predicted_exits),
+            preferred_evictions: self
+                .preferred_evictions
+                .saturating_sub(earlier.preferred_evictions),
             insertions: self.insertions.saturating_sub(earlier.insertions),
             evictions: self.evictions.saturating_sub(earlier.evictions),
             cached_entries: self.cached_entries,
@@ -443,9 +508,26 @@ struct Shared {
     epoch: AtomicU64,
     /// Cache TTL in epochs (see [`ServiceConfig::ttl`]).
     ttl: Option<u64>,
+    /// Speculative work scheduled by [`Service::schedule_prefetch`], drained
+    /// by idle workers only.
+    prefetch_queue: Mutex<VecDeque<PrefetchJob>>,
+    /// Prefetch jobs not yet finished (queued + currently solving); the
+    /// idle-wait primitive of [`Service::await_prefetch_idle`].
+    prefetch_pending: AtomicUsize,
+    /// Cache keys installed by speculative solves that no demand query has
+    /// landed on yet; a demand hit claims the key as a `prefetch_hit`, a
+    /// demand *solve* claims it as `prefetch_wasted`.
+    prefetched_keys: Mutex<HashSet<u64>>,
+    /// Relaxed mirror of `prefetched_keys.len()` so the hit path skips the
+    /// lock entirely when nothing speculative is outstanding.
+    prefetched_key_count: AtomicUsize,
     queries: AtomicU64,
     coalesced: AtomicU64,
     solves: AtomicU64,
+    prefetched: AtomicU64,
+    prefetch_hits: AtomicU64,
+    prefetch_wasted: AtomicU64,
+    predicted_exits: AtomicU64,
     warm_solves: AtomicU64,
     cold_solves: AtomicU64,
     triaged: AtomicU64,
@@ -493,9 +575,17 @@ impl Service {
             build_schedules: config.build_schedules,
             epoch: AtomicU64::new(0),
             ttl: config.ttl,
+            prefetch_queue: Mutex::new(VecDeque::new()),
+            prefetch_pending: AtomicUsize::new(0),
+            prefetched_keys: Mutex::new(HashSet::new()),
+            prefetched_key_count: AtomicUsize::new(0),
             queries: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             solves: AtomicU64::new(0),
+            prefetched: AtomicU64::new(0),
+            prefetch_hits: AtomicU64::new(0),
+            prefetch_wasted: AtomicU64::new(0),
+            predicted_exits: AtomicU64::new(0),
             warm_solves: AtomicU64::new(0),
             cold_solves: AtomicU64::new(0),
             triaged: AtomicU64::new(0),
@@ -543,6 +633,60 @@ impl Service {
         self.submit(query).recv().map_err(|_| {
             ServeError::Failed(ServiceError("the service shut down before responding".into()))
         })?
+    }
+
+    /// Schedules speculative work: each job's query is pre-solved by an
+    /// **idle** worker (one that found the job channel empty) through the
+    /// ordinary drift-triage ladder, and its answer installed as a normal
+    /// epoch-stamped cache entry.  Returns how many jobs were queued.
+    ///
+    /// Speculation is advisory end to end: demand traffic always wins the
+    /// workers, a duplicate of an in-flight or already-cached query is
+    /// dropped on pickup, and a pre-solved answer is bit-identical to what
+    /// a demand solve would have produced (same triage ladder, exact
+    /// arithmetic).  Callers typically build the jobs from a
+    /// `steady-forecast` [`PresolvePlan`](steady_forecast::PresolvePlan).
+    pub fn schedule_prefetch(&self, jobs: impl IntoIterator<Item = PrefetchJob>) -> usize {
+        let mut queue = self.shared.prefetch_queue.lock();
+        let mut queued = 0usize;
+        for job in jobs {
+            if job.predicted_exit {
+                self.shared.predicted_exits.fetch_add(1, Ordering::Relaxed);
+            }
+            queue.push_back(job);
+            queued += 1;
+        }
+        self.shared.prefetch_pending.fetch_add(queued, Ordering::Relaxed);
+        queued
+    }
+
+    /// Speculative jobs not yet finished (queued plus currently solving).
+    pub fn prefetch_backlog(&self) -> usize {
+        self.shared.prefetch_pending.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until every scheduled prefetch job has finished (or been
+    /// dropped as a duplicate), up to `timeout`.  Returns `true` when the
+    /// backlog reached zero — the deterministic hand-off point for
+    /// benchmarks that schedule a plan and then replay the predicted
+    /// traffic.
+    pub fn await_prefetch_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.prefetch_backlog() > 0 {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        true
+    }
+
+    /// The cached warm-start basis of structural class `class` (the
+    /// cost-blind fingerprint of a query's platform), if the service has
+    /// solved that class before.  This is what a forecaster certifies
+    /// against.
+    pub fn class_basis(&self, class: u64) -> Option<SolvedBasis> {
+        self.shared.bases.lock().get(&class).cloned()
     }
 
     /// Advances the cache epoch by one and returns the new epoch.
@@ -606,13 +750,13 @@ impl Service {
                 throughput,
                 schedule: None,
             };
-            self.shared.cache.insert_at(key, Arc::new(answer), epoch);
+            // A snapshot does not record which structural class an entry
+            // belongs to, so restored entries carry no class and are
+            // preferred eviction victims until re-solved.
+            self.shared.cache.insert_at(key, Arc::new(answer), epoch, None);
         }
-        let mut table = self.shared.bases.lock();
         for (class, basis) in bases {
-            if table.len() < MAX_CACHED_BASES || table.contains_key(&class) {
-                table.insert(class, basis);
-            }
+            publish_basis(&self.shared, class, basis);
         }
         Ok(count)
     }
@@ -641,6 +785,11 @@ impl Service {
             cold_solve_nanos: self.shared.cold_solve_nanos.load(Ordering::Relaxed),
             shed: self.shared.shed.load(Ordering::Relaxed),
             errors: self.shared.errors.load(Ordering::Relaxed),
+            prefetched: self.shared.prefetched.load(Ordering::Relaxed),
+            prefetch_hits: self.shared.prefetch_hits.load(Ordering::Relaxed),
+            prefetch_wasted: self.shared.prefetch_wasted.load(Ordering::Relaxed),
+            predicted_exits: self.shared.predicted_exits.load(Ordering::Relaxed),
+            preferred_evictions: cache.preferred_evictions,
             insertions: cache.insertions,
             evictions: cache.evictions,
             cached_entries: self.shared.cache.len(),
@@ -660,17 +809,149 @@ impl Drop for Service {
 
 fn worker_loop(jobs: &Mutex<Receiver<Job>>, shared: &Shared) {
     loop {
-        // The receiver lock is held only while waiting for the next job, not
-        // while serving it, so dispatch is serialized but solves overlap.
-        let job = match jobs.lock().recv() {
-            Ok(job) => job,
-            Err(_) => return,
+        // The receiver lock is held only while polling for the next job,
+        // not while serving it, so dispatch is serialized but solves
+        // overlap.  Demand traffic always wins: speculative work is only
+        // picked up when the channel reads empty.
+        let job = match jobs.lock().try_recv() {
+            Ok(job) => Some(job),
+            Err(TryRecvError::Disconnected) => return,
+            Err(TryRecvError::Empty) => None,
         };
-        // A panicking solve must not shrink the pool: contain it here.  The
-        // panicking job's reply sender is dropped during unwinding, so its
-        // caller sees a disconnect error rather than a hang; parked waiters
-        // are released by the in-flight drop guard inside `serve`.
+        if let Some(job) = job {
+            // A panicking solve must not shrink the pool: contain it here.
+            // The panicking job's reply sender is dropped during unwinding,
+            // so its caller sees a disconnect error rather than a hang;
+            // parked waiters are released by the in-flight drop guard
+            // inside `serve`.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| serve(shared, job)));
+            continue;
+        }
+        // Idle: drain one unit of speculative work, then re-check demand.
+        if let Some(prefetch) = shared.prefetch_queue.lock().pop_front() {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                prefetch_one(shared, prefetch);
+            }));
+            // Completed (or panicked, or dropped as duplicate): either way
+            // this job no longer counts toward the backlog.
+            shared.prefetch_pending.fetch_sub(1, Ordering::Relaxed);
+            continue;
+        }
+        // Nothing at all to do: block briefly on the channel so scheduled
+        // prefetch work is noticed within one poll interval.
+        let job = match jobs.lock().recv_timeout(IDLE_POLL) {
+            Ok(job) => job,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| serve(shared, job)));
+    }
+}
+
+/// Removes `key` from the not-yet-landed prefetched set, returning whether
+/// it was there — `true` exactly once per prefetched entry, on its first
+/// demand landing (a cache hit claims it as a `prefetch_hit`, a demand
+/// solve as `prefetch_wasted`).
+fn claim_prefetched(shared: &Shared, key: u64) -> bool {
+    if shared.prefetched_key_count.load(Ordering::Relaxed) == 0 {
+        return false;
+    }
+    let mut keys = shared.prefetched_keys.lock();
+    if keys.remove(&key) {
+        shared.prefetched_key_count.fetch_sub(1, Ordering::Relaxed);
+        true
+    } else {
+        false
+    }
+}
+
+/// Pre-solves one speculative job on an idle worker: validate, drop if the
+/// answer is already cached fresh or an identical solve is in flight,
+/// otherwise take single-flight leadership and solve through the ordinary
+/// triage ladder, installing the answer as a normal cache entry.  Demand
+/// queries that coalesced onto the speculative solve are fanned the answer
+/// exactly like waiters on a demand solve (and claim the prefetch as
+/// landed).
+fn prefetch_one(shared: &Shared, job: PrefetchJob) {
+    if job.query.validate().is_err() {
+        // A forecaster only predicts platforms for queries it already saw
+        // succeed; a malformed speculative query is dropped, not an error.
+        return;
+    }
+    let fingerprint = job.query.fingerprint();
+    let key = fingerprint.0;
+    let now = shared.epoch.load(Ordering::Relaxed);
+    {
+        let mut in_flight = shared.in_flight.lock();
+        if shared.cache.peek_fresh(key, now, shared.ttl).is_some() {
+            return; // the prediction already came true (or was never needed)
+        }
+        if in_flight.contains_key(&key) {
+            return; // a demand solve is already producing this answer
+        }
+        in_flight.insert(key, Vec::new());
+    }
+    let mut guard = InFlightGuard { shared, key, armed: true };
+
+    let structural = job.query.structural_fingerprint().0;
+    let prior = shared.bases.lock().get(&structural).cloned();
+    let outcome = solve_prepared(&job.query, fingerprint, shared.build_schedules, prior.as_ref());
+    match outcome {
+        Ok((answer, report)) => {
+            shared.prefetched.fetch_add(1, Ordering::Relaxed);
+            if let Some(basis) = report.basis {
+                publish_basis(shared, structural, basis);
+            }
+            // Attribution key first, then the cache entry, and only then
+            // release single-flight leadership: a demand query racing this
+            // completion either parks as a waiter (handled below) or finds
+            // the fresh entry — and when it does, the key is already
+            // claimable, so the landing is never misread as a plain hit or,
+            // worse, as a wasted prefetch by a redundant demand solve.
+            if shared.prefetched_keys.lock().insert(key) {
+                shared.prefetched_key_count.fetch_add(1, Ordering::Relaxed);
+            }
+            let answer = Arc::new(answer);
+            shared.cache.insert_at(key, Arc::clone(&answer), now, Some(structural));
+            let waiters = shared.in_flight.lock().remove(&key).unwrap_or_default();
+            guard.disarm();
+            if !waiters.is_empty() {
+                // Demand queries coalesced onto the speculative solve: the
+                // prefetch has landed (claim the key back unless a hit that
+                // raced the removal above already did).
+                if claim_prefetched(shared, key) {
+                    shared.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                for waiter in waiters {
+                    let tailored = tailor(&answer, &waiter.platform);
+                    let _ = waiter
+                        .reply
+                        .send(Ok(Served { answer: tailored, via: ServedVia::Coalesced }));
+                }
+            }
+        }
+        Err(e) => {
+            // The speculative solve itself failed (e.g. the predicted
+            // platform is degenerate): fail any coalesced demand waiters,
+            // swallow the speculation.
+            let waiters = shared.in_flight.lock().remove(&key).unwrap_or_default();
+            guard.disarm();
+            shared.errors.fetch_add(waiters.len() as u64, Ordering::Relaxed);
+            for waiter in waiters {
+                let _ = waiter.reply.send(Err(ServeError::Failed(e.clone())));
+            }
+        }
+    }
+}
+
+/// Publishes a freshly won basis as its structural class's warm-start seed
+/// (capped table) **and** marks the class seeded for drift-aware eviction —
+/// the two must never drift apart, so every publish site goes through here.
+fn publish_basis(shared: &Shared, class: u64, basis: SolvedBasis) {
+    let mut bases = shared.bases.lock();
+    if bases.len() < MAX_CACHED_BASES || bases.contains_key(&class) {
+        bases.insert(class, basis);
+        shared.cache.mark_class_seeded(class);
     }
 }
 
@@ -723,6 +1004,9 @@ fn serve(shared: &Shared, job: Job) {
 
     let stale = match shared.cache.lookup(key, now, shared.ttl) {
         Lookup::Hit(answer) => {
+            if claim_prefetched(shared, key) {
+                shared.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+            }
             let answer = tailor(&answer, &job.query.platform);
             let _ = job.reply.send(Ok(Served { answer, via: ServedVia::Cache }));
             return;
@@ -740,6 +1024,9 @@ fn serve(shared: &Shared, job: Job) {
         // the lock; re-check (without double-counting) before admitting.  A
         // still-stale entry reads as absent here — it must be revalidated.
         if let Some(answer) = shared.cache.peek_fresh(key, now, shared.ttl) {
+            if claim_prefetched(shared, key) {
+                shared.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+            }
             let answer = tailor(&answer, &job.query.platform);
             let _ = job.reply.send(Ok(Served { answer, via: ServedVia::Cache }));
             return;
@@ -814,6 +1101,12 @@ fn solve_one(shared: &Shared, solve: SolveJob) {
     let mut guard = InFlightGuard { shared, key, armed: true };
 
     shared.solves.fetch_add(1, Ordering::Relaxed);
+    // A demand solve for a key the prefetcher once installed means the
+    // speculative entry was evicted or expired before any demand query
+    // landed on it: the prediction was right but wasted.
+    if claim_prefetched(shared, key) {
+        shared.prefetch_wasted.fetch_add(1, Ordering::Relaxed);
+    }
     // Triage seed: the winning basis of this query's structural class (same
     // topology and roles, possibly different costs), if any.
     let structural_key = job.query.structural_fingerprint().0;
@@ -852,16 +1145,14 @@ fn solve_one(shared: &Shared, solve: SolveJob) {
                     shared.revalidations.fetch_add(1, Ordering::Relaxed);
                 }
                 if let Some(basis) = report.basis {
-                    let mut bases = shared.bases.lock();
-                    if bases.len() < MAX_CACHED_BASES || bases.contains_key(&structural_key) {
-                        bases.insert(structural_key, basis);
-                    }
+                    publish_basis(shared, structural_key, basis);
                 }
                 let answer = Arc::new(answer);
                 shared.cache.insert_at(
                     key,
                     Arc::clone(&answer),
                     shared.epoch.load(Ordering::Relaxed),
+                    Some(structural_key),
                 );
                 Ok(answer)
             }
@@ -1282,5 +1573,81 @@ mod tests {
         let service = Service::start(ServiceConfig { workers: 3, ..ServiceConfig::default() });
         let _ = service.query(figure2_query()).unwrap();
         drop(service); // must not hang
+    }
+
+    #[test]
+    fn prefetched_answers_land_as_cache_hits_and_stay_exact() {
+        use steady_platform::generators::heterogeneous_star;
+
+        let star_scatter = |costs: &[steady_rational::Ratio]| {
+            let (platform, center, leaves) = heterogeneous_star(costs);
+            Query { platform, collective: Collective::Scatter { source: center, targets: leaves } }
+        };
+        let service = Service::start(ServiceConfig { workers: 2, ..ServiceConfig::default() });
+        // Demand-solve the base platform so its class has a basis seed.
+        let base = star_scatter(&[rat(1, 2), rat(1, 3), rat(1, 4)]);
+        let class = base.structural_fingerprint().0;
+        let cold = service.query(base).unwrap();
+        assert_eq!(cold.via, ServedVia::Solve);
+        assert!(service.class_basis(class).is_some(), "the demand solve published its basis");
+
+        // Speculatively pre-solve a predicted drifted platform.
+        let predicted = star_scatter(&[rat(17, 32), rat(1, 3), rat(1, 4)]);
+        let expected = crate::query::solve_query(&predicted, false).unwrap();
+        let queued = service
+            .schedule_prefetch([PrefetchJob { query: predicted.clone(), predicted_exit: true }]);
+        assert_eq!(queued, 1);
+        assert!(service.await_prefetch_idle(Duration::from_secs(20)), "prefetch never drained");
+
+        // The prediction comes true: the demand query is a pure cache hit,
+        // attributed to the prefetch, and exactly equal to a cold solve.
+        let served = service.query(predicted).unwrap();
+        assert_eq!(served.via, ServedVia::Cache);
+        assert_eq!(served.answer.throughput, expected.throughput);
+        let stats = service.stats();
+        assert_eq!(stats.prefetched, 1);
+        assert_eq!(stats.prefetch_hits, 1);
+        assert_eq!(stats.predicted_exits, 1);
+        assert_eq!(stats.prefetch_wasted, 0);
+        assert_eq!(stats.solves, 1, "only the base platform needed a demand solve");
+        assert!((stats.prefetch_hit_fraction() - 0.5).abs() < 1e-12);
+
+        // A second landing on the same entry is an ordinary hit.
+        let _ = service.query(star_scatter(&[rat(17, 32), rat(1, 3), rat(1, 4)])).unwrap();
+        assert_eq!(service.stats().prefetch_hits, 1, "a prefetch lands at most once");
+    }
+
+    #[test]
+    fn duplicate_and_cached_prefetches_are_dropped() {
+        let service = Service::start(ServiceConfig { workers: 1, ..ServiceConfig::default() });
+        let query = figure2_query();
+        let _ = service.query(query.clone()).unwrap();
+
+        // Already cached fresh: the speculative job is dropped on pickup.
+        service.schedule_prefetch([
+            PrefetchJob { query: query.clone(), predicted_exit: false },
+            PrefetchJob { query, predicted_exit: false },
+        ]);
+        assert!(service.await_prefetch_idle(Duration::from_secs(20)));
+        let stats = service.stats();
+        assert_eq!(stats.prefetched, 0, "nothing was speculatively solved");
+        assert_eq!(stats.solves, 1);
+        assert_eq!(stats.prefetch_hits, 0);
+    }
+
+    #[test]
+    fn prefetch_runs_even_without_demand_traffic() {
+        // An idle pool must drain the queue on its own — no demand query is
+        // ever submitted.
+        let service = Service::start(ServiceConfig { workers: 2, ..ServiceConfig::default() });
+        let queued = service
+            .schedule_prefetch([PrefetchJob { query: figure2_query(), predicted_exit: false }]);
+        assert_eq!(queued, 1);
+        assert!(service.await_prefetch_idle(Duration::from_secs(20)));
+        let stats = service.stats();
+        assert_eq!(stats.prefetched, 1);
+        assert_eq!(stats.cached_entries, 1);
+        assert_eq!(stats.solves, 0);
+        assert_eq!(stats.queries, 0);
     }
 }

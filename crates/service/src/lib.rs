@@ -30,10 +30,19 @@
 //!   seeds round-trip through a JSON file, so a restarted service keeps its
 //!   warm set and triages its very first drifted solves;
 //! * [`loadgen`] — a **load generator** replaying repetition-heavy query
-//!   mixes (including independent cost redraws and a time-correlated
-//!   random-walk drift family) from several client threads, plus a
-//!   dedicated drift scenario runner ([`run_drift_load`]) reporting the
-//!   triage split and verifying exactness against cold solves.
+//!   mixes (including independent cost redraws, a time-correlated
+//!   random-walk drift family and a lazier *forecastable* drift family)
+//!   from several client threads, plus dedicated scenario runners: drift
+//!   ([`run_drift_load`], triage split + exactness) and forecast
+//!   ([`run_forecast_load`], speculative pre-solving hit rate).
+//!
+//! The engine additionally runs an **idle-time prefetch loop**: a
+//! `steady-forecast` presolve plan scheduled via
+//! [`Service::schedule_prefetch`] is drained by workers that find the job
+//! channel empty, so predicted-next platforms are solved *before* their
+//! queries arrive — landing as ordinary cache hits, `Ratio`-identical to
+//! cold solves — and the cache's LRU eviction is **drift-aware**: entries
+//! whose structural class has no surviving basis seed go first.
 //!
 //! # Example
 //!
@@ -70,11 +79,12 @@ pub mod query;
 
 pub use cache::{CacheConfig, CacheStats, Lookup, SolutionCache};
 pub use engine::{
-    ServeError, ServeResult, Served, ServedVia, Service, ServiceConfig, ServiceStats,
+    PrefetchJob, ServeError, ServeResult, Served, ServedVia, Service, ServiceConfig, ServiceStats,
 };
 pub use fingerprint::{fingerprint, permuted_platform, structural_fingerprint, Fingerprint};
 pub use loadgen::{
-    query_mix, run_drift_load, run_load, DriftLoadConfig, DriftReport, LoadConfig, LoadReport,
+    forecastable_drift_config, query_mix, run_drift_load, run_forecast_load, run_load,
+    DriftLoadConfig, DriftReport, ForecastLoadConfig, ForecastReport, LoadConfig, LoadReport,
 };
 pub use query::{solve_query, Answer, Collective, Query};
 

@@ -11,18 +11,23 @@
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use steady_core::error::CoreError;
+use steady_core::gather::GatherProblem;
+use steady_core::problem::SolvedBasis;
+use steady_core::scatter::ScatterProblem;
 use steady_drift::{DriftConfig, DriftModel};
+use steady_forecast::{ClassFate, ForecastConfig, Forecaster, PredictedTriage, PresolvePlan};
 use steady_platform::generators::{
     figure2, figure6, heterogeneous_star, random_connected, star, tiers, RandomConfig, TiersConfig,
 };
 use steady_platform::{NodeId, Platform};
 use steady_rational::rat;
 
-use crate::engine::{ServeError, Service, ServiceStats};
+use crate::engine::{PrefetchJob, ServeError, Service, ServiceStats};
 use crate::query::{solve_query, Collective, Query};
 use crate::ServiceError;
 
@@ -45,32 +50,47 @@ impl Default for LoadConfig {
     }
 }
 
-/// Builds a pool of up to `distinct` queries cycling through nine families:
+/// The drift shape of the tenth mix family: a *forecastable* walk — small
+/// per-step walker moves (a fine grid around scale 1) and a low move
+/// probability, so consecutive steps are highly repetitive and a
+/// [`steady_forecast::Forecaster`] plan of a handful of candidates covers
+/// most of the next step's probability mass.
+pub fn forecastable_drift_config() -> DriftConfig {
+    DriftConfig { grid: 16, min_num: 12, max_num: 24, move_probability: 0.15 }
+}
+
+/// Builds a pool of up to `distinct` queries cycling through ten families:
 /// the Figure 2 scatter and Figure 6 reduce, star scatters, heterogeneous
 /// star gathers, random-connected gossips and reduces, small Tiers reduces,
 /// a **cost-redraw** family — one fixed star topology whose edge costs are
-/// re-drawn independently per variant — and a **cost-drift-walk** family,
+/// re-drawn independently per variant — a **cost-drift-walk** family,
 /// where consecutive variants are successive steps of one bounded random
 /// walk ([`steady_drift::DriftModel`]): the time-correlated traffic shape of
-/// a deployment whose link performance drifts gradually.  Both drift
-/// families yield distinct cache keys inside one structural class, so they
-/// exercise the engine's triage path — every variant after the first seeds
-/// its solve with the class basis, and the walk family's small steps are
-/// what the `InRange`/`DualRepair` fast rungs are built for.
+/// a deployment whose link performance drifts gradually — and a
+/// **forecastable-drift** family, the same shape under the lazier, finer
+/// walk of [`forecastable_drift_config`] (the repetition-heavy regime the
+/// speculative pre-solver is built for).  The drift families yield distinct
+/// cache keys inside one structural class, so they exercise the engine's
+/// triage path — every variant after the first seeds its solve with the
+/// class basis, and the walk families' small steps are what the
+/// `InRange`/`DualRepair` fast rungs are built for.
 /// Instances within a family vary in size and random seed; the fixed-figure
 /// families repeat, so the pool is deduplicated by fingerprint before it is
 /// returned — every entry is a genuinely distinct cache key and the reported
 /// `distinct` count stays honest.
 pub fn query_mix(distinct: usize, seed: u64) -> Vec<Query> {
     let mut rng = StdRng::seed_from_u64(seed);
-    // The walk family shares one model across variants so its queries form a
-    // genuine trajectory, not independent draws.
+    // The walk families each share one model across variants so their
+    // queries form genuine trajectories, not independent draws.
     let walk_star = heterogeneous_star(&[rat(1, 2), rat(1, 3), rat(1, 4), rat(1, 5), rat(1, 6)]);
     let mut walk = DriftModel::new(walk_star.0.clone(), DriftConfig::default(), seed ^ 0xd41f);
+    let lazy_star = heterogeneous_star(&[rat(1, 2), rat(1, 3), rat(1, 4), rat(1, 5)]);
+    let mut lazy_walk =
+        DriftModel::new(lazy_star.0.clone(), forecastable_drift_config(), seed ^ 0xf0ca);
     let candidates: Vec<Query> = (0..distinct)
         .map(|i| {
-            let variant = (i / 9) as u64;
-            match i % 9 {
+            let variant = (i / 10) as u64;
+            match i % 10 {
                 0 => {
                     let instance = figure2();
                     Query {
@@ -172,7 +192,7 @@ pub fn query_mix(distinct: usize, seed: u64) -> Vec<Query> {
                         collective: Collective::Scatter { source: center, targets: leaves },
                     }
                 }
-                _ => {
+                8 => {
                     // Cost-drift walk: one more step of the shared random
                     // walk on the fixed 5-leaf star — consecutive variants
                     // are time-correlated, like a platform under gradually
@@ -182,6 +202,19 @@ pub fn query_mix(distinct: usize, seed: u64) -> Vec<Query> {
                         collective: Collective::Scatter {
                             source: walk_star.1,
                             targets: walk_star.2.clone(),
+                        },
+                    }
+                }
+                _ => {
+                    // Forecastable drift: the lazier, finer walk on a fixed
+                    // 4-leaf star.  Most steps move nothing or one edge by
+                    // 1/16, so a small presolve plan covers the likely next
+                    // platforms — the regime `forecast-bench` measures.
+                    Query {
+                        platform: lazy_walk.step(),
+                        collective: Collective::Scatter {
+                            source: lazy_star.1,
+                            targets: lazy_star.2.clone(),
                         },
                     }
                 }
@@ -646,6 +679,326 @@ pub fn run_drift_load(
     })
 }
 
+/// Parameters of a forecast scenario run (see [`run_forecast_load`]).
+#[derive(Debug, Clone)]
+pub struct ForecastLoadConfig {
+    /// Number of drift epochs: each forecasts, pre-solves the plan during
+    /// idle time, then steps every scenario's walk and replays the drifted
+    /// queries.
+    pub epochs: usize,
+    /// Repeat submissions of each epoch's query (cache-hit traffic riding
+    /// along with the drift).
+    pub hits_per_epoch: usize,
+    /// Seed for the walks.
+    pub seed: u64,
+    /// Forecast horizon in drift steps (the bench steps once per epoch, so
+    /// 1 is the honest setting; larger horizons widen the envelope).
+    pub horizon: u64,
+    /// Presolve-plan length per scenario per epoch (the likeliest-next
+    /// platforms; also bounds the per-epoch certification work).
+    pub plan: usize,
+    /// Re-solve every drifted query cold after the run and require exact
+    /// `Ratio` equality with the served answer.
+    pub verify: bool,
+}
+
+impl Default for ForecastLoadConfig {
+    fn default() -> Self {
+        ForecastLoadConfig {
+            epochs: 50,
+            hits_per_epoch: 2,
+            seed: 42,
+            horizon: 1,
+            plan: 16,
+            verify: true,
+        }
+    }
+}
+
+/// Outcome of a forecast scenario run: how much of the drift was predicted
+/// off the critical path.
+#[derive(Debug, Clone)]
+pub struct ForecastReport {
+    /// Drift epochs executed.
+    pub epochs: usize,
+    /// Total demand queries issued (drifted + hit traffic + class seeding).
+    pub queries: usize,
+    /// Drifted first-submissions (one per scenario per epoch).
+    pub drifted_queries: usize,
+    /// Prefetch jobs scheduled from presolve plans.
+    pub scheduled: usize,
+    /// Epoch-forecasts that certified [`ClassFate::WillHold`].
+    pub will_hold: usize,
+    /// Epoch-forecasts that reported [`ClassFate::MayExit`].
+    pub may_exit: usize,
+    /// Epoch-forecasts that certified [`ClassFate::WillExit`].
+    pub will_exit: usize,
+    /// Wall-clock duration of the run, in seconds.
+    pub elapsed_seconds: f64,
+    /// Drifted answers re-verified exact against an independent cold solve.
+    pub verified: usize,
+    /// Service counter increments attributable to this run.
+    pub stats: ServiceStats,
+}
+
+impl ForecastReport {
+    /// Fraction of fresh demand work answered from prefetched entries (see
+    /// [`ServiceStats::prefetch_hit_fraction`]) — the gate of
+    /// `steady forecast-bench --min-prefetch-hit`.
+    pub fn prefetch_hit_fraction(&self) -> f64 {
+        self.stats.prefetch_hit_fraction()
+    }
+
+    /// Machine-readable one-object JSON summary (for `BENCH_forecast.json`).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"epochs\":{},\"queries\":{},\"drifted_queries\":{},\"scheduled\":{},",
+                "\"elapsed_seconds\":{:.6},",
+                "\"prefetched\":{},\"prefetch_hits\":{},\"prefetch_wasted\":{},",
+                "\"predicted_exits\":{},\"prefetch_hit_fraction\":{:.4},",
+                "\"will_hold\":{},\"may_exit\":{},\"will_exit\":{},",
+                "\"solves\":{},\"triaged\":{},\"in_range\":{},\"dual_repairs\":{},",
+                "\"hits\":{},\"preferred_evictions\":{},\"verified\":{},\"errors\":{}}}"
+            ),
+            self.epochs,
+            self.queries,
+            self.drifted_queries,
+            self.scheduled,
+            self.elapsed_seconds,
+            self.stats.prefetched,
+            self.stats.prefetch_hits,
+            self.stats.prefetch_wasted,
+            self.stats.predicted_exits,
+            self.prefetch_hit_fraction(),
+            self.will_hold,
+            self.may_exit,
+            self.will_exit,
+            self.stats.solves,
+            self.stats.triaged,
+            self.stats.in_range,
+            self.stats.dual_repairs,
+            self.stats.hits,
+            self.stats.preferred_evictions,
+            self.verified,
+            self.stats.errors,
+        )
+    }
+
+    /// Human-readable multi-line rendering of the report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ =
+            writeln!(out, "epochs             : {} ({} queries total)", self.epochs, self.queries);
+        let _ = writeln!(out, "elapsed            : {:.3} s", self.elapsed_seconds);
+        let _ = writeln!(
+            out,
+            "forecasts          : {} will-hold, {} may-exit, {} will-exit",
+            self.will_hold, self.may_exit, self.will_exit
+        );
+        let _ = writeln!(
+            out,
+            "speculative solves : {} scheduled, {} pre-solved, {} predicted exits",
+            self.scheduled, self.stats.prefetched, self.stats.predicted_exits
+        );
+        let _ = writeln!(
+            out,
+            "prefetch landings  : {} hits, {} wasted ({:.1}% of fresh demand answered early)",
+            self.stats.prefetch_hits,
+            self.stats.prefetch_wasted,
+            self.prefetch_hit_fraction() * 100.0,
+        );
+        let _ = writeln!(
+            out,
+            "demand solves      : {} ({} triaged — {} in-range, {} dual-repaired)",
+            self.stats.solves, self.stats.triaged, self.stats.in_range, self.stats.dual_repairs
+        );
+        let _ = writeln!(
+            out,
+            "exactness          : {} drifted answers verified against cold solves",
+            self.verified
+        );
+        out
+    }
+}
+
+/// A scenario's monomorphized forecast hook: the
+/// [`steady_core::problem::SteadyProblem`] types differ per collective, so
+/// the plan call is captured per scenario.
+type PlanFn =
+    Box<dyn Fn(&Forecaster, &DriftModel, &SolvedBasis) -> Result<PresolvePlan, CoreError>>;
+
+/// One forecastable workload: a platform under a lazy random walk, the
+/// collective asked about it, and its forecast hook.
+struct ForecastScenario {
+    model: DriftModel,
+    to_query: Box<dyn Fn(Platform) -> Query>,
+    plan: PlanFn,
+}
+
+/// The fixed scenario family of `steady forecast-bench`: a star scatter and
+/// a star gather, each under an independent *forecastable* walk
+/// ([`forecastable_drift_config`]).
+fn forecast_scenarios(seed: u64) -> Vec<ForecastScenario> {
+    let scatter_star = heterogeneous_star(&[rat(1, 2), rat(1, 3), rat(1, 4), rat(1, 5)]);
+    let gather_star = heterogeneous_star(&[rat(1, 2), rat(2, 3), rat(1, 4)]);
+    let config = forecastable_drift_config();
+    let (s_center, s_leaves) = (scatter_star.1, scatter_star.2.clone());
+    let (g_sink, g_sources) = (gather_star.1, gather_star.2.clone());
+    vec![
+        ForecastScenario {
+            model: DriftModel::new(scatter_star.0, config.clone(), seed ^ 0x5ca7),
+            to_query: Box::new({
+                let leaves = s_leaves.clone();
+                move |platform| Query {
+                    platform,
+                    collective: Collective::Scatter { source: s_center, targets: leaves.clone() },
+                }
+            }),
+            plan: Box::new(move |forecaster, model, basis| {
+                forecaster.forecast(
+                    model,
+                    |p| ScatterProblem::new(p, s_center, s_leaves.clone()),
+                    basis,
+                )
+            }),
+        },
+        ForecastScenario {
+            model: DriftModel::new(gather_star.0, config, seed ^ 0x6a73),
+            to_query: Box::new({
+                let sources = g_sources.clone();
+                move |platform| Query {
+                    platform,
+                    collective: Collective::Gather { sources: sources.clone(), sink: g_sink },
+                }
+            }),
+            plan: Box::new(move |forecaster, model, basis| {
+                forecaster.forecast(
+                    model,
+                    |p| GatherProblem::new(p, g_sources.clone(), g_sink),
+                    basis,
+                )
+            }),
+        },
+    ]
+}
+
+/// Replays the forecastable drift scenarios through `service` with
+/// speculative pre-solving: each epoch forecasts the likeliest next
+/// platforms from the walk's current state, schedules them as prefetch
+/// jobs, lets the idle workers drain the plan, then steps the walk and
+/// submits the drifted queries — measuring how many were answered from a
+/// prefetched entry instead of a critical-path solve.  With
+/// [`ForecastLoadConfig::verify`] set, every drifted answer (prefetched or
+/// not) is re-checked for exact `Ratio` equality against an independent
+/// cold solve after the run.
+///
+/// Run the service without admission limits; a TTL is fine (prefetched
+/// entries are stamped with the epoch they are predicted for).
+pub fn run_forecast_load(
+    service: &Service,
+    config: &ForecastLoadConfig,
+) -> Result<ForecastReport, ServiceError> {
+    let mut scenarios = forecast_scenarios(config.seed);
+    let forecaster = Forecaster::new(ForecastConfig {
+        horizon: config.horizon.max(1),
+        max_candidates: config.plan.max(1),
+        // The plan is the point here: examine just enough of the envelope
+        // (best-first, so exactly the likeliest states) to fill it.
+        max_states: config.plan.max(1) + 1,
+    });
+    let mut served: Vec<(Query, steady_rational::Ratio)> = Vec::new();
+    let mut queries = 0usize;
+    let mut scheduled = 0usize;
+    let (mut will_hold, mut may_exit, mut will_exit) = (0usize, 0usize, 0usize);
+    let before = service.stats();
+    let started = Instant::now();
+
+    let mut ask = |query: Query| -> Result<std::sync::Arc<crate::query::Answer>, ServiceError> {
+        queries += 1;
+        match service.query(query) {
+            Ok(response) => Ok(response.answer),
+            Err(ServeError::Shed) => {
+                Err(ServiceError("forecast run shed a query; run without admission limits".into()))
+            }
+            Err(ServeError::Failed(e)) => Err(e),
+        }
+    };
+
+    // Seed every scenario's structural class with one demand solve of its
+    // base state, so the first forecast has a basis to certify against.
+    for scenario in scenarios.iter() {
+        ask((scenario.to_query)(scenario.model.current()))?;
+    }
+
+    for _ in 0..config.epochs.max(1) {
+        // The prefetched answers belong to the *next* epoch's traffic.
+        service.advance_epoch();
+        for scenario in scenarios.iter() {
+            let current = (scenario.to_query)(scenario.model.current());
+            let class = current.structural_fingerprint().0;
+            let Some(basis) = service.class_basis(class) else { continue };
+            let plan = (scenario.plan)(&forecaster, &scenario.model, &basis)
+                .map_err(|e| ServiceError(format!("forecast failed: {e}")))?;
+            match plan.fate {
+                ClassFate::WillHold => will_hold += 1,
+                ClassFate::MayExit => may_exit += 1,
+                ClassFate::WillExit => will_exit += 1,
+            }
+            let jobs: Vec<PrefetchJob> = plan
+                .candidates
+                .iter()
+                .map(|candidate| PrefetchJob {
+                    query: (scenario.to_query)(candidate.platform.clone()),
+                    predicted_exit: candidate.expected == PredictedTriage::Repair,
+                })
+                .collect();
+            scheduled += service.schedule_prefetch(jobs);
+        }
+        if !service.await_prefetch_idle(Duration::from_secs(120)) {
+            return Err(ServiceError("the prefetch backlog did not drain".into()));
+        }
+        // The drift happens; the (hopefully predicted) traffic arrives.
+        for scenario in scenarios.iter_mut() {
+            let drifted = (scenario.to_query)(scenario.model.step());
+            let answer = ask(drifted.clone())?;
+            served.push((drifted.clone(), answer.throughput.clone()));
+            for _ in 1..config.hits_per_epoch.max(1) {
+                ask(drifted.clone())?;
+            }
+        }
+    }
+    let elapsed_seconds = started.elapsed().as_secs_f64();
+
+    let mut verified = 0usize;
+    if config.verify {
+        for (query, throughput) in &served {
+            let cold = solve_query(query, false)?;
+            if cold.throughput != *throughput {
+                return Err(ServiceError(format!(
+                    "a (possibly prefetched) answer diverged from a cold solve: \
+                     served {} vs cold {}",
+                    throughput, cold.throughput
+                )));
+            }
+            verified += 1;
+        }
+    }
+
+    Ok(ForecastReport {
+        epochs: config.epochs.max(1),
+        queries,
+        drifted_queries: served.len(),
+        scheduled,
+        will_hold,
+        may_exit,
+        will_exit,
+        elapsed_seconds,
+        verified,
+        stats: service.stats().since(&before),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -693,10 +1046,10 @@ mod tests {
 
     #[test]
     fn mix_contains_a_time_correlated_walk_class() {
-        // The walk family (i % 9 == 8) puts several successive walk states
+        // The walk family (i % 10 == 8) puts several successive walk states
         // of one fixed star into the pool: same structural class, distinct
         // cache keys.
-        let mix = query_mix(36, 5);
+        let mix = query_mix(40, 5);
         let mut class_sizes = std::collections::BTreeMap::new();
         for query in &mix {
             *class_sizes.entry(query.structural_fingerprint()).or_insert(0usize) += 1;
@@ -705,6 +1058,64 @@ mod tests {
             class_sizes.values().any(|&n| n >= 3),
             "expected a walk class with several steps: {class_sizes:?}"
         );
+    }
+
+    #[test]
+    fn mix_contains_the_forecastable_family() {
+        // The tenth family (i % 10 == 9) walks the lazy fine-grained config:
+        // its variants share one structural class, and consecutive steps
+        // are close enough that a one-step envelope covers them.
+        let mix = query_mix(60, 11);
+        let lazy_class = {
+            let (platform, center, leaves) =
+                heterogeneous_star(&[rat(1, 2), rat(1, 3), rat(1, 4), rat(1, 5)]);
+            Query { platform, collective: Collective::Scatter { source: center, targets: leaves } }
+                .structural_fingerprint()
+        };
+        let members = mix.iter().filter(|q| q.structural_fingerprint() == lazy_class).count();
+        assert!(members >= 2, "expected several lazy-walk variants, got {members}");
+        let config = forecastable_drift_config();
+        assert!(config.move_probability < DriftConfig::default().move_probability);
+        assert!(config.min_num > DriftConfig::default().min_num);
+        assert!(config.max_num < DriftConfig::default().max_num);
+    }
+
+    #[test]
+    fn forecast_load_prefetches_exactly() {
+        use crate::engine::{Service, ServiceConfig};
+
+        let service = Service::start(ServiceConfig { workers: 2, ..ServiceConfig::default() });
+        let config = ForecastLoadConfig {
+            epochs: 10,
+            hits_per_epoch: 2,
+            seed: 9,
+            horizon: 1,
+            plan: 12,
+            verify: true,
+        };
+        let report = run_forecast_load(&service, &config).unwrap();
+        assert_eq!(report.epochs, 10);
+        assert_eq!(report.drifted_queries, 20, "2 scenarios x 10 epochs");
+        assert_eq!(report.verified, 20, "every drifted answer checked against a cold solve");
+        assert_eq!(report.stats.errors, 0);
+        assert!(report.scheduled > 0, "plans were scheduled");
+        assert!(report.stats.prefetched > 0, "idle workers pre-solved candidates");
+        assert_eq!(
+            report.will_hold + report.may_exit + report.will_exit,
+            20,
+            "one forecast per scenario per epoch"
+        );
+        assert!(
+            report.stats.prefetch_hits > 0,
+            "a lazy walk must land on the plan at least once in 10 epochs: {:?}",
+            report.stats
+        );
+        let json = report.to_json();
+        for key in ["prefetch_hit_fraction", "prefetched", "prefetch_hits", "will_hold", "verified"]
+        {
+            assert!(json.contains(key), "forecast JSON misses '{key}': {json}");
+        }
+        assert!(!report.render().is_empty());
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Predicting the drift before it happens: `steady-forecast` plus the
+//! service's idle-time prefetch loop.
+//!
+//! The Figure 2 platform's link costs follow an aggressive bounded random
+//! walk (every edge moves every step, on a coarse grid).  Figure 2 has two
+//! competing routes towards target `P0`, so cost drift flips the optimal
+//! routing — the cached simplex basis is about to be *exited*.  The
+//! forecaster enumerates the exact one-step drift envelope, certifies each
+//! reachable platform with a zero-pivot survival probe, predicts the exits,
+//! and hands the service a ranked presolve plan.  Idle workers solve the
+//! predictions; when the drift then actually happens, the query lands as a
+//! pure cache hit — bit-identical to a cold solve that never ran on the
+//! critical path.
+//!
+//! Run with `cargo run --release --example forecast_quickstart`.
+
+use std::time::Duration;
+
+use steady_collectives::prelude::*;
+
+fn main() {
+    // An aggressive walk on the paper's Figure 2 platform: a coarse grid
+    // (steps of 1/2) and no laziness — the next platform is guaranteed to
+    // differ, and route costs move far enough to exit the basis.
+    let instance = figure2();
+    let (source, targets) = (instance.source, instance.targets.clone());
+    let config = DriftConfig { grid: 2, min_num: 1, max_num: 4, move_probability: 1.0 };
+    let mut model = DriftModel::new(instance.platform, config, 2024);
+
+    let service = Service::start(ServiceConfig { workers: 2, ..ServiceConfig::default() });
+    let to_query = |platform: Platform| Query {
+        platform,
+        collective: Collective::Scatter { source, targets: targets.clone() },
+    };
+
+    // 1. Demand-solve the current platform once: the service caches the
+    //    answer and publishes the structural class's optimal basis.
+    let base = service.query(to_query(model.current())).expect("base platform solves");
+    println!("=== Speculative pre-solving on a drifting Figure 2 platform ===");
+    println!("base solve     : TP = {}  (served via {:?})", base.answer.throughput, base.via);
+    let class = to_query(model.current()).structural_fingerprint().0;
+    let basis = service.class_basis(class).expect("the demand solve published its basis");
+
+    // 2. Forecast the one-step envelope and classify the class's fate.
+    let forecaster =
+        Forecaster::new(ForecastConfig { horizon: 1, max_candidates: 32, max_states: 1 << 12 });
+    let plan = forecaster
+        .forecast(&model, |p| ScatterProblem::new(p, source, targets.clone()), &basis)
+        .expect("forecast");
+    println!(
+        "forecast       : fate {} — {} states examined ({} survive, {} exit, exhaustive: {})",
+        plan.fate.name(),
+        plan.examined,
+        plan.surviving,
+        plan.exiting,
+        plan.exhaustive,
+    );
+    let exits = plan.predicted_exits();
+    println!(
+        "presolve plan  : {} candidates, {exits} predicted exits; likeliest p = {:.3}",
+        plan.candidates.len(),
+        plan.candidates.first().map_or(0.0, |c| c.probability),
+    );
+
+    // 3. Hand the plan to the service: idle workers pre-solve every
+    //    candidate through the ordinary triage ladder.
+    let jobs: Vec<PrefetchJob> = plan
+        .candidates
+        .iter()
+        .map(|candidate| PrefetchJob {
+            query: to_query(candidate.platform.clone()),
+            predicted_exit: candidate.expected == PredictedTriage::Repair,
+        })
+        .collect();
+    let scheduled = service.schedule_prefetch(jobs);
+    assert!(service.await_prefetch_idle(Duration::from_secs(60)), "prefetch backlog drained");
+    println!("prefetched     : {scheduled} scheduled, {} pre-solved", service.stats().prefetched);
+
+    // 4. The drift happens.  An exhaustive one-step plan contains it by
+    //    construction, so the query is a pure cache hit — and exact.
+    let drifted = to_query(model.step());
+    let served = service.query(drifted.clone()).expect("drifted platform solves");
+    let cold = solve_query_cold(&drifted);
+    println!(
+        "drifted query  : TP = {}  (served via {:?}, {})",
+        served.answer.throughput,
+        served.via,
+        if served.via == ServedVia::Cache { "prediction landed" } else { "prediction missed" },
+    );
+    assert_eq!(served.answer.throughput, cold, "prefetched answers are bit-identical");
+
+    let stats = service.stats();
+    println!(
+        "counters       : {} prefetched, {} prefetch hits, {} wasted, {} predicted exits",
+        stats.prefetched, stats.prefetch_hits, stats.prefetch_wasted, stats.predicted_exits,
+    );
+    println!(
+        "hit fraction   : {:.0}% of fresh demand answered before it was asked",
+        stats.prefetch_hit_fraction() * 100.0,
+    );
+}
+
+/// An independent from-scratch solve of the same query (no cache, no warm
+/// start) — the reference every speculative answer must equal exactly.
+fn solve_query_cold(query: &Query) -> Ratio {
+    let Collective::Scatter { source, targets } = &query.collective else {
+        unreachable!("this example only issues scatter queries");
+    };
+    let problem = ScatterProblem::new(query.platform.clone(), *source, targets.clone())
+        .expect("valid scatter");
+    problem.solve().expect("cold solve").throughput().clone()
+}

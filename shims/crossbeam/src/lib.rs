@@ -12,7 +12,7 @@
 
 /// Unbounded channels with crossbeam's module layout.
 pub mod channel {
-    pub use std::sync::mpsc::{Receiver, SendError, Sender, TryRecvError};
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, SendError, Sender, TryRecvError};
 
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {

@@ -24,7 +24,8 @@
 //! | [`baselines`] | `steady-baselines` | Direct/binomial scatter, gather, flat/binomial/chain reduces |
 //! | [`runtime`] | `steady-runtime` | Threaded message-passing execution with real payloads |
 //! | [`drift`] | `steady-drift` | Cost-drift models (bounded random walks) and basis-reuse triage: in-range re-pricing, dual-simplex repair, warm/cold resolve |
-//! | [`service`] | `steady-service` | Query serving: canonical fingerprints, sharded cache with TTL epochs, single-flight worker pool, drift-triaged solves, requeue admission, snapshot persistence |
+//! | [`forecast`] | `steady-forecast` | Speculative pre-solving: exact drift envelopes, zero-pivot survival certification (`WillHold`/`MayExit`/`WillExit`), ranked presolve plans |
+//! | [`service`] | `steady-service` | Query serving: canonical fingerprints, sharded cache with TTL epochs and drift-aware eviction, single-flight worker pool, drift-triaged solves, idle-time prefetching, requeue admission, snapshot persistence |
 //!
 //! ## Quick start
 //!
@@ -51,6 +52,7 @@
 pub use steady_baselines as baselines;
 pub use steady_core as core;
 pub use steady_drift as drift;
+pub use steady_forecast as forecast;
 pub use steady_lp as lp;
 pub use steady_platform as platform;
 pub use steady_rational as rational;
@@ -80,9 +82,12 @@ pub mod prelude {
     pub use steady_drift::{
         solve_steady_triaged, DriftConfig, DriftModel, DriftStats, Triage, TriageReport,
     };
+    pub use steady_forecast::{
+        ClassFate, ForecastConfig, Forecaster, PlannedSolve, PredictedTriage, PresolvePlan,
+    };
     pub use steady_lp::{
-        objective_ranging, solve_dual_with_basis, solve_with_basis, CostRange, DualOutcome,
-        SolvedBasis,
+        basis_still_optimal, objective_ranging, rhs_ranging, solve_dual_with_basis,
+        solve_with_basis, CostRange, DualOutcome, RhsRange, SolvedBasis,
     };
     pub use steady_platform::generators::{
         figure2, figure5, figure6, figure9, tiers_reduce_instance, tiers_scatter_instance,
@@ -96,8 +101,9 @@ pub mod prelude {
     pub use steady_rational::{int, rat, BigInt, Ratio};
     pub use steady_runtime::{run_gather, run_reduce, run_scatter, RunConfig};
     pub use steady_service::{
-        fingerprint, run_drift_load, run_load, structural_fingerprint, Collective, DriftLoadConfig,
-        DriftReport, LoadConfig, Query, ServeError, Served, ServedVia, Service, ServiceConfig,
+        fingerprint, run_drift_load, run_forecast_load, run_load, structural_fingerprint,
+        Collective, DriftLoadConfig, DriftReport, ForecastLoadConfig, ForecastReport, LoadConfig,
+        PrefetchJob, Query, ServeError, Served, ServedVia, Service, ServiceConfig, ServiceStats,
     };
     pub use steady_sim::{execute_reduce_schedule, execute_scatter_schedule, parallel_map};
 }

@@ -1,0 +1,145 @@
+//! End-to-end acceptance of the speculative pre-solving subsystem: the
+//! forecaster's plan, the service's idle-time prefetch loop, drift-aware
+//! eviction and exactness of every speculative answer.
+
+use std::time::Duration;
+
+use steady_collectives::prelude::*;
+
+fn scatter_query(platform: Platform, source: NodeId, targets: &[NodeId]) -> Query {
+    Query { platform, collective: Collective::Scatter { source, targets: targets.to_vec() } }
+}
+
+/// An exhaustive one-step plan on an always-moving walk contains the next
+/// platform by construction, so the drifted query must land as a cache hit
+/// with a `Ratio`-exact answer.
+#[test]
+fn exhaustive_plans_turn_drift_into_cache_hits() {
+    let instance = figure2();
+    let (source, targets) = (instance.source, instance.targets.clone());
+    let config = DriftConfig { grid: 2, min_num: 1, max_num: 4, move_probability: 1.0 };
+    let mut model = DriftModel::new(instance.platform, config, 7);
+
+    let service = Service::start(ServiceConfig { workers: 2, ..ServiceConfig::default() });
+    let base = service.query(scatter_query(model.current(), source, &targets)).unwrap();
+    assert_eq!(base.via, ServedVia::Solve);
+    let class = scatter_query(model.current(), source, &targets).structural_fingerprint().0;
+    let basis = service.class_basis(class).expect("demand solve published the class basis");
+
+    let forecaster = Forecaster::new(ForecastConfig {
+        horizon: 1,
+        max_candidates: usize::MAX,
+        max_states: 1 << 12,
+    });
+    for round in 0..3 {
+        let basis = service.class_basis(class).unwrap_or_else(|| basis.clone());
+        let plan = forecaster
+            .forecast(&model, |p| ScatterProblem::new(p, source, targets.clone()), &basis)
+            .unwrap();
+        assert!(plan.exhaustive, "a 5-edge one-step envelope is enumerable");
+        let scheduled = service.schedule_prefetch(plan.candidates.iter().map(|c| PrefetchJob {
+            query: scatter_query(c.platform.clone(), source, &targets),
+            predicted_exit: c.expected == PredictedTriage::Repair,
+        }));
+        assert_eq!(scheduled, plan.candidates.len());
+        assert!(service.await_prefetch_idle(Duration::from_secs(60)), "backlog drained");
+
+        let drifted = scatter_query(model.step(), source, &targets);
+        let served = service.query(drifted.clone()).unwrap();
+        assert_eq!(
+            served.via,
+            ServedVia::Cache,
+            "round {round}: an exhaustively planned step must be prefetched"
+        );
+        // Bit-identical to an independent cold solve.
+        let cold = ScatterProblem::new(drifted.platform.clone(), source, targets.clone())
+            .unwrap()
+            .solve()
+            .unwrap();
+        assert_eq!(&served.answer.throughput, cold.throughput());
+    }
+
+    let stats = service.stats();
+    assert_eq!(stats.prefetch_hits, 3, "every round landed: {stats:?}");
+    assert_eq!(stats.solves, 1, "only the base platform ever hit the demand-solve path");
+    assert!(stats.prefetched >= 3);
+    assert!(stats.prefetch_hit_fraction() > 0.7, "{stats:?}");
+}
+
+/// The full forecast scenario runner: speculative answers land, are exact,
+/// and the report's gate numbers are self-consistent.
+#[test]
+fn forecast_load_run_meets_the_prefetch_gate_shape() {
+    let service = Service::start(ServiceConfig { workers: 2, ..ServiceConfig::default() });
+    let config = ForecastLoadConfig {
+        epochs: 12,
+        hits_per_epoch: 2,
+        seed: 3,
+        horizon: 1,
+        plan: 16,
+        verify: true,
+    };
+    let report = run_forecast_load(&service, &config).unwrap();
+    assert_eq!(report.drifted_queries, 24, "2 scenarios x 12 epochs");
+    assert_eq!(report.verified, 24);
+    assert_eq!(report.stats.errors, 0);
+    assert!(report.stats.prefetched > 0);
+    assert!(report.stats.prefetch_hits > 0, "{:?}", report.stats);
+    let fraction = report.prefetch_hit_fraction();
+    assert!((0.0..=1.0).contains(&fraction));
+    assert!(report.stats.prefetch_hits + report.stats.solves > 0, "the fraction has a denominator");
+}
+
+/// Drift-aware eviction at the service level: with a tiny cache, the
+/// entries whose class has no basis seed are evicted before seeded ones.
+#[test]
+fn service_eviction_prefers_classless_snapshot_entries() {
+    use steady_collectives::service::CacheConfig;
+
+    let dir = std::env::temp_dir().join("steady-forecast-evict-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("warmset_{}.json", std::process::id()));
+
+    // Build a snapshot holding one answer (restored entries carry no class).
+    let donor = Service::start(ServiceConfig { workers: 1, ..ServiceConfig::default() });
+    let instance = figure2();
+    let figure2_query =
+        scatter_query(instance.platform.clone(), instance.source, &instance.targets);
+    donor.query(figure2_query.clone()).unwrap();
+    donor.snapshot(&path).unwrap();
+    drop(donor);
+
+    // A 2-entry cache: restore the class-less snapshot entry, then solve two
+    // star scatters (same structural class, seeded).  The second insertion
+    // must displace the snapshot entry, not the seeded star answer.
+    let service = Service::start(
+        ServiceConfig {
+            workers: 1,
+            cache: CacheConfig { capacity: 2, shards: 1 },
+            ..ServiceConfig::default()
+        }
+        .preload(&path),
+    );
+    let star = |c: i64| {
+        let (platform, center, leaves) =
+            steady_collectives::platform::generators::heterogeneous_star(&[rat(1, c), rat(1, 3)]);
+        scatter_query(platform, center, &leaves)
+    };
+    let first = service.query(star(2)).unwrap();
+    assert_eq!(first.via, ServedVia::Solve);
+    // Touch the snapshot entry so it is the *most* recently used: a plain
+    // LRU would now evict the seeded star answer instead.
+    assert_eq!(service.query(figure2_query.clone()).unwrap().via, ServedVia::Cache);
+    let second = service.query(star(4)).unwrap();
+    assert_eq!(second.via, ServedVia::Solve);
+
+    let stats = service.stats();
+    assert_eq!(stats.evictions, 1);
+    assert_eq!(stats.preferred_evictions, 1, "the class-less entry went first: {stats:?}");
+    // Both seeded star answers are still served from cache.
+    assert_eq!(service.query(star(2)).unwrap().via, ServedVia::Cache);
+    assert_eq!(service.query(star(4)).unwrap().via, ServedVia::Cache);
+    // The snapshot entry is gone: re-asking figure2 solves again.
+    assert_eq!(service.query(figure2_query).unwrap().via, ServedVia::Solve);
+    std::fs::remove_file(&path).ok();
+}
