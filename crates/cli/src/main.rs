@@ -1,5 +1,7 @@
 //! The `steady` binary: thin wrapper around [`steady_cli::run`].
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 fn main() -> ExitCode {

@@ -137,8 +137,30 @@ pub fn solve_certified_warm(
     warm: Option<&SolvedBasis>,
 ) -> Result<CertifiedSolution, CertifyError> {
     let float = match warm {
-        Some(basis) => simplex::solve_with_basis_options::<f64>(problem, basis, &options.simplex)?,
-        None => simplex::solve_with_options::<f64>(problem, &options.simplex)?,
+        Some(basis) => simplex::solve_with_basis_options::<f64>(problem, basis, &options.simplex),
+        None => simplex::solve_with_options::<f64>(problem, &options.simplex),
+    };
+    let float = match float {
+        Ok(float) => float,
+        // The f64 simplex is an accelerator, never an authority: round-off
+        // can produce a spurious Unbounded (a near-zero pivot column read as
+        // non-positive in the ratio test) or Infeasible verdict on a
+        // well-posed LP, and *which* pivot path is taken depends on row
+        // order, so the failure is formulation-order dependent.  The exact
+        // rational simplex decides from scratch; only its verdict is real.
+        Err(_) if !options.forbid_fallback => {
+            let exact = simplex::solve_exact(problem)?;
+            return Ok(CertifiedSolution {
+                values: exact.values,
+                objective: exact.objective,
+                duals: exact.duals,
+                certificate: Certificate::ExactSimplex,
+                iterations: exact.iterations,
+                warm_started: false,
+                basis: Some(exact.basis),
+            });
+        }
+        Err(e) => return Err(e.into()),
     };
     match certify(problem, &float, options.max_denominator) {
         Ok(sol) => Ok(sol),
@@ -146,11 +168,13 @@ pub fn solve_certified_warm(
             if options.forbid_fallback {
                 return Err(CertifyError::CertificationFailed { reason });
             }
-            let exact = simplex::solve_with_basis_options::<Ratio>(
-                problem,
-                &float.basis,
-                &options.simplex,
-            )?;
+            // Seed the exact re-solve from the f64 basis (usually already
+            // the optimal vertex); if that start misbehaves — an infeasible
+            // float vertex can read as unbounded — re-solve exactly from
+            // scratch rather than surfacing the artifact.
+            let exact =
+                simplex::solve_with_basis_options::<Ratio>(problem, &float.basis, &options.simplex)
+                    .or_else(|_| simplex::solve_exact(problem))?;
             Ok(CertifiedSolution {
                 values: exact.values,
                 objective: exact.objective,
@@ -180,19 +204,29 @@ pub fn solve_certified_dual(
     options: &CertifyOptions,
     basis: &SolvedBasis,
 ) -> Result<(CertifiedSolution, crate::simplex::DualOutcome), CertifyError> {
-    let (float, outcome) =
-        simplex::solve_dual_with_basis_options::<f64>(problem, basis, &options.simplex)?;
+    let attempt = simplex::solve_dual_with_basis_options::<f64>(problem, basis, &options.simplex);
+    let (float, outcome) = match attempt {
+        Ok(solved) => solved,
+        // Same fallback-not-verdict rule as `solve_certified_warm`: an f64
+        // failure (spurious Unbounded/Infeasible from round-off, or a basis
+        // that drove the float run astray) means the basis saved nothing —
+        // resolve cold through the certified pipeline, whose exact stage is
+        // the authority.
+        Err(_) if !options.forbid_fallback => {
+            let sol = solve_certified_with_options(problem, options)?;
+            return Ok((sol, crate::simplex::DualOutcome::FellBack));
+        }
+        Err(e) => return Err(e.into()),
+    };
     match certify(problem, &float, options.max_denominator) {
         Ok(sol) => Ok((sol, outcome)),
         Err(reason) => {
             if options.forbid_fallback {
                 return Err(CertifyError::CertificationFailed { reason });
             }
-            let exact = simplex::solve_with_basis_options::<Ratio>(
-                problem,
-                &float.basis,
-                &options.simplex,
-            )?;
+            let exact =
+                simplex::solve_with_basis_options::<Ratio>(problem, &float.basis, &options.simplex)
+                    .or_else(|_| simplex::solve_exact(problem))?;
             Ok((
                 CertifiedSolution {
                     values: exact.values,
@@ -337,6 +371,35 @@ mod tests {
         assert_eq!(sol.objective, rat(12, 1));
         assert_eq!(sol.certificate, Certificate::Optimal);
         assert_eq!(sol.values, vec![rat(4, 1), rat(0, 1)]);
+    }
+
+    /// A coefficient of `1/10^400` underflows to `0.0` in `f64`, so the float
+    /// ratio test sees no blocking row and reports the LP unbounded — yet the
+    /// problem is exactly bounded (`x ≤ 10^400`).  The certified pipeline
+    /// must treat the f64 stage as an accelerator and let the exact simplex
+    /// overrule its spurious verdict, for both the warm/cold and the dual
+    /// entry points.
+    #[test]
+    fn spurious_float_unbounded_falls_back_to_exact() {
+        use steady_rational::bigint::BigInt;
+
+        let tiny = Ratio::new(BigInt::from(1i64), BigInt::from(10i64).pow(400));
+        assert_eq!(tiny.to_f64(), 0.0, "the premise: the coefficient underflows");
+
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var("x");
+        lp.set_objective(x, rat(1, 1));
+        lp.add_constraint("cap", expr(&[(x, tiny.clone())]), Sense::Le, rat(1, 1));
+
+        let bound = Ratio::new(BigInt::from(10i64).pow(400), BigInt::from(1i64));
+        let sol = solve_certified(&lp).expect("the exact stage overrules the float verdict");
+        assert_eq!(sol.objective, bound);
+        assert_eq!(sol.certificate, Certificate::ExactSimplex);
+
+        let basis = solve_certified(&lp).unwrap().basis.expect("certified solves carry a basis");
+        let (dual_sol, _) = solve_certified_dual(&lp, &CertifyOptions::default(), &basis)
+            .expect("the dual entry point falls back instead of erroring");
+        assert_eq!(dual_sol.objective, bound);
     }
 
     #[test]

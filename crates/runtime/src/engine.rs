@@ -146,6 +146,7 @@ pub fn run_scatter(
         for node_index in 0..n_nodes {
             let me = NodeId(node_index);
             let my_orders = plan.sends.get(&me).cloned().unwrap_or_default();
+            // lint: allow(panics) — take() invariant: each receiver is moved out exactly once.
             let receiver = boxes.receivers[node_index].take().expect("receiver taken once");
             let senders = boxes.senders.clone();
             let barrier = Arc::clone(&barrier);
@@ -175,6 +176,7 @@ pub fn run_scatter(
                             let Some(timestamp) = timestamp else { break };
                             senders[order.to.index()]
                                 .send(Wire::Scatter { destination: order.destination, timestamp })
+                                // lint: allow(panics) — channel peers outlive the run; a send failure is a harness bug.
                                 .expect("receiver alive for the whole run");
                         }
                     }
@@ -207,6 +209,7 @@ pub fn run_scatter(
             }));
         }
         for handle in handles {
+            // lint: allow(panics) — propagates a node-thread panic instead of reporting bogus results.
             let (node_index, delivered) = handle.join().expect("node thread panicked");
             per_node_delivered[node_index] = delivered;
         }
@@ -275,6 +278,7 @@ pub fn run_gather(
         for node_index in 0..n_nodes {
             let me = NodeId(node_index);
             let my_orders = plan.sends.get(&me).cloned().unwrap_or_default();
+            // lint: allow(panics) — take() invariant: each receiver is moved out exactly once.
             let receiver = boxes.receivers[node_index].take().expect("receiver taken once");
             let senders = boxes.senders.clone();
             let barrier = Arc::clone(&barrier);
@@ -302,6 +306,7 @@ pub fn run_gather(
                             let Some(timestamp) = timestamp else { break };
                             senders[order.to.index()]
                                 .send(Wire::Gather { origin: order.origin, timestamp })
+                                // lint: allow(panics) — channel peers outlive the run; a send failure is a harness bug.
                                 .expect("receiver alive for the whole run");
                         }
                     }
@@ -333,6 +338,7 @@ pub fn run_gather(
             }));
         }
         for handle in handles {
+            // lint: allow(panics) — propagates a node-thread panic instead of reporting bogus results.
             let (node_index, delivered) = handle.join().expect("node thread panicked");
             if NodeId(node_index) == sink {
                 sink_delivered = delivered;
@@ -407,6 +413,7 @@ pub fn run_reduce(
             let me = NodeId(node_index);
             let my_sends = plan.sends.get(&me).cloned().unwrap_or_default();
             let my_computes = plan.computes.get(&me).cloned().unwrap_or_default();
+            // lint: allow(panics) — take() invariant: each receiver is moved out exactly once.
             let receiver = boxes.receivers[node_index].take().expect("receiver taken once");
             let senders = boxes.senders.clone();
             let barrier = Arc::clone(&barrier);
@@ -446,6 +453,7 @@ pub fn run_reduce(
                         for _ in 0..order.count {
                             let Some(map) = buffer.get_mut(&key) else { break };
                             let Some((&timestamp, _)) = map.iter().next() else { break };
+                            // lint: allow(panics) — the key was observed in the map on the line above.
                             let seq = map.remove(&timestamp).expect("key just observed");
                             senders[order.to.index()]
                                 .send(Wire::Partial {
@@ -454,6 +462,7 @@ pub fn run_reduce(
                                     timestamp,
                                     seq,
                                 })
+                                // lint: allow(panics) — channel peers outlive the run; a send failure is a harness bug.
                                 .expect("receiver alive for the whole run");
                         }
                     }
@@ -502,10 +511,12 @@ pub fn run_reduce(
                             let left = buffer
                                 .get_mut(&left_key)
                                 .and_then(|m| m.remove(&timestamp))
+                                // lint: allow(panics) — the compute schedule guarantees both operands buffered.
                                 .expect("operand present");
                             let right = buffer
                                 .get_mut(&right_key)
                                 .and_then(|m| m.remove(&timestamp))
+                                // lint: allow(panics) — the compute schedule guarantees both operands buffered.
                                 .expect("operand present");
                             let result = combine(&left, &right);
                             if me == target && (k, m) == (0, n) {
@@ -528,6 +539,7 @@ pub fn run_reduce(
             }));
         }
         for handle in handles {
+            // lint: allow(panics) — propagates a node-thread panic instead of reporting bogus results.
             let (node_index, delivered) = handle.join().expect("node thread panicked");
             if NodeId(node_index) == target {
                 target_results = delivered;

@@ -4,8 +4,8 @@
 //! The cache maps canonical fingerprints to [`Answer`]s.  Keys are spread
 //! over independently locked shards so concurrent lookups from the worker
 //! pool do not contend on a single lock; within a shard, reads take the
-//! shared side of a [`parking_lot::RwLock`] and recency is tracked with a
-//! per-entry atomic timestamp so hits never need the exclusive side.
+//! shared side of a [`RwLock`] and recency is tracked with a per-entry
+//! atomic timestamp so hits never need the exclusive side.
 //! Eviction is least-recently-used per shard, with a **drift-aware
 //! preference**: entries whose structural class has no surviving simplex
 //! basis seed are evicted first.  Losing such an entry costs a full cold
@@ -22,12 +22,20 @@
 //! *revalidate* it against the cached simplex basis far more cheaply than
 //! re-deriving it — and it remains the best available fallback when a
 //! revalidation is shed under overload.
+//!
+//! The cache is generic over its value type (defaulting to the engine's
+//! `Arc<Answer>`) so the model-check suite can drive the same sharding,
+//! TTL and eviction code with trivial payloads; all synchronization goes
+//! through [`crate::sync`], which resolves to the modeled primitives under
+//! `--cfg steady_loom`.  Lock order within the cache: a `shard` lock (rank
+//! 30) may take the `seeded` set (rank 40), never the reverse — see
+//! [`crate::sync`] for the full table.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::RwLock;
 
 use crate::query::Answer;
 
@@ -84,8 +92,8 @@ impl CacheStats {
     }
 }
 
-struct Entry {
-    answer: Arc<Answer>,
+struct Entry<V> {
+    value: V,
     last_used: AtomicU64,
     /// Service epoch the entry was inserted (or last revalidated) in.
     epoch: u64,
@@ -97,20 +105,22 @@ struct Entry {
 
 /// Outcome of a TTL-aware cache lookup (see [`SolutionCache::lookup`]).
 #[derive(Debug, Clone)]
-pub enum Lookup {
+pub enum Lookup<V = Arc<Answer>> {
     /// A fresh entry: serve it directly.
-    Hit(Arc<Answer>),
+    Hit(V),
     /// An entry older than the TTL: its exact value may no longer reflect
     /// the platform — revalidate before serving, but keep it as the
     /// best-effort fallback.
-    Stale(Arc<Answer>),
+    Stale(V),
     /// Nothing cached under the key.
     Miss,
 }
 
-/// A sharded fingerprint → [`Answer`] cache with per-shard LRU eviction.
-pub struct SolutionCache {
-    shards: Vec<RwLock<HashMap<u64, Entry>>>,
+/// A sharded fingerprint → value cache with per-shard LRU eviction, epoch
+/// stamps and drift-aware victim preference.  `V` defaults to the engine's
+/// shared [`Answer`]; model tests instantiate it with plain integers.
+pub struct SolutionCache<V = Arc<Answer>> {
+    shards: Vec<RwLock<HashMap<u64, Entry<V>>>>,
     shard_mask: u64,
     per_shard_capacity: usize,
     /// Structural classes with a surviving basis seed (see
@@ -134,7 +144,7 @@ fn fresh(epoch: u64, now: u64, ttl: Option<u64>) -> bool {
     ttl.is_none_or(|t| now.saturating_sub(epoch) <= t)
 }
 
-impl SolutionCache {
+impl<V: Clone> SolutionCache<V> {
     /// Creates an empty cache.
     pub fn new(config: &CacheConfig) -> Self {
         let capacity = config.capacity.max(1);
@@ -169,7 +179,7 @@ impl SolutionCache {
         self.seeded.write().insert(class);
     }
 
-    fn shard(&self, key: u64) -> &RwLock<HashMap<u64, Entry>> {
+    fn shard(&self, key: u64) -> &RwLock<HashMap<u64, Entry<V>>> {
         // The fingerprint is already a hash; fold the high bits in so shard
         // choice is not just the low bits the HashMap also keys on.
         let idx = ((key >> 32) ^ key) & self.shard_mask;
@@ -177,14 +187,17 @@ impl SolutionCache {
     }
 
     fn tick(&self) -> u64 {
+        // relaxed: the recency clock only needs to be monotonic-ish per
+        // entry; LRU victim choice tolerates approximate ordering, and no
+        // other state is published through this counter.
         self.clock.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Looks up `key` ignoring entry age, updating recency and the hit/miss
     /// counters.  Shorthand for [`SolutionCache::lookup`] with no TTL.
-    pub fn get(&self, key: u64) -> Option<Arc<Answer>> {
+    pub fn get(&self, key: u64) -> Option<V> {
         match self.lookup(key, 0, None) {
-            Lookup::Hit(answer) => Some(answer),
+            Lookup::Hit(value) => Some(value),
             Lookup::Stale(_) | Lookup::Miss => None,
         }
     }
@@ -193,21 +206,29 @@ impl SolutionCache {
     /// counters: a fresh entry is a hit, a stale one counts as a miss (plus
     /// the `stale` marker) but still hands back the old answer for
     /// revalidation, and an absent one is a plain miss.
-    pub fn lookup(&self, key: u64, now: u64, ttl: Option<u64>) -> Lookup {
+    pub fn lookup(&self, key: u64, now: u64, ttl: Option<u64>) -> Lookup<V> {
         let shard = self.shard(key).read();
         match shard.get(&key) {
             Some(entry) => {
+                // relaxed: recency stamp — approximate LRU is acceptable and
+                // the shard read lock already orders this store against the
+                // eviction scan's exclusive access.
                 entry.last_used.store(self.tick(), Ordering::Relaxed);
                 if fresh(entry.epoch, now, ttl) {
+                    // relaxed: independent monotonic stat counter; readers
+                    // snapshot via `stats()` and tolerate cross-counter skew.
                     self.hits.fetch_add(1, Ordering::Relaxed);
-                    Lookup::Hit(Arc::clone(&entry.answer))
+                    Lookup::Hit(entry.value.clone())
                 } else {
+                    // relaxed: independent monotonic stat counters (as above).
                     self.misses.fetch_add(1, Ordering::Relaxed);
+                    // relaxed: same stat-counter justification.
                     self.stale.fetch_add(1, Ordering::Relaxed);
-                    Lookup::Stale(Arc::clone(&entry.answer))
+                    Lookup::Stale(entry.value.clone())
                 }
             }
             None => {
+                // relaxed: independent monotonic stat counter (as above).
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 Lookup::Miss
             }
@@ -217,7 +238,7 @@ impl SolutionCache {
     /// Looks up `key` without touching the hit/miss counters (recency is
     /// still updated).  Shorthand for [`SolutionCache::peek_fresh`] with no
     /// TTL.
-    pub fn peek(&self, key: u64) -> Option<Arc<Answer>> {
+    pub fn peek(&self, key: u64) -> Option<V> {
         self.peek_fresh(key, 0, None)
     }
 
@@ -230,24 +251,25 @@ impl SolutionCache {
     /// hit or miss for the query, so this second look must not count again —
     /// `hits + misses` stays equal to the number of lookups.  A stale entry
     /// is reported as absent so the caller proceeds to revalidation.
-    pub fn peek_fresh(&self, key: u64, now: u64, ttl: Option<u64>) -> Option<Arc<Answer>> {
+    pub fn peek_fresh(&self, key: u64, now: u64, ttl: Option<u64>) -> Option<V> {
         let shard = self.shard(key).read();
         let entry = shard.get(&key)?;
+        // relaxed: recency stamp — see `lookup`.
         entry.last_used.store(self.tick(), Ordering::Relaxed);
         if fresh(entry.epoch, now, ttl) {
-            Some(Arc::clone(&entry.answer))
+            Some(entry.value.clone())
         } else {
             None
         }
     }
 
-    /// Stores `answer` under `key` at epoch 0 with no structural class (see
+    /// Stores `value` under `key` at epoch 0 with no structural class (see
     /// [`SolutionCache::insert_at`]).
-    pub fn insert(&self, key: u64, answer: Arc<Answer>) {
-        self.insert_at(key, answer, 0, None);
+    pub fn insert(&self, key: u64, value: V) {
+        self.insert_at(key, value, 0, None);
     }
 
-    /// Stores `answer` under `key` stamped with `epoch` and the entry's
+    /// Stores `value` under `key` stamped with `epoch` and the entry's
     /// structural `class`, evicting a victim if the shard is full.
     /// Re-inserting an existing key refreshes the answer, its epoch and its
     /// class — this is how a revalidated entry becomes fresh again.
@@ -258,16 +280,19 @@ impl SolutionCache {
     /// the shard is seeded does plain LRU decide.  Losing an unseeded entry
     /// costs one cold solve either way, while a seeded entry's class keeps
     /// revalidating nearly for free.
-    pub fn insert_at(&self, key: u64, answer: Arc<Answer>, epoch: u64, class: Option<u64>) {
+    pub fn insert_at(&self, key: u64, value: V, epoch: u64, class: Option<u64>) {
         let mut shard = self.shard(key).write();
         if !shard.contains_key(&key) && shard.len() >= self.per_shard_capacity {
             let seeded = self.seeded.read();
-            let lru = |entries: &HashMap<u64, Entry>, unseeded_only: bool| {
+            let lru = |entries: &HashMap<u64, Entry<V>>, unseeded_only: bool| {
                 entries
                     .iter()
                     .filter(|(_, e)| {
                         !unseeded_only || !e.class.is_some_and(|c| seeded.contains(&c))
                     })
+                    // relaxed: the eviction scan holds the shard write lock,
+                    // so no reader is concurrently stamping these entries;
+                    // approximate recency would be acceptable regardless.
                     .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
                     .map(|(&k, _)| k)
             };
@@ -275,6 +300,7 @@ impl SolutionCache {
             let victim = match lru(&shard, true) {
                 Some(preferred) => {
                     if Some(preferred) != global {
+                        // relaxed: independent monotonic stat counter.
                         self.preferred_evictions.fetch_add(1, Ordering::Relaxed);
                     }
                     Some(preferred)
@@ -283,23 +309,25 @@ impl SolutionCache {
             };
             if let Some(victim) = victim {
                 shard.remove(&victim);
+                // relaxed: independent monotonic stat counter.
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
-        let entry = Entry { answer, last_used: AtomicU64::new(self.tick()), epoch, class };
+        let entry = Entry { value, last_used: AtomicU64::new(self.tick()), epoch, class };
         if shard.insert(key, entry).is_none() {
+            // relaxed: independent monotonic stat counter.
             self.insertions.fetch_add(1, Ordering::Relaxed);
         }
     }
 
-    /// A point-in-time copy of every cached `(key, answer)` pair, in
+    /// A point-in-time copy of every cached `(key, value)` pair, in
     /// unspecified order (used by snapshot persistence; shards are read one
     /// at a time, so concurrent inserts may or may not be included).
-    pub fn entries(&self) -> Vec<(u64, Arc<Answer>)> {
+    pub fn entries(&self) -> Vec<(u64, V)> {
         let mut out = Vec::with_capacity(self.len());
         for shard in &self.shards {
             let shard = shard.read();
-            out.extend(shard.iter().map(|(&k, entry)| (k, Arc::clone(&entry.answer))));
+            out.extend(shard.iter().map(|(&k, entry)| (k, entry.value.clone())));
         }
         out
     }
@@ -316,6 +344,9 @@ impl SolutionCache {
 
     /// A snapshot of the hit/miss/stale/insertion/eviction counters.
     pub fn stats(&self) -> CacheStats {
+        // relaxed: counter snapshot — values are individually exact
+        // (monotonic fetch_adds) and cross-counter skew is inherent to any
+        // unlocked snapshot.
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -478,5 +509,15 @@ mod tests {
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (0, 0));
         assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn generic_payloads_share_the_machinery() {
+        // The loom model tests drive the cache with integer payloads; make
+        // sure that instantiation works outside the model too.
+        let cache: SolutionCache<u64> = SolutionCache::new(&CacheConfig { capacity: 2, shards: 1 });
+        cache.insert_at(1, 10, 0, None);
+        assert_eq!(cache.get(1), Some(10));
+        assert!(matches!(cache.lookup(1, 5, Some(1)), Lookup::Stale(10)));
     }
 }

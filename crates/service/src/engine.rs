@@ -41,15 +41,12 @@
 //! wrong prediction wastes idle cycles, never correctness — the entry it
 //! installed is a *correct* answer to a question nobody asked).
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
-use parking_lot::Mutex;
 use steady_core::problem::SolvedBasis;
 use steady_platform::Platform;
 
@@ -57,8 +54,14 @@ use steady_drift::Triage;
 
 use crate::cache::{CacheConfig, CacheStats, Lookup, SolutionCache};
 use crate::fingerprint::Fingerprint;
+use crate::flight::{Flight, SingleFlight};
+use crate::gate::{Admission, ColdGate};
+use crate::ledger::PrefetchLedger;
 use crate::persist;
 use crate::query::{solve_prepared, Answer, Query};
+use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::sync::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use crate::sync::Mutex;
 use crate::ServiceError;
 
 /// Upper bound on remembered warm-start bases (one per structural class);
@@ -405,8 +408,6 @@ struct Waiter {
     reply: Sender<ServeResult>,
 }
 
-type InFlight = Mutex<HashMap<u64, Vec<Waiter>>>;
-
 /// Adapts a shared answer to one caller: schedules are expressed in the node
 /// numbering of the platform they were solved on, so a caller holding an
 /// isomorphic but differently numbered platform gets the answer with the
@@ -424,85 +425,16 @@ fn tailor(answer: &Arc<Answer>, platform: &Platform) -> Arc<Answer> {
     }
 }
 
-/// State of the cold-solve admission gate.
-#[derive(Default)]
-struct GateState {
-    running: usize,
-    pending: VecDeque<SolveJob>,
-}
-
-/// Bounds the number of concurrently running cold solves with a
-/// **requeue-based** waiting queue: a job that finds every slot taken is
-/// parked *by value* in `pending` and its worker returns to serving other
-/// traffic; slot-holders drain the queue before releasing their slot
-/// ([`ColdGate::release_or_takeover`]).  Queueing and releasing happen under
-/// one mutex, which preserves the invariant *pending non-empty ⇒ running >
-/// 0*: every parked job is picked up by some future release, so none is
-/// stranded.
-struct ColdGate {
-    /// 0 means the gate is disabled (unlimited cold solves, nothing queues).
-    max_running: usize,
-    max_pending: usize,
-    state: std::sync::Mutex<GateState>,
-}
-
-enum Admission {
-    /// The caller holds a slot: run the job, then keep calling
-    /// [`ColdGate::release_or_takeover`] until the pending queue is drained.
-    Admitted(SolveJob),
-    /// The job is parked in the pending queue; a slot-holder will run it.
-    Queued,
-    /// Slots and queue are both full: the caller sheds the job.
-    Shed(SolveJob),
-}
-
-impl ColdGate {
-    fn new(max_running: usize, max_pending: usize) -> ColdGate {
-        ColdGate { max_running, max_pending, state: std::sync::Mutex::new(GateState::default()) }
-    }
-
-    /// Takes a solve slot, parks the job, or reports that it must be shed.
-    fn admit(&self, job: SolveJob) -> Admission {
-        if self.max_running == 0 {
-            return Admission::Admitted(job);
-        }
-        let mut state = self.state.lock().expect("gate lock");
-        if state.running < self.max_running {
-            state.running += 1;
-            return Admission::Admitted(job);
-        }
-        if state.pending.len() < self.max_pending {
-            state.pending.push_back(job);
-            return Admission::Queued;
-        }
-        Admission::Shed(job)
-    }
-
-    /// Hands the caller the next pending job — the slot transfers to it — or
-    /// releases the slot when the queue is empty.  Holding the slot across
-    /// the hand-off (instead of release-then-reacquire) is what makes the
-    /// stranding invariant airtight: a job can never be queued after the
-    /// last slot-holder checked the queue.
-    fn release_or_takeover(&self) -> Option<SolveJob> {
-        if self.max_running == 0 {
-            return None;
-        }
-        let mut state = self.state.lock().expect("gate lock");
-        if let Some(job) = state.pending.pop_front() {
-            return Some(job);
-        }
-        state.running -= 1;
-        None
-    }
-}
-
 struct Shared {
     cache: SolutionCache,
-    in_flight: InFlight,
+    /// Single-flight deduplication: at most one in-flight solve per key,
+    /// with the waiters parked on it (see [`crate::flight`]).
+    flight: SingleFlight<Waiter>,
     /// Winning basis per structural class (cost-blind fingerprint), used to
     /// triage every solve of a platform that differs only in edge costs.
     bases: Mutex<HashMap<u64, SolvedBasis>>,
-    gate: ColdGate,
+    /// Cold-solve admission control (see [`crate::gate`]).
+    gate: ColdGate<SolveJob>,
     build_schedules: bool,
     /// Current cache epoch; advanced by [`Service::advance_epoch`].
     epoch: AtomicU64,
@@ -515,12 +447,9 @@ struct Shared {
     /// idle-wait primitive of [`Service::await_prefetch_idle`].
     prefetch_pending: AtomicUsize,
     /// Cache keys installed by speculative solves that no demand query has
-    /// landed on yet; a demand hit claims the key as a `prefetch_hit`, a
-    /// demand *solve* claims it as `prefetch_wasted`.
-    prefetched_keys: Mutex<HashSet<u64>>,
-    /// Relaxed mirror of `prefetched_keys.len()` so the hit path skips the
-    /// lock entirely when nothing speculative is outstanding.
-    prefetched_key_count: AtomicUsize,
+    /// landed on yet; a demand hit claims a key as a `prefetch_hit`, a
+    /// demand *solve* claims it as `prefetch_wasted` (see [`crate::ledger`]).
+    ledger: PrefetchLedger,
     queries: AtomicU64,
     coalesced: AtomicU64,
     solves: AtomicU64,
@@ -542,6 +471,36 @@ struct Shared {
     cold_solve_nanos: AtomicU64,
     shed: AtomicU64,
     errors: AtomicU64,
+}
+
+impl Shared {
+    /// The current cache epoch.
+    fn now(&self) -> u64 {
+        // relaxed: the epoch is a monotonically advanced stamp and workers
+        // only need *some* recent value — a lagging read makes an entry look
+        // at most one advance older, which TTL semantics tolerate by design.
+        self.epoch.load(Ordering::Relaxed)
+    }
+}
+
+/// Increments a monotonic statistics counter.
+fn bump(counter: &AtomicU64) {
+    bump_by(counter, 1);
+}
+
+/// Adds `n` to a monotonic statistics counter.
+fn bump_by(counter: &AtomicU64, n: u64) {
+    // relaxed: stat counters are independent monotonic tallies read only by
+    // `stats()` snapshots, which tolerate small cross-counter skew; nothing
+    // synchronizes-with them.
+    counter.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Reads a statistics counter for a snapshot.
+fn gauge(counter: &AtomicU64) -> u64 {
+    // relaxed: point-in-time snapshot read of an independent counter (see
+    // `bump_by`); no ordering with other memory is implied or needed.
+    counter.load(Ordering::Relaxed)
 }
 
 /// A running query-serving engine.  Dropping the service disconnects the
@@ -569,7 +528,7 @@ impl Service {
         };
         let shared = Arc::new(Shared {
             cache: SolutionCache::new(&config.cache),
-            in_flight: Mutex::new(HashMap::new()),
+            flight: SingleFlight::new(),
             bases: Mutex::new(HashMap::new()),
             gate: ColdGate::new(config.max_inflight_cold, config.cold_queue),
             build_schedules: config.build_schedules,
@@ -577,8 +536,7 @@ impl Service {
             ttl: config.ttl,
             prefetch_queue: Mutex::new(VecDeque::new()),
             prefetch_pending: AtomicUsize::new(0),
-            prefetched_keys: Mutex::new(HashSet::new()),
-            prefetched_key_count: AtomicUsize::new(0),
+            ledger: PrefetchLedger::new(),
             queries: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             solves: AtomicU64::new(0),
@@ -610,21 +568,29 @@ impl Service {
                 std::thread::Builder::new()
                     .name(format!("steady-service-{i}"))
                     .spawn(move || worker_loop(&jobs, &shared))
+                    // lint: allow(panics) — documented fail-fast at startup.
                     .expect("spawning a service worker")
             })
             .collect();
         let service = Service { submit: Some(submit), workers, shared };
         if let Some(path) = &config.preload_from {
+            // lint: allow(panics) — documented fail-fast at startup.
             service.preload(path).expect("preloading the configured snapshot");
         }
         service
     }
 
     /// Enqueues `query` and returns the channel its response will arrive on.
+    /// If the service is shutting down, the returned channel reports a
+    /// disconnect instead of a response (mapped to an error by
+    /// [`Service::query`]).
     pub fn submit(&self, query: Query) -> Receiver<ServeResult> {
         let (reply, response) = unbounded();
-        let submit = self.submit.as_ref().expect("service is running");
-        submit.send(Job { query, reply }).expect("workers outlive the submission side");
+        if let Some(submit) = self.submit.as_ref() {
+            // A send only fails once every worker has exited; the caller
+            // then observes the reply channel disconnect.
+            let _ = submit.send(Job { query, reply });
+        }
         response
     }
 
@@ -651,17 +617,21 @@ impl Service {
         let mut queued = 0usize;
         for job in jobs {
             if job.predicted_exit {
-                self.shared.predicted_exits.fetch_add(1, Ordering::Relaxed);
+                bump(&self.shared.predicted_exits);
             }
             queue.push_back(job);
             queued += 1;
         }
+        // relaxed: the backlog gauge is only polled (`prefetch_backlog`,
+        // `await_prefetch_idle`); its transient over-count while this add
+        // races a worker's sub is harmless — waiters poll until zero.
         self.shared.prefetch_pending.fetch_add(queued, Ordering::Relaxed);
         queued
     }
 
     /// Speculative jobs not yet finished (queued plus currently solving).
     pub fn prefetch_backlog(&self) -> usize {
+        // relaxed: polled gauge; see `schedule_prefetch`.
         self.shared.prefetch_pending.load(Ordering::Relaxed)
     }
 
@@ -698,12 +668,16 @@ impl Service {
     /// monitoring interval); with a `ttl` of `None` the epoch is
     /// bookkeeping only.
     pub fn advance_epoch(&self) -> u64 {
+        // relaxed: a monotone counter advanced by one caller at a time in
+        // practice; workers read it as an age stamp and tolerate lag (see
+        // `Shared::now`).  The fetch_add itself is still atomic, so
+        // concurrent advances never lose a tick.
         self.shared.epoch.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// The current cache epoch.
     pub fn epoch(&self) -> u64 {
-        self.shared.epoch.load(Ordering::Relaxed)
+        self.shared.now()
     }
 
     /// Writes the cache's `fingerprint → throughput` entries **and** the
@@ -765,30 +739,30 @@ impl Service {
     pub fn stats(&self) -> ServiceStats {
         let cache = self.shared.cache.stats();
         ServiceStats {
-            queries: self.shared.queries.load(Ordering::Relaxed),
+            queries: gauge(&self.shared.queries),
             hits: cache.hits,
             misses: cache.misses,
-            coalesced: self.shared.coalesced.load(Ordering::Relaxed),
-            solves: self.shared.solves.load(Ordering::Relaxed),
-            warm_solves: self.shared.warm_solves.load(Ordering::Relaxed),
-            cold_solves: self.shared.cold_solves.load(Ordering::Relaxed),
-            triaged: self.shared.triaged.load(Ordering::Relaxed),
-            in_range: self.shared.in_range.load(Ordering::Relaxed),
-            dual_repairs: self.shared.dual_repairs.load(Ordering::Relaxed),
+            coalesced: gauge(&self.shared.coalesced),
+            solves: gauge(&self.shared.solves),
+            warm_solves: gauge(&self.shared.warm_solves),
+            cold_solves: gauge(&self.shared.cold_solves),
+            triaged: gauge(&self.shared.triaged),
+            in_range: gauge(&self.shared.in_range),
+            dual_repairs: gauge(&self.shared.dual_repairs),
             expired: cache.stale,
-            revalidations: self.shared.revalidations.load(Ordering::Relaxed),
-            requeued: self.shared.requeued.load(Ordering::Relaxed),
-            stale_served: self.shared.stale_served.load(Ordering::Relaxed),
-            warm_pivots: self.shared.warm_pivots.load(Ordering::Relaxed),
-            cold_pivots: self.shared.cold_pivots.load(Ordering::Relaxed),
-            warm_solve_nanos: self.shared.warm_solve_nanos.load(Ordering::Relaxed),
-            cold_solve_nanos: self.shared.cold_solve_nanos.load(Ordering::Relaxed),
-            shed: self.shared.shed.load(Ordering::Relaxed),
-            errors: self.shared.errors.load(Ordering::Relaxed),
-            prefetched: self.shared.prefetched.load(Ordering::Relaxed),
-            prefetch_hits: self.shared.prefetch_hits.load(Ordering::Relaxed),
-            prefetch_wasted: self.shared.prefetch_wasted.load(Ordering::Relaxed),
-            predicted_exits: self.shared.predicted_exits.load(Ordering::Relaxed),
+            revalidations: gauge(&self.shared.revalidations),
+            requeued: gauge(&self.shared.requeued),
+            stale_served: gauge(&self.shared.stale_served),
+            warm_pivots: gauge(&self.shared.warm_pivots),
+            cold_pivots: gauge(&self.shared.cold_pivots),
+            warm_solve_nanos: gauge(&self.shared.warm_solve_nanos),
+            cold_solve_nanos: gauge(&self.shared.cold_solve_nanos),
+            shed: gauge(&self.shared.shed),
+            errors: gauge(&self.shared.errors),
+            prefetched: gauge(&self.shared.prefetched),
+            prefetch_hits: gauge(&self.shared.prefetch_hits),
+            prefetch_wasted: gauge(&self.shared.prefetch_wasted),
+            predicted_exits: gauge(&self.shared.predicted_exits),
             preferred_evictions: cache.preferred_evictions,
             insertions: cache.insertions,
             evictions: cache.evictions,
@@ -834,6 +808,7 @@ fn worker_loop(jobs: &Mutex<Receiver<Job>>, shared: &Shared) {
             }));
             // Completed (or panicked, or dropped as duplicate): either way
             // this job no longer counts toward the backlog.
+            // relaxed: polled gauge; see `Service::schedule_prefetch`.
             shared.prefetch_pending.fetch_sub(1, Ordering::Relaxed);
             continue;
         }
@@ -848,23 +823,6 @@ fn worker_loop(jobs: &Mutex<Receiver<Job>>, shared: &Shared) {
     }
 }
 
-/// Removes `key` from the not-yet-landed prefetched set, returning whether
-/// it was there — `true` exactly once per prefetched entry, on its first
-/// demand landing (a cache hit claims it as a `prefetch_hit`, a demand
-/// solve as `prefetch_wasted`).
-fn claim_prefetched(shared: &Shared, key: u64) -> bool {
-    if shared.prefetched_key_count.load(Ordering::Relaxed) == 0 {
-        return false;
-    }
-    let mut keys = shared.prefetched_keys.lock();
-    if keys.remove(&key) {
-        shared.prefetched_key_count.fetch_sub(1, Ordering::Relaxed);
-        true
-    } else {
-        false
-    }
-}
-
 /// Pre-solves one speculative job on an idle worker: validate, drop if the
 /// answer is already cached fresh or an identical solve is in flight,
 /// otherwise take single-flight leadership and solve through the ordinary
@@ -872,6 +830,7 @@ fn claim_prefetched(shared: &Shared, key: u64) -> bool {
 /// queries that coalesced onto the speculative solve are fanned the answer
 /// exactly like waiters on a demand solve (and claim the prefetch as
 /// landed).
+// lint: worker-entry
 fn prefetch_one(shared: &Shared, job: PrefetchJob) {
     if job.query.validate().is_err() {
         // A forecaster only predicts platforms for queries it already saw
@@ -880,16 +839,11 @@ fn prefetch_one(shared: &Shared, job: PrefetchJob) {
     }
     let fingerprint = job.query.fingerprint();
     let key = fingerprint.0;
-    let now = shared.epoch.load(Ordering::Relaxed);
-    {
-        let mut in_flight = shared.in_flight.lock();
-        if shared.cache.peek_fresh(key, now, shared.ttl).is_some() {
-            return; // the prediction already came true (or was never needed)
-        }
-        if in_flight.contains_key(&key) {
-            return; // a demand solve is already producing this answer
-        }
-        in_flight.insert(key, Vec::new());
+    let now = shared.now();
+    // Speculative leadership: drop the job when the prediction already came
+    // true (cached fresh) or a demand solve is already producing the answer.
+    if !shared.flight.try_lead(key, || shared.cache.peek_fresh(key, now, shared.ttl).is_some()) {
+        return;
     }
     let mut guard = InFlightGuard { shared, key, armed: true };
 
@@ -898,7 +852,7 @@ fn prefetch_one(shared: &Shared, job: PrefetchJob) {
     let outcome = solve_prepared(&job.query, fingerprint, shared.build_schedules, prior.as_ref());
     match outcome {
         Ok((answer, report)) => {
-            shared.prefetched.fetch_add(1, Ordering::Relaxed);
+            bump(&shared.prefetched);
             if let Some(basis) = report.basis {
                 publish_basis(shared, structural, basis);
             }
@@ -908,19 +862,17 @@ fn prefetch_one(shared: &Shared, job: PrefetchJob) {
             // the fresh entry — and when it does, the key is already
             // claimable, so the landing is never misread as a plain hit or,
             // worse, as a wasted prefetch by a redundant demand solve.
-            if shared.prefetched_keys.lock().insert(key) {
-                shared.prefetched_key_count.fetch_add(1, Ordering::Relaxed);
-            }
+            shared.ledger.record(key);
             let answer = Arc::new(answer);
             shared.cache.insert_at(key, Arc::clone(&answer), now, Some(structural));
-            let waiters = shared.in_flight.lock().remove(&key).unwrap_or_default();
+            let waiters = shared.flight.complete(key);
             guard.disarm();
             if !waiters.is_empty() {
                 // Demand queries coalesced onto the speculative solve: the
                 // prefetch has landed (claim the key back unless a hit that
                 // raced the removal above already did).
-                if claim_prefetched(shared, key) {
-                    shared.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+                if shared.ledger.claim(key) {
+                    bump(&shared.prefetch_hits);
                 }
                 for waiter in waiters {
                     let tailored = tailor(&answer, &waiter.platform);
@@ -934,9 +886,9 @@ fn prefetch_one(shared: &Shared, job: PrefetchJob) {
             // The speculative solve itself failed (e.g. the predicted
             // platform is degenerate): fail any coalesced demand waiters,
             // swallow the speculation.
-            let waiters = shared.in_flight.lock().remove(&key).unwrap_or_default();
+            let waiters = shared.flight.complete(key);
             guard.disarm();
-            shared.errors.fetch_add(waiters.len() as u64, Ordering::Relaxed);
+            bump_by(&shared.errors, waiters.len() as u64);
             for waiter in waiters {
                 let _ = waiter.reply.send(Err(ServeError::Failed(e.clone())));
             }
@@ -979,10 +931,10 @@ impl Drop for InFlightGuard<'_> {
         if !self.armed {
             return;
         }
-        let waiters = self.shared.in_flight.lock().remove(&self.key).unwrap_or_default();
+        let waiters = self.shared.flight.complete(self.key);
         // The solver's own query failed too: one error for it (its reply
         // sender dies with the unwinding stack) plus one per parked waiter.
-        self.shared.errors.fetch_add(1 + waiters.len() as u64, Ordering::Relaxed);
+        bump_by(&self.shared.errors, 1 + waiters.len() as u64);
         for waiter in waiters {
             let _ = waiter.reply.send(Err(ServeError::Failed(ServiceError(
                 "the solve for this query panicked".into(),
@@ -991,21 +943,22 @@ impl Drop for InFlightGuard<'_> {
     }
 }
 
+// lint: worker-entry
 fn serve(shared: &Shared, job: Job) {
-    shared.queries.fetch_add(1, Ordering::Relaxed);
+    bump(&shared.queries);
     if let Err(e) = job.query.validate() {
-        shared.errors.fetch_add(1, Ordering::Relaxed);
+        bump(&shared.errors);
         let _ = job.reply.send(Err(ServeError::Failed(e)));
         return;
     }
     let fingerprint = job.query.fingerprint();
     let key = fingerprint.0;
-    let now = shared.epoch.load(Ordering::Relaxed);
+    let now = shared.now();
 
     let stale = match shared.cache.lookup(key, now, shared.ttl) {
         Lookup::Hit(answer) => {
-            if claim_prefetched(shared, key) {
-                shared.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+            if shared.ledger.claim(key) {
+                bump(&shared.prefetch_hits);
             }
             let answer = tailor(&answer, &job.query.platform);
             let _ = job.reply.send(Ok(Served { answer, via: ServedVia::Cache }));
@@ -1017,27 +970,30 @@ fn serve(shared: &Shared, job: Job) {
     };
 
     // Single-flight admission: park on an identical in-flight solve, or
-    // register ourselves as the solver for this key.
-    {
-        let mut in_flight = shared.in_flight.lock();
-        // The solve may have completed between the lookup above and taking
-        // the lock; re-check (without double-counting) before admitting.  A
-        // still-stale entry reads as absent here — it must be revalidated.
-        if let Some(answer) = shared.cache.peek_fresh(key, now, shared.ttl) {
-            if claim_prefetched(shared, key) {
-                shared.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+    // become the leader (solver) for this key.  The re-check runs under the
+    // admission lock — the solve may have completed between the lookup
+    // above and the lock; a still-stale entry reads as absent there
+    // (peek_fresh), because it must be revalidated.
+    let job = match shared.flight.join_or_lead(
+        key,
+        job,
+        || shared.cache.peek_fresh(key, now, shared.ttl),
+        |job| Waiter { platform: job.query.platform, reply: job.reply },
+    ) {
+        Flight::Ready(answer, job) => {
+            if shared.ledger.claim(key) {
+                bump(&shared.prefetch_hits);
             }
             let answer = tailor(&answer, &job.query.platform);
             let _ = job.reply.send(Ok(Served { answer, via: ServedVia::Cache }));
             return;
         }
-        if let Some(waiters) = in_flight.get_mut(&key) {
-            waiters.push(Waiter { platform: job.query.platform, reply: job.reply });
-            shared.coalesced.fetch_add(1, Ordering::Relaxed);
+        Flight::Parked => {
+            bump(&shared.coalesced);
             return;
         }
-        in_flight.insert(key, Vec::new());
-    }
+        Flight::Leader(job) => job,
+    };
 
     // Admission control: this query needs a solve.  Take a slot, park the
     // job in the gate's pending queue (the worker is immediately free for
@@ -1045,7 +1001,7 @@ fn serve(shared: &Shared, job: Job) {
     match shared.gate.admit(SolveJob { job, fingerprint, stale }) {
         Admission::Admitted(solve) => run_solve_chain(shared, solve),
         Admission::Queued => {
-            shared.requeued.fetch_add(1, Ordering::Relaxed);
+            bump(&shared.requeued);
         }
         Admission::Shed(solve) => shed(shared, solve),
     }
@@ -1057,10 +1013,10 @@ fn serve(shared: &Shared, job: Job) {
 /// ([`ServedVia::StaleFallback`]) instead of failing the callers.
 fn shed(shared: &Shared, solve: SolveJob) {
     let key = solve.fingerprint.0;
-    let waiters = shared.in_flight.lock().remove(&key).unwrap_or_default();
+    let waiters = shared.flight.complete(key);
     match &solve.stale {
         Some(answer) => {
-            shared.stale_served.fetch_add(1 + waiters.len() as u64, Ordering::Relaxed);
+            bump_by(&shared.stale_served, 1 + waiters.len() as u64);
             let serve_stale = |platform: &Platform| {
                 Ok(Served { answer: tailor(answer, platform), via: ServedVia::StaleFallback })
             };
@@ -1070,7 +1026,7 @@ fn shed(shared: &Shared, solve: SolveJob) {
             }
         }
         None => {
-            shared.shed.fetch_add(1 + waiters.len() as u64, Ordering::Relaxed);
+            bump_by(&shared.shed, 1 + waiters.len() as u64);
             let _ = solve.job.reply.send(Err(ServeError::Shed));
             for waiter in waiters {
                 let _ = waiter.reply.send(Err(ServeError::Shed));
@@ -1095,17 +1051,18 @@ fn run_solve_chain(shared: &Shared, first: SolveJob) {
 
 /// Solves one admitted job through the drift-triage ladder, publishes the
 /// answer and its basis, and fans the result out to every parked waiter.
+// lint: worker-entry
 fn solve_one(shared: &Shared, solve: SolveJob) {
     let SolveJob { job, fingerprint, stale } = solve;
     let key = fingerprint.0;
     let mut guard = InFlightGuard { shared, key, armed: true };
 
-    shared.solves.fetch_add(1, Ordering::Relaxed);
+    bump(&shared.solves);
     // A demand solve for a key the prefetcher once installed means the
     // speculative entry was evicted or expired before any demand query
     // landed on it: the prediction was right but wasted.
-    if claim_prefetched(shared, key) {
-        shared.prefetch_wasted.fetch_add(1, Ordering::Relaxed);
+    if shared.ledger.claim(key) {
+        bump(&shared.prefetch_wasted);
     }
     // Triage seed: the winning basis of this query's structural class (same
     // topology and roles, possibly different costs), if any.
@@ -1119,30 +1076,30 @@ fn solve_one(shared: &Shared, solve: SolveJob) {
             Ok((answer, report)) => {
                 let nanos = solve_started.elapsed().as_nanos() as u64;
                 if report.had_prior {
-                    shared.triaged.fetch_add(1, Ordering::Relaxed);
+                    bump(&shared.triaged);
                 }
                 match report.triage {
                     Triage::InRange => {
-                        shared.in_range.fetch_add(1, Ordering::Relaxed);
+                        bump(&shared.in_range);
                     }
                     Triage::DualRepair { .. } => {
-                        shared.dual_repairs.fetch_add(1, Ordering::Relaxed);
+                        bump(&shared.dual_repairs);
                     }
                     Triage::ResolveWarm { .. } | Triage::ResolveCold => {}
                 }
                 if report.triage.reused_basis()
                     || matches!(report.triage, Triage::ResolveWarm { .. })
                 {
-                    shared.warm_solves.fetch_add(1, Ordering::Relaxed);
-                    shared.warm_pivots.fetch_add(report.iterations as u64, Ordering::Relaxed);
-                    shared.warm_solve_nanos.fetch_add(nanos, Ordering::Relaxed);
+                    bump(&shared.warm_solves);
+                    bump_by(&shared.warm_pivots, report.iterations as u64);
+                    bump_by(&shared.warm_solve_nanos, nanos);
                 } else {
-                    shared.cold_solves.fetch_add(1, Ordering::Relaxed);
-                    shared.cold_pivots.fetch_add(report.iterations as u64, Ordering::Relaxed);
-                    shared.cold_solve_nanos.fetch_add(nanos, Ordering::Relaxed);
+                    bump(&shared.cold_solves);
+                    bump_by(&shared.cold_pivots, report.iterations as u64);
+                    bump_by(&shared.cold_solve_nanos, nanos);
                 }
                 if stale.is_some() {
-                    shared.revalidations.fetch_add(1, Ordering::Relaxed);
+                    bump(&shared.revalidations);
                 }
                 if let Some(basis) = report.basis {
                     publish_basis(shared, structural_key, basis);
@@ -1151,7 +1108,7 @@ fn solve_one(shared: &Shared, solve: SolveJob) {
                 shared.cache.insert_at(
                     key,
                     Arc::clone(&answer),
-                    shared.epoch.load(Ordering::Relaxed),
+                    shared.now(),
                     Some(structural_key),
                 );
                 Ok(answer)
@@ -1159,11 +1116,11 @@ fn solve_one(shared: &Shared, solve: SolveJob) {
             Err(e) => Err(e),
         };
 
-    let waiters = shared.in_flight.lock().remove(&key).unwrap_or_default();
+    let waiters = shared.flight.complete(key);
     guard.disarm();
     if outcome.is_err() {
         // One error response per caller: the solver's own plus every waiter.
-        shared.errors.fetch_add(1 + waiters.len() as u64, Ordering::Relaxed);
+        bump_by(&shared.errors, 1 + waiters.len() as u64);
     }
     // The solver's own job gets the full answer (it is the numbering the
     // schedule was built in); waiters get it tailored to their platforms.

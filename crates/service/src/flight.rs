@@ -1,0 +1,104 @@
+//! Single-flight deduplication: at most one in-flight solve per key, with a
+//! waiter table for callers that arrive while it runs.
+//!
+//! The protocol (extracted from the engine so the model checker can explore
+//! it in isolation — see `tests/loom_models.rs`):
+//!
+//! * [`SingleFlight::join_or_lead`] runs a *re-check* closure under the
+//!   admission lock (the caller's earlier lock-free cache lookup may have
+//!   raced a completing solve), then either parks the caller as a waiter on
+//!   an existing flight or makes it the **leader** for the key;
+//! * the leader publishes its result to the cache *first* and only then
+//!   calls [`SingleFlight::complete`] to take the waiter list — so any
+//!   caller that misses the waiter list is guaranteed to find the cache
+//!   entry on its locked re-check.  No lost wakeup, no double-solve.
+//!
+//! The admission lock ranks **below** the cache's shard locks in the
+//! documented lock order (see [`crate::sync`]): the re-check closure may
+//! call into the cache; cache internals never call back into this table.
+
+use std::collections::HashMap;
+
+use crate::sync::Mutex;
+
+/// Outcome of [`SingleFlight::join_or_lead`].  `J` is the caller's context
+/// (the job), consumed on park and handed back otherwise.
+pub enum Flight<A, J> {
+    /// The locked re-check produced an answer; nothing was enqueued and the
+    /// caller's context comes back with it.
+    Ready(A, J),
+    /// The caller was parked as a waiter on an existing in-flight solve;
+    /// its context was consumed by the `park` closure.
+    Parked,
+    /// The caller became the leader for the key: it must solve, publish,
+    /// and then [`SingleFlight::complete`] (on every path, including
+    /// unwinding — see the engine's in-flight guard).
+    Leader(J),
+}
+
+/// The in-flight table: key → waiters parked on that key's running solve.
+/// Generic over the waiter type so model tests can park trivial payloads.
+pub struct SingleFlight<W> {
+    table: Mutex<HashMap<u64, Vec<W>>>,
+}
+
+impl<W> SingleFlight<W> {
+    /// An empty table.
+    pub fn new() -> SingleFlight<W> {
+        SingleFlight { table: Mutex::new(HashMap::new()) }
+    }
+
+    /// Runs `recheck` under the admission lock, then parks the caller on an
+    /// existing flight for `key` or makes it the leader.  `park` turns the
+    /// caller's context into a waiter and is only invoked when the caller
+    /// actually parks.
+    pub fn join_or_lead<A, J>(
+        &self,
+        key: u64,
+        ctx: J,
+        recheck: impl FnOnce() -> Option<A>,
+        park: impl FnOnce(J) -> W,
+    ) -> Flight<A, J> {
+        let mut table = self.table.lock();
+        if let Some(answer) = recheck() {
+            return Flight::Ready(answer, ctx);
+        }
+        if let Some(waiters) = table.get_mut(&key) {
+            waiters.push(park(ctx));
+            return Flight::Parked;
+        }
+        table.insert(key, Vec::new());
+        Flight::Leader(ctx)
+    }
+
+    /// Speculative leadership: becomes the leader for `key` unless `busy`
+    /// reports the work is already unnecessary (cached fresh) or a flight
+    /// for the key exists.  Returns whether leadership was taken.  Used by
+    /// the prefetch path, which drops rather than parks.
+    pub fn try_lead(&self, key: u64, busy: impl FnOnce() -> bool) -> bool {
+        let mut table = self.table.lock();
+        if busy() || table.contains_key(&key) {
+            return false;
+        }
+        table.insert(key, Vec::new());
+        true
+    }
+
+    /// Ends the flight for `key`, returning the waiters parked on it (empty
+    /// when the key was not in flight).  The leader must have published its
+    /// result before calling this — see the module docs.
+    pub fn complete(&self, key: u64) -> Vec<W> {
+        self.table.lock().remove(&key).unwrap_or_default()
+    }
+
+    /// Whether `key` currently has an in-flight solve.
+    pub fn contains(&self, key: u64) -> bool {
+        self.table.lock().contains_key(&key)
+    }
+}
+
+impl<W> Default for SingleFlight<W> {
+    fn default() -> Self {
+        SingleFlight::new()
+    }
+}

@@ -1,0 +1,101 @@
+//! The cold-solve admission gate: a bounded count of concurrently *running*
+//! jobs plus a bounded queue of *pending* ones, with requeue-based waiting.
+//!
+//! The protocol (extracted from the engine so the model checker can explore
+//! it in isolation — see `tests/loom_models.rs`):
+//!
+//! * [`ColdGate::admit`] takes a free slot, parks the job in the pending
+//!   queue, or reports that it must be shed;
+//! * a slot-holder that finishes calls [`ColdGate::release_or_takeover`]:
+//!   it either *takes over* the next pending job — the slot transfers
+//!   without ever being released — or, only when the queue is empty, frees
+//!   the slot.
+//!
+//! Queueing and releasing happen under one mutex, which preserves the
+//! invariant **pending non-empty ⇒ running > 0**: a job can never be queued
+//! after the last slot-holder checked the queue, so every parked job is
+//! picked up by some future release and none is stranded.
+
+use std::collections::VecDeque;
+
+use crate::sync::Mutex;
+
+/// State behind the gate's mutex (rank 10 in the documented lock order).
+struct GateState<T> {
+    running: usize,
+    pending: VecDeque<T>,
+}
+
+/// Bounds the number of concurrently running cold solves with a
+/// requeue-based waiting queue.  Generic over the queued job type so model
+/// tests can drive it with trivial payloads.
+pub struct ColdGate<T> {
+    /// 0 means the gate is disabled (unlimited cold solves, nothing queues).
+    max_running: usize,
+    max_pending: usize,
+    state: Mutex<GateState<T>>,
+}
+
+/// Outcome of [`ColdGate::admit`].
+pub enum Admission<T> {
+    /// The caller holds a slot: run the job, then keep calling
+    /// [`ColdGate::release_or_takeover`] until the pending queue is drained.
+    Admitted(T),
+    /// The job is parked in the pending queue; a slot-holder will run it.
+    Queued,
+    /// Slots and queue are both full: the caller sheds the job.
+    Shed(T),
+}
+
+impl<T> ColdGate<T> {
+    /// A gate admitting `max_running` concurrent jobs and queueing up to
+    /// `max_pending` more; `max_running == 0` disables the gate entirely.
+    pub fn new(max_running: usize, max_pending: usize) -> ColdGate<T> {
+        ColdGate {
+            max_running,
+            max_pending,
+            state: Mutex::new(GateState { running: 0, pending: VecDeque::new() }),
+        }
+    }
+
+    /// Takes a solve slot, parks the job, or reports that it must be shed.
+    pub fn admit(&self, job: T) -> Admission<T> {
+        if self.max_running == 0 {
+            return Admission::Admitted(job);
+        }
+        let mut state = self.state.lock();
+        if state.running < self.max_running {
+            state.running += 1;
+            return Admission::Admitted(job);
+        }
+        if state.pending.len() < self.max_pending {
+            state.pending.push_back(job);
+            return Admission::Queued;
+        }
+        Admission::Shed(job)
+    }
+
+    /// Hands the caller the next pending job — the slot transfers to it — or
+    /// releases the slot when the queue is empty.  Holding the slot across
+    /// the hand-off (instead of release-then-reacquire) is what makes the
+    /// stranding invariant airtight: a job can never be queued after the
+    /// last slot-holder checked the queue.
+    pub fn release_or_takeover(&self) -> Option<T> {
+        if self.max_running == 0 {
+            return None;
+        }
+        let mut state = self.state.lock();
+        if let Some(job) = state.pending.pop_front() {
+            return Some(job);
+        }
+        state.running -= 1;
+        None
+    }
+
+    /// Point-in-time `(running, pending)` sizes — the observables the model
+    /// checker asserts the stranding invariant over.
+    pub fn load(&self) -> (usize, usize) {
+        let state = self.state.lock();
+        (state.running, state.pending.len())
+    }
+}

@@ -1,0 +1,79 @@
+//! The prefetch ledger: cache keys installed by speculative solves that no
+//! demand query has landed on yet.
+//!
+//! A demand query that finds one **claims** it — exactly once across all
+//! racing claimants — attributing the landing as a `prefetch_hit` (claimed
+//! on a cache hit) or `prefetch_wasted` (claimed by a demand solve that had
+//! to re-derive the answer anyway).  The claim-at-most-once property is
+//! model-checked in `tests/loom_models.rs`.
+//!
+//! The hot path is a lock-free emptiness probe: a relaxed mirror of the key
+//! count lets every demand hit skip the lock entirely while nothing
+//! speculative is outstanding (the common case).  The mirror is updated
+//! while holding the key-set lock, so it can lag a concurrent `record` but
+//! never reads above the true count for long; a probe that misses a
+//! just-recorded key simply leaves it to be claimed by the next landing,
+//! which only shifts *stat attribution*, never correctness.
+
+use std::collections::HashSet;
+
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::Mutex;
+
+/// Not-yet-landed prefetched keys plus the lock-free emptiness mirror.
+pub struct PrefetchLedger {
+    /// Rank 20 in the documented lock order (see [`crate::sync`]).
+    keys: Mutex<HashSet<u64>>,
+    count: AtomicUsize,
+}
+
+impl PrefetchLedger {
+    /// An empty ledger.
+    pub fn new() -> PrefetchLedger {
+        PrefetchLedger { keys: Mutex::new(HashSet::new()), count: AtomicUsize::new(0) }
+    }
+
+    /// Records a freshly installed speculative key; returns `false` when it
+    /// was already outstanding.
+    pub fn record(&self, key: u64) -> bool {
+        let mut keys = self.keys.lock();
+        let inserted = keys.insert(key);
+        if inserted {
+            // relaxed: mirror updated under the `keys` lock; readers use it
+            // only as an emptiness hint and re-check under the lock.
+            self.count.fetch_add(1, Ordering::Relaxed);
+        }
+        inserted
+    }
+
+    /// Claims `key` if it is outstanding — `true` for exactly one of any
+    /// set of racing claimants, and exactly once per recorded key.
+    pub fn claim(&self, key: u64) -> bool {
+        // relaxed: emptiness probe only — a stale 0 skips the lock and
+        // leaves the key for the next landing (attribution, not
+        // correctness); any non-zero answer is verified under the lock.
+        if self.count.load(Ordering::Relaxed) == 0 {
+            return false;
+        }
+        let mut keys = self.keys.lock();
+        let claimed = keys.remove(&key);
+        if claimed {
+            // relaxed: mirror updated under the `keys` lock (see `record`).
+            self.count.fetch_sub(1, Ordering::Relaxed);
+        }
+        claimed
+    }
+
+    /// Number of outstanding (recorded, unclaimed) keys.
+    pub fn outstanding(&self) -> usize {
+        // relaxed: monotonicity is not required of this gauge; it is a
+        // point-in-time observability read.
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for PrefetchLedger {
+    fn default() -> Self {
+        PrefetchLedger::new()
+    }
+}

@@ -73,9 +73,13 @@
 pub mod cache;
 pub mod engine;
 pub mod fingerprint;
+pub mod flight;
+pub mod gate;
+pub mod ledger;
 pub mod loadgen;
 pub mod persist;
 pub mod query;
+pub mod sync;
 
 pub use cache::{CacheConfig, CacheStats, Lookup, SolutionCache};
 pub use engine::{

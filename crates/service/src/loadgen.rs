@@ -377,6 +377,8 @@ pub fn run_load(service: &Service, config: &LoadConfig) -> Result<LoadReport, Se
                 scope.spawn(move |_| {
                     let mut latencies = Vec::new();
                     loop {
+                        // relaxed: a claim ticket only needs atomicity, not
+                        // ordering — each index goes to exactly one client.
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= sequence.len() {
                             return Ok(latencies);
@@ -392,8 +394,10 @@ pub fn run_load(service: &Service, config: &LoadConfig) -> Result<LoadReport, Se
                 })
             })
             .collect();
+        // lint: allow(panics) — propagates a client-thread panic instead of fabricating latencies.
         handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
     })
+    // lint: allow(panics) — propagates a client-thread panic instead of fabricating latencies.
     .expect("a load client panicked");
     let elapsed = started.elapsed();
 

@@ -1,0 +1,238 @@
+//! Exhaustive interleaving checks for the serving core's four riskiest
+//! protocols, run under the deterministic model checker (`shims/loom`).
+//!
+//! Build and run with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg steady_loom" cargo test -p steady-service --test loom_models
+//! ```
+//!
+//! Under that cfg the `steady_service::sync` facade resolves every mutex,
+//! rwlock, atomic and channel to the modeled primitives, and each test below
+//! explores **every** thread interleaving reachable within the preemption
+//! bound — not a sampled handful.  Each test prints how many schedules it
+//! explored and asserts the count is large enough to be meaningful.
+#![cfg(steady_loom)]
+
+use std::sync::Arc;
+
+use loom::thread;
+use loom::Builder;
+
+use steady_service::cache::{CacheConfig, Lookup, SolutionCache};
+use steady_service::flight::{Flight, SingleFlight};
+use steady_service::gate::{Admission, ColdGate};
+use steady_service::ledger::PrefetchLedger;
+use steady_service::sync::atomic::{AtomicU64, Ordering};
+use steady_service::sync::channel;
+use steady_service::sync::Mutex;
+
+const KEY: u64 = 7;
+
+/// Runs `f` under every schedule within `builder`'s bounds, prints the
+/// exploration size, and asserts the model was big enough to mean something.
+fn explore(name: &str, builder: Builder, f: impl Fn() + Send + Sync + 'static) {
+    let report = builder.check(f);
+    println!(
+        "{name}: explored {} schedules (longest: {} decisions)",
+        report.schedules, report.max_decisions
+    );
+    assert!(
+        report.schedules > 100,
+        "{name}: only {} schedules explored — the model is too small to be meaningful",
+        report.schedules
+    );
+}
+
+/// The serve-side single-flight protocol, as the engine runs it: a locked
+/// re-check, then park-or-lead; the leader publishes to the "cache" *before*
+/// releasing the flight and fans the answer out to every parked waiter.
+fn serve_like(
+    flight: &SingleFlight<channel::Sender<u64>>,
+    cache: &Mutex<Option<u64>>,
+    solves: &AtomicU64,
+    reply: channel::Sender<u64>,
+) {
+    match flight.join_or_lead(KEY, reply, || *cache.lock(), |reply| reply) {
+        Flight::Ready(answer, reply) => {
+            let _ = reply.send(answer);
+        }
+        Flight::Parked => {}
+        Flight::Leader(reply) => {
+            // relaxed: test-only tally, asserted after every thread joined.
+            solves.fetch_add(1, Ordering::Relaxed);
+            *cache.lock() = Some(42);
+            let waiters = flight.complete(KEY);
+            let _ = reply.send(42);
+            for waiter in waiters {
+                let _ = waiter.send(42);
+            }
+        }
+    }
+}
+
+/// Protocol 1 — single-flight leader/waiter races: across every
+/// interleaving of three identical queries, exactly one solve runs and
+/// every caller receives the answer.  No lost wakeup, no double-solve.
+#[test]
+fn single_flight_never_loses_a_waiter_or_solves_twice() {
+    explore("single_flight", Builder::default(), || {
+        let flight = Arc::new(SingleFlight::<channel::Sender<u64>>::new());
+        let cache = Arc::new(Mutex::new(None::<u64>));
+        let solves = Arc::new(AtomicU64::new(0));
+        let mut replies = Vec::new();
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let (tx, rx) = channel::unbounded();
+            replies.push(rx);
+            let flight = Arc::clone(&flight);
+            let cache = Arc::clone(&cache);
+            let solves = Arc::clone(&solves);
+            handles.push(thread::spawn(move || serve_like(&flight, &cache, &solves, tx)));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(solves.load(Ordering::Relaxed), 1, "double-solve (or none at all)");
+        for reply in replies {
+            assert_eq!(reply.try_recv().ok(), Some(42), "a caller lost its wakeup");
+        }
+        assert!(!flight.contains(KEY), "the flight was never completed");
+    });
+}
+
+/// Protocol 2 — ColdGate admission: with one slot and a two-deep queue,
+/// every one of three competing jobs is either executed (directly or by
+/// slot takeover) or explicitly shed — never stranded in the queue — and
+/// whenever a job is parked, some slot-holder exists to pick it up.
+#[test]
+fn cold_gate_strands_no_job() {
+    explore("cold_gate", Builder::default(), || {
+        let gate = Arc::new(ColdGate::<u64>::new(1, 2));
+        let executed = Arc::new(AtomicU64::new(0));
+        let shed = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                let gate = Arc::clone(&gate);
+                let executed = Arc::clone(&executed);
+                let shed = Arc::clone(&shed);
+                thread::spawn(move || match gate.admit(i) {
+                    Admission::Admitted(_) => {
+                        // relaxed: test-only tallies, asserted after join.
+                        executed.fetch_add(1, Ordering::Relaxed);
+                        while gate.release_or_takeover().is_some() {
+                            executed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Admission::Queued => {
+                        let (running, pending) = gate.load();
+                        assert!(
+                            pending == 0 || running > 0,
+                            "stranded: {pending} pending with no slot-holder"
+                        );
+                    }
+                    Admission::Shed(_) => {
+                        shed.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let done = executed.load(Ordering::Relaxed) + shed.load(Ordering::Relaxed);
+        assert_eq!(done, 3, "a job was neither executed nor shed");
+        assert_eq!(gate.load(), (0, 0), "the gate leaked a slot or a pending job");
+    });
+}
+
+/// Protocol 3 — TTL epoch advance vs insert races: an entry the epoch
+/// clock expires underneath a concurrent revalidation is *revalidated* or
+/// *served stale*, but never observed as [`Lookup::Miss`] — TTL never makes
+/// data vanish.
+#[test]
+fn ttl_expiry_never_loses_an_entry() {
+    explore("ttl_epoch", Builder::default(), || {
+        let cache = Arc::new(SolutionCache::<u64>::new(&CacheConfig { capacity: 4, shards: 1 }));
+        let epoch = Arc::new(AtomicU64::new(0));
+        let ttl = Some(1);
+        cache.insert_at(KEY, 42, 0, None);
+
+        let clock = {
+            let epoch = Arc::clone(&epoch);
+            thread::spawn(move || {
+                // relaxed: mirrors `Service::advance_epoch` — the epoch is a
+                // lag-tolerant stamp, the model asserts on values not order.
+                epoch.fetch_add(1, Ordering::Relaxed);
+                epoch.fetch_add(1, Ordering::Relaxed);
+            })
+        };
+        let revalidator = {
+            let cache = Arc::clone(&cache);
+            let epoch = Arc::clone(&epoch);
+            thread::spawn(move || {
+                // relaxed: see above — any recent value of the clock is valid.
+                let now = epoch.load(Ordering::Relaxed);
+                match cache.lookup(KEY, now, ttl) {
+                    Lookup::Hit(v) => assert_eq!(v, 42),
+                    Lookup::Stale(v) => {
+                        assert_eq!(v, 42);
+                        cache.insert_at(KEY, 43, epoch.load(Ordering::Relaxed), None);
+                    }
+                    Lookup::Miss => panic!("the expiring entry vanished mid-revalidation"),
+                }
+            })
+        };
+        clock.join().unwrap();
+        revalidator.join().unwrap();
+
+        // relaxed: final read after both joins; fully ordered by then.
+        let now = epoch.load(Ordering::Relaxed);
+        match cache.lookup(KEY, now, ttl) {
+            Lookup::Hit(v) | Lookup::Stale(v) => {
+                assert!(v == 42 || v == 43, "unexpected value {v}")
+            }
+            Lookup::Miss => panic!("the entry vanished"),
+        }
+    });
+}
+
+/// Protocol 4 — prefetch-hit claiming: however a record races any number of
+/// claimants, a recorded key is claimed **at most once**, and the ledger's
+/// accounting (claims + outstanding) stays exact.
+#[test]
+fn prefetch_claim_is_at_most_once() {
+    explore("prefetch_claim", Builder::default(), || {
+        let ledger = Arc::new(PrefetchLedger::new());
+        let claims = Arc::new(AtomicU64::new(0));
+        let recorder = {
+            let ledger = Arc::clone(&ledger);
+            thread::spawn(move || {
+                ledger.record(KEY);
+            })
+        };
+        let claimants: Vec<_> = (0..2)
+            .map(|_| {
+                let ledger = Arc::clone(&ledger);
+                let claims = Arc::clone(&claims);
+                thread::spawn(move || {
+                    if ledger.claim(KEY) {
+                        // relaxed: test-only tally, asserted after join.
+                        claims.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        recorder.join().unwrap();
+        for claimant in claimants {
+            claimant.join().unwrap();
+        }
+        let claimed = claims.load(Ordering::Relaxed);
+        assert!(claimed <= 1, "the key was claimed {claimed} times");
+        assert_eq!(
+            claimed as usize + ledger.outstanding(),
+            1,
+            "claim accounting drifted from the recorded key"
+        );
+    });
+}

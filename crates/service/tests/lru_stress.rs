@@ -1,0 +1,131 @@
+//! Deterministic concurrent stress test for the sharded LRU cache.
+//!
+//! Eight OS threads hammer a deliberately tiny cache (capacity 8 over 4
+//! shards, so every shard holds at most two entries and eviction fires
+//! constantly) with a seeded mix of inserts, TTL lookups and peeks.  The
+//! interleaving is whatever the scheduler produces, but the *accounting*
+//! must come out exact regardless of it:
+//!
+//! - `hits + misses` equals the number of counted lookups issued,
+//! - `insertions - evictions` equals the number of entries left,
+//! - every surviving entry still carries the value its key determines,
+//! - the global capacity bound is never exceeded.
+//!
+//! This complements the loom suite (`tests/loom_models.rs`): loom proves
+//! the small protocols exhaustively on modeled primitives; this test runs
+//! the real parking_lot-backed cache under genuine parallelism.
+
+use std::thread;
+
+use steady_service::cache::{CacheConfig, Lookup, SolutionCache};
+
+const THREADS: u64 = 8;
+const OPS_PER_THREAD: u64 = 4000;
+const KEY_SPACE: u64 = 32;
+const CAPACITY: usize = 8;
+/// Value carried by key `k` — re-inserts always store the same value, so a
+/// surviving entry can be checked against its key alone.
+fn value_of(key: u64) -> u64 {
+    key ^ 0xabcd_ef01
+}
+
+/// A tiny splitmix-style generator so each thread's op sequence is a pure
+/// function of its seed — no global RNG state, no `rand` dependency.
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[test]
+fn accounting_stays_exact_under_concurrent_stress() {
+    let cache: SolutionCache<u64> =
+        SolutionCache::new(&CacheConfig { capacity: CAPACITY, shards: 4 });
+    cache.mark_class_seeded(1);
+
+    // Per-thread count of lookups that touch the hit/miss counters
+    // (`lookup` and `get` do; `peek`/`peek_fresh` must not).
+    let counted: Vec<u64> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let cache = &cache;
+                scope.spawn(move || {
+                    let mut state = 0x5eed ^ (t << 17);
+                    let mut counted = 0u64;
+                    for _ in 0..OPS_PER_THREAD {
+                        let roll = next(&mut state);
+                        let key = roll % KEY_SPACE;
+                        let epoch = (roll >> 8) % 4;
+                        match (roll >> 16) % 5 {
+                            0 => {
+                                // Half the keys belong to the seeded class 1,
+                                // exercising the drift-aware victim choice.
+                                let class = if key.is_multiple_of(2) { Some(1) } else { Some(2) };
+                                cache.insert_at(key, value_of(key), epoch, class);
+                            }
+                            1 => {
+                                counted += 1;
+                                match cache.lookup(key, epoch, Some(1)) {
+                                    Lookup::Hit(v) | Lookup::Stale(v) => {
+                                        assert_eq!(v, value_of(key));
+                                    }
+                                    Lookup::Miss => {}
+                                }
+                            }
+                            2 => {
+                                counted += 1;
+                                if let Some(v) = cache.get(key) {
+                                    assert_eq!(v, value_of(key));
+                                }
+                            }
+                            3 => {
+                                if let Some(v) = cache.peek(key) {
+                                    assert_eq!(v, value_of(key));
+                                }
+                            }
+                            _ => {
+                                if let Some(v) = cache.peek_fresh(key, epoch, Some(2)) {
+                                    assert_eq!(v, value_of(key));
+                                }
+                            }
+                        }
+                        assert!(
+                            cache.len() <= CAPACITY,
+                            "capacity bound violated: {} > {CAPACITY}",
+                            cache.len()
+                        );
+                    }
+                    counted
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("stress thread panicked")).collect()
+    });
+
+    let stats = cache.stats();
+    let lookups: u64 = counted.iter().sum();
+    assert_eq!(
+        stats.hits + stats.misses,
+        lookups,
+        "every counted lookup is exactly one hit or one miss"
+    );
+    assert!(stats.stale <= stats.misses, "stale lookups are a subset of misses");
+    assert!(
+        stats.preferred_evictions <= stats.evictions,
+        "preferred evictions are a subset of evictions"
+    );
+    assert_eq!(
+        stats.insertions - stats.evictions,
+        cache.len() as u64,
+        "insertion/eviction counters must reconcile exactly with the content"
+    );
+    assert!(cache.len() <= CAPACITY);
+    assert!(stats.evictions > 0, "the tiny capacity must actually force evictions");
+
+    // Content check: every survivor still carries its key's value.
+    for (key, value) in cache.entries() {
+        assert_eq!(value, value_of(key), "entry under key {key} was corrupted");
+    }
+}

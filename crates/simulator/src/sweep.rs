@@ -44,6 +44,8 @@ where
     crossbeam::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|_| loop {
+                // relaxed: a claim ticket only needs atomicity, not order —
+                // each index is handed to exactly one worker either way.
                 let idx = next.fetch_add(1, Ordering::Relaxed);
                 if idx >= n {
                     break;

@@ -8,6 +8,8 @@
 //! statistics are deliberately simple: each benchmark runs for a short
 //! wall-clock budget and reports mean time per iteration.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

@@ -10,13 +10,126 @@
 //!   closure receives the scope, and `scope` returns `Err` if any spawned
 //!   thread panicked), backed by `std::thread::scope`.
 
+#![forbid(unsafe_code)]
+
 /// Unbounded channels with crossbeam's module layout.
+///
+/// The types wrap `std::sync::mpsc` but pin down the timeout/disconnect
+/// contract the `loom` shim's modeled channel defines — the two are held to
+/// it by a shared conformance suite (`shims/loom/tests/channel_conformance`):
+///
+/// * a queued message is **always** delivered, even when every sender is
+///   already gone or the timeout is zero;
+/// * `Disconnected` is reported only on an *empty* channel with no senders;
+/// * a message that arrives while `recv_timeout` waits is delivered, never
+///   swallowed into a `Timeout`.
 pub mod channel {
-    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, SendError, Sender, TryRecvError};
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// Every sender is gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// Every sender is gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv`]: every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Sender::send`]: the receiver is gone.  Carries
+    /// the unsent message back to the caller.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender { inner: self.inner.clone() }
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
 
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        std::sync::mpsc::channel()
+        let (tx, rx) = std::sync::mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, failing (and handing it back) if the receiver is
+        /// gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message or disconnection.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            match self.inner.try_recv() {
+                Ok(v) => Ok(v),
+                Err(mpsc::TryRecvError::Empty) => Err(TryRecvError::Empty),
+                Err(mpsc::TryRecvError::Disconnected) => Err(TryRecvError::Disconnected),
+            }
+        }
+
+        /// Timed receive under the modeled-channel contract: drain first (so
+        /// queued messages beat zero timeouts and dead senders), wait at most
+        /// `timeout`, and re-check after a timeout so a message racing the
+        /// deadline is delivered rather than swallowed.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            match self.try_recv() {
+                Ok(v) => return Ok(v),
+                Err(TryRecvError::Disconnected) => return Err(RecvTimeoutError::Disconnected),
+                Err(TryRecvError::Empty) => {}
+            }
+            match self.inner.recv_timeout(timeout) {
+                Ok(v) => Ok(v),
+                Err(mpsc::RecvTimeoutError::Timeout) => match self.try_recv() {
+                    Ok(v) => Ok(v),
+                    Err(TryRecvError::Disconnected) => Err(RecvTimeoutError::Disconnected),
+                    Err(TryRecvError::Empty) => Err(RecvTimeoutError::Timeout),
+                },
+                Err(mpsc::RecvTimeoutError::Disconnected) => match self.try_recv() {
+                    // `std` drains the queue before reporting disconnection,
+                    // but the contract is re-checked rather than assumed.
+                    Ok(v) => Ok(v),
+                    Err(_) => Err(RecvTimeoutError::Disconnected),
+                },
+            }
+        }
     }
 }
 

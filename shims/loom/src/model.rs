@@ -1,0 +1,107 @@
+//! The exhaustive explorer: depth-first search over schedule prefixes.
+//!
+//! Each call to [`Builder::check`] runs the model closure under one schedule
+//! at a time.  A schedule is the sequence of scheduling decisions recorded by
+//! the runtime (the private `rt` module); after each run the explorer rewinds to
+//! the last decision with an unexplored alternative, bumps it, and replays —
+//! classic DFS over the prefix tree of schedules, exactly enumerating every
+//! interleaving reachable within the preemption bound.
+
+use std::sync::Arc;
+
+use crate::rt;
+
+/// Summary of one exhaustive exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Report {
+    /// Number of distinct schedules (complete interleavings) explored.
+    pub schedules: usize,
+    /// Length of the longest decision sequence seen.
+    pub max_decisions: usize,
+}
+
+/// Configures an exploration (mirrors `loom::model::Builder`).
+#[derive(Debug, Clone, Copy)]
+pub struct Builder {
+    /// Maximum number of *preemptive* context switches per schedule (a
+    /// switch away from a thread that could have kept running).  Forced
+    /// switches — the current thread blocked or finished — are free.  Small
+    /// bounds explore the interleavings that find almost all real bugs while
+    /// keeping the search finite; `usize::MAX` makes the search truly
+    /// exhaustive.
+    pub preemption_bound: usize,
+    /// Hard cap on explored schedules; exceeding it panics, flagging a model
+    /// too big to check exhaustively rather than spinning forever.
+    pub max_schedules: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder { preemption_bound: 2, max_schedules: 500_000 }
+    }
+}
+
+impl Builder {
+    /// A builder with the default bounds.
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    /// Exhaustively explores `f` under every schedule within the bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any schedule fails — an assertion in `f` fired, a modeled
+    /// thread panicked, or the model deadlocked — with the failing schedule's
+    /// decision trace, or when the exploration exceeds
+    /// [`Builder::max_schedules`].
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let mut replay: Vec<u32> = Vec::new();
+        let mut schedules = 0usize;
+        let mut max_decisions = 0usize;
+        loop {
+            let outcome = rt::run_once(Arc::clone(&f), replay.clone(), self.preemption_bound);
+            schedules += 1;
+            max_decisions = max_decisions.max(outcome.decisions.len());
+            if let Some(message) = outcome.failure {
+                panic!(
+                    "loom model failed on schedule {schedules}: {message}\n\
+                     failing schedule (decision indices): {:?}",
+                    outcome.decisions.iter().map(|d| d.chosen).collect::<Vec<_>>()
+                );
+            }
+            assert!(
+                schedules <= self.max_schedules,
+                "loom exploration exceeded {} schedules; shrink the model or raise max_schedules",
+                self.max_schedules
+            );
+            // Rewind to the deepest decision with an unexplored alternative.
+            let mut decisions = outcome.decisions;
+            let mut advanced = false;
+            while let Some(last) = decisions.pop() {
+                if last.chosen + 1 < last.enabled {
+                    decisions.push(rt::Decision { enabled: last.enabled, chosen: last.chosen + 1 });
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                return Report { schedules, max_decisions };
+            }
+            replay = decisions.iter().map(|d| d.chosen).collect();
+        }
+    }
+}
+
+/// Explores `f` under the default bounds (preemption bound 2).  See
+/// [`Builder::check`].
+pub fn model<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().check(f)
+}

@@ -1,0 +1,442 @@
+//! Execution runtime: one [`Execution`] drives one schedule of the model.
+//!
+//! Modeled threads are real OS threads, but only one ever runs at a time:
+//! every visible operation on a modeled primitive funnels through
+//! [`Execution::op`], which makes a *scheduling decision* (recorded for the
+//! DFS explorer, replayed on later runs) and then blocks the thread until it
+//! is chosen again.  All modeled object state lives in a single table behind
+//! one lock, so the interleaving the scheduler picks is exactly the
+//! interleaving the program observes — there is no hidden concurrency to
+//! race on.
+
+use std::collections::{HashSet, VecDeque};
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Index of a modeled thread within its execution.
+pub(crate) type ThreadId = usize;
+/// Index of a modeled sync object within its execution's object table.
+pub(crate) type ObjectId = usize;
+
+/// Why a modeled thread cannot currently run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Blocker {
+    /// Waiting to acquire a mutex or rwlock (any mode).
+    Lock(ObjectId),
+    /// Waiting for a message (or disconnection) on a channel.
+    Recv(ObjectId),
+    /// Waiting for a condvar notification.
+    CondWait(ObjectId),
+    /// Waiting for a thread to finish.
+    Join(ThreadId),
+}
+
+/// Run state of a modeled thread.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Run {
+    Runnable,
+    Blocked(Blocker),
+    Finished,
+}
+
+/// One scheduling decision: how many threads were eligible and which index
+/// into that eligible list was chosen.  The DFS explorer increments the last
+/// incompletely-explored decision to enumerate every schedule.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Decision {
+    pub enabled: u32,
+    pub chosen: u32,
+}
+
+/// State of one modeled synchronization object.
+#[derive(Debug)]
+pub(crate) enum Object {
+    Mutex {
+        owner: Option<ThreadId>,
+    },
+    Rw {
+        writer: Option<ThreadId>,
+        readers: usize,
+    },
+    /// Channel payloads live in the channel handle itself (they are generic
+    /// over `T`); the table entry only anchors the [`Blocker::Recv`] tag.
+    Chan,
+    Cond {
+        waiters: VecDeque<ThreadId>,
+        notified: HashSet<ThreadId>,
+    },
+    Atomic {
+        value: u64,
+    },
+}
+
+/// Outcome of one attempt at a modeled operation.
+pub(crate) enum OpOutcome<R> {
+    /// The operation completed with this result.
+    Ready(R),
+    /// The operation cannot proceed; park the thread until woken.
+    Block(Blocker),
+}
+
+/// Sentinel panic payload used to unwind modeled threads when the execution
+/// has already failed (another thread panicked, or a deadlock was detected).
+/// Thread wrappers recognize it and exit quietly instead of reporting a
+/// second failure.
+pub(crate) struct ModelAbort;
+
+pub(crate) struct ExecState {
+    threads: Vec<Run>,
+    current: ThreadId,
+    pub(crate) decisions: Vec<Decision>,
+    replay: Vec<u32>,
+    preemptions: usize,
+    cap: usize,
+    objects: Vec<Object>,
+    pub(crate) failure: Option<String>,
+    done: bool,
+}
+
+impl ExecState {
+    /// Marks every thread blocked on a blocker satisfying `pred` runnable
+    /// again; it will re-attempt its operation when next scheduled.
+    pub(crate) fn wake(&mut self, pred: impl Fn(Blocker) -> bool) {
+        for run in &mut self.threads {
+            if let Run::Blocked(b) = *run {
+                if pred(b) {
+                    *run = Run::Runnable;
+                }
+            }
+        }
+    }
+
+    pub(crate) fn object(&mut self, id: ObjectId) -> &mut Object {
+        &mut self.objects[id]
+    }
+
+    pub(crate) fn thread_finished(&self, tid: ThreadId) -> bool {
+        self.threads[tid] == Run::Finished
+    }
+
+    fn enabled(&self) -> Vec<ThreadId> {
+        (0..self.threads.len()).filter(|&t| self.threads[t] == Run::Runnable).collect()
+    }
+}
+
+/// One run of the model under one schedule.  See the module docs.
+pub(crate) struct Execution {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+    os_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+std::thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Execution>, ThreadId)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The executing thread's execution context, or `None` outside a model.
+pub(crate) fn current() -> Option<(Arc<Execution>, ThreadId)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// The executing thread's execution context; panics outside `loom::model`.
+pub(crate) fn require_current() -> (Arc<Execution>, ThreadId) {
+    current().expect("loom primitives must be used inside loom::model")
+}
+
+fn set_current(exec: Arc<Execution>, tid: ThreadId) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((exec, tid)));
+}
+
+fn clear_current() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+impl Execution {
+    fn new(replay: Vec<u32>, cap: usize) -> Execution {
+        Execution {
+            state: Mutex::new(ExecState {
+                threads: vec![Run::Runnable],
+                current: 0,
+                decisions: Vec::new(),
+                replay,
+                preemptions: 0,
+                cap,
+                objects: Vec::new(),
+                failure: None,
+                done: false,
+            }),
+            cv: Condvar::new(),
+            os_handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ExecState> {
+        // The runtime's own lock is never poisoned observably: a panicking
+        // modeled thread records its failure and unwinds outside the lock.
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Registers a new modeled sync object and returns its id.
+    pub(crate) fn register_object(&self, object: Object) -> ObjectId {
+        let mut s = self.lock();
+        s.objects.push(object);
+        s.objects.len() - 1
+    }
+
+    /// Runs `f` under the state lock *without* a scheduling decision and
+    /// without ever panicking — for guard/handle drops, which may run during
+    /// unwinding where a second panic would abort the process.
+    pub(crate) fn silent<R>(&self, f: impl FnOnce(&mut ExecState) -> R) -> R {
+        let mut s = self.lock();
+        f(&mut s)
+    }
+
+    /// Performs one modeled operation for the calling thread: makes a
+    /// scheduling decision, then attempts `f`; if `f` blocks, parks the
+    /// thread and retries each time it is woken and scheduled again.
+    pub(crate) fn op<R>(
+        &self,
+        tid: ThreadId,
+        mut f: impl FnMut(&mut ExecState) -> OpOutcome<R>,
+    ) -> R {
+        loop {
+            self.reschedule(tid);
+            let mut s = self.lock();
+            match f(&mut s) {
+                OpOutcome::Ready(r) => return r,
+                OpOutcome::Block(b) => {
+                    s.threads[tid] = Run::Blocked(b);
+                    drop(s);
+                    // Loop: reschedule() sees us blocked, hands off, and
+                    // returns once a waker made us runnable and a later
+                    // decision chose us.
+                }
+            }
+        }
+    }
+
+    /// One scheduling decision made by thread `tid` (the current thread):
+    /// choose who runs next — replaying the DFS prefix or defaulting to the
+    /// first eligible thread — then wait until `tid` is chosen again.
+    fn reschedule(&self, tid: ThreadId) {
+        let mut s = self.lock();
+        if s.failure.is_some() {
+            drop(s);
+            std::panic::panic_any(ModelAbort);
+        }
+        let enabled = s.enabled();
+        if enabled.is_empty() {
+            // The caller itself is blocked (else it would be enabled) and so
+            // is everyone else: the model deadlocked.
+            s.failure = Some(format!("deadlock: every live thread is blocked ({:?})", s.threads));
+            s.done = true;
+            self.cv.notify_all();
+            drop(s);
+            std::panic::panic_any(ModelAbort);
+        }
+        let self_runnable = s.threads[tid] == Run::Runnable;
+        // Bounded preemption: once the budget is spent, a runnable current
+        // thread keeps running (no branching), which keeps the DFS finite
+        // without losing the interleavings that need few context switches —
+        // the classic bug-finding sweet spot.
+        let choices: Vec<ThreadId> =
+            if self_runnable && s.preemptions >= s.cap && enabled.contains(&tid) {
+                vec![tid]
+            } else {
+                enabled
+            };
+        let d = s.decisions.len();
+        let idx = if d < s.replay.len() {
+            let idx = s.replay[d] as usize;
+            assert!(idx < choices.len(), "schedule replay diverged; the model is nondeterministic");
+            idx
+        } else {
+            0
+        };
+        let chosen = choices[idx];
+        s.decisions.push(Decision { enabled: choices.len() as u32, chosen: idx as u32 });
+        if chosen != tid && self_runnable {
+            s.preemptions += 1;
+        }
+        s.current = chosen;
+        self.cv.notify_all();
+        while s.current != tid && s.failure.is_none() {
+            s = self.cv.wait(s).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if s.failure.is_some() {
+            drop(s);
+            std::panic::panic_any(ModelAbort);
+        }
+    }
+
+    /// Registers a new modeled thread (runnable, not yet scheduled).
+    fn register_thread(&self) -> ThreadId {
+        let mut s = self.lock();
+        s.threads.push(Run::Runnable);
+        s.threads.len() - 1
+    }
+
+    fn track_os_handle(&self, handle: std::thread::JoinHandle<()>) {
+        self.os_handles.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(handle);
+    }
+
+    /// Blocks a freshly spawned thread until the scheduler first picks it.
+    /// Returns `false` when the execution failed before that happened.
+    fn wait_first_schedule(&self, tid: ThreadId) -> bool {
+        let mut s = self.lock();
+        while s.current != tid && s.failure.is_none() {
+            s = self.cv.wait(s).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        s.failure.is_none()
+    }
+
+    /// Marks `tid` finished, wakes joiners, and hands the schedule to the
+    /// next thread (a recorded decision) or declares the run complete.
+    fn finish(&self, tid: ThreadId) {
+        let mut s = self.lock();
+        s.threads[tid] = Run::Finished;
+        s.wake(|b| b == Blocker::Join(tid));
+        if s.threads.iter().all(|r| *r == Run::Finished) {
+            s.done = true;
+            self.cv.notify_all();
+            return;
+        }
+        let enabled = s.enabled();
+        if enabled.is_empty() {
+            s.failure = Some(format!(
+                "deadlock: thread {tid} finished but every remaining thread is blocked ({:?})",
+                s.threads
+            ));
+            s.done = true;
+            self.cv.notify_all();
+            return;
+        }
+        let d = s.decisions.len();
+        let idx = if d < s.replay.len() { s.replay[d] as usize } else { 0 };
+        let idx = idx.min(enabled.len() - 1);
+        s.decisions.push(Decision { enabled: enabled.len() as u32, chosen: idx as u32 });
+        s.current = enabled[idx];
+        self.cv.notify_all();
+    }
+
+    /// Records a real panic from a modeled thread as the run's failure.
+    fn fail(&self, tid: ThreadId, message: String) {
+        let mut s = self.lock();
+        s.threads[tid] = Run::Finished;
+        if s.failure.is_none() {
+            s.failure = Some(message);
+        }
+        s.done = true;
+        self.cv.notify_all();
+    }
+
+    fn wait_done(&self) {
+        let mut s = self.lock();
+        while !s.done {
+            s = self.cv.wait(s).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "modeled thread panicked".to_string()
+    }
+}
+
+/// Spawns a modeled thread in the calling thread's execution.
+pub(crate) fn spawn_modeled<F, T>(f: F) -> crate::thread::JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (exec, parent) = require_current();
+    let tid = exec.register_thread();
+    let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+    let os = std::thread::Builder::new()
+        .name(format!("loom-model-{tid}"))
+        .spawn({
+            let exec = Arc::clone(&exec);
+            let result = Arc::clone(&result);
+            move || {
+                set_current(Arc::clone(&exec), tid);
+                if exec.wait_first_schedule(tid) {
+                    match std::panic::catch_unwind(AssertUnwindSafe(f)) {
+                        Ok(value) => {
+                            *result.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+                                Some(value);
+                            exec.finish(tid);
+                        }
+                        Err(payload) => {
+                            if payload.is::<ModelAbort>() {
+                                // The run already failed elsewhere; exit
+                                // quietly so only one failure is reported.
+                                exec.silent(|s| s.threads[tid] = Run::Finished);
+                            } else {
+                                exec.fail(tid, panic_message(payload.as_ref()));
+                            }
+                        }
+                    }
+                } else {
+                    exec.silent(|s| s.threads[tid] = Run::Finished);
+                }
+                clear_current();
+            }
+        })
+        .expect("spawning a modeled OS thread");
+    exec.track_os_handle(os);
+    // Spawning is itself a visible operation of the parent: give the
+    // scheduler the chance to run the child (or anyone else) first.
+    exec.op(parent, |_| OpOutcome::Ready(()));
+    crate::thread::JoinHandle::new(tid, result)
+}
+
+/// Outcome of one schedule: the decision trace (for the DFS explorer) and
+/// the failure, if the run found one.
+pub(crate) struct RunOutcome {
+    pub decisions: Vec<Decision>,
+    pub failure: Option<String>,
+}
+
+/// Runs the model closure once under the given schedule prefix.
+pub(crate) fn run_once<F>(f: Arc<F>, replay: Vec<u32>, cap: usize) -> RunOutcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let exec = Arc::new(Execution::new(replay, cap));
+    let root = std::thread::Builder::new()
+        .name("loom-model-0".to_string())
+        .spawn({
+            let exec = Arc::clone(&exec);
+            move || {
+                set_current(Arc::clone(&exec), 0);
+                match std::panic::catch_unwind(AssertUnwindSafe(|| f())) {
+                    Ok(()) => exec.finish(0),
+                    Err(payload) => {
+                        if payload.is::<ModelAbort>() {
+                            exec.silent(|s| s.threads[0] = Run::Finished);
+                        } else {
+                            exec.fail(0, panic_message(payload.as_ref()));
+                        }
+                    }
+                }
+                clear_current();
+            }
+        })
+        .expect("spawning the model's root thread");
+    exec.wait_done();
+    let _ = root.join();
+    let handles = std::mem::take(
+        &mut *exec.os_handles.lock().unwrap_or_else(std::sync::PoisonError::into_inner),
+    );
+    for handle in handles {
+        let _ = handle.join();
+    }
+    let s = exec.lock();
+    RunOutcome { decisions: s.decisions.clone(), failure: s.failure.clone() }
+}

@@ -1,0 +1,659 @@
+//! Modeled synchronization primitives.
+//!
+//! Each primitive mirrors the API surface of the real one the workspace
+//! uses (`parking_lot` locks, `std`/`crossbeam` channels and atomics) but
+//! routes every operation through the model scheduler, so the explorer can
+//! enumerate the interleavings of lock acquisitions, sends, receives and
+//! atomic accesses.
+//!
+//! Data is stored in ordinary `std` primitives; the model's admission
+//! protocol guarantees exclusivity before the `std` lock is touched, so the
+//! inner acquisition never blocks.  Atomics are explored at *interleaving*
+//! granularity with sequentially consistent semantics — the `Ordering`
+//! argument is accepted for API parity but weak-memory reorderings are not
+//! modeled (the checker verifies protocol logic, not fence placement).
+
+use std::collections::VecDeque;
+use std::sync::OnceLock;
+use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::sync::{RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use crate::rt::{self, Blocker, Object, ObjectId, OpOutcome};
+
+fn poisonless<T>(r: Result<T, std::sync::PoisonError<T>>) -> T {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A modeled mutex with `parking_lot`'s non-poisoning API.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    data: StdMutex<T>,
+    id: OnceLock<ObjectId>,
+}
+
+/// Guard for a [`Mutex`]; releases the modeled lock on drop.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    // `Option` so drop can release the std guard before the modeled state.
+    inner: Option<StdMutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new modeled mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex { data: StdMutex::new(value), id: OnceLock::new() }
+    }
+
+    /// Consumes the mutex and returns the protected value.
+    pub fn into_inner(self) -> T {
+        poisonless(self.data.into_inner())
+    }
+
+    pub(crate) fn oid(&self) -> ObjectId {
+        *self.id.get_or_init(|| {
+            let (exec, _) = rt::require_current();
+            exec.register_object(Object::Mutex { owner: None })
+        })
+    }
+
+    /// Acquires the lock, blocking (in model time) until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let oid = self.oid();
+        let (exec, tid) = rt::require_current();
+        exec.op(tid, |s| match s.object(oid) {
+            Object::Mutex { owner } => match owner {
+                None => {
+                    *owner = Some(tid);
+                    OpOutcome::Ready(())
+                }
+                Some(_) => OpOutcome::Block(Blocker::Lock(oid)),
+            },
+            _ => unreachable!("object {oid} is not a mutex"),
+        });
+        let Ok(inner) = self.data.try_lock() else {
+            unreachable!("modeled mutex admission is exclusive")
+        };
+        MutexGuard { lock: self, inner: Some(inner) }
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let oid = self.oid();
+        let (exec, tid) = rt::require_current();
+        let taken = exec.op(tid, |s| match s.object(oid) {
+            Object::Mutex { owner } => OpOutcome::Ready(match owner {
+                None => {
+                    *owner = Some(tid);
+                    true
+                }
+                Some(_) => false,
+            }),
+            _ => unreachable!("object {oid} is not a mutex"),
+        });
+        taken.then(|| {
+            let Ok(inner) = self.data.try_lock() else {
+                unreachable!("modeled mutex admission is exclusive")
+            };
+            MutexGuard { lock: self, inner: Some(inner) }
+        })
+    }
+
+    /// Returns a mutable reference to the protected value.
+    pub fn get_mut(&mut self) -> &mut T {
+        poisonless(self.data.get_mut())
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard is live")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard is live")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Drop the real guard before publishing the modeled release so the
+        // next modeled owner's `try_lock` cannot fail.  Runs `silent` (no
+        // decision, never panics): guard drops can happen during unwinding.
+        self.inner = None;
+        if let Some((exec, _)) = rt::current() {
+            let oid = self.lock.oid();
+            exec.silent(|s| {
+                if let Object::Mutex { owner } = s.object(oid) {
+                    *owner = None;
+                }
+                s.wake(|b| b == Blocker::Lock(oid));
+            });
+        }
+    }
+}
+
+/// A modeled reader-writer lock with `parking_lot`'s non-poisoning API.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    data: StdRwLock<T>,
+    id: OnceLock<ObjectId>,
+}
+
+/// Shared guard for an [`RwLock`].
+pub struct RwLockGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    inner: Option<RwLockReadGuard<'a, T>>,
+}
+
+/// Exclusive guard for an [`RwLock`].
+pub struct RwLockWriteGuardM<'a, T> {
+    lock: &'a RwLock<T>,
+    inner: Option<RwLockWriteGuard<'a, T>>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new modeled lock protecting `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock { data: StdRwLock::new(value), id: OnceLock::new() }
+    }
+
+    /// Consumes the lock and returns the protected value.
+    pub fn into_inner(self) -> T {
+        poisonless(self.data.into_inner())
+    }
+
+    fn oid(&self) -> ObjectId {
+        *self.id.get_or_init(|| {
+            let (exec, _) = rt::require_current();
+            exec.register_object(Object::Rw { writer: None, readers: 0 })
+        })
+    }
+
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> RwLockGuard<'_, T> {
+        let oid = self.oid();
+        let (exec, tid) = rt::require_current();
+        exec.op(tid, |s| match s.object(oid) {
+            Object::Rw { writer, readers } => match writer {
+                None => {
+                    *readers += 1;
+                    OpOutcome::Ready(())
+                }
+                Some(_) => OpOutcome::Block(Blocker::Lock(oid)),
+            },
+            _ => unreachable!("object {oid} is not a rwlock"),
+        });
+        let Ok(inner) = self.data.try_read() else {
+            unreachable!("modeled rwlock admission is consistent")
+        };
+        RwLockGuard { lock: self, inner: Some(inner) }
+    }
+
+    /// Acquires an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuardM<'_, T> {
+        let oid = self.oid();
+        let (exec, tid) = rt::require_current();
+        exec.op(tid, |s| match s.object(oid) {
+            Object::Rw { writer, readers } => {
+                if writer.is_none() && *readers == 0 {
+                    *writer = Some(tid);
+                    OpOutcome::Ready(())
+                } else {
+                    OpOutcome::Block(Blocker::Lock(oid))
+                }
+            }
+            _ => unreachable!("object {oid} is not a rwlock"),
+        });
+        let Ok(inner) = self.data.try_write() else {
+            unreachable!("modeled rwlock admission is exclusive")
+        };
+        RwLockWriteGuardM { lock: self, inner: Some(inner) }
+    }
+}
+
+impl<T> std::ops::Deref for RwLockGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard is live")
+    }
+}
+
+impl<T> Drop for RwLockGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        if let Some((exec, _)) = rt::current() {
+            let oid = self.lock.oid();
+            exec.silent(|s| {
+                if let Object::Rw { readers, .. } = s.object(oid) {
+                    *readers -= 1;
+                }
+                s.wake(|b| b == Blocker::Lock(oid));
+            });
+        }
+    }
+}
+
+impl<T> std::ops::Deref for RwLockWriteGuardM<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard is live")
+    }
+}
+
+impl<T> std::ops::DerefMut for RwLockWriteGuardM<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard is live")
+    }
+}
+
+impl<T> Drop for RwLockWriteGuardM<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        if let Some((exec, _)) = rt::current() {
+            let oid = self.lock.oid();
+            exec.silent(|s| {
+                if let Object::Rw { writer, .. } = s.object(oid) {
+                    *writer = None;
+                }
+                s.wake(|b| b == Blocker::Lock(oid));
+            });
+        }
+    }
+}
+
+/// A modeled condition variable paired with [`Mutex`].
+///
+/// `notify_one` wakes the longest-waiting thread (FIFO) — a determinism the
+/// real primitive does not promise; schedules still explore every order in
+/// which woken threads reacquire the mutex.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    id: OnceLock<ObjectId>,
+}
+
+impl Condvar {
+    /// Creates a new modeled condvar.
+    pub const fn new() -> Self {
+        Condvar { id: OnceLock::new() }
+    }
+
+    fn oid(&self) -> ObjectId {
+        *self.id.get_or_init(|| {
+            let (exec, _) = rt::require_current();
+            exec.register_object(Object::Cond {
+                waiters: VecDeque::new(),
+                notified: std::collections::HashSet::new(),
+            })
+        })
+    }
+
+    /// Atomically releases the guard's mutex and waits for a notification,
+    /// then reacquires the mutex and returns a fresh guard.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let coid = self.oid();
+        let (exec, tid) = rt::require_current();
+        let mutex = guard.lock;
+        let moid = mutex.oid();
+        // Release the real guard first so the next modeled owner can take
+        // the std lock, then release the modeled mutex AND enqueue as a
+        // condvar waiter in one op — a notify between release and enqueue
+        // would otherwise be lost, a hazard the real primitive excludes.
+        guard.inner = None;
+        exec.op(tid, |s| {
+            if let Object::Mutex { owner } = s.object(moid) {
+                *owner = None;
+            }
+            s.wake(|b| b == Blocker::Lock(moid));
+            if let Object::Cond { waiters, .. } = s.object(coid) {
+                if !waiters.contains(&tid) {
+                    waiters.push_back(tid);
+                }
+            }
+            OpOutcome::Ready(())
+        });
+        // The guard's drop re-runs the (idempotent) release without a
+        // scheduling decision; no other thread has run in between.
+        drop(guard);
+        exec.op(tid, |s| {
+            if let Object::Cond { notified, .. } = s.object(coid) {
+                if notified.remove(&tid) {
+                    return OpOutcome::Ready(());
+                }
+            }
+            OpOutcome::Block(Blocker::CondWait(coid))
+        });
+        mutex.lock()
+    }
+
+    /// Notifies the longest-waiting thread, if any.
+    pub fn notify_one(&self) {
+        let coid = self.oid();
+        let (exec, tid) = rt::require_current();
+        exec.op(tid, |s| {
+            if let Object::Cond { waiters, notified } = s.object(coid) {
+                if let Some(w) = waiters.pop_front() {
+                    notified.insert(w);
+                    s.wake(|b| b == Blocker::CondWait(coid));
+                }
+            }
+            OpOutcome::Ready(())
+        });
+    }
+
+    /// Notifies every waiting thread.
+    pub fn notify_all(&self) {
+        let coid = self.oid();
+        let (exec, tid) = rt::require_current();
+        exec.op(tid, |s| {
+            if let Object::Cond { waiters, notified } = s.object(coid) {
+                while let Some(w) = waiters.pop_front() {
+                    notified.insert(w);
+                }
+                s.wake(|b| b == Blocker::CondWait(coid));
+            }
+            OpOutcome::Ready(())
+        });
+    }
+}
+
+/// Modeled atomics: sequentially consistent interleaving exploration.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+    use std::sync::OnceLock;
+
+    use crate::rt::{self, Object, ObjectId, OpOutcome};
+
+    macro_rules! modeled_atomic {
+        ($name:ident, $ty:ty) => {
+            /// A modeled atomic integer; the `Ordering` argument is accepted
+            /// for API parity and explored as sequentially consistent.
+            #[derive(Debug, Default)]
+            pub struct $name {
+                init: $ty,
+                id: OnceLock<ObjectId>,
+            }
+
+            impl $name {
+                /// Creates a new modeled atomic with the given initial value.
+                pub const fn new(value: $ty) -> Self {
+                    $name { init: value, id: OnceLock::new() }
+                }
+
+                fn oid(&self) -> ObjectId {
+                    *self.id.get_or_init(|| {
+                        let (exec, _) = rt::require_current();
+                        exec.register_object(Object::Atomic { value: self.init as u64 })
+                    })
+                }
+
+                fn rmw(&self, f: impl Fn($ty) -> $ty) -> $ty {
+                    let oid = self.oid();
+                    let (exec, tid) = rt::require_current();
+                    exec.op(tid, |s| match s.object(oid) {
+                        Object::Atomic { value } => {
+                            let old = *value as $ty;
+                            *value = f(old) as u64;
+                            OpOutcome::Ready(old)
+                        }
+                        _ => unreachable!("object {oid} is not an atomic"),
+                    })
+                }
+
+                /// Atomically loads the value.
+                pub fn load(&self, _order: Ordering) -> $ty {
+                    self.rmw(|v| v)
+                }
+
+                /// Atomically stores `value`.
+                pub fn store(&self, value: $ty, _order: Ordering) {
+                    self.rmw(|_| value);
+                }
+
+                /// Atomically adds, wrapping, returning the previous value.
+                pub fn fetch_add(&self, value: $ty, _order: Ordering) -> $ty {
+                    self.rmw(|v| v.wrapping_add(value))
+                }
+
+                /// Atomically subtracts, wrapping, returning the previous value.
+                pub fn fetch_sub(&self, value: $ty, _order: Ordering) -> $ty {
+                    self.rmw(|v| v.wrapping_sub(value))
+                }
+
+                /// Atomically replaces the value, returning the previous one.
+                pub fn swap(&self, value: $ty, _order: Ordering) -> $ty {
+                    self.rmw(|_| value)
+                }
+
+                /// Atomically stores `new` if the current value is `current`.
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    let old = self.rmw(|v| if v == current { new } else { v });
+                    if old == current {
+                        Ok(old)
+                    } else {
+                        Err(old)
+                    }
+                }
+            }
+        };
+    }
+
+    modeled_atomic!(AtomicU64, u64);
+    modeled_atomic!(AtomicUsize, usize);
+    modeled_atomic!(AtomicU32, u32);
+
+    /// A modeled atomic boolean (stored as 0/1).
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        inner: AtomicU64,
+    }
+
+    impl AtomicBool {
+        /// Creates a new modeled atomic bool.
+        pub const fn new(value: bool) -> Self {
+            AtomicBool { inner: AtomicU64::new(value as u64) }
+        }
+
+        /// Atomically loads the value.
+        pub fn load(&self, order: Ordering) -> bool {
+            self.inner.load(order) != 0
+        }
+
+        /// Atomically stores `value`.
+        pub fn store(&self, value: bool, order: Ordering) {
+            self.inner.store(value as u64, order);
+        }
+
+        /// Atomically replaces the value, returning the previous one.
+        pub fn swap(&self, value: bool, order: Ordering) -> bool {
+            self.inner.swap(value as u64, order) != 0
+        }
+    }
+}
+
+/// Modeled multi-producer channels with crossbeam's API shape.
+pub mod mpsc {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex as StdMutex, OnceLock};
+    use std::time::Duration;
+
+    use crate::rt::{self, Blocker, Object, ObjectId, OpOutcome};
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// Every sender is gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// Every sender is gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv`]: every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Sender::send`]: the receiver is gone.  Carries
+    /// the unsent message back to the caller.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    struct ChanInner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        rx_alive: bool,
+    }
+
+    struct Chan<T> {
+        inner: StdMutex<ChanInner<T>>,
+        id: OnceLock<ObjectId>,
+    }
+
+    impl<T> Chan<T> {
+        fn oid(&self) -> ObjectId {
+            *self.id.get_or_init(|| {
+                let (exec, _) = rt::require_current();
+                exec.register_object(Object::Chan)
+            })
+        }
+
+        fn with<R>(&self, f: impl FnOnce(&mut ChanInner<T>) -> R) -> R {
+            f(&mut self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
+        }
+    }
+
+    /// Sending half of a modeled channel.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Receiving half of a modeled channel.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Creates an unbounded modeled channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            inner: StdMutex::new(ChanInner { queue: VecDeque::new(), senders: 1, rx_alive: true }),
+            id: OnceLock::new(),
+        });
+        (Sender { chan: Arc::clone(&chan) }, Receiver { chan })
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.with(|inner| inner.senders += 1);
+            Sender { chan: Arc::clone(&self.chan) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let disconnected = self.chan.with(|inner| {
+                inner.senders -= 1;
+                inner.senders == 0
+            });
+            // The last sender leaving is a wakeup event: blocked receivers
+            // must observe the disconnect.  Never a decision point (drops
+            // can run during unwinding).
+            if disconnected {
+                if let (Some((exec, _)), Some(&oid)) = (rt::current(), self.chan.id.get()) {
+                    exec.silent(|s| s.wake(|b| b == Blocker::Recv(oid)));
+                }
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.chan.with(|inner| inner.rx_alive = false);
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, failing (and handing it back) if the receiver is
+        /// gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let oid = self.chan.oid();
+            let (exec, tid) = rt::require_current();
+            let mut slot = Some(value);
+            exec.op(tid, |s| {
+                let value = slot.take().expect("send attempts exactly once");
+                let sent = self.chan.with(|inner| {
+                    if inner.rx_alive {
+                        inner.queue.push_back(value);
+                        Ok(())
+                    } else {
+                        Err(SendError(value))
+                    }
+                });
+                if sent.is_ok() {
+                    s.wake(|b| b == Blocker::Recv(oid));
+                }
+                OpOutcome::Ready(sent)
+            })
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks (in model time) until a message or disconnection.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let oid = self.chan.oid();
+            let (exec, tid) = rt::require_current();
+            exec.op(tid, |_| {
+                self.chan.with(|inner| match inner.queue.pop_front() {
+                    Some(v) => OpOutcome::Ready(Ok(v)),
+                    None if inner.senders == 0 => OpOutcome::Ready(Err(RecvError)),
+                    None => OpOutcome::Block(Blocker::Recv(oid)),
+                })
+            })
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let (exec, tid) = rt::require_current();
+            exec.op(tid, |_| {
+                OpOutcome::Ready(self.chan.with(|inner| match inner.queue.pop_front() {
+                    Some(v) => Ok(v),
+                    None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+                    None => Err(TryRecvError::Empty),
+                }))
+            })
+        }
+
+        /// Timed receive.  Model time has no clocks, so an empty, connected
+        /// channel times out *immediately* — the schedule where the timeout
+        /// fires before any sender runs.  The contract shared with the
+        /// `crossbeam` shim (see its conformance suite): a queued message is
+        /// always delivered, even when every sender is already gone or the
+        /// timeout is zero; `Disconnected` is reported only on an empty,
+        /// sender-less channel.
+        pub fn recv_timeout(&self, _timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let (exec, tid) = rt::require_current();
+            exec.op(tid, |_| {
+                OpOutcome::Ready(self.chan.with(|inner| match inner.queue.pop_front() {
+                    Some(v) => Ok(v),
+                    None if inner.senders == 0 => Err(RecvTimeoutError::Disconnected),
+                    None => Err(RecvTimeoutError::Timeout),
+                }))
+            })
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Modeled threads: spawn/join with the scheduler in the loop.
+
+use std::sync::{Arc, Mutex};
+
+use crate::rt::{self, OpOutcome, ThreadId};
+
+/// Handle to a modeled thread, joinable like `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    tid: ThreadId,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    pub(crate) fn new(tid: ThreadId, result: Arc<Mutex<Option<T>>>) -> Self {
+        JoinHandle { tid, result }
+    }
+
+    /// Blocks (in model time) until the thread finishes, returning its
+    /// result.  A panicking modeled thread fails the whole schedule before
+    /// `join` can observe it, so — unlike `std` — the error arm only reports
+    /// that the value is missing.
+    pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+        let (exec, me) = rt::require_current();
+        let tid = self.tid;
+        exec.op(me, |s| {
+            if s.thread_finished(tid) {
+                OpOutcome::Ready(())
+            } else {
+                OpOutcome::Block(rt::Blocker::Join(tid))
+            }
+        });
+        self.result
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+            .ok_or_else(|| Box::new("modeled thread produced no value") as Box<_>)
+    }
+}
+
+/// Spawns a modeled thread; the closure runs under the model scheduler.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    rt::spawn_modeled(f)
+}
+
+/// A pure scheduling point: lets the scheduler switch threads here.
+pub fn yield_now() {
+    let (exec, me) = rt::require_current();
+    exec.op(me, |_| OpOutcome::Ready(()));
+}

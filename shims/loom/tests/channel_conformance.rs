@@ -1,0 +1,102 @@
+//! Shared conformance suite pinning the channel contract to BOTH
+//! implementations: the modeled channel (`loom::sync::mpsc`, run inside the
+//! model checker) and the real one (`crossbeam::channel`, run on real
+//! threads).  The contract:
+//!
+//! * a queued message is always delivered — even with a zero timeout or with
+//!   every sender already gone;
+//! * `Disconnected` is reported only on an empty channel with no senders;
+//! * `send` fails (returning the message) once the receiver is gone;
+//! * cloned senders keep the channel connected until the last one drops.
+//!
+//! Every assertion is timing-independent so the same bodies are valid under
+//! model time (where a timeout fires immediately) and wall-clock time.
+
+macro_rules! conformance_suite {
+    ($name:ident, $ch:path, $th:path, $run:expr) => {
+        mod $name {
+            use std::time::Duration;
+            use $ch as ch;
+            use $th as th;
+
+            const ZERO: Duration = Duration::from_millis(0);
+            const SHORT: Duration = Duration::from_millis(10);
+
+            #[test]
+            fn queued_messages_beat_disconnect() {
+                $run(|| {
+                    let (tx, rx) = ch::unbounded();
+                    tx.send(1u8).unwrap();
+                    tx.send(2u8).unwrap();
+                    drop(tx);
+                    assert_eq!(rx.recv_timeout(ZERO), Ok(1));
+                    assert_eq!(rx.recv_timeout(ZERO), Ok(2));
+                    assert_eq!(rx.recv_timeout(ZERO), Err(ch::RecvTimeoutError::Disconnected));
+                    assert_eq!(rx.try_recv(), Err(ch::TryRecvError::Disconnected));
+                });
+            }
+
+            #[test]
+            fn empty_connected_channel_times_out() {
+                $run(|| {
+                    let (tx, rx) = ch::unbounded();
+                    assert_eq!(rx.recv_timeout(ZERO), Err(ch::RecvTimeoutError::Timeout));
+                    assert_eq!(rx.try_recv(), Err(ch::TryRecvError::Empty));
+                    tx.send(3u8).unwrap();
+                    assert_eq!(rx.recv_timeout(SHORT), Ok(3));
+                });
+            }
+
+            #[test]
+            fn send_fails_once_receiver_is_gone() {
+                $run(|| {
+                    let (tx, rx) = ch::unbounded();
+                    drop(rx);
+                    match tx.send(7u8) {
+                        Err(ch::SendError(v)) => assert_eq!(v, 7),
+                        Ok(()) => panic!("send succeeded with no receiver"),
+                    }
+                });
+            }
+
+            #[test]
+            fn recv_delivers_across_threads() {
+                $run(|| {
+                    let (tx, rx) = ch::unbounded();
+                    let t = th::spawn(move || tx.send(5u8).unwrap());
+                    assert_eq!(rx.recv(), Ok(5));
+                    t.join().unwrap();
+                });
+            }
+
+            #[test]
+            fn recv_reports_disconnect_across_threads() {
+                $run(|| {
+                    let (tx, rx) = ch::unbounded::<u8>();
+                    let t = th::spawn(move || drop(tx));
+                    assert_eq!(rx.recv(), Err(ch::RecvError));
+                    t.join().unwrap();
+                });
+            }
+
+            #[test]
+            fn clones_keep_the_channel_connected() {
+                $run(|| {
+                    let (tx, rx) = ch::unbounded();
+                    let tx2 = tx.clone();
+                    drop(tx);
+                    assert_eq!(rx.recv_timeout(ZERO), Err(ch::RecvTimeoutError::Timeout));
+                    tx2.send(9u8).unwrap();
+                    drop(tx2);
+                    assert_eq!(rx.recv_timeout(ZERO), Ok(9));
+                    assert_eq!(rx.recv_timeout(ZERO), Err(ch::RecvTimeoutError::Disconnected));
+                });
+            }
+        }
+    };
+}
+
+conformance_suite!(modeled_channel, loom::sync::mpsc, loom::thread, |f: fn()| {
+    loom::model(f);
+});
+conformance_suite!(real_channel, crossbeam::channel, std::thread, |f: fn()| f());

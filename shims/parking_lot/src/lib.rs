@@ -6,6 +6,8 @@
 //! std primitives.  Poisoning is deliberately swallowed: a panicking holder
 //! does not wedge other threads, matching `parking_lot` semantics.
 
+#![forbid(unsafe_code)]
+
 use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion lock whose `lock()` never returns `Err`.

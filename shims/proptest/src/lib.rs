@@ -9,6 +9,8 @@
 //! drawn from a deterministic SplitMix64 stream and failures are reported
 //! without shrinking.
 
+#![forbid(unsafe_code)]
+
 pub mod test_runner {
     //! Runner configuration and the per-case error type.
 

@@ -8,6 +8,8 @@
 //! float ranges.  The generator is SplitMix64 — deterministic for a given
 //! seed, which is all the platform generators and tests rely on.
 
+#![forbid(unsafe_code)]
+
 /// Low-level source of randomness: a stream of `u64` words.
 pub trait RngCore {
     /// Returns the next word of the stream.

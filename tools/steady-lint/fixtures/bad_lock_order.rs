@@ -1,0 +1,19 @@
+//! Seeded violation: a reversed lock acquisition — the cache shard lock
+//! (rank 30) is held while taking the single-flight admission lock (rank
+//! 10), the exact deadlock the documented order forbids.
+//! Not compiled — consumed by `steady-lint --self-test` as text.
+
+#![forbid(unsafe_code)]
+
+fn reversed(cache: &Cache, flight: &Flight) {
+    let mut shard = cache.shard(7).write();
+    let table = flight.table.lock();
+    shard.insert(7, table.len());
+}
+
+fn ascending(flight: &Flight, cache: &Cache) {
+    // The documented direction — admission before shards; must NOT fire.
+    let table = flight.table.lock();
+    let shard = cache.shard(7).read();
+    let _ = (table.len(), shard.len());
+}

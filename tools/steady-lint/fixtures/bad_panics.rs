@@ -1,0 +1,23 @@
+//! Seeded violation: an unwaived `.unwrap()` in production code.
+//! Not compiled — consumed by `steady-lint --self-test` as text.
+
+#![forbid(unsafe_code)]
+
+fn production_path(input: Option<u32>) -> u32 {
+    // The string below must not mask the real violation: ".unwrap()".
+    input.unwrap()
+}
+
+fn waived_path(input: Option<u32>) -> u32 {
+    // lint: allow(panics) — this one is waived and must NOT fire.
+    input.expect("waived")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        Some(1).unwrap();
+        panic!("fine in tests");
+    }
+}

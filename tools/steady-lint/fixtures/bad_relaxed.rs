@@ -1,0 +1,15 @@
+//! Seeded violation: an unjustified `Ordering::Relaxed`.
+//! Not compiled — consumed by `steady-lint --self-test` as text.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn unjustified(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+fn justified(counter: &AtomicU64) {
+    // relaxed: a monotonic tally read only by snapshots; must NOT fire.
+    counter.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,5 @@
+//! Seeded violation: a crate root with no `#![forbid(unsafe_code)]` (and no
+//! waived `#![deny(unsafe_code)]`).
+//! Not compiled — consumed by `steady-lint --self-test` as text.
+
+fn main() {}

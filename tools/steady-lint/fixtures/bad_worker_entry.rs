@@ -1,0 +1,20 @@
+//! Seeded violation: a worker-entry function called without `catch_unwind`.
+//! Not compiled — consumed by `steady-lint --self-test` as text.
+
+#![forbid(unsafe_code)]
+
+// lint: worker-entry
+fn handle_job(job: u32) -> u32 {
+    job + 1
+}
+
+fn naked_call_site(job: u32) -> u32 {
+    handle_job(job)
+}
+
+fn wrapped_call_site(job: u32) {
+    // Must NOT fire: wrapped within the two preceding lines.
+    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        handle_job(job);
+    }));
+}

@@ -1,0 +1,40 @@
+//! The clean fixture: exercises every rule's happy path and must produce
+//! zero violations — waivers, justifications, test-gating, ascending lock
+//! order and the forbid attribute all in one file.
+//! Not compiled — consumed by `steady-lint --self-test` as text.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+// lint: worker-entry
+fn run_job(job: u32) -> u32 {
+    job * 2
+}
+
+fn pool_worker(job: u32, counter: &AtomicU64) {
+    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(job)));
+    // relaxed: a monotonic tally read only by snapshots.
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+fn ascending_locks(flight: &Flight, cache: &Cache) {
+    let table = flight.table.lock();
+    let shard = cache.shard(7).read();
+    let _ = (table.len(), shard.len());
+}
+
+fn fail_fast(input: Option<u32>) -> u32 {
+    // lint: allow(panics) — startup fail-fast, documented.
+    input.expect("configured at startup")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        assert_eq!(super::run_job(2), 4);
+        Option::<u32>::None.unwrap_or(0);
+        Some(5).unwrap();
+    }
+}
