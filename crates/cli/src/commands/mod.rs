@@ -5,8 +5,10 @@ pub mod drift_bench;
 pub mod forecast_bench;
 pub mod generate;
 pub mod info;
+pub mod obs_overhead;
 pub mod serve_bench;
 pub mod solve;
+pub mod trace;
 
 use std::path::Path;
 

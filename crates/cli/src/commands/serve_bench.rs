@@ -7,11 +7,13 @@
 //! and the command fails when sustained queries/sec regresses by more than
 //! 20%.  `--snapshot` / `--preload` exercise the cache's warm-set
 //! persistence, and `--max-inflight-cold` / `--cold-queue` configure
-//! admission control.
+//! admission control.  With `--trace <file>` the service runs with per-query
+//! lifecycle tracing on and writes a Chrome trace-event JSON file (load it at
+//! <https://ui.perfetto.dev>) with one track per worker and per client.
 
 use std::io::Write;
 
-use steady_service::{run_load, LoadConfig, Service, ServiceConfig};
+use steady_service::{chrome_trace_json, run_load, LoadConfig, Service, ServiceConfig};
 
 use crate::args::{OptionSpec, ParsedArgs};
 use crate::CliError;
@@ -31,6 +33,7 @@ const SPEC: OptionSpec = OptionSpec {
         "preload",
         "max-inflight-cold",
         "cold-queue",
+        "trace",
     ],
     flags: &["schedules"],
 };
@@ -69,6 +72,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let baseline_path = parsed.value("baseline").map(str::to_owned);
     let snapshot_path = parsed.value("snapshot").map(str::to_owned);
     let preload_path = parsed.value("preload").map(str::to_owned);
+    let trace_path = parsed.value("trace").map(str::to_owned);
+    config.tracing = trace_path.is_some();
 
     let service = Service::start(config);
     if let Some(path) = &preload_path {
@@ -82,6 +87,19 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 
     writeln!(out, "operation          : service load benchmark")?;
     write!(out, "{}", report.render())?;
+    if let Some(path) = &trace_path {
+        let traces = service.drain_traces();
+        let dropped = service.traces_dropped();
+        std::fs::write(path, chrome_trace_json(&traces, &report.client_spans))
+            .map_err(|e| CliError::Failed(format!("cannot write trace to '{path}': {e}")))?;
+        writeln!(
+            out,
+            "trace              : {} query spans + {} client spans ({} dropped) -> {path}",
+            traces.len(),
+            report.client_spans.len(),
+            dropped,
+        )?;
+    }
     if let Some(path) = &snapshot_path {
         let written = service
             .snapshot(path)

@@ -80,7 +80,11 @@ USAGE:
   steady serve-bench    [--queries N] [--clients N] [--distinct N] [--workers N]
                         [--cache-capacity N] [--shards N] [--seed N] [--out FILE] [--schedules]
                         [--baseline FILE] [--snapshot FILE] [--preload FILE]
-                        [--max-inflight-cold N] [--cold-queue N]
+                        [--max-inflight-cold N] [--cold-queue N] [--trace FILE]
+  steady trace          [--queries N] [--clients N] [--distinct N] [--workers N] [--seed N]
+                        [--out FILE] [--metrics] [--prometheus]
+  steady obs-overhead   [--queries N] [--clients N] [--distinct N] [--workers N] [--seed N]
+                        [--rounds N] [--max-overhead F] [--out FILE] [--trace-out FILE]
   steady drift-bench    [--epochs N] [--hits-per-epoch N] [--workers N] [--ttl N | --no-ttl]
                         [--seed N] [--out FILE] [--min-reuse F] [--no-verify]
   steady forecast-bench [--epochs N] [--hits-per-epoch N] [--workers N] [--horizon N]
@@ -107,6 +111,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         }
         "solve" => commands::solve::run(rest, out),
         "serve-bench" => commands::serve_bench::run(rest, out),
+        "trace" => commands::trace::run(rest, out),
+        "obs-overhead" => commands::obs_overhead::run(rest, out),
         "drift-bench" => commands::drift_bench::run(rest, out),
         "forecast-bench" => commands::forecast_bench::run(rest, out),
         "generate" => commands::generate::run(rest, out),
@@ -134,6 +140,8 @@ mod tests {
             "solve scatter",
             "solve reduce",
             "serve-bench",
+            "trace",
+            "obs-overhead",
             "drift-bench",
             "forecast-bench",
             "generate",

@@ -55,10 +55,24 @@ pub trait SteadyProblem {
 pub struct SolveReport {
     /// Total simplex pivots performed (both phases, all runs).
     pub iterations: usize,
+    /// Pivots spent in phase 1 (feasibility search); the rest is phase 2.
+    pub phase1_iterations: usize,
     /// `true` when a supplied basis installed cleanly and seeded the solve.
     pub warm_started: bool,
     /// Final basis, reusable to warm-start a structurally identical solve.
     pub basis: Option<SolvedBasis>,
+}
+
+impl SolveReport {
+    /// Per-phase pivot accounting, in the shape the observability layer
+    /// records ([`steady_lp::SolveTrace`]).
+    pub fn trace(&self) -> steady_lp::SolveTrace {
+        steady_lp::SolveTrace {
+            phase1_pivots: self.phase1_iterations,
+            phase2_pivots: self.iterations - self.phase1_iterations,
+            warm_started: self.warm_started,
+        }
+    }
 }
 
 /// Solves `problem` exactly through the shared pipeline.
@@ -80,6 +94,7 @@ pub fn solve_steady_warm<P: SteadyProblem>(
     let sol = steady_lp::solve_exact_auto_with(&lp, warm)?;
     let report = SolveReport {
         iterations: sol.iterations,
+        phase1_iterations: sol.phase1_iterations,
         warm_started: sol.warm_started,
         basis: sol.basis,
     };

@@ -66,11 +66,25 @@ pub struct TriageReport {
     pub triage: Triage,
     /// Total simplex pivots performed (all phases and fallbacks).
     pub iterations: usize,
+    /// Pivots spent in phase 1 (feasibility search); the rest is phase 2.
+    pub phase1_iterations: usize,
     /// `true` when a prior basis was supplied, i.e. the solve was a triage
     /// candidate rather than a first contact with its structural class.
     pub had_prior: bool,
     /// Final basis, reusable to triage the next drift step.
     pub basis: Option<SolvedBasis>,
+}
+
+impl TriageReport {
+    /// Per-phase pivot accounting, in the shape the observability layer
+    /// records ([`steady_lp::SolveTrace`]).
+    pub fn trace(&self) -> steady_lp::SolveTrace {
+        steady_lp::SolveTrace {
+            phase1_pivots: self.phase1_iterations,
+            phase2_pivots: self.iterations - self.phase1_iterations,
+            warm_started: self.triage.reused_basis(),
+        }
+    }
 }
 
 /// Counters over a stream of triaged solves.
@@ -144,7 +158,13 @@ pub fn solve_steady_triaged<P: SteadyProblem>(
             (sol, triage, true)
         }
     };
-    let report = TriageReport { triage, iterations: sol.iterations, had_prior, basis: sol.basis };
+    let report = TriageReport {
+        triage,
+        iterations: sol.iterations,
+        phase1_iterations: sol.phase1_iterations,
+        had_prior,
+        basis: sol.basis,
+    };
     Ok((problem.interpret(&vars, &sol.values), report))
 }
 
@@ -210,7 +230,13 @@ mod tests {
     fn stats_record_and_fraction() {
         let mut stats = DriftStats::default();
         assert_eq!(stats.reuse_fraction(), 0.0);
-        let report = |triage| TriageReport { triage, iterations: 2, had_prior: true, basis: None };
+        let report = |triage| TriageReport {
+            triage,
+            iterations: 2,
+            phase1_iterations: 1,
+            had_prior: true,
+            basis: None,
+        };
         stats.record(&report(Triage::InRange));
         stats.record(&report(Triage::DualRepair { pivots: 2 }));
         stats.record(&report(Triage::ResolveWarm { pivots: 2 }));

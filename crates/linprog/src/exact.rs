@@ -50,11 +50,47 @@ pub struct CertifiedSolution {
     pub certificate: Certificate,
     /// Total simplex pivots performed (f64 + fallback).
     pub iterations: usize,
+    /// Pivots spent in phase 1 (feasibility search), summed over the same
+    /// runs as [`iterations`](Self::iterations); the remainder is phase 2.
+    pub phase1_iterations: usize,
     /// `true` when the underlying simplex resumed from a supplied basis.
     pub warm_started: bool,
     /// Final basis of the underlying simplex run, reusable to warm-start a
     /// structurally identical solve (`None` only for hand-built solutions).
     pub basis: Option<SolvedBasis>,
+}
+
+impl CertifiedSolution {
+    /// Per-phase pivot accounting of the runs behind this solution.
+    pub fn trace(&self) -> SolveTrace {
+        SolveTrace {
+            phase1_pivots: self.phase1_iterations,
+            phase2_pivots: self.iterations - self.phase1_iterations,
+            warm_started: self.warm_started,
+        }
+    }
+}
+
+/// Where a solve spent its pivots, split by simplex phase.
+///
+/// The observability layer surfaces one of these per query so latency
+/// reports can distinguish feasibility search (phase 1) from optimization
+/// (phase 2) — a warm start that *takes* skips phase 1 entirely.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveTrace {
+    /// Pivots spent restoring feasibility (phase 1), all runs summed.
+    pub phase1_pivots: usize,
+    /// Pivots spent optimizing from a feasible vertex (phase 2).
+    pub phase2_pivots: usize,
+    /// `true` when the simplex resumed from a supplied basis.
+    pub warm_started: bool,
+}
+
+impl SolveTrace {
+    /// Total pivots across both phases.
+    pub fn total_pivots(&self) -> usize {
+        self.phase1_pivots + self.phase2_pivots
+    }
 }
 
 /// Options controlling [`solve_certified`].
@@ -156,6 +192,7 @@ pub fn solve_certified_warm(
                 duals: exact.duals,
                 certificate: Certificate::ExactSimplex,
                 iterations: exact.iterations,
+                phase1_iterations: exact.phase1_iterations,
                 warm_started: false,
                 basis: Some(exact.basis),
             });
@@ -181,6 +218,7 @@ pub fn solve_certified_warm(
                 duals: exact.duals,
                 certificate: Certificate::ExactSimplex,
                 iterations: float.iterations + exact.iterations,
+                phase1_iterations: float.phase1_iterations + exact.phase1_iterations,
                 // Caller-perspective flag: did the *supplied* basis take?  The
                 // exact re-solve is always internally seeded from the f64 basis.
                 warm_started: float.warm_started,
@@ -234,6 +272,7 @@ pub fn solve_certified_dual(
                     duals: exact.duals,
                     certificate: Certificate::ExactSimplex,
                     iterations: float.iterations + exact.iterations,
+                    phase1_iterations: float.phase1_iterations + exact.phase1_iterations,
                     warm_started: float.warm_started,
                     basis: Some(exact.basis),
                 },
@@ -289,6 +328,7 @@ pub fn certify(
         duals,
         certificate: Certificate::Optimal,
         iterations: float.iterations,
+        phase1_iterations: float.phase1_iterations,
         warm_started: float.warm_started,
         basis: Some(float.basis.clone()),
     })

@@ -50,6 +50,7 @@ pub mod simplex;
 pub use exact::{
     certify, solve_certified, solve_certified_dual, solve_certified_warm,
     solve_certified_with_options, Certificate, CertifiedSolution, CertifyError, CertifyOptions,
+    SolveTrace,
 };
 pub use model::{Constraint, LinearExpr, LpProblem, Objective, Sense, VarId};
 pub use ranging::{
@@ -131,6 +132,7 @@ fn exact_simplex_certified(sol: Solution<Ratio>) -> CertifiedSolution {
         duals: sol.duals,
         certificate: Certificate::ExactSimplex,
         iterations: sol.iterations,
+        phase1_iterations: sol.phase1_iterations,
         warm_started: sol.warm_started,
         basis: Some(sol.basis),
     }

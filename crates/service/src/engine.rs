@@ -57,11 +57,13 @@ use crate::fingerprint::Fingerprint;
 use crate::flight::{Flight, SingleFlight};
 use crate::gate::{Admission, ColdGate};
 use crate::ledger::PrefetchLedger;
+use crate::metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+use crate::obs::{Clock, QueryTrace, TraceSink, WallClock};
 use crate::persist;
 use crate::query::{solve_prepared, Answer, Query};
-use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 use crate::sync::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
-use crate::sync::Mutex;
+use crate::sync::{Condvar, Mutex};
 use crate::ServiceError;
 
 /// Upper bound on remembered warm-start bases (one per structural class);
@@ -124,6 +126,13 @@ pub struct ServiceConfig {
     /// Optional snapshot file (see [`Service::snapshot`]) whose entries are
     /// loaded into the cache on start, restoring the previous warm set.
     pub preload_from: Option<PathBuf>,
+    /// Whether per-query lifecycle tracing is on (see [`crate::obs`]).  Off
+    /// by default; the always-on metrics histograms do not depend on it.
+    /// When off, the per-query cost of the tracing path is one branch.
+    pub tracing: bool,
+    /// Completed traces buffered per worker before the oldest is dropped
+    /// (only meaningful with `tracing`); drops are counted, never blocking.
+    pub trace_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -136,6 +145,8 @@ impl Default for ServiceConfig {
             cold_queue: 16,
             ttl: None,
             preload_from: None,
+            tracing: false,
+            trace_capacity: 4096,
         }
     }
 }
@@ -144,6 +155,12 @@ impl ServiceConfig {
     /// Sets the snapshot file to preload the cache from on start.
     pub fn preload(mut self, path: impl Into<PathBuf>) -> Self {
         self.preload_from = Some(path.into());
+        self
+    }
+
+    /// Turns on per-query lifecycle tracing (see [`crate::obs`]).
+    pub fn traced(mut self) -> Self {
+        self.tracing = true;
         self
     }
 }
@@ -162,6 +179,19 @@ pub enum ServedVia {
     /// A TTL-expired entry served as-is because its revalidation was shed
     /// by admission control — stale data beats no data.
     StaleFallback,
+}
+
+impl ServedVia {
+    /// Short lowercase label, used for client spans in the trace export.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServedVia::Cache => "cache",
+            ServedVia::Solve => "solve",
+            ServedVia::Revalidated => "revalidated",
+            ServedVia::Coalesced => "coalesced",
+            ServedVia::StaleFallback => "stale-fallback",
+        }
+    }
 }
 
 /// A successful response: the (shared) answer plus how it was obtained.
@@ -385,6 +415,13 @@ fn mean(total: u64, count: u64) -> f64 {
 struct Job {
     query: Query,
     reply: Sender<ServeResult>,
+    /// When the query entered the submit channel ([`Clock`] nanoseconds);
+    /// always stamped, because the queue-wait and end-to-end histograms are
+    /// on whether or not per-query tracing is.
+    submitted_nanos: u64,
+    /// The query's lifecycle trace — `None` when tracing is off, so the
+    /// disabled path allocates nothing and costs one branch.
+    trace: Option<QueryTrace>,
 }
 
 /// A validated, fingerprinted query that needs a solve (cache miss or TTL
@@ -398,6 +435,9 @@ struct SolveJob {
     /// fallback when the solve is shed, and the reason the leader's response
     /// is labelled [`ServedVia::Revalidated`].
     stale: Option<Arc<Answer>>,
+    /// When the job reached the admission gate; the gate-wait histogram is
+    /// the difference to the solve start, zero-ish unless the gate queued.
+    gate_enter_nanos: u64,
 }
 
 /// A query parked on another query's in-flight solve.  The platform is kept
@@ -406,6 +446,11 @@ struct SolveJob {
 struct Waiter {
     platform: Platform,
     reply: Sender<ServeResult>,
+    /// See [`Job::submitted_nanos`]; feeds the coalesced end-to-end
+    /// histogram at fan-out.
+    submitted_nanos: u64,
+    /// The parked query's trace, completed by the solving worker.
+    trace: Option<QueryTrace>,
 }
 
 /// Adapts a shared answer to one caller: schedules are expressed in the node
@@ -422,6 +467,108 @@ fn tailor(answer: &Arc<Answer>, platform: &Platform) -> Arc<Answer> {
             throughput: answer.throughput.clone(),
             schedule: None,
         })
+    }
+}
+
+/// The prefetch-idle primitive: the count of prefetch jobs not yet finished
+/// (queued + currently solving) and the condvar
+/// [`Service::await_prefetch_idle`] blocks on until it drains to zero —
+/// replacing the sleep-poll this used to be.  The `pending` mutex is rank
+/// 25 in the [`crate::sync`] lock order: acquired while holding the
+/// `prefetch_queue` (20) on the schedule side, and with nothing held on the
+/// worker/waiter sides.
+struct PrefetchIdle {
+    pending: Mutex<usize>,
+    drained: Condvar,
+}
+
+impl PrefetchIdle {
+    fn new() -> PrefetchIdle {
+        PrefetchIdle { pending: Mutex::new(0), drained: Condvar::new() }
+    }
+
+    /// Adds `n` scheduled jobs to the backlog.
+    fn add(&self, n: usize) {
+        *self.pending.lock() += n;
+    }
+
+    /// Retires one finished (or dropped-as-duplicate) job, waking idle
+    /// waiters when the backlog reaches zero.
+    fn finish_one(&self) {
+        let mut pending = self.pending.lock();
+        *pending = pending.saturating_sub(1);
+        if *pending == 0 {
+            self.drained.notify_all();
+        }
+    }
+
+    /// Current backlog (the `prefetch_backlog` gauge).
+    fn backlog(&self) -> usize {
+        *self.pending.lock()
+    }
+
+    /// Blocks until the backlog reaches zero, up to `timeout`; `true` on
+    /// success.  The loop re-checks the predicate after every wake, so
+    /// spurious wakeups and the loom shim's poll-style timed wait are both
+    /// correct.
+    fn await_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut pending = self.pending.lock();
+        while *pending > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (reacquired, _timed_out) = self.drained.wait_timeout(pending, deadline - now);
+            pending = reacquired;
+        }
+        true
+    }
+}
+
+/// The per-stage latency histograms, always on (recording is one relaxed
+/// atomic add; see [`crate::metrics`]).  All samples are [`Clock`]
+/// nanoseconds.  Stage spans are adjacent — queue → lookup → (gate) →
+/// solve → publish — so a query's stage samples sum to its end-to-end
+/// latency within clock resolution.
+struct StageMetrics {
+    /// Submit-channel wait: submit → worker pickup (every query).
+    queue_wait: Arc<Histogram>,
+    /// Fingerprint + cache lookup (every well-formed query).
+    lookup: Arc<Histogram>,
+    /// Admission-gate wait: gate entry → solve start (solved queries; near
+    /// zero unless the gate queued the job).
+    gate_wait: Arc<Histogram>,
+    /// Warm-started solves (triage reused or reseeded a basis).
+    solve_warm: Arc<Histogram>,
+    /// From-scratch solves.
+    solve_cold: Arc<Histogram>,
+    /// Basis/cache publication and reply fan-out.
+    publish: Arc<Histogram>,
+    /// End-to-end latency of cache hits (fresh or flight-ready).
+    e2e_hit: Arc<Histogram>,
+    /// End-to-end latency of queries answered by a warm solve.
+    e2e_warm: Arc<Histogram>,
+    /// End-to-end latency of queries answered by a cold solve.
+    e2e_cold: Arc<Histogram>,
+    /// End-to-end latency of queries coalesced onto another solve.
+    e2e_coalesced: Arc<Histogram>,
+}
+
+impl StageMetrics {
+    fn new(registry: &MetricsRegistry) -> StageMetrics {
+        StageMetrics {
+            queue_wait: registry.histogram("stage_queue_wait_nanos"),
+            lookup: registry.histogram("stage_lookup_nanos"),
+            gate_wait: registry.histogram("stage_gate_wait_nanos"),
+            solve_warm: registry.histogram("stage_solve_warm_nanos"),
+            solve_cold: registry.histogram("stage_solve_cold_nanos"),
+            publish: registry.histogram("stage_publish_nanos"),
+            e2e_hit: registry.histogram("e2e_hit_nanos"),
+            e2e_warm: registry.histogram("e2e_solve_warm_nanos"),
+            e2e_cold: registry.histogram("e2e_solve_cold_nanos"),
+            e2e_coalesced: registry.histogram("e2e_coalesced_nanos"),
+        }
     }
 }
 
@@ -443,9 +590,19 @@ struct Shared {
     /// Speculative work scheduled by [`Service::schedule_prefetch`], drained
     /// by idle workers only.
     prefetch_queue: Mutex<VecDeque<PrefetchJob>>,
-    /// Prefetch jobs not yet finished (queued + currently solving); the
-    /// idle-wait primitive of [`Service::await_prefetch_idle`].
-    prefetch_pending: AtomicUsize,
+    /// Prefetch backlog count + idle condvar (see [`PrefetchIdle`]).
+    prefetch_idle: PrefetchIdle,
+    /// The time source every timestamp and histogram sample derives from —
+    /// the seam where a simulated clock plugs in
+    /// ([`Service::start_with_clock`]).
+    clock: Arc<dyn Clock>,
+    /// Per-worker rings of completed query traces (see [`crate::obs`]).
+    sink: TraceSink,
+    /// Always-on per-stage latency histograms.
+    stage: StageMetrics,
+    /// The registry the stage histograms live in, snapshotted by
+    /// [`Service::metrics`].
+    registry: MetricsRegistry,
     /// Cache keys installed by speculative solves that no demand query has
     /// landed on yet; a demand hit claims a key as a `prefetch_hit`, a
     /// demand *solve* claims it as `prefetch_wasted` (see [`crate::ledger`]).
@@ -521,11 +678,27 @@ impl Service {
     /// silently starting with an empty cache.  Use [`Service::preload`] after
     /// a plain start for a fallible reload.
     pub fn start(config: ServiceConfig) -> Service {
+        Service::start_with_clock(config, Arc::new(WallClock::new()))
+    }
+
+    /// [`Service::start`] with an explicit time source.
+    ///
+    /// Every lifecycle timestamp and latency-histogram sample the service
+    /// records is a difference of `clock` readings, so this is the seam
+    /// where a simulated clock plugs in: a deterministic clock makes the
+    /// whole observability layer reproducible without touching the engine.
+    ///
+    /// # Panics
+    ///
+    /// As [`Service::start`].
+    pub fn start_with_clock(config: ServiceConfig, clock: Arc<dyn Clock>) -> Service {
         let workers = if config.workers == 0 {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
         } else {
             config.workers
         };
+        let registry = MetricsRegistry::new();
+        let stage = StageMetrics::new(&registry);
         let shared = Arc::new(Shared {
             cache: SolutionCache::new(&config.cache),
             flight: SingleFlight::new(),
@@ -535,7 +708,11 @@ impl Service {
             epoch: AtomicU64::new(0),
             ttl: config.ttl,
             prefetch_queue: Mutex::new(VecDeque::new()),
-            prefetch_pending: AtomicUsize::new(0),
+            prefetch_idle: PrefetchIdle::new(),
+            clock,
+            sink: TraceSink::new(workers, config.trace_capacity, config.tracing),
+            stage,
+            registry,
             ledger: PrefetchLedger::new(),
             queries: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
@@ -567,7 +744,7 @@ impl Service {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("steady-service-{i}"))
-                    .spawn(move || worker_loop(&jobs, &shared))
+                    .spawn(move || worker_loop(i as u32, &jobs, &shared))
                     // lint: allow(panics) — documented fail-fast at startup.
                     .expect("spawning a service worker")
             })
@@ -587,9 +764,11 @@ impl Service {
     pub fn submit(&self, query: Query) -> Receiver<ServeResult> {
         let (reply, response) = unbounded();
         if let Some(submit) = self.submit.as_ref() {
+            let submitted_nanos = self.shared.clock.now_nanos();
+            let trace = self.shared.sink.begin(submitted_nanos);
             // A send only fails once every worker has exited; the caller
             // then observes the reply channel disconnect.
-            let _ = submit.send(Job { query, reply });
+            let _ = submit.send(Job { query, reply, submitted_nanos, trace });
         }
         response
     }
@@ -622,33 +801,28 @@ impl Service {
             queue.push_back(job);
             queued += 1;
         }
-        // relaxed: the backlog gauge is only polled (`prefetch_backlog`,
-        // `await_prefetch_idle`); its transient over-count while this add
-        // races a worker's sub is harmless — waiters poll until zero.
-        self.shared.prefetch_pending.fetch_add(queued, Ordering::Relaxed);
+        // The backlog is bumped while the queue lock is held (20 → 25, per
+        // the documented order) so a worker's pop + finish can never race
+        // ahead of the add and underflow the count.
+        self.shared.prefetch_idle.add(queued);
         queued
     }
 
-    /// Speculative jobs not yet finished (queued plus currently solving).
+    /// Speculative jobs not yet finished (queued plus currently solving) —
+    /// also exposed as the `prefetch_backlog` gauge of
+    /// [`Service::metrics`].
     pub fn prefetch_backlog(&self) -> usize {
-        // relaxed: polled gauge; see `schedule_prefetch`.
-        self.shared.prefetch_pending.load(Ordering::Relaxed)
+        self.shared.prefetch_idle.backlog()
     }
 
     /// Blocks until every scheduled prefetch job has finished (or been
     /// dropped as a duplicate), up to `timeout`.  Returns `true` when the
     /// backlog reached zero — the deterministic hand-off point for
     /// benchmarks that schedule a plan and then replay the predicted
-    /// traffic.
+    /// traffic.  The wait is a condvar signaled by the worker that drains
+    /// the last job, not a poll loop.
     pub fn await_prefetch_idle(&self, timeout: Duration) -> bool {
-        let deadline = Instant::now() + timeout;
-        while self.prefetch_backlog() > 0 {
-            if Instant::now() >= deadline {
-                return false;
-            }
-            std::thread::sleep(Duration::from_micros(200));
-        }
-        true
+        self.shared.prefetch_idle.await_idle(timeout)
     }
 
     /// The cached warm-start basis of structural class `class` (the
@@ -769,6 +943,70 @@ impl Service {
             cached_entries: self.shared.cache.len(),
         }
     }
+
+    /// A point-in-time metrics snapshot: every [`ServiceStats`] counter,
+    /// the live gauges and the per-stage latency histograms, renderable as
+    /// hand-rolled JSON ([`MetricsSnapshot::to_json`]) or Prometheus text
+    /// exposition ([`MetricsSnapshot::to_prometheus`]).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let stats = self.stats();
+        let mut snap = self.shared.registry.snapshot();
+        snap.push_counter("queries", stats.queries);
+        snap.push_counter("hits", stats.hits);
+        snap.push_counter("misses", stats.misses);
+        snap.push_counter("coalesced", stats.coalesced);
+        snap.push_counter("solves", stats.solves);
+        snap.push_counter("warm_solves", stats.warm_solves);
+        snap.push_counter("cold_solves", stats.cold_solves);
+        snap.push_counter("triaged", stats.triaged);
+        snap.push_counter("in_range", stats.in_range);
+        snap.push_counter("dual_repairs", stats.dual_repairs);
+        snap.push_counter("expired", stats.expired);
+        snap.push_counter("revalidations", stats.revalidations);
+        snap.push_counter("requeued", stats.requeued);
+        snap.push_counter("stale_served", stats.stale_served);
+        snap.push_counter("warm_pivots", stats.warm_pivots);
+        snap.push_counter("cold_pivots", stats.cold_pivots);
+        snap.push_counter("warm_solve_nanos", stats.warm_solve_nanos);
+        snap.push_counter("cold_solve_nanos", stats.cold_solve_nanos);
+        snap.push_counter("shed", stats.shed);
+        snap.push_counter("errors", stats.errors);
+        snap.push_counter("prefetched", stats.prefetched);
+        snap.push_counter("prefetch_hits", stats.prefetch_hits);
+        snap.push_counter("prefetch_wasted", stats.prefetch_wasted);
+        snap.push_counter("predicted_exits", stats.predicted_exits);
+        snap.push_counter("preferred_evictions", stats.preferred_evictions);
+        snap.push_counter("insertions", stats.insertions);
+        snap.push_counter("evictions", stats.evictions);
+        snap.push_counter("traces_dropped", self.shared.sink.dropped());
+        snap.push_gauge("cached_entries", stats.cached_entries as u64);
+        snap.push_gauge("prefetch_backlog", self.prefetch_backlog() as u64);
+        snap.push_gauge("epoch", self.epoch());
+        snap
+    }
+
+    /// Whether per-query lifecycle tracing is on
+    /// ([`ServiceConfig::tracing`]).
+    pub fn tracing_enabled(&self) -> bool {
+        self.shared.sink.enabled()
+    }
+
+    /// Drains every worker's trace ring, returning all completed traces
+    /// buffered since the last drain, ordered by submission time.
+    pub fn drain_traces(&self) -> Vec<QueryTrace> {
+        self.shared.sink.drain()
+    }
+
+    /// Traces lost to ring contention or overwrite since start.
+    pub fn traces_dropped(&self) -> u64 {
+        self.shared.sink.dropped()
+    }
+
+    /// The service's time source, for callers (e.g. the load generator)
+    /// that want client-side spans on the same clock as the traces.
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.shared.clock)
+    }
 }
 
 impl Drop for Service {
@@ -781,7 +1019,7 @@ impl Drop for Service {
     }
 }
 
-fn worker_loop(jobs: &Mutex<Receiver<Job>>, shared: &Shared) {
+fn worker_loop(worker: u32, jobs: &Mutex<Receiver<Job>>, shared: &Shared) {
     loop {
         // The receiver lock is held only while polling for the next job,
         // not while serving it, so dispatch is serialized but solves
@@ -798,18 +1036,19 @@ fn worker_loop(jobs: &Mutex<Receiver<Job>>, shared: &Shared) {
             // so its caller sees a disconnect error rather than a hang;
             // parked waiters are released by the in-flight drop guard
             // inside `serve`.
-            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| serve(shared, job)));
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                serve(shared, worker, job)
+            }));
             continue;
         }
         // Idle: drain one unit of speculative work, then re-check demand.
         if let Some(prefetch) = shared.prefetch_queue.lock().pop_front() {
             let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                prefetch_one(shared, prefetch);
+                prefetch_one(shared, worker, prefetch);
             }));
             // Completed (or panicked, or dropped as duplicate): either way
             // this job no longer counts toward the backlog.
-            // relaxed: polled gauge; see `Service::schedule_prefetch`.
-            shared.prefetch_pending.fetch_sub(1, Ordering::Relaxed);
+            shared.prefetch_idle.finish_one();
             continue;
         }
         // Nothing at all to do: block briefly on the channel so scheduled
@@ -819,7 +1058,23 @@ fn worker_loop(jobs: &Mutex<Receiver<Job>>, shared: &Shared) {
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => return,
         };
-        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| serve(shared, job)));
+        let _ =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| serve(shared, worker, job)));
+    }
+}
+
+/// Seals `trace` (if tracing is on) with `outcome` at `end` and offers it
+/// to `worker`'s ring.
+fn finish_trace_at(
+    shared: &Shared,
+    worker: u32,
+    trace: Option<QueryTrace>,
+    outcome: &'static str,
+    end: u64,
+) {
+    if let Some(mut t) = trace {
+        t.finish(outcome, end);
+        shared.sink.push(worker as usize, t);
     }
 }
 
@@ -831,7 +1086,7 @@ fn worker_loop(jobs: &Mutex<Receiver<Job>>, shared: &Shared) {
 /// exactly like waiters on a demand solve (and claim the prefetch as
 /// landed).
 // lint: worker-entry
-fn prefetch_one(shared: &Shared, job: PrefetchJob) {
+fn prefetch_one(shared: &Shared, worker: u32, job: PrefetchJob) {
     if job.query.validate().is_err() {
         // A forecaster only predicts platforms for queries it already saw
         // succeed; a malformed speculative query is dropped, not an error.
@@ -847,11 +1102,25 @@ fn prefetch_one(shared: &Shared, job: PrefetchJob) {
     }
     let mut guard = InFlightGuard { shared, key, armed: true };
 
+    // Speculative traces begin at pickup: there is no submitter, so the
+    // queue/lookup/flight spans are zero and the record is solve + publish.
+    let solve_begin = shared.clock.now_nanos();
+    let mut trace = shared.sink.begin(solve_begin);
+    if let Some(t) = trace.as_mut() {
+        t.worker = worker;
+        t.solver = worker;
+    }
     let structural = job.query.structural_fingerprint().0;
     let prior = shared.bases.lock().get(&structural).cloned();
     let outcome = solve_prepared(&job.query, fingerprint, shared.build_schedules, prior.as_ref());
     match outcome {
         Ok((answer, report)) => {
+            let solve_done = shared.clock.now_nanos();
+            if let Some(t) = trace.as_mut() {
+                t.solve_done_nanos = solve_done;
+                t.triage = report.triage.kind_name();
+                t.set_solve(report.trace());
+            }
             bump(&shared.prefetched);
             if let Some(basis) = report.basis {
                 publish_basis(shared, structural, basis);
@@ -867,6 +1136,7 @@ fn prefetch_one(shared: &Shared, job: PrefetchJob) {
             shared.cache.insert_at(key, Arc::clone(&answer), now, Some(structural));
             let waiters = shared.flight.complete(key);
             guard.disarm();
+            let end = shared.clock.now_nanos();
             if !waiters.is_empty() {
                 // Demand queries coalesced onto the speculative solve: the
                 // prefetch has landed (claim the key back unless a hit that
@@ -875,12 +1145,14 @@ fn prefetch_one(shared: &Shared, job: PrefetchJob) {
                     bump(&shared.prefetch_hits);
                 }
                 for waiter in waiters {
-                    let tailored = tailor(&answer, &waiter.platform);
-                    let _ = waiter
-                        .reply
-                        .send(Ok(Served { answer: tailored, via: ServedVia::Coalesced }));
+                    let Waiter { platform, reply, submitted_nanos, trace } = waiter;
+                    let tailored = tailor(&answer, &platform);
+                    shared.stage.e2e_coalesced.record(end.saturating_sub(submitted_nanos));
+                    finish_coalesced_trace(shared, worker, trace, "coalesced", end);
+                    let _ = reply.send(Ok(Served { answer: tailored, via: ServedVia::Coalesced }));
                 }
             }
+            finish_trace_at(shared, worker, trace, "prefetch", end);
         }
         Err(e) => {
             // The speculative solve itself failed (e.g. the predicted
@@ -888,11 +1160,31 @@ fn prefetch_one(shared: &Shared, job: PrefetchJob) {
             // swallow the speculation.
             let waiters = shared.flight.complete(key);
             guard.disarm();
+            let end = shared.clock.now_nanos();
             bump_by(&shared.errors, waiters.len() as u64);
             for waiter in waiters {
-                let _ = waiter.reply.send(Err(ServeError::Failed(e.clone())));
+                let Waiter { reply, trace, .. } = waiter;
+                finish_coalesced_trace(shared, worker, trace, "error", end);
+                let _ = reply.send(Err(ServeError::Failed(e.clone())));
             }
+            finish_trace_at(shared, worker, trace, "error", end);
         }
+    }
+}
+
+/// Seals a parked waiter's trace at fan-out: the solving worker stamps
+/// itself as the solver and pushes to its own ring.
+fn finish_coalesced_trace(
+    shared: &Shared,
+    worker: u32,
+    trace: Option<QueryTrace>,
+    outcome: &'static str,
+    end: u64,
+) {
+    if let Some(mut t) = trace {
+        t.solver = worker;
+        t.finish(outcome, end);
+        shared.sink.push(worker as usize, t);
     }
 }
 
@@ -944,10 +1236,21 @@ impl Drop for InFlightGuard<'_> {
 }
 
 // lint: worker-entry
-fn serve(shared: &Shared, job: Job) {
+fn serve(shared: &Shared, worker: u32, mut job: Job) {
     bump(&shared.queries);
+    let admitted = shared.clock.now_nanos();
+    shared.stage.queue_wait.record(admitted.saturating_sub(job.submitted_nanos));
+    if let Some(t) = job.trace.as_mut() {
+        t.worker = worker;
+        t.solver = worker;
+        t.admitted_nanos = admitted;
+    }
     if let Err(e) = job.query.validate() {
         bump(&shared.errors);
+        // Traces are sealed *before* the reply goes out, here and on every
+        // path below: once a caller observes its answer, its trace is
+        // drainable — no race between a reply and its own record.
+        finish_trace_at(shared, worker, job.trace, "error", shared.clock.now_nanos());
         let _ = job.reply.send(Err(ServeError::Failed(e)));
         return;
     }
@@ -955,12 +1258,27 @@ fn serve(shared: &Shared, job: Job) {
     let key = fingerprint.0;
     let now = shared.now();
 
-    let stale = match shared.cache.lookup(key, now, shared.ttl) {
+    let lookup = shared.cache.lookup(key, now, shared.ttl);
+    let lookup_done = shared.clock.now_nanos();
+    shared.stage.lookup.record(lookup_done.saturating_sub(admitted));
+    if let Some(t) = job.trace.as_mut() {
+        t.lookup_done_nanos = lookup_done;
+        t.lookup = match &lookup {
+            Lookup::Hit(_) => "hit",
+            Lookup::Stale(_) => "stale",
+            Lookup::Miss => "miss",
+        };
+    }
+    let stale = match lookup {
         Lookup::Hit(answer) => {
             if shared.ledger.claim(key) {
                 bump(&shared.prefetch_hits);
             }
             let answer = tailor(&answer, &job.query.platform);
+            let end = shared.clock.now_nanos();
+            shared.stage.publish.record(end.saturating_sub(lookup_done));
+            shared.stage.e2e_hit.record(end.saturating_sub(job.submitted_nanos));
+            finish_trace_at(shared, worker, job.trace, "cache", end);
             let _ = job.reply.send(Ok(Served { answer, via: ServedVia::Cache }));
             return;
         }
@@ -974,17 +1292,32 @@ fn serve(shared: &Shared, job: Job) {
     // admission lock — the solve may have completed between the lookup
     // above and the lock; a still-stale entry reads as absent there
     // (peek_fresh), because it must be revalidated.
-    let job = match shared.flight.join_or_lead(
+    let mut job = match shared.flight.join_or_lead(
         key,
         job,
         || shared.cache.peek_fresh(key, now, shared.ttl),
-        |job| Waiter { platform: job.query.platform, reply: job.reply },
+        |job| {
+            let mut trace = job.trace;
+            if let Some(t) = trace.as_mut() {
+                t.flight_done_nanos = shared.clock.now_nanos();
+            }
+            Waiter {
+                platform: job.query.platform,
+                reply: job.reply,
+                submitted_nanos: job.submitted_nanos,
+                trace,
+            }
+        },
     ) {
         Flight::Ready(answer, job) => {
             if shared.ledger.claim(key) {
                 bump(&shared.prefetch_hits);
             }
             let answer = tailor(&answer, &job.query.platform);
+            let end = shared.clock.now_nanos();
+            shared.stage.publish.record(end.saturating_sub(lookup_done));
+            shared.stage.e2e_hit.record(end.saturating_sub(job.submitted_nanos));
+            finish_trace_at(shared, worker, job.trace, "cache", end);
             let _ = job.reply.send(Ok(Served { answer, via: ServedVia::Cache }));
             return;
         }
@@ -995,15 +1328,20 @@ fn serve(shared: &Shared, job: Job) {
         Flight::Leader(job) => job,
     };
 
+    let flight_done = shared.clock.now_nanos();
+    if let Some(t) = job.trace.as_mut() {
+        t.flight_done_nanos = flight_done;
+    }
+
     // Admission control: this query needs a solve.  Take a slot, park the
     // job in the gate's pending queue (the worker is immediately free for
     // hit traffic — requeue-based admission), or shed.
-    match shared.gate.admit(SolveJob { job, fingerprint, stale }) {
-        Admission::Admitted(solve) => run_solve_chain(shared, solve),
+    match shared.gate.admit(SolveJob { job, fingerprint, stale, gate_enter_nanos: flight_done }) {
+        Admission::Admitted(solve) => run_solve_chain(shared, worker, solve),
         Admission::Queued => {
             bump(&shared.requeued);
         }
-        Admission::Shed(solve) => shed(shared, solve),
+        Admission::Shed(solve) => shed(shared, worker, solve),
     }
 }
 
@@ -1011,25 +1349,33 @@ fn serve(shared: &Shared, job: Job) {
 /// onto it — no solve for this key is going to happen.  A *revalidation*
 /// degrades gracefully: its expired answer is served as-is
 /// ([`ServedVia::StaleFallback`]) instead of failing the callers.
-fn shed(shared: &Shared, solve: SolveJob) {
-    let key = solve.fingerprint.0;
+fn shed(shared: &Shared, worker: u32, solve: SolveJob) {
+    let SolveJob { job, fingerprint, stale, .. } = solve;
+    let key = fingerprint.0;
     let waiters = shared.flight.complete(key);
-    match &solve.stale {
+    let end = shared.clock.now_nanos();
+    match &stale {
         Some(answer) => {
             bump_by(&shared.stale_served, 1 + waiters.len() as u64);
             let serve_stale = |platform: &Platform| {
                 Ok(Served { answer: tailor(answer, platform), via: ServedVia::StaleFallback })
             };
-            let _ = solve.job.reply.send(serve_stale(&solve.job.query.platform));
+            finish_trace_at(shared, worker, job.trace, "stale-fallback", end);
+            let _ = job.reply.send(serve_stale(&job.query.platform));
             for waiter in waiters {
-                let _ = waiter.reply.send(serve_stale(&waiter.platform));
+                let Waiter { platform, reply, trace, .. } = waiter;
+                finish_coalesced_trace(shared, worker, trace, "stale-fallback", end);
+                let _ = reply.send(serve_stale(&platform));
             }
         }
         None => {
             bump_by(&shared.shed, 1 + waiters.len() as u64);
-            let _ = solve.job.reply.send(Err(ServeError::Shed));
+            finish_trace_at(shared, worker, job.trace, "shed", end);
+            let _ = job.reply.send(Err(ServeError::Shed));
             for waiter in waiters {
-                let _ = waiter.reply.send(Err(ServeError::Shed));
+                let Waiter { reply, trace, .. } = waiter;
+                finish_coalesced_trace(shared, worker, trace, "shed", end);
+                let _ = reply.send(Err(ServeError::Shed));
             }
         }
     }
@@ -1041,10 +1387,21 @@ fn shed(shared: &Shared, solve: SolveJob) {
 /// stranded.  Each job is individually contained: a panicking solve fails
 /// its own callers (via the in-flight guard) but the chain, and with it the
 /// slot, carries on.
-fn run_solve_chain(shared: &Shared, first: SolveJob) {
+fn run_solve_chain(shared: &Shared, worker: u32, first: SolveJob) {
     let mut next = Some(first);
-    while let Some(solve) = next.take() {
-        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| solve_one(shared, solve)));
+    // The first job was admitted inline; everything taken over afterwards
+    // sat in the gate's pending queue, which its trace records.
+    let mut queued = false;
+    while let Some(mut solve) = next.take() {
+        if queued {
+            if let Some(t) = solve.job.trace.as_mut() {
+                t.gate_queued = true;
+            }
+        }
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            solve_one(shared, worker, solve)
+        }));
+        queued = true;
         next = shared.gate.release_or_takeover();
     }
 }
@@ -1052,8 +1409,8 @@ fn run_solve_chain(shared: &Shared, first: SolveJob) {
 /// Solves one admitted job through the drift-triage ladder, publishes the
 /// answer and its basis, and fans the result out to every parked waiter.
 // lint: worker-entry
-fn solve_one(shared: &Shared, solve: SolveJob) {
-    let SolveJob { job, fingerprint, stale } = solve;
+fn solve_one(shared: &Shared, worker: u32, solve: SolveJob) {
+    let SolveJob { mut job, fingerprint, stale, gate_enter_nanos } = solve;
     let key = fingerprint.0;
     let mut guard = InFlightGuard { shared, key, armed: true };
 
@@ -1068,13 +1425,29 @@ fn solve_one(shared: &Shared, solve: SolveJob) {
     // topology and roles, possibly different costs), if any.
     let structural_key = job.query.structural_fingerprint().0;
     let prior = shared.bases.lock().get(&structural_key).cloned();
+    // One clock read bounds both the gate wait (ending here, inclusive of
+    // the ledger/basis bookkeeping above) and the solve span (starting
+    // here), so the two stages stay adjacent.
+    let solve_begin = shared.clock.now_nanos();
+    shared.stage.gate_wait.record(solve_begin.saturating_sub(gate_enter_nanos));
+    if let Some(t) = job.trace.as_mut() {
+        t.solver = worker;
+        t.solve_start_nanos = solve_begin;
+    }
     // The query was already validated and fingerprinted by `serve`;
     // solve_prepared skips redoing both on the hot path.
-    let solve_started = Instant::now();
+    let mut solve_done = solve_begin;
+    let mut solved_warm = None;
     let outcome =
         match solve_prepared(&job.query, fingerprint, shared.build_schedules, prior.as_ref()) {
             Ok((answer, report)) => {
-                let nanos = solve_started.elapsed().as_nanos() as u64;
+                solve_done = shared.clock.now_nanos();
+                let nanos = solve_done.saturating_sub(solve_begin);
+                if let Some(t) = job.trace.as_mut() {
+                    t.solve_done_nanos = solve_done;
+                    t.triage = report.triage.kind_name();
+                    t.set_solve(report.trace());
+                }
                 if report.had_prior {
                     bump(&shared.triaged);
                 }
@@ -1087,16 +1460,19 @@ fn solve_one(shared: &Shared, solve: SolveJob) {
                     }
                     Triage::ResolveWarm { .. } | Triage::ResolveCold => {}
                 }
-                if report.triage.reused_basis()
-                    || matches!(report.triage, Triage::ResolveWarm { .. })
-                {
+                let warm = report.triage.reused_basis()
+                    || matches!(report.triage, Triage::ResolveWarm { .. });
+                solved_warm = Some(warm);
+                if warm {
                     bump(&shared.warm_solves);
                     bump_by(&shared.warm_pivots, report.iterations as u64);
                     bump_by(&shared.warm_solve_nanos, nanos);
+                    shared.stage.solve_warm.record(nanos);
                 } else {
                     bump(&shared.cold_solves);
                     bump_by(&shared.cold_pivots, report.iterations as u64);
                     bump_by(&shared.cold_solve_nanos, nanos);
+                    shared.stage.solve_cold.record(nanos);
                 }
                 if stale.is_some() {
                     bump(&shared.revalidations);
@@ -1122,6 +1498,13 @@ fn solve_one(shared: &Shared, solve: SolveJob) {
         // One error response per caller: the solver's own plus every waiter.
         bump_by(&shared.errors, 1 + waiters.len() as u64);
     }
+    let end = shared.clock.now_nanos();
+    shared.stage.publish.record(end.saturating_sub(solve_done));
+    match solved_warm {
+        Some(true) => shared.stage.e2e_warm.record(end.saturating_sub(job.submitted_nanos)),
+        Some(false) => shared.stage.e2e_cold.record(end.saturating_sub(job.submitted_nanos)),
+        None => {}
+    }
     // The solver's own job gets the full answer (it is the numbering the
     // schedule was built in); waiters get it tailored to their platforms.
     let respond = |platform: Option<&Platform>, via: ServedVia| match &outcome {
@@ -1132,9 +1515,20 @@ fn solve_one(shared: &Shared, solve: SolveJob) {
         Err(e) => Err(ServeError::Failed(e.clone())),
     };
     let leader_via = if stale.is_some() { ServedVia::Revalidated } else { ServedVia::Solve };
+    let leader_outcome = match (&outcome, solved_warm) {
+        (Err(_), _) => "error",
+        (Ok(_), _) if stale.is_some() => "revalidated",
+        (Ok(_), Some(true)) => "solve-warm",
+        _ => "solve-cold",
+    };
+    finish_trace_at(shared, worker, job.trace.take(), leader_outcome, end);
     let _ = job.reply.send(respond(None, leader_via));
     for waiter in waiters {
-        let _ = waiter.reply.send(respond(Some(&waiter.platform), ServedVia::Coalesced));
+        let Waiter { platform, reply, submitted_nanos, trace } = waiter;
+        shared.stage.e2e_coalesced.record(end.saturating_sub(submitted_nanos));
+        let waiter_outcome = if outcome.is_ok() { "coalesced" } else { "error" };
+        finish_coalesced_trace(shared, worker, trace, waiter_outcome, end);
+        let _ = reply.send(respond(Some(&platform), ServedVia::Coalesced));
     }
 }
 
@@ -1606,5 +2000,114 @@ mod tests {
         assert_eq!(stats.cached_entries, 1);
         assert_eq!(stats.solves, 0);
         assert_eq!(stats.queries, 0);
+    }
+
+    #[test]
+    fn tracing_off_records_no_traces_but_metrics_stay_on() {
+        let service = Service::start(ServiceConfig { workers: 1, ..ServiceConfig::default() });
+        assert!(!service.tracing_enabled());
+        let _ = service.query(figure2_query()).unwrap();
+        let _ = service.query(figure2_query()).unwrap();
+        assert!(service.drain_traces().is_empty());
+        assert_eq!(service.traces_dropped(), 0);
+        // Metrics are on regardless of tracing.
+        let metrics = service.metrics();
+        assert_eq!(metrics.counter("queries"), Some(2));
+        assert_eq!(metrics.histogram("stage_queue_wait_nanos").unwrap().count(), 2);
+        assert_eq!(metrics.histogram("e2e_hit_nanos").unwrap().count(), 1);
+        let solved = metrics.histogram("stage_solve_cold_nanos").unwrap().count()
+            + metrics.histogram("stage_solve_warm_nanos").unwrap().count();
+        assert_eq!(solved, 1);
+    }
+
+    /// The acceptance criterion: a traced query's stage spans are adjacent
+    /// and sum exactly to its end-to-end latency, for hits and solves alike.
+    #[test]
+    fn traced_queries_produce_span_complete_traces() {
+        let service =
+            Service::start(ServiceConfig { workers: 2, ..ServiceConfig::default() }.traced());
+        assert!(service.tracing_enabled());
+        let _ = service.query(figure2_query()).unwrap();
+        let _ = service.query(figure2_query()).unwrap();
+        let traces = service.drain_traces();
+        assert_eq!(traces.len(), 2, "one trace per query");
+        assert_eq!(service.traces_dropped(), 0);
+
+        let solve = traces.iter().find(|t| t.outcome.starts_with("solve")).expect("a solve trace");
+        assert_eq!(solve.lookup, "miss");
+        assert!(solve.solve_done_nanos > solve.solve_start_nanos, "the LP solve takes time");
+        let hit = traces.iter().find(|t| t.outcome == "cache").expect("a cache trace");
+        assert_eq!(hit.lookup, "hit");
+
+        for t in &traces {
+            let sum: u64 = t.stages().iter().map(|&(_, s, e)| e - s).sum();
+            assert_eq!(sum, t.total_nanos(), "stage spans must sum to e2e: {t:?}");
+            for window in t.stages().windows(2) {
+                assert_eq!(window[0].2, window[1].1, "stages must be adjacent: {t:?}");
+            }
+        }
+
+        // The drained traces render as loadable Chrome trace JSON.
+        let json = crate::obs::chrome_trace_json(&traces, &[]);
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"name\": \"solve\""));
+
+        // A second drain returns nothing new.
+        assert!(service.drain_traces().is_empty());
+    }
+
+    #[test]
+    fn manual_clock_drives_deterministic_timestamps() {
+        use crate::obs::{Clock, ManualClock};
+
+        let clock = Arc::new(ManualClock::new());
+        clock.advance(1_000);
+        let service = Service::start_with_clock(
+            ServiceConfig { workers: 1, ..ServiceConfig::default() }.traced(),
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        let _ = service.query(figure2_query()).unwrap();
+        let traces = service.drain_traces();
+        assert_eq!(traces.len(), 1);
+        // A frozen clock means every span is zero-length and every stamp is
+        // exactly the clock's value — fully deterministic observability.
+        assert_eq!(traces[0].submitted_nanos, 1_000);
+        assert_eq!(traces[0].end_nanos, 1_000);
+        assert_eq!(traces[0].total_nanos(), 0);
+        assert_eq!(service.metrics().histogram("e2e_solve_cold_nanos").unwrap().max(), 0);
+    }
+
+    #[test]
+    fn metrics_render_json_and_prometheus() {
+        let service = Service::start(ServiceConfig { workers: 1, ..ServiceConfig::default() });
+        let _ = service.query(figure2_query()).unwrap();
+        let metrics = service.metrics();
+        let json = metrics.to_json();
+        assert!(json.contains("\"schema_version\": 1"), "{json}");
+        assert!(json.contains("\"queries\": 1"), "{json}");
+        assert!(json.contains("\"stage_queue_wait_nanos\""), "{json}");
+        let prom = metrics.to_prometheus();
+        assert!(prom.contains("steady_queries_total 1"), "{prom}");
+        assert!(prom.contains("# TYPE steady_stage_queue_wait_nanos histogram"), "{prom}");
+        assert!(prom.contains("steady_cached_entries 1"), "{prom}");
+    }
+
+    #[test]
+    fn coalesced_waiters_get_traces_too() {
+        // One worker, slow solve path: park several identical queries so at
+        // least some coalesce onto the leader's in-flight solve.
+        let service =
+            Service::start(ServiceConfig { workers: 1, ..ServiceConfig::default() }.traced());
+        let replies: Vec<_> = (0..4).map(|_| service.submit(figure2_query())).collect();
+        for reply in replies {
+            let served = reply.recv().expect("reply");
+            assert!(served.is_ok());
+        }
+        let traces = service.drain_traces();
+        assert_eq!(traces.len(), 4, "every query traced, parked or not");
+        let coalesced = traces.iter().filter(|t| t.outcome == "coalesced").count();
+        assert_eq!(coalesced as u64, service.stats().coalesced);
+        let e2e = service.metrics().histogram("e2e_coalesced_nanos").unwrap().count();
+        assert_eq!(e2e, service.stats().coalesced);
     }
 }

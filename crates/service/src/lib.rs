@@ -77,6 +77,8 @@ pub mod flight;
 pub mod gate;
 pub mod ledger;
 pub mod loadgen;
+pub mod metrics;
+pub mod obs;
 pub mod persist;
 pub mod query;
 pub mod sync;
@@ -87,8 +89,14 @@ pub use engine::{
 };
 pub use fingerprint::{fingerprint, permuted_platform, structural_fingerprint, Fingerprint};
 pub use loadgen::{
-    forecastable_drift_config, query_mix, run_drift_load, run_forecast_load, run_load,
+    forecastable_drift_config, query_mix, run_drift_load, run_forecast_load, run_load, stage_table,
     DriftLoadConfig, DriftReport, ForecastLoadConfig, ForecastReport, LoadConfig, LoadReport,
+};
+pub use metrics::{
+    Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, METRICS_SCHEMA_VERSION,
+};
+pub use obs::{
+    chrome_trace_json, ClientSpan, Clock, ManualClock, QueryTrace, TraceRing, WallClock,
 };
 pub use query::{solve_query, Answer, Collective, Query};
 

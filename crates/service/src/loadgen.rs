@@ -11,6 +11,7 @@
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
@@ -28,6 +29,8 @@ use steady_platform::{NodeId, Platform};
 use steady_rational::rat;
 
 use crate::engine::{PrefetchJob, ServeError, Service, ServiceStats};
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot, METRICS_SCHEMA_VERSION};
+use crate::obs::ClientSpan;
 use crate::query::{solve_query, Collective, Query};
 use crate::ServiceError;
 
@@ -227,6 +230,14 @@ pub fn query_mix(distinct: usize, seed: u64) -> Vec<Query> {
 
 /// Outcome of a load run: sustained throughput, latency percentiles and the
 /// service's counters at the end of the run.
+///
+/// Latency percentiles come from the shared log-linear histogram
+/// ([`HistogramSnapshot`], one per client thread, merged), not from a sorted
+/// sample vector: each reported quantile is a bucket midpoint, so it carries
+/// the histogram's bounded relative error of at most one bucket width —
+/// `2⁻⁶ ≈ 1.6%` of the value (exact below 64 ns).  In exchange the
+/// percentile math is mergeable across clients and runs and costs O(1)
+/// memory regardless of query count.
 #[derive(Debug, Clone)]
 pub struct LoadReport {
     /// Queries issued (including any shed by admission control).
@@ -251,6 +262,16 @@ pub struct LoadReport {
     /// service handled before the run is subtracted out); `cached_entries`
     /// is the gauge value at the end of the run.
     pub stats: ServiceStats,
+    /// Client-observed end-to-end latency, merged across all clients.
+    pub latency: HistogramSnapshot,
+    /// Increment of [`Service::metrics`] over this run — the per-stage
+    /// latency histograms (`stage_*`, `e2e_*`) behind [`Self::render`]'s
+    /// breakdown table.
+    pub metrics: MetricsSnapshot,
+    /// One span per query as the *client* saw it, recorded only when the
+    /// service has tracing enabled; merged into the Perfetto export as the
+    /// client tracks.
+    pub client_spans: Vec<ClientSpan>,
 }
 
 impl LoadReport {
@@ -258,7 +279,8 @@ impl LoadReport {
     pub fn to_json(&self) -> String {
         format!(
             concat!(
-                "{{\"queries\":{},\"clients\":{},\"distinct\":{},",
+                "{{\"schema_version\":{},",
+                "\"queries\":{},\"clients\":{},\"distinct\":{},",
                 "\"elapsed_seconds\":{:.6},\"queries_per_second\":{:.1},",
                 "\"p50_micros\":{:.1},\"p95_micros\":{:.1},\"p99_micros\":{:.1},",
                 "\"hit_ratio\":{:.4},\"hits\":{},\"misses\":{},\"coalesced\":{},",
@@ -269,6 +291,7 @@ impl LoadReport {
                 "\"mean_warm_solve_micros\":{:.1},\"mean_cold_solve_micros\":{:.1},",
                 "\"shed\":{},\"errors\":{},\"evictions\":{}}}"
             ),
+            METRICS_SCHEMA_VERSION,
             self.queries,
             self.clients,
             self.distinct,
@@ -300,9 +323,12 @@ impl LoadReport {
         )
     }
 
-    /// Human-readable multi-line rendering of the report.
+    /// Human-readable multi-line rendering of the report, ending with the
+    /// per-stage latency breakdown table (where a query's time went:
+    /// queue-wait vs lookup vs gate-wait vs solve vs publish, with the
+    /// end-to-end distributions split hit / warm / cold / coalesced).
     pub fn render(&self) -> String {
-        format!(
+        let mut out = format!(
             "queries            : {} ({} distinct, {} clients)\n\
              elapsed            : {:.3} s\n\
              queries/sec        : {:.1}\n\
@@ -341,16 +367,52 @@ impl LoadReport {
             self.stats.mean_cold_pivots(),
             self.stats.mean_warm_solve_micros(),
             self.stats.mean_cold_solve_micros(),
-        )
+        );
+        out.push_str(&stage_table(&self.metrics));
+        out
     }
 }
 
-fn percentile_micros(sorted_nanos: &[u64], q: f64) -> f64 {
-    if sorted_nanos.is_empty() {
-        return 0.0;
+/// Renders the per-stage latency breakdown table from a [`Service::metrics`]
+/// increment: one row per lifecycle stage histogram plus the end-to-end
+/// distributions split by how the query was served.
+pub fn stage_table(metrics: &MetricsSnapshot) -> String {
+    const ROWS: [(&str, &str); 10] = [
+        ("queue wait", "stage_queue_wait_nanos"),
+        ("cache lookup", "stage_lookup_nanos"),
+        ("gate wait", "stage_gate_wait_nanos"),
+        ("solve (warm)", "stage_solve_warm_nanos"),
+        ("solve (cold)", "stage_solve_cold_nanos"),
+        ("publish", "stage_publish_nanos"),
+        ("e2e hit", "e2e_hit_nanos"),
+        ("e2e warm solve", "e2e_solve_warm_nanos"),
+        ("e2e cold solve", "e2e_solve_cold_nanos"),
+        ("e2e coalesced", "e2e_coalesced_nanos"),
+    ];
+    let mut out = String::from(
+        "stage breakdown    :          stage    count      p50      p95      p99 (µs)\n",
+    );
+    for (label, name) in ROWS {
+        let Some(h) = metrics.histogram(name) else { continue };
+        if h.count() == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "                     {label:>14} {:>8} {:>8.1} {:>8.1} {:>8.1}",
+            h.count(),
+            h.quantile(0.50) as f64 / 1_000.0,
+            h.quantile(0.95) as f64 / 1_000.0,
+            h.quantile(0.99) as f64 / 1_000.0,
+        );
     }
-    let rank = (q * (sorted_nanos.len() - 1) as f64).round() as usize;
-    sorted_nanos[rank] as f64 / 1_000.0
+    out
+}
+
+/// A histogram quantile in microseconds — the bucket-midpoint estimate, with
+/// the histogram's ≤ one-bucket-width (≈1.6%) relative error.
+fn quantile_micros(latency: &HistogramSnapshot, q: f64) -> f64 {
+    latency.quantile(q) as f64 / 1_000.0
 }
 
 /// Replays `config.queries` queries drawn from [`query_mix`] through
@@ -366,30 +428,48 @@ pub fn run_load(service: &Service, config: &LoadConfig) -> Result<LoadReport, Se
 
     let next = AtomicUsize::new(0);
     let clients = config.clients.max(1);
+    // Clients stamp with the service's own clock so their spans share a
+    // time base with the worker-side traces in the Perfetto export.
+    let clock = service.clock();
+    let spans_wanted = service.tracing_enabled();
     let before = service.stats();
+    let metrics_before = service.metrics();
     let started = Instant::now();
-    let per_client: Vec<Result<Vec<u64>, ServiceError>> = crossbeam::thread::scope(|scope| {
+    type ClientOutcome = Result<(HistogramSnapshot, Vec<ClientSpan>), ServiceError>;
+    let per_client: Vec<ClientOutcome> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
-            .map(|_| {
+            .map(|client| {
                 let next = &next;
                 let mix = &mix;
                 let sequence = &sequence;
+                let clock = Arc::clone(&clock);
                 scope.spawn(move |_| {
-                    let mut latencies = Vec::new();
+                    let mut latency = HistogramSnapshot::empty();
+                    let mut spans = Vec::new();
                     loop {
                         // relaxed: a claim ticket only needs atomicity, not
                         // ordering — each index goes to exactly one client.
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= sequence.len() {
-                            return Ok(latencies);
+                            return Ok((latency, spans));
                         }
                         let query = mix[sequence[i]].clone();
-                        let sent = Instant::now();
-                        match service.query(query) {
-                            Ok(_) | Err(ServeError::Shed) => {}
+                        let sent = clock.now_nanos();
+                        let outcome = match service.query(query) {
+                            Ok(served) => served.via.name(),
+                            Err(ServeError::Shed) => "shed",
                             Err(ServeError::Failed(e)) => return Err(e),
+                        };
+                        let end = clock.now_nanos();
+                        latency.record(end.saturating_sub(sent));
+                        if spans_wanted {
+                            spans.push(ClientSpan {
+                                client: client as u32,
+                                start_nanos: sent,
+                                end_nanos: end,
+                                outcome,
+                            });
                         }
-                        latencies.push(sent.elapsed().as_nanos() as u64);
                     }
                 })
             })
@@ -401,29 +481,35 @@ pub fn run_load(service: &Service, config: &LoadConfig) -> Result<LoadReport, Se
     .expect("a load client panicked");
     let elapsed = started.elapsed();
 
-    let mut latencies = Vec::with_capacity(config.queries);
+    let mut latency = HistogramSnapshot::empty();
+    let mut client_spans = Vec::new();
     for client in per_client {
-        latencies.extend(client?);
+        let (client_latency, spans) = client?;
+        latency.merge(&client_latency);
+        client_spans.extend(spans);
     }
-    latencies.sort_unstable();
 
     let stats = service.stats().since(&before);
+    let metrics = service.metrics().since(&metrics_before);
     let elapsed_seconds = elapsed.as_secs_f64();
     Ok(LoadReport {
-        queries: latencies.len(),
+        queries: latency.count() as usize,
         clients,
         distinct: mix.len(),
         elapsed_seconds,
         queries_per_second: if elapsed_seconds > 0.0 {
-            latencies.len() as f64 / elapsed_seconds
+            latency.count() as f64 / elapsed_seconds
         } else {
             0.0
         },
-        p50_micros: percentile_micros(&latencies, 0.50),
-        p95_micros: percentile_micros(&latencies, 0.95),
-        p99_micros: percentile_micros(&latencies, 0.99),
+        p50_micros: quantile_micros(&latency, 0.50),
+        p95_micros: quantile_micros(&latency, 0.95),
+        p99_micros: quantile_micros(&latency, 0.99),
         hit_ratio: stats.hit_ratio(),
         stats,
+        latency,
+        metrics,
+        client_spans,
     })
 }
 
@@ -478,7 +564,8 @@ impl DriftReport {
     pub fn to_json(&self) -> String {
         format!(
             concat!(
-                "{{\"epochs\":{},\"queries\":{},\"drifted_queries\":{},",
+                "{{\"schema_version\":{},",
+                "\"epochs\":{},\"queries\":{},\"drifted_queries\":{},",
                 "\"elapsed_seconds\":{:.6},",
                 "\"solves\":{},\"triaged\":{},\"in_range\":{},\"dual_repairs\":{},",
                 "\"warm_solves\":{},\"cold_solves\":{},",
@@ -487,6 +574,7 @@ impl DriftReport {
                 "\"mean_warm_pivots\":{:.2},\"mean_cold_pivots\":{:.2},",
                 "\"hits\":{},\"verified\":{},\"errors\":{}}}"
             ),
+            METRICS_SCHEMA_VERSION,
             self.epochs,
             self.queries,
             self.drifted_queries,
@@ -757,7 +845,8 @@ impl ForecastReport {
     pub fn to_json(&self) -> String {
         format!(
             concat!(
-                "{{\"epochs\":{},\"queries\":{},\"drifted_queries\":{},\"scheduled\":{},",
+                "{{\"schema_version\":{},",
+                "\"epochs\":{},\"queries\":{},\"drifted_queries\":{},\"scheduled\":{},",
                 "\"elapsed_seconds\":{:.6},",
                 "\"prefetched\":{},\"prefetch_hits\":{},\"prefetch_wasted\":{},",
                 "\"predicted_exits\":{},\"prefetch_hit_fraction\":{:.4},",
@@ -765,6 +854,7 @@ impl ForecastReport {
                 "\"solves\":{},\"triaged\":{},\"in_range\":{},\"dual_repairs\":{},",
                 "\"hits\":{},\"preferred_evictions\":{},\"verified\":{},\"errors\":{}}}"
             ),
+            METRICS_SCHEMA_VERSION,
             self.epochs,
             self.queries,
             self.drifted_queries,
@@ -1162,11 +1252,56 @@ mod tests {
             p99_micros: 3.0,
             hit_ratio: 0.7,
             stats: ServiceStats::default(),
+            latency: HistogramSnapshot::empty(),
+            metrics: MetricsSnapshot::default(),
+            client_spans: Vec::new(),
         };
         let json = report.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"schema_version\":1"));
         assert!(json.contains("\"queries_per_second\":20.0"));
         assert!(json.contains("\"hit_ratio\":0.7000"));
         assert!(!report.render().is_empty());
+    }
+
+    #[test]
+    fn load_report_uses_the_shared_histogram_and_stage_metrics() {
+        use crate::engine::{Service, ServiceConfig};
+
+        let service = Service::start(ServiceConfig { workers: 2, ..ServiceConfig::default() });
+        let config = LoadConfig { queries: 120, clients: 3, distinct: 8, seed: 4 };
+        let report = run_load(&service, &config).unwrap();
+        assert_eq!(report.queries, 120);
+        assert_eq!(report.latency.count(), 120, "every query lands in the merged histogram");
+        // The percentile fields are the histogram's quantiles, verbatim.
+        assert_eq!(report.p50_micros, report.latency.quantile(0.50) as f64 / 1_000.0);
+        assert_eq!(report.p99_micros, report.latency.quantile(0.99) as f64 / 1_000.0);
+        assert!(report.p50_micros <= report.p95_micros && report.p95_micros <= report.p99_micros);
+        // The per-stage metrics increment covers exactly this run's queries.
+        let queue = report.metrics.histogram("stage_queue_wait_nanos").unwrap();
+        assert_eq!(queue.count(), 120, "every served query crossed the queue stage");
+        let rendered = report.render();
+        assert!(rendered.contains("stage breakdown"), "render has the stage table:\n{rendered}");
+        assert!(rendered.contains("queue wait"), "table lists queue wait:\n{rendered}");
+        // Tracing was off, so no client spans were collected.
+        assert!(report.client_spans.is_empty());
+    }
+
+    #[test]
+    fn traced_load_collects_client_spans() {
+        use crate::engine::{Service, ServiceConfig};
+
+        let service =
+            Service::start(ServiceConfig { workers: 2, ..ServiceConfig::default() }.traced());
+        let config = LoadConfig { queries: 40, clients: 2, distinct: 6, seed: 11 };
+        let report = run_load(&service, &config).unwrap();
+        assert_eq!(report.client_spans.len(), 40, "one span per query when tracing");
+        for span in &report.client_spans {
+            assert!(span.client < 2);
+            assert!(span.end_nanos >= span.start_nanos);
+            assert!(!span.outcome.is_empty());
+        }
+        let traces = service.drain_traces();
+        assert!(!traces.is_empty(), "the service recorded worker-side traces too");
     }
 }

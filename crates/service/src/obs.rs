@@ -1,0 +1,613 @@
+//! Per-query lifecycle tracing for the serving core.
+//!
+//! Every query admitted by [`crate::engine::Service`] can carry a
+//! [`QueryTrace`] — a fixed-size, heap-free record of monotonic timestamps
+//! at each lifecycle edge (admitted → cache lookup → single-flight →
+//! admission gate → solve → publish), plus the triage rung and per-phase
+//! simplex pivot counts ([`steady_lp::SolveTrace`]) of the solve that
+//! answered it.  Completed traces land in bounded per-worker ring buffers
+//! ([`TraceRing`]) that **never block the hot path**: the push is a
+//! `try_lock` that drops (and counts) the record on contention, and the
+//! buffer overwrites (and counts) its oldest record when full.  A collector
+//! drains the rings off-path and can render the result as Chrome
+//! trace-event JSON ([`chrome_trace_json`]) loadable in Perfetto.
+//!
+//! Time comes from the [`Clock`] trait.  Production uses [`WallClock`]
+//! (monotonic `Instant` nanoseconds from service start); the trait is the
+//! seam where the roadmap's simulated clock plugs in — a deterministic
+//! clock makes every timestamp below reproducible without touching the
+//! engine.
+//!
+//! Tracing is **zero-allocation when off and cheap when on**: disabled, the
+//! per-query cost is `Option::None` in the job struct; enabled, a
+//! `QueryTrace` is a `Copy` struct threaded by value, so the only shared
+//! mutable state is the ring itself (rank 50 in the
+//! [`crate::sync`] lock order — a strict leaf).
+
+use std::time::Instant;
+
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::Mutex;
+use std::collections::VecDeque;
+
+/// A monotonic nanosecond clock.
+///
+/// The single seam between the serving core and real time: every timestamp
+/// in a [`QueryTrace`] and every latency histogram sample is a difference
+/// of `now_nanos()` readings.  Swapping in a simulated clock (a roadmap
+/// item) makes the whole observability layer deterministic.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since an arbitrary fixed origin; must never decrease.
+    fn now_nanos(&self) -> u64;
+}
+
+/// The production [`Clock`]: monotonic nanoseconds since construction.
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> WallClock {
+        WallClock { origin: Instant::now() }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_nanos(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// A manually advanced [`Clock`] for tests (and the seed of the roadmap's
+/// simulated clock).
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    nanos: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock starting at 0.
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+
+    /// Advances the clock by `nanos`.
+    pub fn advance(&self, nanos: u64) {
+        // relaxed: test-only monotone counter; readers only need *some*
+        // non-decreasing value, not ordering against other memory.
+        self.nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_nanos(&self) -> u64 {
+        // relaxed: see `advance`.
+        self.nanos.load(Ordering::Relaxed)
+    }
+}
+
+/// The lifecycle stages of a traced query, in order.  Each stage's span is
+/// the difference of two adjacent [`QueryTrace`] timestamps, so the stage
+/// durations **sum exactly** to the end-to-end latency.
+pub const STAGES: [&str; 6] = ["queue", "lookup", "flight", "gate", "solve", "publish"];
+
+/// A heap-free record of one query's trip through the serving core.
+///
+/// All timestamps are [`Clock`] nanoseconds.  Stages a query skips (a cache
+/// hit never reaches the gate) keep their timestamps equal to the previous
+/// edge, so every span is well-defined and non-negative after
+/// [`QueryTrace::finish`] runs its monotone fix-up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryTrace {
+    /// Unique id (assigned at submit, monotonically increasing).
+    pub id: u64,
+    /// Worker that admitted (dequeued) the query.
+    pub worker: u32,
+    /// Worker that solved/published — differs from `worker` when the
+    /// admission gate re-queued the solve to another worker.
+    pub solver: u32,
+    /// Query entered the submit channel.
+    pub submitted_nanos: u64,
+    /// A worker dequeued it.
+    pub admitted_nanos: u64,
+    /// Cache lookup finished.
+    pub lookup_done_nanos: u64,
+    /// Single-flight join-or-lead resolved (parked, fed, or led).
+    pub flight_done_nanos: u64,
+    /// Solve began (for gate-queued queries this is after the gate wait).
+    pub solve_start_nanos: u64,
+    /// Solve finished.
+    pub solve_done_nanos: u64,
+    /// Answer published and reply sent.
+    pub end_nanos: u64,
+    /// Cache lookup outcome: `"hit"`, `"stale"` or `"miss"`.
+    pub lookup: &'static str,
+    /// How the query was ultimately served (mirrors
+    /// [`crate::engine::ServedVia`], plus `"shed"` / `"error"` /
+    /// `"prefetch"`).
+    pub outcome: &'static str,
+    /// Triage rung of the solve that answered (empty when no solve ran).
+    pub triage: &'static str,
+    /// Phase-1 (feasibility) simplex pivots of the answering solve.
+    pub phase1_pivots: u32,
+    /// Phase-2 (optimization) simplex pivots of the answering solve.
+    pub phase2_pivots: u32,
+    /// `true` when the admission gate queued the solve instead of running
+    /// it inline (the `gate` span is then a real wait).
+    pub gate_queued: bool,
+}
+
+impl QueryTrace {
+    /// A fresh trace: every timestamp starts at `now` and is overwritten as
+    /// the query passes each edge.
+    pub fn begin(id: u64, now: u64) -> QueryTrace {
+        QueryTrace {
+            id,
+            worker: 0,
+            solver: 0,
+            submitted_nanos: now,
+            admitted_nanos: now,
+            lookup_done_nanos: now,
+            flight_done_nanos: now,
+            solve_start_nanos: now,
+            solve_done_nanos: now,
+            end_nanos: now,
+            lookup: "",
+            outcome: "",
+            triage: "",
+            phase1_pivots: 0,
+            phase2_pivots: 0,
+            gate_queued: false,
+        }
+    }
+
+    /// Records the per-phase pivot counts of the answering solve.
+    pub fn set_solve(&mut self, trace: steady_lp::SolveTrace) {
+        self.phase1_pivots = trace.phase1_pivots.min(u32::MAX as usize) as u32;
+        self.phase2_pivots = trace.phase2_pivots.min(u32::MAX as usize) as u32;
+    }
+
+    /// Seals the trace: stamps the outcome and end time, then runs a
+    /// monotone fix-up so skipped stages collapse to zero-length spans
+    /// instead of going negative (a cache hit never wrote the solve edges,
+    /// which still hold earlier values).
+    pub fn finish(&mut self, outcome: &'static str, end_nanos: u64) {
+        self.outcome = outcome;
+        self.end_nanos = end_nanos;
+        let mut floor = self.submitted_nanos;
+        for stamp in [
+            &mut self.admitted_nanos,
+            &mut self.lookup_done_nanos,
+            &mut self.flight_done_nanos,
+            &mut self.solve_start_nanos,
+            &mut self.solve_done_nanos,
+            &mut self.end_nanos,
+        ] {
+            if *stamp < floor {
+                *stamp = floor;
+            }
+            floor = *stamp;
+        }
+    }
+
+    /// `(stage name, start, end)` for each of [`STAGES`], adjacent and
+    /// gap-free: the spans sum exactly to `end_nanos - submitted_nanos`.
+    pub fn stages(&self) -> [(&'static str, u64, u64); 6] {
+        [
+            ("queue", self.submitted_nanos, self.admitted_nanos),
+            ("lookup", self.admitted_nanos, self.lookup_done_nanos),
+            ("flight", self.lookup_done_nanos, self.flight_done_nanos),
+            ("gate", self.flight_done_nanos, self.solve_start_nanos),
+            ("solve", self.solve_start_nanos, self.solve_done_nanos),
+            ("publish", self.solve_done_nanos, self.end_nanos),
+        ]
+    }
+
+    /// End-to-end latency in nanoseconds.
+    pub fn total_nanos(&self) -> u64 {
+        self.end_nanos.saturating_sub(self.submitted_nanos)
+    }
+}
+
+/// A bounded ring buffer of completed [`QueryTrace`]s with drop accounting.
+///
+/// The hot-path [`TraceRing::push`] never blocks: it `try_lock`s the ring
+/// and **drops the record** (counting it) if a collector holds the lock,
+/// and overwrites the oldest record (counting it) when full.  The ring is
+/// rank 50 — the bottom of the lock order — and the only blocking
+/// acquisition is the collector's [`TraceRing::drain`], taken with no other
+/// lock held.
+#[derive(Debug)]
+pub struct TraceRing {
+    ring: Mutex<VecDeque<QueryTrace>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl TraceRing {
+    /// A ring holding at most `capacity` (≥ 1) traces.
+    pub fn new(capacity: usize) -> TraceRing {
+        let capacity = capacity.max(1);
+        TraceRing {
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Offers a completed trace.  Never blocks: on lock contention the
+    /// trace is dropped; when full the **oldest** trace is evicted.  Either
+    /// loss increments the drop counter, so
+    /// `pushed == drained + buffered + dropped` always holds.
+    pub fn push(&self, trace: QueryTrace) {
+        match self.ring.try_lock() {
+            Some(mut ring) => {
+                if ring.len() == self.capacity {
+                    ring.pop_front();
+                    // relaxed: monotone loss tally; read only by collectors
+                    // that tolerate a momentarily stale count.
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                ring.push_back(trace);
+            }
+            None => {
+                // relaxed: see above.
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Removes and returns every buffered trace (collector side; blocks on
+    /// the ring lock, which writers only ever `try_lock`).
+    pub fn drain(&self) -> Vec<QueryTrace> {
+        let mut ring = self.ring.lock();
+        ring.drain(..).collect()
+    }
+
+    /// Traces lost to contention or overwrite since construction.
+    pub fn dropped(&self) -> u64 {
+        // relaxed: monotone tally, point-in-time read.
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Buffered traces right now.
+    pub fn len(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    /// `true` when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The per-service trace collector: one [`TraceRing`] per worker plus the
+/// id source.  Workers push only to their own ring, so rings see exactly
+/// one concurrent writer plus the collector.
+#[derive(Debug)]
+pub struct TraceSink {
+    rings: Vec<TraceRing>,
+    next_id: AtomicU64,
+    enabled: bool,
+}
+
+impl TraceSink {
+    /// A sink with one ring of `capacity` per worker.  When `enabled` is
+    /// false, [`TraceSink::begin`] returns `None` and the whole tracing
+    /// path costs one branch per query.
+    pub fn new(workers: usize, capacity: usize, enabled: bool) -> TraceSink {
+        TraceSink {
+            rings: (0..workers.max(1)).map(|_| TraceRing::new(capacity)).collect(),
+            next_id: AtomicU64::new(0),
+            enabled,
+        }
+    }
+
+    /// Whether per-query tracing is on.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Starts a trace for a query submitted at `now`, or `None` when
+    /// tracing is off.
+    pub fn begin(&self, now: u64) -> Option<QueryTrace> {
+        if !self.enabled {
+            return None;
+        }
+        // relaxed: unique-id counter; ids need distinctness, not ordering.
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        Some(QueryTrace::begin(id, now))
+    }
+
+    /// Offers a completed trace to `worker`'s ring (modulo the ring count,
+    /// so callers may pass any index).
+    pub fn push(&self, worker: usize, trace: QueryTrace) {
+        self.rings[worker % self.rings.len()].push(trace);
+    }
+
+    /// Drains every ring, returning all buffered traces ordered by
+    /// submission time.
+    pub fn drain(&self) -> Vec<QueryTrace> {
+        let mut all: Vec<QueryTrace> = self.rings.iter().flat_map(|r| r.drain()).collect();
+        all.sort_by_key(|t| (t.submitted_nanos, t.id));
+        all
+    }
+
+    /// Total traces lost across all rings.
+    pub fn dropped(&self) -> u64 {
+        self.rings.iter().map(|r| r.dropped()).sum()
+    }
+}
+
+/// One client-side request span for the trace file (recorded by the load
+/// generator: wall time from send to reply, per client thread).
+#[derive(Debug, Clone, Copy)]
+pub struct ClientSpan {
+    /// Client thread index.
+    pub client: u32,
+    /// Request sent, [`Clock`] nanoseconds.
+    pub start_nanos: u64,
+    /// Reply received.
+    pub end_nanos: u64,
+    /// How the request was served (same labels as [`QueryTrace::outcome`]).
+    pub outcome: &'static str,
+}
+
+/// Process id used for service worker tracks in the trace file.
+const SERVICE_PID: u32 = 1;
+/// Process id used for client tracks.
+const CLIENT_PID: u32 = 2;
+/// Synthetic thread id for the admission-gate queue track.
+const GATE_TID: u32 = 1000;
+
+/// Formats `nanos` as fractional microseconds, the unit of the Chrome
+/// trace-event `ts`/`dur` fields.
+fn micros(nanos: u64) -> String {
+    format!("{}.{:03}", nanos / 1_000, nanos % 1_000)
+}
+
+fn push_event(out: &mut String, name: &str, pid: u32, tid: u32, start: u64, end: u64, args: &str) {
+    if !out.ends_with('[') {
+        out.push(',');
+    }
+    out.push_str(&format!(
+        "\n  {{\"name\": \"{name}\", \"ph\": \"X\", \"pid\": {pid}, \"tid\": {tid}, \
+         \"ts\": {}, \"dur\": {}, \"args\": {{{args}}}}}",
+        micros(start),
+        micros(end.saturating_sub(start)),
+    ));
+}
+
+fn push_thread_name(out: &mut String, pid: u32, tid: u32, name: &str) {
+    if !out.ends_with('[') {
+        out.push(',');
+    }
+    out.push_str(&format!(
+        "\n  {{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": {tid}, \
+         \"args\": {{\"name\": \"{name}\"}}}}",
+    ));
+}
+
+/// Renders completed traces (and optional client spans) as Chrome
+/// trace-event JSON — the format Perfetto and `chrome://tracing` load
+/// directly.  One track per service worker (pid 1), one synthetic track for
+/// gate-queue waits, and one track per load-generator client (pid 2).
+pub fn chrome_trace_json(traces: &[QueryTrace], clients: &[ClientSpan]) -> String {
+    let mut out = String::from("{\n\"traceEvents\": [");
+
+    let mut workers: Vec<u32> = traces.iter().flat_map(|t| [t.worker, t.solver]).collect();
+    workers.sort_unstable();
+    workers.dedup();
+    for &w in &workers {
+        push_thread_name(&mut out, SERVICE_PID, w, &format!("worker-{w}"));
+    }
+    if traces.iter().any(|t| t.gate_queued) {
+        push_thread_name(&mut out, SERVICE_PID, GATE_TID, "gate-queue");
+    }
+    let mut client_ids: Vec<u32> = clients.iter().map(|c| c.client).collect();
+    client_ids.sort_unstable();
+    client_ids.dedup();
+    for &c in &client_ids {
+        push_thread_name(&mut out, CLIENT_PID, c, &format!("client-{c}"));
+    }
+
+    for t in traces {
+        for (stage, start, end) in t.stages() {
+            if end == start {
+                continue;
+            }
+            // The queue/lookup/flight stages ran on the admitting worker;
+            // solve/publish on the solver; a real gate wait sits on its own
+            // synthetic track so queue pressure is visible at a glance.
+            let tid = match stage {
+                "gate" if t.gate_queued => GATE_TID,
+                "solve" | "publish" => t.solver,
+                _ => t.worker,
+            };
+            let args = match stage {
+                "solve" => format!(
+                    "\"qid\": {}, \"triage\": \"{}\", \"phase1_pivots\": {}, \
+                     \"phase2_pivots\": {}",
+                    t.id, t.triage, t.phase1_pivots, t.phase2_pivots
+                ),
+                "publish" => format!("\"qid\": {}, \"outcome\": \"{}\"", t.id, t.outcome),
+                _ => format!("\"qid\": {}", t.id),
+            };
+            push_event(&mut out, stage, SERVICE_PID, tid, start, end, &args);
+        }
+    }
+
+    for c in clients {
+        push_event(
+            &mut out,
+            "request",
+            CLIENT_PID,
+            c.client,
+            c.start_nanos,
+            c.end_nanos,
+            &format!("\"outcome\": \"{}\"", c.outcome),
+        );
+    }
+
+    out.push_str("\n],\n\"schema_version\": 1\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_advances() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.now_nanos(), 0);
+        clock.advance(5);
+        clock.advance(7);
+        assert_eq!(clock.now_nanos(), 12);
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let clock = WallClock::new();
+        let a = clock.now_nanos();
+        let b = clock.now_nanos();
+        assert!(b >= a);
+    }
+
+    /// The acceptance criterion: stage spans are adjacent and sum exactly
+    /// to the end-to-end latency, even when stages were skipped.
+    #[test]
+    fn stage_spans_sum_to_total_even_with_skipped_stages() {
+        // A cache hit: solve edges never written.
+        let mut t = QueryTrace::begin(1, 100);
+        t.admitted_nanos = 130;
+        t.lookup_done_nanos = 150;
+        t.finish("cache", 160);
+        let sum: u64 = t.stages().iter().map(|&(_, s, e)| e - s).sum();
+        assert_eq!(sum, t.total_nanos());
+        assert_eq!(sum, 60);
+        for window in t.stages().windows(2) {
+            assert_eq!(window[0].2, window[1].1, "stages must be adjacent");
+        }
+
+        // A full cold solve through the gate.
+        let mut t = QueryTrace::begin(2, 0);
+        t.admitted_nanos = 10;
+        t.lookup_done_nanos = 25;
+        t.flight_done_nanos = 30;
+        t.solve_start_nanos = 400;
+        t.solve_done_nanos = 900;
+        t.gate_queued = true;
+        t.finish("solve-cold", 950);
+        let sum: u64 = t.stages().iter().map(|&(_, s, e)| e - s).sum();
+        assert_eq!(sum, 950);
+        assert_eq!(t.total_nanos(), 950);
+    }
+
+    #[test]
+    fn finish_repairs_out_of_order_stamps() {
+        let mut t = QueryTrace::begin(3, 50);
+        t.admitted_nanos = 60;
+        // lookup_done left at 50 (< admitted): fix-up must clamp it.
+        t.finish("error", 70);
+        assert_eq!(t.lookup_done_nanos, 60);
+        let sum: u64 = t.stages().iter().map(|&(_, s, e)| e - s).sum();
+        assert_eq!(sum, 20);
+    }
+
+    #[test]
+    fn ring_drops_oldest_when_full_and_counts() {
+        let ring = TraceRing::new(2);
+        for id in 0..5 {
+            ring.push(QueryTrace::begin(id, id));
+        }
+        assert_eq!(ring.dropped(), 3);
+        let drained = ring.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].id, 3, "oldest must be evicted first");
+        assert_eq!(drained[1].id, 4);
+        assert!(ring.is_empty());
+        // Conservation: pushed == drained + buffered + dropped.
+        assert_eq!(5, drained.len() as u64 + ring.len() as u64 + ring.dropped());
+    }
+
+    #[test]
+    fn disabled_sink_begins_nothing() {
+        let sink = TraceSink::new(2, 8, false);
+        assert!(!sink.enabled());
+        assert!(sink.begin(0).is_none());
+    }
+
+    #[test]
+    fn sink_assigns_unique_ids_and_drains_sorted() {
+        let sink = TraceSink::new(2, 8, true);
+        let mut a = sink.begin(200).unwrap();
+        let mut b = sink.begin(100).unwrap();
+        assert_ne!(a.id, b.id);
+        a.finish("cache", 210);
+        b.finish("cache", 110);
+        sink.push(0, a);
+        sink.push(1, b);
+        let all = sink.drain();
+        assert_eq!(all.len(), 2);
+        assert!(all[0].submitted_nanos <= all[1].submitted_nanos);
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn chrome_trace_json_shape() {
+        let mut t = QueryTrace::begin(7, 1_000);
+        t.worker = 0;
+        t.solver = 1;
+        t.admitted_nanos = 2_000;
+        t.lookup_done_nanos = 3_000;
+        t.flight_done_nanos = 4_000;
+        t.solve_start_nanos = 10_000;
+        t.solve_done_nanos = 20_000;
+        t.lookup = "miss";
+        t.triage = "resolve-cold";
+        t.gate_queued = true;
+        t.finish("solve-cold", 21_000);
+        let clients =
+            [ClientSpan { client: 0, start_nanos: 500, end_nanos: 22_000, outcome: "solve-cold" }];
+        let json = chrome_trace_json(&[t], &clients);
+
+        assert!(json.starts_with("{\n\"traceEvents\": ["), "{json}");
+        assert!(json.contains("\"thread_name\""), "{json}");
+        assert!(json.contains("\"gate-queue\""), "{json}");
+        assert!(json.contains("\"worker-1\""), "{json}");
+        assert!(json.contains("\"client-0\""), "{json}");
+        assert!(json.contains("\"name\": \"solve\""), "{json}");
+        assert!(json.contains("\"triage\": \"resolve-cold\""), "{json}");
+        // The gate wait sits on the synthetic gate track.
+        assert!(json.contains(&format!("\"tid\": {GATE_TID}")), "{json}");
+        // Fractional-microsecond timestamps: 1000ns -> "1.000".
+        assert!(json.contains("\"ts\": 1.000"), "{json}");
+        assert!(json.contains("\"schema_version\": 1"), "{json}");
+        // Balanced braces (cheap well-formedness check).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes, "{json}");
+    }
+
+    #[test]
+    fn zero_length_spans_are_omitted() {
+        let mut t = QueryTrace::begin(1, 100);
+        t.admitted_nanos = 110;
+        t.lookup_done_nanos = 120;
+        t.finish("cache", 125);
+        let json = chrome_trace_json(&[t], &[]);
+        assert!(!json.contains("\"name\": \"solve\""), "{json}");
+        assert!(!json.contains("\"name\": \"gate\""), "{json}");
+        assert!(json.contains("\"name\": \"queue\""), "{json}");
+        assert!(json.contains("\"name\": \"publish\""), "{json}");
+    }
+}

@@ -22,18 +22,23 @@
 //! |------|--------------------------------------------------------------|
 //! | 10   | admission/dispatch: single-flight `table`, gate `state`, worker `jobs` receiver |
 //! | 20   | side tables: `bases`, `prefetch_queue`, prefetch-ledger `keys` |
+//! | 25   | prefetch-idle gauge: the `pending` count its condvar waits on |
 //! | 30   | cache `shard` locks (and any `cache.` method call)            |
 //! | 40   | cache `seeded` class set (and `mark_class_seeded`)            |
+//! | 50   | observability leaves: per-worker trace `ring` buffers         |
 //!
 //! In particular: the single-flight admission lock may call into the cache
 //! (10 → 30), the cache may consult the seeded set while holding a shard
-//! (30 → 40), and **never** the reverse.
+//! (30 → 40), `schedule_prefetch` bumps the idle gauge while holding the
+//! queue (20 → 25), and **never** the reverse.  Trace rings are strict
+//! leaves: the hot-path push is a `try_lock` that *drops* the record on
+//! contention, so nothing ever blocks on a ring while holding another lock.
 
 #[cfg(not(steady_loom))]
-pub use parking_lot::{Mutex, RwLock};
+pub use parking_lot::{Condvar, Mutex, RwLock};
 
 #[cfg(steady_loom)]
-pub use loom::sync::{Mutex, RwLock};
+pub use loom::sync::{Condvar, Mutex, RwLock};
 
 /// Atomic integers (modeled under `--cfg steady_loom`).
 pub mod atomic {

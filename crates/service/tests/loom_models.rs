@@ -1,4 +1,4 @@
-//! Exhaustive interleaving checks for the serving core's four riskiest
+//! Exhaustive interleaving checks for the serving core's five riskiest
 //! protocols, run under the deterministic model checker (`shims/loom`).
 //!
 //! Build and run with:
@@ -23,9 +23,11 @@ use steady_service::cache::{CacheConfig, Lookup, SolutionCache};
 use steady_service::flight::{Flight, SingleFlight};
 use steady_service::gate::{Admission, ColdGate};
 use steady_service::ledger::PrefetchLedger;
+use steady_service::obs::TraceRing;
 use steady_service::sync::atomic::{AtomicU64, Ordering};
 use steady_service::sync::channel;
 use steady_service::sync::Mutex;
+use steady_service::QueryTrace;
 
 const KEY: u64 = 7;
 
@@ -234,5 +236,59 @@ fn prefetch_claim_is_at_most_once() {
             1,
             "claim accounting drifted from the recorded key"
         );
+    });
+}
+
+/// Protocol 5 — the trace ring's lossy-but-accounted contract: across every
+/// interleaving of two writers (4 pushes into a capacity-2 ring, forcing
+/// wrap-around) racing a concurrent collector drain, **every** pushed trace
+/// is either drained or counted dropped — `pushed == drained + buffered +
+/// dropped` exactly — no trace is lost *and* uncounted, and nothing is
+/// duplicated.
+#[test]
+fn trace_ring_loses_nothing_uncounted() {
+    explore("trace_ring", Builder::default(), || {
+        let ring = Arc::new(TraceRing::new(2));
+        let drained = Arc::new(Mutex::new(Vec::new()));
+
+        let writers: Vec<_> = (0..2u64)
+            .map(|w| {
+                let ring = Arc::clone(&ring);
+                thread::spawn(move || {
+                    for i in 0..2u64 {
+                        ring.push(QueryTrace::begin(w * 2 + i, 0));
+                    }
+                })
+            })
+            .collect();
+        let collector = {
+            let ring = Arc::clone(&ring);
+            let drained = Arc::clone(&drained);
+            thread::spawn(move || {
+                let batch = ring.drain();
+                drained.lock().extend(batch);
+            })
+        };
+        for writer in writers {
+            writer.join().unwrap();
+        }
+        collector.join().unwrap();
+
+        let mut got = drained.lock().clone();
+        got.extend(ring.drain());
+        let mut ids: Vec<u64> = got.iter().map(|t| t.id).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "a trace was duplicated: {ids:?}");
+        assert!(ids.iter().all(|&id| id < 4), "unknown trace id in {ids:?}");
+        assert_eq!(
+            ids.len() as u64 + ring.dropped(),
+            4,
+            "a trace was lost without being counted dropped ({} drained, {} dropped)",
+            ids.len(),
+            ring.dropped()
+        );
+        assert!(ring.is_empty(), "the final drain left traces buffered");
     });
 }

@@ -328,6 +328,27 @@ impl Condvar {
         mutex.lock()
     }
 
+    /// [`Self::wait`] with an upper bound on the wait — the modeled sibling
+    /// of `parking_lot`'s timed wait, returning `(guard, timed_out)`.
+    ///
+    /// The model has no clock, so the "timeout" elapses immediately: the
+    /// mutex is released (a scheduling point other threads can run through)
+    /// and reacquired, and the call reports `timed_out = true`.  This is the
+    /// same contract as the channel shim's `recv_timeout`: timed waits are
+    /// treated as polling loops, which the callers that use them are.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        _timeout: std::time::Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let mutex = guard.lock;
+        // Release (its own modeled op), let any schedule interleave, then
+        // reacquire; the caller re-checks its predicate exactly as it would
+        // after a real timeout.
+        drop(guard);
+        (mutex.lock(), true)
+    }
+
     /// Notifies the longest-waiting thread, if any.
     pub fn notify_one(&self) {
         let coid = self.oid();

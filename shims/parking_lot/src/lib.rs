@@ -49,6 +49,50 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// A condition variable paired with [`Mutex`], with the **by-value** guard
+/// API of the loom shim's modeled condvar (`wait(guard) -> guard`), so code
+/// written against `steady_service::sync` compiles unchanged under
+/// `--cfg steady_loom`.  Timed waits return `(guard, timed_out)`.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar { inner: sync::Condvar::new() }
+    }
+
+    /// Atomically releases the guard's mutex and waits for a notification,
+    /// then reacquires the mutex and returns a fresh guard.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.inner.wait(guard).unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// [`Self::wait`] with an upper bound: returns the reacquired guard and
+    /// whether the wait ended by timeout rather than notification.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: std::time::Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let (guard, result) =
+            self.inner.wait_timeout(guard, timeout).unwrap_or_else(sync::PoisonError::into_inner);
+        (guard, result.timed_out())
+    }
+
+    /// Wakes one waiting thread.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every waiting thread.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
 /// A reader-writer lock whose guards never come wrapped in `Result`.
 #[derive(Debug, Default)]
 pub struct RwLock<T: ?Sized> {

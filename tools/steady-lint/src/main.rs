@@ -354,8 +354,10 @@ fn lock_rank(name: &str) -> Option<u32> {
     match name {
         "table" | "state" | "jobs" => Some(10),
         "bases" | "prefetch_queue" | "keys" => Some(20),
+        "pending" => Some(25),
         "shard" | "shards" => Some(30),
         "seeded" => Some(40),
+        "ring" => Some(50),
         _ => None,
     }
 }
@@ -444,7 +446,8 @@ fn rule_lock_order(path: &Path, lines: &[Line], mask: &[bool], out: &mut Vec<Vio
                         message: format!(
                             "acquiring rank-{rank} lock via `{what}` while holding rank-{} \
                              guard `{}` — documented order is admission(10) < ledger/bases(20) \
-                             < cache shards(30) < seeded(40), strictly ascending",
+                             < prefetch-idle(25) < cache shards(30) < seeded(40) < \
+                             trace ring(50), strictly ascending",
                             h.rank, h.name
                         ),
                     });
