@@ -6,6 +6,7 @@ pub mod forecast_bench;
 pub mod generate;
 pub mod info;
 pub mod obs_overhead;
+pub mod scaling_sweep;
 pub mod serve_bench;
 pub mod solve;
 pub mod trace;

@@ -1,0 +1,241 @@
+//! `steady scaling-sweep` — solve clustered scatter (or reduce) LPs at
+//! increasing platform sizes and report per-size solver cost.
+//!
+//! For every requested size a clustered platform
+//! ([`steady_platform::generators::clustered`]) is generated, the collective
+//! LP is formulated and solved through the certified pipeline
+//! ([`steady_lp::solve_certified_warm`]), and the answer is verified against
+//! the collective's own invariants.  The sizes in the default sweep all land
+//! above [`steady_lp::CertifyOptions::revised_threshold`], so this is the
+//! end-to-end exercise of the revised sparse simplex: per-size wall-clock
+//! time, pivots and basis refactorizations quantify how the sparse path
+//! scales where the dense tableau cannot.
+//!
+//! `--out` writes a machine-readable `BENCH_scaling.json`; with
+//! `--budget-ms <N>` the run doubles as a CI gate that fails when any
+//! single size's solve exceeds the budget.
+
+use std::io::Write;
+use std::time::Instant;
+
+use steady_core::{ReduceProblem, ScatterProblem, SteadyProblem};
+use steady_lp::{routes_to_revised, Certificate, CertifyOptions, SimplexOptions};
+use steady_platform::generators::{
+    clustered_reduce_instance, clustered_scatter_instance, ClusteredConfig,
+};
+
+use crate::args::{OptionSpec, ParsedArgs};
+use crate::CliError;
+
+const SPEC: OptionSpec = OptionSpec {
+    valued: &["sizes", "targets", "participants", "seed", "out", "budget-ms"],
+    flags: &["reduce", "no-verify"],
+};
+
+/// What one size of the sweep cost and produced.
+struct SizeRecord {
+    requested: usize,
+    nodes: usize,
+    vars: usize,
+    constraints: usize,
+    solve_ms: u128,
+    pivots: usize,
+    phase1_pivots: usize,
+    refactorizations: usize,
+    revised_route: bool,
+    certificate: &'static str,
+    throughput: String,
+}
+
+/// Runs `steady scaling-sweep ...`.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let mut parsed = ParsedArgs::parse(args, &SPEC)?;
+    let sizes = parse_sizes(parsed.value("sizes").unwrap_or("200,500,1000"))?;
+    let targets = parsed.usize_value("targets", 8)?.max(1);
+    // The reduce LP carries one variable per (interval, edge) pair and the
+    // interval count is quadratic in the participant count, so the default
+    // stays small — raise it deliberately, with a matching budget.
+    let participants = parsed.usize_value("participants", 4)?.max(2);
+    let seed = parsed.u64_value("seed", 42)?;
+    let reduce = parsed.flag("reduce");
+    let verify = !parsed.flag("no-verify");
+    let json_path = parsed.value("out").map(str::to_owned);
+    let budget_ms: Option<u128> = match parsed.value("budget-ms") {
+        None => None,
+        Some(raw) => Some(raw.parse().map_err(|_| {
+            CliError::Usage(format!("--budget-ms expects milliseconds, got '{raw}'"))
+        })?),
+    };
+
+    // The thousand-node LPs spend well over the default `bland_after`
+    // pivots: left at the default, the solver would degrade to Bland's
+    // (cycle-proof but slow) rule mid-run for no reason — these LPs are
+    // generic enough that Dantzig pricing never cycles on them.
+    let options = CertifyOptions {
+        simplex: SimplexOptions { bland_after: 1_000_000, ..SimplexOptions::default() },
+        ..CertifyOptions::default()
+    };
+
+    let collective = if reduce { "reduce" } else { "scatter" };
+    writeln!(out, "operation          : solver scaling sweep ({collective})")?;
+    if reduce {
+        writeln!(out, "participants       : {participants} (spread across clusters)")?;
+    } else {
+        writeln!(out, "targets            : {targets} (spread across clusters)")?;
+    }
+
+    let mut records = Vec::with_capacity(sizes.len());
+    for &size in &sizes {
+        let config = ClusteredConfig::with_total_nodes(size);
+        let record = if reduce {
+            let instance = clustered_reduce_instance(&config, participants, seed);
+            let nodes = instance.platform.num_nodes();
+            let problem = ReduceProblem::from_instance(instance)
+                .map_err(|e| CliError::Failed(format!("size {size}: bad reduce instance: {e}")))?;
+            solve_one(size, nodes, &problem, &options, verify, |s, p| {
+                s.verify(p).map(|()| s.throughput().to_string())
+            })?
+        } else {
+            let instance = clustered_scatter_instance(&config, targets, seed);
+            let nodes = instance.platform.num_nodes();
+            let problem = ScatterProblem::from_instance(instance)
+                .map_err(|e| CliError::Failed(format!("size {size}: bad scatter instance: {e}")))?;
+            solve_one(size, nodes, &problem, &options, verify, |s, p| {
+                s.verify(p).map(|()| s.throughput().to_string())
+            })?
+        };
+        writeln!(
+            out,
+            "size {:>5}         : {} nodes, {} vars x {} rows, {} ms, {} pivots \
+             ({} phase 1), {} refactorizations, {} route, certificate {}",
+            record.requested,
+            record.nodes,
+            record.vars,
+            record.constraints,
+            record.solve_ms,
+            record.pivots,
+            record.phase1_pivots,
+            record.refactorizations,
+            if record.revised_route { "revised" } else { "dense" },
+            record.certificate,
+        )?;
+        records.push(record);
+    }
+
+    if let Some(path) = &json_path {
+        std::fs::write(path, render_json(collective, targets, participants, seed, &records))
+            .map_err(|e| CliError::Failed(format!("cannot write report to '{path}': {e}")))?;
+        writeln!(out, "json report        : written to {path}")?;
+    }
+    if let Some(budget) = budget_ms {
+        writeln!(out, "gate               : every solve must finish within {budget} ms")?;
+        for r in &records {
+            if r.solve_ms > budget {
+                return Err(CliError::Failed(format!(
+                    "size {} took {} ms, over the {} ms budget \
+                     ({} pivots on the {} route)",
+                    r.requested,
+                    r.solve_ms,
+                    budget,
+                    r.pivots,
+                    if r.revised_route { "revised" } else { "dense" },
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Formulates, solves, verifies and measures one collective problem.
+fn solve_one<P: SteadyProblem>(
+    requested: usize,
+    nodes: usize,
+    problem: &P,
+    options: &CertifyOptions,
+    verify: bool,
+    check: impl Fn(&P::Solution, &P) -> Result<String, String>,
+) -> Result<SizeRecord, CliError> {
+    let (lp, vars) = problem.formulate();
+    let start = Instant::now();
+    let sol = steady_lp::solve_certified_warm(&lp, options, None)
+        .map_err(|e| CliError::Failed(format!("size {requested}: solve failed: {e}")))?;
+    let solve_ms = start.elapsed().as_millis();
+    let solution = problem.interpret(&vars, &sol.values);
+    let throughput = if verify {
+        check(&solution, problem)
+            .map_err(|e| CliError::Failed(format!("size {requested}: verification failed: {e}")))?
+    } else {
+        check(&solution, problem).unwrap_or_default()
+    };
+    Ok(SizeRecord {
+        requested,
+        nodes,
+        vars: lp.num_vars(),
+        constraints: lp.num_constraints(),
+        solve_ms,
+        pivots: sol.iterations,
+        phase1_pivots: sol.phase1_iterations,
+        refactorizations: sol.refactorizations,
+        revised_route: routes_to_revised(&lp, options),
+        certificate: match sol.certificate {
+            Certificate::Optimal => "optimal",
+            Certificate::ExactSimplex => "exact-simplex",
+        },
+        throughput,
+    })
+}
+
+/// Parses `200,500,1000` into a size list.
+fn parse_sizes(raw: &str) -> Result<Vec<usize>, CliError> {
+    let sizes: Vec<usize> = raw
+        .split(',')
+        .filter(|part| !part.trim().is_empty())
+        .map(|part| {
+            part.trim()
+                .parse()
+                .map_err(|_| CliError::Usage(format!("'{part}' is not a platform size")))
+        })
+        .collect::<Result<_, _>>()?;
+    if sizes.is_empty() {
+        return Err(CliError::Usage("--sizes expects at least one platform size".into()));
+    }
+    Ok(sizes)
+}
+
+/// Renders the machine-readable `BENCH_scaling.json` artifact.
+fn render_json(
+    collective: &str,
+    targets: usize,
+    participants: usize,
+    seed: u64,
+    records: &[SizeRecord],
+) -> String {
+    let mut json = format!(
+        "{{\"schema_version\":1,\"collective\":\"{collective}\",\
+         \"targets\":{targets},\"participants\":{participants},\"seed\":{seed},\"sizes\":["
+    );
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"requested\":{},\"nodes\":{},\"vars\":{},\"constraints\":{},\
+             \"solve_ms\":{},\"pivots\":{},\"phase1_pivots\":{},\
+             \"refactorizations\":{},\"route\":\"{}\",\"certificate\":\"{}\",\
+             \"throughput\":\"{}\"}}",
+            r.requested,
+            r.nodes,
+            r.vars,
+            r.constraints,
+            r.solve_ms,
+            r.pivots,
+            r.phase1_pivots,
+            r.refactorizations,
+            if r.revised_route { "revised" } else { "dense" },
+            r.certificate,
+            r.throughput,
+        ));
+    }
+    json.push_str("]}");
+    json
+}

@@ -89,6 +89,8 @@ USAGE:
                         [--seed N] [--out FILE] [--min-reuse F] [--no-verify]
   steady forecast-bench [--epochs N] [--hits-per-epoch N] [--workers N] [--horizon N]
                         [--plan N] [--seed N] [--out FILE] [--min-prefetch-hit F] [--no-verify]
+  steady scaling-sweep  [--sizes A,B,...] [--targets N | --reduce [--participants N]]
+                        [--seed N] [--out FILE] [--budget-ms N] [--no-verify]
   steady demo NAME      NAME ∈ {figure2, figure6, figure9}
   steady info           --platform FILE [--dot]
   steady help
@@ -115,6 +117,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "obs-overhead" => commands::obs_overhead::run(rest, out),
         "drift-bench" => commands::drift_bench::run(rest, out),
         "forecast-bench" => commands::forecast_bench::run(rest, out),
+        "scaling-sweep" => commands::scaling_sweep::run(rest, out),
         "generate" => commands::generate::run(rest, out),
         "demo" => commands::demo::run(rest, out),
         "info" => commands::info::run(rest, out),
@@ -144,6 +147,7 @@ mod tests {
             "obs-overhead",
             "drift-bench",
             "forecast-bench",
+            "scaling-sweep",
             "generate",
             "demo",
             "info",

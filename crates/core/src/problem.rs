@@ -23,7 +23,7 @@ use steady_rational::Ratio;
 
 use crate::error::CoreError;
 
-pub use steady_lp::SolvedBasis;
+pub use steady_lp::{Certificate, SolvedBasis};
 
 /// A steady-state collective problem that can be formulated as an LP and its
 /// solution read back from the LP's optimal variable values.
@@ -61,6 +61,11 @@ pub struct SolveReport {
     pub warm_started: bool,
     /// Final basis, reusable to warm-start a structurally identical solve.
     pub basis: Option<SolvedBasis>,
+    /// Basis refactorizations performed by the revised sparse solver
+    /// (`0` whenever the LP ran on the dense tableau route).
+    pub refactorizations: usize,
+    /// How the exact optimum was validated by the solving pipeline.
+    pub certificate: Certificate,
 }
 
 impl SolveReport {
@@ -97,6 +102,8 @@ pub fn solve_steady_warm<P: SteadyProblem>(
         phase1_iterations: sol.phase1_iterations,
         warm_started: sol.warm_started,
         basis: sol.basis,
+        refactorizations: sol.refactorizations,
+        certificate: sol.certificate,
     };
     Ok((problem.interpret(&vars, &sol.values), report))
 }

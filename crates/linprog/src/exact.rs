@@ -22,6 +22,7 @@
 //! experiment.
 
 use crate::model::{LpProblem, Objective, Sense};
+use crate::revised::{self, RevisedOptions};
 use crate::simplex::{self, SimplexError, SimplexOptions, Solution, SolvedBasis};
 use steady_rational::Ratio;
 
@@ -58,6 +59,10 @@ pub struct CertifiedSolution {
     /// Final basis of the underlying simplex run, reusable to warm-start a
     /// structurally identical solve (`None` only for hand-built solutions).
     pub basis: Option<SolvedBasis>,
+    /// Basis refactorizations performed by the revised sparse solver, summed
+    /// over the `f64` and exact runs behind this solution.  Always `0` on the
+    /// dense tableau route (it has no factorization to rebuild).
+    pub refactorizations: usize,
 }
 
 impl CertifiedSolution {
@@ -103,6 +108,19 @@ pub struct CertifyOptions {
     /// If `true`, never fall back to the exact simplex; return an error
     /// instead.  Useful in benchmarks isolating the certification path.
     pub forbid_fallback: bool,
+    /// Dense-vs-revised routing split, compared against
+    /// `num_vars · max(num_constraints, 1)`.
+    ///
+    /// At or below the threshold the `f64` stage (and any exact fallback it
+    /// needs) runs on the dense tableau ([`crate::simplex`]); above it, on
+    /// the revised sparse simplex with an LU-factorized basis
+    /// ([`crate::revised`]), whose per-pivot work scales with the basis
+    /// nonzeros rather than the full `m · n` tableau.  Both routes use the
+    /// same pivot rules, so they certify the same exact optimum; the default
+    /// keeps every paper-scale workload (the Figure-9 reduce LP is ~10⁶) on
+    /// the dense path and reserves the sparse path for the thousand-node
+    /// platforms it was built for.
+    pub revised_threshold: usize,
 }
 
 impl Default for CertifyOptions {
@@ -111,6 +129,7 @@ impl Default for CertifyOptions {
             max_denominator: 1_000_000,
             simplex: SimplexOptions::default(),
             forbid_fallback: false,
+            revised_threshold: 4_000_000,
         }
     }
 }
@@ -172,9 +191,23 @@ pub fn solve_certified_warm(
     options: &CertifyOptions,
     warm: Option<&SolvedBasis>,
 ) -> Result<CertifiedSolution, CertifyError> {
-    let float = match warm {
-        Some(basis) => simplex::solve_with_basis_options::<f64>(problem, basis, &options.simplex),
-        None => simplex::solve_with_options::<f64>(problem, &options.simplex),
+    let sparse_route = routes_to_revised(problem, options);
+    let revised_opts =
+        RevisedOptions { simplex: options.simplex.clone(), ..RevisedOptions::default() };
+    let mut refactorizations = 0;
+
+    let float = if sparse_route {
+        revised::solve_revised_report::<f64>(problem, warm, &revised_opts).map(|(sol, stats)| {
+            refactorizations += stats.refactorizations;
+            sol
+        })
+    } else {
+        match warm {
+            Some(basis) => {
+                simplex::solve_with_basis_options::<f64>(problem, basis, &options.simplex)
+            }
+            None => simplex::solve_with_options::<f64>(problem, &options.simplex),
+        }
     };
     let float = match float {
         Ok(float) => float,
@@ -185,7 +218,14 @@ pub fn solve_certified_warm(
         // order, so the failure is formulation-order dependent.  The exact
         // rational simplex decides from scratch; only its verdict is real.
         Err(_) if !options.forbid_fallback => {
-            let exact = simplex::solve_exact(problem)?;
+            let exact = if sparse_route {
+                let (sol, stats) =
+                    revised::solve_revised_report::<Ratio>(problem, None, &revised_opts)?;
+                refactorizations += stats.refactorizations;
+                sol
+            } else {
+                simplex::solve_exact(problem)?
+            };
             return Ok(CertifiedSolution {
                 values: exact.values,
                 objective: exact.objective,
@@ -195,12 +235,16 @@ pub fn solve_certified_warm(
                 phase1_iterations: exact.phase1_iterations,
                 warm_started: false,
                 basis: Some(exact.basis),
+                refactorizations,
             });
         }
         Err(e) => return Err(e.into()),
     };
     match certify(problem, &float, options.max_denominator) {
-        Ok(sol) => Ok(sol),
+        Ok(mut sol) => {
+            sol.refactorizations = refactorizations;
+            Ok(sol)
+        }
         Err(reason) => {
             if options.forbid_fallback {
                 return Err(CertifyError::CertificationFailed { reason });
@@ -208,10 +252,20 @@ pub fn solve_certified_warm(
             // Seed the exact re-solve from the f64 basis (usually already
             // the optimal vertex); if that start misbehaves — an infeasible
             // float vertex can read as unbounded — re-solve exactly from
-            // scratch rather than surfacing the artifact.
-            let exact =
+            // scratch rather than surfacing the artifact.  (The revised
+            // solver folds that retreat-to-cold into one call.)
+            let exact = if sparse_route {
+                let (sol, stats) = revised::solve_revised_report::<Ratio>(
+                    problem,
+                    Some(&float.basis),
+                    &revised_opts,
+                )?;
+                refactorizations += stats.refactorizations;
+                sol
+            } else {
                 simplex::solve_with_basis_options::<Ratio>(problem, &float.basis, &options.simplex)
-                    .or_else(|_| simplex::solve_exact(problem))?;
+                    .or_else(|_| simplex::solve_exact(problem))?
+            };
             Ok(CertifiedSolution {
                 values: exact.values,
                 objective: exact.objective,
@@ -223,9 +277,17 @@ pub fn solve_certified_warm(
                 // exact re-solve is always internally seeded from the f64 basis.
                 warm_started: float.warm_started,
                 basis: Some(exact.basis),
+                refactorizations,
             })
         }
     }
+}
+
+/// `true` when `problem` is large enough that [`solve_certified_warm`] routes
+/// it through the revised sparse simplex instead of the dense tableau (see
+/// [`CertifyOptions::revised_threshold`]).
+pub fn routes_to_revised(problem: &LpProblem, options: &CertifyOptions) -> bool {
+    problem.num_vars() * problem.num_constraints().max(1) > options.revised_threshold
 }
 
 /// [`solve_certified_warm`]'s **dual-simplex** sibling: the `f64` simplex
@@ -275,6 +337,7 @@ pub fn solve_certified_dual(
                     phase1_iterations: float.phase1_iterations + exact.phase1_iterations,
                     warm_started: float.warm_started,
                     basis: Some(exact.basis),
+                    refactorizations: 0,
                 },
                 outcome,
             ))
@@ -331,6 +394,7 @@ pub fn certify(
         phase1_iterations: float.phase1_iterations,
         warm_started: float.warm_started,
         basis: Some(float.basis.clone()),
+        refactorizations: 0,
     })
 }
 

@@ -44,11 +44,13 @@
 pub mod exact;
 pub mod model;
 pub mod ranging;
+pub mod revised;
 pub mod scalar;
 pub mod simplex;
+pub mod sparse;
 
 pub use exact::{
-    certify, solve_certified, solve_certified_dual, solve_certified_warm,
+    certify, routes_to_revised, solve_certified, solve_certified_dual, solve_certified_warm,
     solve_certified_with_options, Certificate, CertifiedSolution, CertifyError, CertifyOptions,
     SolveTrace,
 };
@@ -56,12 +58,18 @@ pub use model::{Constraint, LinearExpr, LpProblem, Objective, Sense, VarId};
 pub use ranging::{
     basis_still_optimal, objective_ranging, rhs_ranging, CostRange, RangingError, RhsRange,
 };
+pub use revised::{
+    solve_revised, solve_revised_report, solve_revised_with_basis,
+    solve_revised_with_basis_options, solve_revised_with_options, Eta, RevisedOptions,
+    RevisedStats, SparseLu,
+};
 pub use scalar::Scalar;
 pub use simplex::{
     solve_dual_with_basis, solve_dual_with_basis_options, solve_exact, solve_f64, solve_with_basis,
     solve_with_basis_options, solve_with_options, DualOutcome, LpStatus, SimplexError,
     SimplexOptions, Solution, SolvedBasis,
 };
+pub use sparse::CscMatrix;
 
 use steady_rational::Ratio;
 
@@ -135,6 +143,7 @@ fn exact_simplex_certified(sol: Solution<Ratio>) -> CertifiedSolution {
         phase1_iterations: sol.phase1_iterations,
         warm_started: sol.warm_started,
         basis: Some(sol.basis),
+        refactorizations: 0,
     }
 }
 

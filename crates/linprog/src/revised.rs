@@ -1,0 +1,1038 @@
+//! Revised simplex with a sparse LU-factorized basis.
+//!
+//! The dense tableau ([`crate::simplex`]) stores and updates all `m · n`
+//! entries at every pivot — fine for the paper's 8-leaf stars, hopeless for
+//! thousand-node platforms where the steady-state LPs have tens of
+//! thousands of rows but only a handful of nonzeros per column.  This
+//! module implements the classical remedy, the *revised* simplex method:
+//!
+//! * the constraint matrix stays in read-only sparse storage
+//!   ([`crate::sparse::CscMatrix`]);
+//! * the basis matrix `B` is kept as a sparse LU factorization
+//!   ([`SparseLu`]) computed with Markowitz-style pivot ordering (pick the
+//!   entry minimizing the fill-in bound `(r−1)(c−1)`, with a relative
+//!   magnitude threshold for `f64` stability);
+//! * each simplex iteration solves two triangular systems instead of
+//!   updating a tableau: FTRAN (`B w = A_j`, the entering column in the
+//!   basis frame) and BTRAN (`Bᵀ y = c_B`, the simplex multipliers used to
+//!   price all columns);
+//! * a pivot appends a product-form *eta* update ([`Eta`]) rather than
+//!   refactorizing, and the factorization is rebuilt from scratch whenever
+//!   the eta file grows past [`RevisedOptions::refactor_interval`] updates
+//!   (or its fill outgrows the factors), which also refreshes the basic
+//!   values against accumulated `f64` round-off.
+//!
+//! **Pivot-rule parity.**  The solver replicates the dense tableau's pivot
+//! rules *exactly*: same standard form, same Dantzig/Bland switch, same
+//! ratio-test tie-breaking, same two-phase structure, artificial drive-out
+//! and warm-start acceptance conditions.  Instantiated over
+//! [`Ratio`](steady_rational::Ratio) the two solvers therefore perform the
+//! *same pivot sequence* and return bit-identical optima, duals and bases —
+//! property-tested in `tests/proptest_revised.rs` — so the revised path
+//! slots into the certified pipeline ([`crate::exact`]) and the warm-start
+//! world ([`SolvedBasis`]) without weakening any exactness guarantee.
+
+use crate::model::{LpProblem, Objective};
+use crate::scalar::Scalar;
+use crate::simplex::{clamp_nonneg, SimplexError, SimplexOptions, Solution, SolvedBasis};
+use crate::sparse::{ColKind, CscMatrix, StandardForm};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Tunable parameters of the revised solver.
+#[derive(Debug, Clone)]
+pub struct RevisedOptions {
+    /// Underlying pivot-rule options, shared with the dense simplex so the
+    /// two paths stay pivot-for-pivot comparable.
+    pub simplex: SimplexOptions,
+    /// Number of eta updates accumulated before the basis is refactorized
+    /// from scratch.  Each eta makes every FTRAN/BTRAN a little more
+    /// expensive (and, in `f64`, a little less accurate); refactorizing
+    /// resets both.  The factorization is also rebuilt early when the eta
+    /// file's fill-in outgrows the LU factors themselves.
+    pub refactor_interval: usize,
+}
+
+impl Default for RevisedOptions {
+    fn default() -> Self {
+        RevisedOptions { simplex: SimplexOptions::default(), refactor_interval: 64 }
+    }
+}
+
+/// Work counters of a revised solve, reported alongside the solution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RevisedStats {
+    /// Mid-solve basis refactorizations (the initial factorization of the
+    /// start basis is not counted).
+    pub refactorizations: usize,
+    /// Longest eta file reached between refactorizations.
+    pub peak_eta: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Sparse LU with Markowitz pivot ordering
+// ---------------------------------------------------------------------------
+
+/// Sparse LU factorization of a basis matrix, in elimination (product) form.
+///
+/// The factorization records, per elimination step `k`, the pivot position
+/// (`pivot_row[k]` in the matrix's row space, `pivot_col[k]` in the basis'
+/// column space), the pivot value, the row multipliers that eliminated the
+/// pivot column from the remaining rows (`lower`), and the pivot row's
+/// surviving entries over not-yet-pivoted columns (`upper`).  [`Self::ftran`]
+/// and [`Self::btran`] replay those steps to solve `B x = b` and
+/// `Bᵀ y = c` in time proportional to the stored fill, never forming `B⁻¹`.
+#[derive(Debug, Clone)]
+pub struct SparseLu<S> {
+    m: usize,
+    pivot_row: Vec<usize>,
+    pivot_col: Vec<usize>,
+    pivot_val: Vec<S>,
+    /// Per step: `(row, multiplier)` of every eliminated row.
+    lower: Vec<Vec<(usize, S)>>,
+    /// Per step: `(col, value)` of the pivot row over unpivoted columns.
+    upper: Vec<Vec<(usize, S)>>,
+}
+
+/// Markowitz candidate-column budget per elimination step: examining the few
+/// lowest-count columns is the classical compromise between fill-optimal
+/// pivot search (scan everything) and speed.
+const MARKOWITZ_CANDIDATES: usize = 4;
+/// Relative magnitude threshold for `f64` pivot stability; exact scalars are
+/// unaffected (the threshold only reorders the elimination, never changes
+/// the factorized values).
+const PIVOT_THRESHOLD: f64 = 0.01;
+/// Column-count buckets tracked individually; larger counts share one
+/// overflow bucket.
+const MAX_BUCKET: usize = 32;
+
+impl<S: Scalar> SparseLu<S> {
+    /// Factorizes the basis formed by the columns `basis_cols` of `a`
+    /// (position `p` of the basis is column `basis_cols[p]`).
+    ///
+    /// Returns `None` when the basis is singular — for exact scalars this is
+    /// a certificate, for `f64` the caller treats it as a numerical verdict
+    /// and falls back.
+    pub fn factorize(a: &CscMatrix<S>, basis_cols: &[usize]) -> Option<SparseLu<S>> {
+        let m = a.num_rows();
+        debug_assert_eq!(basis_cols.len(), m, "basis must have one column per row");
+
+        // Active submatrix, row-wise: row -> { position -> value }.
+        let mut rows: Vec<BTreeMap<usize, S>> = vec![BTreeMap::new(); m];
+        // Position -> active rows holding a nonzero in that position.
+        let mut col_rows: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); m];
+        for (pos, &col) in basis_cols.iter().enumerate() {
+            for (r, v) in a.col(col) {
+                rows[r].insert(pos, v.clone());
+                col_rows[pos].insert(r);
+            }
+        }
+
+        // Bucket queue over column counts, for cheap lowest-count lookup.
+        let mut buckets: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); MAX_BUCKET + 1];
+        let mut col_bucket: Vec<usize> = vec![0; m];
+        for pos in 0..m {
+            let b = col_rows[pos].len().min(MAX_BUCKET);
+            buckets[b].insert(pos);
+            col_bucket[pos] = b;
+        }
+        let rebucket = |buckets: &mut Vec<BTreeSet<usize>>,
+                        col_bucket: &mut Vec<usize>,
+                        pos: usize,
+                        count: usize| {
+            let nb = count.min(MAX_BUCKET);
+            if nb != col_bucket[pos] {
+                buckets[col_bucket[pos]].remove(&pos);
+                buckets[nb].insert(pos);
+                col_bucket[pos] = nb;
+            }
+        };
+
+        let mut lu = SparseLu {
+            m,
+            pivot_row: Vec::with_capacity(m),
+            pivot_col: Vec::with_capacity(m),
+            pivot_val: Vec::with_capacity(m),
+            lower: Vec::with_capacity(m),
+            upper: Vec::with_capacity(m),
+        };
+
+        for _step in 0..m {
+            // An active column with no active nonzero certifies singularity.
+            if !buckets[0].is_empty() {
+                return None;
+            }
+            // Markowitz search over the lowest-count candidate columns:
+            // minimize (row_count - 1) * (col_count - 1) among entries that
+            // pass the relative magnitude threshold.
+            let mut best: Option<(usize, usize, usize)> = None; // (cost, row, pos)
+            let mut examined = 0;
+            'search: for bucket in buckets.iter().take(MAX_BUCKET + 1).skip(1) {
+                for &pos in bucket {
+                    let col_count = col_rows[pos].len();
+                    let col_max = col_rows[pos]
+                        .iter()
+                        .map(|&r| rows[r][&pos].to_f64().abs())
+                        .fold(0.0_f64, f64::max);
+                    for &r in &col_rows[pos] {
+                        let v = rows[r][&pos].to_f64().abs();
+                        // NaN-safe: when magnitudes are unusable (overflowed
+                        // rationals, underflow to 0), accept structurally.
+                        if col_max > 0.0 && v < PIVOT_THRESHOLD * col_max {
+                            continue;
+                        }
+                        let cost = (rows[r].len() - 1) * (col_count - 1);
+                        let improves = match best {
+                            None => true,
+                            Some((c, _, _)) => cost < c,
+                        };
+                        if improves {
+                            best = Some((cost, r, pos));
+                        }
+                    }
+                    examined += 1;
+                    if examined >= MARKOWITZ_CANDIDATES || matches!(best, Some((0, _, _))) {
+                        break 'search;
+                    }
+                }
+            }
+            let (_, pi, pj) = best?;
+
+            // Retire the pivot row from the active submatrix.
+            let prow = std::mem::take(&mut rows[pi]);
+            for &c in prow.keys() {
+                col_rows[c].remove(&pi);
+                rebucket(&mut buckets, &mut col_bucket, c, col_rows[c].len());
+            }
+            let piv_val = prow[&pj].clone();
+            let upper_k: Vec<(usize, S)> =
+                prow.iter().filter(|(&c, _)| c != pj).map(|(&c, v)| (c, v.clone())).collect();
+
+            // Eliminate the pivot column from the remaining active rows.
+            let elim: Vec<usize> = col_rows[pj].iter().copied().collect();
+            let mut lower_k = Vec::with_capacity(elim.len());
+            for r in elim {
+                let factor = rows[r].remove(&pj).expect("row is in the pivot column's index");
+                let mult = factor.div(&piv_val);
+                for (c, v) in &upper_k {
+                    let delta = mult.mul(v);
+                    match rows[r].get(c) {
+                        Some(old) => {
+                            let nv = old.sub(&delta);
+                            if nv.is_zero() {
+                                rows[r].remove(c);
+                                col_rows[*c].remove(&r);
+                                rebucket(&mut buckets, &mut col_bucket, *c, col_rows[*c].len());
+                            } else {
+                                rows[r].insert(*c, nv);
+                            }
+                        }
+                        None => {
+                            if !delta.is_zero() {
+                                rows[r].insert(*c, delta.neg());
+                                col_rows[*c].insert(r);
+                                rebucket(&mut buckets, &mut col_bucket, *c, col_rows[*c].len());
+                            }
+                        }
+                    }
+                }
+                lower_k.push((r, mult));
+            }
+            col_rows[pj].clear();
+            buckets[col_bucket[pj]].remove(&pj);
+
+            lu.pivot_row.push(pi);
+            lu.pivot_col.push(pj);
+            lu.pivot_val.push(piv_val);
+            lu.lower.push(lower_k);
+            lu.upper.push(upper_k);
+        }
+        Some(lu)
+    }
+
+    /// Basis dimension.
+    pub fn dim(&self) -> usize {
+        self.m
+    }
+
+    /// Stored nonzeros (pivots + both triangular factors).
+    pub fn nnz(&self) -> usize {
+        self.m
+            + self.lower.iter().map(Vec::len).sum::<usize>()
+            + self.upper.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// FTRAN: solves `B x = b`.  `b` is indexed by matrix row, the returned
+    /// `x` by basis position.
+    pub fn ftran(&self, mut b: Vec<S>) -> Vec<S> {
+        debug_assert_eq!(b.len(), self.m);
+        // Forward: replay the row eliminations on b.
+        for k in 0..self.m {
+            let zr = b[self.pivot_row[k]].clone();
+            if zr.is_zero() {
+                continue;
+            }
+            for (r, mult) in &self.lower[k] {
+                b[*r] = b[*r].sub(&mult.mul(&zr));
+            }
+        }
+        // Backward: substitute through the pivot rows in reverse order.
+        let mut x = vec![S::zero(); self.m];
+        for k in (0..self.m).rev() {
+            let mut acc = b[self.pivot_row[k]].clone();
+            for (c, v) in &self.upper[k] {
+                if !x[*c].is_zero() {
+                    acc = acc.sub(&v.mul(&x[*c]));
+                }
+            }
+            if !acc.is_zero() {
+                x[self.pivot_col[k]] = acc.div(&self.pivot_val[k]);
+            }
+        }
+        x
+    }
+
+    /// BTRAN: solves `Bᵀ y = c`.  `c` is indexed by basis position, the
+    /// returned `y` by matrix row.
+    pub fn btran(&self, c: Vec<S>) -> Vec<S> {
+        debug_assert_eq!(c.len(), self.m);
+        // Forward: solve Uᵀ t = c, scattering updates by column position.
+        let mut acc = c;
+        let mut t = vec![S::zero(); self.m];
+        for k in 0..self.m {
+            let tk = acc[self.pivot_col[k]].div(&self.pivot_val[k]);
+            if !tk.is_zero() {
+                for (c2, v) in &self.upper[k] {
+                    acc[*c2] = acc[*c2].sub(&v.mul(&tk));
+                }
+            }
+            t[self.pivot_row[k]] = tk;
+        }
+        // Backward: solve Lᵀ y = t in reverse elimination order.
+        let mut y = t;
+        for k in (0..self.m).rev() {
+            let mut s = S::zero();
+            for (r, mult) in &self.lower[k] {
+                if !y[*r].is_zero() {
+                    s = s.add(&mult.mul(&y[*r]));
+                }
+            }
+            if !s.is_zero() {
+                y[self.pivot_row[k]] = y[self.pivot_row[k]].sub(&s);
+            }
+        }
+        y
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Eta updates (product form of the inverse)
+// ---------------------------------------------------------------------------
+
+/// One product-form basis update: after a pivot at basis position `pos`
+/// with entering column `w = B⁻¹ A_j`, the new basis is `B · E` where `E`
+/// is the identity with column `pos` replaced by `w`.
+///
+/// Applying `E⁻¹` (FTRAN direction) and `E⁻ᵀ` (BTRAN direction) costs one
+/// pass over the stored nonzeros, so a short eta file keeps per-pivot solve
+/// cost proportional to basis fill rather than basis dimension.
+#[derive(Debug, Clone)]
+pub struct Eta<S> {
+    pos: usize,
+    pivot: S,
+    /// Nonzero entries of `w` away from `pos`.
+    entries: Vec<(usize, S)>,
+}
+
+impl<S: Scalar> Eta<S> {
+    /// Captures the eta column for a pivot at `pos` from the dense FTRAN
+    /// result `w` (which must have `w[pos] != 0`).
+    pub fn from_dense(pos: usize, w: &[S]) -> Eta<S> {
+        debug_assert!(!w[pos].is_zero(), "eta pivot must be nonzero");
+        let entries = w
+            .iter()
+            .enumerate()
+            .filter(|&(i, v)| i != pos && !v.is_zero())
+            .map(|(i, v)| (i, v.clone()))
+            .collect();
+        Eta { pos, pivot: w[pos].clone(), entries }
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.entries.len() + 1
+    }
+
+    /// Applies `E⁻¹` in place (FTRAN direction, position-indexed vector).
+    pub fn apply_ftran(&self, x: &mut [S]) {
+        let t = x[self.pos].div(&self.pivot);
+        if !t.is_zero() {
+            for (i, w) in &self.entries {
+                x[*i] = x[*i].sub(&w.mul(&t));
+            }
+        }
+        x[self.pos] = t;
+    }
+
+    /// Applies `E⁻ᵀ` in place (BTRAN direction, position-indexed vector).
+    pub fn apply_btran(&self, z: &mut [S]) {
+        let mut acc = z[self.pos].clone();
+        for (i, w) in &self.entries {
+            if !z[*i].is_zero() {
+                acc = acc.sub(&w.mul(&z[*i]));
+            }
+        }
+        z[self.pos] = acc.div(&self.pivot);
+    }
+}
+
+/// The factorized basis: an LU of some earlier basis plus the eta updates
+/// accumulated since (`B_now = B_lu · E_1 ⋯ E_k`).
+struct Factors<S> {
+    lu: SparseLu<S>,
+    etas: Vec<Eta<S>>,
+    eta_nnz: usize,
+}
+
+impl<S: Scalar> Factors<S> {
+    fn fresh(lu: SparseLu<S>) -> Self {
+        Factors { lu, etas: Vec::new(), eta_nnz: 0 }
+    }
+
+    /// `B⁻¹ b`: LU solve, then etas in append order.
+    fn ftran(&self, b: Vec<S>) -> Vec<S> {
+        let mut x = self.lu.ftran(b);
+        for eta in &self.etas {
+            eta.apply_ftran(&mut x);
+        }
+        x
+    }
+
+    /// `B⁻ᵀ c`: etas in reverse order, then the LU transpose solve.
+    fn btran(&self, c: Vec<S>) -> Vec<S> {
+        let mut z = c;
+        for eta in self.etas.iter().rev() {
+            eta.apply_btran(&mut z);
+        }
+        self.lu.btran(z)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The revised simplex driver
+// ---------------------------------------------------------------------------
+
+struct Revised<'a, S> {
+    sf: StandardForm<S>,
+    /// Basic column of each basis position (position `i` tracks standard-form
+    /// row `i`, matching the dense tableau's row-to-basis assignment).
+    basic: Vec<usize>,
+    factors: Factors<S>,
+    /// Current basic values `B⁻¹ b`, by position.
+    xb: Vec<S>,
+    options: &'a RevisedOptions,
+    stats: RevisedStats,
+}
+
+impl<S: Scalar> Revised<'_, S> {
+    /// Simplex multipliers then reduced costs for every column:
+    /// `y = B⁻ᵀ c_B`, `d_j = c_j − y · A_j`.
+    fn reduced_costs(&self, costs: &[S]) -> Vec<S> {
+        let cb: Vec<S> = self.basic.iter().map(|&j| costs[j].clone()).collect();
+        let y = self.factors.btran(cb);
+        let mut reduced = Vec::with_capacity(self.sf.num_cols());
+        for (j, cost) in costs.iter().enumerate().take(self.sf.num_cols()) {
+            let mut d = cost.clone();
+            for (r, v) in self.sf.a.col(j) {
+                if !y[r].is_zero() {
+                    d = d.sub(&y[r].mul(v));
+                }
+            }
+            reduced.push(d);
+        }
+        reduced
+    }
+
+    /// Entering-column choice; identical rule to the dense tableau
+    /// (first-encountered Dantzig maximum, or Bland's first positive).
+    fn choose_entering(reduced: &[S], allowed: &[bool], bland: bool) -> Option<usize> {
+        let mut best: Option<(usize, &S)> = None;
+        for (j, r) in reduced.iter().enumerate() {
+            if !allowed[j] {
+                continue;
+            }
+            if r.is_positive() {
+                if bland {
+                    return Some(j);
+                }
+                match &best {
+                    None => best = Some((j, r)),
+                    Some((_, rb)) if rb.lt(r) => best = Some((j, r)),
+                    _ => {}
+                }
+            }
+        }
+        best.map(|(j, _)| j)
+    }
+
+    /// Ratio test over the FTRAN'd entering column; identical rule to the
+    /// dense tableau (minimum ratio, ties to the smallest basic column).
+    fn choose_leaving(&self, w: &[S]) -> Option<usize> {
+        let mut best: Option<(usize, S)> = None;
+        for (i, a) in w.iter().enumerate() {
+            if !a.is_positive() {
+                continue;
+            }
+            let ratio = self.xb[i].div(a);
+            match &best {
+                None => best = Some((i, ratio)),
+                Some((bi, br)) => {
+                    if ratio.lt(br) || (!br.lt(&ratio) && self.basic[i] < self.basic[*bi]) {
+                        best = Some((i, ratio));
+                    }
+                }
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Executes the basis change `basic[pos] ← col` given `w = B⁻¹ A_col`:
+    /// updates the basic values, appends an eta (or refactorizes when the
+    /// eta file is due), and keeps the work counters.
+    fn pivot(&mut self, pos: usize, col: usize, w: Vec<S>) -> Result<(), SimplexError> {
+        let t = self.xb[pos].div(&w[pos]);
+        for (i, wi) in w.iter().enumerate() {
+            if i != pos && !wi.is_zero() {
+                self.xb[i] = self.xb[i].sub(&wi.mul(&t));
+            }
+        }
+        self.xb[pos] = t;
+        self.basic[pos] = col;
+
+        let eta = Eta::from_dense(pos, &w);
+        self.factors.eta_nnz += eta.nnz();
+        self.factors.etas.push(eta);
+        self.stats.peak_eta = self.stats.peak_eta.max(self.factors.etas.len());
+
+        let fill_bound = (2 * self.factors.lu.nnz()).max(4 * self.sf.num_rows());
+        if self.factors.etas.len() >= self.options.refactor_interval
+            || self.factors.eta_nnz > fill_bound
+        {
+            self.refactorize()?;
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the LU from the current basic columns and recomputes the
+    /// basic values from scratch (identical in exact arithmetic, fresher in
+    /// `f64`).
+    fn refactorize(&mut self) -> Result<(), SimplexError> {
+        // In exact arithmetic the current basis is provably nonsingular, so
+        // factorization cannot fail; in f64 a failure means round-off has
+        // degraded the basis beyond repair — surface the defensive backstop
+        // error and let the certified pipeline fall back to exact.
+        let lu = SparseLu::factorize(&self.sf.a, &self.basic)
+            .ok_or(SimplexError::IterationLimit { iterations: 0 })?;
+        self.factors = Factors::fresh(lu);
+        self.xb = self.factors.ftran(self.sf.rhs.clone());
+        self.stats.refactorizations += 1;
+        Ok(())
+    }
+
+    /// Runs revised simplex iterations with the given cost vector until
+    /// optimality, mirroring the dense `Tableau::optimize` iteration/Bland
+    /// accounting exactly.
+    fn optimize(
+        &mut self,
+        costs: &[S],
+        allowed: &[bool],
+        iterations: &mut usize,
+    ) -> Result<(), SimplexError> {
+        let default_cap = 50 * (self.sf.num_rows() + self.sf.num_cols()) + 10_000;
+        let cap = self.options.simplex.max_iterations.unwrap_or(default_cap);
+        loop {
+            if *iterations > cap {
+                return Err(SimplexError::IterationLimit { iterations: *iterations });
+            }
+            let bland = *iterations >= self.options.simplex.bland_after;
+            let reduced = self.reduced_costs(costs);
+            let Some(col) = Self::choose_entering(&reduced, allowed, bland) else {
+                return Ok(());
+            };
+            let w = self.factors.ftran(self.sf.a.col_dense(col));
+            let Some(pos) = self.choose_leaving(&w) else {
+                return Err(SimplexError::Unbounded);
+            };
+            self.pivot(pos, col, w)?;
+            *iterations += 1;
+        }
+    }
+
+    /// Pivots basic artificials onto real columns wherever one has a nonzero
+    /// entry in their row — the revised analogue of the dense
+    /// `drive_out_artificials`, scanning columns in the same ascending order
+    /// so the replacement choice matches pivot for pivot.
+    fn drive_out_artificials(&mut self) -> Result<(), SimplexError> {
+        for pos in 0..self.sf.num_rows() {
+            if self.sf.kinds[self.basic[pos]] != ColKind::Artificial {
+                continue;
+            }
+            // Row `pos` of B⁻¹, i.e. y with yᵀ A_j = (B⁻¹ A_j)[pos].
+            let mut e = vec![S::zero(); self.sf.num_rows()];
+            e[pos] = S::one();
+            let y = self.factors.btran(e);
+            let replacement = (0..self.sf.num_cols()).find(|&j| {
+                if self.sf.kinds[j] == ColKind::Artificial {
+                    return false;
+                }
+                let mut acc = S::zero();
+                for (r, v) in self.sf.a.col(j) {
+                    if !y[r].is_zero() {
+                        acc = acc.add(&y[r].mul(v));
+                    }
+                }
+                !acc.is_zero()
+            });
+            if let Some(j) = replacement {
+                let w = self.factors.ftran(self.sf.a.col_dense(j));
+                if w[pos].is_zero() {
+                    // f64 round-off disagreement between the probe and the
+                    // full FTRAN; the entry is too small to pivot on safely.
+                    continue;
+                }
+                self.pivot(pos, j, w)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Two-phase driver, mirroring the dense `Tableau::run` decision
+    /// structure exactly (see the module docs on pivot-rule parity).
+    fn run(
+        mut self,
+        problem: &LpProblem,
+        warm_started: bool,
+    ) -> Result<(Solution<S>, RevisedStats), SimplexError> {
+        let mut iterations = 0usize;
+
+        let needs_phase1 = if warm_started {
+            (0..self.sf.num_rows()).any(|i| {
+                self.sf.kinds[self.basic[i]] == ColKind::Artificial && self.xb[i].is_positive()
+            })
+        } else {
+            self.sf.kinds.contains(&ColKind::Artificial)
+        };
+        if needs_phase1 {
+            let phase1_costs: Vec<S> = self
+                .sf
+                .kinds
+                .iter()
+                .map(|k| if *k == ColKind::Artificial { S::one().neg() } else { S::zero() })
+                .collect();
+            let allowed = vec![true; self.sf.num_cols()];
+            self.optimize(&phase1_costs, &allowed, &mut iterations)?;
+
+            let mut infeasibility = S::zero();
+            for pos in 0..self.sf.num_rows() {
+                if self.sf.kinds[self.basic[pos]] == ColKind::Artificial {
+                    infeasibility = infeasibility.add(&self.xb[pos]);
+                }
+            }
+            if infeasibility.is_positive() {
+                return Err(SimplexError::Infeasible);
+            }
+        }
+        let phase1_iterations = iterations;
+
+        self.drive_out_artificials()?;
+
+        let allowed: Vec<bool> = self.sf.kinds.iter().map(|k| *k != ColKind::Artificial).collect();
+        let costs = self.sf.costs.clone();
+        self.optimize(&costs, &allowed, &mut iterations)?;
+
+        Ok(self.finish(problem, iterations, phase1_iterations, warm_started))
+    }
+
+    /// Reads the solution out of the optimized factorization, matching the
+    /// dense `Tableau::finish` value/objective/dual extraction.
+    fn finish(
+        self,
+        problem: &LpProblem,
+        iterations: usize,
+        phase1_iterations: usize,
+        warm_started: bool,
+    ) -> (Solution<S>, RevisedStats) {
+        let mut values = vec![S::zero(); self.sf.n_structural];
+        for pos in 0..self.sf.num_rows() {
+            let j = self.basic[pos];
+            if j < self.sf.n_structural {
+                values[j] = clamp_nonneg(self.xb[pos].clone());
+            }
+        }
+
+        let mut objective = S::zero();
+        for (j, c) in self.sf.costs.iter().enumerate().take(self.sf.n_structural) {
+            if !c.is_zero() && !values[j].is_zero() {
+                objective = objective.add(&c.mul(&values[j]));
+            }
+        }
+        if matches!(problem.direction(), Objective::Minimize) {
+            objective = objective.neg();
+        }
+
+        // Duals: y = B⁻ᵀ c_B; the dual of original row i is y[i] since the
+        // initial-identity column of row i is e_i (negated rows flip sign),
+        // exactly as the dense path reads them off the init_col columns.
+        let cb: Vec<S> = self.basic.iter().map(|&j| self.sf.costs[j].clone()).collect();
+        let y = self.factors.btran(cb);
+        let duals: Vec<S> = y
+            .into_iter()
+            .zip(&self.sf.negated)
+            .map(|(v, &neg)| if neg { v.neg() } else { v })
+            .collect();
+
+        let basis = SolvedBasis {
+            cols: self.basic.clone(),
+            num_cols: self.sf.num_cols(),
+            n_structural: self.sf.n_structural,
+        };
+        (
+            Solution {
+                values,
+                objective,
+                duals,
+                iterations,
+                phase1_iterations,
+                warm_started,
+                basis,
+            },
+            self.stats,
+        )
+    }
+}
+
+/// Shape compatibility of a basis with a standard form — the same predicate
+/// the dense path applies before attempting a warm install.
+fn basis_compatible<S: Scalar>(basis: &SolvedBasis, sf: &StandardForm<S>) -> bool {
+    basis.cols.len() == sf.num_rows()
+        && basis.num_cols == sf.num_cols()
+        && basis.n_structural == sf.n_structural
+        && basis.cols.iter().all(|&c| c < basis.num_cols)
+        && {
+            let mut sorted = basis.cols.clone();
+            sorted.sort_unstable();
+            sorted.windows(2).all(|w| w[0] != w[1])
+        }
+}
+
+/// Solves `problem` with the revised simplex and default options.
+pub fn solve_revised<S: Scalar>(problem: &LpProblem) -> Result<Solution<S>, SimplexError> {
+    solve_revised_with_options(problem, &RevisedOptions::default())
+}
+
+/// [`solve_revised`] with explicit options.
+pub fn solve_revised_with_options<S: Scalar>(
+    problem: &LpProblem,
+    options: &RevisedOptions,
+) -> Result<Solution<S>, SimplexError> {
+    solve_revised_report(problem, None, options).map(|(sol, _)| sol)
+}
+
+/// Solves `problem`, resuming from a previously solved basis.
+///
+/// Same contract as the dense [`crate::simplex::solve_with_basis`]: a basis
+/// that is incompatible, singular for this data, or primal infeasible is
+/// silently discarded and the solve falls back to the ordinary cold
+/// two-phase method, so the result is identical either way.
+pub fn solve_revised_with_basis<S: Scalar>(
+    problem: &LpProblem,
+    basis: &SolvedBasis,
+) -> Result<Solution<S>, SimplexError> {
+    solve_revised_with_basis_options(problem, basis, &RevisedOptions::default())
+}
+
+/// [`solve_revised_with_basis`] with explicit options.
+pub fn solve_revised_with_basis_options<S: Scalar>(
+    problem: &LpProblem,
+    basis: &SolvedBasis,
+    options: &RevisedOptions,
+) -> Result<Solution<S>, SimplexError> {
+    solve_revised_report(problem, Some(basis), options).map(|(sol, _)| sol)
+}
+
+/// The fully instrumented entry point: optional warm basis, explicit
+/// options, and the solve's [`RevisedStats`] alongside the solution.
+pub fn solve_revised_report<S: Scalar>(
+    problem: &LpProblem,
+    warm: Option<&SolvedBasis>,
+    options: &RevisedOptions,
+) -> Result<(Solution<S>, RevisedStats), SimplexError> {
+    let sf = StandardForm::<S>::build(problem);
+
+    if let Some(basis) = warm {
+        if basis_compatible(basis, &sf) {
+            if let Some(lu) = SparseLu::factorize(&sf.a, &basis.cols) {
+                let factors = Factors::fresh(lu);
+                let xb = factors.ftran(sf.rhs.clone());
+                if xb.iter().all(|b| !b.is_negative()) {
+                    let solver = Revised {
+                        sf,
+                        basic: basis.cols.clone(),
+                        factors,
+                        xb,
+                        options,
+                        stats: RevisedStats::default(),
+                    };
+                    return solver.run(problem, true);
+                }
+            }
+        }
+        // An incompatible, singular or primal-infeasible basis is silently
+        // discarded; the cold start below matches the dense fallback.
+    }
+    cold_start(sf, problem, options)
+}
+
+/// Cold start from the all-slack/artificial identity basis.
+fn cold_start<S: Scalar>(
+    sf: StandardForm<S>,
+    problem: &LpProblem,
+    options: &RevisedOptions,
+) -> Result<(Solution<S>, RevisedStats), SimplexError> {
+    let basic = sf.init_basis.clone();
+    let lu = SparseLu::factorize(&sf.a, &basic)
+        .expect("the slack/artificial start basis is an identity and always factorizes");
+    let factors = Factors::fresh(lu);
+    let xb = sf.rhs.clone();
+    let solver = Revised { sf, basic, factors, xb, options, stats: RevisedStats::default() };
+    solver.run(problem, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LinearExpr, LpProblem, Sense};
+    use crate::simplex;
+    use steady_rational::{rat, Ratio};
+
+    fn expr(terms: &[(crate::model::VarId, Ratio)]) -> LinearExpr {
+        let mut e = LinearExpr::new();
+        for (v, c) in terms {
+            e.add_term(*v, c.clone());
+        }
+        e
+    }
+
+    fn assert_matches_dense(lp: &LpProblem) {
+        let dense = simplex::solve_exact(lp).unwrap();
+        let (revised, _) =
+            solve_revised_report::<Ratio>(lp, None, &RevisedOptions::default()).unwrap();
+        assert_eq!(revised.values, dense.values);
+        assert_eq!(revised.objective, dense.objective);
+        assert_eq!(revised.duals, dense.duals);
+        assert_eq!(revised.basis, dense.basis);
+        assert_eq!(revised.iterations, dense.iterations);
+        assert_eq!(revised.phase1_iterations, dense.phase1_iterations);
+    }
+
+    #[test]
+    fn lu_roundtrip_on_a_dense_block() {
+        // 3x3 invertible matrix as the basis of a 3x5 CSC.
+        let a = CscMatrix::from_columns(
+            3,
+            vec![
+                vec![(0, rat(2, 1)), (1, rat(1, 1))],
+                vec![(0, rat(1, 1)), (2, rat(3, 1))],
+                vec![(1, rat(4, 1)), (2, rat(1, 1))],
+                vec![(0, rat(7, 1))],
+                vec![(2, rat(1, 1))],
+            ],
+        );
+        let lu = SparseLu::factorize(&a, &[0, 1, 2]).expect("nonsingular");
+        assert_eq!(lu.dim(), 3);
+        // B x = b with b = (5, 9, 10): check by substituting back.
+        let b = vec![rat(5, 1), rat(9, 1), rat(10, 1)];
+        let x = lu.ftran(b.clone());
+        let mut back = vec![<Ratio as Scalar>::zero(); 3];
+        for (pos, &col) in [0usize, 1, 2].iter().enumerate() {
+            for (r, v) in a.col(col) {
+                back[r] = back[r].add(&v.mul(&x[pos]));
+            }
+        }
+        assert_eq!(back, b);
+        // Bᵀ y = c: check by substituting back.
+        let c = vec![rat(1, 1), rat(2, 1), rat(-1, 1)];
+        let y = lu.btran(c.clone());
+        for (pos, &col) in [0usize, 1, 2].iter().enumerate() {
+            let mut dot = <Ratio as Scalar>::zero();
+            for (r, v) in a.col(col) {
+                dot = dot.add(&v.mul(&y[r]));
+            }
+            assert_eq!(dot, c[pos], "column {pos}");
+        }
+    }
+
+    #[test]
+    fn singular_basis_is_rejected() {
+        let a = CscMatrix::from_columns(
+            2,
+            vec![vec![(0, rat(1, 1))], vec![(0, rat(2, 1))], vec![(1, rat(1, 1))]],
+        );
+        assert!(SparseLu::<Ratio>::factorize(&a, &[0, 1]).is_none());
+        assert!(SparseLu::<Ratio>::factorize(&a, &[0, 2]).is_some());
+    }
+
+    #[test]
+    fn eta_update_matches_refactorization() {
+        // Start from the identity basis of a 3-row matrix, pivot column 3 in
+        // at position 1, and compare eta-file solves against a fresh LU of
+        // the updated basis.
+        let a = CscMatrix::from_columns(
+            3,
+            vec![
+                vec![(0, rat(1, 1))],
+                vec![(1, rat(1, 1))],
+                vec![(2, rat(1, 1))],
+                vec![(0, rat(1, 2)), (1, rat(3, 1)), (2, rat(-1, 1))],
+            ],
+        );
+        let lu = SparseLu::factorize(&a, &[0, 1, 2]).unwrap();
+        let w = lu.ftran(a.col_dense(3));
+        let eta = Eta::from_dense(1, &w);
+
+        let fresh = SparseLu::factorize(&a, &[0, 3, 2]).unwrap();
+        let b = vec![rat(4, 1), rat(5, 1), rat(6, 1)];
+        let mut via_eta = lu.ftran(b.clone());
+        eta.apply_ftran(&mut via_eta);
+        assert_eq!(via_eta, fresh.ftran(b));
+
+        let c = vec![rat(1, 1), rat(-2, 1), rat(3, 1)];
+        let mut z = c.clone();
+        eta.apply_btran(&mut z);
+        assert_eq!(lu.btran(z), fresh.btran(c));
+    }
+
+    #[test]
+    fn matches_dense_on_basic_lps() {
+        // Pure Le.
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective(x, rat(3, 1));
+        lp.set_objective(y, rat(2, 1));
+        lp.add_constraint("c1", expr(&[(x, rat(1, 1)), (y, rat(1, 1))]), Sense::Le, rat(4, 1));
+        lp.add_constraint("c2", expr(&[(x, rat(1, 1)), (y, rat(3, 1))]), Sense::Le, rat(6, 1));
+        assert_matches_dense(&lp);
+
+        // Mixed senses and a minimization.
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective(x, rat(1, 1));
+        lp.set_objective(y, rat(1, 1));
+        lp.add_constraint("a", expr(&[(x, rat(1, 1)), (y, rat(2, 1))]), Sense::Ge, rat(4, 1));
+        lp.add_constraint("b", expr(&[(x, rat(3, 1)), (y, rat(1, 1))]), Sense::Ge, rat(6, 1));
+        assert_matches_dense(&lp);
+
+        // Equalities and a negative rhs.
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        let z = lp.add_var("z");
+        lp.set_objective(z, rat(1, 1));
+        lp.add_constraint("flow", expr(&[(x, rat(1, 1)), (y, rat(-1, 1))]), Sense::Eq, rat(0, 1));
+        lp.add_constraint("capx", expr(&[(x, rat(3, 1))]), Sense::Le, rat(1, 1));
+        lp.add_constraint("link", expr(&[(z, rat(1, 1)), (y, rat(-1, 1))]), Sense::Le, rat(0, 1));
+        lp.add_constraint("neg", expr(&[(x, rat(-1, 1))]), Sense::Le, rat(-1, 100));
+        assert_matches_dense(&lp);
+    }
+
+    #[test]
+    fn error_verdicts_match_dense() {
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var("x");
+        lp.set_objective(x, rat(1, 1));
+        lp.add_constraint("lo", expr(&[(x, rat(1, 1))]), Sense::Ge, rat(5, 1));
+        lp.add_constraint("hi", expr(&[(x, rat(1, 1))]), Sense::Le, rat(3, 1));
+        assert!(matches!(solve_revised::<Ratio>(&lp), Err(SimplexError::Infeasible)));
+
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective(x, rat(1, 1));
+        lp.add_constraint("only-y", expr(&[(y, rat(1, 1))]), Sense::Le, rat(1, 1));
+        assert!(matches!(solve_revised::<Ratio>(&lp), Err(SimplexError::Unbounded)));
+    }
+
+    #[test]
+    fn warm_start_semantics_match_dense() {
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective(x, rat(1, 1));
+        lp.set_objective(y, rat(1, 1));
+        lp.add_constraint("a", expr(&[(x, rat(2, 1)), (y, rat(1, 1))]), Sense::Le, rat(1, 1));
+        lp.add_constraint("b", expr(&[(x, rat(1, 1)), (y, rat(3, 1))]), Sense::Le, rat(1, 1));
+        let cold = solve_revised::<Ratio>(&lp).unwrap();
+
+        // Re-solving warm from the optimal basis costs zero pivots.
+        let warm = solve_revised_with_basis::<Ratio>(&lp, &cold.basis).unwrap();
+        assert!(warm.warm_started);
+        assert_eq!(warm.iterations, 0);
+        assert_eq!(warm.values, cold.values);
+        assert_eq!(warm.objective, cold.objective);
+        assert_eq!(warm.duals, cold.duals);
+
+        // The dense path accepts the revised basis and vice versa.
+        let dense_warm = simplex::solve_with_basis::<Ratio>(&lp, &cold.basis).unwrap();
+        assert!(dense_warm.warm_started);
+        assert_eq!(dense_warm.objective, cold.objective);
+        let dense_cold = simplex::solve_exact(&lp).unwrap();
+        let revised_warm = solve_revised_with_basis::<Ratio>(&lp, &dense_cold.basis).unwrap();
+        assert!(revised_warm.warm_started);
+        assert_eq!(revised_warm.objective, cold.objective);
+
+        // A garbage basis is silently discarded, matching the dense contract.
+        let garbage = SolvedBasis { cols: vec![0, 0], num_cols: 4, n_structural: 2 };
+        let fallback = solve_revised_with_basis::<Ratio>(&lp, &garbage).unwrap();
+        assert!(!fallback.warm_started);
+        assert_eq!(fallback.objective, cold.objective);
+    }
+
+    #[test]
+    fn refactorization_interval_is_respected_and_harmless() {
+        // Force a refactorization every other pivot; results must not change.
+        let mut lp = LpProblem::maximize();
+        let vars: Vec<_> = (0..6).map(|i| lp.add_var(format!("x{i}"))).collect();
+        for (i, &v) in vars.iter().enumerate() {
+            lp.set_objective(v, rat(1 + (i as i64 % 3), 1));
+        }
+        for i in 0..6 {
+            let mut e = LinearExpr::new();
+            e.add_term(vars[i], rat(2, 1));
+            e.add_term(vars[(i + 1) % 6], rat(1, 1));
+            lp.add_constraint(format!("c{i}"), e, Sense::Le, rat(3 + i as i64, 1));
+        }
+        let baseline = solve_revised::<Ratio>(&lp).unwrap();
+        let tight = RevisedOptions { refactor_interval: 2, ..Default::default() };
+        let (sol, stats) = solve_revised_report::<Ratio>(&lp, None, &tight).unwrap();
+        assert_eq!(sol.values, baseline.values);
+        assert_eq!(sol.objective, baseline.objective);
+        assert_eq!(sol.basis, baseline.basis);
+        assert!(stats.refactorizations > 0, "tight interval must trigger refactorizations");
+        assert!(stats.peak_eta <= 2);
+        assert_matches_dense(&lp);
+    }
+
+    #[test]
+    fn f64_instantiation_reaches_the_same_optimum() {
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective(x, rat(1, 1));
+        lp.set_objective(y, rat(1, 1));
+        lp.add_constraint("a", expr(&[(x, rat(2, 1)), (y, rat(1, 1))]), Sense::Le, rat(1, 1));
+        lp.add_constraint("b", expr(&[(x, rat(1, 1)), (y, rat(3, 1))]), Sense::Le, rat(1, 1));
+        let sol = solve_revised::<f64>(&lp).unwrap();
+        assert!((sol.objective - 0.6).abs() < 1e-9);
+    }
+}

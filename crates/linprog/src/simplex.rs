@@ -393,13 +393,7 @@ fn basis_compatible<S: Scalar>(basis: &SolvedBasis, tableau: &Tableau<S>) -> boo
         }
 }
 
-/// Column classification in the standard-form tableau.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ColKind {
-    Structural,
-    Slack,
-    Artificial,
-}
+pub(crate) use crate::sparse::ColKind;
 
 /// How a dual-simplex run ended.
 enum DualRun {
@@ -1037,7 +1031,7 @@ pub(crate) fn install_for_ranging(problem: &LpProblem, basis: &SolvedBasis) -> I
 }
 
 /// Clamp tiny negative values (f64 round-off) to zero; exact scalars pass through.
-fn clamp_nonneg<S: Scalar>(v: S) -> S {
+pub(crate) fn clamp_nonneg<S: Scalar>(v: S) -> S {
     if v.is_negative() || v.is_zero() {
         // For exact arithmetic a negative basic value cannot happen (the ratio
         // test preserves rhs >= 0); for f64 it can be a tiny negative epsilon.
@@ -1052,7 +1046,7 @@ fn clamp_nonneg<S: Scalar>(v: S) -> S {
 }
 
 /// Sense after multiplying a constraint by -1 when its rhs is negative.
-fn effective_sense(sense: Sense, negated: bool) -> Sense {
+pub(crate) fn effective_sense(sense: Sense, negated: bool) -> Sense {
     if !negated {
         return sense;
     }

@@ -1,0 +1,166 @@
+//! Property-based parity tests between the revised sparse simplex and the
+//! dense tableau.
+//!
+//! The revised solver is a performance route, not a second algorithm: it
+//! runs the same pivot rules over an LU-factorized basis, so on any LP it
+//! must return the *bit-identical* exact rational optimum — values,
+//! objective and duals — and a [`SolvedBasis`] the dense solver accepts (and
+//! vice versa).  Random Le-only LPs plus the Ge/Eq-augmented variants cover
+//! the artificial-column regime the steady-state LPs live in.
+
+use proptest::prelude::*;
+use steady_lp::{
+    solve_exact, solve_revised, solve_revised_with_basis, solve_with_basis, LinearExpr, LpProblem,
+    Sense,
+};
+use steady_rational::{rat, Ratio};
+
+#[derive(Debug, Clone)]
+struct RandomLp {
+    num_vars: usize,
+    objective: Vec<(i64, i64)>,
+    /// Each constraint: coefficients (numer, denom) per variable plus a rhs.
+    constraints: Vec<(Vec<(i64, i64)>, i64)>,
+}
+
+fn random_lp_strategy() -> impl Strategy<Value = RandomLp> {
+    (2usize..5, 1usize..5).prop_flat_map(|(nv, nc)| {
+        let coeff = (0i64..6, 1i64..4);
+        let objective = proptest::collection::vec((1i64..8, 1i64..3), nv);
+        let constraint = (proptest::collection::vec(coeff, nv), 1i64..25);
+        let constraints = proptest::collection::vec(constraint, nc);
+        (objective, constraints).prop_map(move |(objective, constraints)| RandomLp {
+            num_vars: nv,
+            objective,
+            constraints,
+        })
+    })
+}
+
+/// Builds the LP; every variable also gets an individual upper bound so the
+/// problem is always bounded and feasible (origin is feasible).
+fn build(lp_desc: &RandomLp) -> LpProblem {
+    let mut lp = LpProblem::maximize();
+    let vars: Vec<_> = (0..lp_desc.num_vars).map(|i| lp.add_var(format!("x{i}"))).collect();
+    for (v, (n, d)) in vars.iter().zip(&lp_desc.objective) {
+        lp.set_objective(*v, rat(*n, *d));
+    }
+    for (ci, (coeffs, rhs)) in lp_desc.constraints.iter().enumerate() {
+        let mut e = LinearExpr::new();
+        for (v, (n, d)) in vars.iter().zip(coeffs) {
+            e.add_term(*v, rat(*n, *d));
+        }
+        if !e.is_empty() {
+            lp.add_constraint(format!("c{ci}"), e, Sense::Le, rat(*rhs, 1));
+        }
+    }
+    for (i, v) in vars.iter().enumerate() {
+        lp.add_constraint(format!("ub{i}"), LinearExpr::var(*v), Sense::Le, rat(50, 1));
+    }
+    lp
+}
+
+/// Adds the row shapes the steady-state LPs live in: an equality tying a
+/// mirror variable to `x0` and a redundant `>=` floor, both with rhs 0 —
+/// the artificial-column regime.
+fn augment_with_eq_and_ge(lp: &mut LpProblem) {
+    let vars: Vec<_> = lp.vars().collect();
+    let mirror = lp.add_var("mirror");
+    let mut tie = LinearExpr::new();
+    tie.add_term(vars[0], rat(1, 1));
+    tie.add_term(mirror, rat(-1, 1));
+    lp.add_constraint("tie", tie, Sense::Eq, rat(0, 1));
+    let mut floor = LinearExpr::new();
+    floor.add_term(vars[0], rat(1, 1));
+    floor.add_term(mirror, rat(1, 1));
+    lp.add_constraint("floor", floor, Sense::Ge, rat(0, 1));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn revised_matches_dense_bit_for_bit(desc in random_lp_strategy()) {
+        let lp = build(&desc);
+        let dense = solve_exact(&lp).unwrap();
+        let revised = solve_revised::<Ratio>(&lp).unwrap();
+        prop_assert_eq!(&revised.values, &dense.values);
+        prop_assert_eq!(&revised.objective, &dense.objective);
+        prop_assert_eq!(&revised.duals, &dense.duals);
+        // Cold runs assign rows identically, so even the basis *ordering*
+        // and the pivot counts coincide.
+        prop_assert_eq!(&revised.basis.cols, &dense.basis.cols);
+        prop_assert_eq!(revised.iterations, dense.iterations);
+        prop_assert_eq!(revised.phase1_iterations, dense.phase1_iterations);
+    }
+
+    #[test]
+    fn revised_matches_dense_on_eq_and_ge_rows(desc in random_lp_strategy()) {
+        let mut lp = build(&desc);
+        augment_with_eq_and_ge(&mut lp);
+        let dense = solve_exact(&lp).unwrap();
+        let revised = solve_revised::<Ratio>(&lp).unwrap();
+        prop_assert_eq!(&revised.values, &dense.values);
+        prop_assert_eq!(&revised.objective, &dense.objective);
+        prop_assert_eq!(&revised.duals, &dense.duals);
+        prop_assert_eq!(&revised.basis.cols, &dense.basis.cols);
+    }
+
+    #[test]
+    fn bases_cross_install_between_the_solvers(desc in random_lp_strategy()) {
+        let mut lp = build(&desc);
+        augment_with_eq_and_ge(&mut lp);
+        let dense = solve_exact(&lp).unwrap();
+        let revised = solve_revised::<Ratio>(&lp).unwrap();
+
+        // The revised solver's basis is a valid SolvedBasis for the dense
+        // tableau: it installs (warm) and re-proves the same optimum with
+        // zero pivots, and symmetrically for the dense basis on the
+        // revised solver.
+        let dense_warm = solve_with_basis::<Ratio>(&lp, &revised.basis).unwrap();
+        prop_assert!(dense_warm.warm_started);
+        prop_assert_eq!(dense_warm.iterations, 0);
+        prop_assert_eq!(&dense_warm.values, &dense.values);
+        prop_assert_eq!(&dense_warm.objective, &dense.objective);
+        prop_assert_eq!(&dense_warm.duals, &dense.duals);
+
+        let revised_warm = solve_revised_with_basis::<Ratio>(&lp, &dense.basis).unwrap();
+        prop_assert!(revised_warm.warm_started);
+        prop_assert_eq!(revised_warm.iterations, 0);
+        prop_assert_eq!(&revised_warm.values, &dense.values);
+        prop_assert_eq!(&revised_warm.objective, &dense.objective);
+        prop_assert_eq!(&revised_warm.duals, &dense.duals);
+    }
+
+    #[test]
+    fn warm_starts_from_a_stale_basis_still_agree(
+        desc in random_lp_strategy(),
+        cost_scales in proptest::collection::vec((1i64..6, 1i64..6), 8),
+    ) {
+        // Perturb the costs after solving, then resume both solvers from
+        // the now-stale basis: warm and cold, dense and revised must all
+        // land on the same exact optimum (the vertex they re-optimize from
+        // differs from the cold start, so only the *answer* is asserted,
+        // not the pivot count).
+        let mut lp = build(&desc);
+        augment_with_eq_and_ge(&mut lp);
+        let basis = solve_exact(&lp).unwrap().basis;
+
+        let vars: Vec<_> = lp.vars().collect();
+        for (j, v) in vars.into_iter().enumerate() {
+            let (n, d) = cost_scales[j % cost_scales.len()];
+            let scaled = lp.objective_coeff(v) * &rat(n, d);
+            lp.set_objective(v, scaled);
+        }
+
+        let cold = solve_exact(&lp).unwrap();
+        let dense_warm = solve_with_basis::<Ratio>(&lp, &basis).unwrap();
+        let revised_warm = solve_revised_with_basis::<Ratio>(&lp, &basis).unwrap();
+        prop_assert_eq!(&dense_warm.objective, &cold.objective);
+        prop_assert_eq!(&revised_warm.objective, &cold.objective);
+        prop_assert_eq!(&revised_warm.values, &dense_warm.values);
+        prop_assert_eq!(&revised_warm.duals, &dense_warm.duals);
+        prop_assert_eq!(revised_warm.warm_started, dense_warm.warm_started);
+        prop_assert!(lp.check_feasible(&revised_warm.values).is_ok());
+    }
+}

@@ -360,6 +360,210 @@ pub fn tiers_scatter_instance(config: &TiersConfig, seed: u64) -> ScatterInstanc
 }
 
 // ---------------------------------------------------------------------------
+// Clustered large topologies
+// ---------------------------------------------------------------------------
+
+/// Parameters of the clustered large-topology generator: a backbone cycle of
+/// cluster routers (plus random chords) with compute hosts star-attached to
+/// their cluster router.
+///
+/// This is the size-parameterized family behind the scaling sweep: it grows
+/// to 100–1000+ nodes while keeping the steady-state LPs sparse — each host
+/// touches one access link, each router a handful of backbone links — which
+/// is exactly the regime the revised sparse simplex is built for.
+#[derive(Debug, Clone)]
+pub struct ClusteredConfig {
+    /// Number of clusters; each contributes one (non-computing) router.
+    pub clusters: usize,
+    /// Number of compute hosts star-attached to each cluster router.
+    pub hosts_per_cluster: usize,
+    /// Probability of one extra backbone chord per router (beyond the cycle).
+    pub chord_probability: f64,
+    /// Backbone link costs `1/b`, `b` uniform in this inclusive range.
+    pub backbone_bandwidth: (u32, u32),
+    /// Host access-link costs `1/b`.
+    pub access_bandwidth: (u32, u32),
+    /// Compute speeds of the hosts.
+    pub speed_range: (u32, u32),
+}
+
+impl Default for ClusteredConfig {
+    fn default() -> Self {
+        ClusteredConfig {
+            clusters: 10,
+            hosts_per_cluster: 9,
+            chord_probability: 0.3,
+            backbone_bandwidth: (20, 40),
+            access_bandwidth: (4, 10),
+            speed_range: (10, 100),
+        }
+    }
+}
+
+impl ClusteredConfig {
+    /// Sizes the cluster grid for a platform of approximately `total` nodes
+    /// (routers + hosts): `⌈√total⌉`-ish clusters of equal size, so both the
+    /// backbone and the per-cluster stars stay small relative to the whole.
+    ///
+    /// The actual node count is `clusters · (1 + hosts_per_cluster)`, within
+    /// a few percent below `total`; read it back from the generated platform
+    /// when exact numbers matter (e.g. benchmark artifacts).
+    pub fn with_total_nodes(total: usize) -> Self {
+        let clusters = ((total as f64).sqrt() as usize).max(2);
+        let hosts_per_cluster = (total / clusters).saturating_sub(1).max(1);
+        ClusteredConfig { clusters, hosts_per_cluster, ..Default::default() }
+    }
+}
+
+/// Result of the clustered generator.
+#[derive(Debug, Clone)]
+pub struct ClusteredPlatform {
+    /// The generated platform.
+    pub platform: Platform,
+    /// Cluster router node ids, one per cluster.
+    pub routers: Vec<NodeId>,
+    /// Compute hosts, grouped by cluster: `clusters[c]` are the hosts behind
+    /// `routers[c]`.
+    pub clusters: Vec<Vec<NodeId>>,
+}
+
+impl ClusteredPlatform {
+    /// All compute hosts in cluster-major order.
+    pub fn hosts(&self) -> Vec<NodeId> {
+        self.clusters.iter().flatten().copied().collect()
+    }
+
+    /// Picks up to `k` hosts spread across clusters round-robin (first host
+    /// of every cluster, then second of every cluster, ...), so a bounded
+    /// participant set still exercises the whole backbone.
+    pub fn spread_hosts(&self, k: usize) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(k);
+        let widest = self.clusters.iter().map(Vec::len).max().unwrap_or(0);
+        for j in 0..widest {
+            for cluster in &self.clusters {
+                if out.len() == k {
+                    return out;
+                }
+                if let Some(&h) = cluster.get(j) {
+                    out.push(h);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Generates a clustered platform: cluster routers on a backbone cycle plus
+/// random chords, hosts star-attached with heterogeneous access costs and
+/// speeds.
+pub fn clustered(config: &ClusteredConfig, rng: &mut StdRng) -> ClusteredPlatform {
+    assert!(config.clusters >= 1);
+    assert!(config.hosts_per_cluster >= 1);
+    let mut p = Platform::new();
+
+    let rand_cost = |rng: &mut StdRng, range: (u32, u32)| {
+        let b = rng.gen_range(range.0..=range.1);
+        rat(1, b as i64)
+    };
+
+    // Backbone: a cycle over the cluster routers keeps the platform connected
+    // for any cluster count; chords add path diversity.
+    let routers: Vec<_> =
+        (0..config.clusters).map(|i| p.add_router(format!("cluster{i}"))).collect();
+    if config.clusters > 1 {
+        for i in 0..config.clusters {
+            let j = (i + 1) % config.clusters;
+            if p.edge_between(routers[i], routers[j]).is_none() {
+                let c = rand_cost(rng, config.backbone_bandwidth);
+                p.add_link(routers[i], routers[j], c);
+            }
+        }
+        for i in 0..config.clusters {
+            if rng.gen_bool(config.chord_probability) {
+                let j = rng.gen_range(0..config.clusters);
+                if j != i && p.edge_between(routers[i], routers[j]).is_none() {
+                    let c = rand_cost(rng, config.backbone_bandwidth);
+                    p.add_link(routers[i], routers[j], c);
+                }
+            }
+        }
+    }
+
+    // Hosts: a star around each cluster router.
+    let clusters = routers
+        .iter()
+        .enumerate()
+        .map(|(ci, &router)| {
+            (0..config.hosts_per_cluster)
+                .map(|hi| {
+                    let speed = rng.gen_range(config.speed_range.0..=config.speed_range.1);
+                    let host = p.add_node(format!("host{ci}_{hi}"), rat(speed as i64, 1));
+                    let c = rand_cost(rng, config.access_bandwidth);
+                    p.add_link(router, host, c);
+                    host
+                })
+                .collect()
+        })
+        .collect();
+
+    ClusteredPlatform { platform: p, routers, clusters }
+}
+
+/// Convenience: a scatter instance on a clustered platform — the fastest
+/// host is the source and `num_targets` hosts spread across clusters are the
+/// targets.
+///
+/// The target count is a parameter (rather than "all hosts") because the
+/// scatter LP has one flow variable per (edge, target) pair: on a
+/// thousand-node platform an all-hosts target set is a millions-of-variables
+/// LP, while a bounded spread-out set keeps the LP at sparse-solver scale
+/// yet still spans the backbone.
+pub fn clustered_scatter_instance(
+    config: &ClusteredConfig,
+    num_targets: usize,
+    seed: u64,
+) -> ScatterInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cp = clustered(config, &mut rng);
+    let source = *cp
+        .hosts()
+        .iter()
+        .max_by_key(|&&h| cp.platform.node(h).speed.clone())
+        .expect("clustered platform has at least one host");
+    let targets: Vec<_> = cp
+        .spread_hosts(num_targets + 1)
+        .into_iter()
+        .filter(|&h| h != source)
+        .take(num_targets)
+        .collect();
+    ScatterInstance { platform: cp.platform, source, targets }
+}
+
+/// Convenience: a reduce instance on a clustered platform — `num_participants`
+/// hosts spread across clusters, the fastest of them as target, message size
+/// 10 and task cost 10 as in the paper's experiment.
+pub fn clustered_reduce_instance(
+    config: &ClusteredConfig,
+    num_participants: usize,
+    seed: u64,
+) -> ReduceInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cp = clustered(config, &mut rng);
+    let participants = cp.spread_hosts(num_participants);
+    let target = *participants
+        .iter()
+        .max_by_key(|&&h| cp.platform.node(h).speed.clone())
+        .expect("clustered platform has at least one host");
+    ReduceInstance {
+        platform: cp.platform,
+        participants,
+        target,
+        message_size: rat(10, 1),
+        task_cost: rat(10, 1),
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Paper instances
 // ---------------------------------------------------------------------------
 
@@ -587,6 +791,71 @@ mod tests {
         let s = tiers_scatter_instance(&TiersConfig::default(), 7);
         assert!(!s.targets.contains(&s.source));
         assert!(!s.targets.is_empty());
+    }
+
+    #[test]
+    fn clustered_is_connected_and_valid() {
+        for seed in 0..3 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let config =
+                ClusteredConfig { clusters: 5, hosts_per_cluster: 4, ..Default::default() };
+            let cp = clustered(&config, &mut rng);
+            assert!(cp.platform.validate().is_ok());
+            assert_eq!(cp.routers.len(), 5);
+            assert_eq!(cp.hosts().len(), 20);
+            assert_eq!(cp.platform.num_nodes(), 25);
+            for &r in &cp.routers {
+                assert!(!cp.platform.node(r).can_compute());
+            }
+            let hosts = cp.hosts();
+            for &h in &hosts {
+                assert!(cp.platform.node(h).can_compute());
+            }
+            // Every host reaches every other host (over the backbone cycle).
+            for &a in &hosts {
+                for &b in &hosts {
+                    assert!(cp.platform.is_reachable(a, b), "{a} cannot reach {b} (seed {seed})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_sizing_and_spread() {
+        for &total in &[100usize, 500, 1000] {
+            let config = ClusteredConfig::with_total_nodes(total);
+            let mut rng = StdRng::seed_from_u64(1);
+            let cp = clustered(&config, &mut rng);
+            let nodes = cp.platform.num_nodes();
+            assert!(nodes <= total, "{nodes} nodes exceeds the requested {total}");
+            assert!(nodes * 10 >= total * 9, "{nodes} nodes is far below the requested {total}");
+            // A bounded spread-out pick touches many distinct clusters.
+            let picked = cp.spread_hosts(8);
+            assert_eq!(picked.len(), 8);
+            let distinct_clusters = cp
+                .clusters
+                .iter()
+                .filter(|cluster| cluster.iter().any(|h| picked.contains(h)))
+                .count();
+            assert_eq!(distinct_clusters, 8.min(cp.clusters.len()));
+        }
+    }
+
+    #[test]
+    fn clustered_instances() {
+        let config = ClusteredConfig { clusters: 6, hosts_per_cluster: 3, ..Default::default() };
+        let s = clustered_scatter_instance(&config, 8, 11);
+        assert_eq!(s.targets.len(), 8);
+        assert!(!s.targets.contains(&s.source));
+        for &t in &s.targets {
+            assert!(s.platform.is_reachable(s.source, t));
+        }
+        let r = clustered_reduce_instance(&config, 8, 11);
+        assert_eq!(r.participants.len(), 8);
+        assert!(r.participants.contains(&r.target));
+        for &h in &r.participants {
+            assert!(r.platform.is_reachable(h, r.target));
+        }
     }
 
     #[test]
