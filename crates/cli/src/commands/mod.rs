@@ -2,6 +2,7 @@
 
 pub mod demo;
 pub mod drift_bench;
+pub mod explain;
 pub mod forecast_bench;
 pub mod generate;
 pub mod info;

@@ -3,8 +3,11 @@
 //!
 //! For every requested size a clustered platform
 //! ([`steady_platform::generators::clustered`]) is generated, the collective
-//! LP is formulated and solved through the certified pipeline
-//! ([`steady_lp::solve_certified_warm`]), and the answer is verified against
+//! LP is formulated and solved through the certified pipeline with a
+//! recording observer tap ([`steady_lp::solve_certified_warm_observed`]) so
+//! each size also reports where its wall time went — per-phase milliseconds,
+//! refactorization time, degenerate/Bland pivot counts and peak eta-file
+//! length — and the answer is verified against
 //! the collective's own invariants.  The sizes in the default sweep all land
 //! above [`steady_lp::CertifyOptions::revised_threshold`], so this is the
 //! end-to-end exercise of the revised sparse simplex: per-size wall-clock
@@ -19,7 +22,9 @@ use std::io::Write;
 use std::time::Instant;
 
 use steady_core::{ReduceProblem, ScatterProblem, SteadyProblem};
-use steady_lp::{routes_to_revised, Certificate, CertifyOptions, SimplexOptions};
+use steady_lp::{
+    routes_to_revised, Certificate, CertifyOptions, RecordingObserver, SimplexOptions,
+};
 use steady_platform::generators::{
     clustered_reduce_instance, clustered_scatter_instance, ClusteredConfig,
 };
@@ -45,6 +50,14 @@ struct SizeRecord {
     revised_route: bool,
     certificate: &'static str,
     throughput: String,
+    // Per-solve breakdown from the solver event stream (schema v2).
+    phase1_ms: f64,
+    phase2_ms: f64,
+    dual_ms: f64,
+    refactor_ms: f64,
+    degenerate_pivots: usize,
+    bland_pivots: usize,
+    peak_eta: usize,
 }
 
 /// Runs `steady scaling-sweep ...`.
@@ -119,6 +132,18 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             if record.revised_route { "revised" } else { "dense" },
             record.certificate,
         )?;
+        writeln!(
+            out,
+            "                     breakdown: phase1 {:.1} ms, phase2 {:.1} ms, dual {:.1} ms \
+             (refactor {:.1} ms), {} degenerate, {} bland, peak eta {}",
+            record.phase1_ms,
+            record.phase2_ms,
+            record.dual_ms,
+            record.refactor_ms,
+            record.degenerate_pivots,
+            record.bland_pivots,
+            record.peak_eta,
+        )?;
         records.push(record);
     }
 
@@ -156,10 +181,24 @@ fn solve_one<P: SteadyProblem>(
     check: impl Fn(&P::Solution, &P) -> Result<String, String>,
 ) -> Result<SizeRecord, CliError> {
     let (lp, vars) = problem.formulate();
+    let mut recorder = RecordingObserver::unbounded();
     let start = Instant::now();
-    let sol = steady_lp::solve_certified_warm(&lp, options, None)
+    let sol = steady_lp::solve_certified_warm_observed(&lp, options, None, &mut recorder)
         .map_err(|e| CliError::Failed(format!("size {requested}: solve failed: {e}")))?;
-    let solve_ms = start.elapsed().as_millis();
+    let elapsed = start.elapsed();
+    let solve_ms = elapsed.as_millis();
+    let recording = recorder.finish();
+    let breakdown = recording.breakdown();
+    // Self-consistency of the event stream: the phase buckets are carved
+    // out of the measured solve, so their sum can never exceed it.
+    if breakdown.phase_total_nanos() > elapsed.as_nanos() as u64 {
+        return Err(CliError::Failed(format!(
+            "size {requested}: phase breakdown ({} ns) exceeds the measured solve \
+             ({} ns) — the solver event stream is inconsistent",
+            breakdown.phase_total_nanos(),
+            elapsed.as_nanos(),
+        )));
+    }
     let solution = problem.interpret(&vars, &sol.values);
     let throughput = if verify {
         check(&solution, problem)
@@ -182,6 +221,13 @@ fn solve_one<P: SteadyProblem>(
             Certificate::ExactSimplex => "exact-simplex",
         },
         throughput,
+        phase1_ms: breakdown.phase1_nanos as f64 / 1e6,
+        phase2_ms: breakdown.phase2_nanos as f64 / 1e6,
+        dual_ms: breakdown.dual_nanos as f64 / 1e6,
+        refactor_ms: breakdown.refactor_nanos as f64 / 1e6,
+        degenerate_pivots: recording.health.degenerate_pivots,
+        bland_pivots: recording.health.bland_pivots,
+        peak_eta: recording.health.peak_eta,
     })
 }
 
@@ -211,7 +257,7 @@ fn render_json(
     records: &[SizeRecord],
 ) -> String {
     let mut json = format!(
-        "{{\"schema_version\":1,\"collective\":\"{collective}\",\
+        "{{\"schema_version\":2,\"collective\":\"{collective}\",\
          \"targets\":{targets},\"participants\":{participants},\"seed\":{seed},\"sizes\":["
     );
     for (i, r) in records.iter().enumerate() {
@@ -222,7 +268,10 @@ fn render_json(
             "{{\"requested\":{},\"nodes\":{},\"vars\":{},\"constraints\":{},\
              \"solve_ms\":{},\"pivots\":{},\"phase1_pivots\":{},\
              \"refactorizations\":{},\"route\":\"{}\",\"certificate\":\"{}\",\
-             \"throughput\":\"{}\"}}",
+             \"throughput\":\"{}\",\
+             \"phase1_ms\":{:.3},\"phase2_ms\":{:.3},\"dual_ms\":{:.3},\
+             \"refactor_ms\":{:.3},\"degenerate_pivots\":{},\"bland_pivots\":{},\
+             \"peak_eta\":{}}}",
             r.requested,
             r.nodes,
             r.vars,
@@ -234,6 +283,13 @@ fn render_json(
             if r.revised_route { "revised" } else { "dense" },
             r.certificate,
             r.throughput,
+            r.phase1_ms,
+            r.phase2_ms,
+            r.dual_ms,
+            r.refactor_ms,
+            r.degenerate_pivots,
+            r.bland_pivots,
+            r.peak_eta,
         ));
     }
     json.push_str("]}");

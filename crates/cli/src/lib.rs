@@ -91,6 +91,8 @@ USAGE:
                         [--plan N] [--seed N] [--out FILE] [--min-prefetch-hit F] [--no-verify]
   steady scaling-sweep  [--sizes A,B,...] [--targets N | --reduce [--participants N]]
                         [--seed N] [--out FILE] [--budget-ms N] [--no-verify]
+  steady explain        [--size N] [--targets N | --reduce [--participants N]]
+                        [--seed N] [--pivots]
   steady demo NAME      NAME ∈ {figure2, figure6, figure9}
   steady info           --platform FILE [--dot]
   steady help
@@ -118,6 +120,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "drift-bench" => commands::drift_bench::run(rest, out),
         "forecast-bench" => commands::forecast_bench::run(rest, out),
         "scaling-sweep" => commands::scaling_sweep::run(rest, out),
+        "explain" => commands::explain::run(rest, out),
         "generate" => commands::generate::run(rest, out),
         "demo" => commands::demo::run(rest, out),
         "info" => commands::info::run(rest, out),
@@ -148,6 +151,7 @@ mod tests {
             "drift-bench",
             "forecast-bench",
             "scaling-sweep",
+            "explain",
             "generate",
             "demo",
             "info",

@@ -90,7 +90,10 @@ pub use gather::{GatherProblem, GatherSolution};
 pub use gossip::{GossipProblem, GossipSolution};
 pub use paths::{extract_paths, verify_path_set, WeightedPath};
 pub use prefix::{PrefixProblem, PrefixSolution};
-pub use problem::{solve_steady, solve_steady_warm, Certificate, SolveReport, SteadyProblem};
+pub use problem::{
+    solve_steady, solve_steady_warm, solve_steady_warm_observed, Certificate, SolveHealth,
+    SolveReport, SteadyProblem,
+};
 pub use reduce::{Interval, ReduceProblem, ReduceSolution, Task};
 pub use scatter::{ScatterProblem, ScatterSolution};
 pub use schedule::{CommSlot, ComputeOp, Payload, PeriodicSchedule, Transfer};

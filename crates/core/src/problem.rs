@@ -23,7 +23,7 @@ use steady_rational::Ratio;
 
 use crate::error::CoreError;
 
-pub use steady_lp::{Certificate, SolvedBasis};
+pub use steady_lp::{Certificate, SolveHealth, SolvedBasis};
 
 /// A steady-state collective problem that can be formulated as an LP and its
 /// solution read back from the LP's optimal variable values.
@@ -66,6 +66,10 @@ pub struct SolveReport {
     pub refactorizations: usize,
     /// How the exact optimum was validated by the solving pipeline.
     pub certificate: Certificate,
+    /// Numeric-health aggregate of the solve (degenerate-pivot fraction,
+    /// Bland switches, peak eta fill, fallback cause), folded from the
+    /// solver's event stream — see [`steady_lp::instrument`].
+    pub health: SolveHealth,
 }
 
 impl SolveReport {
@@ -95,8 +99,23 @@ pub fn solve_steady_warm<P: SteadyProblem>(
     problem: &P,
     warm: Option<&SolvedBasis>,
 ) -> Result<(P::Solution, SolveReport), CoreError> {
+    solve_steady_warm_observed(problem, warm, &mut steady_lp::NoopObserver)
+}
+
+/// [`solve_steady_warm`] with a [`steady_lp::SolveObserver`] tap on the
+/// underlying solver runs.  The report's [`SolveHealth`] is aggregated
+/// regardless of the caller's observer (events are fanned out to both).
+pub fn solve_steady_warm_observed<P: SteadyProblem, O: steady_lp::SolveObserver>(
+    problem: &P,
+    warm: Option<&SolvedBasis>,
+    obs: &mut O,
+) -> Result<(P::Solution, SolveReport), CoreError> {
     let (lp, vars) = problem.formulate();
-    let sol = steady_lp::solve_exact_auto_with(&lp, warm)?;
+    let mut health = steady_lp::HealthObserver::new();
+    let sol = {
+        let mut tap = steady_lp::Chain(&mut health, obs);
+        steady_lp::solve_exact_auto_observed(&lp, warm, &mut tap)?
+    };
     let report = SolveReport {
         iterations: sol.iterations,
         phase1_iterations: sol.phase1_iterations,
@@ -104,6 +123,7 @@ pub fn solve_steady_warm<P: SteadyProblem>(
         basis: sol.basis,
         refactorizations: sol.refactorizations,
         certificate: sol.certificate,
+        health: health.into_health(),
     };
     Ok((problem.interpret(&vars, &sol.values), report))
 }

@@ -57,4 +57,6 @@ pub mod model;
 pub mod triage;
 
 pub use model::{DriftConfig, DriftModel};
-pub use triage::{solve_steady_triaged, DriftStats, Triage, TriageReport};
+pub use triage::{
+    solve_steady_triaged, solve_steady_triaged_observed, DriftStats, Triage, TriageReport,
+};

@@ -19,7 +19,10 @@
 
 use steady_core::error::CoreError;
 use steady_core::problem::{SolvedBasis, SteadyProblem};
-use steady_lp::{solve_exact_auto, solve_exact_dual_auto, DualOutcome};
+use steady_lp::{
+    solve_exact_auto_observed, solve_exact_dual_auto_observed, Chain, DualOutcome, HealthObserver,
+    NoopObserver, SolveHealth, SolveObserver,
+};
 
 /// How a drifted solve resolved (see the module docs for the ladder).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,6 +76,9 @@ pub struct TriageReport {
     pub had_prior: bool,
     /// Final basis, reusable to triage the next drift step.
     pub basis: Option<SolvedBasis>,
+    /// Numeric-health aggregate folded from the solver's event stream
+    /// (degenerate pivots, Bland switches, eta fill, fallback cause).
+    pub health: SolveHealth,
 }
 
 impl TriageReport {
@@ -141,21 +147,36 @@ pub fn solve_steady_triaged<P: SteadyProblem>(
     problem: &P,
     prior: Option<&SolvedBasis>,
 ) -> Result<(P::Solution, TriageReport), CoreError> {
+    solve_steady_triaged_observed(problem, prior, &mut NoopObserver)
+}
+
+/// [`solve_steady_triaged`] with a [`SolveObserver`] tap on the underlying
+/// solver runs.  The report's [`SolveHealth`] is aggregated regardless of the
+/// caller's observer (events are fanned out to both).
+pub fn solve_steady_triaged_observed<P: SteadyProblem, O: SolveObserver>(
+    problem: &P,
+    prior: Option<&SolvedBasis>,
+    obs: &mut O,
+) -> Result<(P::Solution, TriageReport), CoreError> {
     let (lp, vars) = problem.formulate();
-    let (sol, triage, had_prior) = match prior {
-        None => {
-            let sol = solve_exact_auto(&lp)?;
-            (sol, Triage::ResolveCold, false)
-        }
-        Some(basis) => {
-            let (sol, outcome) = solve_exact_dual_auto(&lp, basis)?;
-            let triage = match outcome {
-                DualOutcome::StillOptimal => Triage::InRange,
-                DualOutcome::DualRepaired { pivots } => Triage::DualRepair { pivots },
-                DualOutcome::PrimalReoptimized { pivots } => Triage::ResolveWarm { pivots },
-                DualOutcome::FellBack => Triage::ResolveCold,
-            };
-            (sol, triage, true)
+    let mut health = HealthObserver::new();
+    let (sol, triage, had_prior) = {
+        let mut tap = Chain(&mut health, obs);
+        match prior {
+            None => {
+                let sol = solve_exact_auto_observed(&lp, None, &mut tap)?;
+                (sol, Triage::ResolveCold, false)
+            }
+            Some(basis) => {
+                let (sol, outcome) = solve_exact_dual_auto_observed(&lp, basis, &mut tap)?;
+                let triage = match outcome {
+                    DualOutcome::StillOptimal => Triage::InRange,
+                    DualOutcome::DualRepaired { pivots } => Triage::DualRepair { pivots },
+                    DualOutcome::PrimalReoptimized { pivots } => Triage::ResolveWarm { pivots },
+                    DualOutcome::FellBack => Triage::ResolveCold,
+                };
+                (sol, triage, true)
+            }
         }
     };
     let report = TriageReport {
@@ -164,6 +185,7 @@ pub fn solve_steady_triaged<P: SteadyProblem>(
         phase1_iterations: sol.phase1_iterations,
         had_prior,
         basis: sol.basis,
+        health: health.into_health(),
     };
     Ok((problem.interpret(&vars, &sol.values), report))
 }
@@ -236,6 +258,7 @@ mod tests {
             phase1_iterations: 1,
             had_prior: true,
             basis: None,
+            health: SolveHealth::default(),
         };
         stats.record(&report(Triage::InRange));
         stats.record(&report(Triage::DualRepair { pivots: 2 }));

@@ -21,6 +21,7 @@
 //! recovers them exactly in practice — e.g. `2/9` for the Figure-9/10 reduce
 //! experiment.
 
+use crate::instrument::{FallbackCause, NoopObserver, SolveEvent, SolveObserver};
 use crate::model::{LpProblem, Objective, Sense};
 use crate::revised::{self, RevisedOptions};
 use crate::simplex::{self, SimplexError, SimplexOptions, Solution, SolvedBasis};
@@ -191,22 +192,47 @@ pub fn solve_certified_warm(
     options: &CertifyOptions,
     warm: Option<&SolvedBasis>,
 ) -> Result<CertifiedSolution, CertifyError> {
+    solve_certified_warm_observed(problem, options, warm, &mut NoopObserver)
+}
+
+/// [`solve_certified_warm`] with a [`SolveObserver`] tap on every run the
+/// pipeline executes — the `f64` attempt, any exact fallback run (preceded by
+/// a [`SolveEvent::Fallback`] naming the cause), and the warm-start install
+/// outcomes inside each.
+///
+/// Event-conservation caveat: when the `f64` run *errors out* mid-solve its
+/// already-emitted pivot events stay in the stream, while the returned
+/// iteration counts come from the fresh exact run only — so observed pivots
+/// can exceed reported `iterations` exactly when the stream carries a
+/// `float-failed` fallback marker.  (A `certification-failed` fallback keeps
+/// both runs' counts, so conservation holds there.)
+pub fn solve_certified_warm_observed<O: SolveObserver>(
+    problem: &LpProblem,
+    options: &CertifyOptions,
+    warm: Option<&SolvedBasis>,
+    obs: &mut O,
+) -> Result<CertifiedSolution, CertifyError> {
     let sparse_route = routes_to_revised(problem, options);
     let revised_opts =
         RevisedOptions { simplex: options.simplex.clone(), ..RevisedOptions::default() };
     let mut refactorizations = 0;
 
     let float = if sparse_route {
-        revised::solve_revised_report::<f64>(problem, warm, &revised_opts).map(|(sol, stats)| {
-            refactorizations += stats.refactorizations;
-            sol
-        })
+        revised::solve_revised_report_observed::<f64, O>(problem, warm, &revised_opts, obs).map(
+            |(sol, stats)| {
+                refactorizations += stats.refactorizations;
+                sol
+            },
+        )
     } else {
         match warm {
-            Some(basis) => {
-                simplex::solve_with_basis_options::<f64>(problem, basis, &options.simplex)
-            }
-            None => simplex::solve_with_options::<f64>(problem, &options.simplex),
+            Some(basis) => simplex::solve_with_basis_options_observed::<f64, O>(
+                problem,
+                basis,
+                &options.simplex,
+                obs,
+            ),
+            None => simplex::solve_with_options_observed::<f64, O>(problem, &options.simplex, obs),
         }
     };
     let float = match float {
@@ -218,13 +244,26 @@ pub fn solve_certified_warm(
         // order, so the failure is formulation-order dependent.  The exact
         // rational simplex decides from scratch; only its verdict is real.
         Err(_) if !options.forbid_fallback => {
+            if O::ENABLED {
+                obs.on_event(SolveEvent::Fallback { cause: FallbackCause::FloatFailed });
+            }
             let exact = if sparse_route {
-                let (sol, stats) =
-                    revised::solve_revised_report::<Ratio>(problem, None, &revised_opts)?;
+                let (sol, stats) = revised::solve_revised_report_observed::<Ratio, O>(
+                    problem,
+                    None,
+                    &revised_opts,
+                    obs,
+                )?;
                 refactorizations += stats.refactorizations;
                 sol
             } else {
-                simplex::solve_exact(problem)?
+                // Mirrors `solve_exact` (default options), as the unobserved
+                // path always has.
+                simplex::solve_with_options_observed::<Ratio, O>(
+                    problem,
+                    &SimplexOptions::default(),
+                    obs,
+                )?
             };
             return Ok(CertifiedSolution {
                 values: exact.values,
@@ -249,22 +288,40 @@ pub fn solve_certified_warm(
             if options.forbid_fallback {
                 return Err(CertifyError::CertificationFailed { reason });
             }
+            if O::ENABLED {
+                obs.on_event(SolveEvent::Fallback {
+                    cause: FallbackCause::CertificationFailed { reason: reason.clone() },
+                });
+            }
             // Seed the exact re-solve from the f64 basis (usually already
             // the optimal vertex); if that start misbehaves — an infeasible
             // float vertex can read as unbounded — re-solve exactly from
             // scratch rather than surfacing the artifact.  (The revised
             // solver folds that retreat-to-cold into one call.)
             let exact = if sparse_route {
-                let (sol, stats) = revised::solve_revised_report::<Ratio>(
+                let (sol, stats) = revised::solve_revised_report_observed::<Ratio, O>(
                     problem,
                     Some(&float.basis),
                     &revised_opts,
+                    obs,
                 )?;
                 refactorizations += stats.refactorizations;
                 sol
             } else {
-                simplex::solve_with_basis_options::<Ratio>(problem, &float.basis, &options.simplex)
-                    .or_else(|_| simplex::solve_exact(problem))?
+                simplex::solve_with_basis_options_observed::<Ratio, O>(
+                    problem,
+                    &float.basis,
+                    &options.simplex,
+                    obs,
+                )
+                .or_else(|_| {
+                    // Mirrors `solve_exact` (default options).
+                    simplex::solve_with_options_observed::<Ratio, O>(
+                        problem,
+                        &SimplexOptions::default(),
+                        obs,
+                    )
+                })?
             };
             Ok(CertifiedSolution {
                 values: exact.values,
@@ -304,7 +361,25 @@ pub fn solve_certified_dual(
     options: &CertifyOptions,
     basis: &SolvedBasis,
 ) -> Result<(CertifiedSolution, crate::simplex::DualOutcome), CertifyError> {
-    let attempt = simplex::solve_dual_with_basis_options::<f64>(problem, basis, &options.simplex);
+    solve_certified_dual_observed(problem, options, basis, &mut NoopObserver)
+}
+
+/// [`solve_certified_dual`] with a [`SolveObserver`] tap on every run the
+/// pipeline executes (same event semantics and conservation caveat as
+/// [`solve_certified_warm_observed`]; the `f64`-error fallback here emits
+/// [`FallbackCause::DualFloatFailed`]).
+pub fn solve_certified_dual_observed<O: SolveObserver>(
+    problem: &LpProblem,
+    options: &CertifyOptions,
+    basis: &SolvedBasis,
+    obs: &mut O,
+) -> Result<(CertifiedSolution, crate::simplex::DualOutcome), CertifyError> {
+    let attempt = simplex::solve_dual_with_basis_options_observed::<f64, O>(
+        problem,
+        basis,
+        &options.simplex,
+        obs,
+    );
     let (float, outcome) = match attempt {
         Ok(solved) => solved,
         // Same fallback-not-verdict rule as `solve_certified_warm`: an f64
@@ -313,7 +388,10 @@ pub fn solve_certified_dual(
         // resolve cold through the certified pipeline, whose exact stage is
         // the authority.
         Err(_) if !options.forbid_fallback => {
-            let sol = solve_certified_with_options(problem, options)?;
+            if O::ENABLED {
+                obs.on_event(SolveEvent::Fallback { cause: FallbackCause::DualFloatFailed });
+            }
+            let sol = solve_certified_warm_observed(problem, options, None, obs)?;
             return Ok((sol, crate::simplex::DualOutcome::FellBack));
         }
         Err(e) => return Err(e.into()),
@@ -324,9 +402,25 @@ pub fn solve_certified_dual(
             if options.forbid_fallback {
                 return Err(CertifyError::CertificationFailed { reason });
             }
-            let exact =
-                simplex::solve_with_basis_options::<Ratio>(problem, &float.basis, &options.simplex)
-                    .or_else(|_| simplex::solve_exact(problem))?;
+            if O::ENABLED {
+                obs.on_event(SolveEvent::Fallback {
+                    cause: FallbackCause::CertificationFailed { reason: reason.clone() },
+                });
+            }
+            let exact = simplex::solve_with_basis_options_observed::<Ratio, O>(
+                problem,
+                &float.basis,
+                &options.simplex,
+                obs,
+            )
+            .or_else(|_| {
+                // Mirrors `solve_exact` (default options).
+                simplex::solve_with_options_observed::<Ratio, O>(
+                    problem,
+                    &SimplexOptions::default(),
+                    obs,
+                )
+            })?;
             Ok((
                 CertifiedSolution {
                     values: exact.values,

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 
 pub mod exact;
+pub mod instrument;
 pub mod model;
 pub mod ranging;
 pub mod revised;
@@ -50,24 +51,31 @@ pub mod simplex;
 pub mod sparse;
 
 pub use exact::{
-    certify, routes_to_revised, solve_certified, solve_certified_dual, solve_certified_warm,
+    certify, routes_to_revised, solve_certified, solve_certified_dual,
+    solve_certified_dual_observed, solve_certified_warm, solve_certified_warm_observed,
     solve_certified_with_options, Certificate, CertifiedSolution, CertifyError, CertifyOptions,
     SolveTrace,
+};
+pub use instrument::{
+    Chain, FallbackCause, HealthObserver, NoopObserver, PhaseBreakdown, PivotKind, PivotRule,
+    RecordingObserver, RefactorReason, SolveEvent, SolveHealth, SolveObserver, SolvePath,
+    SolvePhase, SolveRecording, TimedEvent, WarmOutcome,
 };
 pub use model::{Constraint, LinearExpr, LpProblem, Objective, Sense, VarId};
 pub use ranging::{
     basis_still_optimal, objective_ranging, rhs_ranging, CostRange, RangingError, RhsRange,
 };
 pub use revised::{
-    solve_revised, solve_revised_report, solve_revised_with_basis,
+    solve_revised, solve_revised_report, solve_revised_report_observed, solve_revised_with_basis,
     solve_revised_with_basis_options, solve_revised_with_options, Eta, RevisedOptions,
     RevisedStats, SparseLu,
 };
 pub use scalar::Scalar;
 pub use simplex::{
-    solve_dual_with_basis, solve_dual_with_basis_options, solve_exact, solve_f64, solve_with_basis,
-    solve_with_basis_options, solve_with_options, DualOutcome, LpStatus, SimplexError,
-    SimplexOptions, Solution, SolvedBasis,
+    solve_dual_with_basis, solve_dual_with_basis_options, solve_dual_with_basis_options_observed,
+    solve_exact, solve_f64, solve_with_basis, solve_with_basis_options,
+    solve_with_basis_options_observed, solve_with_options, solve_with_options_observed,
+    DualOutcome, LpStatus, SimplexError, SimplexOptions, Solution, SolvedBasis,
 };
 pub use sparse::CscMatrix;
 
@@ -92,14 +100,28 @@ pub fn solve_exact_auto_with(
     problem: &LpProblem,
     warm: Option<&SolvedBasis>,
 ) -> Result<CertifiedSolution, CertifyError> {
+    solve_exact_auto_observed(problem, warm, &mut NoopObserver)
+}
+
+/// [`solve_exact_auto_with`] with a [`SolveObserver`] tap on every run the
+/// strategy executes (see [`instrument`]).  The observer cannot influence the
+/// solve; with [`NoopObserver`] this is the uninstrumented pipeline.
+pub fn solve_exact_auto_observed<O: SolveObserver>(
+    problem: &LpProblem,
+    warm: Option<&SolvedBasis>,
+    obs: &mut O,
+) -> Result<CertifiedSolution, CertifyError> {
     if below_exact_simplex_limit(problem) {
+        let options = SimplexOptions::default();
         let sol = match warm {
-            Some(basis) => simplex::solve_with_basis::<Ratio>(problem, basis)?,
-            None => simplex::solve_exact(problem)?,
+            Some(basis) => simplex::solve_with_basis_options_observed::<Ratio, O>(
+                problem, basis, &options, obs,
+            )?,
+            None => simplex::solve_with_options_observed::<Ratio, O>(problem, &options, obs)?,
         };
         Ok(exact_simplex_certified(sol))
     } else {
-        exact::solve_certified_warm(problem, &CertifyOptions::default(), warm)
+        exact::solve_certified_warm_observed(problem, &CertifyOptions::default(), warm, obs)
     }
 }
 
@@ -116,11 +138,26 @@ pub fn solve_exact_dual_auto(
     problem: &LpProblem,
     basis: &SolvedBasis,
 ) -> Result<(CertifiedSolution, DualOutcome), CertifyError> {
+    solve_exact_dual_auto_observed(problem, basis, &mut NoopObserver)
+}
+
+/// [`solve_exact_dual_auto`] with a [`SolveObserver`] tap on every run the
+/// strategy executes.
+pub fn solve_exact_dual_auto_observed<O: SolveObserver>(
+    problem: &LpProblem,
+    basis: &SolvedBasis,
+    obs: &mut O,
+) -> Result<(CertifiedSolution, DualOutcome), CertifyError> {
     if below_exact_simplex_limit(problem) {
-        let (sol, outcome) = simplex::solve_dual_with_basis::<Ratio>(problem, basis)?;
+        let (sol, outcome) = simplex::solve_dual_with_basis_options_observed::<Ratio, O>(
+            problem,
+            basis,
+            &SimplexOptions::default(),
+            obs,
+        )?;
         Ok((exact_simplex_certified(sol), outcome))
     } else {
-        exact::solve_certified_dual(problem, &CertifyOptions::default(), basis)
+        exact::solve_certified_dual_observed(problem, &CertifyOptions::default(), basis, obs)
     }
 }
 

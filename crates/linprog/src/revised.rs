@@ -32,6 +32,10 @@
 //! slots into the certified pipeline ([`crate::exact`]) and the warm-start
 //! world ([`SolvedBasis`]) without weakening any exactness guarantee.
 
+use crate::instrument::{
+    NoopObserver, PivotKind, PivotRule, RefactorReason, SolveEvent, SolveObserver, SolvePath,
+    SolvePhase, WarmOutcome,
+};
 use crate::model::{LpProblem, Objective};
 use crate::scalar::Scalar;
 use crate::simplex::{clamp_nonneg, SimplexError, SimplexOptions, Solution, SolvedBasis};
@@ -498,7 +502,13 @@ impl<S: Scalar> Revised<'_, S> {
     /// Executes the basis change `basic[pos] ← col` given `w = B⁻¹ A_col`:
     /// updates the basic values, appends an eta (or refactorizes when the
     /// eta file is due), and keeps the work counters.
-    fn pivot(&mut self, pos: usize, col: usize, w: Vec<S>) -> Result<(), SimplexError> {
+    fn pivot<O: SolveObserver>(
+        &mut self,
+        pos: usize,
+        col: usize,
+        w: Vec<S>,
+        obs: &mut O,
+    ) -> Result<(), SimplexError> {
         let t = self.xb[pos].div(&w[pos]);
         for (i, wi) in w.iter().enumerate() {
             if i != pos && !wi.is_zero() {
@@ -512,12 +522,35 @@ impl<S: Scalar> Revised<'_, S> {
         self.factors.eta_nnz += eta.nnz();
         self.factors.etas.push(eta);
         self.stats.peak_eta = self.stats.peak_eta.max(self.factors.etas.len());
+        if O::ENABLED {
+            obs.on_event(SolveEvent::EtaAppended {
+                etas: self.factors.etas.len(),
+                eta_nnz: self.factors.eta_nnz,
+            });
+        }
 
         let fill_bound = (2 * self.factors.lu.nnz()).max(4 * self.sf.num_rows());
-        if self.factors.etas.len() >= self.options.refactor_interval
-            || self.factors.eta_nnz > fill_bound
-        {
+        let interval_due = self.factors.etas.len() >= self.options.refactor_interval;
+        let fill_due = self.factors.eta_nnz > fill_bound;
+        if interval_due || fill_due {
+            if O::ENABLED {
+                obs.on_event(SolveEvent::RefactorStarted {
+                    reason: if interval_due {
+                        RefactorReason::EtaInterval
+                    } else {
+                        RefactorReason::FillGrowth
+                    },
+                    etas: self.factors.etas.len(),
+                    eta_nnz: self.factors.eta_nnz,
+                });
+            }
             self.refactorize()?;
+            if O::ENABLED {
+                obs.on_event(SolveEvent::RefactorFinished {
+                    lu_nnz: self.factors.lu.nnz(),
+                    dim: self.sf.num_rows(),
+                });
+            }
         }
         Ok(())
     }
@@ -541,11 +574,13 @@ impl<S: Scalar> Revised<'_, S> {
     /// Runs revised simplex iterations with the given cost vector until
     /// optimality, mirroring the dense `Tableau::optimize` iteration/Bland
     /// accounting exactly.
-    fn optimize(
+    fn optimize<O: SolveObserver>(
         &mut self,
         costs: &[S],
         allowed: &[bool],
         iterations: &mut usize,
+        phase: SolvePhase,
+        obs: &mut O,
     ) -> Result<(), SimplexError> {
         let default_cap = 50 * (self.sf.num_rows() + self.sf.num_cols()) + 10_000;
         let cap = self.options.simplex.max_iterations.unwrap_or(default_cap);
@@ -562,7 +597,17 @@ impl<S: Scalar> Revised<'_, S> {
             let Some(pos) = self.choose_leaving(&w) else {
                 return Err(SimplexError::Unbounded);
             };
-            self.pivot(pos, col, w)?;
+            if O::ENABLED {
+                obs.on_event(SolveEvent::Pivot {
+                    phase,
+                    kind: PivotKind::Primal,
+                    rule: if bland { PivotRule::Bland } else { PivotRule::Dantzig },
+                    entering: col,
+                    leaving: self.basic[pos],
+                    degenerate: self.xb[pos].is_zero(),
+                });
+            }
+            self.pivot(pos, col, w, obs)?;
             *iterations += 1;
         }
     }
@@ -571,7 +616,7 @@ impl<S: Scalar> Revised<'_, S> {
     /// entry in their row — the revised analogue of the dense
     /// `drive_out_artificials`, scanning columns in the same ascending order
     /// so the replacement choice matches pivot for pivot.
-    fn drive_out_artificials(&mut self) -> Result<(), SimplexError> {
+    fn drive_out_artificials<O: SolveObserver>(&mut self, obs: &mut O) -> Result<(), SimplexError> {
         for pos in 0..self.sf.num_rows() {
             if self.sf.kinds[self.basic[pos]] != ColKind::Artificial {
                 continue;
@@ -599,7 +644,10 @@ impl<S: Scalar> Revised<'_, S> {
                     // full FTRAN; the entry is too small to pivot on safely.
                     continue;
                 }
-                self.pivot(pos, j, w)?;
+                // Drive-out pivots are uncounted (like the dense path's), so
+                // they emit no Pivot events — only the eta/refactor activity
+                // inside `pivot` is observed.
+                self.pivot(pos, j, w, obs)?;
             }
         }
         Ok(())
@@ -607,10 +655,11 @@ impl<S: Scalar> Revised<'_, S> {
 
     /// Two-phase driver, mirroring the dense `Tableau::run` decision
     /// structure exactly (see the module docs on pivot-rule parity).
-    fn run(
+    fn run<O: SolveObserver>(
         mut self,
         problem: &LpProblem,
         warm_started: bool,
+        obs: &mut O,
     ) -> Result<(Solution<S>, RevisedStats), SimplexError> {
         let mut iterations = 0usize;
 
@@ -622,6 +671,9 @@ impl<S: Scalar> Revised<'_, S> {
             self.sf.kinds.contains(&ColKind::Artificial)
         };
         if needs_phase1 {
+            if O::ENABLED {
+                obs.on_event(SolveEvent::PhaseStarted { phase: SolvePhase::Phase1 });
+            }
             let phase1_costs: Vec<S> = self
                 .sf
                 .kinds
@@ -629,7 +681,7 @@ impl<S: Scalar> Revised<'_, S> {
                 .map(|k| if *k == ColKind::Artificial { S::one().neg() } else { S::zero() })
                 .collect();
             let allowed = vec![true; self.sf.num_cols()];
-            self.optimize(&phase1_costs, &allowed, &mut iterations)?;
+            self.optimize(&phase1_costs, &allowed, &mut iterations, SolvePhase::Phase1, obs)?;
 
             let mut infeasibility = S::zero();
             for pos in 0..self.sf.num_rows() {
@@ -643,11 +695,14 @@ impl<S: Scalar> Revised<'_, S> {
         }
         let phase1_iterations = iterations;
 
-        self.drive_out_artificials()?;
+        self.drive_out_artificials(obs)?;
 
+        if O::ENABLED {
+            obs.on_event(SolveEvent::PhaseStarted { phase: SolvePhase::Phase2 });
+        }
         let allowed: Vec<bool> = self.sf.kinds.iter().map(|k| *k != ColKind::Artificial).collect();
         let costs = self.sf.costs.clone();
-        self.optimize(&costs, &allowed, &mut iterations)?;
+        self.optimize(&costs, &allowed, &mut iterations, SolvePhase::Phase2, obs)?;
 
         Ok(self.finish(problem, iterations, phase1_iterations, warm_started))
     }
@@ -766,6 +821,21 @@ pub fn solve_revised_report<S: Scalar>(
     warm: Option<&SolvedBasis>,
     options: &RevisedOptions,
 ) -> Result<(Solution<S>, RevisedStats), SimplexError> {
+    solve_revised_report_observed(problem, warm, options, &mut NoopObserver)
+}
+
+/// [`solve_revised_report`] with a [`crate::instrument::SolveObserver`] tap on
+/// the run: run start, warm-start install outcome, phases, pivots, eta
+/// appends and refactorizations.  The observer cannot influence the solve.
+pub fn solve_revised_report_observed<S: Scalar, O: SolveObserver>(
+    problem: &LpProblem,
+    warm: Option<&SolvedBasis>,
+    options: &RevisedOptions,
+    obs: &mut O,
+) -> Result<(Solution<S>, RevisedStats), SimplexError> {
+    if O::ENABLED {
+        obs.on_event(SolveEvent::RunStarted { path: SolvePath::Revised });
+    }
     let sf = StandardForm::<S>::build(problem);
 
     if let Some(basis) = warm {
@@ -774,6 +844,9 @@ pub fn solve_revised_report<S: Scalar>(
                 let factors = Factors::fresh(lu);
                 let xb = factors.ftran(sf.rhs.clone());
                 if xb.iter().all(|b| !b.is_negative()) {
+                    if O::ENABLED {
+                        obs.on_event(SolveEvent::WarmStart { outcome: WarmOutcome::Installed });
+                    }
                     let solver = Revised {
                         sf,
                         basic: basis.cols.clone(),
@@ -782,21 +855,25 @@ pub fn solve_revised_report<S: Scalar>(
                         options,
                         stats: RevisedStats::default(),
                     };
-                    return solver.run(problem, true);
+                    return solver.run(problem, true, obs);
                 }
             }
         }
         // An incompatible, singular or primal-infeasible basis is silently
         // discarded; the cold start below matches the dense fallback.
+        if O::ENABLED {
+            obs.on_event(SolveEvent::WarmStart { outcome: WarmOutcome::Rejected });
+        }
     }
-    cold_start(sf, problem, options)
+    cold_start(sf, problem, options, obs)
 }
 
 /// Cold start from the all-slack/artificial identity basis.
-fn cold_start<S: Scalar>(
+fn cold_start<S: Scalar, O: SolveObserver>(
     sf: StandardForm<S>,
     problem: &LpProblem,
     options: &RevisedOptions,
+    obs: &mut O,
 ) -> Result<(Solution<S>, RevisedStats), SimplexError> {
     let basic = sf.init_basis.clone();
     let lu = SparseLu::factorize(&sf.a, &basic)
@@ -804,7 +881,7 @@ fn cold_start<S: Scalar>(
     let factors = Factors::fresh(lu);
     let xb = sf.rhs.clone();
     let solver = Revised { sf, basic, factors, xb, options, stats: RevisedStats::default() };
-    solver.run(problem, false)
+    solver.run(problem, false, obs)
 }
 
 #[cfg(test)]

@@ -15,6 +15,10 @@
 //! Bland's rule after a configurable number of iterations so that cycling on
 //! degenerate vertices cannot prevent termination.
 
+use crate::instrument::{
+    NoopObserver, PivotKind, PivotRule, SolveEvent, SolveObserver, SolvePath, SolvePhase,
+    WarmOutcome,
+};
 use crate::model::{LpProblem, Objective, Sense};
 use crate::scalar::Scalar;
 use steady_rational::Ratio;
@@ -204,7 +208,22 @@ pub fn solve_with_options<S: Scalar>(
     problem: &LpProblem,
     options: &SimplexOptions,
 ) -> Result<Solution<S>, SimplexError> {
-    Tableau::<S>::build(problem).run(problem, options, false)
+    solve_with_options_observed(problem, options, &mut NoopObserver)
+}
+
+/// [`solve_with_options`] with a [`SolveObserver`] tap on the run.  The
+/// observer receives phase and pivot events but cannot influence the solve;
+/// instantiated with [`NoopObserver`] this compiles to the uninstrumented
+/// solver.
+pub fn solve_with_options_observed<S: Scalar, O: SolveObserver>(
+    problem: &LpProblem,
+    options: &SimplexOptions,
+    obs: &mut O,
+) -> Result<Solution<S>, SimplexError> {
+    if O::ENABLED {
+        obs.on_event(SolveEvent::RunStarted { path: SolvePath::Dense });
+    }
+    Tableau::<S>::build(problem).run(problem, options, false, obs)
 }
 
 /// Solves `problem`, resuming the simplex from a previously solved basis.
@@ -231,15 +250,35 @@ pub fn solve_with_basis_options<S: Scalar>(
     basis: &SolvedBasis,
     options: &SimplexOptions,
 ) -> Result<Solution<S>, SimplexError> {
+    solve_with_basis_options_observed(problem, basis, options, &mut NoopObserver)
+}
+
+/// [`solve_with_basis_options`] with a [`SolveObserver`] tap on the run
+/// (including the warm-start install outcome).
+pub fn solve_with_basis_options_observed<S: Scalar, O: SolveObserver>(
+    problem: &LpProblem,
+    basis: &SolvedBasis,
+    options: &SimplexOptions,
+    obs: &mut O,
+) -> Result<Solution<S>, SimplexError> {
+    if O::ENABLED {
+        obs.on_event(SolveEvent::RunStarted { path: SolvePath::Dense });
+    }
     let mut tableau = Tableau::<S>::build(problem);
     if basis_compatible(basis, &tableau)
         && tableau.install_basis(&basis.cols)
         && tableau.rhs.iter().all(|b| !b.is_negative())
     {
-        return tableau.run(problem, options, true);
+        if O::ENABLED {
+            obs.on_event(SolveEvent::WarmStart { outcome: WarmOutcome::Installed });
+        }
+        return tableau.run(problem, options, true, obs);
+    }
+    if O::ENABLED {
+        obs.on_event(SolveEvent::WarmStart { outcome: WarmOutcome::Rejected });
     }
     // The install pivoted the tableau partway; rebuild and solve cold.
-    Tableau::<S>::build(problem).run(problem, options, false)
+    Tableau::<S>::build(problem).run(problem, options, false, obs)
 }
 
 /// How [`solve_dual_with_basis`] ended up using the supplied basis.
@@ -305,9 +344,28 @@ pub fn solve_dual_with_basis_options<S: Scalar>(
     basis: &SolvedBasis,
     options: &SimplexOptions,
 ) -> Result<(Solution<S>, DualOutcome), SimplexError> {
+    solve_dual_with_basis_options_observed(problem, basis, options, &mut NoopObserver)
+}
+
+/// [`solve_dual_with_basis_options`] with a [`SolveObserver`] tap on the run.
+/// The emitted [`SolveEvent::WarmStart`] outcome mirrors the returned
+/// [`DualOutcome`] (it is emitted as soon as the outcome is known, so fallback
+/// runs are observed *after* their `fell-back` marker).
+pub fn solve_dual_with_basis_options_observed<S: Scalar, O: SolveObserver>(
+    problem: &LpProblem,
+    basis: &SolvedBasis,
+    options: &SimplexOptions,
+    obs: &mut O,
+) -> Result<(Solution<S>, DualOutcome), SimplexError> {
+    if O::ENABLED {
+        obs.on_event(SolveEvent::RunStarted { path: SolvePath::Dense });
+    }
     let mut tableau = Tableau::<S>::build(problem);
     if !basis_compatible(basis, &tableau) || !tableau.install_basis(&basis.cols) {
-        let sol = Tableau::<S>::build(problem).run(problem, options, false)?;
+        if O::ENABLED {
+            obs.on_event(SolveEvent::WarmStart { outcome: WarmOutcome::FellBack });
+        }
+        let sol = Tableau::<S>::build(problem).run(problem, options, false, obs)?;
         return Ok((sol, DualOutcome::FellBack));
     }
     // Pivot basic artificials out wherever a real column is available —
@@ -329,7 +387,10 @@ pub fn solve_dual_with_basis_options<S: Scalar>(
         tableau.kinds[tableau.basis[i]] == ColKind::Artificial && tableau.rhs[i].is_positive()
     });
     if positive_artificial {
-        let sol = tableau.run(problem, options, true)?;
+        if O::ENABLED {
+            obs.on_event(SolveEvent::WarmStart { outcome: WarmOutcome::FellBack });
+        }
+        let sol = tableau.run(problem, options, true, obs)?;
         return Ok((sol, DualOutcome::FellBack));
     }
 
@@ -340,9 +401,25 @@ pub fn solve_dual_with_basis_options<S: Scalar>(
     let dual_feasible = tableau.choose_entering(&reduced, &allowed, false).is_none();
     let mut iterations = 0usize;
     match (primal_feasible, dual_feasible) {
-        (true, true) => Ok((tableau.finish(problem, 0, 0, true), DualOutcome::StillOptimal)),
+        (true, true) => {
+            if O::ENABLED {
+                obs.on_event(SolveEvent::WarmStart { outcome: WarmOutcome::StillOptimal });
+            }
+            Ok((tableau.finish(problem, 0, 0, true), DualOutcome::StillOptimal))
+        }
         (true, false) => {
-            tableau.optimize(&costs, &allowed, options, &mut iterations)?;
+            if O::ENABLED {
+                obs.on_event(SolveEvent::WarmStart { outcome: WarmOutcome::PrimalReoptimized });
+                obs.on_event(SolveEvent::PhaseStarted { phase: SolvePhase::Phase2 });
+            }
+            tableau.optimize(
+                &costs,
+                &allowed,
+                options,
+                &mut iterations,
+                SolvePhase::Phase2,
+                obs,
+            )?;
             let pivots = iterations;
             Ok((
                 tableau.finish(problem, iterations, 0, true),
@@ -350,30 +427,50 @@ pub fn solve_dual_with_basis_options<S: Scalar>(
             ))
         }
         (false, true) => {
-            match tableau.dual_optimize(&allowed, &mut reduced, options, &mut iterations)? {
+            if O::ENABLED {
+                obs.on_event(SolveEvent::PhaseStarted { phase: SolvePhase::DualRepair });
+            }
+            match tableau.dual_optimize(&allowed, &mut reduced, options, &mut iterations, obs)? {
                 DualRun::Restored => {
                     let dual_pivots = iterations;
+                    if O::ENABLED {
+                        obs.on_event(SolveEvent::WarmStart { outcome: WarmOutcome::DualRepaired });
+                        obs.on_event(SolveEvent::PhaseStarted { phase: SolvePhase::Phase2 });
+                    }
                     // Dual feasibility is invariant under the dual ratio
                     // test, so the repaired vertex is already optimal; the
                     // primal pass is a no-op in exact arithmetic and guards
                     // the f64 instantiation against tolerance drift.
-                    tableau.optimize(&costs, &allowed, options, &mut iterations)?;
+                    tableau.optimize(
+                        &costs,
+                        &allowed,
+                        options,
+                        &mut iterations,
+                        SolvePhase::Phase2,
+                        obs,
+                    )?;
                     Ok((
                         tableau.finish(problem, iterations, 0, true),
                         DualOutcome::DualRepaired { pivots: dual_pivots },
                     ))
                 }
                 DualRun::RatioTestFailed => {
+                    if O::ENABLED {
+                        obs.on_event(SolveEvent::WarmStart { outcome: WarmOutcome::FellBack });
+                    }
                     // Dual unboundedness certifies primal infeasibility in
                     // exact arithmetic, but never trust a warm basis for an
                     // infeasibility verdict: re-solve from scratch.
-                    let sol = Tableau::<S>::build(problem).run(problem, options, false)?;
+                    let sol = Tableau::<S>::build(problem).run(problem, options, false, obs)?;
                     Ok((sol, DualOutcome::FellBack))
                 }
             }
         }
         (false, false) => {
-            let sol = Tableau::<S>::build(problem).run(problem, options, false)?;
+            if O::ENABLED {
+                obs.on_event(SolveEvent::WarmStart { outcome: WarmOutcome::FellBack });
+            }
+            let sol = Tableau::<S>::build(problem).run(problem, options, false, obs)?;
             Ok((sol, DualOutcome::FellBack))
         }
     }
@@ -637,12 +734,14 @@ impl<S: Scalar> Tableau<S> {
     /// The reduced-cost row is computed once and updated incrementally at each
     /// pivot, so that an iteration costs `O(m n)` for the pivot itself plus
     /// `O(n)` for pricing (instead of `O(m n)` pricing per iteration).
-    fn optimize(
+    fn optimize<O: SolveObserver>(
         &mut self,
         costs: &[S],
         allowed: &[bool],
         options: &SimplexOptions,
         iterations: &mut usize,
+        phase: SolvePhase,
+        obs: &mut O,
     ) -> Result<(), SimplexError> {
         let default_cap = 50 * (self.num_rows() + self.num_cols()) + 10_000;
         let cap = options.max_iterations.unwrap_or(default_cap);
@@ -658,6 +757,16 @@ impl<S: Scalar> Tableau<S> {
             let Some(row) = self.choose_leaving(col) else {
                 return Err(SimplexError::Unbounded);
             };
+            if O::ENABLED {
+                obs.on_event(SolveEvent::Pivot {
+                    phase,
+                    kind: PivotKind::Primal,
+                    rule: if bland { PivotRule::Bland } else { PivotRule::Dantzig },
+                    entering: col,
+                    leaving: self.basis[row],
+                    degenerate: self.rhs[row].is_zero(),
+                });
+            }
             let entering_cost = reduced[col].clone();
             self.pivot(row, col);
             // r <- r - r[col] * (normalized pivot row).
@@ -762,15 +871,23 @@ impl<S: Scalar> Tableau<S> {
     /// phase-2 objective (the dual-feasibility probe needs it anyway); it is
     /// updated incrementally at each pivot, so no `O(m n)` re-pricing
     /// happens here.
-    fn dual_optimize(
+    ///
+    /// Pivot events are buffered and flushed only on [`DualRun::Restored`]:
+    /// pivots of a run that ends in [`DualRun::RatioTestFailed`] are thrown
+    /// away together with the tableau (the caller re-solves cold and reports
+    /// the fresh run's counts), so emitting them would break the
+    /// events-equal-iterations conservation contract.
+    fn dual_optimize<O: SolveObserver>(
         &mut self,
         allowed: &[bool],
         reduced: &mut [S],
         options: &SimplexOptions,
         iterations: &mut usize,
+        obs: &mut O,
     ) -> Result<DualRun, SimplexError> {
         let default_cap = 50 * (self.num_rows() + self.num_cols()) + 10_000;
         let cap = options.max_iterations.unwrap_or(default_cap);
+        let mut pending: Vec<SolveEvent> = Vec::new();
         loop {
             if *iterations > cap {
                 return Err(SimplexError::IterationLimit { iterations: *iterations });
@@ -800,6 +917,11 @@ impl<S: Scalar> Tableau<S> {
                 });
             }
             let Some(row) = row else {
+                if O::ENABLED {
+                    for event in pending.drain(..) {
+                        obs.on_event(event);
+                    }
+                }
                 return Ok(DualRun::Restored);
             };
             // Dual ratio test; iterating in ascending column order keeps the
@@ -823,6 +945,16 @@ impl<S: Scalar> Tableau<S> {
             let Some((col, _)) = entering else {
                 return Ok(DualRun::RatioTestFailed);
             };
+            if O::ENABLED {
+                pending.push(SolveEvent::Pivot {
+                    phase: SolvePhase::DualRepair,
+                    kind: PivotKind::Dual,
+                    rule: if bland { PivotRule::Bland } else { PivotRule::Dantzig },
+                    entering: col,
+                    leaving: self.basis[row],
+                    degenerate: reduced[col].is_zero(),
+                });
+            }
             let entering_cost = reduced[col].clone();
             self.pivot(row, col);
             for (r, t) in reduced.iter_mut().zip(self.rows[row].iter()) {
@@ -835,11 +967,12 @@ impl<S: Scalar> Tableau<S> {
         }
     }
 
-    fn run(
+    fn run<O: SolveObserver>(
         mut self,
         problem: &LpProblem,
         options: &SimplexOptions,
         warm_started: bool,
+        obs: &mut O,
     ) -> Result<Solution<S>, SimplexError> {
         let mut iterations = 0usize;
 
@@ -861,13 +994,23 @@ impl<S: Scalar> Tableau<S> {
             self.kinds.contains(&ColKind::Artificial)
         };
         if needs_phase1 {
+            if O::ENABLED {
+                obs.on_event(SolveEvent::PhaseStarted { phase: SolvePhase::Phase1 });
+            }
             let phase1_costs: Vec<S> = self
                 .kinds
                 .iter()
                 .map(|k| if *k == ColKind::Artificial { S::one().neg() } else { S::zero() })
                 .collect();
             let allowed: Vec<bool> = vec![true; self.num_cols()];
-            self.optimize(&phase1_costs, &allowed, options, &mut iterations)?;
+            self.optimize(
+                &phase1_costs,
+                &allowed,
+                options,
+                &mut iterations,
+                SolvePhase::Phase1,
+                obs,
+            )?;
 
             // Feasible iff all artificials are zero, i.e. phase-1 objective is 0.
             let mut infeasibility = S::zero();
@@ -885,9 +1028,12 @@ impl<S: Scalar> Tableau<S> {
         self.drive_out_artificials();
 
         // ---- Phase 2: optimize the real objective, artificials locked out. ----
+        if O::ENABLED {
+            obs.on_event(SolveEvent::PhaseStarted { phase: SolvePhase::Phase2 });
+        }
         let allowed: Vec<bool> = self.kinds.iter().map(|k| *k != ColKind::Artificial).collect();
         let costs = self.costs.clone();
-        self.optimize(&costs, &allowed, options, &mut iterations)?;
+        self.optimize(&costs, &allowed, options, &mut iterations, SolvePhase::Phase2, obs)?;
 
         Ok(self.finish(problem, iterations, phase1_iterations, warm_started))
     }

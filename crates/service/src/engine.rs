@@ -61,6 +61,7 @@ use crate::metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
 use crate::obs::{Clock, QueryTrace, TraceSink, WallClock};
 use crate::persist;
 use crate::query::{solve_prepared, Answer, Query};
+use crate::recorder::{SolveFlightRecorder, SolveRecord};
 use crate::sync::atomic::{AtomicU64, Ordering};
 use crate::sync::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use crate::sync::{Condvar, Mutex};
@@ -76,6 +77,13 @@ const MAX_CACHED_BASES: usize = 4096;
 /// prefetch queue.  Small enough that scheduled speculative work starts
 /// promptly, large enough that a fully idle pool wakes only ~1k times/s.
 const IDLE_POLL: Duration = Duration::from_millis(1);
+
+/// Per-solve event-timeline capacity when solver-event recording is on
+/// ([`ServiceConfig::solver_events`]): events beyond this are folded into
+/// the health aggregate but not kept (the recording marks itself truncated).
+/// Big enough for any realistic pivot trail, small enough to bound a
+/// pathological solve's memory.
+const SOLVER_TIMELINE_CAPACITY: usize = 8192;
 
 /// One unit of speculative work: a query a forecaster predicts the drift
 /// will produce, pre-solved by idle workers (see
@@ -133,6 +141,19 @@ pub struct ServiceConfig {
     /// Completed traces buffered per worker before the oldest is dropped
     /// (only meaningful with `tracing`); drops are counted, never blocking.
     pub trace_capacity: usize,
+    /// Whether per-solve **solver event recording** is on (see
+    /// [`steady_lp::instrument`] and [`crate::recorder`]).  Off by default;
+    /// the always-on solver health histograms (pivot mix, eta fill,
+    /// refactorizations) do not depend on it.  When on, every solve records
+    /// its pivot timeline and the most anomalous solves (fell back, Bland
+    /// switch, unusually slow) keep theirs in the solver flight recorder;
+    /// traced queries additionally carry the solver's per-phase time
+    /// breakdown into the Perfetto export.
+    pub solver_events: bool,
+    /// Anomalous solve records kept by the flight recorder before the
+    /// oldest is evicted (only meaningful with `solver_events`); losses are
+    /// counted, never blocking.
+    pub solver_record_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -147,6 +168,8 @@ impl Default for ServiceConfig {
             preload_from: None,
             tracing: false,
             trace_capacity: 4096,
+            solver_events: false,
+            solver_record_capacity: 64,
         }
     }
 }
@@ -161,6 +184,12 @@ impl ServiceConfig {
     /// Turns on per-query lifecycle tracing (see [`crate::obs`]).
     pub fn traced(mut self) -> Self {
         self.tracing = true;
+        self
+    }
+
+    /// Turns on per-solve solver event recording (see [`crate::recorder`]).
+    pub fn with_solver_events(mut self) -> Self {
+        self.solver_events = true;
         self
     }
 }
@@ -553,6 +582,18 @@ struct StageMetrics {
     e2e_cold: Arc<Histogram>,
     /// End-to-end latency of queries coalesced onto another solve.
     e2e_coalesced: Arc<Histogram>,
+    /// Simplex pivots per successful solve (all phases; from the solver's
+    /// event-stream health aggregate, so it is always on).
+    solver_pivots: Arc<Histogram>,
+    /// Degenerate (zero-progress) pivots per successful solve.
+    solver_degenerate_pivots: Arc<Histogram>,
+    /// Pivots taken under Bland's anti-cycling rule per successful solve
+    /// (non-zero samples mean pricing degraded off Dantzig's rule).
+    solver_bland_pivots: Arc<Histogram>,
+    /// Peak eta-file length per successful solve (0 on the dense route).
+    solver_peak_eta: Arc<Histogram>,
+    /// Basis refactorizations per successful solve (0 on the dense route).
+    solver_refactorizations: Arc<Histogram>,
 }
 
 impl StageMetrics {
@@ -568,7 +609,23 @@ impl StageMetrics {
             e2e_warm: registry.histogram("e2e_solve_warm_nanos"),
             e2e_cold: registry.histogram("e2e_solve_cold_nanos"),
             e2e_coalesced: registry.histogram("e2e_coalesced_nanos"),
+            solver_pivots: registry.histogram("solver_pivots"),
+            solver_degenerate_pivots: registry.histogram("solver_degenerate_pivots"),
+            solver_bland_pivots: registry.histogram("solver_bland_pivots"),
+            solver_peak_eta: registry.histogram("solver_peak_eta"),
+            solver_refactorizations: registry.histogram("solver_refactorizations"),
         }
+    }
+
+    /// Folds one successful solve's health aggregate into the solver
+    /// histograms (always on: the aggregate rides every
+    /// [`steady_drift::TriageReport`]).
+    fn record_solver_health(&self, health: &steady_lp::SolveHealth) {
+        self.solver_pivots.record(health.pivots as u64);
+        self.solver_degenerate_pivots.record(health.degenerate_pivots as u64);
+        self.solver_bland_pivots.record(health.bland_pivots as u64);
+        self.solver_peak_eta.record(health.peak_eta as u64);
+        self.solver_refactorizations.record(health.refactorizations as u64);
     }
 }
 
@@ -598,6 +655,10 @@ struct Shared {
     clock: Arc<dyn Clock>,
     /// Per-worker rings of completed query traces (see [`crate::obs`]).
     sink: TraceSink,
+    /// The solver flight recorder: pivot timelines of the most anomalous
+    /// solves (see [`crate::recorder`]); disabled unless
+    /// [`ServiceConfig::solver_events`] is set.
+    recorder: SolveFlightRecorder,
     /// Always-on per-stage latency histograms.
     stage: StageMetrics,
     /// The registry the stage histograms live in, snapshotted by
@@ -711,6 +772,7 @@ impl Service {
             prefetch_idle: PrefetchIdle::new(),
             clock,
             sink: TraceSink::new(workers, config.trace_capacity, config.tracing),
+            recorder: SolveFlightRecorder::new(config.solver_record_capacity, config.solver_events),
             stage,
             registry,
             ledger: PrefetchLedger::new(),
@@ -979,6 +1041,8 @@ impl Service {
         snap.push_counter("insertions", stats.insertions);
         snap.push_counter("evictions", stats.evictions);
         snap.push_counter("traces_dropped", self.shared.sink.dropped());
+        snap.push_counter("solve_records", self.shared.recorder.pushed());
+        snap.push_counter("solve_records_dropped", self.shared.recorder.dropped());
         snap.push_gauge("cached_entries", stats.cached_entries as u64);
         snap.push_gauge("prefetch_backlog", self.prefetch_backlog() as u64);
         snap.push_gauge("epoch", self.epoch());
@@ -1000,6 +1064,29 @@ impl Service {
     /// Traces lost to ring contention or overwrite since start.
     pub fn traces_dropped(&self) -> u64 {
         self.shared.sink.dropped()
+    }
+
+    /// Whether per-solve solver event recording is on
+    /// ([`ServiceConfig::solver_events`]).
+    pub fn solver_events_enabled(&self) -> bool {
+        self.shared.recorder.enabled()
+    }
+
+    /// Drains the solver flight recorder, returning the anomalous solve
+    /// records (with their pivot timelines) kept since the last drain.
+    pub fn drain_solve_records(&self) -> Vec<SolveRecord> {
+        self.shared.recorder.drain()
+    }
+
+    /// Anomalous solve records offered to the flight recorder since start.
+    pub fn solve_records_pushed(&self) -> u64 {
+        self.shared.recorder.pushed()
+    }
+
+    /// Anomalous solve records lost to recorder contention or eviction
+    /// since start.
+    pub fn solve_records_dropped(&self) -> u64 {
+        self.shared.recorder.dropped()
     }
 
     /// The service's time source, for callers (e.g. the load generator)
@@ -1112,7 +1199,7 @@ fn prefetch_one(shared: &Shared, worker: u32, job: PrefetchJob) {
     }
     let structural = job.query.structural_fingerprint().0;
     let prior = shared.bases.lock().get(&structural).cloned();
-    let outcome = solve_prepared(&job.query, fingerprint, shared.build_schedules, prior.as_ref());
+    let (outcome, recording) = solve_recorded(shared, &job.query, fingerprint, prior.as_ref());
     match outcome {
         Ok((answer, report)) => {
             let solve_done = shared.clock.now_nanos();
@@ -1121,6 +1208,15 @@ fn prefetch_one(shared: &Shared, worker: u32, job: PrefetchJob) {
                 t.triage = report.triage.kind_name();
                 t.set_solve(report.trace());
             }
+            publish_solver_health(
+                shared,
+                &job.query,
+                key,
+                &report,
+                recording,
+                solve_done.saturating_sub(solve_begin),
+                trace.as_mut(),
+            );
             bump(&shared.prefetched);
             if let Some(basis) = report.basis {
                 publish_basis(shared, structural, basis);
@@ -1185,6 +1281,71 @@ fn finish_coalesced_trace(
         t.solver = worker;
         t.finish(outcome, end);
         shared.sink.push(worker as usize, t);
+    }
+}
+
+/// Runs [`solve_prepared`] with the observer the configuration asks for:
+/// a [`steady_lp::RecordingObserver`] capturing the pivot timeline when
+/// solver-event recording is on ([`ServiceConfig::solver_events`]), the
+/// statically-free [`steady_lp::NoopObserver`] otherwise.  The health
+/// aggregate inside the returned report is populated either way.
+fn solve_recorded(
+    shared: &Shared,
+    query: &Query,
+    fingerprint: Fingerprint,
+    prior: Option<&SolvedBasis>,
+) -> (
+    Result<(Answer, steady_drift::TriageReport), crate::ServiceError>,
+    Option<steady_lp::SolveRecording>,
+) {
+    if shared.recorder.enabled() {
+        let mut rec = steady_lp::RecordingObserver::new(SOLVER_TIMELINE_CAPACITY);
+        let outcome = solve_prepared(query, fingerprint, shared.build_schedules, prior, &mut rec);
+        (outcome, Some(rec.finish()))
+    } else {
+        let outcome = solve_prepared(
+            query,
+            fingerprint,
+            shared.build_schedules,
+            prior,
+            &mut steady_lp::NoopObserver,
+        );
+        (outcome, None)
+    }
+}
+
+/// Folds one successful solve into the always-on solver health histograms,
+/// stamps the trace's solver fields, and — when the solve was recorded and
+/// classified anomalous — keeps its timeline in the flight recorder.
+fn publish_solver_health(
+    shared: &Shared,
+    query: &Query,
+    key: u64,
+    report: &steady_drift::TriageReport,
+    recording: Option<steady_lp::SolveRecording>,
+    solve_nanos: u64,
+    trace: Option<&mut QueryTrace>,
+) {
+    shared.stage.record_solver_health(&report.health);
+    if let Some(t) = trace {
+        t.set_health(&report.health);
+        if let Some(rec) = &recording {
+            t.set_breakdown(&rec.breakdown());
+        }
+    }
+    if let Some(rec) = recording {
+        if let Some(reason) = shared.recorder.classify(solve_nanos, &report.health) {
+            shared.recorder.push(SolveRecord {
+                fingerprint: key,
+                collective: query.collective.kind_name(),
+                triage: report.triage.kind_name(),
+                reason,
+                solve_nanos,
+                health: report.health.clone(),
+                timeline: rec.events,
+                truncated: rec.truncated,
+            });
+        }
     }
 }
 
@@ -1438,59 +1599,64 @@ fn solve_one(shared: &Shared, worker: u32, solve: SolveJob) {
     // solve_prepared skips redoing both on the hot path.
     let mut solve_done = solve_begin;
     let mut solved_warm = None;
-    let outcome =
-        match solve_prepared(&job.query, fingerprint, shared.build_schedules, prior.as_ref()) {
-            Ok((answer, report)) => {
-                solve_done = shared.clock.now_nanos();
-                let nanos = solve_done.saturating_sub(solve_begin);
-                if let Some(t) = job.trace.as_mut() {
-                    t.solve_done_nanos = solve_done;
-                    t.triage = report.triage.kind_name();
-                    t.set_solve(report.trace());
-                }
-                if report.had_prior {
-                    bump(&shared.triaged);
-                }
-                match report.triage {
-                    Triage::InRange => {
-                        bump(&shared.in_range);
-                    }
-                    Triage::DualRepair { .. } => {
-                        bump(&shared.dual_repairs);
-                    }
-                    Triage::ResolveWarm { .. } | Triage::ResolveCold => {}
-                }
-                let warm = report.triage.reused_basis()
-                    || matches!(report.triage, Triage::ResolveWarm { .. });
-                solved_warm = Some(warm);
-                if warm {
-                    bump(&shared.warm_solves);
-                    bump_by(&shared.warm_pivots, report.iterations as u64);
-                    bump_by(&shared.warm_solve_nanos, nanos);
-                    shared.stage.solve_warm.record(nanos);
-                } else {
-                    bump(&shared.cold_solves);
-                    bump_by(&shared.cold_pivots, report.iterations as u64);
-                    bump_by(&shared.cold_solve_nanos, nanos);
-                    shared.stage.solve_cold.record(nanos);
-                }
-                if stale.is_some() {
-                    bump(&shared.revalidations);
-                }
-                if let Some(basis) = report.basis {
-                    publish_basis(shared, structural_key, basis);
-                }
-                let answer = Arc::new(answer);
-                shared.cache.insert_at(
-                    key,
-                    Arc::clone(&answer),
-                    shared.now(),
-                    Some(structural_key),
-                );
-                Ok(answer)
+    let (solve_outcome, recording) =
+        solve_recorded(shared, &job.query, fingerprint, prior.as_ref());
+    let outcome = match solve_outcome {
+        Ok((answer, report)) => {
+            solve_done = shared.clock.now_nanos();
+            let nanos = solve_done.saturating_sub(solve_begin);
+            if let Some(t) = job.trace.as_mut() {
+                t.solve_done_nanos = solve_done;
+                t.triage = report.triage.kind_name();
+                t.set_solve(report.trace());
             }
-            Err(e) => Err(e),
-        };
+            publish_solver_health(
+                shared,
+                &job.query,
+                key,
+                &report,
+                recording,
+                nanos,
+                job.trace.as_mut(),
+            );
+            if report.had_prior {
+                bump(&shared.triaged);
+            }
+            match report.triage {
+                Triage::InRange => {
+                    bump(&shared.in_range);
+                }
+                Triage::DualRepair { .. } => {
+                    bump(&shared.dual_repairs);
+                }
+                Triage::ResolveWarm { .. } | Triage::ResolveCold => {}
+            }
+            let warm =
+                report.triage.reused_basis() || matches!(report.triage, Triage::ResolveWarm { .. });
+            solved_warm = Some(warm);
+            if warm {
+                bump(&shared.warm_solves);
+                bump_by(&shared.warm_pivots, report.iterations as u64);
+                bump_by(&shared.warm_solve_nanos, nanos);
+                shared.stage.solve_warm.record(nanos);
+            } else {
+                bump(&shared.cold_solves);
+                bump_by(&shared.cold_pivots, report.iterations as u64);
+                bump_by(&shared.cold_solve_nanos, nanos);
+                shared.stage.solve_cold.record(nanos);
+            }
+            if stale.is_some() {
+                bump(&shared.revalidations);
+            }
+            if let Some(basis) = report.basis {
+                publish_basis(shared, structural_key, basis);
+            }
+            let answer = Arc::new(answer);
+            shared.cache.insert_at(key, Arc::clone(&answer), shared.now(), Some(structural_key));
+            Ok(answer)
+        }
+        Err(e) => Err(e),
+    };
 
     let waiters = shared.flight.complete(key);
     guard.disarm();
@@ -2083,13 +2249,77 @@ mod tests {
         let _ = service.query(figure2_query()).unwrap();
         let metrics = service.metrics();
         let json = metrics.to_json();
-        assert!(json.contains("\"schema_version\": 1"), "{json}");
+        assert!(json.contains("\"schema_version\": 2"), "{json}");
         assert!(json.contains("\"queries\": 1"), "{json}");
         assert!(json.contains("\"stage_queue_wait_nanos\""), "{json}");
         let prom = metrics.to_prometheus();
         assert!(prom.contains("steady_queries_total 1"), "{prom}");
         assert!(prom.contains("# TYPE steady_stage_queue_wait_nanos histogram"), "{prom}");
         assert!(prom.contains("steady_cached_entries 1"), "{prom}");
+    }
+
+    /// The solver health histograms are always on (no `solver_events`
+    /// needed) and reach both expositions: one solve means one sample in
+    /// each, and a cold figure-2 scatter spends at least one pivot.
+    #[test]
+    fn solver_histograms_reach_the_expositions() {
+        let service = Service::start(ServiceConfig { workers: 1, ..ServiceConfig::default() });
+        let _ = service.query(figure2_query()).unwrap();
+        let metrics = service.metrics();
+        for name in [
+            "solver_pivots",
+            "solver_degenerate_pivots",
+            "solver_bland_pivots",
+            "solver_peak_eta",
+            "solver_refactorizations",
+        ] {
+            let h = metrics.histogram(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(h.count(), 1, "{name} must sample once per solve");
+        }
+        assert!(metrics.histogram("solver_pivots").unwrap().sum() > 0);
+        // The dense route (figure 2 is small) never refactorizes.
+        assert_eq!(metrics.histogram("solver_refactorizations").unwrap().sum(), 0);
+        let json = metrics.to_json();
+        assert!(json.contains("\"solver_pivots\""), "{json}");
+        let prom = metrics.to_prometheus();
+        assert!(prom.contains("# TYPE steady_solver_pivots histogram"), "{prom}");
+        assert!(prom.contains("steady_solver_pivots_count 1"), "{prom}");
+        assert!(prom.contains("steady_solver_bland_pivots_count 1"), "{prom}");
+    }
+
+    /// With `solver_events` on: recording never changes answers, healthy
+    /// traffic leaves the flight recorder conservation-clean, and traced
+    /// queries carry a solver time breakdown that nests inside the measured
+    /// solve span.
+    #[test]
+    fn solver_events_do_not_change_answers_and_recorder_conserves() {
+        let baseline = Service::start(ServiceConfig { workers: 1, ..ServiceConfig::default() });
+        let plain = baseline.query(figure2_query()).unwrap();
+
+        let service = Service::start(
+            ServiceConfig { workers: 1, ..ServiceConfig::default() }.with_solver_events().traced(),
+        );
+        assert!(service.solver_events_enabled());
+        let recorded = service.query(figure2_query()).unwrap();
+        assert_eq!(recorded.answer.throughput, plain.answer.throughput);
+
+        // Healthy, fast solves produce no anomalies; conservation holds.
+        let records = service.drain_solve_records();
+        assert_eq!(
+            service.solve_records_pushed(),
+            records.len() as u64 + service.solve_records_dropped()
+        );
+        // The traced query carried the solver breakdown: phase spans sum to
+        // no more than the measured solve span.
+        let traces = service.drain_traces();
+        assert_eq!(traces.len(), 1);
+        let t = &traces[0];
+        let phase_total = t.solve_phase1_nanos + t.solve_dual_nanos + t.solve_phase2_nanos;
+        assert!(t.solve_phase2_nanos > 0, "a cold solve records a phase-2 span");
+        assert!(
+            phase_total <= t.solve_done_nanos - t.solve_start_nanos,
+            "solver breakdown must nest inside the solve span"
+        );
     }
 
     #[test]

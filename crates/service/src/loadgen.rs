@@ -1258,7 +1258,7 @@ mod tests {
         };
         let json = report.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
-        assert!(json.contains("\"schema_version\":1"));
+        assert!(json.contains("\"schema_version\":2"));
         assert!(json.contains("\"queries_per_second\":20.0"));
         assert!(json.contains("\"hit_ratio\":0.7000"));
         assert!(!report.render().is_empty());

@@ -375,8 +375,11 @@ impl MetricsRegistry {
 
 /// Schema version stamped into every JSON document this crate emits, so
 /// future field additions cannot silently break a stored-baseline
-/// comparison.
-pub const METRICS_SCHEMA_VERSION: u64 = 1;
+/// comparison.  Version 2 added the per-solver histograms
+/// (`solver_pivots`, `solver_degenerate_pivots`, `solver_bland_pivots`,
+/// `solver_peak_eta`, `solver_refactorizations`) and the solver-event
+/// overhead fields of `steady obs-overhead`.
+pub const METRICS_SCHEMA_VERSION: u64 = 2;
 
 /// An owned snapshot of a [`MetricsRegistry`] (plus any caller-appended
 /// values), renderable as JSON or Prometheus text exposition.
@@ -628,7 +631,7 @@ mod tests {
         assert_eq!(snap.histogram("stage_solve_warm_nanos").unwrap().count(), 3);
 
         let json = snap.to_json();
-        assert!(json.contains("\"schema_version\": 1"), "{json}");
+        assert!(json.contains("\"schema_version\": 2"), "{json}");
         assert!(json.contains("\"queries\": 43"), "{json}");
         assert!(json.contains("\"stage_solve_warm_nanos\""), "{json}");
 

@@ -140,6 +140,22 @@ pub struct QueryTrace {
     pub phase1_pivots: u32,
     /// Phase-2 (optimization) simplex pivots of the answering solve.
     pub phase2_pivots: u32,
+    /// Degenerate pivots of the answering solve (zero-progress steps).
+    pub degenerate_pivots: u32,
+    /// Pivots taken under Bland's anti-cycling rule (non-zero means the
+    /// solve degraded off Dantzig pricing).
+    pub bland_pivots: u32,
+    /// Time the solver spent in phase 1, nanoseconds (recorded solves only —
+    /// zero when solver-event recording is off).
+    pub solve_phase1_nanos: u64,
+    /// Time the solver spent in phase 2, nanoseconds (recorded solves only).
+    pub solve_phase2_nanos: u64,
+    /// Time the solver spent in dual-simplex repair, nanoseconds (recorded
+    /// solves only).
+    pub solve_dual_nanos: u64,
+    /// Time the solver spent refactorizing the basis, nanoseconds (recorded
+    /// solves only; *included* in the surrounding phase spans).
+    pub solve_refactor_nanos: u64,
     /// `true` when the admission gate queued the solve instead of running
     /// it inline (the `gate` span is then a real wait).
     pub gate_queued: bool,
@@ -165,6 +181,12 @@ impl QueryTrace {
             triage: "",
             phase1_pivots: 0,
             phase2_pivots: 0,
+            degenerate_pivots: 0,
+            bland_pivots: 0,
+            solve_phase1_nanos: 0,
+            solve_phase2_nanos: 0,
+            solve_dual_nanos: 0,
+            solve_refactor_nanos: 0,
             gate_queued: false,
         }
     }
@@ -173,6 +195,23 @@ impl QueryTrace {
     pub fn set_solve(&mut self, trace: steady_lp::SolveTrace) {
         self.phase1_pivots = trace.phase1_pivots.min(u32::MAX as usize) as u32;
         self.phase2_pivots = trace.phase2_pivots.min(u32::MAX as usize) as u32;
+    }
+
+    /// Records the answering solve's health aggregate (pivot-mix counters;
+    /// see [`steady_lp::SolveHealth`]).
+    pub fn set_health(&mut self, health: &steady_lp::SolveHealth) {
+        self.degenerate_pivots = health.degenerate_pivots.min(u32::MAX as usize) as u32;
+        self.bland_pivots = health.bland_pivots.min(u32::MAX as usize) as u32;
+    }
+
+    /// Records the answering solve's per-phase time breakdown (from a
+    /// [`steady_lp::SolveRecording`]); rendered as solver sub-spans nested
+    /// under the solve span by [`chrome_trace_json`].
+    pub fn set_breakdown(&mut self, breakdown: &steady_lp::PhaseBreakdown) {
+        self.solve_phase1_nanos = breakdown.phase1_nanos;
+        self.solve_phase2_nanos = breakdown.phase2_nanos;
+        self.solve_dual_nanos = breakdown.dual_nanos;
+        self.solve_refactor_nanos = breakdown.refactor_nanos;
     }
 
     /// Seals the trace: stamps the outcome and end time, then runs a
@@ -396,10 +435,37 @@ fn push_thread_name(out: &mut String, pid: u32, tid: u32, name: &str) {
     ));
 }
 
+/// Emits the solver's per-phase sub-spans nested inside a solve span, on the
+/// **same tid** as the owning worker so Perfetto renders them as child
+/// slices of the solve.  The breakdown only records totals, so the phases
+/// are laid out in their canonical order (phase 1 → dual repair → phase 2)
+/// from the solve's start and clamped to its end; refactorization time is
+/// included in the phases and reported as a solve-span arg instead.
+fn push_solver_spans(out: &mut String, t: &QueryTrace, tid: u32, start: u64, end: u64) {
+    let mut cursor = start;
+    for (name, nanos) in [
+        ("solver.phase1", t.solve_phase1_nanos),
+        ("solver.dual-repair", t.solve_dual_nanos),
+        ("solver.phase2", t.solve_phase2_nanos),
+    ] {
+        if nanos == 0 {
+            continue;
+        }
+        let sub_end = cursor.saturating_add(nanos).min(end);
+        if sub_end > cursor {
+            push_event(out, name, SERVICE_PID, tid, cursor, sub_end, &format!("\"qid\": {}", t.id));
+        }
+        cursor = sub_end;
+    }
+}
+
 /// Renders completed traces (and optional client spans) as Chrome
 /// trace-event JSON — the format Perfetto and `chrome://tracing` load
 /// directly.  One track per service worker (pid 1), one synthetic track for
 /// gate-queue waits, and one track per load-generator client (pid 2).
+/// Solves recorded with solver events additionally carry nested
+/// `solver.phase1` / `solver.dual-repair` / `solver.phase2` child slices on
+/// the owning worker's track (see `push_solver_spans`).
 pub fn chrome_trace_json(traces: &[QueryTrace], clients: &[ClientSpan]) -> String {
     let mut out = String::from("{\n\"traceEvents\": [");
 
@@ -409,9 +475,10 @@ pub fn chrome_trace_json(traces: &[QueryTrace], clients: &[ClientSpan]) -> Strin
     for &w in &workers {
         push_thread_name(&mut out, SERVICE_PID, w, &format!("worker-{w}"));
     }
-    if traces.iter().any(|t| t.gate_queued) {
-        push_thread_name(&mut out, SERVICE_PID, GATE_TID, "gate-queue");
-    }
+    // Always named, even when no trace happened to queue at the gate: a
+    // consistent track set lets Perfetto diffs and scripted consumers rely
+    // on the metadata regardless of what this particular drain captured.
+    push_thread_name(&mut out, SERVICE_PID, GATE_TID, "gate-queue");
     let mut client_ids: Vec<u32> = clients.iter().map(|c| c.client).collect();
     client_ids.sort_unstable();
     client_ids.dedup();
@@ -435,13 +502,23 @@ pub fn chrome_trace_json(traces: &[QueryTrace], clients: &[ClientSpan]) -> Strin
             let args = match stage {
                 "solve" => format!(
                     "\"qid\": {}, \"triage\": \"{}\", \"phase1_pivots\": {}, \
-                     \"phase2_pivots\": {}",
-                    t.id, t.triage, t.phase1_pivots, t.phase2_pivots
+                     \"phase2_pivots\": {}, \"degenerate_pivots\": {}, \
+                     \"bland_pivots\": {}, \"refactor_nanos\": {}",
+                    t.id,
+                    t.triage,
+                    t.phase1_pivots,
+                    t.phase2_pivots,
+                    t.degenerate_pivots,
+                    t.bland_pivots,
+                    t.solve_refactor_nanos,
                 ),
                 "publish" => format!("\"qid\": {}, \"outcome\": \"{}\"", t.id, t.outcome),
                 _ => format!("\"qid\": {}", t.id),
             };
             push_event(&mut out, stage, SERVICE_PID, tid, start, end, &args);
+            if stage == "solve" {
+                push_solver_spans(&mut out, t, tid, start, end);
+            }
         }
     }
 
@@ -596,6 +673,67 @@ mod tests {
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();
         assert_eq!(opens, closes, "{json}");
+    }
+
+    #[test]
+    fn gate_queue_track_is_named_even_without_gated_traces() {
+        let mut t = QueryTrace::begin(1, 100);
+        t.admitted_nanos = 110;
+        t.finish("cache", 120);
+        assert!(!t.gate_queued);
+        let json = chrome_trace_json(&[t], &[]);
+        assert!(json.contains("\"gate-queue\""), "{json}");
+        let empty = chrome_trace_json(&[], &[]);
+        assert!(empty.contains("\"gate-queue\""), "{empty}");
+    }
+
+    #[test]
+    fn solver_sub_spans_nest_inside_the_solve_span() {
+        let mut t = QueryTrace::begin(9, 0);
+        t.worker = 2;
+        t.solver = 2;
+        t.admitted_nanos = 100;
+        t.lookup_done_nanos = 200;
+        t.flight_done_nanos = 300;
+        t.solve_start_nanos = 1_000;
+        t.solve_done_nanos = 9_000;
+        t.triage = "resolve-cold";
+        t.solve_phase1_nanos = 2_000;
+        t.solve_dual_nanos = 0;
+        t.solve_phase2_nanos = 3_000;
+        t.solve_refactor_nanos = 500;
+        t.degenerate_pivots = 4;
+        t.bland_pivots = 1;
+        t.finish("solve-cold", 9_500);
+        let json = chrome_trace_json(&[t], &[]);
+        // Child slices sit on the solver's tid, inside [1000, 9000).
+        assert!(json.contains("\"name\": \"solver.phase1\""), "{json}");
+        assert!(json.contains("\"name\": \"solver.phase2\""), "{json}");
+        assert!(!json.contains("solver.dual-repair"), "{json}");
+        // phase1 starts with the solve; phase2 follows it.
+        assert!(json.contains("\"ts\": 1.000, \"dur\": 2.000"), "{json}");
+        assert!(json.contains("\"ts\": 3.000, \"dur\": 3.000"), "{json}");
+        // Health counters and refactor time ride on the solve span's args.
+        assert!(json.contains("\"degenerate_pivots\": 4"), "{json}");
+        assert!(json.contains("\"bland_pivots\": 1"), "{json}");
+        assert!(json.contains("\"refactor_nanos\": 500"), "{json}");
+    }
+
+    #[test]
+    fn solver_sub_spans_clamp_to_the_solve_span() {
+        let mut t = QueryTrace::begin(10, 0);
+        t.solve_start_nanos = 1_000;
+        t.solve_done_nanos = 2_000;
+        // A breakdown longer than the measured span (clock skew between the
+        // engine's stamps and the recorder's) must not escape the parent.
+        t.solve_phase1_nanos = 5_000;
+        t.solve_phase2_nanos = 5_000;
+        t.finish("solve-cold", 2_000);
+        let json = chrome_trace_json(&[t], &[]);
+        assert!(json.contains("\"name\": \"solver.phase1\""), "{json}");
+        // phase1 is clamped to the solve end; phase2 collapses to nothing.
+        assert!(json.contains("\"ts\": 1.000, \"dur\": 1.000"), "{json}");
+        assert!(!json.contains("solver.phase2"), "{json}");
     }
 
     #[test]

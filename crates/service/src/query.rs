@@ -7,7 +7,7 @@ use steady_core::problem::SolvedBasis;
 use steady_core::reduce::ReduceProblem;
 use steady_core::scatter::ScatterProblem;
 use steady_core::schedule::PeriodicSchedule;
-use steady_drift::{solve_steady_triaged, TriageReport};
+use steady_drift::{solve_steady_triaged_observed, TriageReport};
 use steady_platform::{NodeId, Platform};
 use steady_rational::Ratio;
 
@@ -173,7 +173,8 @@ fn err<E: std::fmt::Display>(what: &'static str) -> impl Fn(E) -> ServiceError {
 /// schedule.
 pub fn solve_query(query: &Query, build_schedule: bool) -> Result<Answer, ServiceError> {
     query.validate()?;
-    solve_prepared(query, query.fingerprint(), build_schedule, None).map(|(answer, _)| answer)
+    solve_prepared(query, query.fingerprint(), build_schedule, None, &mut steady_lp::NoopObserver)
+        .map(|(answer, _)| answer)
 }
 
 /// [`solve_query`] for a caller that has already validated the query and
@@ -185,11 +186,17 @@ pub fn solve_query(query: &Query, build_schedule: bool) -> Result<Answer, Servic
 /// simplex, anything else resolves warm or cold.  The returned
 /// [`TriageReport`] carries the rung taken, the pivot count and the final
 /// basis for the engine's per-class basis cache.
-pub(crate) fn solve_prepared(
+///
+/// `obs` taps the underlying solver's event stream (phase transitions,
+/// pivots, refactorizations — see [`steady_lp::instrument`]); the engine
+/// passes a [`steady_lp::RecordingObserver`] when solver-event recording is
+/// configured and the zero-cost [`steady_lp::NoopObserver`] otherwise.
+pub(crate) fn solve_prepared<O: steady_lp::SolveObserver>(
     query: &Query,
     fingerprint: Fingerprint,
     build_schedule: bool,
     warm: Option<&SolvedBasis>,
+    obs: &mut O,
 ) -> Result<(Answer, TriageReport), ServiceError> {
     let platform = query.platform.clone();
     // Each collective has its own problem/solution types but the exact same
@@ -199,7 +206,7 @@ pub(crate) fn solve_prepared(
     macro_rules! answer {
         ($kind:literal, $problem:expr) => {{
             let problem = $problem.map_err(err(concat!("invalid ", $kind, " query")))?;
-            let (solution, report) = solve_steady_triaged(&problem, warm)
+            let (solution, report) = solve_steady_triaged_observed(&problem, warm, obs)
                 .map_err(err(concat!($kind, " solve failed")))?;
             let schedule = build_schedule
                 .then(|| solution.build_schedule(&problem))

@@ -1,0 +1,257 @@
+//! The solver flight recorder: a bounded ring of the most anomalous solves
+//! with their full pivot timelines.
+//!
+//! Per-solve event recording ([`steady_lp::RecordingObserver`]) is cheap but
+//! not free, and keeping *every* timeline would make the observability layer
+//! scale with traffic.  The flight recorder keeps only what a post-incident
+//! investigation actually reads: solves that **fell back** off the certified
+//! fast path, solves that **degraded to Bland's rule**, and solves that were
+//! **anomalously slow** against the running average.  Everything else is
+//! summarized into the always-on health histograms and forgotten.
+//!
+//! The ring has the exact never-block contract of [`crate::obs::TraceRing`]:
+//! the hot-path [`SolveFlightRecorder::push`] `try_lock`s the buffer and
+//! drops (counting) the record on contention, evicts (counting) the oldest
+//! when full, and the conservation identity
+//! `pushed == drained + buffered + dropped` always holds — model-checked by
+//! the `solve_recorder_loses_nothing_uncounted` loom suite.  The buffer lock
+//! is rank **55** in the [`crate::sync`] lock order: a strict leaf below
+//! even the trace rings, acquired with no other lock held.
+
+use std::collections::VecDeque;
+
+use steady_lp::{SolveHealth, TimedEvent};
+
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::Mutex;
+
+/// How many samples the running solve-time average must have seen before the
+/// "anomalously slow" classifier fires — early solves (cold caches, first
+/// touches) would otherwise all look slow against a tiny baseline.
+const SLOW_MIN_SAMPLES: u64 = 16;
+
+/// A solve is "anomalously slow" when it exceeds this multiple of the
+/// running average solve time.
+const SLOW_FACTOR: u64 = 4;
+
+/// One recorded anomalous solve: its identity, cost, health aggregate and
+/// full pivot timeline.
+#[derive(Debug, Clone)]
+pub struct SolveRecord {
+    /// Canonical fingerprint of the query the solve answered.
+    pub fingerprint: u64,
+    /// Collective kind (`"scatter"`, ...).
+    pub collective: &'static str,
+    /// Triage rung of the solve (`"in-range"`, ..., `"resolve-cold"`).
+    pub triage: &'static str,
+    /// Why the recorder kept this solve: `"fell-back"`, `"bland"` or
+    /// `"slow"` (the first matching reason, in that severity order).
+    pub reason: &'static str,
+    /// Wall-clock solve duration in [`crate::obs::Clock`] nanoseconds.
+    pub solve_nanos: u64,
+    /// The solve's health aggregate (pivot mix, eta fill, fallback cause).
+    pub health: SolveHealth,
+    /// The solve's timestamped event timeline (possibly truncated — see
+    /// [`steady_lp::RecordingObserver`]).
+    pub timeline: Vec<TimedEvent>,
+    /// Events the timeline could not keep (recording capacity reached);
+    /// they are still counted into `health`.
+    pub truncated: usize,
+}
+
+/// A bounded, never-blocking ring of anomalous [`SolveRecord`]s.
+///
+/// See the module docs for the retention policy and the conservation
+/// contract.  Pushers are expected to call [`SolveFlightRecorder::classify`]
+/// first — it both maintains the running solve-time average (every solve,
+/// anomalous or not) and decides whether a record is worth keeping.
+#[derive(Debug)]
+pub struct SolveFlightRecorder {
+    /// Rank 55 in the lock order: the bottom-most leaf, below trace rings.
+    recorder: Mutex<VecDeque<SolveRecord>>,
+    capacity: usize,
+    enabled: bool,
+    pushed: AtomicU64,
+    dropped: AtomicU64,
+    /// Running sum of every classified solve's nanoseconds (not just kept
+    /// ones), paired with `count` for the "slow" baseline.
+    total_nanos: AtomicU64,
+    count: AtomicU64,
+}
+
+impl SolveFlightRecorder {
+    /// A recorder holding at most `capacity` (≥ 1) records.  When `enabled`
+    /// is false, [`SolveFlightRecorder::classify`] returns `None` for every
+    /// solve and the whole recording path costs one branch per solve.
+    pub fn new(capacity: usize, enabled: bool) -> SolveFlightRecorder {
+        let capacity = capacity.max(1);
+        SolveFlightRecorder {
+            recorder: Mutex::new(VecDeque::with_capacity(if enabled { capacity } else { 0 })),
+            capacity,
+            enabled,
+            pushed: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            total_nanos: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether solver event recording is on.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Folds one solve into the running average and decides whether it is
+    /// anomalous: `Some("fell-back")` when the certified pipeline fell back,
+    /// `Some("bland")` when pivoting degraded to Bland's rule,
+    /// `Some("slow")` when the solve exceeded `SLOW_FACTOR`× the running
+    /// average (after `SLOW_MIN_SAMPLES` solves), else `None`.
+    pub fn classify(&self, solve_nanos: u64, health: &SolveHealth) -> Option<&'static str> {
+        if !self.enabled {
+            return None;
+        }
+        // relaxed: the slow-solve baseline is a heuristic over two monotone
+        // tallies; a momentarily torn mean misclassifies at most one record
+        // and affects no correctness property.
+        let seen = self.count.fetch_add(1, Ordering::Relaxed);
+        let prior_total = self.total_nanos.fetch_add(solve_nanos, Ordering::Relaxed);
+        if health.fell_back() {
+            return Some("fell-back");
+        }
+        if health.bland_switched() {
+            return Some("bland");
+        }
+        if seen >= SLOW_MIN_SAMPLES && solve_nanos > SLOW_FACTOR * (prior_total / seen.max(1)) {
+            return Some("slow");
+        }
+        None
+    }
+
+    /// Offers a record.  Never blocks: on lock contention the record is
+    /// dropped; when full the **oldest** record is evicted.  Either loss
+    /// increments the drop counter, so
+    /// `pushed == drained + buffered + dropped` always holds.
+    pub fn push(&self, record: SolveRecord) {
+        // relaxed: monotone conservation tally; read only by collectors that
+        // tolerate a momentarily stale count.
+        self.pushed.fetch_add(1, Ordering::Relaxed);
+        match self.recorder.try_lock() {
+            Some(mut recorder) => {
+                if recorder.len() == self.capacity {
+                    recorder.pop_front();
+                    // relaxed: see above.
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                recorder.push_back(record);
+            }
+            None => {
+                // relaxed: see above.
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Removes and returns every buffered record (collector side; blocks on
+    /// the buffer lock, which pushers only ever `try_lock`).
+    pub fn drain(&self) -> Vec<SolveRecord> {
+        let mut recorder = self.recorder.lock();
+        recorder.drain(..).collect()
+    }
+
+    /// Records offered since construction.
+    pub fn pushed(&self) -> u64 {
+        // relaxed: monotone tally, point-in-time read.
+        self.pushed.load(Ordering::Relaxed)
+    }
+
+    /// Records lost to contention or eviction since construction.
+    pub fn dropped(&self) -> u64 {
+        // relaxed: monotone tally, point-in-time read.
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Buffered records right now.
+    pub fn len(&self) -> usize {
+        self.recorder.lock().len()
+    }
+
+    /// `true` when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(fingerprint: u64, reason: &'static str, solve_nanos: u64) -> SolveRecord {
+        SolveRecord {
+            fingerprint,
+            collective: "scatter",
+            triage: "resolve-cold",
+            reason,
+            solve_nanos,
+            health: SolveHealth::default(),
+            timeline: Vec::new(),
+            truncated: 0,
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_classifies_nothing() {
+        let rec = SolveFlightRecorder::new(4, false);
+        assert!(!rec.enabled());
+        let bad = SolveHealth {
+            fallback: Some(steady_lp::FallbackCause::FloatFailed),
+            ..SolveHealth::default()
+        };
+        assert_eq!(rec.classify(1_000_000, &bad), None);
+    }
+
+    #[test]
+    fn fallback_and_bland_outrank_slow() {
+        let rec = SolveFlightRecorder::new(4, true);
+        let mut health = SolveHealth {
+            fallback: Some(steady_lp::FallbackCause::FloatFailed),
+            pivots: 10,
+            bland_pivots: 3,
+            ..SolveHealth::default()
+        };
+        assert_eq!(rec.classify(10, &health), Some("fell-back"));
+        health.fallback = None;
+        assert_eq!(rec.classify(10, &health), Some("bland"));
+        health.bland_pivots = 0;
+        assert_eq!(rec.classify(10, &health), None);
+    }
+
+    #[test]
+    fn slow_classifier_needs_a_baseline_then_fires() {
+        let rec = SolveFlightRecorder::new(4, true);
+        let health = SolveHealth::default();
+        // The very same outlier duration is not "slow" until the running
+        // average has enough samples behind it.
+        assert_eq!(rec.classify(1_000_000, &health), None);
+        for _ in 0..SLOW_MIN_SAMPLES {
+            assert_eq!(rec.classify(100, &health), None);
+        }
+        assert_eq!(rec.classify(1_000_000, &health), Some("slow"));
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_conserves() {
+        let rec = SolveFlightRecorder::new(2, true);
+        for id in 0..5 {
+            rec.push(record(id, "slow", 10));
+        }
+        assert_eq!(rec.pushed(), 5);
+        assert_eq!(rec.dropped(), 3);
+        let drained = rec.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].fingerprint, 3, "oldest must be evicted first");
+        assert_eq!(drained[1].fingerprint, 4);
+        assert!(rec.is_empty());
+        // Conservation: pushed == drained + buffered + dropped.
+        assert_eq!(rec.pushed(), drained.len() as u64 + rec.len() as u64 + rec.dropped());
+    }
+}

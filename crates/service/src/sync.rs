@@ -26,13 +26,15 @@
 //! | 30   | cache `shard` locks (and any `cache.` method call)            |
 //! | 40   | cache `seeded` class set (and `mark_class_seeded`)            |
 //! | 50   | observability leaves: per-worker trace `ring` buffers         |
+//! | 55   | the solver flight `recorder` buffer (anomalous-solve ring)    |
 //!
 //! In particular: the single-flight admission lock may call into the cache
 //! (10 → 30), the cache may consult the seeded set while holding a shard
 //! (30 → 40), `schedule_prefetch` bumps the idle gauge while holding the
-//! queue (20 → 25), and **never** the reverse.  Trace rings are strict
-//! leaves: the hot-path push is a `try_lock` that *drops* the record on
-//! contention, so nothing ever blocks on a ring while holding another lock.
+//! queue (20 → 25), and **never** the reverse.  Trace rings and the solver
+//! flight recorder are strict leaves: the hot-path push is a `try_lock`
+//! that *drops* the record on contention, so nothing ever blocks on either
+//! while holding another lock.
 
 #[cfg(not(steady_loom))]
 pub use parking_lot::{Condvar, Mutex, RwLock};
