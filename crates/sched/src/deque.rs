@@ -1,0 +1,90 @@
+//! Per-worker work-stealing deques.
+//!
+//! The workspace forbids `unsafe` throughout, so this is not a lock-free
+//! Chase–Lev deque: each worker's queue is a mutex-guarded `VecDeque`
+//! (rank 12 in the lock hierarchy, acquired only with nothing else held).
+//! Contention is still low in practice — owners touch only their own deque
+//! on the hot path, and thieves hit a sibling's lock only when the shared
+//! lane injector is empty.
+//!
+//! Ends are chosen for latency fairness rather than classic LIFO-stealing:
+//! both the owner ([`WorkDeque::pop`]) and thieves ([`WorkDeque::steal`])
+//! take the *oldest* task, so a deadline-carrying demand task stranded in a
+//! busy worker's deque is the first thing a stealer rescues.
+
+use std::collections::VecDeque;
+
+use crate::sync::Mutex;
+
+/// A mutex-backed double-ended work queue owned by one worker and stealable
+/// by its siblings.
+pub struct WorkDeque<T> {
+    deque: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for WorkDeque<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> WorkDeque<T> {
+    /// Creates an empty deque.
+    pub fn new() -> Self {
+        WorkDeque { deque: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Appends one task (owner side).
+    pub fn push(&self, task: T) {
+        let mut deque = self.deque.lock();
+        deque.push_back(task);
+    }
+
+    /// Appends a batch of tasks in order (owner side).
+    pub fn push_many(&self, tasks: Vec<T>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let mut deque = self.deque.lock();
+        deque.extend(tasks);
+    }
+
+    /// Takes the oldest task (owner side).
+    pub fn pop(&self) -> Option<T> {
+        let mut deque = self.deque.lock();
+        deque.pop_front()
+    }
+
+    /// Takes the oldest task from a sibling's deque (thief side).
+    pub fn steal(&self) -> Option<T> {
+        let mut deque = self.deque.lock();
+        deque.pop_front()
+    }
+
+    /// Tasks currently queued.
+    pub fn len(&self) -> usize {
+        self.deque.lock().len()
+    }
+
+    /// Whether the deque is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(all(test, not(steady_loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_for_both_owner_and_thief() {
+        let deque = WorkDeque::new();
+        deque.push_many(vec![1, 2, 3]);
+        assert_eq!(deque.steal(), Some(1));
+        assert_eq!(deque.pop(), Some(2));
+        assert_eq!(deque.len(), 1);
+        assert_eq!(deque.pop(), Some(3));
+        assert!(deque.is_empty());
+        assert_eq!(deque.steal(), None);
+    }
+}

@@ -1,0 +1,256 @@
+//! `steady-sched`: pluggable scheduler subsystem for the serving core.
+//!
+//! The engine hands this crate an opaque work-item type and a set of
+//! [`WorkerHooks`]; the crate decides *which thread runs which task when*.
+//! Work is admitted through three strict [priority lanes](lane::Lane)
+//! (demand > revalidation > prefetch) with per-task deadlines and
+//! cooperative cancellation, and drained by one of two [`Scheduler`]
+//! implementations:
+//!
+//! * [`ThreadPerWorker`] — the classic pool: each worker blocks on the
+//!   shared lane injector and runs one task at a time.  This is the
+//!   engine's historical behaviour, extracted behind the trait.
+//! * [`WorkStealing`] — an executor-backed pool: each task is spawned on
+//!   the offline `async-executor` shim, workers keep per-worker deques of
+//!   demand batches and woken runnables, and idle workers steal the oldest
+//!   task from a busy sibling before sleeping.
+//!
+//! Both implementations pull from the same [`lane::LaneQueues`], so lane
+//! priority, deadlines, cancellation and the background [`lane::IdleLatch`]
+//! behave identically; only the dispatch strategy differs.  All
+//! synchronization goes through [`sync`], which swaps to loom-modeled
+//! primitives under `--cfg steady_loom` for the model-check suite.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod deque;
+pub mod lane;
+pub mod sync;
+mod thread_per_worker;
+mod work_stealing;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+pub use lane::{CancelToken, Lane, LaneCounters, LaneTask, Popped, LANES};
+pub use thread_per_worker::ThreadPerWorker;
+pub use work_stealing::WorkStealing;
+
+/// How long an idle worker parks on the lane condvar before re-polling.
+/// Bounds both shutdown latency and steal latency.
+pub const IDLE_POLL: Duration = Duration::from_millis(1);
+
+/// Source of monotonic clock readings (nanoseconds), supplied by the
+/// engine so deadlines and wait histograms share its (possibly manual)
+/// clock.
+pub type NowFn = Arc<dyn Fn() -> u64 + Send + Sync>;
+
+/// What the scheduler calls back into when a task reaches a worker.  The
+/// engine implements this once; both pools drive it.
+///
+/// `run` executes on a scheduler worker thread and may block (a cold solve
+/// does).  Pools contain panics at this boundary, so a panicking task never
+/// takes down a worker — but hook implementations are still expected to do
+/// their own `catch_unwind` bookkeeping where replies must be delivered.
+pub trait WorkerHooks<T>: Send + Sync + 'static {
+    /// Run a live task on worker `worker`.
+    fn run(&self, worker: usize, task: LaneTask<T>);
+
+    /// A task's deadline passed while it was queued; it will never run.
+    /// Default: drop it.
+    fn timed_out(&self, worker: usize, task: LaneTask<T>) {
+        let _ = (worker, task);
+    }
+
+    /// A task was cancelled while it was queued; it will never run.
+    /// Default: drop it.
+    fn cancelled(&self, worker: usize, task: LaneTask<T>) {
+        let _ = (worker, task);
+    }
+}
+
+/// A scheduling strategy: turns worker count + hooks + clock into a running
+/// pool.
+pub trait Scheduler<T: Send + 'static>: Send + Sync {
+    /// Stable name (matches [`SchedulerKind::name`]).
+    fn name(&self) -> &'static str;
+
+    /// Spawns the pool's worker threads and returns its control handle.
+    fn start(
+        &self,
+        workers: usize,
+        hooks: Arc<dyn WorkerHooks<T>>,
+        now: NowFn,
+    ) -> Box<dyn Running<T>>;
+}
+
+/// Control handle for a started pool.
+pub trait Running<T: Send + 'static>: Send + Sync {
+    /// Enqueues a task on its lane.  Returns `false` (dropping the task)
+    /// once the pool is shut down.
+    fn submit(&self, task: LaneTask<T>) -> bool;
+
+    /// Snapshot of per-lane depths and event counters.
+    fn counters(&self) -> LaneCounters;
+
+    /// Cancels every task still queued on `lane`; returns how many.
+    fn cancel_lane(&self, lane: Lane) -> usize;
+
+    /// Background (revalidation + prefetch) tasks scheduled but not yet
+    /// finished, including any currently running.
+    fn backlog(&self) -> usize;
+
+    /// Blocks until all background tasks finish or `timeout` elapses;
+    /// returns whether the pool went background-idle.
+    fn await_background_idle(&self, timeout: Duration) -> bool;
+
+    /// Closes the lanes (dropping queued background work), drains queued
+    /// demand work, and joins the worker threads.  Idempotent.
+    fn shutdown(&self);
+}
+
+/// Which [`Scheduler`] implementation to run — the engine's configuration
+/// surface (`ServiceConfig::scheduler`, `--scheduler` on the CLIs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SchedulerKind {
+    /// The classic blocking pool (default; historical engine behaviour).
+    #[default]
+    ThreadPerWorker,
+    /// The executor-backed work-stealing pool.
+    WorkStealing,
+}
+
+impl SchedulerKind {
+    /// Parses a CLI spelling (`thread-per-worker`/`tpw`,
+    /// `work-stealing`/`ws`).
+    pub fn parse(text: &str) -> Option<SchedulerKind> {
+        match text {
+            "thread-per-worker" | "tpw" => Some(SchedulerKind::ThreadPerWorker),
+            "work-stealing" | "ws" => Some(SchedulerKind::WorkStealing),
+            _ => None,
+        }
+    }
+
+    /// Stable name, also the accepted CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::ThreadPerWorker => "thread-per-worker",
+            SchedulerKind::WorkStealing => "work-stealing",
+        }
+    }
+
+    /// Instantiates the corresponding [`Scheduler`] with default tuning.
+    pub fn build<T: Send + 'static>(self) -> Box<dyn Scheduler<T>> {
+        match self {
+            SchedulerKind::ThreadPerWorker => Box::new(ThreadPerWorker),
+            SchedulerKind::WorkStealing => Box::new(WorkStealing::default()),
+        }
+    }
+}
+
+#[cfg(all(test, not(steady_loom)))]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct CountingHooks {
+        ran: AtomicU64,
+        timed_out: AtomicU64,
+        cancelled: AtomicU64,
+    }
+
+    impl CountingHooks {
+        fn new() -> Arc<Self> {
+            Arc::new(CountingHooks {
+                ran: AtomicU64::new(0),
+                timed_out: AtomicU64::new(0),
+                cancelled: AtomicU64::new(0),
+            })
+        }
+    }
+
+    impl WorkerHooks<u64> for CountingHooks {
+        fn run(&self, _worker: usize, task: LaneTask<u64>) {
+            // relaxed: test-only counter.
+            self.ran.fetch_add(task.payload, Ordering::Relaxed);
+        }
+        fn timed_out(&self, _worker: usize, _task: LaneTask<u64>) {
+            // relaxed: test-only counter.
+            self.timed_out.fetch_add(1, Ordering::Relaxed);
+        }
+        fn cancelled(&self, _worker: usize, _task: LaneTask<u64>) {
+            // relaxed: test-only counter.
+            self.cancelled.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn wall_now() -> NowFn {
+        let epoch = std::time::Instant::now();
+        Arc::new(move || epoch.elapsed().as_nanos() as u64)
+    }
+
+    fn exercise(kind: SchedulerKind) {
+        let hooks = CountingHooks::new();
+        let pool = kind.build::<u64>().start(3, hooks.clone(), wall_now());
+        let mut expected = 0u64;
+        for i in 1..=50u64 {
+            let lane = match i % 3 {
+                0 => Lane::Demand,
+                1 => Lane::Revalidation,
+                _ => Lane::Prefetch,
+            };
+            expected += i;
+            assert!(pool.submit(LaneTask::new(i, lane, 0)));
+        }
+        assert!(pool.await_background_idle(Duration::from_secs(10)));
+        pool.shutdown();
+        assert!(!pool.submit(LaneTask::new(1, Lane::Demand, 0)));
+        assert_eq!(hooks.ran.load(Ordering::Relaxed), expected);
+        assert_eq!(hooks.timed_out.load(Ordering::Relaxed), 0);
+        let counters = pool.counters();
+        assert_eq!(counters.popped.iter().sum::<u64>(), 50);
+        assert_eq!(counters.depth, [0, 0, 0]);
+    }
+
+    #[test]
+    fn thread_per_worker_runs_every_lane() {
+        exercise(SchedulerKind::ThreadPerWorker);
+    }
+
+    #[test]
+    fn work_stealing_runs_every_lane() {
+        exercise(SchedulerKind::WorkStealing);
+    }
+
+    #[test]
+    fn cancelled_prefetch_reaches_the_cancel_hook() {
+        for kind in [SchedulerKind::ThreadPerWorker, SchedulerKind::WorkStealing] {
+            let hooks = CountingHooks::new();
+            // Zero workers: tasks stay queued, so cancellation is
+            // deterministic; a late-started worker must observe it.
+            let pool = kind.build::<u64>().start(0, hooks.clone(), wall_now());
+            let task = LaneTask::new(7, Lane::Prefetch, 0);
+            let token = task.cancel.clone();
+            assert!(pool.submit(task));
+            token.cancel();
+            assert_eq!(pool.backlog(), 1);
+            assert_eq!(pool.cancel_lane(Lane::Prefetch), 1);
+            assert_eq!(pool.backlog(), 0);
+            pool.shutdown();
+            assert_eq!(hooks.ran.load(Ordering::Relaxed), 0);
+            assert_eq!(pool.counters().prefetch_cancelled(), 1);
+        }
+    }
+
+    #[test]
+    fn kind_parse_round_trips() {
+        for kind in [SchedulerKind::ThreadPerWorker, SchedulerKind::WorkStealing] {
+            assert_eq!(SchedulerKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(SchedulerKind::parse("tpw"), Some(SchedulerKind::ThreadPerWorker));
+        assert_eq!(SchedulerKind::parse("ws"), Some(SchedulerKind::WorkStealing));
+        assert_eq!(SchedulerKind::parse("fifo"), None);
+        assert_eq!(SchedulerKind::default(), SchedulerKind::ThreadPerWorker);
+    }
+}

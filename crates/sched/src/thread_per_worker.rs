@@ -1,0 +1,136 @@
+//! The classic pool: one blocking thread per worker, all pulling straight
+//! from the shared lane injector.  This is the engine's historical dispatch
+//! strategy, extracted behind the [`Scheduler`] trait.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::lane::{Lane, LaneCounters, LaneQueues, LaneTask, Popped};
+use crate::sync::Mutex;
+use crate::{NowFn, Running, Scheduler, WorkerHooks, IDLE_POLL};
+
+/// The thread-per-worker scheduling strategy (the default).
+pub struct ThreadPerWorker;
+
+impl<T: Send + 'static> Scheduler<T> for ThreadPerWorker {
+    fn name(&self) -> &'static str {
+        "thread-per-worker"
+    }
+
+    fn start(
+        &self,
+        workers: usize,
+        hooks: Arc<dyn WorkerHooks<T>>,
+        now: NowFn,
+    ) -> Box<dyn Running<T>> {
+        let lanes = Arc::new(LaneQueues::new());
+        let handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|worker| {
+                let lanes = Arc::clone(&lanes);
+                let hooks = Arc::clone(&hooks);
+                let now = Arc::clone(&now);
+                std::thread::Builder::new()
+                    .name(format!("steady-tpw-{worker}"))
+                    .spawn(move || worker_loop(worker, &lanes, &hooks, &now))
+                    // Documented fail-fast at startup: if the OS refuses a
+                    // thread the pool cannot exist.
+                    // lint: allow(panics)
+                    .expect("spawn scheduler worker thread")
+            })
+            .collect();
+        Box::new(Pool { lanes, handles: Mutex::new(handles) })
+    }
+}
+
+struct Pool<T> {
+    lanes: Arc<LaneQueues<T>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl<T: Send + 'static> Running<T> for Pool<T> {
+    fn submit(&self, task: LaneTask<T>) -> bool {
+        self.lanes.push(task)
+    }
+
+    fn counters(&self) -> LaneCounters {
+        self.lanes.counters()
+    }
+
+    fn cancel_lane(&self, lane: Lane) -> usize {
+        self.lanes.cancel_lane(lane)
+    }
+
+    fn backlog(&self) -> usize {
+        self.lanes.idle_latch().backlog()
+    }
+
+    fn await_background_idle(&self, timeout: Duration) -> bool {
+        self.lanes.idle_latch().await_idle(timeout)
+    }
+
+    fn shutdown(&self) {
+        self.lanes.close();
+        let handles: Vec<JoinHandle<()>> = {
+            let mut handles = self.handles.lock();
+            handles.drain(..).collect()
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<T> Drop for Pool<T> {
+    fn drop(&mut self) {
+        self.lanes.close();
+        for handle in self.handles.get_mut().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop<T: Send + 'static>(
+    worker: usize,
+    lanes: &LaneQueues<T>,
+    hooks: &Arc<dyn WorkerHooks<T>>,
+    now: &NowFn,
+) {
+    loop {
+        match lanes.pop(now()) {
+            Popped::Task(task) => run_task(worker, task, lanes, hooks),
+            Popped::TimedOut(task) => {
+                let background = task.lane.is_background();
+                hooks.timed_out(worker, task);
+                if background {
+                    lanes.idle_latch().finish_one();
+                }
+            }
+            Popped::Cancelled(task) => {
+                let background = task.lane.is_background();
+                hooks.cancelled(worker, task);
+                if background {
+                    lanes.idle_latch().finish_one();
+                }
+            }
+            Popped::Empty => lanes.wait_for_work(IDLE_POLL),
+            Popped::Closed => return,
+        }
+    }
+}
+
+fn run_task<T: Send + 'static>(
+    worker: usize,
+    task: LaneTask<T>,
+    lanes: &LaneQueues<T>,
+    hooks: &Arc<dyn WorkerHooks<T>>,
+) {
+    let background = task.lane.is_background();
+    // Contain panics at the pool boundary: a panicking task must not take
+    // down its worker thread or wedge the background-idle latch.
+    let _ = catch_unwind(AssertUnwindSafe(|| hooks.run(worker, task)));
+    if background {
+        lanes.idle_latch().finish_one();
+    }
+}

@@ -1,0 +1,334 @@
+//! The executor-backed work-stealing pool.
+//!
+//! Every live task is spawned on the offline `async-executor` shim: the
+//! task body is a future, the worker that picks it up drives its first poll
+//! inline, and if the future ever parks, its waker pushes a fresh
+//! [`Runnable`] onto the owning worker's runnable stash — waiters are
+//! wakers, not blocked threads.  (The engine's hooks are synchronous today,
+//! so tasks complete on the first poll; the executor seam is what lets a
+//! future version await inside a solve without occupying a worker.)
+//!
+//! Dispatch order per worker:
+//!
+//! 1. drain the worker's own runnable stash (woken tasks resume first);
+//! 2. pop the worker's own demand deque (vetting each task against the
+//!    clock, exactly like an injector pop);
+//! 3. pop the shared lane injector — a demand pop also grabs a small batch
+//!    of extra demand tasks into the worker's deque, creating stealable
+//!    work;
+//! 4. steal the oldest task from a sibling's deque or stash;
+//! 5. park on the injector condvar for [`IDLE_POLL`].
+//!
+//! Prefetch and revalidation tasks never enter per-worker deques: they are
+//! taken from the injector only when no higher-priority work exists
+//! anywhere the worker can see, which preserves strict lane priority even
+//! while demand batches circulate through the deques.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use async_executor::Runnable;
+
+use crate::deque::WorkDeque;
+use crate::lane::{Lane, LaneCounters, LaneQueues, LaneTask, Popped};
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::Mutex;
+use crate::{NowFn, Running, Scheduler, WorkerHooks, IDLE_POLL};
+
+/// The work-stealing scheduling strategy.
+pub struct WorkStealing {
+    /// Extra demand tasks a worker pulls into its own deque per injector
+    /// pop.  Zero disables batching (every pop goes through the injector).
+    pub batch: usize,
+}
+
+impl Default for WorkStealing {
+    fn default() -> Self {
+        WorkStealing { batch: 2 }
+    }
+}
+
+struct Core<T> {
+    lanes: Arc<LaneQueues<T>>,
+    task_deques: Vec<Arc<WorkDeque<LaneTask<T>>>>,
+    run_stashes: Vec<Arc<WorkDeque<Runnable>>>,
+    steals: AtomicU64,
+    batch: usize,
+}
+
+impl<T: Send + 'static> Scheduler<T> for WorkStealing {
+    fn name(&self) -> &'static str {
+        "work-stealing"
+    }
+
+    fn start(
+        &self,
+        workers: usize,
+        hooks: Arc<dyn WorkerHooks<T>>,
+        now: NowFn,
+    ) -> Box<dyn Running<T>> {
+        let core = Arc::new(Core {
+            lanes: Arc::new(LaneQueues::new()),
+            task_deques: (0..workers).map(|_| Arc::new(WorkDeque::new())).collect(),
+            run_stashes: (0..workers).map(|_| Arc::new(WorkDeque::new())).collect(),
+            steals: AtomicU64::new(0),
+            batch: self.batch,
+        });
+        let handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|worker| {
+                let core = Arc::clone(&core);
+                let hooks = Arc::clone(&hooks);
+                let now = Arc::clone(&now);
+                std::thread::Builder::new()
+                    .name(format!("steady-ws-{worker}"))
+                    .spawn(move || worker_loop(worker, &core, &hooks, &now))
+                    // Documented fail-fast at startup: if the OS refuses a
+                    // thread the pool cannot exist.
+                    // lint: allow(panics)
+                    .expect("spawn scheduler worker thread")
+            })
+            .collect();
+        Box::new(Pool { core, handles: Mutex::new(handles) })
+    }
+}
+
+struct Pool<T> {
+    core: Arc<Core<T>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl<T: Send + 'static> Running<T> for Pool<T> {
+    fn submit(&self, task: LaneTask<T>) -> bool {
+        self.core.lanes.push(task)
+    }
+
+    fn counters(&self) -> LaneCounters {
+        let mut counters = self.core.lanes.counters();
+        // Per-worker deques hold demand tasks that are queued, just not in
+        // the injector; fold them into the demand depth so the gauge covers
+        // everything not yet running.
+        let stashed: u64 = self.core.task_deques.iter().map(|d| d.len() as u64).sum();
+        counters.depth[Lane::Demand.index()] += stashed;
+        // relaxed: monotone report-only counter.
+        counters.steals = self.core.steals.load(Ordering::Relaxed);
+        counters
+    }
+
+    fn cancel_lane(&self, lane: Lane) -> usize {
+        // Background lanes live only in the injector; demand tasks already
+        // batched into a worker's deque are past the cancellation point and
+        // will still run.
+        self.core.lanes.cancel_lane(lane)
+    }
+
+    fn backlog(&self) -> usize {
+        self.core.lanes.idle_latch().backlog()
+    }
+
+    fn await_background_idle(&self, timeout: Duration) -> bool {
+        self.core.lanes.idle_latch().await_idle(timeout)
+    }
+
+    fn shutdown(&self) {
+        self.core.lanes.close();
+        let handles: Vec<JoinHandle<()>> = {
+            let mut handles = self.handles.lock();
+            handles.drain(..).collect()
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<T> Drop for Pool<T> {
+    fn drop(&mut self) {
+        self.core.lanes.close();
+        for handle in self.handles.get_mut().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop<T: Send + 'static>(
+    worker: usize,
+    core: &Arc<Core<T>>,
+    hooks: &Arc<dyn WorkerHooks<T>>,
+    now: &NowFn,
+) {
+    loop {
+        // 1. Woken tasks resume before anything new is admitted.
+        if let Some(runnable) = core.run_stashes[worker].pop() {
+            runnable.run();
+            continue;
+        }
+        // 2. Own demand batch.
+        if let Some(task) = core.task_deques[worker].pop() {
+            dispatch(worker, core.lanes.vet(task, now()), core, hooks);
+            continue;
+        }
+        // 3. Shared injector (+ grab a stealable demand batch).
+        let (popped, batch) = core.lanes.pop_with_overflow(now(), core.batch);
+        if !batch.is_empty() {
+            core.task_deques[worker].push_many(batch);
+        }
+        match popped {
+            Popped::Empty => {
+                // 4. Steal the oldest task a busy sibling has parked.
+                if !steal(worker, core, hooks, now) {
+                    // 5. Nothing anywhere: park briefly.
+                    core.lanes.wait_for_work(IDLE_POLL);
+                }
+            }
+            Popped::Closed => {
+                // Drain anything still parked locally, then exit.  Sibling
+                // leftovers are handled by their owners (or stolen before
+                // they notice the close).
+                while let Some(task) = core.task_deques[worker].pop() {
+                    dispatch(worker, core.lanes.vet(task, now()), core, hooks);
+                }
+                while let Some(runnable) = core.run_stashes[worker].pop() {
+                    runnable.run();
+                }
+                return;
+            }
+            verdict => dispatch(worker, verdict, core, hooks),
+        }
+    }
+}
+
+/// Scans siblings for the oldest stealable work item.  Returns whether
+/// anything was stolen (and run).
+fn steal<T: Send + 'static>(
+    worker: usize,
+    core: &Arc<Core<T>>,
+    hooks: &Arc<dyn WorkerHooks<T>>,
+    now: &NowFn,
+) -> bool {
+    let workers = core.task_deques.len();
+    for offset in 1..workers {
+        let victim = (worker + offset) % workers;
+        if let Some(task) = core.task_deques[victim].steal() {
+            // relaxed: monotone report-only counter.
+            core.steals.fetch_add(1, Ordering::Relaxed);
+            dispatch(worker, core.lanes.vet(task, now()), core, hooks);
+            return true;
+        }
+        if let Some(runnable) = core.run_stashes[victim].steal() {
+            // relaxed: monotone report-only counter.
+            core.steals.fetch_add(1, Ordering::Relaxed);
+            runnable.run();
+            return true;
+        }
+    }
+    false
+}
+
+fn dispatch<T: Send + 'static>(
+    worker: usize,
+    verdict: Popped<T>,
+    core: &Arc<Core<T>>,
+    hooks: &Arc<dyn WorkerHooks<T>>,
+) {
+    match verdict {
+        Popped::Task(task) => execute(worker, task, core, hooks),
+        Popped::TimedOut(task) => {
+            let background = task.lane.is_background();
+            hooks.timed_out(worker, task);
+            if background {
+                core.lanes.idle_latch().finish_one();
+            }
+        }
+        Popped::Cancelled(task) => {
+            let background = task.lane.is_background();
+            hooks.cancelled(worker, task);
+            if background {
+                core.lanes.idle_latch().finish_one();
+            }
+        }
+        Popped::Empty | Popped::Closed => {}
+    }
+}
+
+/// Spawns the task on the executor shim and drives its first poll inline.
+/// If the future parks, its waker reschedules onto this worker's stash,
+/// where the owner — or a thief — resumes it.
+fn execute<T: Send + 'static>(
+    worker: usize,
+    task: LaneTask<T>,
+    core: &Arc<Core<T>>,
+    hooks: &Arc<dyn WorkerHooks<T>>,
+) {
+    let background = task.lane.is_background();
+    let hooks = Arc::clone(hooks);
+    let lanes = Arc::clone(&core.lanes);
+    let stash = Arc::clone(&core.run_stashes[worker]);
+    let (runnable, handle) = async_executor::spawn(
+        async move {
+            // Contain panics at the pool boundary: a panicking task must
+            // not take down its worker or wedge the background-idle latch.
+            let _ = catch_unwind(AssertUnwindSafe(|| hooks.run(worker, task)));
+            if background {
+                lanes.idle_latch().finish_one();
+            }
+        },
+        move |runnable| stash.push(runnable),
+    );
+    runnable.run();
+    handle.detach();
+}
+
+#[cfg(all(test, not(steady_loom)))]
+mod tests {
+    use super::*;
+    use crate::NowFn;
+    use std::sync::atomic::{AtomicUsize, Ordering as StdOrdering};
+    use std::time::Instant;
+
+    struct SlowFirstHooks {
+        ran_by: Mutex<Vec<usize>>,
+        slow_hits: AtomicUsize,
+    }
+
+    impl WorkerHooks<u32> for SlowFirstHooks {
+        fn run(&self, worker: usize, task: LaneTask<u32>) {
+            if task.payload == 0 {
+                // relaxed: test-only counter.
+                self.slow_hits.fetch_add(1, StdOrdering::Relaxed);
+                std::thread::sleep(Duration::from_millis(60));
+            }
+            self.ran_by.lock().push(worker);
+        }
+    }
+
+    #[test]
+    fn a_batch_stranded_behind_a_slow_task_gets_stolen() {
+        let hooks = Arc::new(SlowFirstHooks {
+            ran_by: Mutex::new(Vec::new()),
+            slow_hits: AtomicUsize::new(0),
+        });
+        let epoch = Instant::now();
+        let now: NowFn = Arc::new(move || epoch.elapsed().as_nanos() as u64);
+        // Large batch so worker 0 hoards the queue; worker 1 must steal.
+        let pool = WorkStealing { batch: 8 }.start(2, hooks.clone(), now);
+        // Keep worker 1 from winning the initial injector race reliably by
+        // submitting the slow task first.
+        pool.submit(LaneTask::new(0, Lane::Demand, 0));
+        for i in 1..=8u32 {
+            pool.submit(LaneTask::new(i, Lane::Demand, 0));
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while hooks.ran_by.lock().len() < 9 {
+            assert!(Instant::now() < deadline, "tasks did not all finish");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        pool.shutdown();
+        let ran_by = hooks.ran_by.lock();
+        assert_eq!(ran_by.len(), 9);
+        // Both workers participated: whichever worker took the slow task
+        // cannot have run everything.
+        assert!(ran_by.contains(&0) && ran_by.contains(&1));
+    }
+}

@@ -1,11 +1,14 @@
-//! The serving engine: a worker pool with single-flight deduplication,
-//! drift-triaged solves, TTL revalidation and requeue-based admission
-//! control.
+//! The serving engine: a scheduler-generic worker pool with single-flight
+//! deduplication, drift-triaged solves, TTL revalidation and requeue-based
+//! admission control.
 //!
-//! Queries are submitted to an unbounded crossbeam channel and picked up by a
-//! fixed pool of worker threads (the threaded-executor shape: workers share
-//! one receiver and a common stop condition — here, channel disconnection).
-//! Each worker:
+//! Work dispatch is delegated to the `steady-sched` subsystem: queries are
+//! admitted onto three strict priority lanes (demand > revalidation >
+//! prefetch) and drained by the scheduler named in
+//! [`ServiceConfig::scheduler`] — the classic thread-per-worker pool by
+//! default, or the executor-backed work-stealing pool.  Both produce
+//! identical answers; only *which thread runs which task when* differs.
+//! Whatever the scheduler, a worker that picks up a query:
 //!
 //! 1. fingerprints the query and consults the [`SolutionCache`] at the
 //!    current **epoch**: a fresh entry is served directly, an entry older
@@ -31,26 +34,30 @@
 //!    publishes the answer and its final basis and fans the result out to
 //!    every parked waiter.
 //!
-//! Workers with nothing to do don't just block: they drain the **prefetch
-//! queue** ([`Service::schedule_prefetch`]) — platforms a forecaster
-//! predicts the drift will produce next — and pre-solve them through the
-//! same triage ladder, installing the answers as ordinary epoch-stamped
-//! cache entries.  A demand query that lands on one is counted as a
-//! `prefetch_hit`; speculative work is strictly idle-time (a worker only
-//! picks it up when the job channel is empty) and strictly advisory (a
-//! wrong prediction wastes idle cycles, never correctness — the entry it
-//! installed is a *correct* answer to a question nobody asked).
+//! Workers with nothing to do don't just block: the **prefetch lane**
+//! ([`Service::schedule_prefetch`]) holds platforms a forecaster predicts
+//! the drift will produce next, and a worker takes one only when the demand
+//! and revalidation lanes are empty, pre-solving it through the same triage
+//! ladder and installing the answer as an ordinary epoch-stamped cache
+//! entry.  A demand query that lands on one is counted as a
+//! `prefetch_hit`; speculative work is strictly idle-time (lane priority
+//! guarantees demand wins the workers) and strictly advisory (a wrong
+//! prediction wastes idle cycles, never correctness — the entry it
+//! installed is a *correct* answer to a question nobody asked).  Queued
+//! prefetch work is also cancellable in bulk ([`Service::cancel_prefetch`])
+//! and sheddable by deadline ([`ServiceConfig::demand_deadline`] puts a
+//! per-task deadline on the demand lane instead).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use steady_core::problem::SolvedBasis;
 use steady_platform::Platform;
 
 use steady_drift::Triage;
+use steady_sched::{Lane, LaneTask, NowFn, Running, SchedulerKind, WorkerHooks};
 
 use crate::cache::{CacheConfig, CacheStats, Lookup, SolutionCache};
 use crate::fingerprint::Fingerprint;
@@ -63,8 +70,8 @@ use crate::persist;
 use crate::query::{solve_prepared, Answer, Query};
 use crate::recorder::{SolveFlightRecorder, SolveRecord};
 use crate::sync::atomic::{AtomicU64, Ordering};
-use crate::sync::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
-use crate::sync::{Condvar, Mutex};
+use crate::sync::channel::{unbounded, Receiver, Sender};
+use crate::sync::Mutex;
 use crate::ServiceError;
 
 /// Upper bound on remembered warm-start bases (one per structural class);
@@ -72,11 +79,6 @@ use crate::ServiceError;
 /// hundred `usize`s, so this caps the table at a few MB even under
 /// adversarial traffic that never repeats a structure.
 const MAX_CACHED_BASES: usize = 4096;
-
-/// How long an idle worker blocks on the job channel before re-checking the
-/// prefetch queue.  Small enough that scheduled speculative work starts
-/// promptly, large enough that a fully idle pool wakes only ~1k times/s.
-const IDLE_POLL: Duration = Duration::from_millis(1);
 
 /// Per-solve event-timeline capacity when solver-event recording is on
 /// ([`ServiceConfig::solver_events`]): events beyond this are folded into
@@ -154,6 +156,18 @@ pub struct ServiceConfig {
     /// oldest is evicted (only meaningful with `solver_events`); losses are
     /// counted, never blocking.
     pub solver_record_capacity: usize,
+    /// Which scheduler drains the priority lanes (see [`steady_sched`]).
+    /// The default, [`SchedulerKind::ThreadPerWorker`], is the engine's
+    /// historical dispatch; [`SchedulerKind::WorkStealing`] runs every task
+    /// on the executor shim with per-worker deques and stealing.  Answers
+    /// are identical either way.
+    pub scheduler: SchedulerKind,
+    /// Optional per-task deadline for the demand lane: a query still queued
+    /// this long after submission is shed (counted in
+    /// [`ServiceStats::demand_timeouts`]) instead of run — bounding how
+    /// stale a response a backlogged service can return.  `None` (the
+    /// default) never sheds by age.
+    pub demand_deadline: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -170,6 +184,8 @@ impl Default for ServiceConfig {
             trace_capacity: 4096,
             solver_events: false,
             solver_record_capacity: 64,
+            scheduler: SchedulerKind::default(),
+            demand_deadline: None,
         }
     }
 }
@@ -190,6 +206,19 @@ impl ServiceConfig {
     /// Turns on per-solve solver event recording (see [`crate::recorder`]).
     pub fn with_solver_events(mut self) -> Self {
         self.solver_events = true;
+        self
+    }
+
+    /// Selects the scheduler that drains the priority lanes.
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.scheduler = kind;
+        self
+    }
+
+    /// Sets a queueing deadline for demand queries (see
+    /// [`ServiceConfig::demand_deadline`]).
+    pub fn with_demand_deadline(mut self, deadline: Duration) -> Self {
+        self.demand_deadline = Some(deadline);
         self
     }
 }
@@ -331,6 +360,15 @@ pub struct ServiceStats {
     /// Scheduled prefetch jobs whose platform the forecaster predicted to
     /// exit the cached basis's optimality range.
     pub predicted_exits: u64,
+    /// Demand queries shed because they out-waited
+    /// [`ServiceConfig::demand_deadline`] in the queue.
+    pub demand_timeouts: u64,
+    /// Prefetch tasks cancelled (or dropped at shutdown/expiry) before they
+    /// ran — see [`Service::cancel_prefetch`].
+    pub prefetch_cancelled: u64,
+    /// Tasks executed by a worker that stole them from a busy sibling
+    /// (always 0 under the thread-per-worker scheduler).
+    pub steals: u64,
     /// Evictions where the drift-aware preference overrode plain LRU (see
     /// [`CacheStats::preferred_evictions`]).
     pub preferred_evictions: u64,
@@ -423,6 +461,9 @@ impl ServiceStats {
             prefetch_hits: self.prefetch_hits.saturating_sub(earlier.prefetch_hits),
             prefetch_wasted: self.prefetch_wasted.saturating_sub(earlier.prefetch_wasted),
             predicted_exits: self.predicted_exits.saturating_sub(earlier.predicted_exits),
+            demand_timeouts: self.demand_timeouts.saturating_sub(earlier.demand_timeouts),
+            prefetch_cancelled: self.prefetch_cancelled.saturating_sub(earlier.prefetch_cancelled),
+            steals: self.steals.saturating_sub(earlier.steals),
             preferred_evictions: self
                 .preferred_evictions
                 .saturating_sub(earlier.preferred_evictions),
@@ -499,60 +540,19 @@ fn tailor(answer: &Arc<Answer>, platform: &Platform) -> Arc<Answer> {
     }
 }
 
-/// The prefetch-idle primitive: the count of prefetch jobs not yet finished
-/// (queued + currently solving) and the condvar
-/// [`Service::await_prefetch_idle`] blocks on until it drains to zero —
-/// replacing the sleep-poll this used to be.  The `pending` mutex is rank
-/// 25 in the [`crate::sync`] lock order: acquired while holding the
-/// `prefetch_queue` (20) on the schedule side, and with nothing held on the
-/// worker/waiter sides.
-struct PrefetchIdle {
-    pending: Mutex<usize>,
-    drained: Condvar,
-}
-
-impl PrefetchIdle {
-    fn new() -> PrefetchIdle {
-        PrefetchIdle { pending: Mutex::new(0), drained: Condvar::new() }
-    }
-
-    /// Adds `n` scheduled jobs to the backlog.
-    fn add(&self, n: usize) {
-        *self.pending.lock() += n;
-    }
-
-    /// Retires one finished (or dropped-as-duplicate) job, waking idle
-    /// waiters when the backlog reaches zero.
-    fn finish_one(&self) {
-        let mut pending = self.pending.lock();
-        *pending = pending.saturating_sub(1);
-        if *pending == 0 {
-            self.drained.notify_all();
-        }
-    }
-
-    /// Current backlog (the `prefetch_backlog` gauge).
-    fn backlog(&self) -> usize {
-        *self.pending.lock()
-    }
-
-    /// Blocks until the backlog reaches zero, up to `timeout`; `true` on
-    /// success.  The loop re-checks the predicate after every wake, so
-    /// spurious wakeups and the loom shim's poll-style timed wait are both
-    /// correct.
-    fn await_idle(&self, timeout: Duration) -> bool {
-        let deadline = Instant::now() + timeout;
-        let mut pending = self.pending.lock();
-        while *pending > 0 {
-            let now = Instant::now();
-            if now >= deadline {
-                return false;
-            }
-            let (reacquired, _timed_out) = self.drained.wait_timeout(pending, deadline - now);
-            pending = reacquired;
-        }
-        true
-    }
+/// What the scheduler dispatches: the engine's one work-item type, with one
+/// variant per lane.  (The idle-detection and prefetch-drain machinery that
+/// used to live here — `PrefetchIdle` and the idle-poll loop — moved into
+/// `steady-sched`'s reusable `lane` module, shared by both schedulers.)
+enum WorkItem {
+    /// An interactive query (demand lane).
+    Demand(Job),
+    /// A proactive TTL refresh (revalidation lane): an ordinary serve whose
+    /// reply nobody listens to, scheduled by
+    /// [`Service::schedule_revalidation`].
+    Revalidate(Job),
+    /// A speculative pre-solve (prefetch lane).
+    Prefetch(PrefetchJob),
 }
 
 /// The per-stage latency histograms, always on (recording is one relaxed
@@ -561,8 +561,16 @@ impl PrefetchIdle {
 /// solve → publish — so a query's stage samples sum to its end-to-end
 /// latency within clock resolution.
 struct StageMetrics {
-    /// Submit-channel wait: submit → worker pickup (every query).
+    /// Submit-to-pickup wait: submit → worker pickup (every query).
     queue_wait: Arc<Histogram>,
+    /// Demand-lane wait: enqueue → scheduler pickup, per lane.  Same span
+    /// as `queue_wait` for demand traffic, but split by lane so priority
+    /// inversion (prefetch delaying demand) is directly visible.
+    lane_demand_wait: Arc<Histogram>,
+    /// Revalidation-lane wait (see `lane_demand_wait`).
+    lane_revalidation_wait: Arc<Histogram>,
+    /// Prefetch-lane wait (see `lane_demand_wait`).
+    lane_prefetch_wait: Arc<Histogram>,
     /// Fingerprint + cache lookup (every well-formed query).
     lookup: Arc<Histogram>,
     /// Admission-gate wait: gate entry → solve start (solved queries; near
@@ -600,6 +608,9 @@ impl StageMetrics {
     fn new(registry: &MetricsRegistry) -> StageMetrics {
         StageMetrics {
             queue_wait: registry.histogram("stage_queue_wait_nanos"),
+            lane_demand_wait: registry.histogram("lane_demand_wait_nanos"),
+            lane_revalidation_wait: registry.histogram("lane_revalidation_wait_nanos"),
+            lane_prefetch_wait: registry.histogram("lane_prefetch_wait_nanos"),
             lookup: registry.histogram("stage_lookup_nanos"),
             gate_wait: registry.histogram("stage_gate_wait_nanos"),
             solve_warm: registry.histogram("stage_solve_warm_nanos"),
@@ -614,6 +625,15 @@ impl StageMetrics {
             solver_bland_pivots: registry.histogram("solver_bland_pivots"),
             solver_peak_eta: registry.histogram("solver_peak_eta"),
             solver_refactorizations: registry.histogram("solver_refactorizations"),
+        }
+    }
+
+    /// Records one task's enqueue-to-pickup wait in its lane's histogram.
+    fn record_lane_wait(&self, lane: Lane, nanos: u64) {
+        match lane {
+            Lane::Demand => self.lane_demand_wait.record(nanos),
+            Lane::Revalidation => self.lane_revalidation_wait.record(nanos),
+            Lane::Prefetch => self.lane_prefetch_wait.record(nanos),
         }
     }
 
@@ -644,11 +664,6 @@ struct Shared {
     epoch: AtomicU64,
     /// Cache TTL in epochs (see [`ServiceConfig::ttl`]).
     ttl: Option<u64>,
-    /// Speculative work scheduled by [`Service::schedule_prefetch`], drained
-    /// by idle workers only.
-    prefetch_queue: Mutex<VecDeque<PrefetchJob>>,
-    /// Prefetch backlog count + idle condvar (see [`PrefetchIdle`]).
-    prefetch_idle: PrefetchIdle,
     /// The time source every timestamp and histogram sample derives from —
     /// the seam where a simulated clock plugs in
     /// ([`Service::start_with_clock`]).
@@ -721,11 +736,82 @@ fn gauge(counter: &AtomicU64) -> u64 {
     counter.load(Ordering::Relaxed)
 }
 
-/// A running query-serving engine.  Dropping the service disconnects the
-/// submission channel and joins every worker.
+/// The engine's side of the scheduler seam: `steady-sched` owns the lanes
+/// and the worker threads, and calls back in here when a task reaches (or
+/// terminally misses) a worker.
+struct EngineWorker {
+    shared: Arc<Shared>,
+}
+
+impl EngineWorker {
+    /// Replies to a demand/revalidation job whose task never ran (deadline
+    /// passed or lane cancelled) with [`ServeError::Shed`] — the same
+    /// contract as admission-control shedding: nothing is wrong with the
+    /// query, the service chose not to run it.
+    fn shed_unrun(&self, worker: usize, job: Job, outcome: &'static str) {
+        let shared = &self.shared;
+        finish_trace_at(shared, worker as u32, job.trace, outcome, shared.clock.now_nanos());
+        let _ = job.reply.send(Err(ServeError::Shed));
+    }
+}
+
+impl WorkerHooks<WorkItem> for EngineWorker {
+    fn run(&self, worker: usize, task: LaneTask<WorkItem>) {
+        let shared = &self.shared;
+        let picked_up = shared.clock.now_nanos();
+        shared.stage.record_lane_wait(task.lane, picked_up.saturating_sub(task.enqueued_nanos));
+        let lane = task.lane;
+        match task.payload {
+            WorkItem::Demand(mut job) | WorkItem::Revalidate(mut job) => {
+                if let Some(t) = job.trace.as_mut() {
+                    t.lane = lane.name();
+                }
+                // A panicking solve must not shrink the pool: contain it
+                // here (the scheduler contains it too, but the engine owns
+                // the reply contract).  The panicking job's reply sender is
+                // dropped during unwinding, so its caller sees a disconnect
+                // rather than a hang; parked waiters are released by the
+                // in-flight drop guard inside `serve`.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    serve(shared, worker as u32, job)
+                }));
+            }
+            WorkItem::Prefetch(job) => {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    prefetch_one(shared, worker as u32, job);
+                }));
+            }
+        }
+    }
+
+    fn timed_out(&self, worker: usize, task: LaneTask<WorkItem>) {
+        match task.payload {
+            WorkItem::Demand(job) | WorkItem::Revalidate(job) => {
+                self.shed_unrun(worker, job, "deadline");
+            }
+            // An expired speculation is just dropped; the scheduler already
+            // counted it.
+            WorkItem::Prefetch(_) => {}
+        }
+    }
+
+    fn cancelled(&self, worker: usize, task: LaneTask<WorkItem>) {
+        match task.payload {
+            WorkItem::Demand(job) | WorkItem::Revalidate(job) => {
+                self.shed_unrun(worker, job, "cancelled");
+            }
+            WorkItem::Prefetch(_) => {}
+        }
+    }
+}
+
+/// A running query-serving engine.  Dropping the service closes the lanes
+/// (queued demand still drains; queued speculation is dropped) and joins
+/// every worker.
 pub struct Service {
-    submit: Option<Sender<Job>>,
-    workers: Vec<JoinHandle<()>>,
+    running: Box<dyn Running<WorkItem>>,
+    scheduler: SchedulerKind,
+    demand_deadline: Option<Duration>,
     shared: Arc<Shared>,
 }
 
@@ -768,8 +854,6 @@ impl Service {
             build_schedules: config.build_schedules,
             epoch: AtomicU64::new(0),
             ttl: config.ttl,
-            prefetch_queue: Mutex::new(VecDeque::new()),
-            prefetch_idle: PrefetchIdle::new(),
             clock,
             sink: TraceSink::new(workers, config.trace_capacity, config.tracing),
             recorder: SolveFlightRecorder::new(config.solver_record_capacity, config.solver_events),
@@ -798,20 +882,18 @@ impl Service {
             shed: AtomicU64::new(0),
             errors: AtomicU64::new(0),
         });
-        let (submit, jobs) = unbounded::<Job>();
-        let jobs = Arc::new(Mutex::new(jobs));
-        let workers = (0..workers)
-            .map(|i| {
-                let jobs = Arc::clone(&jobs);
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("steady-service-{i}"))
-                    .spawn(move || worker_loop(i as u32, &jobs, &shared))
-                    // lint: allow(panics) — documented fail-fast at startup.
-                    .expect("spawning a service worker")
-            })
-            .collect();
-        let service = Service { submit: Some(submit), workers, shared };
+        let now: NowFn = {
+            let clock = Arc::clone(&shared.clock);
+            Arc::new(move || clock.now_nanos())
+        };
+        let hooks = Arc::new(EngineWorker { shared: Arc::clone(&shared) });
+        let running = config.scheduler.build::<WorkItem>().start(workers, hooks, now);
+        let service = Service {
+            running,
+            scheduler: config.scheduler,
+            demand_deadline: config.demand_deadline,
+            shared,
+        };
         if let Some(path) = &config.preload_from {
             // lint: allow(panics) — documented fail-fast at startup.
             service.preload(path).expect("preloading the configured snapshot");
@@ -819,19 +901,25 @@ impl Service {
         service
     }
 
-    /// Enqueues `query` and returns the channel its response will arrive on.
-    /// If the service is shutting down, the returned channel reports a
-    /// disconnect instead of a response (mapped to an error by
-    /// [`Service::query`]).
+    /// Enqueues `query` on the demand lane and returns the channel its
+    /// response will arrive on.  If the service is shutting down, the
+    /// returned channel reports a disconnect instead of a response (mapped
+    /// to an error by [`Service::query`]).
     pub fn submit(&self, query: Query) -> Receiver<ServeResult> {
         let (reply, response) = unbounded();
-        if let Some(submit) = self.submit.as_ref() {
-            let submitted_nanos = self.shared.clock.now_nanos();
-            let trace = self.shared.sink.begin(submitted_nanos);
-            // A send only fails once every worker has exited; the caller
-            // then observes the reply channel disconnect.
-            let _ = submit.send(Job { query, reply, submitted_nanos, trace });
+        let submitted_nanos = self.shared.clock.now_nanos();
+        let trace = self.shared.sink.begin(submitted_nanos);
+        let mut task = LaneTask::new(
+            WorkItem::Demand(Job { query, reply, submitted_nanos, trace }),
+            Lane::Demand,
+            submitted_nanos,
+        );
+        if let Some(deadline) = self.demand_deadline {
+            task = task.with_deadline(submitted_nanos.saturating_add(deadline.as_nanos() as u64));
         }
+        // A rejected submit means the lanes are closed (shutdown); the
+        // caller then observes the reply channel disconnect.
+        let _ = self.running.submit(task);
         response
     }
 
@@ -854,37 +942,70 @@ impl Service {
     /// arithmetic).  Callers typically build the jobs from a
     /// `steady-forecast` [`PresolvePlan`](steady_forecast::PresolvePlan).
     pub fn schedule_prefetch(&self, jobs: impl IntoIterator<Item = PrefetchJob>) -> usize {
-        let mut queue = self.shared.prefetch_queue.lock();
         let mut queued = 0usize;
         for job in jobs {
-            if job.predicted_exit {
-                bump(&self.shared.predicted_exits);
+            let predicted_exit = job.predicted_exit;
+            let enqueued = self.shared.clock.now_nanos();
+            if self.running.submit(LaneTask::new(WorkItem::Prefetch(job), Lane::Prefetch, enqueued))
+            {
+                // Counted only for accepted jobs, so the stat matches the
+                // returned queue count even across a racing shutdown.
+                if predicted_exit {
+                    bump(&self.shared.predicted_exits);
+                }
+                queued += 1;
             }
-            queue.push_back(job);
-            queued += 1;
         }
-        // The backlog is bumped while the queue lock is held (20 → 25, per
-        // the documented order) so a worker's pop + finish can never race
-        // ahead of the add and underflow the count.
-        self.shared.prefetch_idle.add(queued);
         queued
     }
 
-    /// Speculative jobs not yet finished (queued plus currently solving) —
-    /// also exposed as the `prefetch_backlog` gauge of
-    /// [`Service::metrics`].
-    pub fn prefetch_backlog(&self) -> usize {
-        self.shared.prefetch_idle.backlog()
+    /// Schedules proactive TTL refreshes on the **revalidation lane**: each
+    /// query is served exactly like a demand query — expired entries
+    /// revalidate through drift triage, misses solve — but nobody waits on
+    /// the reply, and the work runs only when the demand lane is empty.
+    /// Returns how many refreshes were queued.
+    pub fn schedule_revalidation(&self, queries: impl IntoIterator<Item = Query>) -> usize {
+        let mut queued = 0usize;
+        for query in queries {
+            let (reply, _discard) = unbounded();
+            let submitted_nanos = self.shared.clock.now_nanos();
+            let trace = self.shared.sink.begin(submitted_nanos);
+            let task = LaneTask::new(
+                WorkItem::Revalidate(Job { query, reply, submitted_nanos, trace }),
+                Lane::Revalidation,
+                submitted_nanos,
+            );
+            if self.running.submit(task) {
+                queued += 1;
+            }
+        }
+        queued
     }
 
-    /// Blocks until every scheduled prefetch job has finished (or been
-    /// dropped as a duplicate), up to `timeout`.  Returns `true` when the
-    /// backlog reached zero — the deterministic hand-off point for
-    /// benchmarks that schedule a plan and then replay the predicted
-    /// traffic.  The wait is a condvar signaled by the worker that drains
-    /// the last job, not a poll loop.
+    /// Cancels every prefetch job still queued (already-running solves
+    /// finish; cancellation is cooperative).  Returns how many were
+    /// cancelled — also visible as [`ServiceStats::prefetch_cancelled`].
+    /// The hook for a forecaster that changes its mind: a superseded plan
+    /// is withdrawn in O(queue) instead of being speculatively solved.
+    pub fn cancel_prefetch(&self) -> usize {
+        self.running.cancel_lane(Lane::Prefetch)
+    }
+
+    /// Background (prefetch + revalidation) jobs not yet finished (queued
+    /// plus currently solving) — also exposed as the `prefetch_backlog`
+    /// gauge of [`Service::metrics`].
+    pub fn prefetch_backlog(&self) -> usize {
+        self.running.backlog()
+    }
+
+    /// Blocks until every scheduled background (prefetch + revalidation)
+    /// job has finished (or been dropped as a duplicate or cancelled), up
+    /// to `timeout`.  Returns `true` when the backlog reached zero — the
+    /// deterministic hand-off point for benchmarks that schedule a plan and
+    /// then replay the predicted traffic.  The wait is a condvar signaled
+    /// when the last job retires, not a poll loop.
     pub fn await_prefetch_idle(&self, timeout: Duration) -> bool {
-        self.shared.prefetch_idle.await_idle(timeout)
+        self.running.await_background_idle(timeout)
     }
 
     /// The cached warm-start basis of structural class `class` (the
@@ -974,6 +1095,7 @@ impl Service {
     /// A snapshot of the service's counters.
     pub fn stats(&self) -> ServiceStats {
         let cache = self.shared.cache.stats();
+        let lanes = self.running.counters();
         ServiceStats {
             queries: gauge(&self.shared.queries),
             hits: cache.hits,
@@ -999,6 +1121,9 @@ impl Service {
             prefetch_hits: gauge(&self.shared.prefetch_hits),
             prefetch_wasted: gauge(&self.shared.prefetch_wasted),
             predicted_exits: gauge(&self.shared.predicted_exits),
+            demand_timeouts: lanes.demand_timeouts,
+            prefetch_cancelled: lanes.prefetch_cancelled(),
+            steals: lanes.steals,
             preferred_evictions: cache.preferred_evictions,
             insertions: cache.insertions,
             evictions: cache.evictions,
@@ -1037,6 +1162,9 @@ impl Service {
         snap.push_counter("prefetch_hits", stats.prefetch_hits);
         snap.push_counter("prefetch_wasted", stats.prefetch_wasted);
         snap.push_counter("predicted_exits", stats.predicted_exits);
+        snap.push_counter("demand_timeouts", stats.demand_timeouts);
+        snap.push_counter("prefetch_cancelled", stats.prefetch_cancelled);
+        snap.push_counter("steals", stats.steals);
         snap.push_counter("preferred_evictions", stats.preferred_evictions);
         snap.push_counter("insertions", stats.insertions);
         snap.push_counter("evictions", stats.evictions);
@@ -1046,7 +1174,16 @@ impl Service {
         snap.push_gauge("cached_entries", stats.cached_entries as u64);
         snap.push_gauge("prefetch_backlog", self.prefetch_backlog() as u64);
         snap.push_gauge("epoch", self.epoch());
+        let lanes = self.running.counters();
+        snap.push_gauge("lane_demand_depth", lanes.depth[Lane::Demand.index()]);
+        snap.push_gauge("lane_revalidation_depth", lanes.depth[Lane::Revalidation.index()]);
+        snap.push_gauge("lane_prefetch_depth", lanes.depth[Lane::Prefetch.index()]);
         snap
+    }
+
+    /// Which scheduler is draining the lanes (the `--scheduler` switch).
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.scheduler
     }
 
     /// Whether per-query lifecycle tracing is on
@@ -1098,55 +1235,9 @@ impl Service {
 
 impl Drop for Service {
     fn drop(&mut self) {
-        // Disconnect the channel so idle workers' recv() fails and they exit.
-        self.submit = None;
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
-    }
-}
-
-fn worker_loop(worker: u32, jobs: &Mutex<Receiver<Job>>, shared: &Shared) {
-    loop {
-        // The receiver lock is held only while polling for the next job,
-        // not while serving it, so dispatch is serialized but solves
-        // overlap.  Demand traffic always wins: speculative work is only
-        // picked up when the channel reads empty.
-        let job = match jobs.lock().try_recv() {
-            Ok(job) => Some(job),
-            Err(TryRecvError::Disconnected) => return,
-            Err(TryRecvError::Empty) => None,
-        };
-        if let Some(job) = job {
-            // A panicking solve must not shrink the pool: contain it here.
-            // The panicking job's reply sender is dropped during unwinding,
-            // so its caller sees a disconnect error rather than a hang;
-            // parked waiters are released by the in-flight drop guard
-            // inside `serve`.
-            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                serve(shared, worker, job)
-            }));
-            continue;
-        }
-        // Idle: drain one unit of speculative work, then re-check demand.
-        if let Some(prefetch) = shared.prefetch_queue.lock().pop_front() {
-            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                prefetch_one(shared, worker, prefetch);
-            }));
-            // Completed (or panicked, or dropped as duplicate): either way
-            // this job no longer counts toward the backlog.
-            shared.prefetch_idle.finish_one();
-            continue;
-        }
-        // Nothing at all to do: block briefly on the channel so scheduled
-        // prefetch work is noticed within one poll interval.
-        let job = match jobs.lock().recv_timeout(IDLE_POLL) {
-            Ok(job) => job,
-            Err(RecvTimeoutError::Timeout) => continue,
-            Err(RecvTimeoutError::Disconnected) => return,
-        };
-        let _ =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| serve(shared, worker, job)));
+        // Close the lanes (queued demand still drains; queued speculation
+        // is dropped) and join every worker.
+        self.running.shutdown();
     }
 }
 
@@ -1196,6 +1287,7 @@ fn prefetch_one(shared: &Shared, worker: u32, job: PrefetchJob) {
     if let Some(t) = trace.as_mut() {
         t.worker = worker;
         t.solver = worker;
+        t.lane = Lane::Prefetch.name();
     }
     let structural = job.query.structural_fingerprint().0;
     let prior = shared.bases.lock().get(&structural).cloned();
@@ -1702,6 +1794,7 @@ fn solve_one(shared: &Shared, worker: u32, solve: SolveJob) {
 mod tests {
     use super::*;
     use crate::query::Collective;
+    use std::time::Instant;
     use steady_platform::generators::figure2;
     use steady_platform::NodeId;
     use steady_rational::rat;

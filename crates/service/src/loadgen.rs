@@ -339,7 +339,8 @@ impl LoadReport {
              drift triage       : {} triaged — {} in-range, {} dual-repaired\n\
              ttl / requeue      : {} expired, {} revalidated, {} requeued, {} stale-served\n\
              mean pivots        : {:.1} warm vs {:.1} cold\n\
-             mean solve latency : {:.1} µs warm vs {:.1} µs cold\n",
+             mean solve latency : {:.1} µs warm vs {:.1} µs cold\n\
+             scheduler lanes    : {} demand timeouts, {} prefetch cancelled, {} steals\n",
             self.queries,
             self.distinct,
             self.clients,
@@ -367,6 +368,9 @@ impl LoadReport {
             self.stats.mean_cold_pivots(),
             self.stats.mean_warm_solve_micros(),
             self.stats.mean_cold_solve_micros(),
+            self.stats.demand_timeouts,
+            self.stats.prefetch_cancelled,
+            self.stats.steals,
         );
         out.push_str(&stage_table(&self.metrics));
         out
@@ -377,7 +381,10 @@ impl LoadReport {
 /// increment: one row per lifecycle stage histogram plus the end-to-end
 /// distributions split by how the query was served.
 pub fn stage_table(metrics: &MetricsSnapshot) -> String {
-    const ROWS: [(&str, &str); 10] = [
+    const ROWS: [(&str, &str); 13] = [
+        ("lane demand", "lane_demand_wait_nanos"),
+        ("lane revalidate", "lane_revalidation_wait_nanos"),
+        ("lane prefetch", "lane_prefetch_wait_nanos"),
         ("queue wait", "stage_queue_wait_nanos"),
         ("cache lookup", "stage_lookup_nanos"),
         ("gate wait", "stage_gate_wait_nanos"),

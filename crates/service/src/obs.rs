@@ -128,6 +128,9 @@ pub struct QueryTrace {
     pub solve_done_nanos: u64,
     /// Answer published and reply sent.
     pub end_nanos: u64,
+    /// Scheduler lane the query rode (`"demand"`, `"revalidation"` or
+    /// `"prefetch"`).
+    pub lane: &'static str,
     /// Cache lookup outcome: `"hit"`, `"stale"` or `"miss"`.
     pub lookup: &'static str,
     /// How the query was ultimately served (mirrors
@@ -176,6 +179,7 @@ impl QueryTrace {
             solve_start_nanos: now,
             solve_done_nanos: now,
             end_nanos: now,
+            lane: "demand",
             lookup: "",
             outcome: "",
             triage: "",
@@ -513,6 +517,7 @@ pub fn chrome_trace_json(traces: &[QueryTrace], clients: &[ClientSpan]) -> Strin
                     t.solve_refactor_nanos,
                 ),
                 "publish" => format!("\"qid\": {}, \"outcome\": \"{}\"", t.id, t.outcome),
+                "queue" => format!("\"qid\": {}, \"lane\": \"{}\"", t.id, t.lane),
                 _ => format!("\"qid\": {}", t.id),
             };
             push_event(&mut out, stage, SERVICE_PID, tid, start, end, &args);

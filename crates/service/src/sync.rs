@@ -20,21 +20,24 @@
 //!
 //! | rank | locks                                                        |
 //! |------|--------------------------------------------------------------|
-//! | 10   | admission/dispatch: single-flight `table`, gate `state`, worker `jobs` receiver |
-//! | 20   | side tables: `bases`, `prefetch_queue`, prefetch-ledger `keys` |
-//! | 25   | prefetch-idle gauge: the `pending` count its condvar waits on |
+//! | 10   | admission/dispatch: single-flight `table`, gate `state`, scheduler `lanes` injector (`steady_sched::sync`) |
+//! | 12   | scheduler per-worker `deque`s (`steady_sched::sync`)          |
+//! | 20   | side tables: `bases`, prefetch-ledger `keys`                  |
+//! | 25   | background-idle latch: the `pending` count its condvar waits on (`steady_sched::sync`) |
 //! | 30   | cache `shard` locks (and any `cache.` method call)            |
 //! | 40   | cache `seeded` class set (and `mark_class_seeded`)            |
 //! | 50   | observability leaves: per-worker trace `ring` buffers         |
 //! | 55   | the solver flight `recorder` buffer (anomalous-solve ring)    |
 //!
-//! In particular: the single-flight admission lock may call into the cache
-//! (10 → 30), the cache may consult the seeded set while holding a shard
-//! (30 → 40), `schedule_prefetch` bumps the idle gauge while holding the
-//! queue (20 → 25), and **never** the reverse.  Trace rings and the solver
-//! flight recorder are strict leaves: the hot-path push is a `try_lock`
-//! that *drops* the record on contention, so nothing ever blocks on either
-//! while holding another lock.
+//! Ranks 10/12/25 for the scheduler's own locks live in `steady-sched`'s
+//! `sync` facade (same cfg switch, same loom shim) and are listed here so
+//! the hierarchy stays one table.  In particular: the single-flight
+//! admission lock may call into the cache (10 → 30), the cache may consult
+//! the seeded set while holding a shard (30 → 40), the lane injector bumps
+//! the idle latch while holding `lanes` (10 → 25), and **never** the
+//! reverse.  Trace rings and the solver flight recorder are strict leaves:
+//! the hot-path push is a `try_lock` that *drops* the record on contention,
+//! so nothing ever blocks on either while holding another lock.
 
 #[cfg(not(steady_loom))]
 pub use parking_lot::{Condvar, Mutex, RwLock};

@@ -1,4 +1,4 @@
-//! Exhaustive interleaving checks for the serving core's six riskiest
+//! Exhaustive interleaving checks for the serving core's seven riskiest
 //! protocols, run under the deterministic model checker (`shims/loom`).
 //!
 //! Build and run with:
@@ -7,8 +7,9 @@
 //! RUSTFLAGS="--cfg steady_loom" cargo test -p steady-service --test loom_models
 //! ```
 //!
-//! Under that cfg the `steady_service::sync` facade resolves every mutex,
-//! rwlock, atomic and channel to the modeled primitives, and each test below
+//! Under that cfg the `steady_service::sync` facade (and `steady_sched`'s
+//! own `sync` facade, same switch) resolves every mutex, rwlock, atomic and
+//! channel to the modeled primitives, and each test below
 //! explores **every** thread interleaving reachable within the preemption
 //! bound — not a sampled handful.  Each test prints how many schedules it
 //! explored and asserts the count is large enough to be meaningful.
@@ -356,5 +357,114 @@ fn solve_recorder_loses_nothing_uncounted() {
             recorder.dropped()
         );
         assert!(recorder.is_empty(), "the final drain left records buffered");
+    });
+}
+
+/// Protocol 7 — the scheduler's work-stealing deque + priority-lane pop
+/// protocol (`steady_sched`): a worker that batch-pops the demand lane into
+/// its private deque races a sibling stealing from that deque, both race
+/// the shared injector, and a canceller races them all for the queued
+/// prefetch task.  Across every interleaving each demand task runs exactly
+/// once (popped, drained from the deque, or stolen — never duplicated,
+/// never lost), the prefetch task either runs exactly once or is cancelled
+/// without running (never both), and the background idle latch always
+/// drains back to zero.
+#[test]
+fn lane_steal_runs_each_task_exactly_once() {
+    use steady_sched::deque::WorkDeque;
+    use steady_sched::lane::LaneQueues;
+    use steady_sched::{Lane, LaneTask, Popped};
+
+    explore("lane_steal", Builder::default(), || {
+        let lanes: Arc<LaneQueues<u64>> = Arc::new(LaneQueues::new());
+        let deque: Arc<WorkDeque<LaneTask<u64>>> = Arc::new(WorkDeque::new());
+        let ran = Arc::new(Mutex::new(Vec::new()));
+
+        // Retires a pop verdict the way both pools do: live tasks "run"
+        // (recorded), terminal background verdicts retire the idle latch.
+        fn retire(lanes: &LaneQueues<u64>, ran: &Mutex<Vec<u64>>, verdict: Popped<u64>) {
+            match verdict {
+                Popped::Task(task) => {
+                    ran.lock().push(task.payload);
+                    if task.lane.is_background() {
+                        lanes.idle_latch().finish_one();
+                    }
+                }
+                Popped::TimedOut(task) | Popped::Cancelled(task) => {
+                    if task.lane.is_background() {
+                        lanes.idle_latch().finish_one();
+                    }
+                }
+                Popped::Empty | Popped::Closed => {}
+            }
+        }
+
+        lanes.push(LaneTask::new(1, Lane::Demand, 0));
+        lanes.push(LaneTask::new(2, Lane::Demand, 0));
+        lanes.push(LaneTask::new(10, Lane::Prefetch, 0));
+
+        let owner = {
+            let lanes = Arc::clone(&lanes);
+            let deque = Arc::clone(&deque);
+            let ran = Arc::clone(&ran);
+            thread::spawn(move || {
+                // Batch-pop: take one demand task plus a stealable overflow
+                // batch into the private deque, then drain what's left of it.
+                let (popped, batch) = lanes.pop_with_overflow(0, 2);
+                deque.push_many(batch);
+                retire(&lanes, &ran, popped);
+                while let Some(task) = deque.pop() {
+                    retire(&lanes, &ran, lanes.vet(task, 0));
+                }
+            })
+        };
+        let thief = {
+            let lanes = Arc::clone(&lanes);
+            let deque = Arc::clone(&deque);
+            let ran = Arc::clone(&ran);
+            thread::spawn(move || {
+                // Steal the oldest batched task, then fall back to the
+                // injector — the work-stealing worker's idle path.
+                if let Some(task) = deque.steal() {
+                    retire(&lanes, &ran, lanes.vet(task, 0));
+                }
+                let verdict = lanes.pop(0);
+                retire(&lanes, &ran, verdict);
+            })
+        };
+        let canceller = {
+            let lanes = Arc::clone(&lanes);
+            thread::spawn(move || lanes.cancel_lane(Lane::Prefetch))
+        };
+        owner.join().unwrap();
+        thief.join().unwrap();
+        let cancelled = canceller.join().unwrap();
+
+        // Main drains whatever the racing workers left behind, exactly like
+        // a worker observing the close.
+        while let Some(task) = deque.pop() {
+            retire(&lanes, &ran, lanes.vet(task, 0));
+        }
+        loop {
+            match lanes.pop(0) {
+                Popped::Empty | Popped::Closed => break,
+                verdict => retire(&lanes, &ran, verdict),
+            }
+        }
+
+        let mut ran = ran.lock().clone();
+        ran.sort_unstable();
+        let demand: Vec<u64> = ran.iter().copied().filter(|&p| p < 10).collect();
+        assert_eq!(demand, vec![1, 2], "demand tasks must each run exactly once: {ran:?}");
+        let prefetch_runs = ran.iter().filter(|&&p| p == 10).count();
+        assert!(prefetch_runs <= 1, "the prefetch task ran twice");
+        assert_eq!(
+            prefetch_runs + cancelled,
+            1,
+            "the prefetch task must run once XOR be cancelled ({prefetch_runs} runs, \
+             {cancelled} cancelled)"
+        );
+        assert_eq!(lanes.idle_latch().backlog(), 0, "the idle latch never drained");
+        assert_eq!(lanes.depths(), [0, 0, 0], "a task was stranded in a lane");
     });
 }

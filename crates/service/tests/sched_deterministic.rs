@@ -1,0 +1,105 @@
+//! Deterministic scheduler-lane semantics under a [`ManualClock`]: demand
+//! deadlines fire exactly when the (frozen, hand-advanced) clock says so,
+//! and cancelled prefetch tasks never publish to the cache.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use steady_service::obs::ManualClock;
+use steady_service::{query_mix, SchedulerKind, ServeError, ServedVia, Service, ServiceConfig};
+
+fn start(
+    kind: SchedulerKind,
+    clock: &Arc<ManualClock>,
+    demand_deadline: Option<Duration>,
+) -> Service {
+    Service::start_with_clock(
+        ServiceConfig { workers: 1, scheduler: kind, demand_deadline, ..ServiceConfig::default() },
+        Arc::clone(clock) as Arc<dyn steady_service::Clock>,
+    )
+}
+
+/// With a zero demand deadline and a frozen manual clock, every demand
+/// task's deadline has already passed at vetting time (`now == enqueue ==
+/// deadline`), so the lane sheds it deterministically: the caller sees
+/// [`ServeError::Shed`], the timeout counter ticks, and no solve runs.
+#[test]
+fn demand_lane_timeouts_fire_on_the_manual_clock() {
+    for kind in [SchedulerKind::ThreadPerWorker, SchedulerKind::WorkStealing] {
+        let clock = Arc::new(ManualClock::new());
+        let service = start(kind, &clock, Some(Duration::ZERO));
+        let mix = query_mix(4, 7);
+        for query in &mix[..3] {
+            match service.query(query.clone()) {
+                Err(ServeError::Shed) => {}
+                other => panic!("{kind:?}: expected a deadline shed, got {other:?}"),
+            }
+        }
+        let stats = service.stats();
+        assert_eq!(stats.demand_timeouts, 3, "{kind:?}: every demand task must time out");
+        assert_eq!(stats.solves, 0, "{kind:?}: a timed-out task must never solve");
+    }
+}
+
+/// With a generous deadline the same frozen clock never sheds: queries are
+/// served normally, the timeout counter stays zero, and the demand lane's
+/// wait histogram records the (zero-width) enqueue-to-pickup spans.
+#[test]
+fn unexpired_deadlines_never_shed() {
+    let clock = Arc::new(ManualClock::new());
+    let service = start(SchedulerKind::WorkStealing, &clock, Some(Duration::from_secs(3600)));
+    let mix = query_mix(4, 7);
+    let first = service.query(mix[0].clone()).expect("an unexpired query must be served");
+    assert_eq!(first.via, ServedVia::Solve);
+    // Advancing the clock between submissions must not expire anything:
+    // deadlines are relative to each task's own enqueue stamp.
+    clock.advance(Duration::from_secs(7200).as_nanos() as u64);
+    let again = service.query(mix[0].clone()).expect("served after the clock advanced");
+    assert_eq!(again.via, ServedVia::Cache);
+    let stats = service.stats();
+    assert_eq!(stats.demand_timeouts, 0);
+    let metrics = service.metrics();
+    let lane_wait = metrics
+        .histogram("lane_demand_wait_nanos")
+        .expect("the demand-lane wait histogram is always registered");
+    assert!(lane_wait.count() >= 2, "both demand tasks must record a lane wait");
+}
+
+/// Cancelled prefetch tasks never publish: the single worker is pinned to a
+/// backlog of higher-priority demand solves, so prefetch jobs scheduled
+/// behind them are still queued when `cancel_prefetch` runs — all of them
+/// are cancelled, none ever solves, and the cache gains no entries.
+#[test]
+fn cancelled_prefetch_tasks_never_publish() {
+    for kind in [SchedulerKind::ThreadPerWorker, SchedulerKind::WorkStealing] {
+        let clock = Arc::new(ManualClock::new());
+        let service = start(kind, &clock, None);
+        let mix = query_mix(12, 99);
+
+        // Pin the lone worker: three cold demand solves it must fully
+        // drain (strict lane priority) before it could reach any prefetch.
+        let replies: Vec<_> = mix[..3].iter().map(|q| service.submit(q.clone())).collect();
+
+        let scheduled = service.schedule_prefetch(
+            mix[3..9]
+                .iter()
+                .map(|q| steady_service::PrefetchJob { query: q.clone(), predicted_exit: false }),
+        );
+        assert_eq!(scheduled, 6, "{kind:?}: every prefetch job must queue");
+        let cancelled = service.cancel_prefetch();
+        assert_eq!(cancelled, 6, "{kind:?}: all queued prefetch jobs must cancel");
+
+        for reply in replies {
+            reply.recv().expect("demand reply").expect("{kind:?}: demand query failed");
+        }
+        assert!(service.await_prefetch_idle(Duration::from_secs(10)));
+
+        let stats = service.stats();
+        assert_eq!(stats.prefetch_cancelled, 6, "{kind:?}: cancel count must stick");
+        assert_eq!(stats.prefetched, 0, "{kind:?}: a cancelled prefetch ran anyway");
+        assert_eq!(
+            stats.cached_entries, 3,
+            "{kind:?}: a cancelled prefetch published to the cache"
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Scheduler parity: the work-stealing executor must be answer-identical
+//! to the thread-per-worker pool.
+//!
+//! The scheduler seam moves *when and where* a task runs, never *what it
+//! computes*: both pools drive the same engine hooks over the same exact
+//! rational arithmetic, so every served value must be `Ratio`-equal across
+//! schedulers — cache hits, warm solves and cold solves alike.
+
+use steady_service::{query_mix, run_load, LoadConfig, SchedulerKind, Service, ServiceConfig};
+
+/// Replays the full loadgen query mix (every family, with repeats so the
+/// cache/hit path is exercised) through a service on `kind` and returns
+/// every served throughput, in replay order.
+fn served_values(kind: SchedulerKind) -> Vec<steady_rational::Ratio> {
+    let service =
+        Service::start(ServiceConfig { workers: 3, scheduler: kind, ..ServiceConfig::default() });
+    let mix = query_mix(16, 0xA11CE);
+    // Two passes: the first solves everything cold, the second re-serves
+    // the same queries from the cache — both paths must agree across
+    // schedulers.
+    let mut values = Vec::new();
+    for pass in 0..2 {
+        for query in &mix {
+            let served = service
+                .query(query.clone())
+                .unwrap_or_else(|e| panic!("pass {pass}: query failed under {kind:?}: {e:?}"));
+            values.push(served.answer.throughput.clone());
+        }
+    }
+    values
+}
+
+/// Every served value is `Ratio`-equal between the two schedulers.
+#[test]
+fn schedulers_agree_on_every_served_value() {
+    let tpw = served_values(SchedulerKind::ThreadPerWorker);
+    let ws = served_values(SchedulerKind::WorkStealing);
+    assert_eq!(tpw.len(), ws.len());
+    for (i, (a, b)) in tpw.iter().zip(ws.iter()).enumerate() {
+        assert_eq!(a, b, "served value {i} differs between schedulers: {a} vs {b}");
+    }
+}
+
+/// The concurrent loadgen replay runs clean on the work-stealing executor:
+/// no errors, every query accounted, and the scheduler's own counters stay
+/// coherent (no demand task ever times out — no deadline is configured).
+#[test]
+fn work_stealing_survives_the_concurrent_loadgen_replay() {
+    let service = Service::start(ServiceConfig {
+        workers: 4,
+        scheduler: SchedulerKind::WorkStealing,
+        ..ServiceConfig::default()
+    });
+    let config = LoadConfig { queries: 400, clients: 4, distinct: 24, seed: 42 };
+    let report = run_load(&service, &config).expect("loadgen replay failed");
+    assert_eq!(report.queries, 400);
+    assert_eq!(report.stats.errors, 0, "the replay produced errors");
+    assert_eq!(report.stats.demand_timeouts, 0, "no deadline was configured");
+    assert_eq!(service.scheduler_kind(), SchedulerKind::WorkStealing);
+}

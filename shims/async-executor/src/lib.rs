@@ -1,0 +1,558 @@
+//! Offline stand-in for the `async-task` / `async-executor` pair, shaped
+//! after the subset the `steady-sched` work-stealing scheduler consumes.
+//!
+//! The core primitive is [`spawn`]: it pairs a future with a *schedule*
+//! callback and returns a [`Runnable`] (one unit of poll work, pushed onto
+//! whatever queue the scheduler likes) and a [`Task`] handle (await-or-cancel
+//! the output).  When the future returns `Pending` and is later woken, the
+//! waker re-invokes the schedule callback with a fresh `Runnable` — so the
+//! *scheduler* decides where resumed work lands (its local deque, a steal
+//! target, a priority lane), which is exactly the seam a work-stealing
+//! executor needs.
+//!
+//! Everything is safe code: the task state machine is a mutex-guarded enum
+//! and the waker is an `Arc` implementing [`std::task::Wake`] — no raw
+//! vtables, no unsafe.  A real deployment would swap in the crates.io pair;
+//! this shim pins the exact API surface the workspace consumes so the build
+//! stays offline.
+//!
+//! Also provided: [`oneshot`], a single-value channel whose receiver is a
+//! future — the "waiters are wakers" building block (a parked waiter costs a
+//! stored [`Waker`], not a blocked thread) — and a minimal FIFO [`Executor`]
+//! used by the self-tests.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+/// Where a task is in its lifecycle.  The future itself is stored separately
+/// so it can be taken out of the lock while being polled (a waker invoked
+/// *during* the poll must not deadlock against the state mutex).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Lifecycle {
+    /// A `Runnable` exists (queued somewhere) and will poll the future.
+    Scheduled,
+    /// A worker is polling the future right now.
+    Running,
+    /// As `Running`, but a wake arrived mid-poll: if the poll returns
+    /// `Pending` the runner reschedules immediately instead of parking.
+    Notified,
+    /// The last poll returned `Pending`; the future sleeps until its waker
+    /// fires and turns it back into `Scheduled`.
+    Waiting,
+    /// The future completed; the output (if any) is in the slot.
+    Completed,
+    /// The task was cancelled; the future was (or will be) dropped unpolled.
+    Cancelled,
+}
+
+/// The shared heart of one spawned task.
+struct Core<F: Future> {
+    state: Mutex<TaskState<F>>,
+    /// Signals `Completed`/`Cancelled` to blocking [`Task::wait`] callers.
+    done: Condvar,
+    schedule: Box<dyn Fn(Runnable) + Send + Sync>,
+}
+
+struct TaskState<F: Future> {
+    /// Present except while a worker holds it out for polling (and after
+    /// completion/cancellation, when it has been dropped).
+    future: Option<Pin<Box<F>>>,
+    output: Option<F::Output>,
+    lifecycle: Lifecycle,
+    /// Wakers of tasks awaiting this task's completion via [`Task::poll_join`].
+    join_wakers: Vec<Waker>,
+}
+
+impl<F> Wake for Core<F>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    fn wake(self: Arc<Self>) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        match state.lifecycle {
+            Lifecycle::Waiting => {
+                state.lifecycle = Lifecycle::Scheduled;
+                drop(state);
+                let runnable = Runnable { core: Arc::clone(&self) as Arc<dyn Run> };
+                (self.schedule)(runnable);
+            }
+            Lifecycle::Running => state.lifecycle = Lifecycle::Notified,
+            // Scheduled already has a pending Runnable; Notified already
+            // re-polls; Completed/Cancelled wakes are no-ops.
+            _ => {}
+        }
+    }
+}
+
+/// Object-safe polling surface a [`Runnable`] drives.
+trait Run: Send + Sync {
+    /// Polls the task once.  Returns `true` when the task reached a terminal
+    /// state (completed or cancelled) during or before this call.
+    fn run_once(self: Arc<Self>) -> bool;
+}
+
+impl<F> Run for Core<F>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    fn run_once(self: Arc<Self>) -> bool {
+        let mut future = {
+            let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            match state.lifecycle {
+                Lifecycle::Completed | Lifecycle::Cancelled => return true,
+                _ => {}
+            }
+            state.lifecycle = Lifecycle::Running;
+            match state.future.take() {
+                Some(f) => f,
+                // Cancelled between schedule and run: nothing to poll.
+                None => {
+                    state.lifecycle = Lifecycle::Cancelled;
+                    return true;
+                }
+            }
+        };
+        // Poll with the state lock released: a waker fired synchronously
+        // from inside the poll locks the state and must not deadlock.
+        let waker = Waker::from(Arc::clone(&self));
+        let mut cx = Context::from_waker(&waker);
+        let poll = future.as_mut().poll(&mut cx);
+
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        match poll {
+            Poll::Ready(output) => {
+                state.output = Some(output);
+                state.lifecycle = Lifecycle::Completed;
+                let joiners = std::mem::take(&mut state.join_wakers);
+                drop(state);
+                self.done.notify_all();
+                for waker in joiners {
+                    waker.wake();
+                }
+                true
+            }
+            Poll::Pending => {
+                if state.lifecycle == Lifecycle::Cancelled {
+                    // Cancelled mid-poll: drop the future, report terminal.
+                    drop(state);
+                    self.done.notify_all();
+                    return true;
+                }
+                state.future = Some(future);
+                if state.lifecycle == Lifecycle::Notified {
+                    // A wake raced the poll: go around again immediately.
+                    state.lifecycle = Lifecycle::Scheduled;
+                    drop(state);
+                    let runnable = Runnable { core: Arc::clone(&self) as Arc<dyn Run> };
+                    (self.schedule)(runnable);
+                } else {
+                    state.lifecycle = Lifecycle::Waiting;
+                }
+                false
+            }
+        }
+    }
+}
+
+/// Object-safe join surface a [`Task`] drives.
+trait Join<T>: Send + Sync {
+    fn wait(&self) -> Option<T>;
+    fn poll_join(&self, cx: &mut Context<'_>) -> Poll<Option<T>>;
+    fn cancel(&self);
+    fn is_finished(&self) -> bool;
+}
+
+impl<F> Join<F::Output> for Core<F>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    fn wait(&self) -> Option<F::Output> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match state.lifecycle {
+                Lifecycle::Completed => return state.output.take(),
+                Lifecycle::Cancelled => return None,
+                _ => {
+                    state = self.done.wait(state).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+    }
+
+    fn poll_join(&self, cx: &mut Context<'_>) -> Poll<Option<F::Output>> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        match state.lifecycle {
+            Lifecycle::Completed => Poll::Ready(state.output.take()),
+            Lifecycle::Cancelled => Poll::Ready(None),
+            _ => {
+                state.join_wakers.push(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+
+    fn cancel(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        match state.lifecycle {
+            Lifecycle::Completed | Lifecycle::Cancelled => return,
+            _ => {}
+        }
+        state.lifecycle = Lifecycle::Cancelled;
+        // If a worker holds the future out for polling this is `None`; the
+        // worker observes `Cancelled` on return and drops it.
+        state.future = None;
+        let joiners = std::mem::take(&mut state.join_wakers);
+        drop(state);
+        self.done.notify_all();
+        for waker in joiners {
+            waker.wake();
+        }
+    }
+
+    fn is_finished(&self) -> bool {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        matches!(state.lifecycle, Lifecycle::Completed | Lifecycle::Cancelled)
+    }
+}
+
+/// One schedulable unit of poll work.  Push it wherever the scheduler keeps
+/// runnable work (a deque, a lane, a steal target) and call [`Runnable::run`]
+/// from any worker thread.
+pub struct Runnable {
+    core: Arc<dyn Run>,
+}
+
+impl Runnable {
+    /// Polls the task once.  Returns `true` when the task reached a terminal
+    /// state (its output is ready, or it was cancelled).  On `false` the
+    /// future is parked; its waker will hand the scheduler a new `Runnable`.
+    pub fn run(self) -> bool {
+        self.core.run_once()
+    }
+}
+
+impl std::fmt::Debug for Runnable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Runnable")
+    }
+}
+
+/// Handle to a spawned task's output.  Dropping the handle *detaches* the
+/// task (it keeps running); [`Task::cancel`] stops it cooperatively.
+pub struct Task<T> {
+    core: Arc<dyn Join<T>>,
+}
+
+impl<T> Task<T> {
+    /// Blocks until the task completes and returns its output, or `None` if
+    /// it was cancelled first.
+    pub fn wait(self) -> Option<T> {
+        self.core.wait()
+    }
+
+    /// Cancels the task: an unpolled or parked future is dropped without
+    /// running; a future currently being polled finishes that poll and is
+    /// then dropped.  Waiters observe `None`.
+    pub fn cancel(&self) {
+        self.core.cancel();
+    }
+
+    /// Whether the task has reached a terminal state.
+    pub fn is_finished(&self) -> bool {
+        self.core.is_finished()
+    }
+
+    /// Detaches the task explicitly (equivalent to dropping the handle).
+    pub fn detach(self) {}
+}
+
+impl<T> Future for Task<T> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
+        self.core.poll_join(cx)
+    }
+}
+
+impl<T> std::fmt::Debug for Task<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Task")
+    }
+}
+
+/// Pairs `future` with a scheduling callback, in the `async-task` shape.
+///
+/// The returned [`Runnable`] represents the *first* poll: the caller decides
+/// where it runs (`spawn` does not invoke `schedule` for it).  Every
+/// *subsequent* poll — a parked future woken by its waker — reaches the
+/// scheduler through `schedule`.
+pub fn spawn<F, S>(future: F, schedule: S) -> (Runnable, Task<F::Output>)
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+    S: Fn(Runnable) + Send + Sync + 'static,
+{
+    let core = Arc::new(Core {
+        state: Mutex::new(TaskState {
+            future: Some(Box::pin(future)),
+            output: None,
+            lifecycle: Lifecycle::Scheduled,
+            join_wakers: Vec::new(),
+        }),
+        done: Condvar::new(),
+        schedule: Box::new(schedule),
+    });
+    let runnable = Runnable { core: Arc::clone(&core) as Arc<dyn Run> };
+    let task = Task { core: core as Arc<dyn Join<F::Output>> };
+    (runnable, task)
+}
+
+// ---------------------------------------------------------------------------
+// oneshot: a single-value channel whose receiver is a future
+// ---------------------------------------------------------------------------
+
+struct OneshotState<T> {
+    value: Option<T>,
+    closed: bool,
+    waker: Option<Waker>,
+}
+
+/// Sending half of a [`oneshot`] channel.  Dropping it without sending
+/// closes the channel; the receiver resolves to `None`.
+pub struct OneshotSender<T> {
+    state: Arc<Mutex<OneshotState<T>>>,
+}
+
+impl<T> OneshotSender<T> {
+    /// Delivers the value and wakes the receiving task, if one is parked.
+    pub fn send(self, value: T) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.value = Some(value);
+        state.closed = true;
+        let waker = state.waker.take();
+        drop(state);
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+}
+
+impl<T> Drop for OneshotSender<T> {
+    fn drop(&mut self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.closed {
+            return;
+        }
+        state.closed = true;
+        let waker = state.waker.take();
+        drop(state);
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+}
+
+/// Receiving half of a [`oneshot`] channel: a future resolving to
+/// `Some(value)` on send, `None` when the sender was dropped.  Awaiting it
+/// costs a stored [`Waker`], not a blocked thread.
+pub struct OneshotReceiver<T> {
+    state: Arc<Mutex<OneshotState<T>>>,
+}
+
+impl<T> Future for OneshotReceiver<T> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(value) = state.value.take() {
+            return Poll::Ready(Some(value));
+        }
+        if state.closed {
+            return Poll::Ready(None);
+        }
+        state.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// Creates a single-value channel whose receiver is a future.
+pub fn oneshot<T>() -> (OneshotSender<T>, OneshotReceiver<T>) {
+    let state = Arc::new(Mutex::new(OneshotState { value: None, closed: false, waker: None }));
+    (OneshotSender { state: Arc::clone(&state) }, OneshotReceiver { state })
+}
+
+// ---------------------------------------------------------------------------
+// Executor: a minimal FIFO run queue for self-tests and simple consumers
+// ---------------------------------------------------------------------------
+
+/// A minimal single-queue executor: `spawn` pushes the first poll onto a
+/// FIFO, wakes reschedule onto the same FIFO, and [`Executor::tick`] runs
+/// one unit.  The work-stealing scheduler in `steady-sched` does *not* use
+/// this — it supplies its own per-worker queues via [`spawn`] — but the
+/// shim's own tests and simple consumers drive futures with it.
+#[derive(Clone, Default)]
+pub struct Executor {
+    queue: Arc<Mutex<VecDeque<Runnable>>>,
+}
+
+impl Executor {
+    /// An empty executor.
+    pub fn new() -> Executor {
+        Executor::default()
+    }
+
+    /// Spawns `future`; both its first poll and every wake land on this
+    /// executor's queue.
+    pub fn spawn<F>(&self, future: F) -> Task<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        let queue = Arc::clone(&self.queue);
+        let (runnable, task) = spawn(future, move |runnable| {
+            queue.lock().unwrap_or_else(|e| e.into_inner()).push_back(runnable);
+        });
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).push_back(runnable);
+        task
+    }
+
+    /// Runs one queued poll; `false` when the queue was empty.
+    pub fn tick(&self) -> bool {
+        let runnable = self.queue.lock().unwrap_or_else(|e| e.into_inner()).pop_front();
+        match runnable {
+            Some(runnable) => {
+                runnable.run();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Ticks until the queue is empty, returning how many polls ran.
+    pub fn run_until_idle(&self) -> usize {
+        let mut ran = 0;
+        while self.tick() {
+            ran += 1;
+        }
+        ran
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn ready_future_completes_on_first_run() {
+        let (runnable, task) = spawn(async { 41 + 1 }, |_| panic!("no reschedule expected"));
+        assert!(runnable.run());
+        assert!(task.is_finished());
+        assert_eq!(task.wait(), Some(42));
+    }
+
+    #[test]
+    fn parked_future_resumes_through_the_schedule_callback() {
+        let resumed: Arc<Mutex<Vec<Runnable>>> = Arc::new(Mutex::new(Vec::new()));
+        let (tx, rx) = oneshot::<u64>();
+        let hook = Arc::clone(&resumed);
+        let (runnable, task) = spawn(async move { rx.await.unwrap_or(0) * 2 }, move |runnable| {
+            hook.lock().unwrap().push(runnable);
+        });
+        // First poll parks the future on the oneshot waker.
+        assert!(!runnable.run());
+        assert!(resumed.lock().unwrap().is_empty());
+        // The send wakes it: the waker hands the scheduler a new Runnable.
+        tx.send(21);
+        let runnable = resumed.lock().unwrap().pop().expect("woken task rescheduled");
+        assert!(runnable.run());
+        assert_eq!(task.wait(), Some(42));
+    }
+
+    #[test]
+    fn wake_from_another_thread_reschedules() {
+        let executor = Executor::new();
+        let (tx, rx) = oneshot::<&'static str>();
+        let task = executor.spawn(rx);
+        assert_eq!(executor.run_until_idle(), 1, "first poll parks");
+        assert!(!task.is_finished());
+        let sender = std::thread::spawn(move || tx.send("hello"));
+        sender.join().unwrap();
+        executor.run_until_idle();
+        assert_eq!(task.wait(), Some(Some("hello")));
+    }
+
+    #[test]
+    fn cancelled_task_never_runs_its_future() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::clone(&ran);
+        let (runnable, task) = spawn(
+            async move {
+                flag.fetch_add(1, Ordering::SeqCst);
+            },
+            |_| {},
+        );
+        task.cancel();
+        assert!(runnable.run(), "a cancelled task is terminal");
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "the future must not have been polled");
+        assert!(task.is_finished());
+        assert_eq!(task.wait(), None);
+    }
+
+    #[test]
+    fn dropped_sender_resolves_the_receiver_to_none() {
+        let executor = Executor::new();
+        let (tx, rx) = oneshot::<u64>();
+        let task = executor.spawn(rx);
+        executor.run_until_idle();
+        drop(tx);
+        executor.run_until_idle();
+        assert_eq!(task.wait(), Some(None));
+    }
+
+    #[test]
+    fn tasks_can_await_other_tasks() {
+        let executor = Executor::new();
+        let (tx, rx) = oneshot::<u64>();
+        let inner = executor.spawn(async move { rx.await.unwrap_or(0) + 1 });
+        let outer = executor.spawn(async move { inner.await.unwrap_or(0) + 1 });
+        executor.run_until_idle();
+        tx.send(40);
+        executor.run_until_idle();
+        assert_eq!(outer.wait(), Some(42));
+    }
+
+    #[test]
+    fn notified_during_poll_repolls_instead_of_parking() {
+        // A future that wakes itself and returns Pending once: the runner
+        // must observe the Notified state and reschedule immediately.
+        struct SelfWake {
+            polled: usize,
+        }
+        impl Future for SelfWake {
+            type Output = usize;
+            fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<usize> {
+                self.polled += 1;
+                if self.polled == 1 {
+                    cx.waker().wake_by_ref();
+                    Poll::Pending
+                } else {
+                    Poll::Ready(self.polled)
+                }
+            }
+        }
+        let executor = Executor::new();
+        let task = executor.spawn(SelfWake { polled: 0 });
+        assert_eq!(executor.run_until_idle(), 2, "self-wake forces a second poll");
+        assert_eq!(task.wait(), Some(2));
+    }
+}

@@ -200,11 +200,13 @@ fn strip(source: &str) -> Vec<Line> {
 
 /// Marks the lines belonging to `#[cfg(test)]`-gated items (the module the
 /// attribute precedes, brace-balanced), so production-only rules skip them.
+/// Compound gates that still require `test` (`#[cfg(all(test, ...))]`, as
+/// used by crates whose tests are excluded under `--cfg steady_loom`) count.
 fn test_mask(lines: &[Line]) -> Vec<bool> {
     let mut mask = vec![false; lines.len()];
     let mut i = 0;
     while i < lines.len() {
-        if lines[i].code.contains("#[cfg(test)]") {
+        if lines[i].code.contains("#[cfg(test)]") || lines[i].code.contains("#[cfg(all(test") {
             // Mask to the end of the gated item (its brace-balanced body).
             let mut depth = 0i64;
             let mut opened = false;
@@ -348,12 +350,14 @@ fn rule_relaxed(path: &Path, lines: &[Line], mask: &[bool], out: &mut Vec<Violat
 // Rule: lock-order
 // ---------------------------------------------------------------------------
 
-/// The documented lock order of `steady_service::sync`, by the receiver's
+/// The documented lock order of `steady_service::sync` (which also lists
+/// the `steady_sched::sync` locks at ranks 10/12/25), by the receiver's
 /// final named path component.
 fn lock_rank(name: &str) -> Option<u32> {
     match name {
-        "table" | "state" | "jobs" => Some(10),
-        "bases" | "prefetch_queue" | "keys" => Some(20),
+        "table" | "state" | "lanes" => Some(10),
+        "deque" | "deques" => Some(12),
+        "bases" | "keys" => Some(20),
         "pending" => Some(25),
         "shard" | "shards" => Some(30),
         "seeded" => Some(40),
@@ -369,7 +373,9 @@ fn lock_rank(name: &str) -> Option<u32> {
 fn callee_rank(receiver: &str, method: &str) -> Option<u32> {
     match receiver {
         "flight" | "gate" => Some(10),
+        "running" if matches!(method, "submit" | "counters" | "cancel_lane") => Some(10),
         "ledger" => Some(20),
+        "idle" | "idle_latch" => Some(25),
         "cache" if method == "mark_class_seeded" => Some(40),
         "cache" => Some(30),
         _ => None,
@@ -446,9 +452,10 @@ fn rule_lock_order(path: &Path, lines: &[Line], mask: &[bool], out: &mut Vec<Vio
                         rule: "lock-order",
                         message: format!(
                             "acquiring rank-{rank} lock via `{what}` while holding rank-{} \
-                             guard `{}` — documented order is admission(10) < ledger/bases(20) \
-                             < prefetch-idle(25) < cache shards(30) < seeded(40) < \
-                             trace ring(50), strictly ascending",
+                             guard `{}` — documented order is admission/lanes(10) < \
+                             worker deques(12) < ledger/bases(20) < background-idle(25) < \
+                             cache shards(30) < seeded(40) < trace ring(50), strictly \
+                             ascending",
                             h.rank, h.name
                         ),
                     });
@@ -680,12 +687,12 @@ fn lint_workspace(root: &Path) -> (usize, Vec<Violation>) {
     let mut violations = Vec::new();
     let mut checked = 0usize;
 
-    // Serving-core rules: service + runtime sources.
-    let core = load(root, &["crates/service/src", "crates/runtime/src"]);
+    // Serving-core rules: service + scheduler + runtime sources.
+    let core = load(root, &["crates/service/src", "crates/sched/src", "crates/runtime/src"]);
     checked += core.len();
     for (path, lines, mask) in &core {
         rule_no_panics(path, lines, mask, &mut violations);
-        if path.starts_with("crates/service") {
+        if path.starts_with("crates/service") || path.starts_with("crates/sched") {
             rule_lock_order(path, lines, mask, &mut violations);
         }
     }
